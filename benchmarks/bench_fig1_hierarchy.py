@@ -1,0 +1,27 @@
+"""Fig. 1 — the objective hierarchy (4 objectives, 14 criteria).
+
+Regenerates the hierarchy, checks its structure against the paper and
+benchmarks hierarchy construction + validation.
+"""
+
+from conftest import report
+
+from repro.neon.criteria import OBJECTIVES, build_hierarchy
+
+
+def test_fig1_hierarchy(benchmark):
+    hierarchy = benchmark(build_hierarchy)
+    assert hierarchy.root.name == "Reuse Ontology"
+    assert tuple(c.name for c in hierarchy.root.children) == OBJECTIVES
+    assert len(hierarchy.leaves()) == 14
+    assert [len(c.children) for c in hierarchy.root.children] == [2, 3, 4, 5]
+    report(
+        "Fig. 1 objective hierarchy",
+        [
+            "paper: 4 objectives (Reuse Cost, Understandability, "
+            "Integration, Reliability) refined into 14 criteria",
+            f"measured: {len(hierarchy.root.children)} objectives, "
+            f"{len(hierarchy.leaves())} criteria",
+            hierarchy.render(),
+        ],
+    )

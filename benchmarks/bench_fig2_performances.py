@@ -1,0 +1,42 @@
+"""Fig. 2 — the 23 x 14 performance table, derived through the pipeline.
+
+The paper's assessors filled the table by hand; the reproduction runs
+the NeOn assess activity over the synthetic corpus and must land on the
+shipped matrix cell-for-cell.  The benchmark measures the full
+assess-everything pass (23 ontologies x 14 criteria + CQ coverage
+against 100 questions).
+"""
+
+from conftest import report
+
+from repro.casestudy.corpus import assessed_performance_table
+from repro.casestudy.names import CANDIDATE_NAMES
+from repro.casestudy.performances import FIG2_ANCHORS, performance_table
+from repro.core.scales import MISSING
+
+
+def test_fig2_assessment_pipeline(benchmark, registry):
+    derived = benchmark(assessed_performance_table, registry)
+    shipped = performance_table()
+    matches = 0
+    total = 0
+    for name in CANDIDATE_NAMES:
+        for attr in shipped.attribute_names:
+            total += 1
+            a = derived[name].performance(attr)
+            b = shipped[name].performance(attr)
+            if a is MISSING and b is MISSING:
+                matches += 1
+            elif a is not MISSING and b is not MISSING and abs(float(a) - float(b)) < 1e-9:
+                matches += 1
+    assert matches == total == 23 * 14
+    anchor_cells = sum(len(v) for v in FIG2_ANCHORS.values())
+    report(
+        "Fig. 2 performance table",
+        [
+            f"paper: 23 candidates x 14 criteria ({anchor_cells} cells "
+            "legible in the scan, adopted verbatim)",
+            f"measured: pipeline-derived table matches the shipped matrix "
+            f"on {matches}/{total} cells",
+        ],
+    )

@@ -1,0 +1,97 @@
+"""Scaling — evaluation / screening / Monte Carlo cost vs problem size.
+
+Synthetic problems with growing alternative and attribute counts,
+exercising the three computational kernels: the additive evaluation
+(matrix build), the LP screening (quadratic in alternatives) and the
+vectorised Monte Carlo.
+"""
+
+import numpy as np
+import pytest
+from conftest import report
+
+from repro.core.dominance import screen
+from repro.core.hierarchy import Hierarchy, ObjectiveNode
+from repro.core.interval import Interval
+from repro.core.model import AdditiveModel
+from repro.core.montecarlo import simulate
+from repro.core.performance import Alternative, PerformanceTable
+from repro.core.problem import DecisionProblem
+from repro.core.scales import linguistic_0_3
+from repro.core.utility import banded_discrete_utility
+from repro.core.weights import WeightSystem
+
+
+def synthetic_problem(n_alternatives: int, n_attributes: int) -> DecisionProblem:
+    rng = np.random.default_rng(n_alternatives * 100 + n_attributes)
+    scales = {f"a{j}": linguistic_0_3(f"a{j}") for j in range(n_attributes)}
+    table = PerformanceTable(
+        scales,
+        [
+            Alternative(
+                f"alt{i:03d}",
+                {f"a{j}": int(rng.integers(0, 4)) for j in range(n_attributes)},
+            )
+            for i in range(n_alternatives)
+        ],
+    )
+    hierarchy = Hierarchy(
+        ObjectiveNode(
+            "root",
+            children=[
+                ObjectiveNode(f"c{j}", attribute=f"a{j}")
+                for j in range(n_attributes)
+            ],
+        )
+    )
+    share = 1.0 / n_attributes
+    weights = WeightSystem(
+        hierarchy,
+        {
+            f"c{j}": Interval(share * 0.7, min(1.0, share * 1.3))
+            for j in range(n_attributes)
+        },
+    )
+    utilities = {
+        f"a{j}": banded_discrete_utility(scales[f"a{j}"], best_is_precise=False)
+        for j in range(n_attributes)
+    }
+    return DecisionProblem(hierarchy, table, utilities, weights)
+
+
+@pytest.mark.parametrize("n_alternatives", [10, 40, 160])
+def test_evaluation_scaling(benchmark, n_alternatives):
+    problem = synthetic_problem(n_alternatives, 14)
+    evaluation = benchmark(lambda: AdditiveModel(problem).evaluate())
+    assert len(evaluation) == n_alternatives
+
+
+@pytest.mark.parametrize("n_alternatives", [8, 16, 32])
+def test_screening_scaling(benchmark, n_alternatives):
+    problem = synthetic_problem(n_alternatives, 10)
+    model = AdditiveModel(problem)
+    result = benchmark.pedantic(screen, args=(model,), rounds=1, iterations=1)
+    assert len(result.non_dominated) >= 1
+    report(
+        f"screening at n={n_alternatives}",
+        [f"survivors: {len(result.potentially_optimal)} of {n_alternatives}"],
+    )
+
+
+@pytest.mark.parametrize("n_simulations", [1_000, 10_000, 100_000])
+def test_monte_carlo_scaling(benchmark, model, n_simulations):
+    result = benchmark.pedantic(
+        simulate,
+        args=(model,),
+        kwargs=dict(method="intervals", n_simulations=n_simulations, seed=3),
+        rounds=2,
+        iterations=1,
+    )
+    assert result.n_simulations == n_simulations
+
+
+@pytest.mark.parametrize("n_attributes", [7, 14, 28])
+def test_attribute_scaling(benchmark, n_attributes):
+    problem = synthetic_problem(40, n_attributes)
+    evaluation = benchmark(lambda: AdditiveModel(problem).evaluate())
+    assert len(evaluation) == 40

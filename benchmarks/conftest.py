@@ -1,0 +1,52 @@
+"""Shared fixtures and reporting helpers for the benchmark harness.
+
+Every bench regenerates one table/figure of the paper (or an ablation
+DESIGN.md calls out), prints a paper-vs-measured summary and asserts
+the reproduction's *shape* claims.  Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Add ``-s`` to see the paper-vs-measured rows inline.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.casestudy.corpus import multimedia_registry
+from repro.casestudy.problem import multimedia_problem
+from repro.core.model import AdditiveModel
+from repro.core.montecarlo import simulate
+
+
+@pytest.fixture(scope="session")
+def problem():
+    return multimedia_problem()
+
+
+@pytest.fixture(scope="session")
+def model(problem):
+    return AdditiveModel(problem)
+
+
+@pytest.fixture(scope="session")
+def registry():
+    return multimedia_registry()
+
+
+@pytest.fixture(scope="session")
+def mc_result(model):
+    return simulate(
+        model,
+        method="intervals",
+        n_simulations=10_000,
+        seed=2012,
+        sample_utilities="missing",
+    )
+
+
+def report(title: str, lines) -> None:
+    """Print a paper-vs-measured block (visible with ``pytest -s``)."""
+    print(f"\n=== {title} ===")
+    for line in lines:
+        print(line)

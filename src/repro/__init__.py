@@ -1,0 +1,32 @@
+"""Reproduction of *A MAUT Approach for Reusing Ontologies* (ICDE W. 2012).
+
+The package has five layers:
+
+* :mod:`repro.core` — the GMAA-style imprecise additive MAUT engine
+  (hierarchies, interval utilities/weights, evaluation, stability,
+  dominance, Monte Carlo sensitivity analysis, group support).
+* :mod:`repro.ontology` — an ontology substrate: OWL-ish model, Turtle
+  subset parser, triple graph, structural/lexical metrics, competency-
+  question coverage, synthetic corpus generation and merging.
+* :mod:`repro.neon` — the NeOn reuse activities: criteria (Fig. 1),
+  candidate assessment, MAUT selection with the 70 % CQ rule, pipeline.
+* :mod:`repro.casestudy` — the paper's multimedia case study: the 23
+  candidate ontologies, the reconstructed performance matrix, the
+  Fig. 5 weights and Figs. 3-4 utilities, and the published results.
+* :mod:`repro.baselines` / :mod:`repro.reporting` — comparison rankers
+  (thesis worst-case treatment, AKTiveRank-style, classic MCDM) and
+  deterministic textual figures.
+
+Quickstart::
+
+    from repro.casestudy import multimedia_problem
+    from repro.core import evaluate, simulate
+
+    problem = multimedia_problem()
+    print(evaluate(problem).names_by_rank[:5])
+    print(simulate(problem, method="intervals", seed=7).top_k_by_mean(5))
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,27 @@
+"""Comparison rankers: the thesis-[15] treatment, AKTiveRank, MCDM.
+
+* :mod:`repro.baselines.worst_case` — §IV's earlier ranking with
+  missing performances forced to the worst level and precise weights.
+* :mod:`repro.baselines.aktiverank` — a graph-metric ontology ranker
+  in the AKTiveRank family (novelty context: the tool landscape the
+  MAUT approach competes with).
+* :mod:`repro.baselines.mcdm` — precise weighted sum, TOPSIS and
+  lexicographic rankings for the ablation benches.
+"""
+
+from .aktiverank import AKTiveRankScores, DEFAULT_WEIGHTS, rank, score_ontology
+from .mcdm import lexicographic, topsis, utilities_from_problem, weighted_sum
+from .worst_case import worst_case_problem, worst_case_ranking
+
+__all__ = [
+    "worst_case_problem",
+    "worst_case_ranking",
+    "AKTiveRankScores",
+    "DEFAULT_WEIGHTS",
+    "score_ontology",
+    "rank",
+    "utilities_from_problem",
+    "weighted_sum",
+    "topsis",
+    "lexicographic",
+]

@@ -1,0 +1,209 @@
+"""An AKTiveRank-style graph-metric ontology ranker.
+
+The MAUT selection the paper advocates competes with a family of
+ontology-ranking tools that score candidates from query-term matches
+and graph structure alone — AKTiveRank (Alani & Brewster) being the
+best known.  This baseline reimplements its four measures over the
+substrate's ontology model, using networkx for the structural ones:
+
+* **CMM** — class match measure: how many query terms match a class
+  label exactly or partially;
+* **DEM** — density measure: how richly connected the matched classes
+  are (subclasses, superclasses, properties, siblings);
+* **SSM** — semantic similarity measure: how close the matched classes
+  sit to each other in the taxonomy (shortest paths);
+* **BEM** — betweenness measure: the centrality of the matched classes
+  in the ontology graph.
+
+Scores are normalised per measure across the candidate set and
+aggregated with the published default weights.  The ablation bench
+contrasts this ranking with the MAUT one: graph metrics only see
+structure + query overlap, so reliability/cost criteria are invisible
+to them — which is the paper's motivation for a multi-criteria method.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import networkx as nx
+
+from ..ontology.cq import extract_terms, normalise_term
+from ..ontology.metrics import split_identifier
+from ..ontology.model import OntClass, Ontology
+
+__all__ = ["AKTiveRankScores", "DEFAULT_WEIGHTS", "score_ontology", "rank"]
+
+#: Aggregation weights (wCMM, wDEM, wSSM, wBEM) — AKTiveRank's defaults.
+DEFAULT_WEIGHTS: Tuple[float, float, float, float] = (0.4, 0.3, 0.2, 0.1)
+
+
+@dataclass(frozen=True)
+class AKTiveRankScores:
+    """Per-measure scores of one candidate (already in [0, 1])."""
+
+    name: str
+    cmm: float
+    dem: float
+    ssm: float
+    bem: float
+
+    def aggregate(
+        self, weights: Tuple[float, float, float, float] = DEFAULT_WEIGHTS
+    ) -> float:
+        w_cmm, w_dem, w_ssm, w_bem = weights
+        total = w_cmm + w_dem + w_ssm + w_bem
+        return (
+            w_cmm * self.cmm + w_dem * self.dem
+            + w_ssm * self.ssm + w_bem * self.bem
+        ) / total
+
+
+def _class_tokens(cls: OntClass) -> set:
+    tokens = set(split_identifier(cls.name))
+    if cls.label:
+        tokens |= set(split_identifier(cls.label))
+    return {normalise_term(t) for t in tokens}
+
+
+def _matched_classes(
+    ontology: Ontology, terms: Sequence[str]
+) -> Tuple[List[OntClass], float]:
+    """(matching classes, raw CMM) — exact hit 1.0, partial hit 0.4."""
+    matched: List[OntClass] = []
+    score = 0.0
+    term_set = {normalise_term(t) for t in terms}
+    for cls in ontology.classes:
+        tokens = _class_tokens(cls)
+        if not tokens:
+            continue
+        exact = tokens & term_set
+        if exact:
+            matched.append(cls)
+            score += len(exact)
+        else:
+            partial = sum(
+                1
+                for term in term_set
+                for token in tokens
+                if len(term) > 3 and (term in token or token in term)
+            )
+            if partial:
+                matched.append(cls)
+                score += 0.4 * partial
+    return matched, score
+
+
+def _class_graph(ontology: Ontology) -> nx.Graph:
+    """Undirected graph of classes: subclass + property-domain arcs."""
+    graph = nx.Graph()
+    class_iris = {cls.iri for cls in ontology.classes}
+    graph.add_nodes_from(class_iris)
+    for cls in ontology.classes:
+        for sup in cls.superclasses:
+            if sup in class_iris:
+                graph.add_edge(cls.iri, sup)
+    for prop in ontology.properties:
+        if prop.domain in class_iris and prop.range in class_iris:
+            graph.add_edge(prop.domain, prop.range)
+    return graph
+
+
+def _density(ontology: Ontology, matched: Sequence[OntClass]) -> float:
+    """Mean connectivity of the matched classes (raw DEM)."""
+    if not matched:
+        return 0.0
+    class_iris = {cls.iri for cls in ontology.classes}
+    subclass_counts: Dict[str, int] = {iri: 0 for iri in class_iris}
+    property_counts: Dict[str, int] = {iri: 0 for iri in class_iris}
+    for cls in ontology.classes:
+        for sup in cls.superclasses:
+            if sup in subclass_counts:
+                subclass_counts[sup] += 1
+    for prop in ontology.properties:
+        if prop.domain in property_counts:
+            property_counts[prop.domain] += 1
+    total = 0.0
+    for cls in matched:
+        supers = sum(1 for s in cls.superclasses if s in class_iris)
+        total += (
+            subclass_counts[cls.iri] + property_counts[cls.iri] + supers
+        )
+    return total / len(matched)
+
+
+def _semantic_similarity(graph: nx.Graph, matched: Sequence[OntClass]) -> float:
+    """Mean inverse shortest-path length between matched pairs (raw SSM)."""
+    if len(matched) < 2:
+        return 0.0
+    total = 0.0
+    pairs = 0
+    for i in range(len(matched)):
+        for j in range(i + 1, len(matched)):
+            pairs += 1
+            try:
+                distance = nx.shortest_path_length(
+                    graph, matched[i].iri, matched[j].iri
+                )
+            except nx.NetworkXNoPath:
+                continue
+            if distance > 0:
+                total += 1.0 / distance
+            else:
+                total += 1.0
+    return total / pairs if pairs else 0.0
+
+
+def _betweenness(graph: nx.Graph, matched: Sequence[OntClass]) -> float:
+    """Mean betweenness centrality of the matched classes (raw BEM)."""
+    if not matched or graph.number_of_nodes() < 3:
+        return 0.0
+    centrality = nx.betweenness_centrality(graph, normalized=True)
+    return sum(centrality.get(cls.iri, 0.0) for cls in matched) / len(matched)
+
+
+def score_ontology(ontology: Ontology, query: str) -> Dict[str, float]:
+    """Raw (unnormalised) CMM/DEM/SSM/BEM for one candidate."""
+    terms = extract_terms(query)
+    if not terms:
+        raise ValueError(f"query {query!r} contains no informative terms")
+    matched, cmm = _matched_classes(ontology, terms)
+    graph = _class_graph(ontology)
+    return {
+        "cmm": cmm,
+        "dem": _density(ontology, matched),
+        "ssm": _semantic_similarity(graph, matched),
+        "bem": _betweenness(graph, matched),
+    }
+
+
+def rank(
+    candidates: Dict[str, Ontology],
+    query: str,
+    weights: Tuple[float, float, float, float] = DEFAULT_WEIGHTS,
+) -> Tuple[Tuple[str, float], ...]:
+    """Rank candidates for a query; returns (name, score) best first.
+
+    Raw measures are normalised by the per-measure maximum across the
+    candidate set (AKTiveRank's treatment) before aggregation.
+    """
+    if not candidates:
+        raise ValueError("need at least one candidate")
+    raw = {name: score_ontology(onto, query) for name, onto in candidates.items()}
+    maxima = {
+        key: max(scores[key] for scores in raw.values()) or 1.0
+        for key in ("cmm", "dem", "ssm", "bem")
+    }
+    results = []
+    for name, scores in raw.items():
+        normalised = AKTiveRankScores(
+            name=name,
+            cmm=scores["cmm"] / maxima["cmm"],
+            dem=scores["dem"] / maxima["dem"],
+            ssm=scores["ssm"] / maxima["ssm"],
+            bem=scores["bem"] / maxima["bem"],
+        )
+        results.append((name, normalised.aggregate(weights)))
+    results.sort(key=lambda pair: (-pair[1], pair[0]))
+    return tuple(results)

@@ -1,0 +1,112 @@
+"""Classic MCDM comparators for the ablation benches.
+
+Three textbook methods over the same performance data the GMAA model
+sees (average component utilities, average weights):
+
+* **weighted sum** — the precise special case of the paper's additive
+  model (no imprecision anywhere);
+* **TOPSIS** — rank by closeness to the ideal / anti-ideal solutions;
+* **lexicographic** — order criteria by weight and compare level by
+  level.
+
+They share one input form: a utility matrix (alternatives x criteria,
+already preference-increasing in [0, 1]) plus weights.  The helper
+:func:`utilities_from_problem` extracts that form from a
+:class:`~repro.core.problem.DecisionProblem`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from ..core.model import AdditiveModel
+from ..core.problem import DecisionProblem
+
+__all__ = [
+    "utilities_from_problem",
+    "weighted_sum",
+    "topsis",
+    "lexicographic",
+]
+
+
+def utilities_from_problem(
+    problem: DecisionProblem,
+) -> Tuple[Tuple[str, ...], np.ndarray, np.ndarray]:
+    """(alternative names, avg utility matrix, avg weights)."""
+    model = AdditiveModel(problem)
+    return model.alternative_names, model.u_avg.copy(), model.w_avg.copy()
+
+
+def _validate(matrix: np.ndarray, weights: np.ndarray) -> None:
+    if matrix.ndim != 2:
+        raise ValueError("utility matrix must be 2-D")
+    if weights.ndim != 1 or weights.shape[0] != matrix.shape[1]:
+        raise ValueError(
+            f"weights length {weights.shape} does not match criteria "
+            f"count {matrix.shape[1]}"
+        )
+    if np.any(weights < 0):
+        raise ValueError("weights must be non-negative")
+    if weights.sum() <= 0:
+        raise ValueError("at least one weight must be positive")
+
+
+def weighted_sum(
+    names: Sequence[str], matrix: np.ndarray, weights: np.ndarray
+) -> Tuple[Tuple[str, float], ...]:
+    """Precise weighted-sum ranking; (name, score) best first."""
+    matrix = np.asarray(matrix, dtype=float)
+    weights = np.asarray(weights, dtype=float)
+    _validate(matrix, weights)
+    scores = matrix @ (weights / weights.sum())
+    order = sorted(range(len(names)), key=lambda i: (-scores[i], names[i]))
+    return tuple((names[i], float(scores[i])) for i in order)
+
+
+def topsis(
+    names: Sequence[str], matrix: np.ndarray, weights: np.ndarray
+) -> Tuple[Tuple[str, float], ...]:
+    """TOPSIS closeness ranking; (name, closeness) best first.
+
+    The matrix is vector-normalised per criterion, weighted, and every
+    alternative scored by ``d- / (d+ + d-)`` against the ideal (best
+    observed per criterion) and anti-ideal points.
+    """
+    matrix = np.asarray(matrix, dtype=float)
+    weights = np.asarray(weights, dtype=float)
+    _validate(matrix, weights)
+    norms = np.sqrt((matrix ** 2).sum(axis=0))
+    norms[norms == 0] = 1.0
+    weighted = matrix / norms * (weights / weights.sum())
+    ideal = weighted.max(axis=0)
+    anti = weighted.min(axis=0)
+    d_plus = np.sqrt(((weighted - ideal) ** 2).sum(axis=1))
+    d_minus = np.sqrt(((weighted - anti) ** 2).sum(axis=1))
+    denom = d_plus + d_minus
+    closeness = np.where(denom > 0, d_minus / np.where(denom > 0, denom, 1.0), 1.0)
+    order = sorted(range(len(names)), key=lambda i: (-closeness[i], names[i]))
+    return tuple((names[i], float(closeness[i])) for i in order)
+
+
+def lexicographic(
+    names: Sequence[str],
+    matrix: np.ndarray,
+    weights: np.ndarray,
+    tolerance: float = 1e-9,
+) -> Tuple[str, ...]:
+    """Lexicographic ranking: criteria considered by decreasing weight.
+
+    Alternatives are compared on the heaviest criterion first; ties
+    (within ``tolerance``) move to the next criterion, and so on.
+    """
+    matrix = np.asarray(matrix, dtype=float)
+    weights = np.asarray(weights, dtype=float)
+    _validate(matrix, weights)
+    criterion_order = np.argsort(-weights, kind="stable")
+    quantised = np.round(matrix[:, criterion_order] / max(tolerance, 1e-12))
+    keys: List[Tuple] = [tuple(-row) for row in quantised]
+    order = sorted(range(len(names)), key=lambda i: (keys[i], names[i]))
+    return tuple(names[i] for i in order)

@@ -1,0 +1,44 @@
+"""The thesis-[15] baseline: missing values as worst performances.
+
+§IV compares the GMAA ranking against "the ranking in [15], where
+missing performances were not correctly modeled (worst attribute
+performances were assigned)".  This module reproduces that earlier
+treatment: every unknown cell is replaced by the scale's worst level,
+weights are fixed at their precise averages, and component utilities at
+their class averages — a plain precise additive ranking.
+
+The paper's observation — that the two rankings are nonetheless "very
+similar" — is quantified by the comparison bench through Kendall's tau
+between this baseline and the imprecise evaluation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from ..core.model import AdditiveModel, Evaluation
+from ..core.problem import DecisionProblem
+
+__all__ = ["worst_case_problem", "worst_case_ranking"]
+
+
+def worst_case_problem(problem: DecisionProblem) -> DecisionProblem:
+    """The [15] variant of a decision problem.
+
+    Missing performances are replaced by the worst level of their
+    scale; the weight system collapses to its precise averages.
+    """
+    table = problem.table.replacing_missing_with_worst()
+    weights = problem.weights.as_precise_averages()
+    return DecisionProblem(
+        problem.hierarchy,
+        table,
+        problem.utilities,
+        weights,
+        name=f"{problem.name}:worst-case",
+    )
+
+
+def worst_case_ranking(problem: DecisionProblem) -> Evaluation:
+    """Evaluate the worst-case variant (ranking by average utility)."""
+    return AdditiveModel(worst_case_problem(problem)).evaluate()

@@ -1,0 +1,72 @@
+"""The paper's multimedia case study (§II-§V) as data + builders.
+
+* :func:`multimedia_problem` — the complete decision problem (Fig. 1
+  hierarchy, Fig. 2 performances, Figs. 3-4 utilities, Fig. 5 weights).
+* :mod:`repro.casestudy.names` — the 23 candidates, canonical orders.
+* :mod:`repro.casestudy.cqs` — the M3 competency questions and the
+  coverage windows behind the ``ValueT`` column.
+* :mod:`repro.casestudy.performances` — the anchored + calibrated
+  23 x 14 matrix.
+* :mod:`repro.casestudy.preferences` — the Fig. 5 weight system and
+  Figs. 3-4 component utilities.
+* :mod:`repro.casestudy.corpus` — synthetic machine-readable corpus
+  whose assessment reproduces the matrix.
+* :mod:`repro.casestudy.paper_results` — the published numbers.
+"""
+
+from .corpus import (
+    UNKNOWN_CELLS,
+    assessed_performance_table,
+    build_spec,
+    multimedia_registry,
+)
+from .cqs import (
+    CQ_WINDOWS,
+    M3_CQ_TERMS,
+    covered_cq_ids,
+    covered_questions,
+    expected_value_t,
+    m3_competency_questions,
+)
+from .names import CANDIDATE_NAMES, RANKED_NAMES, SHORT_NAMES, TOP_FIVE
+from .performances import (
+    FIG2_ANCHORS,
+    RAW_MATRIX,
+    performance_matrix,
+    performance_table,
+)
+from .preferences import (
+    BRANCH_AVERAGES,
+    BRANCH_RATIOS,
+    FIG5_WEIGHTS,
+    paper_utilities,
+    paper_weight_system,
+)
+from .problem import multimedia_problem
+
+__all__ = [
+    "CANDIDATE_NAMES",
+    "RANKED_NAMES",
+    "SHORT_NAMES",
+    "TOP_FIVE",
+    "M3_CQ_TERMS",
+    "CQ_WINDOWS",
+    "m3_competency_questions",
+    "covered_cq_ids",
+    "covered_questions",
+    "expected_value_t",
+    "RAW_MATRIX",
+    "FIG2_ANCHORS",
+    "performance_matrix",
+    "performance_table",
+    "FIG5_WEIGHTS",
+    "BRANCH_AVERAGES",
+    "BRANCH_RATIOS",
+    "paper_weight_system",
+    "paper_utilities",
+    "multimedia_problem",
+    "UNKNOWN_CELLS",
+    "build_spec",
+    "multimedia_registry",
+    "assessed_performance_table",
+]

@@ -1,0 +1,110 @@
+"""The 23 candidate multimedia ontologies (§II).
+
+The paper's search produced 40 MM ontologies, narrowed to 23 candidates
+after a deep study of scope, purpose and requirements.  The canonical
+order below follows the Fig. 10 statistics table (also the Fig. 2 / 9
+column order); ``RANKED_NAMES`` is the Fig. 6 order by average overall
+utility.
+
+§II lists "Music Ontology" twice; Figs. 9-10 show an *Audio Ontology*
+in the corresponding slot, which we adopt (recorded in DESIGN.md's OCR
+notes).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+__all__ = ["CANDIDATE_NAMES", "RANKED_NAMES", "SHORT_NAMES", "TOP_FIVE"]
+
+#: Fig. 10 order (one row per candidate).
+CANDIDATE_NAMES: Tuple[str, ...] = (
+    "COMM",
+    "MPEG7 Hunter",
+    "mpeg7-X",
+    "SAPO",
+    "DIG35",
+    "CSO",
+    "AceMedia VDO",
+    "VRACORE3 ASSEM",
+    "Boemie VDO",
+    "Audio Ontology",
+    "Media Ontology",
+    "Kanzaki Music",
+    "Music Ontology",
+    "Music Rights",
+    "Open Drama",
+    "MPEG7 MDS",
+    "VraCore3 Simile",
+    "Nokia Ontology",
+    "SRO",
+    "Device Ontology",
+    "MPEG7 Ontology",
+    "Photography Ontology",
+    "M3O",
+)
+
+#: Fig. 6 order — the ranking by average overall utility the paper's
+#: selection walks down.  Rank 1 is Media Ontology (§V: "Media Ontology
+#: is still the best-ranked candidate whatever average normalized
+#: weights are assigned ...").
+RANKED_NAMES: Tuple[str, ...] = (
+    "Media Ontology",
+    "Boemie VDO",
+    "COMM",
+    "SAPO",
+    "DIG35",
+    "Audio Ontology",
+    "CSO",
+    "mpeg7-X",
+    "AceMedia VDO",
+    "MPEG7 Hunter",
+    "VraCore3 Simile",
+    "VRACORE3 ASSEM",
+    "Music Ontology",
+    "MPEG7 MDS",
+    "Device Ontology",
+    "SRO",
+    "Music Rights",
+    "M3O",
+    "Nokia Ontology",
+    "Open Drama",
+    "Kanzaki Music",
+    "Photography Ontology",
+    "MPEG7 Ontology",
+)
+
+#: The five best-ranked candidates the NeOn rule ends up selecting
+#: (§V: their CQ coverage exceeds 70 %).
+TOP_FIVE: Tuple[str, ...] = RANKED_NAMES[:5]
+
+#: GMAA's truncated display strings (Figs. 9-10), for figure-faithful
+#: rendering.
+SHORT_NAMES: Dict[str, str] = {
+    "COMM": "COMM",
+    "MPEG7 Hunter": "MPEG7 Hunt",
+    "mpeg7-X": "mpeg7-X",
+    "SAPO": "SAPO",
+    "DIG35": "DIG35",
+    "CSO": "CSO",
+    "AceMedia VDO": "AceMediaVDO",
+    "VRACORE3 ASSEM": "VRACORE3ASSEM",
+    "Boemie VDO": "Boemie VDO",
+    "Audio Ontology": "Audio Ontology",
+    "Media Ontology": "Media Ontology",
+    "Kanzaki Music": "Kanzaki Music",
+    "Music Ontology": "Music Ontology",
+    "Music Rights": "Music Rights",
+    "Open Drama": "Open Drama",
+    "MPEG7 MDS": "MPEG7 MDS",
+    "VraCore3 Simile": "Vracore3 Simil",
+    "Nokia Ontology": "Nokia ontology",
+    "SRO": "SRO",
+    "Device Ontology": "Device Ontology",
+    "MPEG7 Ontology": "MPEG7 Ontology",
+    "Photography Ontology": "Photography ontol.",
+    "M3O": "M3O",
+}
+
+assert set(CANDIDATE_NAMES) == set(RANKED_NAMES)
+assert len(CANDIDATE_NAMES) == 23

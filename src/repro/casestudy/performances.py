@@ -1,0 +1,161 @@
+"""The reconstructed 23 x 14 performance matrix (§II, Fig. 2).
+
+The full matrix lives in the unavailable thesis [15]; Fig. 2 of the
+paper shows it only for six candidates (COMM, MPEG7 Hunter, mpeg7-X,
+SAPO, DIG35, CSO) on eight attributes.  The matrix below is
+
+* **anchored** — every legible Fig. 2 cell is adopted verbatim
+  (:data:`FIG2_ANCHORS`, enforced by tests), and
+* **calibrated** — the free cells are chosen so the additive model
+  with the Fig. 5 weights and Figs. 3-4 utilities reproduces the
+  published evaluation *shape*: the exact Fig. 6 rank order, a near-tie
+  at the top, a top-8 utility spread below 0.1, heavily overlapped
+  utility bands, the Fig. 8 stability pattern (only the number of
+  functional requirements and the naming-conventions criteria have
+  bounded stability intervals), the §V screening outcome (exactly
+  three candidates discarded) and the Figs. 9-10 Monte Carlo findings
+  (only Media Ontology and Boemie VDO ever rank first).
+
+Calibration levers worth knowing when reading the numbers:
+
+* Every candidate ranked 4th or lower is componentwise <= Media
+  Ontology in average component utility, which pins Media's stability
+  interval to [0, 1] on every criterion it is not *meant* to lose on.
+* Boemie VDO and COMM differ from Media Ontology only on the
+  functional-requirements and naming criteria (plus Boemie's unknown
+  purpose), which is what bounds exactly those two stability intervals.
+* Missing performances (``None``) sit on provenance criteria (former
+  evaluation, purpose), matching §III's account of unknown values.
+* ``test_availability`` is 0 throughout: Fig. 2 shows 0.000 for all six
+  visible candidates and none of the surveyed multimedia ontologies
+  shipped test suites.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional, Tuple, Union
+
+from ..core.performance import Alternative, PerformanceTable
+from ..core.scales import MISSING
+from ..neon.criteria import ATTRIBUTE_IDS, default_scales
+from .cqs import expected_value_t
+from .names import CANDIDATE_NAMES
+
+__all__ = ["RAW_MATRIX", "FIG2_ANCHORS", "performance_matrix", "performance_table"]
+
+Cell = Union[int, float, None]
+
+#: attribute order of the rows below (== neon.criteria.ATTRIBUTE_IDS).
+_ATTRS = ATTRIBUTE_IDS
+
+#: candidate -> the 14 criteria values: discrete levels 0-3, the
+#: continuous ``ValueT`` for functional_requirements, ``None`` for a
+#: missing (unknown) performance.
+RAW_MATRIX: Dict[str, Tuple[Cell, ...]] = {
+    #                    fin req doc ext cla  funct  kn  nm  lg  ts  fe  tm  pu  pr
+    "Media Ontology":    (3,  3,  3,  3,  3,  0.87,  3,  3,  3,  0,  3,  3,  2,  2),
+    "Boemie VDO":        (3,  3,  3,  3,  3,  0.99,  3,  2,  3,  0,  3,  3, None, 2),
+    "COMM":              (3,  3,  3,  3,  3,  0.93,  3,  2,  3,  0,  3,  3,  2,  2),
+    "SAPO":              (3,  3,  2,  3,  3,  0.75,  3,  3,  3,  0,  3,  3,  1,  2),
+    "DIG35":             (2,  3,  3,  3,  3,  0.18,  3,  3,  3,  0,  3,  3,  2,  2),
+    "Audio Ontology":    (3,  3,  2,  3,  3,  0.60,  3,  3,  3,  0,  3,  3,  1,  1),
+    "CSO":               (3,  3,  2,  3,  3,  0.18,  3,  3,  3,  0,  3,  3,  1,  1),
+    "mpeg7-X":           (3,  3,  2,  2,  3,  0.75,  3,  3,  3,  0,  3,  3,  1,  1),
+    "AceMedia VDO":      (3,  3,  2,  2,  3,  0.54,  3,  3,  3,  0,  3,  3,  1,  1),
+    "MPEG7 Hunter":      (3,  2,  2,  2,  3,  0.75,  3,  3,  3,  0,  3,  3,  1,  1),
+    "VraCore3 Simile":   (3,  3,  2,  2,  2,  0.45,  3,  3,  3,  0,  3,  3,  1,  1),
+    "VRACORE3 ASSEM":    (3,  3,  2,  2,  2,  0.45,  3,  3,  3,  0,  3,  3,  1,  0),
+    "Music Ontology":    (3,  2,  2,  2,  3,  0.60,  2,  2,  3,  0,  3,  3,  1,  2),
+    "MPEG7 MDS":         (3,  2,  1,  2,  2,  0.66,  2,  3,  2,  0,  3,  3,  2,  2),
+    "Device Ontology":   (3,  2,  2,  2,  2,  0.72,  2,  2,  2,  0,  3,  3,  2,  2),
+    "SRO":               (3,  2,  2,  2,  2,  0.36,  2,  2,  3,  0, None, 3,  2,  2),
+    "Music Rights":      (3,  2,  2,  3,  2,  0.24,  2,  2,  3,  0, None, 3,  1,  0),
+    "M3O":               (3,  2,  3,  2,  2,  0.54,  2,  1,  3,  0, None, 3,  0,  0),
+    "Nokia Ontology":    (3,  3,  2, None, 2,  0.21,  3,  2, None, 0, None, None, 1,  1),
+    "Open Drama":        (3,  2,  2, None, None, 0.15, None, None, None, 0, None, None, 2,  2),
+    "Kanzaki Music":     (3,  2,  1,  2,  2,  0.15,  2,  2,  2,  0,  2,  3,  1,  1),
+    "Photography Ontology": (3, 1, 1,  1,  2,  0.30,  1,  2,  2,  0,  0,  2,  0,  1),
+    "MPEG7 Ontology":    (3,  1,  0,  1,  1,  0.21,  1,  2,  1,  0,  0,  2,  1,  0),
+}
+
+#: The legible Fig. 2 cells, adopted verbatim (candidate -> attribute
+#: -> value).  A test pins :data:`RAW_MATRIX` to these anchors.
+FIG2_ANCHORS: Dict[str, Dict[str, float]] = {
+    "COMM": {
+        "documentation_quality": 3, "external_knowledge": 3,
+        "code_clarity": 3, "functional_requirements": 0.93,
+        "knowledge_extraction": 3, "naming_conventions": 2,
+        "implementation_language": 3, "test_availability": 0,
+    },
+    "MPEG7 Hunter": {
+        "documentation_quality": 2, "external_knowledge": 2,
+        "code_clarity": 3, "functional_requirements": 0.75,
+        "knowledge_extraction": 3, "naming_conventions": 3,
+        "implementation_language": 3, "test_availability": 0,
+    },
+    "mpeg7-X": {
+        "documentation_quality": 2, "external_knowledge": 2,
+        "code_clarity": 3, "functional_requirements": 0.75,
+        "knowledge_extraction": 3, "naming_conventions": 3,
+        "implementation_language": 3, "test_availability": 0,
+    },
+    "SAPO": {
+        "documentation_quality": 2, "external_knowledge": 3,
+        "code_clarity": 3, "functional_requirements": 0.75,
+        "knowledge_extraction": 3, "naming_conventions": 3,
+        "implementation_language": 3, "test_availability": 0,
+    },
+    "DIG35": {
+        "documentation_quality": 3, "external_knowledge": 3,
+        "code_clarity": 3, "functional_requirements": 0.18,
+        "knowledge_extraction": 3, "naming_conventions": 3,
+        "implementation_language": 3, "test_availability": 0,
+    },
+    "CSO": {
+        "documentation_quality": 2, "external_knowledge": 3,
+        "code_clarity": 3, "functional_requirements": 0.18,
+        "knowledge_extraction": 3, "naming_conventions": 3,
+        "implementation_language": 3, "test_availability": 0,
+    },
+}
+
+
+def performance_matrix() -> Dict[str, Dict[str, object]]:
+    """Candidate -> attribute -> performance (MISSING for unknowns)."""
+    result: Dict[str, Dict[str, object]] = {}
+    for name in CANDIDATE_NAMES:
+        row = RAW_MATRIX[name]
+        if len(row) != len(_ATTRS):
+            raise ValueError(
+                f"{name!r}: expected {len(_ATTRS)} cells, got {len(row)}"
+            )
+        result[name] = {
+            attr: (MISSING if cell is None else cell)
+            for attr, cell in zip(_ATTRS, row)
+        }
+    return result
+
+
+def performance_table() -> PerformanceTable:
+    """The Fig. 2 performance table over the default criteria scales."""
+    matrix = performance_matrix()
+    alternatives = [
+        Alternative(name, matrix[name]) for name in CANDIDATE_NAMES
+    ]
+    return PerformanceTable(default_scales(), alternatives)
+
+
+def _check_value_t_consistency() -> None:
+    """The funct column must equal the CQ-window ValueT per candidate."""
+    index = _ATTRS.index("functional_requirements")
+    for name in CANDIDATE_NAMES:
+        cell = RAW_MATRIX[name][index]
+        expected = expected_value_t(name)
+        if cell is None or abs(float(cell) - expected) > 1e-9:
+            raise AssertionError(
+                f"{name!r}: matrix ValueT {cell!r} != CQ-window value "
+                f"{expected!r}"
+            )
+
+
+_check_value_t_consistency()

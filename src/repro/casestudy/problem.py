@@ -1,0 +1,32 @@
+"""Assembling the complete multimedia decision problem (§II-§III).
+
+One call builds the GMAA workspace the paper analyses: the Fig. 1
+hierarchy, the Fig. 2 performance table (23 candidates x 14 criteria),
+the Figs. 3-4 component utilities and the Fig. 5 weight system.
+"""
+
+from __future__ import annotations
+
+from ..core.problem import DecisionProblem
+from ..neon.criteria import build_hierarchy
+from .performances import performance_table
+from .preferences import paper_utilities, paper_weight_system
+
+__all__ = ["multimedia_problem"]
+
+
+def multimedia_problem(name: str = "Multimedia") -> DecisionProblem:
+    """The paper's case-study decision problem, ready to evaluate.
+
+    >>> from repro.core import evaluate
+    >>> evaluate(multimedia_problem()).best.name
+    'Media Ontology'
+    """
+    hierarchy = build_hierarchy()
+    return DecisionProblem(
+        hierarchy,
+        performance_table(),
+        paper_utilities(),
+        paper_weight_system(hierarchy),
+        name=name,
+    )

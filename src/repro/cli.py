@@ -1,0 +1,238 @@
+"""The ``repro`` command-line interface.
+
+Subcommands map onto the paper's workflow:
+
+* ``repro figure N`` — recompute paper figure N as text (1-10).
+* ``repro rank [--objective NAME]`` — the Fig. 6 / Fig. 7 rankings.
+* ``repro stability [--mode best|ranking]`` — Fig. 8.
+* ``repro screen`` — §V non-dominance / potential optimality.
+* ``repro simulate [--method M] [-n N] [--seed S]`` — §V Monte Carlo.
+* ``repro pipeline [--query Q] [--threshold T]`` — the NeOn reuse
+  pipeline over the synthetic multimedia corpus.
+* ``repro workspace save/load`` — GMAA-style JSON workspaces.
+
+All subcommands operate on the built-in multimedia case study unless
+``--workspace FILE`` points at a saved problem.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from .casestudy.cqs import m3_competency_questions
+from .casestudy.problem import multimedia_problem
+from .core.model import AdditiveModel, evaluate
+from .core.problem import DecisionProblem
+from .core.workspace import load as load_workspace
+from .core.workspace import save as save_workspace
+from .reporting import figures
+from .reporting.tables import render_table
+
+__all__ = ["main", "build_parser"]
+
+
+def _load_problem(path: Optional[str]) -> DecisionProblem:
+    if path is None:
+        return multimedia_problem()
+    return load_workspace(path)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'A MAUT Approach for Reusing Ontologies' "
+            "(GMAA-style imprecise additive MAUT + NeOn reuse pipeline)."
+        ),
+    )
+    parser.add_argument(
+        "--workspace",
+        metavar="FILE",
+        help="operate on a saved workspace instead of the built-in case study",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_figure = sub.add_parser("figure", help="recompute a paper figure")
+    p_figure.add_argument("number", type=int, choices=range(1, 11))
+
+    p_rank = sub.add_parser("rank", help="rank the alternatives")
+    p_rank.add_argument(
+        "--objective",
+        default=None,
+        help="rank by one objective node (default: overall)",
+    )
+
+    p_stab = sub.add_parser("stability", help="weight-stability intervals")
+    p_stab.add_argument("--mode", choices=("best", "ranking"), default="best")
+
+    sub.add_parser("screen", help="dominance / potential-optimality screening")
+
+    sub.add_parser(
+        "intervals",
+        help="attainable-rank intervals under partial information",
+    )
+
+    p_sim = sub.add_parser("simulate", help="Monte Carlo sensitivity analysis")
+    p_sim.add_argument(
+        "--method",
+        choices=("random", "rank_order", "intervals"),
+        default="intervals",
+    )
+    p_sim.add_argument("-n", "--simulations", type=int, default=10_000)
+    p_sim.add_argument("--seed", type=int, default=figures.MC_SEED)
+
+    p_pipe = sub.add_parser("pipeline", help="run the NeOn reuse pipeline")
+    p_pipe.add_argument("--query", default="multimedia ontology")
+    p_pipe.add_argument("--threshold", type=float, default=0.70)
+    p_pipe.add_argument(
+        "--screen", action="store_true", help="also run the §V screening"
+    )
+
+    p_save = sub.add_parser("workspace", help="save / inspect workspaces")
+    p_save.add_argument("action", choices=("save", "show"))
+    p_save.add_argument("path", nargs="?", help="target file for 'save'")
+
+    p_corpus = sub.add_parser(
+        "corpus", help="export the synthetic multimedia corpus to disk"
+    )
+    p_corpus.add_argument("directory", help="target directory")
+    p_corpus.add_argument(
+        "--format",
+        choices=(".ttl", ".nt", ".rdf", ".owl"),
+        default=".ttl",
+        dest="fmt",
+    )
+
+    return parser
+
+
+def _cmd_figure(problem: DecisionProblem, number: int) -> str:
+    renderer = getattr(figures, f"figure_{number}")
+    return renderer(problem)
+
+
+def _cmd_rank(problem: DecisionProblem, objective: Optional[str]) -> str:
+    evaluation = evaluate(problem, objective)
+    rows = [
+        [row.rank, row.name, row.minimum, row.average, row.maximum]
+        for row in evaluation
+    ]
+    return render_table(
+        ["rank", "alternative", "min", "avg", "max"],
+        rows,
+        align_left=[False, True, False, False, False],
+    )
+
+
+def _cmd_simulate(
+    problem: DecisionProblem, method: str, n: int, seed: int
+) -> str:
+    from .core.montecarlo import simulate
+
+    result = simulate(
+        problem,
+        method=method,
+        n_simulations=n,
+        seed=seed,
+        sample_utilities="missing",
+    )
+    header = (
+        f"method={method}  simulations={result.n_simulations}  seed={seed}\n"
+        f"ever ranked first: {', '.join(result.ever_best())}\n"
+    )
+    return header + "\n" + figures.figure_10(problem, result)
+
+
+def _cmd_pipeline(
+    problem_path: Optional[str], query: str, threshold: float, run_screening: bool
+) -> str:
+    from .casestudy.corpus import multimedia_registry
+    from .casestudy.preferences import paper_weight_system
+    from .neon.pipeline import ReusePipeline
+
+    registry = multimedia_registry()
+    pipeline = ReusePipeline(
+        registry,
+        m3_competency_questions(),
+        weights=paper_weight_system(),
+    )
+    report = pipeline.run(
+        query,
+        coverage_threshold=threshold,
+        run_screening=run_screening,
+        integrate_selection=False,
+    )
+    return report.summary()
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        if args.command == "pipeline":
+            print(_cmd_pipeline(args.workspace, args.query, args.threshold, args.screen))
+            return 0
+        if args.command == "corpus":
+            from .casestudy.corpus import multimedia_registry
+            from .ontology.io import dump_registry
+
+            manifest = dump_registry(
+                multimedia_registry(), args.directory, fmt=args.fmt
+            )
+            print(f"wrote 23 candidate ontologies and {manifest}")
+            return 0
+        problem = _load_problem(args.workspace)
+        if args.command == "figure":
+            print(_cmd_figure(problem, args.number))
+        elif args.command == "rank":
+            print(_cmd_rank(problem, args.objective))
+        elif args.command == "stability":
+            print(figures.figure_8(problem, mode=args.mode))
+        elif args.command == "screen":
+            print(figures.screening_summary(problem))
+        elif args.command == "intervals":
+            from .core.rankintervals import rank_intervals
+
+            model = AdditiveModel(problem)
+            evaluation = model.evaluate()
+            intervals = rank_intervals(model)
+            rows = [
+                [
+                    evaluation.rank_of(name),
+                    name,
+                    intervals[name].best,
+                    intervals[name].worst,
+                ]
+                for name in evaluation.names_by_rank
+            ]
+            print(
+                render_table(
+                    ["avg rank", "alternative", "best attainable", "worst attainable"],
+                    rows,
+                    align_left=[False, True, False, False],
+                )
+            )
+        elif args.command == "simulate":
+            print(_cmd_simulate(problem, args.method, args.simulations, args.seed))
+        elif args.command == "workspace":
+            if args.action == "save":
+                if not args.path:
+                    raise SystemExit("workspace save requires a target path")
+                save_workspace(problem, args.path)
+                print(f"saved workspace to {args.path}")
+            else:
+                print(
+                    f"problem: {problem.name}\n"
+                    f"alternatives: {len(problem.alternative_names)}\n"
+                    f"attributes: {len(problem.attribute_names)}\n"
+                    f"best by average utility: "
+                    f"{AdditiveModel(problem).evaluate().best.name}"
+                )
+        return 0
+    except BrokenPipeError:  # pragma: no cover - shell behaviour
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,258 @@
+"""Dominance and potential optimality with imprecise information (§V).
+
+The second sensitivity analysis GMAA offers is "the assessment of
+non-dominated and potentially optimal alternatives" — decision making
+with partial information in the sense of the paper's refs. [21]-[25].
+In the case study it discards only 3 of the 23 ontologies: "20 out of
+the 23 MM ontologies are non-dominated and potentially optimal".
+
+Formulation (following Mateos, Ríos-Insua & Jiménez [25]):
+
+* The feasible weights are ``W = { w : w_j in [low_j, up_j], sum w_j = 1 }``
+  — the elicited attribute-weight intervals intersected with the
+  simplex.
+* Component utilities are imprecise too; because every ``w_j >= 0``,
+  the extremes over the utility classes decouple per attribute, so
+
+    a dominates b   iff   min_{w in W} sum_j w_j (uLow_aj - uUp_bj) >= 0
+                          (and the two alternatives are not identical),
+
+  which is a linear program in ``w``.
+* ``a`` is *potentially optimal* among a set ``S`` iff
+
+    max t  s.t.  sum_j w_j (uUp_aj - uLow_bj) >= t  for all b in S, b != a,
+                 w in W
+
+  has optimum ``t >= 0`` — there is some admissible combination of
+  weights and utilities making ``a`` best.
+
+Both LPs run through scipy's HiGGS solver by default, or the pure-
+Python :mod:`repro.core.simplex` fallback (``solver="simplex"``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from .model import AdditiveModel
+from .simplex import linprog_simplex
+
+__all__ = [
+    "DominanceResult",
+    "dominance_matrix",
+    "dominates",
+    "non_dominated",
+    "potentially_optimal",
+    "screen",
+]
+
+_FEAS_TOL = 1e-9
+
+
+def _solve_lp(
+    c: np.ndarray,
+    a_ub: Optional[np.ndarray],
+    b_ub: Optional[np.ndarray],
+    a_eq: np.ndarray,
+    b_eq: np.ndarray,
+    bounds: Sequence[Tuple[float, float]],
+    solver: str,
+):
+    if solver == "scipy":
+        from scipy.optimize import linprog
+
+        return linprog(
+            c,
+            A_ub=a_ub,
+            b_ub=b_ub,
+            A_eq=a_eq,
+            b_eq=b_eq,
+            bounds=bounds,
+            method="highs",
+        )
+    if solver == "simplex":
+        return linprog_simplex(
+            c, a_ub=a_ub, b_ub=b_ub, a_eq=a_eq, b_eq=b_eq, bounds=bounds
+        )
+    raise ValueError(f"unknown solver {solver!r}; use 'scipy' or 'simplex'")
+
+
+def _weight_polytope(model: AdditiveModel) -> Tuple[np.ndarray, np.ndarray, List[Tuple[float, float]]]:
+    """(A_eq, b_eq, bounds) of ``W``: box intersect simplex."""
+    n = model.n_attributes
+    a_eq = np.ones((1, n))
+    b_eq = np.array([1.0])
+    bounds = [
+        (float(model.w_low[j]), float(model.w_up[j])) for j in range(n)
+    ]
+    low_sum = float(model.w_low.sum())
+    up_sum = float(model.w_up.sum())
+    if low_sum > 1.0 + 1e-7 or up_sum < 1.0 - 1e-7:
+        raise ValueError(
+            "weight intervals do not intersect the simplex: "
+            f"sum of lowers {low_sum:.4f}, sum of uppers {up_sum:.4f}"
+        )
+    return a_eq, b_eq, bounds
+
+
+def dominates(
+    model: AdditiveModel, a: str, b: str, solver: str = "scipy"
+) -> bool:
+    """Does alternative ``a`` dominate ``b`` over the imprecise model?
+
+    True iff the worst-case utility difference (utilities of ``a`` at
+    their lower envelopes, ``b`` at its upper envelopes, weights chosen
+    adversarially in ``W``) is still non-negative — and the adversarial
+    *best* case is strictly positive, so identical alternatives do not
+    dominate each other.
+    """
+    names = model.alternative_names
+    ia, ib = names.index(a), names.index(b)
+    diff = model.u_low[ia] - model.u_up[ib]
+    a_eq, b_eq, bounds = _weight_polytope(model)
+    worst = _solve_lp(diff, None, None, a_eq, b_eq, bounds, solver)
+    if not worst.success:
+        raise RuntimeError(
+            f"dominance LP failed for ({a!r}, {b!r}): {worst.message}"
+        )
+    if worst.fun < -_FEAS_TOL:
+        return False
+    # Strictness check: u(a) must be able to exceed u(b) somewhere.
+    best_diff = model.u_up[ia] - model.u_low[ib]
+    best = _solve_lp(-best_diff, None, None, a_eq, b_eq, bounds, solver)
+    if not best.success:
+        raise RuntimeError(
+            f"dominance LP failed for ({a!r}, {b!r}): {best.message}"
+        )
+    return -best.fun > _FEAS_TOL
+
+
+def dominance_matrix(model: AdditiveModel, solver: str = "scipy") -> np.ndarray:
+    """Boolean matrix D with ``D[i, j]`` iff alternative i dominates j.
+
+    The worst-case LP is skipped whenever a cheap bound already decides
+    the pair: if ``min_j diff_j >= 0`` the dominance holds for every
+    weight vector; if ``max_j diff_j < 0`` it fails for every one.
+    """
+    n = model.n_alternatives
+    names = model.alternative_names
+    result = np.zeros((n, n), dtype=bool)
+    a_eq, b_eq, bounds = _weight_polytope(model)
+    for i in range(n):
+        for j in range(n):
+            if i == j:
+                continue
+            diff = model.u_low[i] - model.u_up[j]
+            if diff.max() < -_FEAS_TOL:
+                continue
+            if diff.min() >= -_FEAS_TOL:
+                worst_fun = None  # dominates under every weight vector
+            else:
+                res = _solve_lp(diff, None, None, a_eq, b_eq, bounds, solver)
+                if not res.success:
+                    raise RuntimeError(
+                        f"dominance LP failed for ({names[i]!r}, {names[j]!r})"
+                    )
+                if res.fun < -_FEAS_TOL:
+                    continue
+                worst_fun = res.fun
+            best_diff = model.u_up[i] - model.u_low[j]
+            if best_diff.max() <= _FEAS_TOL:
+                strict = False
+                if best_diff.max() > -_FEAS_TOL:
+                    res = _solve_lp(
+                        -best_diff, None, None, a_eq, b_eq, bounds, solver
+                    )
+                    strict = res.success and -res.fun > _FEAS_TOL
+            else:
+                # Some component is strictly positive; whether the LP can
+                # realise it depends on the weights, so solve it.
+                res = _solve_lp(-best_diff, None, None, a_eq, b_eq, bounds, solver)
+                strict = res.success and -res.fun > _FEAS_TOL
+            result[i, j] = strict
+    return result
+
+
+def non_dominated(model: AdditiveModel, solver: str = "scipy") -> Tuple[str, ...]:
+    """Alternatives not dominated by any other alternative."""
+    matrix = dominance_matrix(model, solver)
+    names = model.alternative_names
+    dominated = matrix.any(axis=0)
+    return tuple(name for i, name in enumerate(names) if not dominated[i])
+
+
+def potentially_optimal(
+    model: AdditiveModel,
+    among: Optional[Sequence[str]] = None,
+    solver: str = "scipy",
+) -> Tuple[str, ...]:
+    """Alternatives that are best for some admissible parameters.
+
+    ``among`` restricts the comparison set; GMAA "computes the
+    potentially optimal alternatives among the non-dominated
+    alternatives", so :func:`screen` passes the non-dominated set here.
+    """
+    names = list(model.alternative_names)
+    candidates = list(among) if among is not None else list(names)
+    unknown = [c for c in candidates if c not in names]
+    if unknown:
+        raise KeyError(f"unknown alternatives: {unknown}")
+    a_eq, b_eq, bounds = _weight_polytope(model)
+    n = model.n_attributes
+    winners: List[str] = []
+    for a in candidates:
+        ia = names.index(a)
+        rivals = [names.index(b) for b in candidates if b != a]
+        if not rivals:
+            winners.append(a)
+            continue
+        # Variables: (w_1..w_n, t); maximise t.
+        c = np.zeros(n + 1)
+        c[-1] = -1.0
+        a_ub = np.zeros((len(rivals), n + 1))
+        for row, ib in enumerate(rivals):
+            # t - sum_j w_j (uUp_aj - uLow_bj) <= 0
+            a_ub[row, :n] = -(model.u_up[ia] - model.u_low[ib])
+            a_ub[row, -1] = 1.0
+        b_ub = np.zeros(len(rivals))
+        eq = np.zeros((1, n + 1))
+        eq[0, :n] = 1.0
+        lp_bounds = list(bounds) + [(-10.0, 10.0)]
+        res = _solve_lp(c, a_ub, b_ub, eq, b_eq, lp_bounds, solver)
+        if not res.success:
+            raise RuntimeError(f"potential-optimality LP failed for {a!r}")
+        t_star = -res.fun
+        if t_star >= -_FEAS_TOL:
+            winners.append(a)
+    return tuple(winners)
+
+
+@dataclass(frozen=True)
+class DominanceResult:
+    """Outcome of the §V screening sensitivity analysis."""
+
+    non_dominated: Tuple[str, ...]
+    potentially_optimal: Tuple[str, ...]
+    discarded: Tuple[str, ...]
+
+    @property
+    def survivors(self) -> Tuple[str, ...]:
+        return self.potentially_optimal
+
+
+def screen(model: AdditiveModel, solver: str = "scipy") -> DominanceResult:
+    """Run the full §V screening: non-dominance then potential optimality.
+
+    Returns the surviving set and the discarded alternatives — in the
+    paper, three ontologies are discarded and "a further analysis is
+    still required to make a final selection".
+    """
+    nd = non_dominated(model, solver)
+    po = potentially_optimal(model, among=nd, solver=solver)
+    discarded = tuple(
+        name for name in model.alternative_names if name not in po
+    )
+    return DominanceResult(nd, po, discarded)

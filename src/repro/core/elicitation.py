@@ -1,0 +1,238 @@
+"""Preference elicitation sessions (§III's question protocols).
+
+GMAA "is intended to allay the operational difficulties involved in
+the Decision Analysis methodology": the decision maker answers standard
+elicitation questions — and may answer **with intervals**, "which is
+less demanding for a single DM and also makes the system suitable for
+group decision support".  This module provides the two protocols the
+paper uses, as plain objects that record answers and build the
+corresponding imprecise artefacts:
+
+* :class:`UtilityElicitation` — the probability-equivalence method for
+  a continuous attribute: for each intermediate amount ``x`` the DM
+  states the probability band ``[p_low, p_up]`` at which a lottery
+  between the best and worst amounts is indifferent to receiving ``x``
+  for sure; ``u(x) = p``, so interval answers produce the lower/upper
+  envelopes of a class of utility functions (Fig. 3's curve editor).
+* :class:`WeightElicitation` — the trade-off method along one sibling
+  group of the hierarchy (Fig. 5): each sibling is compared against a
+  reference sibling with a ratio band ("between 1.5 and 2 times as
+  important"); normalising the bands yields the local weight intervals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from .hierarchy import Hierarchy
+from .interval import Interval
+from .scales import ContinuousScale
+from .utility import PiecewiseLinearUtility
+from .weights import WeightSystem
+
+__all__ = ["UtilityElicitation", "WeightElicitation"]
+
+
+class UtilityElicitation:
+    """Probability-equivalence elicitation over a continuous scale.
+
+    >>> scale = ContinuousScale("cost", 0.0, 100.0, ascending=False)
+    >>> session = UtilityElicitation(scale)
+    >>> session.answer(40.0, 0.55, 0.70)   # u(40) somewhere in [.55, .70]
+    >>> fn = session.build()
+    >>> fn.utility(40.0)
+    Interval(0.55, 0.7)
+    """
+
+    def __init__(self, scale: ContinuousScale) -> None:
+        self.scale = scale
+        self._answers: Dict[float, Interval] = {}
+
+    @property
+    def answers(self) -> Dict[float, Interval]:
+        return dict(self._answers)
+
+    def answer(self, amount: float, p_low: float, p_up: Optional[float] = None) -> None:
+        """Record one probability-equivalence answer.
+
+        ``p_low == p_up`` (or ``p_up`` omitted) is a precise answer.
+        The amount must be strictly inside the scale range — the
+        endpoints are anchored at utilities 0 and 1 by convention.
+        """
+        if p_up is None:
+            p_up = p_low
+        if not 0.0 <= p_low <= p_up <= 1.0:
+            raise ValueError(
+                f"probability band [{p_low}, {p_up}] must sit inside [0, 1]"
+            )
+        amount = float(amount)
+        if not self.scale.minimum < amount < self.scale.maximum:
+            raise ValueError(
+                f"elicit interior amounts only; {amount} is outside "
+                f"({self.scale.minimum}, {self.scale.maximum})"
+            )
+        self._answers[amount] = Interval(p_low, p_up)
+
+    def retract(self, amount: float) -> None:
+        """Remove a recorded answer (the DM changed their mind)."""
+        try:
+            del self._answers[float(amount)]
+        except KeyError:
+            raise KeyError(f"no answer recorded for amount {amount!r}") from None
+
+    def inconsistencies(self) -> List[Tuple[float, float]]:
+        """Pairs of amounts whose answers violate monotonicity.
+
+        For an ascending scale a larger amount must not have a strictly
+        lower utility band (and symmetrically for descending scales).
+        Returns the offending ``(amount_a, amount_b)`` pairs, empty when
+        the session is consistent.
+        """
+        items = sorted(self._answers.items())
+        bad: List[Tuple[float, float]] = []
+        for (x_a, u_a), (x_b, u_b) in zip(items, items[1:]):
+            if self.scale.ascending:
+                if u_b.upper < u_a.lower - 1e-12:
+                    bad.append((x_a, x_b))
+            else:
+                if u_b.lower > u_a.upper + 1e-12:
+                    bad.append((x_a, x_b))
+        return bad
+
+    def build(self) -> PiecewiseLinearUtility:
+        """The class of utility functions the answers determine.
+
+        Envelopes pass through every answered knot; the endpoints take
+        utilities 0 and 1 according to the scale's direction.  Raises
+        if the answers are inconsistent (``inconsistencies()`` names
+        the offending pairs).
+        """
+        bad = self.inconsistencies()
+        if bad:
+            raise ValueError(
+                f"elicited answers violate monotonicity at {bad}; "
+                "retract or revise them first"
+            )
+        if self.scale.ascending:
+            first, last = Interval.point(0.0), Interval.point(1.0)
+        else:
+            first, last = Interval.point(1.0), Interval.point(0.0)
+        bands = [first] + [iv for _, iv in sorted(self._answers.items())] + [last]
+        xs = (
+            [self.scale.minimum]
+            + [x for x, _ in sorted(self._answers.items())]
+            + [self.scale.maximum]
+        )
+        # Tighten overlapping adjacent bands into monotone envelopes so
+        # the class contains only direction-consistent utility curves.
+        if not self.scale.ascending:
+            bands = bands[::-1]
+        lowers = []
+        running = 0.0
+        for band in bands:
+            running = max(running, band.lower)
+            lowers.append(running)
+        uppers_rev = []
+        running = 1.0
+        for band in reversed(bands):
+            running = min(running, band.upper)
+            uppers_rev.append(running)
+        uppers = uppers_rev[::-1]
+        tightened = [
+            Interval(lo, max(lo, up)) for lo, up in zip(lowers, uppers)
+        ]
+        if not self.scale.ascending:
+            tightened = tightened[::-1]
+        return PiecewiseLinearUtility(self.scale, tuple(zip(xs, tightened)))
+
+
+class WeightElicitation:
+    """Trade-off weight elicitation for one sibling group.
+
+    The DM names a reference sibling and answers, for every other
+    sibling, "how many times as important is it as the reference?"
+    with a ratio band.  :meth:`local_intervals` normalises the answers
+    into the local weight intervals of
+    :class:`~repro.core.weights.WeightSystem`.
+
+    >>> session = WeightElicitation(["cost", "quality"], reference="cost")
+    >>> session.compare("quality", 1.0, 2.0)
+    >>> session.local_intervals()["quality"].midpoint  # doctest: +ELLIPSIS
+    0.6
+    """
+
+    def __init__(self, siblings: Sequence[str], reference: str) -> None:
+        names = list(siblings)
+        if len(names) < 2:
+            raise ValueError("trade-offs need at least two siblings")
+        if len(set(names)) != len(names):
+            raise ValueError("duplicate sibling names")
+        if reference not in names:
+            raise ValueError(f"reference {reference!r} is not a sibling")
+        self.siblings: Tuple[str, ...] = tuple(names)
+        self.reference = reference
+        self._ratios: Dict[str, Interval] = {reference: Interval.point(1.0)}
+
+    def compare(self, sibling: str, low: float, up: Optional[float] = None) -> None:
+        """Record "``sibling`` is between ``low`` and ``up`` times as
+        important as the reference"."""
+        if up is None:
+            up = low
+        if sibling not in self.siblings:
+            raise KeyError(f"{sibling!r} is not a sibling of this group")
+        if sibling == self.reference:
+            raise ValueError("the reference compares to itself at exactly 1")
+        if low < 0 or low > up:
+            raise ValueError(f"ratio band [{low}, {up}] is invalid")
+        self._ratios[sibling] = Interval(float(low), float(up))
+
+    @property
+    def pending(self) -> Tuple[str, ...]:
+        """Siblings still awaiting an answer."""
+        return tuple(s for s in self.siblings if s not in self._ratios)
+
+    def local_intervals(self) -> Dict[str, Interval]:
+        """Normalised local weight intervals (box straddling the simplex)."""
+        if self.pending:
+            raise ValueError(
+                f"unanswered comparisons for: {', '.join(self.pending)}"
+            )
+        total_mid = sum(self._ratios[s].midpoint for s in self.siblings)
+        if total_mid <= 0:
+            raise ValueError("all ratios are zero")
+        return {
+            s: self._ratios[s].scale(1.0 / total_mid) for s in self.siblings
+        }
+
+
+def elicit_weight_system(
+    hierarchy: Hierarchy,
+    sessions: Mapping[str, WeightElicitation],
+) -> WeightSystem:
+    """Combine per-group trade-off sessions into a weight system.
+
+    ``sessions`` maps each non-leaf node name to the elicitation of its
+    children.  Every internal node must have a session.
+    """
+    local: Dict[str, Interval] = {}
+    for parent in hierarchy.nodes():
+        if parent.is_leaf:
+            continue
+        try:
+            session = sessions[parent.name]
+        except KeyError:
+            raise ValueError(
+                f"no trade-off session for the children of {parent.name!r}"
+            ) from None
+        expected = tuple(c.name for c in parent.children)
+        if set(session.siblings) != set(expected):
+            raise ValueError(
+                f"session for {parent.name!r} covers {session.siblings}, "
+                f"expected {expected}"
+            )
+        local.update(session.local_intervals())
+    return WeightSystem(hierarchy, local)
+
+
+__all__.append("elicit_weight_system")

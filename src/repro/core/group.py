@@ -1,0 +1,198 @@
+"""Group decision support over imprecise inputs.
+
+The paper argues that admitting imprecision "makes the system suitable
+for group decision support", citing its ref. [17] (Jiménez, Mateos &
+Ríos-Insua 2005): "individual conflicting views in a group of DMs can
+be captured through imprecise answers".  The mechanics: every member
+answers the elicitation questions with intervals; the group inputs are
+interval *combinations* of the members' — the intersection when the
+views are compatible (consensus), the hull when they must all be
+covered (tolerant aggregation).
+
+This module aggregates member :class:`~repro.core.weights.WeightSystem`
+objects node-by-node, measures disagreement, and compares per-member
+rankings (Borda aggregation) against the group ranking.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from .hierarchy import Hierarchy
+from .interval import Interval
+from .model import evaluate
+from .problem import DecisionProblem
+from .weights import WeightSystem
+
+__all__ = [
+    "GroupMember",
+    "aggregate_weights",
+    "disagreement",
+    "borda_ranking",
+    "GroupDecision",
+]
+
+
+@dataclass(frozen=True)
+class GroupMember:
+    """One decision maker's name and elicited weight system."""
+
+    name: str
+    weights: WeightSystem
+
+
+def _common_hierarchy(members: Sequence[GroupMember]) -> Hierarchy:
+    if not members:
+        raise ValueError("a group needs at least one member")
+    first = members[0].weights.hierarchy
+    first_names = {n.name for n in first.nodes()}
+    for member in members[1:]:
+        names = {n.name for n in member.weights.hierarchy.nodes()}
+        if names != first_names:
+            raise ValueError(
+                f"member {member.name!r} uses a different hierarchy "
+                "(objective names do not match)"
+            )
+    return first
+
+
+def aggregate_weights(
+    members: Sequence[GroupMember], method: str = "intersection"
+) -> WeightSystem:
+    """Combine member weight systems into one group system.
+
+    ``method="intersection"`` keeps only weights every member accepts;
+    when some node's intervals are disjoint the members genuinely
+    disagree and a ``ValueError`` names the node.  ``method="hull"``
+    covers every member's interval (always feasible).
+    """
+    if method not in ("intersection", "hull"):
+        raise ValueError(f"method must be 'intersection' or 'hull', got {method!r}")
+    hierarchy = _common_hierarchy(members)
+    root = hierarchy.root.name
+    local: Dict[str, Interval] = {}
+    for node in hierarchy.nodes():
+        if node.name == root:
+            continue
+        intervals = [m.weights.local_interval(node.name) for m in members]
+        if method == "hull":
+            combined = intervals[0]
+            for iv in intervals[1:]:
+                combined = combined.hull(iv)
+        else:
+            maybe: Optional[Interval] = intervals[0]
+            for iv in intervals[1:]:
+                if maybe is None:
+                    break
+                maybe = maybe.intersection(iv)
+            if maybe is None:
+                raise ValueError(
+                    f"members disagree irreconcilably on objective "
+                    f"{node.name!r}: weight intervals are disjoint"
+                )
+            combined = maybe
+        local[node.name] = combined
+    return WeightSystem.from_raw_intervals(hierarchy, local)
+
+
+def disagreement(members: Sequence[GroupMember]) -> Dict[str, float]:
+    """Per-objective disagreement in ``[0, 1]``.
+
+    For each non-root node, disagreement is ``1 - |intersection| /
+    |hull|`` over the members' local intervals (widths measured on the
+    interval line; a disjoint pair scores 1).  0 means every member
+    gave the same interval.
+    """
+    hierarchy = _common_hierarchy(members)
+    root = hierarchy.root.name
+    result: Dict[str, float] = {}
+    for node in hierarchy.nodes():
+        if node.name == root:
+            continue
+        intervals = [m.weights.local_interval(node.name) for m in members]
+        hull_iv = intervals[0]
+        inter: Optional[Interval] = intervals[0]
+        for iv in intervals[1:]:
+            hull_iv = hull_iv.hull(iv)
+            inter = inter.intersection(iv) if inter is not None else None
+        if hull_iv.width <= 1e-12:
+            result[node.name] = 0.0
+        elif inter is None:
+            result[node.name] = 1.0
+        else:
+            result[node.name] = 1.0 - inter.width / hull_iv.width
+    return result
+
+
+def borda_ranking(rankings: Sequence[Sequence[str]]) -> Tuple[str, ...]:
+    """Aggregate member rankings by Borda count (ties by name).
+
+    Every ranking must order the same alternatives.  An alternative at
+    rank ``r`` among ``n`` scores ``n - r`` points; the aggregate sorts
+    by total points descending.
+    """
+    if not rankings:
+        raise ValueError("need at least one ranking")
+    universe = set(rankings[0])
+    for ranking in rankings[1:]:
+        if set(ranking) != universe:
+            raise ValueError("rankings order different alternative sets")
+    n = len(universe)
+    points: Dict[str, int] = {name: 0 for name in universe}
+    for ranking in rankings:
+        for position, name in enumerate(ranking, start=1):
+            points[name] += n - position
+    return tuple(sorted(points, key=lambda name: (-points[name], name)))
+
+
+class GroupDecision:
+    """A shared decision problem evaluated by several decision makers.
+
+    Every member shares the problem *structure* (hierarchy, performance
+    table, component utilities) but holds their own weight system —
+    which is how the GMAA group workflow operates (ref. [17]).
+    """
+
+    def __init__(
+        self, problem: DecisionProblem, members: Sequence[GroupMember]
+    ) -> None:
+        if not members:
+            raise ValueError("a group needs at least one member")
+        names = [m.name for m in members]
+        if len(set(names)) != len(names):
+            raise ValueError("duplicate member names")
+        hierarchy_names = {n.name for n in problem.hierarchy.nodes()}
+        for member in members:
+            member_names = {n.name for n in member.weights.hierarchy.nodes()}
+            if member_names != hierarchy_names:
+                raise ValueError(
+                    f"member {member.name!r} weights do not match the "
+                    "problem hierarchy"
+                )
+        self.problem = problem
+        self.members: Tuple[GroupMember, ...] = tuple(members)
+
+    # ------------------------------------------------------------------
+    def member_ranking(self, name: str) -> Tuple[str, ...]:
+        for member in self.members:
+            if member.name == name:
+                evaluation = evaluate(self.problem.with_weights(member.weights))
+                return evaluation.names_by_rank
+        raise KeyError(f"no group member named {name!r}")
+
+    def member_rankings(self) -> Dict[str, Tuple[str, ...]]:
+        return {m.name: self.member_ranking(m.name) for m in self.members}
+
+    def group_problem(self, method: str = "intersection") -> DecisionProblem:
+        group_weights = aggregate_weights(self.members, method)
+        return self.problem.with_weights(group_weights)
+
+    def group_ranking(self, method: str = "intersection") -> Tuple[str, ...]:
+        return evaluate(self.group_problem(method)).names_by_rank
+
+    def borda(self) -> Tuple[str, ...]:
+        return borda_ranking(list(self.member_rankings().values()))
+
+    def disagreement(self) -> Dict[str, float]:
+        return disagreement(self.members)

@@ -1,0 +1,186 @@
+"""The objective hierarchy (§II, Fig. 1).
+
+The DA cycle starts by building "an objective hierarchy, including all
+the relevant problem-related aspects", with attributes established for
+the lowest-level objectives.  The paper's hierarchy has an overall
+objective, four mid-level objectives (Reuse Cost, Understandability,
+Integration, Reliability) and 14 leaves, each carrying an attribute.
+
+The tree here is deliberately simple: named nodes, each either an
+internal *objective* (children, no attribute) or a *leaf* (attribute
+name).  Weight information lives outside the tree (in
+:mod:`repro.core.weights`) so the same hierarchy can be evaluated under
+many preference models — which is exactly what the sensitivity analyses
+do.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
+
+__all__ = ["ObjectiveNode", "Hierarchy"]
+
+
+@dataclass
+class ObjectiveNode:
+    """A node of the objective hierarchy.
+
+    Leaves reference the attribute measuring them via ``attribute``;
+    internal nodes have ``children``.  A node cannot have both.
+    """
+
+    name: str
+    children: List["ObjectiveNode"] = field(default_factory=list)
+    attribute: Optional[str] = None
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if self.children and self.attribute is not None:
+            raise ValueError(
+                f"objective {self.name!r} cannot both have children and an "
+                "attribute"
+            )
+
+    @property
+    def is_leaf(self) -> bool:
+        return not self.children
+
+    def iter_nodes(self) -> Iterator["ObjectiveNode"]:
+        """Pre-order traversal of the subtree rooted here."""
+        yield self
+        for child in self.children:
+            yield from child.iter_nodes()
+
+    def iter_leaves(self) -> Iterator["ObjectiveNode"]:
+        for node in self.iter_nodes():
+            if node.is_leaf:
+                yield node
+
+
+class Hierarchy:
+    """A validated objective hierarchy with name-based lookup.
+
+    Validation enforces the invariants the additive model relies on:
+    unique node names, every leaf carries an attribute, attribute names
+    unique across leaves.
+    """
+
+    def __init__(self, root: ObjectiveNode) -> None:
+        self._root = root
+        self._nodes: Dict[str, ObjectiveNode] = {}
+        self._parents: Dict[str, Optional[str]] = {root.name: None}
+        self._validate()
+
+    def _validate(self) -> None:
+        attributes_seen: Dict[str, str] = {}
+        for node in self._root.iter_nodes():
+            if node.name in self._nodes:
+                raise ValueError(f"duplicate objective name {node.name!r}")
+            self._nodes[node.name] = node
+            for child in node.children:
+                self._parents[child.name] = node.name
+            if node.is_leaf:
+                if node.attribute is None:
+                    raise ValueError(
+                        f"leaf objective {node.name!r} has no attribute; every "
+                        "lowest-level objective must be measured by one"
+                    )
+                if node.attribute in attributes_seen:
+                    raise ValueError(
+                        f"attribute {node.attribute!r} is used by both "
+                        f"{attributes_seen[node.attribute]!r} and {node.name!r}"
+                    )
+                attributes_seen[node.attribute] = node.name
+
+    # ------------------------------------------------------------------
+    @property
+    def root(self) -> ObjectiveNode:
+        return self._root
+
+    def node(self, name: str) -> ObjectiveNode:
+        try:
+            return self._nodes[name]
+        except KeyError:
+            raise KeyError(f"no objective named {name!r}") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._nodes
+
+    def parent_of(self, name: str) -> Optional[ObjectiveNode]:
+        self.node(name)  # raise on unknown
+        parent = self._parents[name]
+        return None if parent is None else self._nodes[parent]
+
+    def path_to(self, name: str) -> Tuple[ObjectiveNode, ...]:
+        """Nodes from the root down to (and including) ``name``."""
+        chain: List[ObjectiveNode] = []
+        cursor: Optional[str] = name
+        while cursor is not None:
+            node = self.node(cursor)
+            chain.append(node)
+            parent = self._parents[cursor]
+            cursor = parent
+        return tuple(reversed(chain))
+
+    def depth_of(self, name: str) -> int:
+        """Root has depth 0."""
+        return len(self.path_to(name)) - 1
+
+    # ------------------------------------------------------------------
+    def nodes(self) -> Tuple[ObjectiveNode, ...]:
+        return tuple(self._root.iter_nodes())
+
+    def leaves(self) -> Tuple[ObjectiveNode, ...]:
+        return tuple(self._root.iter_leaves())
+
+    def leaves_under(self, name: str) -> Tuple[ObjectiveNode, ...]:
+        """Leaves of the subtree rooted at ``name``.
+
+        Fig. 7 ranks the ontologies *for Understandability*: "only the
+        documentation quality, availability of external knowledge and
+        code clarity attributes are evaluated" — i.e. the leaves under
+        that node.
+        """
+        return tuple(self.node(name).iter_leaves())
+
+    @property
+    def attribute_names(self) -> Tuple[str, ...]:
+        return tuple(leaf.attribute for leaf in self._root.iter_leaves())
+
+    def attributes_under(self, name: str) -> Tuple[str, ...]:
+        return tuple(leaf.attribute for leaf in self.leaves_under(name))
+
+    def leaf_for_attribute(self, attribute: str) -> ObjectiveNode:
+        for leaf in self._root.iter_leaves():
+            if leaf.attribute == attribute:
+                return leaf
+        raise KeyError(f"no leaf measures attribute {attribute!r}")
+
+    def subtree(self, name: str) -> "Hierarchy":
+        """A new hierarchy rooted at ``name`` (shares node objects)."""
+        return Hierarchy(self.node(name))
+
+    # ------------------------------------------------------------------
+    def render(self, annotate: Callable[[ObjectiveNode], str] = lambda n: "") -> str:
+        """ASCII rendering of the tree (Fig. 1 style).
+
+        ``annotate`` may append per-node text, e.g. weight intervals.
+        """
+        lines: List[str] = []
+
+        def walk(node: ObjectiveNode, prefix: str, is_last: bool, is_root: bool) -> None:
+            note = annotate(node)
+            suffix = f"  {note}" if note else ""
+            if is_root:
+                lines.append(f"{node.name}{suffix}")
+                child_prefix = ""
+            else:
+                connector = "`-- " if is_last else "|-- "
+                lines.append(f"{prefix}{connector}{node.name}{suffix}")
+                child_prefix = prefix + ("    " if is_last else "|   ")
+            for i, child in enumerate(node.children):
+                walk(child, child_prefix, i == len(node.children) - 1, False)
+
+        walk(self._root, "", True, True)
+        return "\n".join(lines)

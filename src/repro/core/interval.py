@@ -1,0 +1,222 @@
+"""Closed real intervals — the basic carrier of imprecision in GMAA.
+
+Every imprecise quantity in the paper is a closed interval: weight
+intervals elicited by trade-offs (Fig. 5), per-level component-utility
+intervals (Fig. 4), the ``[0, 1]`` utility assigned to missing
+performances, overall-utility bands (Fig. 6) and weight-stability
+intervals (Fig. 8).  This module provides the single :class:`Interval`
+type they all share, with the arithmetic the additive model needs.
+
+The type is immutable and hashable so intervals can be dict keys and
+members of frozen dataclasses.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+__all__ = ["Interval", "hull", "intersect_all"]
+
+#: Tolerance used by :meth:`Interval.almost_equal` and the containment
+#: helpers.  GMAA reports utilities to four decimal places, so 1e-9 is
+#: far below anything observable in the reproduced figures.
+DEFAULT_TOL = 1e-9
+
+
+@dataclass(frozen=True, order=False)
+class Interval:
+    """A closed interval ``[lower, upper]`` on the real line.
+
+    Degenerate intervals (``lower == upper``) represent precise values;
+    :meth:`Interval.point` builds them directly.  Ordering operators
+    implement the *strong* (interval-dominance) order: ``a < b`` iff
+    every value of ``a`` is below every value of ``b``.
+    """
+
+    lower: float
+    upper: float
+
+    def __post_init__(self) -> None:
+        if math.isnan(self.lower) or math.isnan(self.upper):
+            raise ValueError("interval bounds must not be NaN")
+        if self.lower > self.upper:
+            raise ValueError(
+                f"lower bound {self.lower!r} exceeds upper bound {self.upper!r}"
+            )
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @staticmethod
+    def point(value: float) -> "Interval":
+        """A degenerate interval representing a precise value."""
+        return Interval(value, value)
+
+    @staticmethod
+    def unit() -> "Interval":
+        """The interval ``[0, 1]`` — the utility of a missing performance."""
+        return Interval(0.0, 1.0)
+
+    @staticmethod
+    def from_bounds(values: Iterable[float]) -> "Interval":
+        """The tightest interval covering all ``values``."""
+        vals = list(values)
+        if not vals:
+            raise ValueError("cannot build an interval from no values")
+        return Interval(min(vals), max(vals))
+
+    # ------------------------------------------------------------------
+    # Basic queries
+    # ------------------------------------------------------------------
+    @property
+    def midpoint(self) -> float:
+        """The centre of the interval (GMAA's *average* reading)."""
+        return (self.lower + self.upper) / 2.0
+
+    @property
+    def width(self) -> float:
+        return self.upper - self.lower
+
+    @property
+    def is_point(self) -> bool:
+        return self.lower == self.upper
+
+    def contains(self, value: float, tol: float = DEFAULT_TOL) -> bool:
+        return self.lower - tol <= value <= self.upper + tol
+
+    def contains_interval(self, other: "Interval", tol: float = DEFAULT_TOL) -> bool:
+        return self.lower - tol <= other.lower and other.upper <= self.upper + tol
+
+    def overlaps(self, other: "Interval", tol: float = DEFAULT_TOL) -> bool:
+        """True when the two intervals share at least one point."""
+        return self.lower <= other.upper + tol and other.lower <= self.upper + tol
+
+    def clamp(self, value: float) -> float:
+        """The point of the interval closest to ``value``."""
+        return min(max(value, self.lower), self.upper)
+
+    def almost_equal(self, other: "Interval", tol: float = DEFAULT_TOL) -> bool:
+        return (
+            abs(self.lower - other.lower) <= tol
+            and abs(self.upper - other.upper) <= tol
+        )
+
+    # ------------------------------------------------------------------
+    # Arithmetic (standard interval arithmetic)
+    # ------------------------------------------------------------------
+    def _coerce(self, other: "Interval | float | int") -> "Interval":
+        if isinstance(other, Interval):
+            return other
+        if isinstance(other, (int, float)):
+            return Interval.point(float(other))
+        raise TypeError(f"cannot combine Interval with {type(other).__name__}")
+
+    def __add__(self, other: "Interval | float | int") -> "Interval":
+        o = self._coerce(other)
+        return Interval(self.lower + o.lower, self.upper + o.upper)
+
+    __radd__ = __add__
+
+    def __sub__(self, other: "Interval | float | int") -> "Interval":
+        o = self._coerce(other)
+        return Interval(self.lower - o.upper, self.upper - o.lower)
+
+    def __rsub__(self, other: "Interval | float | int") -> "Interval":
+        return self._coerce(other).__sub__(self)
+
+    def __mul__(self, other: "Interval | float | int") -> "Interval":
+        o = self._coerce(other)
+        products = (
+            self.lower * o.lower,
+            self.lower * o.upper,
+            self.upper * o.lower,
+            self.upper * o.upper,
+        )
+        return Interval(min(products), max(products))
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other: "Interval | float | int") -> "Interval":
+        o = self._coerce(other)
+        if o.contains(0.0, tol=0.0):
+            raise ZeroDivisionError("interval division by an interval containing 0")
+        return self * Interval(1.0 / o.upper, 1.0 / o.lower)
+
+    def __neg__(self) -> "Interval":
+        return Interval(-self.upper, -self.lower)
+
+    def scale(self, factor: float) -> "Interval":
+        """Multiply both bounds by a scalar (may be negative)."""
+        return self * factor
+
+    def shift(self, offset: float) -> "Interval":
+        return Interval(self.lower + offset, self.upper + offset)
+
+    # ------------------------------------------------------------------
+    # Set-like combinators
+    # ------------------------------------------------------------------
+    def intersection(self, other: "Interval") -> "Interval | None":
+        """The common sub-interval, or ``None`` when disjoint."""
+        lo = max(self.lower, other.lower)
+        hi = min(self.upper, other.upper)
+        if lo > hi:
+            return None
+        return Interval(lo, hi)
+
+    def hull(self, other: "Interval") -> "Interval":
+        """The smallest interval containing both operands."""
+        return Interval(min(self.lower, other.lower), max(self.upper, other.upper))
+
+    # ------------------------------------------------------------------
+    # Ordering (strong interval dominance)
+    # ------------------------------------------------------------------
+    def __lt__(self, other: "Interval") -> bool:
+        return self.upper < other.lower
+
+    def __gt__(self, other: "Interval") -> bool:
+        return self.lower > other.upper
+
+    def __le__(self, other: "Interval") -> bool:
+        return self.upper <= other.lower
+
+    def __ge__(self, other: "Interval") -> bool:
+        return self.lower >= other.upper
+
+    def __iter__(self) -> Iterator[float]:
+        yield self.lower
+        yield self.upper
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        if self.is_point:
+            return f"Interval({self.lower:g})"
+        return f"Interval({self.lower:g}, {self.upper:g})"
+
+
+def hull(intervals: Iterable[Interval]) -> Interval:
+    """The smallest interval covering every interval in ``intervals``."""
+    items = list(intervals)
+    if not items:
+        raise ValueError("hull() of an empty collection")
+    result = items[0]
+    for item in items[1:]:
+        result = result.hull(item)
+    return result
+
+
+def intersect_all(intervals: Iterable[Interval]) -> Interval | None:
+    """The common sub-interval of all operands, or ``None`` when empty.
+
+    Used by group decision support: the consensus weight interval is the
+    intersection of the members' elicited intervals.
+    """
+    items = list(intervals)
+    if not items:
+        raise ValueError("intersect_all() of an empty collection")
+    result: Interval | None = items[0]
+    for item in items[1:]:
+        if result is None:
+            return None
+        result = result.intersection(item)
+    return result

@@ -1,0 +1,233 @@
+"""The additive multi-attribute utility model (§IV).
+
+The paper evaluates every candidate with
+
+    u(O_i) = sum_j  w_j * u_ij(x_ij)
+
+and, because both weights and component utilities are imprecise, GMAA
+reports three readings per alternative:
+
+* **minimum** overall utility — lower weight bounds x lower utility
+  envelopes,
+* **average** overall utility — normalised average weights x average
+  component utilities (interval midpoints),
+* **maximum** overall utility — upper weight bounds x upper envelopes.
+
+The weight *bounds* are not renormalised, which is why Fig. 6 shows
+maxima above 1 (e.g. 1.1666): the upper bounds of the Fig. 5 intervals
+sum to about 1.19.  "The ranking of MM ontologies is based on average
+overall utilities, and minimum and maximum overall utilities give
+further insight into the robustness of this ranking."
+
+:class:`AdditiveModel` precomputes the utility matrices once so the
+sensitivity analyses (stability sweeps, LP dominance, 10,000-run Monte
+Carlo) evaluate weight vectors with a single matrix-vector product.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+import numpy as np
+
+from .interval import Interval
+from .performance import PerformanceTable, UncertainValue
+from .problem import DecisionProblem
+from .scales import MISSING
+
+__all__ = ["AdditiveModel", "Evaluation", "RankedAlternative", "evaluate"]
+
+
+@dataclass(frozen=True)
+class RankedAlternative:
+    """One row of a GMAA ranking display (Fig. 6)."""
+
+    name: str
+    minimum: float
+    average: float
+    maximum: float
+    rank: int
+
+    @property
+    def interval(self) -> Interval:
+        return Interval(self.minimum, self.maximum)
+
+
+@dataclass(frozen=True)
+class Evaluation:
+    """The outcome of evaluating a decision problem.
+
+    ``rows`` are sorted by decreasing average overall utility, matching
+    the ranking the paper bases its selection on.
+    """
+
+    problem_name: str
+    rows: Tuple[RankedAlternative, ...]
+
+    def __iter__(self):
+        return iter(self.rows)
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    @property
+    def names_by_rank(self) -> Tuple[str, ...]:
+        return tuple(row.name for row in self.rows)
+
+    @property
+    def best(self) -> RankedAlternative:
+        return self.rows[0]
+
+    def row(self, name: str) -> RankedAlternative:
+        for r in self.rows:
+            if r.name == name:
+                return r
+        raise KeyError(f"no alternative named {name!r} in evaluation")
+
+    def rank_of(self, name: str) -> int:
+        return self.row(name).rank
+
+    def average_of(self, name: str) -> float:
+        return self.row(name).average
+
+    def utility_interval(self, name: str) -> Interval:
+        return self.row(name).interval
+
+    def top(self, k: int) -> Tuple[RankedAlternative, ...]:
+        return self.rows[:k]
+
+    def overlap_count(self) -> int:
+        """How many adjacent-rank pairs have overlapping utility bands.
+
+        §IV: "the output utility intervals are very overlapped", which
+        is what motivates the sensitivity analyses.
+        """
+        return sum(
+            1
+            for a, b in zip(self.rows, self.rows[1:])
+            if a.interval.overlaps(b.interval)
+        )
+
+
+def _utility_triplet(fn, performance) -> Tuple[float, float, float]:
+    """(lower, average, upper) component utility of one performance."""
+    if performance is MISSING:
+        interval = fn.utility(MISSING)
+        return interval.lower, interval.midpoint, interval.upper
+    if isinstance(performance, UncertainValue):
+        at_min = fn.utility(performance.minimum)
+        at_avg = fn.utility(performance.average)
+        at_max = fn.utility(performance.maximum)
+        lower = min(at_min.lower, at_avg.lower, at_max.lower)
+        upper = max(at_min.upper, at_avg.upper, at_max.upper)
+        return lower, at_avg.midpoint, upper
+    interval = fn.utility(performance)
+    return interval.lower, interval.midpoint, interval.upper
+
+
+class AdditiveModel:
+    """Matrix form of a decision problem's additive utility model.
+
+    Rows are alternatives (in table order), columns attributes (in
+    hierarchy leaf order).  ``u_low``/``u_avg``/``u_up`` hold the
+    component-utility envelopes; ``w_low``/``w_avg``/``w_up`` the
+    attribute-weight bounds and normalised averages.
+    """
+
+    def __init__(self, problem: DecisionProblem) -> None:
+        self.problem = problem
+        self.attribute_names: Tuple[str, ...] = problem.hierarchy.attribute_names
+        self.alternative_names: Tuple[str, ...] = problem.table.alternative_names
+        n_alt = len(self.alternative_names)
+        n_att = len(self.attribute_names)
+        self.u_low = np.zeros((n_alt, n_att))
+        self.u_avg = np.zeros((n_alt, n_att))
+        self.u_up = np.zeros((n_alt, n_att))
+        for i, alt in enumerate(problem.table.alternatives):
+            for j, attr in enumerate(self.attribute_names):
+                fn = problem.utility_function(attr)
+                lo, avg, up = _utility_triplet(fn, alt.performance(attr))
+                self.u_low[i, j] = lo
+                self.u_avg[i, j] = avg
+                self.u_up[i, j] = up
+        intervals = [
+            problem.weights.attribute_weight_interval(a)
+            for a in self.attribute_names
+        ]
+        averages = problem.weights.attribute_averages()
+        self.w_low = np.array([iv.lower for iv in intervals])
+        self.w_up = np.array([iv.upper for iv in intervals])
+        self.w_avg = np.array([averages[a] for a in self.attribute_names])
+
+    # ------------------------------------------------------------------
+    @property
+    def n_alternatives(self) -> int:
+        return len(self.alternative_names)
+
+    @property
+    def n_attributes(self) -> int:
+        return len(self.attribute_names)
+
+    def minimum_utilities(self) -> np.ndarray:
+        return self.u_low @ self.w_low
+
+    def average_utilities(self) -> np.ndarray:
+        return self.u_avg @ self.w_avg
+
+    def maximum_utilities(self) -> np.ndarray:
+        return self.u_up @ self.w_up
+
+    def utilities_for_weights(self, weights: np.ndarray) -> np.ndarray:
+        """Overall utilities for an explicit weight vector.
+
+        Component utilities are taken at their class averages, which is
+        how §V's Monte Carlo treats them ("changes can be made to the
+        weights").  ``weights`` may be a single vector or a matrix of
+        shape (n_samples, n_attributes).
+        """
+        w = np.asarray(weights, dtype=float)
+        if w.ndim == 1:
+            if w.shape[0] != self.n_attributes:
+                raise ValueError(
+                    f"expected {self.n_attributes} weights, got {w.shape[0]}"
+                )
+            return self.u_avg @ w
+        if w.shape[1] != self.n_attributes:
+            raise ValueError(
+                f"expected weight rows of length {self.n_attributes}, "
+                f"got {w.shape[1]}"
+            )
+        return self.u_avg @ w.T
+
+    def evaluate(self) -> Evaluation:
+        """The Fig. 6 ranking: min/avg/max per alternative, by average."""
+        mins = self.minimum_utilities()
+        avgs = self.average_utilities()
+        maxs = self.maximum_utilities()
+        order = sorted(
+            range(self.n_alternatives), key=lambda i: (-avgs[i], self.alternative_names[i])
+        )
+        rows = tuple(
+            RankedAlternative(
+                name=self.alternative_names[i],
+                minimum=float(mins[i]),
+                average=float(avgs[i]),
+                maximum=float(maxs[i]),
+                rank=rank,
+            )
+            for rank, i in enumerate(order, start=1)
+        )
+        return Evaluation(self.problem.name, rows)
+
+
+def evaluate(problem: DecisionProblem, objective: "str | None" = None) -> Evaluation:
+    """Evaluate a decision problem, optionally by a single objective.
+
+    ``objective`` selects a non-root node to rank by (Fig. 7's
+    "ranking for Understandability"); ``None`` ranks by the overall
+    objective.
+    """
+    if objective is not None and objective != problem.hierarchy.root.name:
+        problem = problem.restricted_to(objective)
+    return AdditiveModel(problem).evaluate()

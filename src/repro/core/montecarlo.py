@@ -1,0 +1,494 @@
+"""Monte Carlo sensitivity analysis (§V, Figs. 9-10).
+
+"Using Monte Carlo simulation techniques simultaneous changes can be
+made to the weights and generate results that can be easily analyzed
+statistically to provide more insight into the multi-attribute model
+recommendations."  The paper runs 10,000 simulations and inspects a
+multiple boxplot of the rank distributions (Fig. 9) plus a statistics
+table — mode, minimum, maximum, mean, standard deviation and the
+25th/50th/75th percentiles (Fig. 10).
+
+Three classes of simulation are supported, exactly as §V lists them:
+
+* ``random`` — attribute weights completely at random (uniform on the
+  weight simplex; no knowledge of relative importance),
+* ``rank_order`` — random weights preserving a total or partial
+  attribute rank order (the order of the elicited averages by default),
+* ``intervals`` — weights drawn inside the elicited Fig. 5 intervals,
+  renormalised onto the simplex.
+
+Component utilities are taken at their class averages by default
+("changes can be made to the weights").  Two sampling extensions are
+available:
+
+* ``sample_utilities="missing"`` — draw a fresh utility in [0, 1] for
+  every *missing* performance (each unknown cell is an independent
+  unknown fact; the paper's ref. [18] assigns it the whole [0, 1]
+  interval), keeping elicited class utilities at their averages.  This
+  is the setting that reproduces the Fig. 10 pattern where exactly the
+  candidates with unknown performances have fluctuating ranks while
+  fully-known candidates sit still.
+* ``sample_utilities=True`` (or ``"all"``) — additionally draw every
+  component utility inside its class envelope, shared across
+  alternatives that sit on the same level, which preserves the
+  coupling a utility *function* imposes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from .interval import Interval
+from .model import AdditiveModel
+from .performance import UncertainValue
+from .problem import DecisionProblem
+from .scales import MISSING
+
+__all__ = [
+    "sample_simplex",
+    "sample_rank_order",
+    "sample_in_intervals",
+    "RankStatistics",
+    "MonteCarloResult",
+    "simulate",
+]
+
+
+# ----------------------------------------------------------------------
+# Weight generators (the three §V simulation classes)
+# ----------------------------------------------------------------------
+
+def sample_simplex(
+    n_attributes: int, n_samples: int, rng: np.random.Generator
+) -> np.ndarray:
+    """Uniform samples from the weight simplex.
+
+    The classic exponential-spacings construction: normalised i.i.d.
+    exponentials are uniform on ``{w >= 0 : sum w = 1}``.  This is §V's
+    first simulation class — "attribute weights completely at random
+    (there is no knowledge whatsoever of the relative importance of the
+    attributes)".
+    """
+    if n_attributes < 1:
+        raise ValueError("need at least one attribute")
+    if n_samples < 1:
+        raise ValueError("need at least one sample")
+    raw = rng.exponential(scale=1.0, size=(n_samples, n_attributes))
+    return raw / raw.sum(axis=1, keepdims=True)
+
+
+def sample_rank_order(
+    groups: Sequence[Sequence[int]],
+    n_attributes: int,
+    n_samples: int,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Simplex samples preserving a total or partial attribute rank order.
+
+    ``groups`` lists attribute indices from most to least important;
+    attributes inside one group are unordered relative to each other
+    (the *partial* order case).  Singleton groups everywhere give a
+    total order.  Sampling: draw uniformly on the simplex, sort each
+    sample descending, hand the largest values to the first group
+    (shuffled within the group), the next largest to the second, and so
+    on — the standard construction for rank-order-constrained simplex
+    sampling.
+    """
+    flat = [i for group in groups for i in group]
+    if sorted(flat) != list(range(n_attributes)):
+        raise ValueError(
+            "groups must partition the attribute indices "
+            f"0..{n_attributes - 1}; got {groups!r}"
+        )
+    base = sample_simplex(n_attributes, n_samples, rng)
+    base.sort(axis=1)
+    base = base[:, ::-1]  # descending: position 0 = largest weight
+    result = np.empty_like(base)
+    cursor = 0
+    for group in groups:
+        size = len(group)
+        block = base[:, cursor:cursor + size]
+        if size == 1:
+            result[:, group[0]] = block[:, 0]
+        else:
+            # Shuffle the block's columns independently per sample so
+            # within-group order is uniform.
+            perm = np.argsort(rng.random((n_samples, size)), axis=1)
+            shuffled = np.take_along_axis(block, perm, axis=1)
+            for k, attr in enumerate(group):
+                result[:, attr] = shuffled[:, k]
+        cursor += size
+    return result
+
+
+def sample_in_intervals(
+    lower: np.ndarray,
+    upper: np.ndarray,
+    n_samples: int,
+    rng: np.random.Generator,
+    reject_outside: bool = False,
+    max_batches: int = 200,
+) -> Tuple[np.ndarray, float]:
+    """Weights drawn within elicited intervals, renormalised to sum 1.
+
+    GMAA's third simulation class: "attribute weights can be randomly
+    assigned values taking into account the elicited weight intervals"
+    (Fig. 5).  Each attribute weight is drawn uniformly in its interval
+    and the vector is divided by its sum.  With ``reject_outside`` the
+    renormalised vector must also remain inside the intervals (the
+    normalised-box polytope); samples violating that are redrawn.
+
+    Returns ``(weights, acceptance_rate)``; the acceptance rate is 1.0
+    when no rejection was requested.
+    """
+    lower = np.asarray(lower, dtype=float)
+    upper = np.asarray(upper, dtype=float)
+    if lower.shape != upper.shape or lower.ndim != 1:
+        raise ValueError("lower and upper must be 1-D arrays of equal length")
+    if np.any(lower < 0) or np.any(lower > upper):
+        raise ValueError("need 0 <= lower <= upper per attribute")
+    if float(lower.sum()) > 1.0 + 1e-9 or float(upper.sum()) < 1.0 - 1e-9:
+        raise ValueError(
+            "weight intervals do not intersect the simplex: "
+            f"sum of lowers {lower.sum():.4f}, sum of uppers {upper.sum():.4f}"
+        )
+    n = lower.shape[0]
+    if not reject_outside:
+        raw = rng.uniform(lower, upper, size=(n_samples, n))
+        return raw / raw.sum(axis=1, keepdims=True), 1.0
+
+    accepted: List[np.ndarray] = []
+    drawn = kept = 0
+    tol = 1e-12
+    for _ in range(max_batches):
+        raw = rng.uniform(lower, upper, size=(n_samples, n))
+        w = raw / raw.sum(axis=1, keepdims=True)
+        ok = np.all(w >= lower - tol, axis=1) & np.all(w <= upper + tol, axis=1)
+        drawn += n_samples
+        kept += int(ok.sum())
+        if ok.any():
+            accepted.append(w[ok])
+        if kept >= n_samples:
+            break
+    if kept < n_samples:
+        raise RuntimeError(
+            f"interval rejection sampling accepted only {kept} of the "
+            f"requested {n_samples} samples after {drawn} draws; relax the "
+            "intervals or disable reject_outside"
+        )
+    stacked = np.vstack(accepted)[:n_samples]
+    return stacked, kept / drawn
+
+
+# ----------------------------------------------------------------------
+# Component-utility sampling (optional extension)
+# ----------------------------------------------------------------------
+
+class _UtilitySampler:
+    """Draws component-utility matrices inside the class envelopes.
+
+    For every attribute the distinct performance values define *keys*;
+    a simulation draws one utility per key (uniform in its interval,
+    then made monotone along the level order for discrete scales) and
+    every alternative on the same key receives the same draw — the
+    coupling that makes the draw a utility *function*, not independent
+    noise per cell.
+    """
+
+    def __init__(self, problem: DecisionProblem, model: AdditiveModel) -> None:
+        self._n_alt = model.n_alternatives
+        self._n_att = model.n_attributes
+        # Per attribute: list of interval bounds per key (ordered by
+        # preference so monotonisation is meaningful), and the key index
+        # of every alternative.
+        self._key_lowers: List[np.ndarray] = []
+        self._key_uppers: List[np.ndarray] = []
+        self._alt_keys: List[np.ndarray] = []
+        self._monotone: List[bool] = []
+        for j, attr in enumerate(model.attribute_names):
+            fn = problem.utility_function(attr)
+            values = []
+            for alt in problem.table.alternatives:
+                perf = alt.performance(attr)
+                if isinstance(perf, UncertainValue):
+                    perf = perf.average
+                values.append(perf)
+            keys: List[object] = []
+            for v in values:
+                if v not in keys:
+                    keys.append(v)
+            # Order keys by their average utility so monotonisation
+            # never flips preference.
+            keys.sort(key=lambda v: fn.utility(v).midpoint)
+            index = {id_key(v): k for k, v in enumerate(keys)}
+            self._alt_keys.append(
+                np.array([index[id_key(v)] for v in values], dtype=int)
+            )
+            intervals = [fn.utility(v) for v in keys]
+            self._key_lowers.append(np.array([iv.lower for iv in intervals]))
+            self._key_uppers.append(np.array([iv.upper for iv in intervals]))
+            self._monotone.append(True)
+
+    def sample(self, rng: np.random.Generator) -> np.ndarray:
+        """One (n_alternatives, n_attributes) utility matrix."""
+        u = np.empty((self._n_alt, self._n_att))
+        for j in range(self._n_att):
+            draws = rng.uniform(self._key_lowers[j], self._key_uppers[j])
+            if self._monotone[j]:
+                draws = np.maximum.accumulate(draws)
+            u[:, j] = draws[self._alt_keys[j]]
+        return u
+
+
+def id_key(value: object) -> object:
+    """A hashable identity for a performance value (MISSING included)."""
+    if value is MISSING:
+        return "__missing__"
+    return float(value)
+
+
+def missing_mask(problem: DecisionProblem, model: AdditiveModel) -> np.ndarray:
+    """Boolean (n_alternatives, n_attributes) mask of unknown cells."""
+    mask = np.zeros((model.n_alternatives, model.n_attributes), dtype=bool)
+    for i, alt in enumerate(problem.table.alternatives):
+        for j, attr in enumerate(model.attribute_names):
+            mask[i, j] = alt.performance(attr) is MISSING
+    return mask
+
+
+# ----------------------------------------------------------------------
+# Results
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class RankStatistics:
+    """One row of the Fig. 10 statistics table."""
+
+    name: str
+    mode: int
+    minimum: int
+    maximum: int
+    mean: float
+    std: float
+    p25: float
+    p50: float
+    p75: float
+
+    @property
+    def fluctuation(self) -> int:
+        """Total rank spread over the simulation (max - min)."""
+        return self.maximum - self.minimum
+
+
+@dataclass(frozen=True)
+class BoxplotSummary:
+    """Five-number summary of one alternative's rank distribution.
+
+    Fig. 9 presents exactly this as a multiple boxplot: whiskers at the
+    extremes, box from the 25th to the 75th percentile, the median
+    inside.
+    """
+
+    name: str
+    whisker_low: float
+    q1: float
+    median: float
+    q3: float
+    whisker_high: float
+
+
+class MonteCarloResult:
+    """Rank distributions from a Monte Carlo run.
+
+    ``ranks[s, i]`` is the 1-based rank of alternative ``i`` in
+    simulation ``s``.
+    """
+
+    def __init__(
+        self,
+        names: Sequence[str],
+        ranks: np.ndarray,
+        method: str,
+        acceptance_rate: float = 1.0,
+    ) -> None:
+        ranks = np.asarray(ranks)
+        if ranks.ndim != 2 or ranks.shape[1] != len(names):
+            raise ValueError(
+                f"ranks must be (n_simulations, {len(names)}), got {ranks.shape}"
+            )
+        self.names: Tuple[str, ...] = tuple(names)
+        self.ranks = ranks
+        self.method = method
+        self.acceptance_rate = acceptance_rate
+        self._index = {name: i for i, name in enumerate(self.names)}
+
+    @property
+    def n_simulations(self) -> int:
+        return int(self.ranks.shape[0])
+
+    def ranks_of(self, name: str) -> np.ndarray:
+        try:
+            return self.ranks[:, self._index[name]]
+        except KeyError:
+            raise KeyError(f"no alternative named {name!r}") from None
+
+    # ------------------------------------------------------------------
+    def statistics_for(self, name: str) -> RankStatistics:
+        r = self.ranks_of(name)
+        counts = np.bincount(r, minlength=len(self.names) + 1)
+        return RankStatistics(
+            name=name,
+            mode=int(counts.argmax()),
+            minimum=int(r.min()),
+            maximum=int(r.max()),
+            mean=float(r.mean()),
+            std=float(r.std(ddof=0)),
+            p25=float(np.percentile(r, 25)),
+            p50=float(np.percentile(r, 50)),
+            p75=float(np.percentile(r, 75)),
+        )
+
+    def statistics(self) -> Tuple[RankStatistics, ...]:
+        """The Fig. 10 table, one row per alternative (input order)."""
+        return tuple(self.statistics_for(name) for name in self.names)
+
+    def boxplot_summary(self) -> Tuple[BoxplotSummary, ...]:
+        """The Fig. 9 multiple boxplot, one entry per alternative."""
+        result = []
+        for name in self.names:
+            r = self.ranks_of(name)
+            result.append(
+                BoxplotSummary(
+                    name=name,
+                    whisker_low=float(r.min()),
+                    q1=float(np.percentile(r, 25)),
+                    median=float(np.percentile(r, 50)),
+                    q3=float(np.percentile(r, 75)),
+                    whisker_high=float(r.max()),
+                )
+            )
+        return tuple(result)
+
+    # ------------------------------------------------------------------
+    def ever_best(self) -> Tuple[str, ...]:
+        """Alternatives that attain rank 1 in at least one simulation.
+
+        §V: "Only two MM ontologies — Media Ontology and Boemie VDO —
+        were ranked best across all 10,000 simulations."
+        """
+        hits = (self.ranks == 1).any(axis=0)
+        return tuple(name for i, name in enumerate(self.names) if hits[i])
+
+    def names_by_mean_rank(self) -> Tuple[str, ...]:
+        order = np.argsort(self.ranks.mean(axis=0), kind="stable")
+        return tuple(self.names[i] for i in order)
+
+    def top_k_by_mean(self, k: int) -> Tuple[str, ...]:
+        return self.names_by_mean_rank()[:k]
+
+    def max_fluctuation(self, names: Optional[Sequence[str]] = None) -> int:
+        """Largest rank spread among ``names`` (default: all).
+
+        §V: "the rankings for the best five MM ontologies fluctuate by
+        at most two positions throughout the simulation".
+        """
+        targets = self.names if names is None else tuple(names)
+        return max(self.statistics_for(n).fluctuation for n in targets)
+
+
+# ----------------------------------------------------------------------
+# Driver
+# ----------------------------------------------------------------------
+
+def _rank_matrix(utilities: np.ndarray) -> np.ndarray:
+    """Per-simulation 1-based ranks from a (n_sims, n_alt) utility array.
+
+    Ties resolve in alternative (column) order, matching the stable
+    tie-break the deterministic evaluation uses.
+    """
+    order = np.argsort(-utilities, axis=1, kind="stable")
+    ranks = np.empty_like(order)
+    n_sims, n_alt = utilities.shape
+    rows = np.arange(n_sims)[:, None]
+    ranks[rows, order] = np.arange(1, n_alt + 1)[None, :]
+    return ranks
+
+
+def simulate(
+    problem_or_model: Union[DecisionProblem, AdditiveModel],
+    method: str = "intervals",
+    n_simulations: int = 10_000,
+    seed: Optional[int] = None,
+    rng: Optional[np.random.Generator] = None,
+    order_groups: Optional[Sequence[Sequence[int]]] = None,
+    sample_utilities: Union[bool, str] = False,
+    reject_outside: bool = False,
+) -> MonteCarloResult:
+    """Run one of §V's three Monte Carlo simulation classes.
+
+    ``method`` is ``"random"``, ``"rank_order"`` or ``"intervals"``.
+    ``order_groups`` (rank_order only) lists attribute-index groups from
+    most to least important; by default each attribute forms its own
+    group, ordered by the elicited average weights — a total order.
+    ``sample_utilities``: ``False`` keeps component utilities at their
+    class averages; ``"missing"`` draws each unknown performance's
+    utility uniformly in [0, 1] per simulation (the ref.-[18] model);
+    ``True``/``"all"`` additionally samples every component utility
+    inside its class envelope (shared per level across alternatives).
+    """
+    if isinstance(problem_or_model, AdditiveModel):
+        model = problem_or_model
+    else:
+        model = AdditiveModel(problem_or_model)
+    if n_simulations < 1:
+        raise ValueError("n_simulations must be positive")
+    if rng is None:
+        rng = np.random.default_rng(seed)
+
+    n = model.n_attributes
+    acceptance = 1.0
+    if method == "random":
+        weights = sample_simplex(n, n_simulations, rng)
+    elif method == "rank_order":
+        if order_groups is None:
+            order = np.argsort(-model.w_avg, kind="stable")
+            order_groups = [[int(i)] for i in order]
+        weights = sample_rank_order(order_groups, n, n_simulations, rng)
+    elif method == "intervals":
+        weights, acceptance = sample_in_intervals(
+            model.w_low, model.w_up, n_simulations, rng, reject_outside
+        )
+    else:
+        raise ValueError(
+            f"unknown method {method!r}; expected 'random', 'rank_order' "
+            "or 'intervals'"
+        )
+
+    if sample_utilities in (True, "all"):
+        sampler = _UtilitySampler(model.problem, model)
+        utilities = np.empty((n_simulations, model.n_alternatives))
+        for s in range(n_simulations):
+            u = sampler.sample(rng)
+            utilities[s] = u @ weights[s]
+    elif sample_utilities == "missing":
+        mask = missing_mask(model.problem, model)
+        utilities = weights @ model.u_avg.T
+        if mask.any():
+            cells = np.argwhere(mask)
+            draws = rng.uniform(0.0, 1.0, size=(n_simulations, len(cells)))
+            for k, (i, j) in enumerate(cells):
+                delta = draws[:, k] - model.u_avg[i, j]
+                utilities[:, i] += weights[:, j] * delta
+    elif sample_utilities is not False:
+        raise ValueError(
+            f"sample_utilities must be False, True, 'all' or 'missing', "
+            f"got {sample_utilities!r}"
+        )
+    else:
+        utilities = weights @ model.u_avg.T
+
+    ranks = _rank_matrix(utilities)
+    return MonteCarloResult(model.alternative_names, ranks, method, acceptance)

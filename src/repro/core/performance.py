@@ -1,0 +1,219 @@
+"""Alternatives and their performances on the decision attributes.
+
+Fig. 2 of the paper is a *performance table*: one row per attribute,
+one column per candidate MM ontology, each cell a value on the
+attribute's scale.  GMAA "accounts for uncertainty about alternative
+performance", so a cell may be:
+
+* a precise value (``3``, ``0.93`` — "the values entered originally
+  were precise"),
+* an uncertain value carrying ``(minimum, average, maximum)`` readings
+  (the Fig. 2 dialog exposes exactly those three fields), or
+* :data:`~repro.core.scales.MISSING` — §III: "the performance of at
+  least one MM ontology was unknown for some criteria".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Sequence, Tuple, Union
+
+from .interval import Interval
+from .scales import MISSING, MissingType
+
+__all__ = ["UncertainValue", "PerformanceValue", "Alternative", "PerformanceTable"]
+
+
+@dataclass(frozen=True)
+class UncertainValue:
+    """A performance known only as (minimum, average, maximum).
+
+    Matches the three entry fields of the GMAA consequences dialog
+    (Fig. 2).  The average need not be the midpoint.
+    """
+
+    minimum: float
+    average: float
+    maximum: float
+
+    def __post_init__(self) -> None:
+        if not self.minimum <= self.average <= self.maximum:
+            raise ValueError(
+                f"uncertain value must satisfy min <= avg <= max, got "
+                f"({self.minimum}, {self.average}, {self.maximum})"
+            )
+
+    @property
+    def interval(self) -> Interval:
+        return Interval(self.minimum, self.maximum)
+
+    @staticmethod
+    def precise(value: float) -> "UncertainValue":
+        return UncertainValue(value, value, value)
+
+
+PerformanceValue = Union[int, float, UncertainValue, MissingType]
+
+
+@dataclass(frozen=True)
+class Alternative:
+    """One decision alternative and its performance on every attribute.
+
+    ``performances`` maps attribute names to performance values.  The
+    table-level validation (scales, completeness) lives in
+    :class:`PerformanceTable`, which knows the attribute set.
+    """
+
+    name: str
+    performances: Mapping[str, PerformanceValue]
+    description: str = ""
+
+    def performance(self, attribute: str) -> PerformanceValue:
+        try:
+            return self.performances[attribute]
+        except KeyError:
+            raise KeyError(
+                f"alternative {self.name!r} has no performance for "
+                f"attribute {attribute!r}"
+            ) from None
+
+    def is_missing(self, attribute: str) -> bool:
+        return self.performance(attribute) is MISSING
+
+    def with_performance(self, attribute: str, value: PerformanceValue) -> "Alternative":
+        """A copy with one performance replaced (used by baselines)."""
+        updated = dict(self.performances)
+        updated[attribute] = value
+        return Alternative(self.name, updated, self.description)
+
+
+class PerformanceTable:
+    """All alternatives of a decision problem, validated against scales.
+
+    The table enforces that every alternative provides a value (possibly
+    MISSING) for every attribute, and that non-missing values are valid
+    on their attribute's scale.
+    """
+
+    def __init__(
+        self,
+        attributes: Mapping[str, object],
+        alternatives: Sequence[Alternative],
+    ) -> None:
+        """``attributes`` maps attribute name -> scale object.
+
+        Scales must expose ``is_valid(value)`` (both
+        :class:`~repro.core.scales.DiscreteScale` and
+        :class:`~repro.core.scales.ContinuousScale` do).
+        """
+        if not attributes:
+            raise ValueError("a performance table needs at least one attribute")
+        if not alternatives:
+            raise ValueError("a performance table needs at least one alternative")
+        names = [alt.name for alt in alternatives]
+        if len(set(names)) != len(names):
+            dupes = sorted({n for n in names if names.count(n) > 1})
+            raise ValueError(f"duplicate alternative names: {dupes}")
+        self._attributes = dict(attributes)
+        self._alternatives: List[Alternative] = list(alternatives)
+        self._by_name = {alt.name: alt for alt in alternatives}
+        self._validate()
+
+    def _validate(self) -> None:
+        for alt in self._alternatives:
+            extra = set(alt.performances) - set(self._attributes)
+            if extra:
+                raise ValueError(
+                    f"alternative {alt.name!r} has performances for unknown "
+                    f"attributes: {sorted(extra)}"
+                )
+            for attr_name, scale in self._attributes.items():
+                value = alt.performance(attr_name)  # raises if absent
+                if value is MISSING:
+                    continue
+                if isinstance(value, UncertainValue):
+                    candidates = (value.minimum, value.average, value.maximum)
+                else:
+                    candidates = (value,)
+                for v in candidates:
+                    if not scale.is_valid(v):
+                        raise ValueError(
+                            f"alternative {alt.name!r}: value {v!r} invalid on "
+                            f"scale of attribute {attr_name!r}"
+                        )
+
+    # ------------------------------------------------------------------
+    @property
+    def attribute_names(self) -> Tuple[str, ...]:
+        return tuple(self._attributes)
+
+    @property
+    def alternatives(self) -> Tuple[Alternative, ...]:
+        return tuple(self._alternatives)
+
+    @property
+    def alternative_names(self) -> Tuple[str, ...]:
+        return tuple(alt.name for alt in self._alternatives)
+
+    def scale_of(self, attribute: str) -> object:
+        return self._attributes[attribute]
+
+    def __len__(self) -> int:
+        return len(self._alternatives)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._by_name
+
+    def __getitem__(self, name: str) -> Alternative:
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise KeyError(f"no alternative named {name!r}") from None
+
+    # ------------------------------------------------------------------
+    def attributes_with_missing(self) -> Tuple[str, ...]:
+        """Attributes where at least one alternative's value is unknown.
+
+        §III: these are the criteria that receive the extra *unknown*
+        attribute value with utility interval [0, 1].
+        """
+        result = []
+        for attr in self._attributes:
+            if any(alt.is_missing(attr) for alt in self._alternatives):
+                result.append(attr)
+        return tuple(result)
+
+    def missing_cells(self) -> Tuple[Tuple[str, str], ...]:
+        """(alternative, attribute) pairs with unknown performance."""
+        return tuple(
+            (alt.name, attr)
+            for alt in self._alternatives
+            for attr in self._attributes
+            if alt.is_missing(attr)
+        )
+
+    def subset(self, names: Iterable[str]) -> "PerformanceTable":
+        """A table restricted to the given alternatives (same attributes)."""
+        wanted = list(names)
+        missing = [n for n in wanted if n not in self._by_name]
+        if missing:
+            raise KeyError(f"unknown alternatives: {missing}")
+        return PerformanceTable(
+            self._attributes, [self._by_name[n] for n in wanted]
+        )
+
+    def replacing_missing_with_worst(self) -> "PerformanceTable":
+        """The thesis-[15] baseline treatment of unknown cells.
+
+        §IV notes the earlier ranking "where missing performances were
+        not correctly modeled (worst attribute performances were
+        assigned)".  Scales expose ``worst`` for exactly this purpose.
+        """
+        replaced = []
+        for alt in self._alternatives:
+            updated = alt
+            for attr, scale in self._attributes.items():
+                if updated.is_missing(attr):
+                    updated = updated.with_performance(attr, scale.worst)
+            replaced.append(updated)
+        return PerformanceTable(self._attributes, replaced)

@@ -1,0 +1,142 @@
+"""The :class:`DecisionProblem` facade — a GMAA workspace in memory.
+
+A decision problem bundles the four artefacts the DA cycle produces:
+
+1. the objective hierarchy (§II, Fig. 1),
+2. the performance table of the alternatives (§II, Fig. 2),
+3. the component utility functions (§III, Figs. 3-4), and
+4. the weight system (§III, Fig. 5).
+
+Construction validates that the pieces agree: the hierarchy's leaf
+attributes, the table's attributes and the utility functions' keys must
+coincide, and each utility function must be defined over the same scale
+the table validates against.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Mapping, Tuple
+
+from .hierarchy import Hierarchy
+from .performance import Alternative, PerformanceTable
+from .weights import WeightSystem
+
+__all__ = ["DecisionProblem"]
+
+
+class DecisionProblem:
+    """An immutable, validated multi-attribute decision problem."""
+
+    def __init__(
+        self,
+        hierarchy: Hierarchy,
+        table: PerformanceTable,
+        utilities: Mapping[str, object],
+        weights: WeightSystem,
+        name: str = "decision-problem",
+    ) -> None:
+        self.name = name
+        self.hierarchy = hierarchy
+        self.table = table
+        self.utilities: Dict[str, object] = dict(utilities)
+        self.weights = weights
+        self._validate()
+
+    def _validate(self) -> None:
+        hier_attrs = set(self.hierarchy.attribute_names)
+        table_attrs = set(self.table.attribute_names)
+        util_attrs = set(self.utilities)
+        if hier_attrs != table_attrs:
+            raise ValueError(
+                "hierarchy and performance table disagree on attributes: "
+                f"only in hierarchy {sorted(hier_attrs - table_attrs)}, "
+                f"only in table {sorted(table_attrs - hier_attrs)}"
+            )
+        if hier_attrs != util_attrs:
+            raise ValueError(
+                "hierarchy and utilities disagree on attributes: "
+                f"missing utilities {sorted(hier_attrs - util_attrs)}, "
+                f"extra utilities {sorted(util_attrs - hier_attrs)}"
+            )
+        if self.weights.hierarchy is not self.hierarchy:
+            # Allow structurally distinct but equivalent hierarchies as
+            # long as the node names line up.
+            ws_names = {n.name for n in self.weights.hierarchy.nodes()}
+            my_names = {n.name for n in self.hierarchy.nodes()}
+            if ws_names != my_names:
+                raise ValueError(
+                    "weight system was built for a different hierarchy"
+                )
+        for attr in hier_attrs:
+            fn_scale = getattr(self.utilities[attr], "scale", None)
+            table_scale = self.table.scale_of(attr)
+            if fn_scale is not None and fn_scale != table_scale:
+                raise ValueError(
+                    f"attribute {attr!r}: utility function scale "
+                    f"{fn_scale!r} differs from table scale {table_scale!r}"
+                )
+
+    # ------------------------------------------------------------------
+    @property
+    def attribute_names(self) -> Tuple[str, ...]:
+        return self.hierarchy.attribute_names
+
+    @property
+    def alternative_names(self) -> Tuple[str, ...]:
+        return self.table.alternative_names
+
+    @property
+    def alternatives(self) -> Tuple[Alternative, ...]:
+        return self.table.alternatives
+
+    def utility_function(self, attribute: str) -> object:
+        try:
+            return self.utilities[attribute]
+        except KeyError:
+            raise KeyError(f"no utility function for attribute {attribute!r}") from None
+
+    # ------------------------------------------------------------------
+    def restricted_to(self, objective: str) -> "DecisionProblem":
+        """The sub-problem for ranking by one objective (Fig. 7).
+
+        Keeps only the attributes under ``objective``; the subtree's
+        weight system re-roots there with local intervals unchanged.
+        """
+        sub_hierarchy = self.hierarchy.subtree(objective)
+        attrs = sub_hierarchy.attribute_names
+        sub_table = PerformanceTable(
+            {a: self.table.scale_of(a) for a in attrs},
+            [
+                Alternative(
+                    alt.name,
+                    {a: alt.performance(a) for a in attrs},
+                    alt.description,
+                )
+                for alt in self.table.alternatives
+            ],
+        )
+        sub_utilities = {a: self.utilities[a] for a in attrs}
+        sub_weights = self.weights.for_subtree(objective)
+        return DecisionProblem(
+            sub_weights.hierarchy,
+            sub_table,
+            sub_utilities,
+            sub_weights,
+            name=f"{self.name}:{objective}",
+        )
+
+    def with_alternatives(self, names: Iterable[str]) -> "DecisionProblem":
+        """The same problem over a subset of alternatives."""
+        return DecisionProblem(
+            self.hierarchy,
+            self.table.subset(names),
+            self.utilities,
+            self.weights,
+            name=self.name,
+        )
+
+    def with_weights(self, weights: WeightSystem) -> "DecisionProblem":
+        """The same problem under a different preference model."""
+        return DecisionProblem(
+            self.hierarchy, self.table, self.utilities, weights, name=self.name
+        )

@@ -1,0 +1,83 @@
+"""Rank-order utilities: comparing rankings and summarising agreement.
+
+§IV compares the GMAA ranking against the thesis-[15] ranking ("very
+similar") and §V tracks how much ranks fluctuate across Monte Carlo
+samples.  These helpers quantify both: Kendall's tau, Spearman's rho,
+footrule distance and top-k overlap.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Sequence, Tuple
+
+__all__ = [
+    "rank_vector",
+    "kendall_tau",
+    "spearman_rho",
+    "footrule_distance",
+    "top_k_overlap",
+]
+
+
+def rank_vector(order: Sequence[str]) -> Dict[str, int]:
+    """Map each item to its 1-based rank in ``order`` (best first)."""
+    if len(set(order)) != len(order):
+        raise ValueError("ranking contains duplicate items")
+    return {name: i for i, name in enumerate(order, start=1)}
+
+
+def _common_rank_pairs(
+    a: Sequence[str], b: Sequence[str]
+) -> Tuple[Tuple[int, ...], Tuple[int, ...]]:
+    ra, rb = rank_vector(a), rank_vector(b)
+    common = [name for name in a if name in rb]
+    if len(common) < 2:
+        raise ValueError("need at least two common items to compare rankings")
+    return (
+        tuple(ra[name] for name in common),
+        tuple(rb[name] for name in common),
+    )
+
+
+def kendall_tau(a: Sequence[str], b: Sequence[str]) -> float:
+    """Kendall's tau-a between two rankings of (mostly) the same items.
+
+    1.0 means identical order, -1.0 exactly reversed.  Items present in
+    only one ranking are ignored.
+    """
+    xs, ys = _common_rank_pairs(a, b)
+    n = len(xs)
+    concordant = discordant = 0
+    for i in range(n):
+        for j in range(i + 1, n):
+            sign = (xs[i] - xs[j]) * (ys[i] - ys[j])
+            if sign > 0:
+                concordant += 1
+            elif sign < 0:
+                discordant += 1
+    return (concordant - discordant) / (n * (n - 1) / 2)
+
+
+def spearman_rho(a: Sequence[str], b: Sequence[str]) -> float:
+    """Spearman rank correlation over the common items."""
+    xs, ys = _common_rank_pairs(a, b)
+    n = len(xs)
+    d2 = sum((x - y) ** 2 for x, y in zip(xs, ys))
+    return 1.0 - 6.0 * d2 / (n * (n * n - 1))
+
+
+def footrule_distance(a: Sequence[str], b: Sequence[str]) -> int:
+    """Spearman footrule: total absolute rank displacement."""
+    xs, ys = _common_rank_pairs(a, b)
+    return sum(abs(x - y) for x, y in zip(xs, ys))
+
+
+def top_k_overlap(a: Sequence[str], b: Sequence[str], k: int) -> int:
+    """How many of the top-``k`` items the two rankings share.
+
+    §V checks that the five best ontologies by Monte Carlo mode "match
+    up with the results of the average overall utilities".
+    """
+    if k < 1:
+        raise ValueError("k must be positive")
+    return len(set(a[:k]) & set(b[:k]))

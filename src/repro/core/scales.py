@@ -1,0 +1,167 @@
+"""Attribute scales — how the paper measures the 14 reuse criteria.
+
+Section II of the paper establishes an attribute for every lowest-level
+objective.  Two kinds occur:
+
+* **Discrete linguistic scales** — most criteria are "assessed on a
+  discrete scale"; e.g. *Purpose reliability* takes ``0-unknown``,
+  ``1-low``, ``2-medium``, ``3-high`` (Fig. 4) and *Adequacy of the
+  implementation language* takes ``low``/``medium``/``high``.
+* **Continuous scales** — *Number of functional requirements covered*
+  is continuous on ``[0, MNVLT]`` via the ``ValueT`` formula (Fig. 3).
+
+Both kinds also admit a distinguished *missing* marker: §III explains
+that when the performance of at least one alternative is unknown for a
+criterion, an additional attribute value is considered whose utility is
+the whole interval ``[0, 1]`` (following ref. [18] of the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence, Tuple
+
+__all__ = [
+    "MISSING",
+    "MissingType",
+    "DiscreteScale",
+    "ContinuousScale",
+    "Scale",
+    "linguistic_0_3",
+]
+
+
+class MissingType:
+    """Singleton marker for an unknown alternative performance."""
+
+    _instance: "MissingType | None" = None
+
+    def __new__(cls) -> "MissingType":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "MISSING"
+
+    def __reduce__(self):
+        return (MissingType, ())
+
+
+#: The module-level missing marker.  ``performance is MISSING`` reads
+#: exactly like the paper's "the performance ... was unknown".
+MISSING = MissingType()
+
+
+@dataclass(frozen=True)
+class DiscreteScale:
+    """An ordered linguistic scale, worst level first.
+
+    ``levels`` maps positions to labels; the numeric code of a level is
+    its index (matching the paper's ``0-unknown, 1-low, 2-medium,
+    3-high`` coding in Fig. 4).
+    """
+
+    name: str
+    levels: Tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.levels) < 2:
+            raise ValueError(f"scale {self.name!r} needs at least two levels")
+        if len(set(self.levels)) != len(self.levels):
+            raise ValueError(f"scale {self.name!r} has duplicate level labels")
+
+    @property
+    def is_discrete(self) -> bool:
+        return True
+
+    @property
+    def worst(self) -> int:
+        return 0
+
+    @property
+    def best(self) -> int:
+        return len(self.levels) - 1
+
+    def code_of(self, label: str) -> int:
+        """Numeric code for a level label (raises ``KeyError`` if absent)."""
+        try:
+            return self.levels.index(label)
+        except ValueError:
+            raise KeyError(
+                f"{label!r} is not a level of scale {self.name!r}; "
+                f"expected one of {self.levels}"
+            ) from None
+
+    def label_of(self, code: int) -> str:
+        if not self.is_valid(code):
+            raise KeyError(f"{code!r} is not a level code of scale {self.name!r}")
+        return self.levels[int(code)]
+
+    def is_valid(self, value: object) -> bool:
+        """True when ``value`` is a level code of this scale."""
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            return False
+        return float(value).is_integer() and 0 <= int(value) < len(self.levels)
+
+    def __len__(self) -> int:
+        return len(self.levels)
+
+
+@dataclass(frozen=True)
+class ContinuousScale:
+    """A bounded continuous attribute range.
+
+    ``ascending`` states the preference direction: ``True`` means more
+    is better (the paper's ``ValueT``), ``False`` means less is better
+    (e.g. a raw cost in currency units, before utility conversion).
+    The direction is consumed by utility-function constructors; the
+    additive model itself only ever sees utilities.
+    """
+
+    name: str
+    minimum: float
+    maximum: float
+    ascending: bool = True
+    unit: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.minimum < self.maximum:
+            raise ValueError(
+                f"scale {self.name!r}: minimum {self.minimum!r} must be below "
+                f"maximum {self.maximum!r}"
+            )
+
+    @property
+    def is_discrete(self) -> bool:
+        return False
+
+    @property
+    def worst(self) -> float:
+        return self.minimum if self.ascending else self.maximum
+
+    @property
+    def best(self) -> float:
+        return self.maximum if self.ascending else self.minimum
+
+    def is_valid(self, value: object) -> bool:
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            return False
+        return self.minimum - 1e-12 <= float(value) <= self.maximum + 1e-12
+
+    def normalise(self, value: float) -> float:
+        """Map ``value`` to ``[0, 1]`` with 1 at the *best* end."""
+        frac = (float(value) - self.minimum) / (self.maximum - self.minimum)
+        return frac if self.ascending else 1.0 - frac
+
+
+Scale = "DiscreteScale | ContinuousScale"
+
+
+def linguistic_0_3(name: str, unknown_label: str = "unknown") -> DiscreteScale:
+    """The paper's standard four-level scale: unknown/low/medium/high.
+
+    Fig. 4 codes *Purpose reliability* this way; the other discrete
+    criteria of §II use the same 0-3 coding in Fig. 2.
+    """
+    return DiscreteScale(name, (unknown_label, "low", "medium", "high"))

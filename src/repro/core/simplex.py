@@ -1,0 +1,241 @@
+"""A small dense two-phase simplex solver.
+
+:mod:`repro.core.dominance` normally solves its linear programs with
+``scipy.optimize.linprog`` (HiGHS).  This module provides a dependency-
+free fallback with the same calling convention, and doubles as an
+independent cross-check in the property tests: both solvers must agree
+on every dominance LP of the case study.
+
+The solver handles the standard form
+
+    minimise    c . x
+    subject to  A_ub x <= b_ub
+                A_eq x == b_eq
+                lo_i <= x_i <= up_i
+
+using a two-phase tableau simplex with Bland's anti-cycling rule.  It
+is written for the *small* LPs of this library (tens of variables and
+constraints), not for general-purpose use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["LPResult", "linprog_simplex"]
+
+_EPS = 1e-9
+
+
+@dataclass
+class LPResult:
+    """Mirror of the scipy ``OptimizeResult`` fields dominance uses."""
+
+    x: Optional[np.ndarray]
+    fun: Optional[float]
+    status: int  # 0 = optimal, 2 = infeasible, 3 = unbounded
+    success: bool
+    message: str = ""
+
+
+def _to_standard_form(
+    c: np.ndarray,
+    a_ub: Optional[np.ndarray],
+    b_ub: Optional[np.ndarray],
+    a_eq: Optional[np.ndarray],
+    b_eq: Optional[np.ndarray],
+    bounds: Sequence[Tuple[Optional[float], Optional[float]]],
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, List[str], np.ndarray, float]:
+    """Shift variables to ``y = x - lo >= 0`` and stack all constraints.
+
+    Returns (A, b, c', row_kinds, lower_shift, objective_offset) where
+    row_kinds[i] is "ub" or "eq".  Finite upper bounds become extra
+    ``<=`` rows.  Variables must have finite lower bounds (all LPs in
+    this library do: weights live in [0, 1]).
+    """
+    n = len(c)
+    lows = np.zeros(n)
+    rows_a: List[np.ndarray] = []
+    rows_b: List[float] = []
+    kinds: List[str] = []
+
+    for i, (lo, up) in enumerate(bounds):
+        if lo is None:
+            raise ValueError(
+                "linprog_simplex requires finite lower bounds on every variable"
+            )
+        lows[i] = lo
+        if up is not None:
+            row = np.zeros(n)
+            row[i] = 1.0
+            rows_a.append(row)
+            rows_b.append(up - lo)
+            kinds.append("ub")
+
+    if a_ub is not None:
+        a_ub = np.asarray(a_ub, dtype=float)
+        b_shift = np.asarray(b_ub, dtype=float) - a_ub @ lows
+        for row, rhs in zip(a_ub, b_shift):
+            rows_a.append(np.asarray(row, dtype=float))
+            rows_b.append(float(rhs))
+            kinds.append("ub")
+    if a_eq is not None:
+        a_eq = np.asarray(a_eq, dtype=float)
+        b_shift = np.asarray(b_eq, dtype=float) - a_eq @ lows
+        for row, rhs in zip(a_eq, b_shift):
+            rows_a.append(np.asarray(row, dtype=float))
+            rows_b.append(float(rhs))
+            kinds.append("eq")
+
+    a = np.vstack(rows_a) if rows_a else np.zeros((0, n))
+    b = np.array(rows_b)
+    offset = float(c @ lows)
+    return a, b, np.asarray(c, dtype=float), kinds, lows, offset
+
+
+def _pivot(tableau: np.ndarray, basis: List[int], row: int, col: int) -> None:
+    tableau[row] /= tableau[row, col]
+    for r in range(tableau.shape[0]):
+        if r != row and abs(tableau[r, col]) > _EPS:
+            tableau[r] -= tableau[r, col] * tableau[row]
+    basis[row] = col
+
+
+def _simplex_iterate(
+    tableau: np.ndarray, basis: List[int], n_cols: int
+) -> int:
+    """Run simplex on a tableau whose last row is the objective.
+
+    Returns 0 on optimality, 3 if unbounded.  Uses Bland's rule.
+    """
+    m = tableau.shape[0] - 1
+    while True:
+        obj = tableau[-1, :n_cols]
+        entering = -1
+        for j in range(n_cols):
+            if obj[j] < -_EPS:
+                entering = j
+                break
+        if entering < 0:
+            return 0
+        best_ratio = np.inf
+        leaving = -1
+        for i in range(m):
+            coef = tableau[i, entering]
+            if coef > _EPS:
+                ratio = tableau[i, -1] / coef
+                if ratio < best_ratio - _EPS or (
+                    abs(ratio - best_ratio) <= _EPS
+                    and (leaving < 0 or basis[i] < basis[leaving])
+                ):
+                    best_ratio = ratio
+                    leaving = i
+        if leaving < 0:
+            return 3
+        _pivot(tableau, basis, leaving, entering)
+
+
+def linprog_simplex(
+    c: Sequence[float],
+    a_ub: Optional[Sequence[Sequence[float]]] = None,
+    b_ub: Optional[Sequence[float]] = None,
+    a_eq: Optional[Sequence[Sequence[float]]] = None,
+    b_eq: Optional[Sequence[float]] = None,
+    bounds: Optional[Sequence[Tuple[Optional[float], Optional[float]]]] = None,
+) -> LPResult:
+    """Solve a small linear program; see module docstring for the form."""
+    c = np.asarray(c, dtype=float)
+    n = len(c)
+    if bounds is None:
+        bounds = [(0.0, None)] * n
+    a, b, c_std, kinds, lows, offset = _to_standard_form(
+        c, a_ub, b_ub, a_eq, b_eq, bounds
+    )
+    m = len(b)
+
+    # Flip rows with negative RHS (turns <= into >=, handled via artificials).
+    ge_rows = set()
+    for i in range(m):
+        if b[i] < 0:
+            a[i] = -a[i]
+            b[i] = -b[i]
+            if kinds[i] == "ub":
+                ge_rows.add(i)
+
+    # Columns: n structural + slacks/surplus + artificials.
+    slack_cols: dict = {}
+    surplus_cols: dict = {}
+    artificial_rows: List[int] = []
+    n_slack = sum(1 for i in range(m) if kinds[i] == "ub" and i not in ge_rows)
+    n_surplus = len(ge_rows)
+    for i in range(m):
+        if kinds[i] == "eq" or i in ge_rows:
+            artificial_rows.append(i)
+    n_art = len(artificial_rows)
+    total = n + n_slack + n_surplus + n_art
+
+    tableau = np.zeros((m + 1, total + 1))
+    tableau[:m, :n] = a
+    tableau[:m, -1] = b
+    basis: List[int] = [-1] * m
+
+    col = n
+    for i in range(m):
+        if kinds[i] == "ub" and i not in ge_rows:
+            tableau[i, col] = 1.0
+            basis[i] = col
+            col += 1
+    for i in sorted(ge_rows):
+        tableau[i, col] = -1.0
+        surplus_cols[i] = col
+        col += 1
+    for i in artificial_rows:
+        tableau[i, col] = 1.0
+        basis[i] = col
+        col += 1
+
+    if n_art:
+        # Phase 1: minimise the sum of artificials.
+        art_start = total - n_art
+        tableau[-1, art_start:total] = 1.0
+        for i in artificial_rows:
+            tableau[-1] -= tableau[i]
+        status = _simplex_iterate(tableau, basis, total)
+        if status != 0 or tableau[-1, -1] < -1e-7:
+            return LPResult(None, None, 2, False, "infeasible")
+        # Drive any artificial still in the basis out (degenerate rows).
+        for i in range(m):
+            if basis[i] >= art_start:
+                pivot_col = -1
+                for j in range(art_start):
+                    if abs(tableau[i, j]) > _EPS:
+                        pivot_col = j
+                        break
+                if pivot_col >= 0:
+                    _pivot(tableau, basis, i, pivot_col)
+        # Remove artificial columns from consideration.
+        tableau[:, art_start:total] = 0.0
+        usable = art_start
+    else:
+        usable = total
+
+    # Phase 2: the real objective.
+    tableau[-1, :] = 0.0
+    tableau[-1, :n] = c_std
+    for i in range(m):
+        if basis[i] < usable and abs(tableau[-1, basis[i]]) > _EPS:
+            tableau[-1] -= tableau[-1, basis[i]] * tableau[i]
+    status = _simplex_iterate(tableau, basis, usable)
+    if status == 3:
+        return LPResult(None, None, 3, False, "unbounded")
+
+    x_std = np.zeros(total)
+    for i in range(m):
+        if basis[i] >= 0:
+            x_std[basis[i]] = tableau[i, -1]
+    x = x_std[:n] + lows
+    fun = float(c @ x)
+    return LPResult(x, fun, 0, True, "optimal")

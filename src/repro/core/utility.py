@@ -1,0 +1,233 @@
+"""Classes of component utility functions (§III of the paper).
+
+GMAA lets the decision maker answer the probability-equivalence
+questions of utility elicitation with *value intervals*, which "leads to
+classes of utility functions" instead of a single curve.  A class of
+utility functions is represented here by its lower and upper envelopes:
+
+* :class:`DiscreteUtility` — one utility interval per level of a
+  :class:`~repro.core.scales.DiscreteScale` (Fig. 4: Purpose
+  reliability's levels map to ``[0,.20]``, ``[.20,.40]``, ``[.40,.60]``
+  and ``1.0``).
+* :class:`PiecewiseLinearUtility` — lower/upper piecewise-linear
+  envelopes over a :class:`~repro.core.scales.ContinuousScale` (Fig. 3:
+  the *number of functional requirements covered* gets a precise linear
+  utility on ``[0, 3]``).
+
+Missing performances follow the paper's ref. [18]: the utility of the
+*unknown* pseudo-value is the whole interval ``[0, 1]``.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+from typing import Dict, Sequence, Tuple
+
+from .interval import Interval
+from .scales import MISSING, ContinuousScale, DiscreteScale, MissingType
+
+__all__ = [
+    "DiscreteUtility",
+    "PiecewiseLinearUtility",
+    "UtilityFunction",
+    "linear_utility",
+    "banded_discrete_utility",
+]
+
+#: Utility assigned to a missing performance (paper §III, ref. [18]).
+MISSING_UTILITY = Interval(0.0, 1.0)
+
+
+def _check_unit(interval: Interval, context: str) -> None:
+    if interval.lower < -1e-12 or interval.upper > 1.0 + 1e-12:
+        raise ValueError(f"{context}: utility interval {interval} outside [0, 1]")
+
+
+@dataclass(frozen=True)
+class DiscreteUtility:
+    """A class of utility functions over a discrete linguistic scale.
+
+    ``by_level`` maps each level code to its utility interval.  GMAA's
+    convention (§III) is that utility 1 corresponds to the best
+    performance and 0 to the least preferred one, so the best level must
+    reach 1.0 at its upper envelope and the worst must touch 0.0 at its
+    lower envelope.
+    """
+
+    scale: DiscreteScale
+    by_level: Tuple[Interval, ...]
+    missing_utility: Interval = MISSING_UTILITY
+
+    def __post_init__(self) -> None:
+        if len(self.by_level) != len(self.scale):
+            raise ValueError(
+                f"utility for scale {self.scale.name!r}: expected "
+                f"{len(self.scale)} level intervals, got {len(self.by_level)}"
+            )
+        for code, interval in enumerate(self.by_level):
+            _check_unit(interval, f"scale {self.scale.name!r} level {code}")
+        # Envelopes must be monotone in the level order: a better level
+        # can never be worth less than a worse one.
+        for code in range(1, len(self.by_level)):
+            prev, cur = self.by_level[code - 1], self.by_level[code]
+            if cur.lower < prev.lower - 1e-12 or cur.upper < prev.upper - 1e-12:
+                raise ValueError(
+                    f"scale {self.scale.name!r}: utility envelopes decrease "
+                    f"between levels {code - 1} and {code}"
+                )
+        _check_unit(self.missing_utility, f"scale {self.scale.name!r} missing value")
+
+    def utility(self, performance: "int | float | MissingType") -> Interval:
+        """The utility interval of a performance on this attribute."""
+        if performance is MISSING:
+            return self.missing_utility
+        if not self.scale.is_valid(performance):
+            raise ValueError(
+                f"{performance!r} is not a valid level of scale "
+                f"{self.scale.name!r}"
+            )
+        return self.by_level[int(performance)]
+
+    def average_utility(self, performance: "int | float | MissingType") -> float:
+        """Midpoint of the utility interval — GMAA's *average* reading."""
+        return self.utility(performance).midpoint
+
+    @property
+    def worst_performance(self) -> int:
+        return self.scale.worst
+
+    @property
+    def best_performance(self) -> int:
+        return self.scale.best
+
+
+@dataclass(frozen=True)
+class PiecewiseLinearUtility:
+    """A class of utility functions over a continuous scale.
+
+    The class is represented by two piecewise-linear envelopes through
+    the elicited ``(x, [u_low, u_up])`` knots.  A precise utility
+    function (Fig. 3) is the special case where every knot interval is
+    degenerate.
+    """
+
+    scale: ContinuousScale
+    knots: Tuple[Tuple[float, Interval], ...]
+    missing_utility: Interval = MISSING_UTILITY
+
+    def __post_init__(self) -> None:
+        if len(self.knots) < 2:
+            raise ValueError(
+                f"utility for scale {self.scale.name!r}: need at least two knots"
+            )
+        xs = [x for x, _ in self.knots]
+        if xs != sorted(xs):
+            raise ValueError(
+                f"utility for scale {self.scale.name!r}: knot abscissae must "
+                "be increasing"
+            )
+        if len(set(xs)) != len(xs):
+            raise ValueError(
+                f"utility for scale {self.scale.name!r}: duplicate knot abscissae"
+            )
+        if abs(xs[0] - self.scale.minimum) > 1e-9 or abs(xs[-1] - self.scale.maximum) > 1e-9:
+            raise ValueError(
+                f"utility for scale {self.scale.name!r}: knots must span the "
+                f"scale range [{self.scale.minimum}, {self.scale.maximum}]"
+            )
+        for x, interval in self.knots:
+            _check_unit(interval, f"scale {self.scale.name!r} knot at {x}")
+        _check_unit(self.missing_utility, f"scale {self.scale.name!r} missing value")
+
+    def utility(self, performance: "float | MissingType") -> Interval:
+        if performance is MISSING:
+            return self.missing_utility
+        if not self.scale.is_valid(performance):
+            raise ValueError(
+                f"{performance!r} is outside scale {self.scale.name!r} range "
+                f"[{self.scale.minimum}, {self.scale.maximum}]"
+            )
+        x = float(performance)
+        xs = [kx for kx, _ in self.knots]
+        hi = bisect.bisect_left(xs, x)
+        if hi < len(xs) and abs(xs[hi] - x) < 1e-12:
+            return self.knots[hi][1]
+        lo = hi - 1
+        x0, u0 = self.knots[lo]
+        x1, u1 = self.knots[hi]
+        t = (x - x0) / (x1 - x0)
+        return Interval(
+            u0.lower + t * (u1.lower - u0.lower),
+            u0.upper + t * (u1.upper - u0.upper),
+        )
+
+    def average_utility(self, performance: "float | MissingType") -> float:
+        return self.utility(performance).midpoint
+
+    @property
+    def worst_performance(self) -> float:
+        return self.scale.worst
+
+    @property
+    def best_performance(self) -> float:
+        return self.scale.best
+
+
+#: Anything usable as a component utility in the additive model.
+UtilityFunction = "DiscreteUtility | PiecewiseLinearUtility"
+
+
+def linear_utility(scale: ContinuousScale) -> PiecewiseLinearUtility:
+    """A precise linear utility over ``scale`` honouring its direction.
+
+    Used for the *number of functional requirements covered* criterion
+    (Fig. 3): utility grows linearly from 0 at ``ValueT = 0`` to 1 at
+    ``ValueT = MNVLT``.
+    """
+    if scale.ascending:
+        knots = (
+            (scale.minimum, Interval.point(0.0)),
+            (scale.maximum, Interval.point(1.0)),
+        )
+    else:
+        knots = (
+            (scale.minimum, Interval.point(1.0)),
+            (scale.maximum, Interval.point(0.0)),
+        )
+    return PiecewiseLinearUtility(scale, knots)
+
+
+def banded_discrete_utility(
+    scale: DiscreteScale,
+    band_width: float = 0.20,
+    best_is_precise: bool = True,
+) -> DiscreteUtility:
+    """The Fig. 4 pattern of imprecise utilities for a 0-3 scale.
+
+    Fig. 4 shows Purpose reliability's component utilities: level 0
+    spans ``[0.00, 0.20]``, level 1 ``[0.20, 0.40]``, level 2
+    ``[0.40, 0.60]`` and level 3 is exactly ``1.0``.  The same banded
+    shape, generalised to any number of levels, is applied to the other
+    discrete criteria of the case study.
+
+    Each non-best level ``k`` receives the interval
+    ``[k * band_width, (k + 1) * band_width]``; the best level receives
+    ``1.0`` exactly when ``best_is_precise``, else ``[1 - band_width, 1]``.
+    """
+    n = len(scale)
+    if band_width <= 0 or band_width * (n - 1) > 1.0 + 1e-12:
+        raise ValueError(
+            f"band_width {band_width!r} infeasible for {n}-level scale "
+            f"{scale.name!r}"
+        )
+    intervals = []
+    for code in range(n):
+        if code == n - 1:
+            if best_is_precise:
+                intervals.append(Interval.point(1.0))
+            else:
+                intervals.append(Interval(1.0 - band_width, 1.0))
+        else:
+            intervals.append(Interval(code * band_width, (code + 1) * band_width))
+    return DiscreteUtility(scale, tuple(intervals))

@@ -1,0 +1,316 @@
+"""Imprecise weights over the objective hierarchy (§III, Fig. 5).
+
+The paper elicits "imprecise weights representing the relative
+importance of criteria ... along the branches of the hierarchy using a
+method based on trade-offs.  Then the attribute weights used in the
+multi-attribute additive utility model are assessed by multiplying the
+elicited weights in the path from the overall objective to the
+respective attributes."
+
+This module implements exactly that:
+
+* each non-root node carries a *local* weight interval among its
+  siblings (the trade-off elicitation response),
+* a node's *local average* is its interval midpoint normalised over the
+  sibling midpoints (so sibling averages sum to 1),
+* an attribute's *global* weight interval is the product of local
+  interval bounds along the root → leaf path, and its global average is
+  the product of local averages — which is why the Fig. 5 ``avg``
+  column sums to exactly 1.000 while the ``low``/``upp`` columns do not
+  (0.806 and 1.193 in the paper: bounds are **not** renormalised).
+
+Elicitation helpers for the ablation benches (rank-order centroid,
+rank-sum, equal weights, swing) live at the bottom.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from .hierarchy import Hierarchy, ObjectiveNode
+from .interval import Interval
+
+__all__ = [
+    "WeightSystem",
+    "rank_order_centroid",
+    "rank_sum_weights",
+    "equal_weights",
+    "swing_weights",
+    "tradeoff_intervals",
+]
+
+_TOL = 1e-9
+
+
+class WeightSystem:
+    """Local weight intervals for every non-root node of a hierarchy.
+
+    The mapping ``local`` assigns each non-root objective its elicited
+    interval.  Intervals are validated per sibling group: bounds must be
+    non-negative, midpoints must not all be zero, and the group's box
+    must intersect the weight simplex (``sum of lowers <= 1 <= sum of
+    uppers``) so that interval-constrained Monte Carlo sampling and the
+    LP analyses have a non-empty feasible region.
+    """
+
+    def __init__(self, hierarchy: Hierarchy, local: Mapping[str, Interval]) -> None:
+        self._hierarchy = hierarchy
+        self._local: Dict[str, Interval] = dict(local)
+        self._local_average: Dict[str, float] = {}
+        self._validate()
+
+    # ------------------------------------------------------------------
+    def _validate(self) -> None:
+        expected = {
+            node.name
+            for node in self._hierarchy.nodes()
+            if node.name != self._hierarchy.root.name
+        }
+        got = set(self._local)
+        if expected - got:
+            raise ValueError(
+                f"missing local weights for objectives: {sorted(expected - got)}"
+            )
+        if got - expected:
+            raise ValueError(
+                f"local weights given for unknown objectives: {sorted(got - expected)}"
+            )
+        for name, interval in self._local.items():
+            if interval.lower < -_TOL:
+                raise ValueError(
+                    f"objective {name!r}: weight interval {interval} is negative"
+                )
+        for parent in self._hierarchy.nodes():
+            if parent.is_leaf:
+                continue
+            siblings = parent.children
+            lowers = sum(self._local[c.name].lower for c in siblings)
+            uppers = sum(self._local[c.name].upper for c in siblings)
+            mids = sum(self._local[c.name].midpoint for c in siblings)
+            if mids <= _TOL:
+                raise ValueError(
+                    f"children of {parent.name!r} all have zero weight"
+                )
+            if lowers > 1.0 + 1e-6 or uppers < 1.0 - 1e-6:
+                raise ValueError(
+                    f"children of {parent.name!r}: weight box "
+                    f"[{lowers:.4f}, {uppers:.4f}] does not straddle the "
+                    "simplex (sum of lowers must be <= 1 <= sum of uppers)"
+                )
+            for child in siblings:
+                self._local_average[child.name] = (
+                    self._local[child.name].midpoint / mids
+                )
+        self._local_average[self._hierarchy.root.name] = 1.0
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_raw_intervals(
+        cls, hierarchy: Hierarchy, raw: Mapping[str, Interval]
+    ) -> "WeightSystem":
+        """Build from unnormalised elicitation responses.
+
+        Trade-off answers arrive on an arbitrary ratio scale; each
+        sibling group is rescaled by the sum of its midpoints, which
+        places the group's box across the simplex.
+        """
+        scaled: Dict[str, Interval] = {}
+        for parent in hierarchy.nodes():
+            if parent.is_leaf:
+                continue
+            siblings = parent.children
+            total_mid = sum(raw[c.name].midpoint for c in siblings)
+            if total_mid <= _TOL:
+                raise ValueError(
+                    f"children of {parent.name!r} all have zero raw weight"
+                )
+            for child in siblings:
+                scaled[child.name] = raw[child.name].scale(1.0 / total_mid)
+        return cls(hierarchy, scaled)
+
+    @classmethod
+    def precise(
+        cls, hierarchy: Hierarchy, values: Mapping[str, float]
+    ) -> "WeightSystem":
+        """A weight system with degenerate (point) intervals."""
+        return cls.from_raw_intervals(
+            hierarchy,
+            {name: Interval.point(v) for name, v in values.items()},
+        )
+
+    @classmethod
+    def uniform(cls, hierarchy: Hierarchy) -> "WeightSystem":
+        """Equal precise weights within every sibling group."""
+        local: Dict[str, Interval] = {}
+        for parent in hierarchy.nodes():
+            if parent.is_leaf:
+                continue
+            share = 1.0 / len(parent.children)
+            for child in parent.children:
+                local[child.name] = Interval.point(share)
+        return cls(hierarchy, local)
+
+    # ------------------------------------------------------------------
+    # Local accessors
+    # ------------------------------------------------------------------
+    @property
+    def hierarchy(self) -> Hierarchy:
+        return self._hierarchy
+
+    def local_interval(self, name: str) -> Interval:
+        if name == self._hierarchy.root.name:
+            return Interval.point(1.0)
+        try:
+            return self._local[name]
+        except KeyError:
+            raise KeyError(f"no local weight for objective {name!r}") from None
+
+    def local_average(self, name: str) -> float:
+        """Midpoint normalised over siblings (sums to 1 per group)."""
+        try:
+            return self._local_average[name]
+        except KeyError:
+            raise KeyError(f"no local weight for objective {name!r}") from None
+
+    # ------------------------------------------------------------------
+    # Global (attribute) weights — Fig. 5
+    # ------------------------------------------------------------------
+    def node_weight_interval(self, name: str) -> Interval:
+        """Product of local intervals along the root -> ``name`` path."""
+        result = Interval.point(1.0)
+        for node in self._hierarchy.path_to(name):
+            result = result * self.local_interval(node.name)
+        return result
+
+    def node_weight_average(self, name: str) -> float:
+        """Product of normalised local averages along the path."""
+        result = 1.0
+        for node in self._hierarchy.path_to(name):
+            result *= self.local_average(node.name)
+        return result
+
+    def attribute_weight_interval(self, attribute: str) -> Interval:
+        leaf = self._hierarchy.leaf_for_attribute(attribute)
+        return self.node_weight_interval(leaf.name)
+
+    def attribute_weight_average(self, attribute: str) -> float:
+        leaf = self._hierarchy.leaf_for_attribute(attribute)
+        return self.node_weight_average(leaf.name)
+
+    def attribute_weights(self) -> Dict[str, Interval]:
+        """Global weight interval per attribute (Fig. 5 low/upp columns)."""
+        return {
+            leaf.attribute: self.node_weight_interval(leaf.name)
+            for leaf in self._hierarchy.leaves()
+        }
+
+    def attribute_averages(self) -> Dict[str, float]:
+        """Global average weight per attribute; sums to exactly 1."""
+        return {
+            leaf.attribute: self.node_weight_average(leaf.name)
+            for leaf in self._hierarchy.leaves()
+        }
+
+    # ------------------------------------------------------------------
+    # Subtree view — ranking "by another objective" (Fig. 7)
+    # ------------------------------------------------------------------
+    def for_subtree(self, objective: str) -> "WeightSystem":
+        """The weight system of the hierarchy rooted at ``objective``.
+
+        Local intervals inside the subtree are unchanged; the subtree
+        root's own weight becomes 1 — exactly GMAA's behaviour when the
+        user selects "another objective to rank by".
+        """
+        sub = self._hierarchy.subtree(objective)
+        local = {
+            node.name: self._local[node.name]
+            for node in sub.nodes()
+            if node.name != objective
+        }
+        return WeightSystem(sub, local)
+
+    # ------------------------------------------------------------------
+    def replace_local(self, name: str, interval: Interval) -> "WeightSystem":
+        """A copy with one local interval replaced (stability sweeps)."""
+        if name == self._hierarchy.root.name:
+            raise ValueError("cannot replace the root weight")
+        local = dict(self._local)
+        if name not in local:
+            raise KeyError(f"no local weight for objective {name!r}")
+        local[name] = interval
+        return WeightSystem(self._hierarchy, local)
+
+    def as_precise_averages(self) -> "WeightSystem":
+        """Degenerate copy fixing every local weight at its average."""
+        local = {
+            name: Interval.point(self._local_average[name])
+            for name in self._local
+        }
+        return WeightSystem(self._hierarchy, local)
+
+
+# ----------------------------------------------------------------------
+# Elicitation helpers (surrogate weighting methods for the ablations)
+# ----------------------------------------------------------------------
+
+def rank_order_centroid(n: int) -> Tuple[float, ...]:
+    """ROC weights for ``n`` criteria ranked from most to least important.
+
+    ``w_k = (1/n) * sum_{i=k}^{n} 1/i`` — the centroid of the simplex
+    region consistent with the rank order.  Used by the rank-order
+    Monte Carlo ablation as the analytic reference point.
+    """
+    if n < 1:
+        raise ValueError("need at least one criterion")
+    return tuple(
+        sum(1.0 / i for i in range(k, n + 1)) / n for k in range(1, n + 1)
+    )
+
+
+def rank_sum_weights(n: int) -> Tuple[float, ...]:
+    """Rank-sum weights: ``w_k = 2(n + 1 - k) / (n(n + 1))``."""
+    if n < 1:
+        raise ValueError("need at least one criterion")
+    denom = n * (n + 1)
+    return tuple(2.0 * (n + 1 - k) / denom for k in range(1, n + 1))
+
+
+def equal_weights(n: int) -> Tuple[float, ...]:
+    if n < 1:
+        raise ValueError("need at least one criterion")
+    return tuple(1.0 / n for _ in range(n))
+
+
+def swing_weights(swings: Sequence[float]) -> Tuple[float, ...]:
+    """Normalise swing scores (0-100 style) into weights."""
+    if not swings:
+        raise ValueError("need at least one swing score")
+    if any(s < 0 for s in swings):
+        raise ValueError("swing scores must be non-negative")
+    total = float(sum(swings))
+    if total <= 0:
+        raise ValueError("at least one swing score must be positive")
+    return tuple(s / total for s in swings)
+
+
+def tradeoff_intervals(
+    reference: str,
+    ratios: Mapping[str, Interval],
+) -> Dict[str, Interval]:
+    """Turn trade-off ratio answers into raw local weight intervals.
+
+    The trade-off method asks the DM to compare each sibling against a
+    reference sibling: "objective X is between ``lo`` and ``up`` times
+    as important as the reference".  The reference itself gets the
+    degenerate interval [1, 1]; feed the result to
+    :meth:`WeightSystem.from_raw_intervals`.
+    """
+    for name, ratio in ratios.items():
+        if ratio.lower < 0:
+            raise ValueError(f"ratio for {name!r} is negative: {ratio}")
+    raw = dict(ratios)
+    raw[reference] = Interval.point(1.0)
+    return raw

@@ -1,0 +1,254 @@
+"""GMAA-style workspace persistence.
+
+GMAA keeps the whole analysis in a *workspace* (the title bar of Fig. 1
+reads "Current Workspace: Multimedia").  This module serialises a
+complete :class:`~repro.core.problem.DecisionProblem` — hierarchy,
+scales, performances, component-utility classes and weight system — to
+a single JSON document and restores it losslessly, so an analysis can
+be saved, shared and re-opened exactly like a ``.gmaa`` file.
+
+The format is versioned (``"format": "repro-workspace/1"``); loaders
+reject unknown versions instead of guessing.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Union
+
+from .hierarchy import Hierarchy, ObjectiveNode
+from .interval import Interval
+from .performance import Alternative, PerformanceTable, UncertainValue
+from .problem import DecisionProblem
+from .scales import MISSING, ContinuousScale, DiscreteScale
+from .utility import DiscreteUtility, PiecewiseLinearUtility
+from .weights import WeightSystem
+
+__all__ = ["to_dict", "from_dict", "save", "load", "FORMAT"]
+
+FORMAT = "repro-workspace/1"
+
+
+# ----------------------------------------------------------------------
+# Encoding
+# ----------------------------------------------------------------------
+
+def _encode_interval(interval: Interval) -> List[float]:
+    return [interval.lower, interval.upper]
+
+
+def _encode_node(node: ObjectiveNode) -> Dict[str, Any]:
+    encoded: Dict[str, Any] = {"name": node.name}
+    if node.description:
+        encoded["description"] = node.description
+    if node.is_leaf:
+        encoded["attribute"] = node.attribute
+    else:
+        encoded["children"] = [_encode_node(child) for child in node.children]
+    return encoded
+
+
+def _encode_scale(scale: object) -> Dict[str, Any]:
+    if isinstance(scale, DiscreteScale):
+        return {"kind": "discrete", "name": scale.name, "levels": list(scale.levels)}
+    if isinstance(scale, ContinuousScale):
+        return {
+            "kind": "continuous",
+            "name": scale.name,
+            "minimum": scale.minimum,
+            "maximum": scale.maximum,
+            "ascending": scale.ascending,
+            "unit": scale.unit,
+        }
+    raise TypeError(f"cannot encode scale of type {type(scale).__name__}")
+
+
+def _encode_performance(value: object) -> Any:
+    if value is MISSING:
+        return {"kind": "missing"}
+    if isinstance(value, UncertainValue):
+        return {
+            "kind": "uncertain",
+            "minimum": value.minimum,
+            "average": value.average,
+            "maximum": value.maximum,
+        }
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise TypeError(f"cannot encode performance {value!r}")
+    return float(value)
+
+
+def _encode_utility(fn: object) -> Dict[str, Any]:
+    if isinstance(fn, DiscreteUtility):
+        return {
+            "kind": "discrete",
+            "scale": fn.scale.name,
+            "by_level": [_encode_interval(iv) for iv in fn.by_level],
+            "missing": _encode_interval(fn.missing_utility),
+        }
+    if isinstance(fn, PiecewiseLinearUtility):
+        return {
+            "kind": "piecewise_linear",
+            "scale": fn.scale.name,
+            "knots": [[x, _encode_interval(iv)] for x, iv in fn.knots],
+            "missing": _encode_interval(fn.missing_utility),
+        }
+    raise TypeError(f"cannot encode utility of type {type(fn).__name__}")
+
+
+def to_dict(problem: DecisionProblem) -> Dict[str, Any]:
+    """The JSON-ready representation of a whole decision problem."""
+    scales = {
+        attr: _encode_scale(problem.table.scale_of(attr))
+        for attr in problem.table.attribute_names
+    }
+    alternatives = [
+        {
+            "name": alt.name,
+            "description": alt.description,
+            "performances": {
+                attr: _encode_performance(alt.performance(attr))
+                for attr in problem.table.attribute_names
+            },
+        }
+        for alt in problem.table.alternatives
+    ]
+    weights = {
+        node.name: _encode_interval(problem.weights.local_interval(node.name))
+        for node in problem.hierarchy.nodes()
+        if node.name != problem.hierarchy.root.name
+    }
+    return {
+        "format": FORMAT,
+        "name": problem.name,
+        "hierarchy": _encode_node(problem.hierarchy.root),
+        "scales": scales,
+        "alternatives": alternatives,
+        "utilities": {
+            attr: _encode_utility(problem.utility_function(attr))
+            for attr in problem.attribute_names
+        },
+        "weights": weights,
+    }
+
+
+# ----------------------------------------------------------------------
+# Decoding
+# ----------------------------------------------------------------------
+
+def _decode_interval(data: Any) -> Interval:
+    if not isinstance(data, (list, tuple)) or len(data) != 2:
+        raise ValueError(f"expected [lower, upper], got {data!r}")
+    return Interval(float(data[0]), float(data[1]))
+
+
+def _decode_node(data: Mapping[str, Any]) -> ObjectiveNode:
+    children = [_decode_node(child) for child in data.get("children", [])]
+    return ObjectiveNode(
+        name=data["name"],
+        children=children,
+        attribute=data.get("attribute"),
+        description=data.get("description", ""),
+    )
+
+
+def _decode_scale(data: Mapping[str, Any]) -> object:
+    kind = data.get("kind")
+    if kind == "discrete":
+        return DiscreteScale(data["name"], tuple(data["levels"]))
+    if kind == "continuous":
+        return ContinuousScale(
+            data["name"],
+            float(data["minimum"]),
+            float(data["maximum"]),
+            bool(data.get("ascending", True)),
+            data.get("unit", ""),
+        )
+    raise ValueError(f"unknown scale kind {kind!r}")
+
+
+def _decode_performance(data: Any) -> object:
+    if isinstance(data, Mapping):
+        kind = data.get("kind")
+        if kind == "missing":
+            return MISSING
+        if kind == "uncertain":
+            return UncertainValue(
+                float(data["minimum"]), float(data["average"]), float(data["maximum"])
+            )
+        raise ValueError(f"unknown performance kind {kind!r}")
+    return float(data)
+
+
+def _decode_utility(data: Mapping[str, Any], scale: object) -> object:
+    kind = data.get("kind")
+    missing = _decode_interval(data.get("missing", [0.0, 1.0]))
+    if kind == "discrete":
+        if not isinstance(scale, DiscreteScale):
+            raise ValueError(
+                f"discrete utility declared over non-discrete scale {data['scale']!r}"
+            )
+        return DiscreteUtility(
+            scale,
+            tuple(_decode_interval(iv) for iv in data["by_level"]),
+            missing,
+        )
+    if kind == "piecewise_linear":
+        if not isinstance(scale, ContinuousScale):
+            raise ValueError(
+                "piecewise-linear utility declared over non-continuous scale "
+                f"{data['scale']!r}"
+            )
+        return PiecewiseLinearUtility(
+            scale,
+            tuple((float(x), _decode_interval(iv)) for x, iv in data["knots"]),
+            missing,
+        )
+    raise ValueError(f"unknown utility kind {kind!r}")
+
+
+def from_dict(data: Mapping[str, Any]) -> DecisionProblem:
+    """Rebuild a decision problem from :func:`to_dict` output."""
+    if data.get("format") != FORMAT:
+        raise ValueError(
+            f"unsupported workspace format {data.get('format')!r}; "
+            f"expected {FORMAT!r}"
+        )
+    hierarchy = Hierarchy(_decode_node(data["hierarchy"]))
+    scales = {attr: _decode_scale(s) for attr, s in data["scales"].items()}
+    alternatives = [
+        Alternative(
+            alt["name"],
+            {a: _decode_performance(v) for a, v in alt["performances"].items()},
+            alt.get("description", ""),
+        )
+        for alt in data["alternatives"]
+    ]
+    table = PerformanceTable(scales, alternatives)
+    utilities = {
+        attr: _decode_utility(u, scales[attr])
+        for attr, u in data["utilities"].items()
+    }
+    weights = WeightSystem(
+        hierarchy,
+        {name: _decode_interval(iv) for name, iv in data["weights"].items()},
+    )
+    return DecisionProblem(
+        hierarchy, table, utilities, weights, name=data.get("name", "workspace")
+    )
+
+
+# ----------------------------------------------------------------------
+# Files
+# ----------------------------------------------------------------------
+
+def save(problem: DecisionProblem, path: Union[str, Path]) -> None:
+    """Write the workspace JSON for ``problem`` to ``path``."""
+    path = Path(path)
+    path.write_text(json.dumps(to_dict(problem), indent=2, sort_keys=True))
+
+
+def load(path: Union[str, Path]) -> DecisionProblem:
+    """Read a workspace JSON written by :func:`save`."""
+    return from_dict(json.loads(Path(path).read_text()))

@@ -1,0 +1,50 @@
+"""NeOn Methodology reuse activities (search, assess, select, integrate).
+
+The paper sits inside the NeOn Methodology's ontology-reuse guidelines;
+this package implements those activities around the :mod:`repro.core`
+decision engine: the 14 criteria and the Fig. 1 hierarchy, the
+candidate assessment that derives attribute performances from measured
+ontology signals, the CQ-coverage selection rule, and the end-to-end
+pipeline.
+"""
+
+from .assessment import (
+    TRANSFORMABLE_LANGUAGES,
+    CandidateAssessment,
+    assess,
+    assessment_table,
+)
+from .criteria import (
+    ATTRIBUTE_IDS,
+    CRITERIA,
+    CRITERIA_BY_ID,
+    OBJECTIVES,
+    ROOT_OBJECTIVE,
+    Criterion,
+    build_hierarchy,
+    default_scales,
+    default_utilities,
+)
+from .pipeline import PipelineReport, ReusePipeline
+from .selection import SelectionResult, select, select_for_coverage
+
+__all__ = [
+    "Criterion",
+    "CRITERIA",
+    "CRITERIA_BY_ID",
+    "ATTRIBUTE_IDS",
+    "OBJECTIVES",
+    "ROOT_OBJECTIVE",
+    "build_hierarchy",
+    "default_scales",
+    "default_utilities",
+    "CandidateAssessment",
+    "assess",
+    "assessment_table",
+    "TRANSFORMABLE_LANGUAGES",
+    "SelectionResult",
+    "select",
+    "select_for_coverage",
+    "PipelineReport",
+    "ReusePipeline",
+]

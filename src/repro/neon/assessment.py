@@ -1,0 +1,243 @@
+"""NeOn activity 2: assess candidate ontologies against the criteria.
+
+This module turns measurable signals — :class:`~repro.ontology.metrics.
+OntologyMetrics`, competency-question coverage and the registry's
+:class:`~repro.ontology.corpus.ReuseMetadata` — into the 14 attribute
+performances of §II.  Structural criteria are always assessable;
+provenance criteria (costs, tests, team, purpose, adoption) become
+:data:`~repro.core.scales.MISSING` when the corresponding metadata fact
+is unknown, which is exactly the situation §III models with the [0, 1]
+utility interval.
+
+The level thresholds are deliberately wide bands; the synthetic
+generator (:mod:`repro.ontology.generator`) targets the middle of each
+band, and the calibration tests pin the two sides together.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional, Sequence, Tuple
+
+from ..core.performance import Alternative, PerformanceTable, PerformanceValue
+from ..core.scales import MISSING
+from ..ontology.corpus import RegisteredOntology, ReuseMetadata
+from ..ontology.cq import CompetencyQuestion, CoverageResult, coverage
+from ..ontology.metrics import OntologyMetrics, compute_metrics
+from .criteria import ATTRIBUTE_IDS, default_scales
+
+__all__ = [
+    "TRANSFORMABLE_LANGUAGES",
+    "CandidateAssessment",
+    "assess",
+    "assessment_table",
+]
+
+#: Language pairs with "an available mechanism to make the
+#: transformation" (§II's medium level for implementation language).
+TRANSFORMABLE_LANGUAGES: frozenset = frozenset(
+    {
+        ("OWL", "RDFS"),
+        ("RDFS", "OWL"),
+        ("OWL", "OBO"),
+        ("OBO", "OWL"),
+    }
+)
+
+
+def _doc_quality(m: OntologyMetrics) -> int:
+    if m.documentation_coverage >= 0.75 and m.n_documentation_urls >= 1:
+        return 3
+    if m.documentation_coverage >= 0.45:
+        return 2
+    if m.documentation_coverage >= 0.15:
+        return 1
+    return 0
+
+
+def _external_knowledge(m: OntologyMetrics, meta: ReuseMetadata) -> int:
+    density = m.n_see_also / m.n_entities if m.n_entities else 0.0
+    if density >= 0.5:
+        level = 3
+    elif density >= 0.25:
+        level = 2
+    elif density >= 0.08:
+        level = 1
+    else:
+        level = 0
+    if meta.experts_contactable:
+        level = max(level, 2)
+    return level
+
+
+def _code_clarity(m: OntologyMetrics) -> int:
+    if m.comment_coverage >= 0.85 and m.case_consistency >= 0.90:
+        return 3
+    if m.comment_coverage >= 0.55 and m.case_consistency >= 0.75:
+        return 2
+    if m.comment_coverage >= 0.25:
+        return 1
+    return 0
+
+
+def _knowledge_extraction(m: OntologyMetrics) -> int:
+    if m.tangledness <= 0.05 and m.n_roots >= 3:
+        return 3
+    if m.tangledness <= 0.15:
+        return 2
+    if m.tangledness <= 0.30:
+        return 1
+    return 0
+
+
+def _naming(m: OntologyMetrics) -> int:
+    if m.standard_term_fraction >= 0.40:
+        return 3
+    if m.intuitive_name_fraction >= 0.70:
+        return 2
+    return 1
+
+
+def _language(candidate_language: str, target_language: str) -> int:
+    if candidate_language == target_language:
+        return 3
+    if (candidate_language, target_language) in TRANSFORMABLE_LANGUAGES:
+        return 2
+    return 1
+
+
+def _financial_cost(meta: ReuseMetadata) -> PerformanceValue:
+    if meta.financial_cost is None:
+        return MISSING
+    if meta.financial_cost <= 0:
+        return 3
+    if meta.financial_cost <= 100:
+        return 2
+    if meta.financial_cost <= 1000:
+        return 1
+    return 0
+
+
+def _required_time(meta: ReuseMetadata) -> PerformanceValue:
+    if meta.access_time_days is None:
+        return MISSING
+    if meta.access_time_days <= 1:
+        return 3
+    if meta.access_time_days <= 7:
+        return 2
+    if meta.access_time_days <= 30:
+        return 1
+    return 0
+
+
+def _tests(meta: ReuseMetadata) -> PerformanceValue:
+    if meta.n_test_suites is None:
+        return MISSING
+    return min(int(meta.n_test_suites), 3)
+
+
+def _former_evaluation(meta: ReuseMetadata) -> PerformanceValue:
+    if meta.evaluation_level is None:
+        return MISSING
+    return int(meta.evaluation_level)
+
+
+def _team_reputation(meta: ReuseMetadata) -> PerformanceValue:
+    if meta.team_publications is None:
+        return MISSING
+    if meta.team_publications > 5:
+        return 3
+    if meta.team_publications > 2:
+        return 2
+    if meta.team_publications > 0:
+        return 1
+    return 0
+
+
+def _purpose(meta: ReuseMetadata) -> PerformanceValue:
+    # Fig. 4's level 0 ("unknown") is a *scale level*: the assessors
+    # concluded the purpose fits no category.  A purpose nobody could
+    # establish at all is a missing performance instead.
+    if meta.purpose is None:
+        return MISSING
+    return {
+        "unclassified": 0,
+        "academic": 1,
+        "standard-transform": 2,
+        "project": 3,
+    }[meta.purpose]
+
+
+def _practical_support(meta: ReuseMetadata) -> PerformanceValue:
+    if meta.reused_by is None:
+        return MISSING
+    adopters = len(meta.reused_by)
+    if adopters >= 2 and meta.uses_design_patterns:
+        return 3
+    if adopters >= 2:
+        return 2
+    if adopters == 1:
+        return 1
+    return 0
+
+
+@dataclass(frozen=True)
+class CandidateAssessment:
+    """The assessed performances of one candidate, with the evidence."""
+
+    name: str
+    performances: Dict[str, PerformanceValue]
+    metrics: OntologyMetrics
+    cq_coverage: CoverageResult
+
+    def performance(self, attribute: str) -> PerformanceValue:
+        return self.performances[attribute]
+
+    @property
+    def missing_attributes(self) -> Tuple[str, ...]:
+        return tuple(
+            attr for attr, value in self.performances.items() if value is MISSING
+        )
+
+
+def assess(
+    entry: RegisteredOntology,
+    questions: Sequence[CompetencyQuestion],
+    target_language: str = "OWL",
+) -> CandidateAssessment:
+    """Assess one registered candidate on all 14 criteria."""
+    metrics = compute_metrics(entry.ontology)
+    cq_result = coverage(entry.ontology, questions)
+    meta = entry.metadata
+    performances: Dict[str, PerformanceValue] = {
+        "financial_cost": _financial_cost(meta),
+        "required_time": _required_time(meta),
+        "documentation_quality": _doc_quality(metrics),
+        "external_knowledge": _external_knowledge(metrics, meta),
+        "code_clarity": _code_clarity(metrics),
+        "functional_requirements": cq_result.value_t,
+        "knowledge_extraction": _knowledge_extraction(metrics),
+        "naming_conventions": _naming(metrics),
+        "implementation_language": _language(metrics.language, target_language),
+        "test_availability": _tests(meta),
+        "former_evaluation": _former_evaluation(meta),
+        "team_reputation": _team_reputation(meta),
+        "purpose_reliability": _purpose(meta),
+        "practical_support": _practical_support(meta),
+    }
+    assert set(performances) == set(ATTRIBUTE_IDS)
+    return CandidateAssessment(entry.name, performances, metrics, cq_result)
+
+
+def assessment_table(
+    assessments: Sequence[CandidateAssessment],
+    scales: "Optional[Mapping[str, object]]" = None,
+) -> PerformanceTable:
+    """Bundle assessments into the §II performance table (Fig. 2)."""
+    if not assessments:
+        raise ValueError("need at least one assessment")
+    scales = dict(scales) if scales is not None else default_scales()
+    alternatives = [
+        Alternative(a.name, dict(a.performances)) for a in assessments
+    ]
+    return PerformanceTable(scales, alternatives)

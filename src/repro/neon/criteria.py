@@ -1,0 +1,263 @@
+"""The 14 reuse criteria and the Fig. 1 objective hierarchy.
+
+§II adapts the NeOn criteria set to the multimedia domain, producing
+"14 criteria organized according to four main objectives": Reuse Cost,
+Understandability, Integration (workload) and Reliability.  This module
+is the single source of truth for their identifiers, display labels
+(the truncated strings GMAA shows in Fig. 1), scales and default
+component utilities — every other layer (assessment, case study,
+reporting) references criteria through it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from ..core.hierarchy import Hierarchy, ObjectiveNode
+from ..core.scales import ContinuousScale, DiscreteScale
+from ..core.utility import (
+    DiscreteUtility,
+    PiecewiseLinearUtility,
+    banded_discrete_utility,
+    linear_utility,
+)
+
+__all__ = [
+    "Criterion",
+    "CRITERIA",
+    "CRITERIA_BY_ID",
+    "ATTRIBUTE_IDS",
+    "OBJECTIVES",
+    "ROOT_OBJECTIVE",
+    "PRECISE_BEST_ATTRIBUTES",
+    "build_hierarchy",
+    "default_scales",
+    "default_utilities",
+]
+
+ROOT_OBJECTIVE = "Reuse Ontology"
+
+#: The four mid-level objectives, in Fig. 1 order.
+OBJECTIVES: Tuple[str, ...] = (
+    "Reuse Cost",
+    "Understandability",
+    "Integration",
+    "Reliability",
+)
+
+
+@dataclass(frozen=True)
+class Criterion:
+    """One lowest-level objective and the attribute measuring it.
+
+    ``attribute`` is the stable python identifier; ``objective`` is the
+    full node name; ``short`` is the truncated GMAA display label from
+    Fig. 1 (kept for figure-faithful rendering); ``levels`` the
+    discrete scale labels worst-first (``None`` for the continuous
+    ``ValueT`` criterion).
+    """
+
+    attribute: str
+    objective: str
+    short: str
+    branch: str
+    description: str
+    levels: "Tuple[str, ...] | None"
+
+
+CRITERIA: Tuple[Criterion, ...] = (
+    Criterion(
+        "financial_cost",
+        "Financial cost of reuse",
+        "Financ. Cost",
+        "Reuse Cost",
+        "Estimate of the economic cost of accessing and using the "
+        "candidate ontology (best level: freely available).",
+        ("prohibitive", "expensive", "affordable", "free"),
+    ),
+    Criterion(
+        "required_time",
+        "Required time for reuse",
+        "RequiredTime",
+        "Reuse Cost",
+        "The time it takes to access the candidate ontology "
+        "(best level: immediately available).",
+        ("months", "weeks", "days", "immediate"),
+    ),
+    Criterion(
+        "documentation_quality",
+        "Documentation Quality",
+        "Doc Quality",
+        "Understandability",
+        "Whether communicable material (wiki, article, web page) "
+        "explains the candidate ontology's modeling decisions.",
+        ("none", "sparse", "adequate", "rich"),
+    ),
+    Criterion(
+        "external_knowledge",
+        "Avail. of External Knowl",
+        "Ext Knowledg",
+        "Understandability",
+        "Whether the ontology references documentation sources and/or "
+        "experts are easily available.",
+        ("unavailable", "scarce", "reachable", "abundant"),
+    ),
+    Criterion(
+        "code_clarity",
+        "Code Clarity",
+        "Code Clarity",
+        "Understandability",
+        "Whether the code is easy to understand and modify: unified "
+        "patterns, clear and coherent definitions and comments.",
+        ("opaque", "confusing", "readable", "clear"),
+    ),
+    Criterion(
+        "functional_requirements",
+        "N. Functional Requirements",
+        "Funct Requir",
+        "Integration",
+        "Number of competency questions covered, transformed onto "
+        "[0, MNVLT] via the ValueT formula (MNVLT = 3).",
+        None,
+    ),
+    Criterion(
+        "knowledge_extraction",
+        "Adequacy Knwlgd Extraction",
+        "Knowl Extrac",
+        "Integration",
+        "Whether it is easy to identify and extract the parts of the "
+        "candidate ontology to be reused.",
+        ("entangled", "hard", "feasible", "modular"),
+    ),
+    Criterion(
+        "naming_conventions",
+        "Adequacy naming conventions",
+        "Naming Conv",
+        "Integration",
+        "Low if names are not intuitive, medium if clearly "
+        "understandable, high if taken from a standard (W3C, MPEG7...).",
+        ("unknown", "low", "medium", "high"),
+    ),
+    Criterion(
+        "implementation_language",
+        "Adequacy Implement Language",
+        "Imp Language",
+        "Integration",
+        "High when candidate and target share the language; medium "
+        "when a transformation mechanism exists; low otherwise.",
+        ("unknown", "low", "medium", "high"),
+    ),
+    Criterion(
+        "test_availability",
+        "Availability of test",
+        "Availab test",
+        "Reliability",
+        "Whether tests are available for the candidate ontology.",
+        ("none", "few", "partial", "extensive"),
+    ),
+    Criterion(
+        "former_evaluation",
+        "Former Evaluation",
+        "Former Eval",
+        "Reliability",
+        "Whether the ontology has been properly evaluated, i.e. has "
+        "passed a set of unit tests.",
+        ("unevaluated", "failed", "partially", "passed"),
+    ),
+    Criterion(
+        "team_reputation",
+        "Development team reputation",
+        "Team Reputat",
+        "Reliability",
+        "Whether the development team is reliable.",
+        ("unknown", "novice", "known", "renowned"),
+    ),
+    Criterion(
+        "purpose_reliability",
+        "Purpose Reliability",
+        "Purpose Rel",
+        "Reliability",
+        "0-unknown, 1-low (academic use), 2-medium (transformed from "
+        "standard metadata), 3-high (developed in a project) — Fig. 4.",
+        ("unknown", "low", "medium", "high"),
+    ),
+    Criterion(
+        "practical_support",
+        "Practical Support",
+        "Prac Support",
+        "Reliability",
+        "Whether well-known projects or ontologies have reused the "
+        "candidate; project + ontology-design-pattern use scores highest.",
+        ("none", "isolated", "adopted", "widely adopted"),
+    ),
+)
+
+CRITERIA_BY_ID: Dict[str, Criterion] = {c.attribute: c for c in CRITERIA}
+ATTRIBUTE_IDS: Tuple[str, ...] = tuple(c.attribute for c in CRITERIA)
+
+#: Range of the continuous ValueT attribute (Fig. 3).
+_VALUET_SCALE = ContinuousScale("ValueT", 0.0, 3.0, ascending=True, unit="ValueT")
+
+
+def build_hierarchy() -> Hierarchy:
+    """The Fig. 1 objective hierarchy (4 objectives, 14 leaves)."""
+    children = []
+    for objective in OBJECTIVES:
+        leaves = [
+            ObjectiveNode(c.objective, attribute=c.attribute, description=c.description)
+            for c in CRITERIA
+            if c.branch == objective
+        ]
+        children.append(ObjectiveNode(objective, children=leaves))
+    return Hierarchy(ObjectiveNode(ROOT_OBJECTIVE, children=children))
+
+
+def default_scales() -> Dict[str, object]:
+    """Attribute name -> scale, as §II establishes them."""
+    scales: Dict[str, object] = {}
+    for criterion in CRITERIA:
+        if criterion.levels is None:
+            scales[criterion.attribute] = _VALUET_SCALE
+        else:
+            scales[criterion.attribute] = DiscreteScale(
+                criterion.attribute, criterion.levels
+            )
+    return scales
+
+
+#: Attributes whose best level keeps the precise utility 1.0.  Fig. 4
+#: anchors *Purpose reliability*'s level 3 at exactly 1.0; the other
+#: discrete criteria keep an imprecise best level ``[1 - band, 1]``.
+#: That imprecision is what lets §V's screening retain 20 of 23
+#: candidates: with every best level pinned at 1.0, the potentially-
+#: optimal set collapses to near-clones of the leader, contradicting
+#: the published result (see DESIGN.md).
+PRECISE_BEST_ATTRIBUTES: Tuple[str, ...] = ("purpose_reliability",)
+
+
+def default_utilities(
+    band_width: float = 0.20,
+    precise_best_attributes: Tuple[str, ...] = PRECISE_BEST_ATTRIBUTES,
+) -> Dict[str, object]:
+    """Component utilities in the paper's Figs. 3-4 shapes.
+
+    The continuous criterion gets the precise linear utility of Fig. 3;
+    every discrete criterion gets the banded imprecise utilities of
+    Fig. 4 (level k spans ``[k*band, (k+1)*band]``).  Attributes listed
+    in ``precise_best_attributes`` give the best level exactly 1.0 (the
+    Fig. 4 shape); the rest keep an imprecise best ``[1 - band, 1]``.
+    """
+    scales = default_scales()
+    utilities: Dict[str, object] = {}
+    for criterion in CRITERIA:
+        scale = scales[criterion.attribute]
+        if isinstance(scale, ContinuousScale):
+            utilities[criterion.attribute] = linear_utility(scale)
+        else:
+            utilities[criterion.attribute] = banded_discrete_utility(
+                scale,
+                band_width=band_width,
+                best_is_precise=criterion.attribute in precise_best_attributes,
+            )
+    return utilities

@@ -1,0 +1,172 @@
+"""The end-to-end NeOn reuse pipeline: search → assess → select → integrate.
+
+The four activities the NeOn Methodology prescribes for reuse ([8],
+§I of the paper), chained over an :class:`~repro.ontology.corpus.
+OntologyRegistry`:
+
+1. **search** — keyword query over the registry (the paper found 40
+   multimedia ontologies);
+2. **assess** — measure every hit on the 14 criteria
+   (:mod:`repro.neon.assessment`);
+3. **select** — evaluate the additive model, optionally run the §V
+   screening, then apply the CQ-coverage rule
+   (:mod:`repro.neon.selection`);
+4. **integrate** — merge the selected ontologies into the target
+   network (:mod:`repro.ontology.merge`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Sequence, Tuple
+
+from ..core.dominance import DominanceResult, screen
+from ..core.model import AdditiveModel, Evaluation
+from ..core.problem import DecisionProblem
+from ..core.weights import WeightSystem
+from ..ontology.corpus import OntologyRegistry, SearchHit
+from ..ontology.cq import CompetencyQuestion
+from ..ontology.merge import MergeReport, integrate
+from ..ontology.model import Ontology
+from .assessment import CandidateAssessment, assess, assessment_table
+from .criteria import build_hierarchy, default_utilities
+from .selection import SelectionResult, select
+
+__all__ = ["PipelineReport", "ReusePipeline"]
+
+
+@dataclass(frozen=True)
+class PipelineReport:
+    """Everything one pipeline run produced, stage by stage."""
+
+    query: str
+    hits: Tuple[SearchHit, ...]
+    assessments: Tuple[CandidateAssessment, ...]
+    problem: DecisionProblem
+    evaluation: Evaluation
+    screening: Optional[DominanceResult]
+    selection: SelectionResult
+    network: Optional[Ontology]
+    merge_report: Optional[MergeReport]
+
+    @property
+    def candidate_names(self) -> Tuple[str, ...]:
+        return tuple(a.name for a in self.assessments)
+
+    @property
+    def selected(self) -> Tuple[str, ...]:
+        return self.selection.selected
+
+    def summary(self) -> str:
+        """A terse multi-line account of the run."""
+        lines = [
+            f"query: {self.query!r}",
+            f"hits: {len(self.hits)}  assessed: {len(self.assessments)}",
+            f"best ranked: {self.evaluation.best.name} "
+            f"(avg utility {self.evaluation.best.average:.4f})",
+        ]
+        if self.screening is not None:
+            lines.append(
+                f"screening discarded: {list(self.screening.discarded) or 'none'}"
+            )
+        lines.append(
+            f"selected {self.selection.n_selected} covering "
+            f"{self.selection.coverage_ratio:.0%} of CQs: "
+            f"{', '.join(self.selection.selected)}"
+        )
+        if self.merge_report is not None:
+            lines.append(
+                f"network: {self.merge_report.n_entities} entities, "
+                f"{len(self.merge_report.collisions)} alignment candidates"
+            )
+        return "\n".join(lines)
+
+
+class ReusePipeline:
+    """A configured reuse process over one registry and CQ set.
+
+    ``weights`` defaults to uniform local weights over the Fig. 1
+    hierarchy; pass the elicited system (e.g. the case study's Fig. 5
+    intervals) for paper-faithful behaviour.  ``utilities`` defaults to
+    the Figs. 3-4 shapes from :func:`repro.neon.criteria.
+    default_utilities`.
+    """
+
+    def __init__(
+        self,
+        registry: OntologyRegistry,
+        questions: Sequence[CompetencyQuestion],
+        target: Optional[Ontology] = None,
+        weights: Optional[WeightSystem] = None,
+        utilities: Optional[Dict[str, object]] = None,
+        target_language: str = "OWL",
+    ) -> None:
+        if not questions:
+            raise ValueError("the pipeline needs the target's competency questions")
+        self.registry = registry
+        self.questions = tuple(questions)
+        self.target = target
+        self.hierarchy = build_hierarchy()
+        self.weights = weights or WeightSystem.uniform(self.hierarchy)
+        self.utilities = utilities or default_utilities()
+        self.target_language = target_language
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        query: str,
+        min_score: float = 0.0,
+        coverage_threshold: float = 0.70,
+        run_screening: bool = False,
+        integrate_selection: bool = True,
+        max_candidates: Optional[int] = None,
+    ) -> PipelineReport:
+        """Execute all four activities and return the full report."""
+        hits = self.registry.search(query, min_score=min_score)
+        if not hits:
+            raise ValueError(
+                f"no registry entries match query {query!r} at "
+                f"min_score {min_score}"
+            )
+        if max_candidates is not None:
+            hits = hits[:max_candidates]
+
+        assessments = tuple(
+            assess(self.registry.get(hit.name), self.questions, self.target_language)
+            for hit in hits
+        )
+        table = assessment_table(assessments)
+        problem = DecisionProblem(
+            self.hierarchy,
+            table,
+            self.utilities,
+            self.weights,
+            name=f"reuse:{query}",
+        )
+        model = AdditiveModel(problem)
+        evaluation = model.evaluate()
+        screening = screen(model) if run_screening else None
+
+        selection = select(
+            problem, assessments, threshold=coverage_threshold, evaluation=evaluation
+        )
+
+        network = None
+        merge_report = None
+        if integrate_selection and self.target is not None and selection.selected:
+            chosen = [
+                self.registry.get(name).ontology for name in selection.selected
+            ]
+            network, merge_report = integrate(self.target, chosen)
+
+        return PipelineReport(
+            query=query,
+            hits=hits,
+            assessments=assessments,
+            problem=problem,
+            evaluation=evaluation,
+            screening=screening,
+            selection=selection,
+            network=network,
+            merge_report=merge_report,
+        )

@@ -1,0 +1,112 @@
+"""NeOn activity 3: select ontologies for reuse (the paper's subject).
+
+The decision rule closing §V: "as the number of CQs covered by the five
+best-ranked MM ontologies was higher than 70%, no more ontologies were
+necessary for reuse".  Formally — walk the ranking from the top,
+accumulate the union of covered competency questions, and stop as soon
+as the union covers at least the threshold fraction of all CQs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Mapping, Optional, Sequence, Set, Tuple
+
+from ..core.model import Evaluation, evaluate
+from ..core.problem import DecisionProblem
+from .assessment import CandidateAssessment
+
+__all__ = ["SelectionResult", "select_for_coverage", "select"]
+
+
+@dataclass(frozen=True)
+class SelectionResult:
+    """The selected reuse set and the coverage evidence behind it."""
+
+    selected: Tuple[str, ...]
+    covered_cqs: Tuple[str, ...]
+    total_cqs: int
+    threshold: float
+    reached_threshold: bool
+    ranking: Tuple[str, ...]
+
+    @property
+    def coverage_ratio(self) -> float:
+        return len(self.covered_cqs) / self.total_cqs if self.total_cqs else 0.0
+
+    @property
+    def n_selected(self) -> int:
+        return len(self.selected)
+
+
+def select_for_coverage(
+    ranking: Sequence[str],
+    coverage_sets: Mapping[str, FrozenSet[str]],
+    total_cqs: int,
+    threshold: float = 0.70,
+    max_candidates: Optional[int] = None,
+) -> SelectionResult:
+    """Take best-ranked candidates until CQ coverage reaches ``threshold``.
+
+    ``coverage_sets`` maps candidate name -> ids of the CQs it covers.
+    When the whole ranking cannot reach the threshold the result's
+    ``reached_threshold`` is False and every considered candidate is
+    selected (capped by ``max_candidates``).
+    """
+    if total_cqs <= 0:
+        raise ValueError("total_cqs must be positive")
+    if not 0.0 < threshold <= 1.0:
+        raise ValueError("threshold must be in (0, 1]")
+    missing = [name for name in ranking if name not in coverage_sets]
+    if missing:
+        raise KeyError(f"no coverage information for: {missing}")
+    limit = len(ranking) if max_candidates is None else min(max_candidates, len(ranking))
+
+    selected = []
+    union: Set[str] = set()
+    reached = False
+    for name in ranking[:limit]:
+        selected.append(name)
+        union |= set(coverage_sets[name])
+        if len(union) / total_cqs >= threshold - 1e-12:
+            reached = True
+            break
+    return SelectionResult(
+        selected=tuple(selected),
+        covered_cqs=tuple(sorted(union)),
+        total_cqs=total_cqs,
+        threshold=threshold,
+        reached_threshold=reached,
+        ranking=tuple(ranking),
+    )
+
+
+def select(
+    problem: DecisionProblem,
+    assessments: Sequence[CandidateAssessment],
+    threshold: float = 0.70,
+    evaluation: Optional[Evaluation] = None,
+) -> SelectionResult:
+    """Run the selection rule on an assessed decision problem.
+
+    ``evaluation`` may be passed to reuse an existing ranking;
+    otherwise the problem is evaluated (ranking by average overall
+    utility, §IV).
+    """
+    if evaluation is None:
+        evaluation = evaluate(problem)
+    by_name: Dict[str, CandidateAssessment] = {a.name: a for a in assessments}
+    extra = [n for n in evaluation.names_by_rank if n not in by_name]
+    if extra:
+        raise KeyError(f"no assessments for ranked candidates: {extra}")
+    totals = {a.cq_coverage.total for a in assessments}
+    if len(totals) != 1:
+        raise ValueError(
+            f"assessments disagree on the CQ universe size: {sorted(totals)}"
+        )
+    coverage_sets = {
+        a.name: frozenset(a.cq_coverage.covered) for a in assessments
+    }
+    return select_for_coverage(
+        evaluation.names_by_rank, coverage_sets, totals.pop(), threshold
+    )

@@ -1,0 +1,121 @@
+"""Ontology substrate: model, Turtle subset, metrics, CQs, corpus.
+
+The paper's candidates are real OWL ontologies scored by hand in a
+thesis appendix; this package provides the machine-readable equivalent
+the reproduction pipeline runs on — an OWL-ish object model with a
+triple-graph wire form and Turtle serialisation, structural/lexical
+metrics, competency-question coverage (the ``ValueT`` criterion), a
+searchable registry with reuse metadata, a seeded synthetic-ontology
+generator, and the integration (merge) substrate.
+"""
+
+from .corpus import OntologyRegistry, RegisteredOntology, ReuseMetadata, SearchHit
+from .cq import (
+    MNVLT,
+    CompetencyQuestion,
+    CoverageResult,
+    coverage,
+    extract_terms,
+    lexicon,
+    normalise_term,
+    value_t,
+)
+from .generator import DOMAIN_TERMS, OntologySpec, generate
+from .graph import Literal, TripleGraph, is_blank
+from .io import (
+    FORMATS,
+    dump_graph,
+    dump_ontology,
+    dump_registry,
+    load_graph,
+    load_ontology,
+    load_registry,
+)
+from .merge import CollisionLink, MergeReport, equivalence_triples, integrate
+from .metrics import OntologyMetrics, case_style, compute_metrics, split_identifier
+from .model import Entity, Individual, OntClass, OntProperty, Ontology
+from .ntriples import NTriplesSyntaxError, parse_ntriples, serialise_ntriples
+from .rdfxml import RdfXmlSyntaxError, parse_rdfxml, serialise_rdfxml
+from .turtle import TurtleSyntaxError, parse, serialise, serialize
+from .vocab import (
+    CORE_PREFIXES,
+    DC,
+    DCTERMS,
+    OWL,
+    RDF,
+    RDFS,
+    STANDARD_NAMESPACES,
+    XSD,
+    Namespace,
+    local_name,
+    split_iri,
+)
+
+__all__ = [
+    # model
+    "Ontology",
+    "Entity",
+    "OntClass",
+    "OntProperty",
+    "Individual",
+    # graph & turtle
+    "TripleGraph",
+    "Literal",
+    "is_blank",
+    "parse",
+    "serialise",
+    "serialize",
+    "TurtleSyntaxError",
+    "parse_ntriples",
+    "serialise_ntriples",
+    "NTriplesSyntaxError",
+    "parse_rdfxml",
+    "serialise_rdfxml",
+    "RdfXmlSyntaxError",
+    "FORMATS",
+    "load_graph",
+    "dump_graph",
+    "load_ontology",
+    "dump_ontology",
+    "dump_registry",
+    "load_registry",
+    # vocab
+    "Namespace",
+    "RDF",
+    "RDFS",
+    "OWL",
+    "XSD",
+    "DC",
+    "DCTERMS",
+    "CORE_PREFIXES",
+    "STANDARD_NAMESPACES",
+    "local_name",
+    "split_iri",
+    # metrics
+    "OntologyMetrics",
+    "compute_metrics",
+    "case_style",
+    "split_identifier",
+    # competency questions
+    "CompetencyQuestion",
+    "CoverageResult",
+    "coverage",
+    "lexicon",
+    "extract_terms",
+    "normalise_term",
+    "value_t",
+    "MNVLT",
+    # corpus
+    "OntologyRegistry",
+    "RegisteredOntology",
+    "ReuseMetadata",
+    "SearchHit",
+    # generation & integration
+    "OntologySpec",
+    "generate",
+    "DOMAIN_TERMS",
+    "MergeReport",
+    "CollisionLink",
+    "integrate",
+    "equivalence_triples",
+]

@@ -1,0 +1,173 @@
+"""Ontology registry with keyword search (NeOn activity 1).
+
+The reuse guidelines start by "search[ing] for candidate ontologies
+that could satisfy the needs of the ontology network being developed" —
+the paper's team found 40 multimedia ontologies and kept 23 after a
+deeper study.  This module provides the searchable catalogue those
+activities run against: registered ontologies plus the *reuse
+metadata* that the non-structural criteria of §II need (costs, tests,
+team, purpose, adopters).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from .cq import extract_terms, lexicon, normalise_term
+from .model import Ontology
+
+__all__ = ["ReuseMetadata", "RegisteredOntology", "SearchHit", "OntologyRegistry"]
+
+
+@dataclass(frozen=True)
+class ReuseMetadata:
+    """Facts about a candidate that are not measurable from its triples.
+
+    Every §II criterion that depends on provenance rather than
+    structure reads from here.  ``None`` means the fact could not be
+    established — §III: "the performance of at least one MM ontology
+    was unknown for some criteria" — and the assessment turns it into
+    a MISSING performance.
+
+    * ``financial_cost`` — cost of accessing/using the candidate, in
+      euros (0 = freely available).
+    * ``access_time_days`` — "the time it takes to access it".
+    * ``n_test_suites`` — availability of tests.
+    * ``evaluation_level`` — how thoroughly the ontology "has been
+      properly evaluated, i.e. ... has passed a set of unit tests":
+      0 never evaluated, 1 evaluated and failed, 2 partially passed,
+      3 passed.
+    * ``team_publications`` — development-team reputation proxy.
+    * ``purpose`` — ``"academic"``, ``"standard-transform"`` or
+      ``"project"`` (Fig. 4's low / medium / high levels);
+      ``"unclassified"`` means the purpose was investigated but fits no
+      category (the scale's own 0-unknown level), while ``None`` means
+      the fact could not be established at all (a missing performance).
+    * ``reused_by`` — well-known projects/ontologies reusing the
+      candidate (practical support); ``None`` when adoption is unknown.
+    * ``uses_design_patterns`` — ODP usage ("ontologies built within a
+      project and using ontology design patterns score highest").
+    * ``experts_contactable`` — availability of external knowledge.
+    """
+
+    financial_cost: Optional[float] = 0.0
+    access_time_days: Optional[float] = 1.0
+    n_test_suites: Optional[int] = 0
+    evaluation_level: Optional[int] = None
+    team_publications: Optional[int] = None
+    purpose: Optional[str] = None
+    reused_by: Optional[Tuple[str, ...]] = ()
+    uses_design_patterns: bool = False
+    experts_contactable: Optional[bool] = None
+
+    def __post_init__(self) -> None:
+        if self.purpose is not None and self.purpose not in (
+            "unclassified",
+            "academic",
+            "standard-transform",
+            "project",
+        ):
+            raise ValueError(
+                f"purpose must be 'unclassified', 'academic', "
+                f"'standard-transform' or 'project', got {self.purpose!r}"
+            )
+        if self.financial_cost is not None and self.financial_cost < 0:
+            raise ValueError("financial_cost cannot be negative")
+        if self.access_time_days is not None and self.access_time_days < 0:
+            raise ValueError("access_time_days cannot be negative")
+        if self.evaluation_level is not None and not 0 <= self.evaluation_level <= 3:
+            raise ValueError("evaluation_level must be in [0, 3]")
+
+
+@dataclass(frozen=True)
+class RegisteredOntology:
+    """A catalogue row: the ontology, its metadata, search keywords."""
+
+    name: str
+    ontology: Ontology
+    metadata: ReuseMetadata = field(default_factory=ReuseMetadata)
+    keywords: Tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("registered ontology needs a name")
+
+
+@dataclass(frozen=True)
+class SearchHit:
+    """One search result with its lexical match score in [0, 1]."""
+
+    name: str
+    score: float
+    matched_terms: Tuple[str, ...]
+
+
+class OntologyRegistry:
+    """A searchable catalogue of reusable ontologies."""
+
+    def __init__(self, entries: Iterable[RegisteredOntology] = ()) -> None:
+        self._entries: Dict[str, RegisteredOntology] = {}
+        self._lexicons: Dict[str, frozenset] = {}
+        for entry in entries:
+            self.register(entry)
+
+    def register(self, entry: RegisteredOntology) -> None:
+        if entry.name in self._entries:
+            raise ValueError(f"ontology {entry.name!r} already registered")
+        self._entries[entry.name] = entry
+        terms: Set[str] = set(lexicon(entry.ontology))
+        for keyword in entry.keywords:
+            terms.update(extract_terms(keyword))
+        if entry.ontology.label:
+            terms.update(extract_terms(entry.ontology.label))
+        if entry.ontology.comment:
+            terms.update(extract_terms(entry.ontology.comment))
+        self._lexicons[entry.name] = frozenset(terms)
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._entries
+
+    def __iter__(self):
+        return iter(self._entries.values())
+
+    @property
+    def names(self) -> Tuple[str, ...]:
+        return tuple(self._entries)
+
+    def get(self, name: str) -> RegisteredOntology:
+        try:
+            return self._entries[name]
+        except KeyError:
+            raise KeyError(f"no ontology named {name!r} in the registry") from None
+
+    def with_metadata(self, name: str, **updates) -> None:
+        """Replace metadata fields of one entry in place."""
+        entry = self.get(name)
+        self._entries[name] = replace(entry, metadata=replace(entry.metadata, **updates))
+
+    # ------------------------------------------------------------------
+    def search(self, query: str, min_score: float = 0.0) -> Tuple[SearchHit, ...]:
+        """Rank registered ontologies against a keyword query.
+
+        The score is the fraction of query terms found in the entry's
+        lexicon (labels, local names, keywords, description).  Results
+        sort by score descending, then name, and hits below
+        ``min_score`` are dropped — scoping the 40-to-23 funnel the
+        paper describes is a ``min_score`` choice.
+        """
+        terms = extract_terms(query)
+        if not terms:
+            raise ValueError(f"query {query!r} contains no informative terms")
+        hits: List[SearchHit] = []
+        for name, entry_lexicon in self._lexicons.items():
+            matched = tuple(t for t in terms if t in entry_lexicon)
+            score = len(matched) / len(terms)
+            if score > min_score or (score == min_score and score > 0):
+                hits.append(SearchHit(name, score, matched))
+        hits.sort(key=lambda h: (-h.score, h.name))
+        return tuple(hits)

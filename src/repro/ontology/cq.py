@@ -1,0 +1,210 @@
+"""Competency questions and coverage scoring (§II, Fig. 3).
+
+The *number of functional requirements covered* criterion counts "the
+number of competency questions (CQs) covered by the ontology candidate"
+(the paper cites Grüninger & Fox [16] for the CQ methodology) and maps
+it onto the continuous ``ValueT`` scale::
+
+    ValueT = number of CQs covered * MNVLT / total number of CQs
+
+with MNVLT (maximum numerical value in linguistic transformation) set
+to 3.
+
+Coverage here is lexical, which is how ontology-selection surveys score
+candidates in practice: a CQ is covered when every one of its key terms
+matches the ontology's lexical layer (labels and local names, split on
+camelCase and normalised by a light stemmer).  Requiring *all* terms is
+the conservative reading — partial matches can be inspected through
+:class:`CoverageResult.match_fractions`.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Sequence, Set, Tuple
+
+from .metrics import split_identifier
+from .model import Ontology
+
+__all__ = [
+    "MNVLT",
+    "STOPWORDS",
+    "normalise_term",
+    "extract_terms",
+    "CompetencyQuestion",
+    "lexicon",
+    "CoverageResult",
+    "coverage",
+    "value_t",
+]
+
+#: Maximum numerical value in linguistic transformation (§III, from [15]).
+MNVLT = 3.0
+
+#: Question scaffolding that carries no domain meaning.
+STOPWORDS: FrozenSet[str] = frozenset(
+    """
+    a an the of for to in on at by with from as is are was were be been does
+    do did doing have has had having what which who whom whose when where why
+    how many much can could should would may might must it its this that
+    these those there their them they and or not no any all each every some
+    given get gets
+    """.split()
+)
+
+_WORD_RE = re.compile(r"[A-Za-z][A-Za-z0-9]*")
+
+
+def normalise_term(word: str) -> str:
+    """Lowercase and strip simple plural/verbal suffixes.
+
+    A deliberately tiny stemmer — enough to make ``formats`` match
+    ``Format`` and ``categories`` match ``category`` without dragging in
+    a full morphological analyser.
+    """
+    w = word.lower()
+    if len(w) > 4 and w.endswith("ies"):
+        return w[:-3] + "y"
+    if len(w) > 4 and w.endswith("ses"):
+        return w[:-2]
+    if len(w) > 3 and w.endswith("es") and not w.endswith("ss"):
+        return w[:-2]
+    if len(w) > 3 and w.endswith("s") and not w.endswith("ss"):
+        return w[:-1]
+    return w
+
+
+def extract_terms(text: str) -> Tuple[str, ...]:
+    """Key terms of a natural-language question (order preserved)."""
+    seen: Set[str] = set()
+    terms: List[str] = []
+    for match in _WORD_RE.findall(text):
+        term = normalise_term(match)
+        if term in STOPWORDS or len(term) < 2:
+            continue
+        if term not in seen:
+            seen.add(term)
+            terms.append(term)
+    return tuple(terms)
+
+
+@dataclass(frozen=True)
+class CompetencyQuestion:
+    """One functional requirement phrased as a question.
+
+    ``key_terms`` defaults to the informative words of ``text``; pass
+    them explicitly to pin coverage to particular vocabulary.
+    """
+
+    cq_id: str
+    text: str
+    key_terms: Tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.cq_id:
+            raise ValueError("competency question needs an id")
+        if not self.key_terms:
+            extracted = extract_terms(self.text)
+            if not extracted:
+                raise ValueError(
+                    f"CQ {self.cq_id!r}: no key terms could be extracted from "
+                    f"{self.text!r}"
+                )
+            object.__setattr__(self, "key_terms", extracted)
+        else:
+            object.__setattr__(
+                self,
+                "key_terms",
+                tuple(normalise_term(t) for t in self.key_terms),
+            )
+
+
+def lexicon(ontology: Ontology) -> FrozenSet[str]:
+    """The ontology's normalised lexical layer.
+
+    Labels and local names of every entity, split on camelCase /
+    underscores and stemmed with :func:`normalise_term`.
+    """
+    terms: Set[str] = set()
+    for entry in ontology.lexical_entries():
+        for token in split_identifier(entry):
+            normalised = normalise_term(token)
+            if normalised and normalised not in STOPWORDS:
+                terms.add(normalised)
+    return frozenset(terms)
+
+
+@dataclass(frozen=True)
+class CoverageResult:
+    """Which CQs an ontology covers, plus the paper's ValueT score."""
+
+    ontology_iri: str
+    covered: Tuple[str, ...]
+    uncovered: Tuple[str, ...]
+    match_fractions: Dict[str, float] = field(hash=False, default_factory=dict)
+
+    @property
+    def n_covered(self) -> int:
+        return len(self.covered)
+
+    @property
+    def total(self) -> int:
+        return len(self.covered) + len(self.uncovered)
+
+    @property
+    def ratio(self) -> float:
+        return self.n_covered / self.total if self.total else 0.0
+
+    @property
+    def value_t(self) -> float:
+        """``covered * MNVLT / total`` — the Fig. 3 attribute value."""
+        return value_t(self.n_covered, self.total)
+
+
+def value_t(n_covered: int, total: int, mnvlt: float = MNVLT) -> float:
+    """The paper's linguistic transformation of CQ coverage.
+
+    ``ValueT = number of CQs covered x MNVLT / total number of CQs``.
+    """
+    if total <= 0:
+        raise ValueError("total number of CQs must be positive")
+    if not 0 <= n_covered <= total:
+        raise ValueError(
+            f"covered count {n_covered} outside [0, {total}]"
+        )
+    return n_covered * mnvlt / total
+
+
+def coverage(
+    ontology: Ontology,
+    questions: Sequence[CompetencyQuestion],
+    threshold: float = 1.0,
+) -> CoverageResult:
+    """Score an ontology against a CQ list.
+
+    A CQ counts as covered when at least ``threshold`` of its key terms
+    appear in the ontology lexicon (default: all of them).
+    """
+    if not questions:
+        raise ValueError("need at least one competency question")
+    if not 0.0 < threshold <= 1.0:
+        raise ValueError("threshold must be in (0, 1]")
+    ids = [q.cq_id for q in questions]
+    if len(set(ids)) != len(ids):
+        raise ValueError("duplicate competency-question ids")
+    lex = lexicon(ontology)
+    covered: List[str] = []
+    uncovered: List[str] = []
+    fractions: Dict[str, float] = {}
+    for question in questions:
+        hits = sum(1 for term in question.key_terms if term in lex)
+        fraction = hits / len(question.key_terms)
+        fractions[question.cq_id] = fraction
+        if fraction >= threshold - 1e-12:
+            covered.append(question.cq_id)
+        else:
+            uncovered.append(question.cq_id)
+    return CoverageResult(
+        ontology.iri, tuple(covered), tuple(uncovered), fractions
+    )

@@ -1,0 +1,242 @@
+"""An in-memory RDF triple store with pattern matching.
+
+owlready2/rdflib are not available in this environment, so the
+substrate ships its own minimal store.  Subjects and predicates are IRI
+strings (blank nodes use the ``_:`` prefix); objects are IRI strings or
+:class:`Literal` values.  Three hash indexes (SPO/POS/OSP) make every
+single-wildcard pattern a dictionary walk rather than a scan, which
+keeps the metrics and the merge fast on corpus-sized graphs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, Optional, Set, Tuple, Union
+
+from .vocab import XSD
+
+__all__ = ["Literal", "Term", "Triple", "TripleGraph", "is_blank"]
+
+
+@dataclass(frozen=True)
+class Literal:
+    """An RDF literal: lexical value plus optional datatype or language.
+
+    A literal carries *either* a language tag (then its datatype is
+    ``rdf:langString`` conceptually) or a datatype IRI, never both.
+    """
+
+    value: str
+    datatype: Optional[str] = None
+    lang: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.datatype is not None and self.lang is not None:
+            raise ValueError("a literal cannot have both a datatype and a language")
+
+    @staticmethod
+    def string(value: str, lang: Optional[str] = None) -> "Literal":
+        return Literal(str(value), lang=lang)
+
+    @staticmethod
+    def integer(value: int) -> "Literal":
+        return Literal(str(int(value)), datatype=XSD.integer)
+
+    @staticmethod
+    def decimal(value: float) -> "Literal":
+        return Literal(repr(float(value)), datatype=XSD.decimal)
+
+    @staticmethod
+    def boolean(value: bool) -> "Literal":
+        return Literal("true" if value else "false", datatype=XSD.boolean)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        if self.lang:
+            return f'Literal("{self.value}"@{self.lang})'
+        if self.datatype:
+            return f'Literal("{self.value}"^^<{self.datatype}>)'
+        return f'Literal("{self.value}")'
+
+
+Term = Union[str, Literal]
+Triple = Tuple[str, str, Term]
+
+
+def is_blank(term: Term) -> bool:
+    """True for blank-node identifiers (``_:`` prefixed strings)."""
+    return isinstance(term, str) and term.startswith("_:")
+
+
+class TripleGraph:
+    """A set of triples with SPO/POS/OSP indexes.
+
+    Patterns use ``None`` as the wildcard::
+
+        graph.triples(None, RDF.type, OWL.Class)   # all OWL classes
+        graph.objects(cls, RDFS.label)             # labels of one class
+    """
+
+    def __init__(self, triples: Iterable[Triple] = ()) -> None:
+        self._spo: Dict[str, Dict[str, Set[Term]]] = {}
+        self._pos: Dict[str, Dict[Term, Set[str]]] = {}
+        self._osp: Dict[Term, Dict[str, Set[str]]] = {}
+        self._size = 0
+        for s, p, o in triples:
+            self.add(s, p, o)
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def add(self, s: str, p: str, o: Term) -> bool:
+        """Insert one triple; returns False when it was already present."""
+        if not isinstance(s, str) or not s:
+            raise ValueError(f"invalid subject {s!r}")
+        if not isinstance(p, str) or not p:
+            raise ValueError(f"invalid predicate {p!r}")
+        if isinstance(p, str) and p.startswith("_:"):
+            raise ValueError("predicates cannot be blank nodes")
+        if not isinstance(o, (str, Literal)) or (isinstance(o, str) and not o):
+            raise ValueError(f"invalid object {o!r}")
+        bucket = self._spo.setdefault(s, {}).setdefault(p, set())
+        if o in bucket:
+            return False
+        bucket.add(o)
+        self._pos.setdefault(p, {}).setdefault(o, set()).add(s)
+        self._osp.setdefault(o, {}).setdefault(s, set()).add(p)
+        self._size += 1
+        return True
+
+    def discard(self, s: str, p: str, o: Term) -> bool:
+        """Remove one triple; returns False when it was not present."""
+        try:
+            bucket = self._spo[s][p]
+            bucket.remove(o)
+        except KeyError:
+            return False
+        if not bucket:
+            del self._spo[s][p]
+            if not self._spo[s]:
+                del self._spo[s]
+        self._pos[p][o].discard(s)
+        if not self._pos[p][o]:
+            del self._pos[p][o]
+            if not self._pos[p]:
+                del self._pos[p]
+        self._osp[o][s].discard(p)
+        if not self._osp[o][s]:
+            del self._osp[o][s]
+            if not self._osp[o]:
+                del self._osp[o]
+        self._size -= 1
+        return True
+
+    def update(self, triples: Iterable[Triple]) -> int:
+        """Insert many triples; returns how many were new."""
+        return sum(1 for s, p, o in triples if self.add(s, p, o))
+
+    # ------------------------------------------------------------------
+    # Pattern matching
+    # ------------------------------------------------------------------
+    def triples(
+        self,
+        s: Optional[str] = None,
+        p: Optional[str] = None,
+        o: Optional[Term] = None,
+    ) -> Iterator[Triple]:
+        """All triples matching the pattern (``None`` = wildcard)."""
+        if s is not None:
+            by_pred = self._spo.get(s)
+            if by_pred is None:
+                return
+            preds = (p,) if p is not None else tuple(by_pred)
+            for pred in preds:
+                objects = by_pred.get(pred)
+                if objects is None:
+                    continue
+                if o is not None:
+                    if o in objects:
+                        yield (s, pred, o)
+                else:
+                    for obj in objects:
+                        yield (s, pred, obj)
+        elif p is not None:
+            by_obj = self._pos.get(p)
+            if by_obj is None:
+                return
+            objs = (o,) if o is not None else tuple(by_obj)
+            for obj in objs:
+                for subj in by_obj.get(obj, ()):
+                    yield (subj, p, obj)
+        elif o is not None:
+            by_subj = self._osp.get(o)
+            if by_subj is None:
+                return
+            for subj, preds in by_subj.items():
+                for pred in preds:
+                    yield (subj, pred, o)
+        else:
+            for subj, by_pred in self._spo.items():
+                for pred, objects in by_pred.items():
+                    for obj in objects:
+                        yield (subj, pred, obj)
+
+    def subjects(self, p: Optional[str] = None, o: Optional[Term] = None) -> Iterator[str]:
+        seen: Set[str] = set()
+        for s, _, _ in self.triples(None, p, o):
+            if s not in seen:
+                seen.add(s)
+                yield s
+
+    def objects(self, s: Optional[str] = None, p: Optional[str] = None) -> Iterator[Term]:
+        seen: Set[Term] = set()
+        for _, _, o in self.triples(s, p, None):
+            if o not in seen:
+                seen.add(o)
+                yield o
+
+    def predicates(self, s: Optional[str] = None, o: Optional[Term] = None) -> Iterator[str]:
+        seen: Set[str] = set()
+        for _, p, _ in self.triples(s, None, o):
+            if p not in seen:
+                seen.add(p)
+                yield p
+
+    def value(self, s: str, p: str) -> Optional[Term]:
+        """An arbitrary single object for (s, p), or None."""
+        for _, _, o in self.triples(s, p, None):
+            return o
+        return None
+
+    def __contains__(self, triple: Triple) -> bool:
+        s, p, o = triple
+        return o in self._spo.get(s, {}).get(p, ())
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __iter__(self) -> Iterator[Triple]:
+        return self.triples()
+
+    def __bool__(self) -> bool:
+        return self._size > 0
+
+    # ------------------------------------------------------------------
+    # Whole-graph operations
+    # ------------------------------------------------------------------
+    def copy(self) -> "TripleGraph":
+        return TripleGraph(self)
+
+    def __or__(self, other: "TripleGraph") -> "TripleGraph":
+        merged = self.copy()
+        merged.update(other)
+        return merged
+
+    def subjects_of_type(self, type_iri: str, rdf_type: str) -> Iterator[str]:
+        """Subjects with an ``rdf:type`` arc to ``type_iri``."""
+        return self.subjects(rdf_type, type_iri)
+
+    def equals(self, other: "TripleGraph") -> bool:
+        """Set equality of triples (blank-node labels compared literally)."""
+        if len(self) != len(other):
+            return False
+        return all(t in other for t in self)

@@ -1,0 +1,144 @@
+"""File I/O for ontologies: format dispatch and corpus directories.
+
+The substrate speaks three RDF syntaxes (Turtle, N-Triples, RDF/XML);
+this module routes by file suffix and packages whole registries as
+on-disk corpora — one serialised ontology per candidate plus a JSON
+manifest holding the reuse metadata the triples cannot carry.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+from .corpus import OntologyRegistry, RegisteredOntology, ReuseMetadata
+from .graph import TripleGraph
+from .model import Ontology
+from .ntriples import parse_ntriples, serialise_ntriples
+from .rdfxml import parse_rdfxml, serialise_rdfxml
+from .turtle import parse as parse_turtle
+from .turtle import serialise as serialise_turtle
+
+__all__ = [
+    "FORMATS",
+    "load_graph",
+    "dump_graph",
+    "load_ontology",
+    "dump_ontology",
+    "dump_registry",
+    "load_registry",
+]
+
+#: suffix -> (parser, serialiser)
+FORMATS = {
+    ".ttl": (parse_turtle, serialise_turtle),
+    ".nt": (parse_ntriples, lambda g, prefixes=None: serialise_ntriples(g)),
+    ".rdf": (parse_rdfxml, serialise_rdfxml),
+    ".owl": (parse_rdfxml, serialise_rdfxml),
+}
+
+_MANIFEST = "corpus.json"
+
+
+def _codec(path: Path):
+    suffix = path.suffix.lower()
+    try:
+        return FORMATS[suffix]
+    except KeyError:
+        raise ValueError(
+            f"unsupported ontology format {suffix!r}; expected one of "
+            f"{sorted(FORMATS)}"
+        ) from None
+
+
+def load_graph(path: Union[str, Path]) -> TripleGraph:
+    """Parse a triple graph from ``path`` (format from the suffix)."""
+    path = Path(path)
+    parser, _ = _codec(path)
+    return parser(path.read_text())
+
+
+def dump_graph(
+    graph: TripleGraph,
+    path: Union[str, Path],
+    prefixes: Optional[Dict[str, str]] = None,
+) -> None:
+    """Serialise ``graph`` to ``path`` (format from the suffix)."""
+    path = Path(path)
+    _, serialiser = _codec(path)
+    path.write_text(serialiser(graph, prefixes))
+
+
+def load_ontology(path: Union[str, Path], language: str = "OWL") -> Ontology:
+    """Parse an :class:`~repro.ontology.model.Ontology` from a file."""
+    return Ontology.from_graph(load_graph(path), language=language)
+
+
+def dump_ontology(ontology: Ontology, path: Union[str, Path]) -> None:
+    """Serialise an ontology's graph form to a file."""
+    dump_graph(ontology.to_graph(), path, ontology.prefixes)
+
+
+def _slug(name: str) -> str:
+    return "".join(ch.lower() if ch.isalnum() else "-" for ch in name).strip("-")
+
+
+def dump_registry(
+    registry: OntologyRegistry,
+    directory: Union[str, Path],
+    fmt: str = ".ttl",
+) -> Path:
+    """Write a whole registry as an on-disk corpus.
+
+    One ``<slug><fmt>`` file per candidate plus a ``corpus.json``
+    manifest recording names, file paths, languages, keywords and reuse
+    metadata.  Returns the manifest path.
+    """
+    if fmt not in FORMATS:
+        raise ValueError(f"unsupported format {fmt!r}")
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    manifest = []
+    for entry in registry:
+        filename = _slug(entry.name) + fmt
+        dump_ontology(entry.ontology, directory / filename)
+        manifest.append(
+            {
+                "name": entry.name,
+                "file": filename,
+                "language": entry.ontology.language,
+                "keywords": list(entry.keywords),
+                "metadata": dataclasses.asdict(entry.metadata),
+            }
+        )
+    manifest_path = directory / _MANIFEST
+    manifest_path.write_text(json.dumps(manifest, indent=2, sort_keys=True))
+    return manifest_path
+
+
+def load_registry(directory: Union[str, Path]) -> OntologyRegistry:
+    """Rebuild a registry from a corpus directory written by
+    :func:`dump_registry`."""
+    directory = Path(directory)
+    manifest_path = directory / _MANIFEST
+    if not manifest_path.exists():
+        raise FileNotFoundError(f"no {_MANIFEST} manifest in {directory}")
+    entries = []
+    for record in json.loads(manifest_path.read_text()):
+        metadata = record.get("metadata", {})
+        if metadata.get("reused_by") is not None:
+            metadata["reused_by"] = tuple(metadata["reused_by"])
+        entries.append(
+            RegisteredOntology(
+                name=record["name"],
+                ontology=load_ontology(
+                    directory / record["file"],
+                    language=record.get("language", "OWL"),
+                ),
+                metadata=ReuseMetadata(**metadata),
+                keywords=tuple(record.get("keywords", ())),
+            )
+        )
+    return OntologyRegistry(entries)

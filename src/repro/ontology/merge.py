@@ -1,0 +1,183 @@
+"""Integration substrate: merging selected ontologies into a network.
+
+NeOn activity 4 — "integrate the selected ontologies into the ontology
+network being developed" — is what happens *after* the MAUT selection
+the paper focuses on.  The pipeline still needs it to run end to end:
+this module builds the ontology network from a target ontology plus the
+selected candidates, with
+
+* import statements from the target to every selected ontology,
+* namespace preservation (each candidate keeps its own namespace; the
+  network binds one prefix per source),
+* local-name collision detection across sources, reported and resolved
+  by ``owl:equivalentClass``-style link candidates rather than silent
+  renaming.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Set, Tuple
+
+from .graph import TripleGraph
+from .model import Ontology
+from .vocab import OWL, local_name
+
+__all__ = ["CollisionLink", "MergeReport", "integrate"]
+
+
+@dataclass(frozen=True)
+class CollisionLink:
+    """Two entities from different sources sharing a local name.
+
+    These are *alignment candidates*: the integrator proposes an
+    equivalence link and leaves the decision to the engineer (silently
+    merging ``Video`` from two multimedia ontologies would be wrong
+    more often than right).
+    """
+
+    local: str
+    first_iri: str
+    second_iri: str
+    kind: str  # "class", "property" or "individual"
+
+
+@dataclass(frozen=True)
+class MergeReport:
+    """Outcome of one integration run."""
+
+    network_iri: str
+    sources: Tuple[str, ...]
+    n_classes: int
+    n_properties: int
+    n_individuals: int
+    collisions: Tuple[CollisionLink, ...]
+    prefix_bindings: Dict[str, str] = field(hash=False, default_factory=dict)
+
+    @property
+    def n_entities(self) -> int:
+        return self.n_classes + self.n_properties + self.n_individuals
+
+
+def _prefix_for(name: str, taken: Set[str]) -> str:
+    base = "".join(ch for ch in name.lower() if ch.isalnum()) or "src"
+    candidate = base[:8]
+    counter = 1
+    while candidate in taken:
+        counter += 1
+        candidate = f"{base[:8]}{counter}"
+    return candidate
+
+
+def integrate(
+    target: Ontology, selected: Sequence[Ontology]
+) -> Tuple[Ontology, MergeReport]:
+    """Build the ontology network: target + imports of every candidate.
+
+    Returns the network ontology (a *new* object; inputs are untouched)
+    and a report with entity counts, prefix bindings and local-name
+    collision links.
+    """
+    if not selected:
+        raise ValueError("integration needs at least one selected ontology")
+    iris = [onto.iri for onto in (target, *selected)]
+    if len(set(iris)) != len(iris):
+        raise ValueError("duplicate ontology IRIs among target and selection")
+
+    network = Ontology(
+        target.iri,
+        label=target.label,
+        comment=target.comment,
+        language=target.language,
+        version=target.version,
+    )
+    network.prefixes = dict(target.prefixes)
+    network.documentation_urls = list(target.documentation_urls)
+    network.creators = list(target.creators)
+    network.imports = sorted(set(target.imports) | {o.iri for o in selected})
+
+    taken = set(network.prefixes)
+    bindings: Dict[str, str] = {}
+    for source in selected:
+        prefix = _prefix_for(source.label or local_name(source.iri), taken)
+        taken.add(prefix)
+        namespace = source.iri + ("#" if not source.iri.endswith(("#", "/")) else "")
+        network.bind(prefix, namespace)
+        bindings[prefix] = source.iri
+
+    # Copy entities; candidates keep their own IRIs, so nothing renames.
+    by_local: Dict[Tuple[str, str], str] = {}
+    collisions: List[CollisionLink] = []
+
+    def note(kind: str, iri: str) -> None:
+        key = (kind, local_name(iri).lower())
+        if key in by_local and by_local[key] != iri:
+            collisions.append(CollisionLink(key[1], by_local[key], iri, kind))
+        else:
+            by_local[key] = iri
+
+    for source in (target, *selected):
+        for cls in source.classes:
+            network.add_class(
+                type(cls)(
+                    cls.iri,
+                    label=cls.label,
+                    comment=cls.comment,
+                    see_also=list(cls.see_also),
+                    superclasses=list(cls.superclasses),
+                )
+            )
+            note("class", cls.iri)
+        for prop in source.properties:
+            network.add_property(
+                type(prop)(
+                    prop.iri,
+                    label=prop.label,
+                    comment=prop.comment,
+                    see_also=list(prop.see_also),
+                    kind=prop.kind,
+                    domain=prop.domain,
+                    range=prop.range,
+                )
+            )
+            note("property", prop.iri)
+        for ind in source.individuals:
+            network.add_individual(
+                type(ind)(
+                    ind.iri,
+                    label=ind.label,
+                    comment=ind.comment,
+                    see_also=list(ind.see_also),
+                    types=list(ind.types),
+                )
+            )
+            note("individual", ind.iri)
+
+    report = MergeReport(
+        network_iri=network.iri,
+        sources=tuple(o.iri for o in selected),
+        n_classes=len(network.classes),
+        n_properties=len(network.properties),
+        n_individuals=len(network.individuals),
+        collisions=tuple(collisions),
+        prefix_bindings=bindings,
+    )
+    return network, report
+
+
+def equivalence_triples(collisions: Sequence[CollisionLink]) -> TripleGraph:
+    """Alignment-candidate triples for the collision links.
+
+    Class collisions map to ``owl:equivalentClass``, property
+    collisions to ``owl:equivalentProperty``, individual collisions to
+    ``owl:sameAs`` — ready for an engineer to review and commit.
+    """
+    predicate = {
+        "class": OWL.equivalentClass,
+        "property": OWL.equivalentProperty,
+        "individual": OWL.sameAs,
+    }
+    graph = TripleGraph()
+    for link in collisions:
+        graph.add(link.first_iri, predicate[link.kind], link.second_iri)
+    return graph

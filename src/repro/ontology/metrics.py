@@ -1,0 +1,275 @@
+"""Structural and lexical ontology metrics.
+
+These metrics are the measurable signals behind the §II criteria: the
+NeOn assess activity turns them into the 0-3 levels of the decision
+attributes (that mapping lives in :mod:`repro.neon.assessment`).
+
+* *Documentation quality* ← entity documentation coverage + dedicated
+  documentation URLs ("a wiki, article or web page describing the
+  candidate ontology").
+* *Availability of external knowledge* ← ``rdfs:seeAlso`` references
+  and creator records ("references to documentation sources and/or
+  experts are easily available").
+* *Code clarity* ← comment coverage and naming-style consistency
+  ("knowledge entities follow unified patterns and are clear ...
+  includes clear and coherent definitions and comments").
+* *Adequacy of naming conventions* ← intuitive-name fraction and
+  standard-vocabulary hits ("low if the names are not intuitive,
+  medium if they are clearly understandable and high if they are taken
+  from a given standard (e.g. W3C, MPEG7, etc.)").
+* *Adequacy of knowledge extraction* ← modularity signals (root
+  fan-out, tangledness).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence, Set, Tuple
+
+from .model import Ontology
+from .vocab import STANDARD_NAMESPACES, local_name
+
+__all__ = [
+    "split_identifier",
+    "case_style",
+    "OntologyMetrics",
+    "compute_metrics",
+]
+
+_CAMEL_RE = re.compile(r"[A-Z]?[a-z0-9]+|[A-Z]+(?![a-z])")
+
+#: Local names drawn from widely adopted standards (MPEG-7 part 5 MDS,
+#: W3C Ontology for Media Resources, Dublin Core).  The standard-
+#: vocabulary metric counts how many entity names land in this set.
+STANDARD_TERMS: frozenset = frozenset(
+    term.lower()
+    for term in (
+        # MPEG-7 MDS core descriptors
+        "Multimedia", "MultimediaContent", "Segment", "SegmentDecomposition",
+        "StillRegion", "MovingRegion", "VideoSegment", "AudioSegment",
+        "MediaInformation", "MediaProfile", "MediaFormat", "MediaInstance",
+        "CreationInformation", "Creator", "UsageInformation",
+        "SemanticBase", "AgentObject", "Event", "Concept", "Object", "Place",
+        "Time", "MediaTime", "MediaDuration", "MediaLocator", "MediaUri",
+        # W3C Media Ontology / Media Annotations WG
+        "MediaResource", "MediaFragment", "Track", "AudioTrack", "VideoTrack",
+        "Image", "Collection", "Rating", "TargetAudience", "Location",
+        "frameRate", "samplingRate", "averageBitRate", "duration", "title",
+        "language", "copyright", "policy", "publisher", "genre", "releaseDate",
+        # Dublin Core
+        "contributor", "coverage", "creator", "date", "description", "format",
+        "identifier", "relation", "rights", "source", "subject", "type",
+    )
+)
+
+
+def split_identifier(name: str) -> Tuple[str, ...]:
+    """Split an identifier into lowercase word tokens.
+
+    Handles camelCase, PascalCase, snake_case, kebab-case and digit
+    boundaries: ``"hasVideoSegment" -> ("has", "video", "segment")``.
+    """
+    parts: List[str] = []
+    for chunk in re.split(r"[\s_\-.]+", name):
+        parts.extend(_CAMEL_RE.findall(chunk))
+    return tuple(part.lower() for part in parts if part)
+
+
+def case_style(name: str) -> str:
+    """Classify an identifier's case convention.
+
+    Returns one of ``"camel"``, ``"pascal"``, ``"snake"``, ``"kebab"``,
+    ``"lower"``, ``"upper"`` or ``"mixed"``.
+    """
+    if not name:
+        return "mixed"
+    if "_" in name:
+        return "snake" if name.replace("_", "").isalnum() else "mixed"
+    if "-" in name:
+        return "kebab" if name.replace("-", "").isalnum() else "mixed"
+    if name.isupper():
+        return "upper"
+    if name.islower():
+        return "lower"
+    if name[0].isupper():
+        return "pascal" if name.isalnum() else "mixed"
+    if name[0].islower():
+        return "camel" if name.isalnum() else "mixed"
+    return "mixed"
+
+
+_VOWELS = set("aeiou")
+
+
+def _is_intuitive(name: str) -> bool:
+    """Heuristic for "the names are ... clearly understandable".
+
+    A name is intuitive when it decomposes into pronounceable word
+    tokens: every token at least three characters (or a known short
+    word) and containing a vowel.  Opaque identifiers (``C123``,
+    ``xyzq``) fail.
+    """
+    short_words = {"id", "is", "has", "of", "to", "in", "on", "at", "by", "or"}
+    tokens = split_identifier(name)
+    if not tokens:
+        return False
+    for token in tokens:
+        if token.isdigit():
+            return False
+        if token in short_words:
+            continue
+        if len(token) < 3 or not (_VOWELS & set(token)):
+            return False
+    return True
+
+
+@dataclass(frozen=True)
+class OntologyMetrics:
+    """The measured profile of one ontology."""
+
+    iri: str
+    # Size
+    n_classes: int
+    n_object_properties: int
+    n_data_properties: int
+    n_individuals: int
+    # Structure
+    max_depth: int
+    mean_depth: float
+    n_roots: int
+    tangledness: float           # fraction of classes with > 1 superclass
+    density: float               # (subclass + property arcs) per class
+    # Documentation
+    documentation_coverage: float  # entities with label AND comment
+    label_coverage: float
+    comment_coverage: float
+    n_documentation_urls: int
+    n_see_also: int
+    n_creators: int
+    # Naming
+    dominant_case_style: str
+    case_consistency: float      # fraction of names in the dominant style
+    intuitive_name_fraction: float
+    standard_term_fraction: float
+    # Language
+    language: str
+
+    @property
+    def n_properties(self) -> int:
+        return self.n_object_properties + self.n_data_properties
+
+    @property
+    def n_entities(self) -> int:
+        return self.n_classes + self.n_properties + self.n_individuals
+
+
+def _depth_stats(ontology: Ontology) -> Tuple[int, float, int, float]:
+    """(max depth, mean depth, root count, tangledness) of the class tree."""
+    classes = {cls.iri: cls for cls in ontology.classes}
+    if not classes:
+        return 0, 0.0, 0, 0.0
+    depth_cache: Dict[str, int] = {}
+
+    def depth(iri: str, trail: Set[str]) -> int:
+        if iri in depth_cache:
+            return depth_cache[iri]
+        if iri in trail:  # subclass cycle: treat the repeated node as a root
+            return 1
+        cls = classes.get(iri)
+        parents = [p for p in (cls.superclasses if cls else []) if p in classes]
+        if not parents:
+            result = 1
+        else:
+            result = 1 + max(depth(p, trail | {iri}) for p in parents)
+        depth_cache[iri] = result
+        return result
+
+    depths = [depth(iri, set()) for iri in classes]
+    roots = sum(
+        1
+        for cls in classes.values()
+        if not any(p in classes for p in cls.superclasses)
+    )
+    tangled = sum(
+        1
+        for cls in classes.values()
+        if sum(1 for p in cls.superclasses if p in classes) > 1
+    )
+    return (
+        max(depths),
+        sum(depths) / len(depths),
+        roots,
+        tangled / len(classes),
+    )
+
+
+def compute_metrics(ontology: Ontology) -> OntologyMetrics:
+    """Measure one ontology (pure function of the model)."""
+    entities = list(ontology.entities())
+    n_entities = len(entities)
+
+    labelled = sum(1 for e in entities if e.label)
+    commented = sum(1 for e in entities if e.comment)
+    documented = sum(1 for e in entities if e.is_documented)
+    see_also = sum(len(e.see_also) for e in entities)
+
+    names = [e.name for e in entities if e.name]
+    styles: Dict[str, int] = {}
+    for name in names:
+        style = case_style(name)
+        styles[style] = styles.get(style, 0) + 1
+    # camel, pascal and single lowercase words count as one family:
+    # "hasSegment" + "VideoSegment" + "duration" is the usual,
+    # consistent OWL convention (a one-word camelCase name has no hump).
+    family: Dict[str, int] = {}
+    for style, count in styles.items():
+        key = "camel" if style in ("camel", "pascal", "lower") else style
+        family[key] = family.get(key, 0) + count
+    if family:
+        dominant = max(sorted(family), key=lambda k: family[k])
+        consistency = family[dominant] / len(names)
+    else:
+        dominant, consistency = "mixed", 0.0
+
+    intuitive = (
+        sum(1 for name in names if _is_intuitive(name)) / len(names)
+        if names
+        else 0.0
+    )
+    standard_hits = 0
+    for entity in entities:
+        in_std_ns = any(entity.iri.startswith(ns) for ns in STANDARD_NAMESPACES)
+        if in_std_ns or entity.name.lower() in STANDARD_TERMS:
+            standard_hits += 1
+    standard_fraction = standard_hits / n_entities if n_entities else 0.0
+
+    max_depth, mean_depth, n_roots, tangledness = _depth_stats(ontology)
+    n_classes = len(ontology.classes)
+    n_subclass_arcs = sum(len(c.superclasses) for c in ontology.classes)
+    n_props = len(ontology.properties)
+    density = (n_subclass_arcs + n_props) / n_classes if n_classes else 0.0
+
+    return OntologyMetrics(
+        iri=ontology.iri,
+        n_classes=n_classes,
+        n_object_properties=len(ontology.object_properties),
+        n_data_properties=len(ontology.data_properties),
+        n_individuals=len(ontology.individuals),
+        max_depth=max_depth,
+        mean_depth=mean_depth,
+        n_roots=n_roots,
+        tangledness=tangledness,
+        density=density,
+        documentation_coverage=documented / n_entities if n_entities else 0.0,
+        label_coverage=labelled / n_entities if n_entities else 0.0,
+        comment_coverage=commented / n_entities if n_entities else 0.0,
+        n_documentation_urls=len(ontology.documentation_urls),
+        n_see_also=see_also,
+        n_creators=len(ontology.creators),
+        dominant_case_style=dominant,
+        case_consistency=consistency,
+        intuitive_name_fraction=intuitive,
+        standard_term_fraction=standard_fraction,
+        language=ontology.language,
+    )

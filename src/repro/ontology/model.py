@@ -1,0 +1,344 @@
+"""The ontology object model.
+
+A deliberately small OWL-ish model: named classes with subclass links,
+object/data properties with domains and ranges, individuals with types,
+and annotations (label, comment, seeAlso, Dublin Core metadata) on
+everything.  This is the level of description the NeOn assess activity
+needs — structural shape, lexical layer and documentation richness —
+not a reasoner.
+
+:meth:`Ontology.to_graph` / :meth:`Ontology.from_graph` convert to and
+from :class:`~repro.ontology.graph.TripleGraph`, which the Turtle
+parser/serialiser and the merge substrate operate on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Set, Tuple
+
+from .graph import Literal, TripleGraph
+from .vocab import CORE_PREFIXES, DC, DCTERMS, OWL, RDF, RDFS, local_name
+
+__all__ = [
+    "Entity",
+    "OntClass",
+    "OntProperty",
+    "Individual",
+    "Ontology",
+]
+
+
+@dataclass
+class Entity:
+    """Anything with an IRI and annotations."""
+
+    iri: str
+    label: Optional[str] = None
+    comment: Optional[str] = None
+    see_also: List[str] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.iri:
+            raise ValueError("entity IRI must be non-empty")
+
+    @property
+    def name(self) -> str:
+        """The IRI's local name (used by the lexical metrics)."""
+        return local_name(self.iri)
+
+    @property
+    def is_documented(self) -> bool:
+        """Documented = it carries at least a label and a comment."""
+        return bool(self.label) and bool(self.comment)
+
+
+@dataclass
+class OntClass(Entity):
+    """A named class and its direct superclasses (IRIs)."""
+
+    superclasses: List[str] = field(default_factory=list)
+
+
+@dataclass
+class OntProperty(Entity):
+    """An object or datatype property.
+
+    ``kind`` is ``"object"`` or ``"data"``; domain/range hold class
+    IRIs (range holds a datatype IRI for data properties).
+    """
+
+    kind: str = "object"
+    domain: Optional[str] = None
+    range: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.kind not in ("object", "data"):
+            raise ValueError(f"property kind must be 'object' or 'data', got {self.kind!r}")
+
+
+@dataclass
+class Individual(Entity):
+    """A named individual and its asserted types (class IRIs)."""
+
+    types: List[str] = field(default_factory=list)
+
+
+class Ontology:
+    """A named ontology: entities, imports, metadata and prefixes.
+
+    ``language`` records the implementation language of the source
+    artefact (``"OWL"``, ``"RDFS"``, ``"OBO"``, ...) — the *adequacy of
+    the implementation language* criterion of §II compares it against
+    the target ontology's.  ``documentation_urls`` back the
+    *documentation quality* criterion ("a wiki, article or web page
+    describing the candidate ontology").
+    """
+
+    def __init__(
+        self,
+        iri: str,
+        label: Optional[str] = None,
+        comment: Optional[str] = None,
+        language: str = "OWL",
+        version: str = "",
+    ) -> None:
+        if not iri:
+            raise ValueError("ontology IRI must be non-empty")
+        self.iri = iri
+        self.label = label
+        self.comment = comment
+        self.language = language
+        self.version = version
+        self.imports: List[str] = []
+        self.documentation_urls: List[str] = []
+        self.creators: List[str] = []
+        self.prefixes: Dict[str, str] = dict(CORE_PREFIXES)
+        self._classes: Dict[str, OntClass] = {}
+        self._properties: Dict[str, OntProperty] = {}
+        self._individuals: Dict[str, Individual] = {}
+
+    # ------------------------------------------------------------------
+    # Entity management
+    # ------------------------------------------------------------------
+    def add_class(self, cls: OntClass) -> OntClass:
+        if cls.iri in self._classes:
+            raise ValueError(f"class {cls.iri!r} already present")
+        self._classes[cls.iri] = cls
+        return cls
+
+    def add_property(self, prop: OntProperty) -> OntProperty:
+        if prop.iri in self._properties:
+            raise ValueError(f"property {prop.iri!r} already present")
+        self._properties[prop.iri] = prop
+        return prop
+
+    def add_individual(self, ind: Individual) -> Individual:
+        if ind.iri in self._individuals:
+            raise ValueError(f"individual {ind.iri!r} already present")
+        self._individuals[ind.iri] = ind
+        return ind
+
+    def bind(self, prefix: str, namespace: str) -> None:
+        self.prefixes[prefix] = namespace
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+    @property
+    def classes(self) -> Tuple[OntClass, ...]:
+        return tuple(self._classes.values())
+
+    @property
+    def properties(self) -> Tuple[OntProperty, ...]:
+        return tuple(self._properties.values())
+
+    @property
+    def object_properties(self) -> Tuple[OntProperty, ...]:
+        return tuple(p for p in self._properties.values() if p.kind == "object")
+
+    @property
+    def data_properties(self) -> Tuple[OntProperty, ...]:
+        return tuple(p for p in self._properties.values() if p.kind == "data")
+
+    @property
+    def individuals(self) -> Tuple[Individual, ...]:
+        return tuple(self._individuals.values())
+
+    def get_class(self, iri: str) -> OntClass:
+        try:
+            return self._classes[iri]
+        except KeyError:
+            raise KeyError(f"no class {iri!r} in ontology {self.iri!r}") from None
+
+    def has_class(self, iri: str) -> bool:
+        return iri in self._classes
+
+    def entities(self) -> Iterator[Entity]:
+        yield from self._classes.values()
+        yield from self._properties.values()
+        yield from self._individuals.values()
+
+    def entity_count(self) -> int:
+        return len(self._classes) + len(self._properties) + len(self._individuals)
+
+    # ------------------------------------------------------------------
+    # Lexical layer
+    # ------------------------------------------------------------------
+    def lexical_entries(self) -> Tuple[str, ...]:
+        """Every label and local name of every entity (deduplicated).
+
+        The CQ coverage scorer matches competency-question terms against
+        this layer.
+        """
+        seen: Set[str] = set()
+        out: List[str] = []
+        for entity in self.entities():
+            for text in (entity.label, entity.name):
+                if text and text not in seen:
+                    seen.add(text)
+                    out.append(text)
+        return tuple(out)
+
+    # ------------------------------------------------------------------
+    # Graph conversion
+    # ------------------------------------------------------------------
+    def to_graph(self) -> TripleGraph:
+        """Serialise the model as triples (the substrate's wire form)."""
+        g = TripleGraph()
+        g.add(self.iri, RDF.type, OWL.Ontology)
+        if self.label:
+            g.add(self.iri, RDFS.label, Literal.string(self.label))
+        if self.comment:
+            g.add(self.iri, RDFS.comment, Literal.string(self.comment))
+        if self.version:
+            g.add(self.iri, OWL.versionInfo, Literal.string(self.version))
+        for imported in self.imports:
+            g.add(self.iri, OWL.imports, imported)
+        for url in self.documentation_urls:
+            g.add(self.iri, RDFS.seeAlso, url)
+        for creator in self.creators:
+            g.add(self.iri, DC.creator, Literal.string(creator))
+
+        def annotate(entity: Entity) -> None:
+            if entity.label:
+                g.add(entity.iri, RDFS.label, Literal.string(entity.label))
+            if entity.comment:
+                g.add(entity.iri, RDFS.comment, Literal.string(entity.comment))
+            for ref in entity.see_also:
+                g.add(entity.iri, RDFS.seeAlso, ref)
+
+        for cls in self._classes.values():
+            g.add(cls.iri, RDF.type, OWL.Class)
+            annotate(cls)
+            for sup in cls.superclasses:
+                g.add(cls.iri, RDFS.subClassOf, sup)
+        for prop in self._properties.values():
+            type_iri = (
+                OWL.ObjectProperty if prop.kind == "object" else OWL.DatatypeProperty
+            )
+            g.add(prop.iri, RDF.type, type_iri)
+            annotate(prop)
+            if prop.domain:
+                g.add(prop.iri, RDFS.domain, prop.domain)
+            if prop.range:
+                g.add(prop.iri, RDFS.range, prop.range)
+        for ind in self._individuals.values():
+            g.add(ind.iri, RDF.type, OWL.NamedIndividual)
+            annotate(ind)
+            for type_iri in ind.types:
+                g.add(ind.iri, RDF.type, type_iri)
+        return g
+
+    @classmethod
+    def from_graph(cls, graph: TripleGraph, language: str = "OWL") -> "Ontology":
+        """Rebuild a model from triples produced by :meth:`to_graph`.
+
+        Also accepts graphs parsed from external Turtle: any subject
+        typed ``owl:Class`` / ``owl:ObjectProperty`` /
+        ``owl:DatatypeProperty`` / ``owl:NamedIndividual`` is lifted;
+        unknown triples are ignored.
+        """
+        onto_iris = list(graph.subjects(RDF.type, OWL.Ontology))
+        if not onto_iris:
+            raise ValueError("graph declares no owl:Ontology")
+        if len(onto_iris) > 1:
+            raise ValueError(
+                f"graph declares {len(onto_iris)} ontologies; expected one"
+            )
+        iri = onto_iris[0]
+
+        def text(subject: str, predicate: str) -> Optional[str]:
+            value = graph.value(subject, predicate)
+            return value.value if isinstance(value, Literal) else None
+
+        def refs(subject: str, predicate: str) -> List[str]:
+            return sorted(
+                o for o in graph.objects(subject, predicate) if isinstance(o, str)
+            )
+
+        onto = cls(
+            iri,
+            label=text(iri, RDFS.label),
+            comment=text(iri, RDFS.comment),
+            language=language,
+            version=text(iri, OWL.versionInfo) or "",
+        )
+        onto.imports = refs(iri, OWL.imports)
+        onto.documentation_urls = refs(iri, RDFS.seeAlso)
+        onto.creators = sorted(
+            o.value
+            for o in graph.objects(iri, DC.creator)
+            if isinstance(o, Literal)
+        )
+
+        for subject in sorted(graph.subjects(RDF.type, OWL.Class)):
+            onto.add_class(
+                OntClass(
+                    subject,
+                    label=text(subject, RDFS.label),
+                    comment=text(subject, RDFS.comment),
+                    see_also=refs(subject, RDFS.seeAlso),
+                    superclasses=refs(subject, RDFS.subClassOf),
+                )
+            )
+        for kind, type_iri in (("object", OWL.ObjectProperty), ("data", OWL.DatatypeProperty)):
+            for subject in sorted(graph.subjects(RDF.type, type_iri)):
+                domain = graph.value(subject, RDFS.domain)
+                range_ = graph.value(subject, RDFS.range)
+                onto.add_property(
+                    OntProperty(
+                        subject,
+                        label=text(subject, RDFS.label),
+                        comment=text(subject, RDFS.comment),
+                        see_also=refs(subject, RDFS.seeAlso),
+                        kind=kind,
+                        domain=domain if isinstance(domain, str) else None,
+                        range=range_ if isinstance(range_, str) else None,
+                    )
+                )
+        for subject in sorted(graph.subjects(RDF.type, OWL.NamedIndividual)):
+            types = [
+                t
+                for t in refs(subject, RDF.type)
+                if t not in (OWL.NamedIndividual,)
+            ]
+            onto.add_individual(
+                Individual(
+                    subject,
+                    label=text(subject, RDFS.label),
+                    comment=text(subject, RDFS.comment),
+                    see_also=refs(subject, RDFS.seeAlso),
+                    types=types,
+                )
+            )
+        return onto
+
+    # ------------------------------------------------------------------
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Ontology({self.iri!r}, classes={len(self._classes)}, "
+            f"properties={len(self._properties)}, "
+            f"individuals={len(self._individuals)})"
+        )

@@ -1,0 +1,127 @@
+"""N-Triples parser and serialiser (line-oriented RDF).
+
+N-Triples is the simplest RDF syntax — one triple per line, no
+prefixes, everything absolute.  The substrate supports it alongside
+Turtle because real ontology dumps frequently ship as ``.nt`` and
+because its line-per-triple shape makes diff-based tooling trivial.
+
+The full N-Triples grammar is supported except for RDF-star quoted
+triples; blank-node labels round-trip literally.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterator, List, Tuple
+
+from .graph import Literal, Term, TripleGraph
+
+__all__ = ["NTriplesSyntaxError", "parse_ntriples", "serialise_ntriples"]
+
+
+class NTriplesSyntaxError(ValueError):
+    """A syntax error with the offending 1-based line number."""
+
+    def __init__(self, message: str, line: int) -> None:
+        super().__init__(f"line {line}: {message}")
+        self.line = line
+
+
+_IRI = r"<([^<>\"{}|^`\\\x00-\x20]*)>"
+_BLANK = r"(_:[A-Za-z0-9][\w.-]*)"
+_STRING = r'"((?:[^"\\\n]|\\.)*)"'
+_LANG = r"@([a-zA-Z]+(?:-[a-zA-Z0-9]+)*)"
+
+_TRIPLE_RE = re.compile(
+    rf"^\s*(?:{_IRI}|{_BLANK})"          # subject: IRI or blank
+    rf"\s+{_IRI}"                        # predicate: IRI
+    rf"\s+(?:{_IRI}|{_BLANK}|{_STRING}"  # object: IRI, blank, literal...
+    rf"(?:\^\^{_IRI}|{_LANG})?)"         # ...with optional datatype/lang
+    r"\s*\.\s*$"
+)
+
+_ESCAPES = {
+    "t": "\t", "b": "\b", "n": "\n", "r": "\r", "f": "\f",
+    '"': '"', "'": "'", "\\": "\\",
+}
+
+
+def _unescape(body: str, line: int) -> str:
+    out: List[str] = []
+    i = 0
+    while i < len(body):
+        ch = body[i]
+        if ch != "\\":
+            out.append(ch)
+            i += 1
+            continue
+        if i + 1 >= len(body):
+            raise NTriplesSyntaxError("dangling escape", line)
+        esc = body[i + 1]
+        if esc in _ESCAPES:
+            out.append(_ESCAPES[esc])
+            i += 2
+        elif esc == "u":
+            out.append(chr(int(body[i + 2:i + 6], 16)))
+            i += 6
+        elif esc == "U":
+            out.append(chr(int(body[i + 2:i + 10], 16)))
+            i += 10
+        else:
+            raise NTriplesSyntaxError(f"unknown escape \\{esc}", line)
+    return "".join(out)
+
+
+def parse_ntriples(text: str) -> TripleGraph:
+    """Parse an N-Triples document into a graph."""
+    graph = TripleGraph()
+    for number, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        match = _TRIPLE_RE.match(line)
+        if match is None:
+            raise NTriplesSyntaxError(f"malformed triple: {raw!r}", number)
+        (s_iri, s_blank, p_iri,
+         o_iri, o_blank, o_string, o_datatype, o_lang) = match.groups()
+        subject = s_iri if s_iri is not None else s_blank
+        if o_iri is not None:
+            obj: Term = o_iri
+        elif o_blank is not None:
+            obj = o_blank
+        else:
+            value = _unescape(o_string, number)
+            if o_datatype:
+                obj = Literal(value, datatype=o_datatype)
+            elif o_lang:
+                obj = Literal(value, lang=o_lang)
+            else:
+                obj = Literal(value)
+        graph.add(subject, p_iri, obj)
+    return graph
+
+
+def _escape(value: str) -> str:
+    out = value.replace("\\", "\\\\").replace('"', '\\"')
+    return out.replace("\n", "\\n").replace("\r", "\\r").replace("\t", "\\t")
+
+
+def _term(term: Term) -> str:
+    if isinstance(term, Literal):
+        body = f'"{_escape(term.value)}"'
+        if term.lang:
+            return f"{body}@{term.lang}"
+        if term.datatype:
+            return f"{body}^^<{term.datatype}>"
+        return body
+    if term.startswith("_:"):
+        return term
+    return f"<{term}>"
+
+
+def serialise_ntriples(graph: TripleGraph) -> str:
+    """Write a graph as sorted N-Triples (one line per triple)."""
+    lines = sorted(
+        f"{_term(s)} {_term(p)} {_term(o)} ." for s, p, o in graph
+    )
+    return "\n".join(lines) + ("\n" if lines else "")

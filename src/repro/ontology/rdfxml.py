@@ -1,0 +1,215 @@
+"""RDF/XML subset parser and serialiser (stdlib ``xml.etree``).
+
+Most of the candidate ontologies the paper surveys (COMM, the MPEG-7
+translations, DIG35) were published as RDF/XML, so the substrate reads
+and writes the subset those files actually use:
+
+* ``rdf:RDF`` roots with namespace declarations,
+* node elements — ``rdf:Description`` or a typed element — carrying
+  ``rdf:about`` / ``rdf:ID`` / ``rdf:nodeID``,
+* property elements with ``rdf:resource`` / ``rdf:nodeID`` references,
+  nested node elements, or text content (with ``rdf:datatype`` /
+  ``xml:lang``),
+* property *attributes* on node elements (literal shortcuts).
+
+Unsupported richer constructs (``rdf:parseType``, containers,
+collections, reification) raise :class:`RdfXmlSyntaxError` instead of
+being silently mis-read.
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+from typing import Dict, List, Optional, Tuple
+from xml.sax.saxutils import escape, quoteattr
+
+from .graph import Literal, Term, TripleGraph
+from .vocab import RDF, split_iri
+
+__all__ = ["RdfXmlSyntaxError", "parse_rdfxml", "serialise_rdfxml"]
+
+_RDF_NS = RDF.base.rstrip("#")  # "...rdf-syntax-ns"; etree uses {ns}tag
+_XML_LANG = "{http://www.w3.org/XML/1998/namespace}lang"
+
+
+class RdfXmlSyntaxError(ValueError):
+    """Raised on malformed or out-of-subset RDF/XML."""
+
+
+def _clark_to_iri(tag: str) -> str:
+    """``{namespace}local`` -> ``namespaceLocal`` IRI."""
+    if not tag.startswith("{"):
+        raise RdfXmlSyntaxError(
+            f"element {tag!r} has no namespace; RDF/XML requires one"
+        )
+    namespace, local = tag[1:].split("}", 1)
+    return namespace + local
+
+
+def _rdf(attr: str) -> str:
+    return "{" + RDF.base.rstrip("#") + "#}" + attr
+
+
+_ABOUT = _rdf("about")
+_ID = _rdf("ID")
+_NODE_ID = _rdf("nodeID")
+_RESOURCE = _rdf("resource")
+_DATATYPE = _rdf("datatype")
+_PARSE_TYPE = _rdf("parseType")
+_RDF_ROOT = _rdf("RDF")
+_DESCRIPTION = _rdf("Description")
+
+
+def _subject_of(element: ET.Element, counter: List[int]) -> str:
+    about = element.get(_ABOUT)
+    if about is not None:
+        return about
+    fragment = element.get(_ID)
+    if fragment is not None:
+        return "#" + fragment
+    node_id = element.get(_NODE_ID)
+    if node_id is not None:
+        return "_:" + node_id
+    counter[0] += 1
+    return f"_:genid{counter[0]}"
+
+
+def _parse_node(element: ET.Element, graph: TripleGraph, counter: List[int]) -> str:
+    subject = _subject_of(element, counter)
+    if element.tag != _DESCRIPTION:
+        # a typed node element: <ex:Video rdf:about="..."> asserts rdf:type
+        graph.add(subject, RDF.type, _clark_to_iri(element.tag))
+    # property attributes (skip rdf:* control attributes and xml:lang)
+    for attr, value in element.attrib.items():
+        if attr in (_ABOUT, _ID, _NODE_ID, _XML_LANG):
+            continue
+        if attr.startswith("{" + RDF.base.rstrip("#") + "#}"):
+            continue
+        if not attr.startswith("{"):
+            continue  # non-namespaced attribute: ignore
+        graph.add(subject, _clark_to_iri(attr), Literal(value))
+    for child in element:
+        _parse_property(subject, child, graph, counter)
+    return subject
+
+
+def _parse_property(
+    subject: str, element: ET.Element, graph: TripleGraph, counter: List[int]
+) -> None:
+    predicate = _clark_to_iri(element.tag)
+    if element.get(_PARSE_TYPE) is not None:
+        raise RdfXmlSyntaxError(
+            f"rdf:parseType on {predicate!r} is outside the supported subset"
+        )
+    resource = element.get(_RESOURCE)
+    node_id = element.get(_NODE_ID)
+    children = list(element)
+    if resource is not None:
+        graph.add(subject, predicate, resource)
+        return
+    if node_id is not None:
+        graph.add(subject, predicate, "_:" + node_id)
+        return
+    if children:
+        if len(children) != 1:
+            raise RdfXmlSyntaxError(
+                f"property {predicate!r} must contain exactly one node element"
+            )
+        obj = _parse_node(children[0], graph, counter)
+        graph.add(subject, predicate, obj)
+        return
+    text = element.text or ""
+    datatype = element.get(_DATATYPE)
+    lang = element.get(_XML_LANG)
+    if datatype is not None:
+        graph.add(subject, predicate, Literal(text, datatype=datatype))
+    elif lang is not None:
+        graph.add(subject, predicate, Literal(text, lang=lang))
+    else:
+        graph.add(subject, predicate, Literal(text))
+
+
+def parse_rdfxml(text: str) -> TripleGraph:
+    """Parse an RDF/XML document (the supported subset) into a graph."""
+    try:
+        root = ET.fromstring(text)
+    except ET.ParseError as err:
+        raise RdfXmlSyntaxError(f"not well-formed XML: {err}") from err
+    graph = TripleGraph()
+    counter = [0]
+    if root.tag == _RDF_ROOT:
+        for child in root:
+            _parse_node(child, graph, counter)
+    else:
+        _parse_node(root, graph, counter)
+    return graph
+
+
+# ----------------------------------------------------------------------
+# Serialisation
+# ----------------------------------------------------------------------
+
+def serialise_rdfxml(
+    graph: TripleGraph, prefixes: Optional[Dict[str, str]] = None
+) -> str:
+    """Write a graph as RDF/XML (rdf:Description-style, deterministic).
+
+    Every namespace used by a predicate or ``rdf:type`` object must be
+    declared via ``prefixes`` (namespace -> prefix is derived from the
+    mapping's prefix -> namespace entries); unknown namespaces get
+    generated ``ns0``, ``ns1``, ... declarations.
+    """
+    ns_to_prefix: Dict[str, str] = {RDF.base: "rdf"}
+    if prefixes:
+        for prefix, namespace in prefixes.items():
+            if prefix and namespace not in ns_to_prefix:
+                ns_to_prefix[namespace] = prefix
+
+    generated = [0]
+
+    def prefix_for(namespace: str) -> str:
+        if namespace not in ns_to_prefix:
+            ns_to_prefix[namespace] = f"ns{generated[0]}"
+            generated[0] += 1
+        return ns_to_prefix[namespace]
+
+    by_subject: Dict[str, List[Tuple[str, Term]]] = {}
+    for s, p, o in graph:
+        by_subject.setdefault(s, []).append((p, o))
+        prefix_for(split_iri(p)[0])
+
+    body: List[str] = []
+    for subject in sorted(by_subject):
+        if subject.startswith("_:"):
+            opener = f'  <rdf:Description rdf:nodeID="{subject[2:]}">'
+        else:
+            opener = f"  <rdf:Description rdf:about={quoteattr(subject)}>"
+        body.append(opener)
+        for p, o in sorted(
+            by_subject[subject],
+            key=lambda pair: (pair[0], str(pair[1])),
+        ):
+            namespace, local = split_iri(p)
+            tag = f"{prefix_for(namespace)}:{local}"
+            if isinstance(o, Literal):
+                if o.lang:
+                    attrs = f' xml:lang="{o.lang}"'
+                elif o.datatype:
+                    attrs = f" rdf:datatype={quoteattr(o.datatype)}"
+                else:
+                    attrs = ""
+                body.append(f"    <{tag}{attrs}>{escape(o.value)}</{tag}>")
+            elif o.startswith("_:"):
+                body.append(f'    <{tag} rdf:nodeID="{o[2:]}"/>')
+            else:
+                body.append(f"    <{tag} rdf:resource={quoteattr(o)}/>")
+        body.append("  </rdf:Description>")
+
+    declarations = "".join(
+        f'\n    xmlns:{prefix}={quoteattr(namespace)}'
+        for namespace, prefix in sorted(ns_to_prefix.items(), key=lambda kv: kv[1])
+    )
+    return (
+        '<?xml version="1.0" encoding="utf-8"?>\n'
+        f"<rdf:RDF{declarations}>\n" + "\n".join(body) + "\n</rdf:RDF>\n"
+    )

@@ -1,0 +1,439 @@
+"""A Turtle-subset parser and serialiser.
+
+The substrate reads and writes a well-defined subset of Terse RDF
+Triple Language (Turtle):
+
+* ``@prefix`` / ``@base`` directives (and their SPARQL spellings),
+* subject groups with ``;`` predicate lists and ``,`` object lists,
+* ``a`` for ``rdf:type``,
+* IRIs in angle brackets, prefixed names, blank-node labels (``_:b``),
+* string literals (single/double quoted and their triple-quoted long
+  forms) with ``\\``-escapes, language tags and ``^^`` datatypes,
+* numeric literals (``xsd:integer`` / ``xsd:decimal`` / ``xsd:double``)
+  and booleans,
+* ``#`` comments.
+
+Not supported (the corpus never produces them): anonymous blank-node
+property lists ``[...]`` and RDF collections ``(...)``.  The parser
+raises :class:`TurtleSyntaxError` with a line number instead of
+guessing.
+
+Round-trip guarantee: ``parse(serialise(graph))`` reproduces exactly
+the same triple set for every graph whose terms this subset can spell
+(the property tests exercise this on random graphs).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from .graph import Literal, Term, TripleGraph
+from .vocab import CORE_PREFIXES, RDF, XSD
+
+__all__ = ["TurtleSyntaxError", "parse", "serialise", "serialize"]
+
+
+class TurtleSyntaxError(ValueError):
+    """A syntax error with the 1-based source line where it occurred."""
+
+    def __init__(self, message: str, line: int) -> None:
+        super().__init__(f"line {line}: {message}")
+        self.line = line
+
+
+# ----------------------------------------------------------------------
+# Tokeniser
+# ----------------------------------------------------------------------
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>[ \t\r]+)
+  | (?P<comment>\#[^\n]*)
+  | (?P<newline>\n)
+  | (?P<long_string>\"\"\"(?:[^"\\]|\\.|"(?!""))*\"\"\"|'''(?:[^'\\]|\\.|'(?!''))*''')
+  | (?P<string>"(?:[^"\\\n]|\\.)*"|'(?:[^'\\\n]|\\.)*')
+  | (?P<iri><[^<>"{}|^`\\\s]*>)
+  | (?P<directive>@prefix|@base|PREFIX|BASE)
+  | (?P<lang>@[a-zA-Z]+(?:-[a-zA-Z0-9]+)*)
+  | (?P<double_caret>\^\^)
+  | (?P<number>[+-]?(?:\d+\.\d+(?:[eE][+-]?\d+)?|\.\d+(?:[eE][+-]?\d+)?|\d+(?:[eE][+-]?\d+)?))
+  | (?P<punct>[.;,\[\]()])
+  | (?P<blank>_:[A-Za-z0-9_][\w-]*(?:\.[\w-]+)*)
+  | (?P<pname>[A-Za-z0-9_][\w-]*(?:\.[\w-]+)*)?:(?:[A-Za-z0-9_][\w-]*(?:\.[\w-]+)*)?
+  | (?P<bare>[A-Za-z][\w-]*)
+    """,
+    re.VERBOSE,
+)
+
+
+class _Token:
+    __slots__ = ("kind", "text", "line")
+
+    def __init__(self, kind: str, text: str, line: int) -> None:
+        self.kind = kind
+        self.text = text
+        self.line = line
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"_Token({self.kind}, {self.text!r}, line {self.line})"
+
+
+def _tokenise(text: str) -> List[_Token]:
+    tokens: List[_Token] = []
+    line = 1
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN_RE.match(text, pos)
+        if match is None:
+            raise TurtleSyntaxError(f"unexpected character {text[pos]!r}", line)
+        kind = match.lastgroup
+        value = match.group()
+        if kind == "newline":
+            line += 1
+        elif kind in ("ws", "comment"):
+            pass
+        elif kind == "long_string":
+            line += value.count("\n")
+            tokens.append(_Token("string", value, line))
+        elif kind == "pname" or (kind is None and ":" in value):
+            tokens.append(_Token("pname", value, line))
+        else:
+            tokens.append(_Token(kind, value, line))
+        pos = match.end()
+    tokens.append(_Token("eof", "", line))
+    return tokens
+
+
+_ESCAPES = {
+    "t": "\t",
+    "n": "\n",
+    "r": "\r",
+    "b": "\b",
+    "f": "\f",
+    '"': '"',
+    "'": "'",
+    "\\": "\\",
+}
+
+
+def _unescape(body: str, line: int) -> str:
+    out: List[str] = []
+    i = 0
+    while i < len(body):
+        ch = body[i]
+        if ch != "\\":
+            out.append(ch)
+            i += 1
+            continue
+        if i + 1 >= len(body):
+            raise TurtleSyntaxError("dangling escape at end of string", line)
+        esc = body[i + 1]
+        if esc in _ESCAPES:
+            out.append(_ESCAPES[esc])
+            i += 2
+        elif esc == "u":
+            out.append(chr(int(body[i + 2 : i + 6], 16)))
+            i += 6
+        elif esc == "U":
+            out.append(chr(int(body[i + 2 : i + 10], 16)))
+            i += 10
+        else:
+            raise TurtleSyntaxError(f"unknown escape \\{esc}", line)
+    return "".join(out)
+
+
+# ----------------------------------------------------------------------
+# Parser
+# ----------------------------------------------------------------------
+
+class _Parser:
+    def __init__(self, tokens: List[_Token]) -> None:
+        self._tokens = tokens
+        self._pos = 0
+        self._prefixes: Dict[str, str] = {}
+        self._base = ""
+        self.graph = TripleGraph()
+
+    # -- token helpers --------------------------------------------------
+    def _peek(self) -> _Token:
+        return self._tokens[self._pos]
+
+    def _next(self) -> _Token:
+        token = self._tokens[self._pos]
+        self._pos += 1
+        return token
+
+    def _expect_punct(self, char: str) -> None:
+        token = self._next()
+        if token.kind != "punct" or token.text != char:
+            raise TurtleSyntaxError(
+                f"expected {char!r}, found {token.text!r}", token.line
+            )
+
+    # -- grammar --------------------------------------------------------
+    def parse(self) -> TripleGraph:
+        while self._peek().kind != "eof":
+            token = self._peek()
+            if token.kind == "directive":
+                self._directive()
+            else:
+                self._triples_block()
+        return self.graph
+
+    def _directive(self) -> None:
+        token = self._next()
+        sparql_form = token.text in ("PREFIX", "BASE")
+        if token.text in ("@prefix", "PREFIX"):
+            pname = self._next()
+            if pname.kind != "pname" or not pname.text.endswith(":"):
+                raise TurtleSyntaxError(
+                    f"expected a prefix declaration, found {pname.text!r}",
+                    pname.line,
+                )
+            prefix = pname.text[:-1]
+            iri_token = self._next()
+            if iri_token.kind != "iri":
+                raise TurtleSyntaxError(
+                    f"expected an IRI, found {iri_token.text!r}", iri_token.line
+                )
+            self._prefixes[prefix] = self._resolve(iri_token.text[1:-1])
+        else:
+            iri_token = self._next()
+            if iri_token.kind != "iri":
+                raise TurtleSyntaxError(
+                    f"expected an IRI, found {iri_token.text!r}", iri_token.line
+                )
+            self._base = self._resolve(iri_token.text[1:-1])
+        if not sparql_form:
+            self._expect_punct(".")
+
+    def _triples_block(self) -> None:
+        subject = self._subject()
+        self._predicate_object_list(subject)
+        self._expect_punct(".")
+
+    def _predicate_object_list(self, subject: str) -> None:
+        while True:
+            predicate = self._predicate()
+            while True:
+                obj = self._object()
+                self.graph.add(subject, predicate, obj)
+                if self._peek().kind == "punct" and self._peek().text == ",":
+                    self._next()
+                    continue
+                break
+            if self._peek().kind == "punct" and self._peek().text == ";":
+                self._next()
+                # Turtle allows a trailing ';' before '.'
+                if self._peek().kind == "punct" and self._peek().text == ".":
+                    break
+                continue
+            break
+
+    def _subject(self) -> str:
+        token = self._next()
+        if token.kind == "iri":
+            return self._resolve(token.text[1:-1])
+        if token.kind == "pname":
+            return self._expand_pname(token)
+        if token.kind == "blank":
+            return token.text
+        raise TurtleSyntaxError(
+            f"expected a subject, found {token.text!r}", token.line
+        )
+
+    def _predicate(self) -> str:
+        token = self._next()
+        if token.kind == "bare" and token.text == "a":
+            return RDF.type
+        if token.kind == "iri":
+            return self._resolve(token.text[1:-1])
+        if token.kind == "pname":
+            return self._expand_pname(token)
+        raise TurtleSyntaxError(
+            f"expected a predicate, found {token.text!r}", token.line
+        )
+
+    def _object(self) -> Term:
+        token = self._next()
+        if token.kind == "iri":
+            return self._resolve(token.text[1:-1])
+        if token.kind == "pname":
+            return self._expand_pname(token)
+        if token.kind == "blank":
+            return token.text
+        if token.kind == "string":
+            return self._literal(token)
+        if token.kind == "number":
+            return self._number(token)
+        if token.kind == "bare":
+            if token.text == "true":
+                return Literal("true", datatype=XSD.boolean)
+            if token.text == "false":
+                return Literal("false", datatype=XSD.boolean)
+        if token.kind == "punct" and token.text in ("[", "("):
+            raise TurtleSyntaxError(
+                "anonymous blank nodes and collections are outside the "
+                "supported Turtle subset",
+                token.line,
+            )
+        raise TurtleSyntaxError(
+            f"expected an object, found {token.text!r}", token.line
+        )
+
+    def _literal(self, token: _Token) -> Literal:
+        text = token.text
+        if text.startswith(('"""', "'''")):
+            body = text[3:-3]
+        else:
+            body = text[1:-1]
+        value = _unescape(body, token.line)
+        nxt = self._peek()
+        if nxt.kind == "lang":
+            self._next()
+            return Literal(value, lang=nxt.text[1:])
+        if nxt.kind == "double_caret":
+            self._next()
+            dt_token = self._next()
+            if dt_token.kind == "iri":
+                datatype = self._resolve(dt_token.text[1:-1])
+            elif dt_token.kind == "pname":
+                datatype = self._expand_pname(dt_token)
+            else:
+                raise TurtleSyntaxError(
+                    f"expected a datatype IRI, found {dt_token.text!r}",
+                    dt_token.line,
+                )
+            return Literal(value, datatype=datatype)
+        return Literal(value)
+
+    def _number(self, token: _Token) -> Literal:
+        text = token.text
+        if "e" in text.lower():
+            return Literal(text, datatype=XSD.double)
+        if "." in text:
+            return Literal(text, datatype=XSD.decimal)
+        return Literal(text, datatype=XSD.integer)
+
+    def _expand_pname(self, token: _Token) -> str:
+        prefix, _, local = token.text.partition(":")
+        if prefix not in self._prefixes:
+            raise TurtleSyntaxError(f"undeclared prefix {prefix!r}:", token.line)
+        return self._prefixes[prefix] + local
+
+    def _resolve(self, iri: str) -> str:
+        if not iri:
+            return self._base
+        if re.match(r"^[A-Za-z][A-Za-z0-9+.-]*:", iri):
+            return iri  # absolute
+        return self._base + iri
+
+
+def parse(text: str) -> TripleGraph:
+    """Parse a Turtle document (the supported subset) into a graph."""
+    return _Parser(_tokenise(text)).parse()
+
+
+# ----------------------------------------------------------------------
+# Serialiser
+# ----------------------------------------------------------------------
+
+_LOCAL_RE = re.compile(r"^[A-Za-z0-9_][\w-]*$")
+
+
+def _shorten(iri: str, prefixes: Dict[str, str]) -> Optional[str]:
+    best: Optional[Tuple[str, str]] = None
+    for prefix, namespace in prefixes.items():
+        if iri.startswith(namespace):
+            local = iri[len(namespace):]
+            if _LOCAL_RE.match(local) and (best is None or len(namespace) > len(prefixes[best[0]])):
+                best = (prefix, local)
+    if best is None:
+        return None
+    return f"{best[0]}:{best[1]}"
+
+
+def _escape(value: str) -> str:
+    out = value.replace("\\", "\\\\").replace('"', '\\"')
+    out = out.replace("\n", "\\n").replace("\r", "\\r").replace("\t", "\\t")
+    return out
+
+
+def _term(term: Term, prefixes: Dict[str, str]) -> str:
+    if isinstance(term, Literal):
+        body = f'"{_escape(term.value)}"'
+        if term.lang:
+            return f"{body}@{term.lang}"
+        if term.datatype:
+            short = _shorten(term.datatype, prefixes)
+            return f"{body}^^{short or f'<{term.datatype}>'}"
+        return body
+    if term.startswith("_:"):
+        return term
+    short = _shorten(term, prefixes)
+    return short or f"<{term}>"
+
+
+def serialise(
+    graph: TripleGraph, prefixes: Optional[Dict[str, str]] = None
+) -> str:
+    """Write a graph as Turtle (deterministic: sorted output).
+
+    ``prefixes`` defaults to the core RDF/RDFS/OWL/XSD/DC set; pass an
+    ontology's ``prefixes`` mapping for domain-specific shortening.
+    """
+    prefix_map = dict(CORE_PREFIXES)
+    if prefixes:
+        prefix_map.update(prefixes)
+    used: Dict[str, str] = {}
+
+    def note_usage(term: Term) -> None:
+        iris = []
+        if isinstance(term, Literal):
+            if term.datatype:
+                iris.append(term.datatype)
+        elif not term.startswith("_:"):
+            iris.append(term)
+        for iri in iris:
+            short = _shorten(iri, prefix_map)
+            if short:
+                prefix = short.partition(":")[0]
+                used[prefix] = prefix_map[prefix]
+
+    by_subject: Dict[str, List[Tuple[str, Term]]] = {}
+    for s, p, o in graph:
+        by_subject.setdefault(s, []).append((p, o))
+        note_usage(s)
+        note_usage(p)
+        note_usage(o)
+
+    lines: List[str] = []
+    for prefix in sorted(used):
+        lines.append(f"@prefix {prefix}: <{used[prefix]}> .")
+    if used:
+        lines.append("")
+
+    def term_sort_key(pair: Tuple[str, Term]) -> Tuple[str, str]:
+        p, o = pair
+        # rdf:type first, then alphabetical; objects stringified.
+        primary = "" if p == RDF.type else p
+        if isinstance(o, Literal):
+            return (primary, f'"{o.value}"')
+        return (primary, o)
+
+    for subject in sorted(by_subject):
+        pairs = sorted(by_subject[subject], key=term_sort_key)
+        subject_text = _term(subject, prefix_map)
+        body: List[str] = []
+        for p, o in pairs:
+            pred_text = "a" if p == RDF.type else _term(p, prefix_map)
+            body.append(f"    {pred_text} {_term(o, prefix_map)}")
+        lines.append(subject_text)
+        lines.append(" ;\n".join(body) + " .")
+        lines.append("")
+    return "\n".join(lines).rstrip() + "\n"
+
+
+#: American-spelling alias.
+serialize = serialise

@@ -1,0 +1,37 @@
+"""Deterministic textual figures, tables and charts."""
+
+from .figures import (
+    figure_1,
+    figure_2,
+    figure_3,
+    figure_4,
+    figure_5,
+    figure_6,
+    figure_7,
+    figure_8,
+    figure_9,
+    figure_10,
+    run_monte_carlo,
+    screening_summary,
+)
+from .plots import interval_bars, rank_boxplots
+from .tables import render_table, to_csv
+
+__all__ = [
+    "render_table",
+    "to_csv",
+    "interval_bars",
+    "rank_boxplots",
+    "figure_1",
+    "figure_2",
+    "figure_3",
+    "figure_4",
+    "figure_5",
+    "figure_6",
+    "figure_7",
+    "figure_8",
+    "figure_9",
+    "figure_10",
+    "run_monte_carlo",
+    "screening_summary",
+]

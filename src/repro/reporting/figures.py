@@ -1,0 +1,244 @@
+"""One function per paper figure, each returning deterministic text.
+
+These renderers are shared by the examples, the ``repro`` CLI and the
+benchmark harness: ``figure_N()`` recomputes figure *N* of the paper
+from the case-study data and renders it as text (tables via
+:mod:`repro.reporting.tables`, charts via
+:mod:`repro.reporting.plots`).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..casestudy.names import CANDIDATE_NAMES, SHORT_NAMES
+from ..casestudy.problem import multimedia_problem
+from ..core.dominance import screen
+from ..core.model import AdditiveModel, evaluate
+from ..core.montecarlo import MonteCarloResult, simulate
+from ..core.problem import DecisionProblem
+from ..core.scales import MISSING
+from ..core.stability import stability_report
+from ..neon.criteria import CRITERIA
+from .plots import interval_bars, rank_boxplots
+from .tables import render_table
+
+__all__ = [
+    "figure_1",
+    "figure_2",
+    "figure_3",
+    "figure_4",
+    "figure_5",
+    "figure_6",
+    "figure_7",
+    "figure_8",
+    "figure_9",
+    "figure_10",
+    "screening_summary",
+    "run_monte_carlo",
+]
+
+#: Default simulation settings for Figs. 9-10 (§V runs 10,000).
+MC_SIMULATIONS = 10_000
+MC_SEED = 2012
+
+
+def _problem(problem: Optional[DecisionProblem]) -> DecisionProblem:
+    return problem if problem is not None else multimedia_problem()
+
+
+def figure_1(problem: Optional[DecisionProblem] = None) -> str:
+    """The objective hierarchy with average weights per node."""
+    problem = _problem(problem)
+    weights = problem.weights
+
+    def annotate(node) -> str:
+        if node.name == problem.hierarchy.root.name:
+            return ""
+        return f"[avg w = {weights.node_weight_average(node.name):.3f}]"
+
+    return problem.hierarchy.render(annotate)
+
+
+def figure_2(problem: Optional[DecisionProblem] = None) -> str:
+    """The 23 x 14 performance table (candidates as rows)."""
+    problem = _problem(problem)
+    headers = ["candidate"] + [c.short for c in CRITERIA]
+    rows = []
+    for alt in problem.table.alternatives:
+        row: list = [SHORT_NAMES.get(alt.name, alt.name)]
+        for criterion in CRITERIA:
+            value = alt.performance(criterion.attribute)
+            row.append("?" if value is MISSING else value)
+        rows.append(row)
+    return render_table(headers, rows, precision=2)
+
+
+def figure_3(problem: Optional[DecisionProblem] = None) -> str:
+    """The linear component utility for ValueT (sampled)."""
+    problem = _problem(problem)
+    fn = problem.utility_function("functional_requirements")
+    rows = []
+    for i in range(0, 11):
+        x = 3.0 * i / 10
+        interval = fn.utility(x)
+        rows.append([f"{x:.1f}", interval.lower, interval.midpoint, interval.upper])
+    missing = fn.utility(MISSING)
+    rows.append(["missing", missing.lower, missing.midpoint, missing.upper])
+    return render_table(["ValueT", "u low", "u avg", "u up"], rows)
+
+
+def figure_4(
+    problem: Optional[DecisionProblem] = None,
+    attribute: str = "purpose_reliability",
+) -> str:
+    """Imprecise per-level utilities for a discrete criterion."""
+    problem = _problem(problem)
+    fn = problem.utility_function(attribute)
+    scale = fn.scale
+    rows = []
+    for code, label in enumerate(scale.levels):
+        interval = fn.by_level[code]
+        rows.append(
+            [f"{code} - {label}", interval.lower, interval.midpoint, interval.upper]
+        )
+    missing = fn.missing_utility
+    rows.append(["missing", missing.lower, missing.midpoint, missing.upper])
+    return render_table(["level", "u low", "u avg", "u up"], rows, precision=2)
+
+
+def figure_5(problem: Optional[DecisionProblem] = None) -> str:
+    """Attribute weights: low/avg/upp table plus interval bars."""
+    problem = _problem(problem)
+    weights = problem.weights
+    averages = weights.attribute_averages()
+    intervals = weights.attribute_weights()
+    rows = []
+    bars = []
+    for criterion in CRITERIA:
+        interval = intervals[criterion.attribute]
+        avg = averages[criterion.attribute]
+        rows.append([criterion.objective, interval.lower, avg, interval.upper])
+        bars.append((criterion.short, interval.lower, avg, interval.upper))
+    table = render_table(["attribute", "low", "avg", "upp"], rows, precision=3)
+    chart = interval_bars(bars, lo=0.0)
+    return f"{table}\n\n{chart}"
+
+
+def _ranking_text(problem: DecisionProblem, objective: Optional[str]) -> str:
+    evaluation = evaluate(problem, objective)
+    rows = [
+        [row.rank, SHORT_NAMES.get(row.name, row.name), row.minimum, row.average, row.maximum]
+        for row in evaluation
+    ]
+    table = render_table(
+        ["rank", "candidate", "min", "avg", "max"],
+        rows,
+        align_left=[False, True, False, False, False],
+    )
+    bars = [
+        (SHORT_NAMES.get(r.name, r.name), r.minimum, r.average, r.maximum)
+        for r in evaluation
+    ]
+    return f"{table}\n\n{interval_bars(bars, lo=0.0)}"
+
+
+def figure_6(problem: Optional[DecisionProblem] = None) -> str:
+    """Ranking of the candidates by the overall objective."""
+    return _ranking_text(_problem(problem), None)
+
+
+def figure_7(problem: Optional[DecisionProblem] = None) -> str:
+    """Ranking restricted to the Understandability objective."""
+    return _ranking_text(_problem(problem), "Understandability")
+
+
+def figure_8(problem: Optional[DecisionProblem] = None, mode: str = "best") -> str:
+    """Weight-stability intervals for every non-root objective."""
+    problem = _problem(problem)
+    report = stability_report(problem, mode=mode)
+    rows = []
+    for name, interval in report.intervals.items():
+        if interval is None:
+            rows.append([name, "-", "-", "degenerate"])
+            continue
+        full = abs(interval.lower) < 1e-6 and abs(interval.upper - 1) < 1e-6
+        rows.append(
+            [name, interval.lower, interval.upper, "full" if full else "BOUNDED"]
+        )
+    return render_table(["objective", "low", "up", "note"], rows, precision=3)
+
+
+def run_monte_carlo(
+    problem: Optional[DecisionProblem] = None,
+    n_simulations: int = MC_SIMULATIONS,
+    seed: int = MC_SEED,
+) -> MonteCarloResult:
+    """The §V interval-weight simulation behind Figs. 9 and 10.
+
+    Weights are drawn inside the elicited Fig. 5 intervals; the
+    utilities of *missing* performances are drawn uniformly in [0, 1]
+    per simulation (the ref.-[18] reading of an unknown value), which
+    reproduces Fig. 10's pattern of fluctuating-vs-pinned ranks.
+    """
+    return simulate(
+        _problem(problem),
+        method="intervals",
+        n_simulations=n_simulations,
+        seed=seed,
+        sample_utilities="missing",
+    )
+
+
+def figure_9(
+    problem: Optional[DecisionProblem] = None,
+    result: Optional[MonteCarloResult] = None,
+) -> str:
+    """The multiple boxplot of simulated ranks."""
+    if result is None:
+        result = run_monte_carlo(problem)
+    summaries = [
+        next(s for s in result.boxplot_summary() if s.name == name)
+        for name in CANDIDATE_NAMES
+    ]
+    renamed = [
+        type(s)(SHORT_NAMES.get(s.name, s.name), s.whisker_low, s.q1, s.median, s.q3, s.whisker_high)
+        for s in summaries
+    ]
+    return rank_boxplots(renamed, n_alternatives=len(CANDIDATE_NAMES))
+
+
+def figure_10(
+    problem: Optional[DecisionProblem] = None,
+    result: Optional[MonteCarloResult] = None,
+) -> str:
+    """The simulation statistics table (mode, extremes, percentiles)."""
+    if result is None:
+        result = run_monte_carlo(problem)
+    rows = []
+    for name in CANDIDATE_NAMES:
+        s = result.statistics_for(name)
+        rows.append(
+            [
+                SHORT_NAMES.get(name, name),
+                s.mode, s.minimum, s.p25, s.p50, s.p75, s.maximum,
+                s.mean, s.std,
+            ]
+        )
+    return render_table(
+        ["candidate", "mode", "min", "25th", "50th", "75th", "max", "mean", "std"],
+        rows,
+        precision=3,
+    )
+
+
+def screening_summary(problem: Optional[DecisionProblem] = None) -> str:
+    """§V's dominance / potential-optimality screening as text."""
+    problem = _problem(problem)
+    result = screen(AdditiveModel(problem))
+    lines = [
+        f"non-dominated: {len(result.non_dominated)} of {len(CANDIDATE_NAMES)}",
+        f"potentially optimal: {len(result.potentially_optimal)}",
+        "discarded: " + ", ".join(result.discarded),
+    ]
+    return "\n".join(lines)

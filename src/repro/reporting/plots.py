@@ -1,0 +1,90 @@
+"""ASCII charts: interval bars (Fig. 5/6 style) and boxplots (Fig. 9).
+
+Each chart maps a value range onto a fixed-width character axis.  The
+renderings are deterministic, making them usable in examples, CLI
+output and golden tests alike.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from ..core.montecarlo import BoxplotSummary
+
+__all__ = ["interval_bars", "rank_boxplots"]
+
+
+def _scale(value: float, lo: float, hi: float, width: int) -> int:
+    if hi <= lo:
+        return 0
+    fraction = (value - lo) / (hi - lo)
+    return min(width - 1, max(0, round(fraction * (width - 1))))
+
+
+def interval_bars(
+    entries: Sequence[Tuple[str, float, float, float]],
+    width: int = 50,
+    lo: Optional[float] = None,
+    hi: Optional[float] = None,
+) -> str:
+    """Bars with a marker: ``(name, lower, mid, upper)`` per row.
+
+    Renders ``---|===o===|---``-free minimalist bars: ``=`` spans the
+    interval, ``o`` marks the mid value.  Used for weight intervals
+    (Fig. 5's bar column) and overall-utility bands (Fig. 6).
+    """
+    if not entries:
+        raise ValueError("nothing to plot")
+    for name, low, mid, up in entries:
+        if not low <= mid <= up:
+            raise ValueError(
+                f"{name!r}: need lower <= mid <= upper, got "
+                f"({low}, {mid}, {up})"
+            )
+    lo = min(e[1] for e in entries) if lo is None else lo
+    hi = max(e[3] for e in entries) if hi is None else hi
+    label_width = max(len(e[0]) for e in entries)
+    lines = []
+    for name, low, mid, up in entries:
+        cells = [" "] * width
+        start = _scale(low, lo, hi, width)
+        end = _scale(up, lo, hi, width)
+        for i in range(start, end + 1):
+            cells[i] = "="
+        cells[_scale(mid, lo, hi, width)] = "o"
+        lines.append(f"{name.ljust(label_width)} |{''.join(cells)}|")
+    scale_line = f"{' ' * label_width} |{lo:<{width // 2}.3f}{hi:>{width - width // 2}.3f}|"
+    lines.append(scale_line)
+    return "\n".join(lines)
+
+
+def rank_boxplots(
+    summaries: Sequence[BoxplotSummary],
+    n_alternatives: Optional[int] = None,
+    width: int = 60,
+) -> str:
+    """A multiple boxplot of rank distributions (Fig. 9).
+
+    Whiskers are ``-``, the interquartile box ``#``, the median ``M``.
+    The axis runs from rank 1 (left, best) to the worst rank (right).
+    """
+    if not summaries:
+        raise ValueError("nothing to plot")
+    worst = n_alternatives or int(max(s.whisker_high for s in summaries))
+    label_width = max(len(s.name) for s in summaries)
+    lines = []
+    for s in summaries:
+        cells = [" "] * width
+        w_lo = _scale(s.whisker_low, 1, worst, width)
+        w_hi = _scale(s.whisker_high, 1, worst, width)
+        b_lo = _scale(s.q1, 1, worst, width)
+        b_hi = _scale(s.q3, 1, worst, width)
+        for i in range(w_lo, w_hi + 1):
+            cells[i] = "-"
+        for i in range(b_lo, b_hi + 1):
+            cells[i] = "#"
+        cells[_scale(s.median, 1, worst, width)] = "M"
+        lines.append(f"{s.name.ljust(label_width)} |{''.join(cells)}|")
+    axis = f"{' ' * label_width} |1{'rank'.center(width - 2)}{worst}|"
+    lines.append(axis)
+    return "\n".join(lines)

@@ -1,0 +1,88 @@
+"""Plain-text tables and CSV export.
+
+GMAA is a GUI; the reproduction's figures are deterministic text.  A
+table is a header row plus value rows; numbers are formatted to a fixed
+precision so the output is diffable across runs.
+"""
+
+from __future__ import annotations
+
+import io
+from typing import Iterable, List, Optional, Sequence
+
+__all__ = ["render_table", "to_csv"]
+
+
+def _format_cell(value: object, precision: int) -> str:
+    if value is None:
+        return ""
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    precision: int = 4,
+    align_left: Optional[Sequence[bool]] = None,
+) -> str:
+    """Render rows as a fixed-width text table.
+
+    ``align_left`` marks columns rendered flush-left (defaults to the
+    first column only — names left, numbers right).
+    """
+    formatted: List[List[str]] = [
+        [_format_cell(cell, precision) for cell in row] for row in rows
+    ]
+    n_cols = len(headers)
+    for row in formatted:
+        if len(row) != n_cols:
+            raise ValueError(
+                f"row width {len(row)} does not match header width {n_cols}"
+            )
+    if align_left is None:
+        align_left = [i == 0 for i in range(n_cols)]
+    widths = [
+        max(len(headers[c]), *(len(row[c]) for row in formatted))
+        if formatted
+        else len(headers[c])
+        for c in range(n_cols)
+    ]
+
+    def fmt_row(cells: Sequence[str]) -> str:
+        parts = []
+        for c, cell in enumerate(cells):
+            if align_left[c]:
+                parts.append(cell.ljust(widths[c]))
+            else:
+                parts.append(cell.rjust(widths[c]))
+        return "  ".join(parts).rstrip()
+
+    lines = [fmt_row(headers), fmt_row(["-" * w for w in widths])]
+    lines.extend(fmt_row(row) for row in formatted)
+    return "\n".join(lines)
+
+
+def to_csv(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    precision: int = 6,
+) -> str:
+    """CSV text for the same data (RFC-4180 quoting)."""
+    out = io.StringIO()
+
+    def write_row(cells: Sequence[str]) -> None:
+        quoted = []
+        for cell in cells:
+            if any(ch in cell for ch in ',"\n'):
+                cell = '"' + cell.replace('"', '""') + '"'
+            quoted.append(cell)
+        out.write(",".join(quoted) + "\r\n")
+
+    write_row([str(h) for h in headers])
+    for row in rows:
+        write_row([_format_cell(cell, precision) for cell in row])
+    return out.getvalue()

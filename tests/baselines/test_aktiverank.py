@@ -1,0 +1,86 @@
+"""Tests for the AKTiveRank-style graph-metric baseline."""
+
+import pytest
+
+from repro.baselines.aktiverank import (
+    AKTiveRankScores,
+    rank,
+    score_ontology,
+)
+from repro.ontology.model import OntClass, OntProperty, Ontology
+
+EX = "http://example.org/ak#"
+
+
+def rich_ontology() -> Ontology:
+    onto = Ontology(EX + "rich")
+    onto.add_class(OntClass(EX + "Video", label="Video"))
+    onto.add_class(OntClass(EX + "VideoSegment", label="Video Segment",
+                            superclasses=[EX + "Video"]))
+    onto.add_class(OntClass(EX + "AudioSegment", label="Audio Segment",
+                            superclasses=[EX + "Video"]))
+    onto.add_class(OntClass(EX + "Frame", label="Frame",
+                            superclasses=[EX + "VideoSegment"]))
+    onto.add_property(OntProperty(EX + "hasSegment", kind="object",
+                                  domain=EX + "Video", range=EX + "VideoSegment"))
+    return onto
+
+
+def poor_ontology() -> Ontology:
+    onto = Ontology(EX + "poor")
+    onto.add_class(OntClass(EX + "Thing", label="Thing"))
+    onto.add_class(OntClass(EX + "Stuff", label="Stuff"))
+    return onto
+
+
+class TestScores:
+    def test_query_match_scores(self):
+        scores = score_ontology(rich_ontology(), "video segment")
+        assert scores["cmm"] > 0
+        assert scores["dem"] > 0
+
+    def test_no_match_means_zero(self):
+        scores = score_ontology(poor_ontology(), "video segment")
+        assert scores["cmm"] == 0
+        assert scores["ssm"] == 0
+
+    def test_empty_query(self):
+        with pytest.raises(ValueError):
+            score_ontology(rich_ontology(), "of the")
+
+    def test_aggregate_weighted(self):
+        s = AKTiveRankScores("x", cmm=1.0, dem=0.5, ssm=0.0, bem=0.0)
+        assert s.aggregate((1.0, 1.0, 1.0, 1.0)) == pytest.approx(0.375)
+        assert s.aggregate() == pytest.approx((0.4 * 1 + 0.3 * 0.5) / 1.0)
+
+
+class TestRanking:
+    def test_rich_beats_poor(self):
+        result = rank(
+            {"rich": rich_ontology(), "poor": poor_ontology()},
+            "video segment frame",
+        )
+        assert result[0][0] == "rich"
+        assert result[0][1] > result[1][1]
+
+    def test_scores_normalised(self):
+        result = rank(
+            {"rich": rich_ontology(), "poor": poor_ontology()},
+            "video segment",
+        )
+        assert all(0.0 <= score <= 1.0 for _, score in result)
+
+    def test_empty_candidates(self):
+        with pytest.raises(ValueError):
+            rank({}, "video")
+
+    def test_blind_to_provenance(self, case_registry):
+        """The ablation story: graph metrics cannot see cost/reliability
+        criteria, so their ranking diverges from the MAUT one."""
+        from repro.casestudy.names import RANKED_NAMES
+        from repro.core.ranking import kendall_tau
+
+        ontos = {e.name: e.ontology for e in case_registry}
+        result = rank(ontos, "video audio media duration segment")
+        tau = kendall_tau([n for n, _ in result], list(RANKED_NAMES))
+        assert tau < 0.5

@@ -1,0 +1,99 @@
+"""Tests for the classic MCDM comparators."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.mcdm import (
+    lexicographic,
+    topsis,
+    utilities_from_problem,
+    weighted_sum,
+)
+
+NAMES = ("a", "b", "c")
+MATRIX = np.array(
+    [
+        [0.9, 0.8, 0.7],
+        [0.5, 0.5, 0.5],
+        [0.1, 0.2, 0.9],
+    ]
+)
+WEIGHTS = np.array([0.5, 0.3, 0.2])
+
+
+class TestWeightedSum:
+    def test_known_scores(self):
+        result = weighted_sum(NAMES, MATRIX, WEIGHTS)
+        assert result[0][0] == "a"
+        assert result[0][1] == pytest.approx(0.9 * 0.5 + 0.8 * 0.3 + 0.7 * 0.2)
+
+    def test_weights_normalised(self):
+        doubled = weighted_sum(NAMES, MATRIX, WEIGHTS * 2)
+        baseline = weighted_sum(NAMES, MATRIX, WEIGHTS)
+        for (n1, s1), (n2, s2) in zip(doubled, baseline):
+            assert n1 == n2 and s1 == pytest.approx(s2)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            weighted_sum(NAMES, MATRIX, np.array([0.5, 0.5]))
+        with pytest.raises(ValueError):
+            weighted_sum(NAMES, MATRIX, np.array([-1.0, 1.0, 1.0]))
+        with pytest.raises(ValueError):
+            weighted_sum(NAMES, MATRIX, np.zeros(3))
+
+
+class TestTopsis:
+    def test_dominant_alternative_wins(self):
+        result = topsis(NAMES, MATRIX, WEIGHTS)
+        assert result[0][0] == "a"
+
+    def test_closeness_in_unit_interval(self):
+        for _, closeness in topsis(NAMES, MATRIX, WEIGHTS):
+            assert 0.0 <= closeness <= 1.0
+
+    def test_ideal_gets_one(self):
+        matrix = np.array([[1.0, 1.0], [0.0, 0.0]])
+        result = dict(topsis(("best", "worst"), matrix, np.array([0.5, 0.5])))
+        assert result["best"] == pytest.approx(1.0)
+        assert result["worst"] == pytest.approx(0.0)
+
+
+class TestLexicographic:
+    def test_heaviest_criterion_first(self):
+        order = lexicographic(NAMES, MATRIX, WEIGHTS)
+        assert order == ("a", "b", "c")
+
+    def test_ties_move_to_next_criterion(self):
+        matrix = np.array([[0.5, 0.9], [0.5, 0.1]])
+        order = lexicographic(("x", "y"), matrix, np.array([0.9, 0.1]))
+        assert order == ("x", "y")
+
+    def test_full_tie_breaks_by_name(self):
+        matrix = np.array([[0.5, 0.5], [0.5, 0.5]])
+        order = lexicographic(("b", "a"), matrix, np.array([0.5, 0.5]))
+        assert order == ("a", "b")
+
+
+class TestProblemAdapter:
+    def test_extraction(self, case_problem):
+        names, matrix, weights = utilities_from_problem(case_problem)
+        assert len(names) == 23
+        assert matrix.shape == (23, 14)
+        assert weights.sum() == pytest.approx(1.0)
+
+    def test_wsm_equals_additive_average(self, case_problem):
+        """The precise weighted sum must reproduce the GMAA average
+        ranking (it is the same formula with collapsed imprecision)."""
+        from repro.core.model import evaluate
+
+        names, matrix, weights = utilities_from_problem(case_problem)
+        wsm_order = tuple(n for n, _ in weighted_sum(names, matrix, weights))
+        assert wsm_order == evaluate(case_problem).names_by_rank
+
+    def test_topsis_close_to_wsm_on_case_study(self, case_problem):
+        from repro.core.ranking import kendall_tau
+
+        names, matrix, weights = utilities_from_problem(case_problem)
+        wsm_order = [n for n, _ in weighted_sum(names, matrix, weights)]
+        topsis_order = [n for n, _ in topsis(names, matrix, weights)]
+        assert kendall_tau(wsm_order, topsis_order) > 0.8

@@ -1,0 +1,50 @@
+"""Tests for the thesis-[15] worst-case baseline."""
+
+import pytest
+
+from repro.baselines.worst_case import worst_case_problem, worst_case_ranking
+from repro.core.model import evaluate
+from repro.core.ranking import kendall_tau
+
+
+class TestTransformation:
+    def test_no_missing_cells_left(self, case_problem):
+        transformed = worst_case_problem(case_problem)
+        assert transformed.table.missing_cells() == ()
+
+    def test_weights_collapse_to_averages(self, case_problem):
+        transformed = worst_case_problem(case_problem)
+        for attr in transformed.attribute_names:
+            assert transformed.weights.attribute_weight_interval(attr).is_point
+
+    def test_original_untouched(self, case_problem):
+        worst_case_problem(case_problem)
+        assert len(case_problem.table.missing_cells()) > 0
+
+    def test_min_equals_max_not_required(self, case_problem):
+        """Component utilities stay imprecise — only weights and
+        missing values are collapsed (as [15] did)."""
+        ranking = worst_case_ranking(case_problem)
+        assert any(row.minimum < row.maximum for row in ranking)
+
+
+class TestPaperComparison:
+    def test_rankings_very_similar(self, case_problem):
+        """§IV: the GMAA ranking 'is very similar to the ranking in
+        [15]' despite the mishandled missing values."""
+        ours = evaluate(case_problem).names_by_rank
+        theirs = worst_case_ranking(case_problem).names_by_rank
+        assert kendall_tau(ours, theirs) > 0.85
+
+    def test_worst_case_punishes_missing_rows(self, case_problem):
+        """Candidates with unknown cells can only drop under the
+        worst-level treatment."""
+        ours = evaluate(case_problem)
+        theirs = worst_case_ranking(case_problem)
+        for name, _ in case_problem.table.missing_cells():
+            assert theirs.rank_of(name) >= ours.rank_of(name)
+
+    def test_small_problem_missing(self, small_problem_missing):
+        ranking = worst_case_ranking(small_problem_missing)
+        baseline = evaluate(small_problem_missing)
+        assert ranking.average_of("mid") < baseline.average_of("mid")

@@ -1,0 +1,93 @@
+"""Tests for the synthetic corpus and the pipeline-derived Fig. 2.
+
+The strongest integration guarantee in the repository: running the real
+NeOn assess activity over the generated corpus reproduces the shipped
+23 x 14 matrix cell-for-cell (after masking the survey's documented
+information gaps).
+"""
+
+import pytest
+
+from repro.casestudy.corpus import (
+    UNKNOWN_CELLS,
+    assessed_performance_table,
+    build_spec,
+    multimedia_registry,
+)
+from repro.casestudy.names import CANDIDATE_NAMES
+from repro.casestudy.performances import performance_table
+from repro.core.scales import MISSING
+
+
+@pytest.fixture(scope="module")
+def derived(case_registry_module):
+    return assessed_performance_table(case_registry_module)
+
+
+@pytest.fixture(scope="module")
+def case_registry_module():
+    return multimedia_registry()
+
+
+class TestSpecs:
+    def test_spec_per_candidate(self):
+        for name in CANDIDATE_NAMES:
+            spec = build_spec(name)
+            assert spec.name == name
+            assert spec.n_classes >= 28
+
+    def test_unknown_candidate(self):
+        with pytest.raises(KeyError):
+            build_spec("Unknown")
+
+    def test_specs_deterministic(self):
+        assert build_spec("COMM") == build_spec("COMM")
+
+
+class TestRegistry:
+    def test_all_candidates_registered(self, case_registry_module):
+        assert set(case_registry_module.names) == set(CANDIDATE_NAMES)
+
+    def test_search_finds_everything_for_domain_query(self, case_registry_module):
+        hits = case_registry_module.search("multimedia ontology")
+        assert len(hits) == 23
+
+
+class TestDerivedMatrix:
+    def test_equals_shipped_matrix(self, derived):
+        shipped = performance_table()
+        for name in CANDIDATE_NAMES:
+            for attr in shipped.attribute_names:
+                a = derived[name].performance(attr)
+                b = shipped[name].performance(attr)
+                if b is MISSING:
+                    assert a is MISSING, (name, attr)
+                else:
+                    assert a is not MISSING, (name, attr)
+                    assert float(a) == pytest.approx(float(b)), (name, attr)
+
+    def test_unknown_cells_match_matrix_nones(self):
+        shipped = performance_table()
+        from_matrix = {
+            (alt.name, attr)
+            for alt in shipped.alternatives
+            for attr in shipped.attribute_names
+            if alt.is_missing(attr)
+        }
+        assert from_matrix == set(UNKNOWN_CELLS)
+
+    def test_derived_problem_ranks_like_shipped(self, derived, case_problem):
+        from repro.core.model import evaluate
+        from repro.core.problem import DecisionProblem
+
+        problem = DecisionProblem(
+            case_problem.hierarchy,
+            derived,
+            case_problem.utilities,
+            case_problem.weights,
+            name="derived",
+        )
+        assert (
+            evaluate(problem).names_by_rank
+            == evaluate(case_problem).names_by_rank
+        )

@@ -1,0 +1,144 @@
+"""Tests pinning the case-study data: names, CQs, anchors, weights."""
+
+import pytest
+
+from repro.casestudy.cqs import (
+    CQ_WINDOWS,
+    M3_CQ_TERMS,
+    covered_cq_ids,
+    expected_value_t,
+    m3_competency_questions,
+)
+from repro.casestudy.names import CANDIDATE_NAMES, RANKED_NAMES, SHORT_NAMES, TOP_FIVE
+from repro.casestudy.paper_results import FIG5_PAPER
+from repro.casestudy.performances import FIG2_ANCHORS, RAW_MATRIX, performance_table
+from repro.casestudy.preferences import FIG5_WEIGHTS, paper_weight_system
+from repro.neon.criteria import ATTRIBUTE_IDS
+from repro.ontology.cq import normalise_term
+from repro.ontology.generator import DOMAIN_TERMS
+from repro.ontology.metrics import STANDARD_TERMS
+
+
+class TestNames:
+    def test_twenty_three_candidates(self):
+        assert len(CANDIDATE_NAMES) == 23
+        assert set(CANDIDATE_NAMES) == set(RANKED_NAMES)
+
+    def test_top_five(self):
+        assert TOP_FIVE == (
+            "Media Ontology", "Boemie VDO", "COMM", "SAPO", "DIG35",
+        )
+
+    def test_short_names_complete(self):
+        assert set(SHORT_NAMES) == set(CANDIDATE_NAMES)
+
+
+class TestCompetencyQuestions:
+    def test_one_hundred_unique_terms(self):
+        assert len(M3_CQ_TERMS) == 100
+        stems = {normalise_term(t) for t in M3_CQ_TERMS}
+        assert len(stems) == 100
+
+    def test_terms_disjoint_from_generator_pools(self):
+        """Uniqueness guarantee: a CQ term can only enter a candidate's
+        lexicon through that candidate covering the CQ."""
+        stems = {normalise_term(t) for t in M3_CQ_TERMS}
+        domain_stems = set()
+        for term in DOMAIN_TERMS:
+            domain_stems.add(normalise_term(term.lower()))
+        standard_stems = set()
+        for term in STANDARD_TERMS:
+            from repro.ontology.metrics import split_identifier
+
+            for token in split_identifier(term):
+                standard_stems.add(normalise_term(token))
+        assert not stems & domain_stems
+        assert not stems & standard_stems
+
+    def test_windows_cover_all_candidates(self):
+        assert set(CQ_WINDOWS) == set(CANDIDATE_NAMES)
+
+    def test_windows_inside_range(self):
+        for name, (start, length) in CQ_WINDOWS.items():
+            assert 1 <= start and start + length - 1 <= 100, name
+            assert length >= 1
+
+    def test_value_t_matches_matrix(self):
+        index = ATTRIBUTE_IDS.index("functional_requirements")
+        for name in CANDIDATE_NAMES:
+            assert RAW_MATRIX[name][index] == pytest.approx(
+                expected_value_t(name)
+            )
+
+    def test_covered_ids_sizes(self):
+        for name, (_, length) in CQ_WINDOWS.items():
+            assert len(covered_cq_ids(name)) == length
+
+    def test_question_objects(self):
+        questions = m3_competency_questions()
+        assert len(questions) == 100
+        assert questions[0].cq_id == "CQ001"
+        assert questions[0].key_terms == (normalise_term(M3_CQ_TERMS[0]),)
+
+    def test_unknown_candidate(self):
+        with pytest.raises(KeyError):
+            covered_cq_ids("Unknown Ontology")
+
+
+class TestMatrix:
+    def test_fig2_anchors_honoured(self):
+        """Every legible Fig. 2 cell appears verbatim in the matrix."""
+        for name, cells in FIG2_ANCHORS.items():
+            row = RAW_MATRIX[name]
+            for attr, value in cells.items():
+                idx = ATTRIBUTE_IDS.index(attr)
+                assert row[idx] == pytest.approx(value), (name, attr)
+
+    def test_rows_complete(self):
+        for name in CANDIDATE_NAMES:
+            assert len(RAW_MATRIX[name]) == 14
+
+    def test_test_availability_all_zero(self):
+        idx = ATTRIBUTE_IDS.index("test_availability")
+        assert all(RAW_MATRIX[n][idx] == 0 for n in CANDIDATE_NAMES)
+
+    def test_table_builds_and_validates(self):
+        table = performance_table()
+        assert len(table) == 23
+        assert len(table.attributes_with_missing()) > 0
+
+    def test_bottom_three_fully_known(self):
+        """The discarded candidates carry no missing cells — that is
+        what lets the screening dominate them."""
+        for name in ("Kanzaki Music", "Photography Ontology", "MPEG7 Ontology"):
+            assert all(cell is not None for cell in RAW_MATRIX[name]), name
+
+
+class TestFig5Weights:
+    def test_averages_match_paper_exactly(self):
+        ws = paper_weight_system()
+        averages = ws.attribute_averages()
+        for attr, (_, avg, _) in FIG5_WEIGHTS.items():
+            assert averages[attr] == pytest.approx(avg, abs=1e-9), attr
+
+    def test_averages_sum_to_one(self):
+        total = sum(paper_weight_system().attribute_averages().values())
+        assert total == pytest.approx(1.0, abs=1e-12)
+
+    def test_bounds_within_print_precision(self):
+        ws = paper_weight_system()
+        intervals = ws.attribute_weights()
+        for attr, (low, _, upp) in FIG5_WEIGHTS.items():
+            iv = intervals[attr]
+            assert iv.lower == pytest.approx(low, abs=1.5e-3), attr
+            assert iv.upper == pytest.approx(upp, abs=1.5e-3), attr
+
+    def test_bound_sums_match_paper(self):
+        """Sum of lowers ~0.806, sum of uppers ~1.193 — why Fig. 6's
+        maxima exceed 1."""
+        intervals = paper_weight_system().attribute_weights()
+        assert sum(iv.lower for iv in intervals.values()) == pytest.approx(0.806, abs=2e-3)
+        assert sum(iv.upper for iv in intervals.values()) == pytest.approx(1.193, abs=2e-3)
+
+    def test_paper_results_agree_with_preferences(self):
+        assert FIG5_PAPER == FIG5_WEIGHTS

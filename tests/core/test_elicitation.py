@@ -1,0 +1,152 @@
+"""Tests for the elicitation sessions (§III protocols)."""
+
+import pytest
+
+from repro.core.elicitation import (
+    UtilityElicitation,
+    WeightElicitation,
+    elicit_weight_system,
+)
+from repro.core.interval import Interval
+from repro.core.scales import ContinuousScale
+from repro.neon.criteria import build_hierarchy
+
+
+class TestUtilityElicitation:
+    def scale(self, ascending=True):
+        return ContinuousScale("x", 0.0, 100.0, ascending=ascending)
+
+    def test_precise_answers_build_precise_knots(self):
+        session = UtilityElicitation(self.scale())
+        session.answer(50.0, 0.7)
+        fn = session.build()
+        assert fn.utility(50.0).is_point
+        assert fn.utility(50.0).lower == pytest.approx(0.7)
+        assert fn.utility(0.0).lower == 0.0
+        assert fn.utility(100.0).lower == 1.0
+
+    def test_interval_answers_build_classes(self):
+        session = UtilityElicitation(self.scale())
+        session.answer(40.0, 0.55, 0.70)
+        fn = session.build()
+        band = fn.utility(40.0)
+        assert band.lower == pytest.approx(0.55)
+        assert band.upper == pytest.approx(0.70)
+
+    def test_descending_scale_endpoints(self):
+        session = UtilityElicitation(self.scale(ascending=False))
+        session.answer(30.0, 0.6, 0.8)
+        fn = session.build()
+        assert fn.utility(0.0).lower == 1.0
+        assert fn.utility(100.0).lower == 0.0
+        assert fn.utility(30.0).upper == pytest.approx(0.8)
+
+    def test_interior_amounts_only(self):
+        session = UtilityElicitation(self.scale())
+        with pytest.raises(ValueError):
+            session.answer(0.0, 0.5)
+        with pytest.raises(ValueError):
+            session.answer(100.0, 0.5)
+
+    def test_probability_band_validated(self):
+        session = UtilityElicitation(self.scale())
+        with pytest.raises(ValueError):
+            session.answer(50.0, 0.8, 0.6)
+        with pytest.raises(ValueError):
+            session.answer(50.0, -0.1)
+
+    def test_inconsistency_detected_and_blocking(self):
+        session = UtilityElicitation(self.scale())
+        session.answer(30.0, 0.8, 0.9)
+        session.answer(60.0, 0.1, 0.2)   # higher amount, lower band
+        assert session.inconsistencies() == [(30.0, 60.0)]
+        with pytest.raises(ValueError):
+            session.build()
+
+    def test_retract(self):
+        session = UtilityElicitation(self.scale())
+        session.answer(30.0, 0.8, 0.9)
+        session.answer(60.0, 0.1, 0.2)
+        session.retract(60.0)
+        assert session.inconsistencies() == []
+        session.build()
+        with pytest.raises(KeyError):
+            session.retract(99.0)
+
+    def test_overlapping_bands_are_tightened_monotone(self):
+        session = UtilityElicitation(self.scale())
+        session.answer(30.0, 0.4, 0.8)
+        session.answer(60.0, 0.3, 0.9)   # overlaps; not inconsistent
+        fn = session.build()
+        a, b = fn.utility(30.0), fn.utility(60.0)
+        assert b.lower >= a.lower - 1e-12
+        assert b.upper >= a.upper - 1e-12
+
+
+class TestWeightElicitation:
+    def test_normalised_intervals(self):
+        session = WeightElicitation(["cost", "quality"], reference="cost")
+        session.compare("quality", 1.0, 2.0)
+        intervals = session.local_intervals()
+        # midpoints: cost 1, quality 1.5 -> shares 0.4 / 0.6
+        assert intervals["cost"].midpoint == pytest.approx(0.4)
+        assert intervals["quality"].midpoint == pytest.approx(0.6)
+
+    def test_pending_tracked(self):
+        session = WeightElicitation(["a", "b", "c"], reference="a")
+        assert set(session.pending) == {"b", "c"}
+        session.compare("b", 2.0)
+        assert session.pending == ("c",)
+        with pytest.raises(ValueError):
+            session.local_intervals()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WeightElicitation(["only"], reference="only")
+        with pytest.raises(ValueError):
+            WeightElicitation(["a", "a"], reference="a")
+        with pytest.raises(ValueError):
+            WeightElicitation(["a", "b"], reference="zzz")
+        session = WeightElicitation(["a", "b"], reference="a")
+        with pytest.raises(KeyError):
+            session.compare("zzz", 1.0)
+        with pytest.raises(ValueError):
+            session.compare("a", 2.0)
+        with pytest.raises(ValueError):
+            session.compare("b", 3.0, 2.0)
+
+
+class TestElicitWeightSystem:
+    def build_sessions(self, hierarchy):
+        sessions = {}
+        for node in hierarchy.nodes():
+            if node.is_leaf:
+                continue
+            children = [c.name for c in node.children]
+            session = WeightElicitation(children, reference=children[0])
+            for child in children[1:]:
+                session.compare(child, 0.8, 1.2)
+            sessions[node.name] = session
+        return sessions
+
+    def test_full_hierarchy(self):
+        hierarchy = build_hierarchy()
+        ws = elicit_weight_system(hierarchy, self.build_sessions(hierarchy))
+        averages = ws.attribute_averages()
+        assert sum(averages.values()) == pytest.approx(1.0)
+
+    def test_missing_session(self):
+        hierarchy = build_hierarchy()
+        sessions = self.build_sessions(hierarchy)
+        del sessions["Reliability"]
+        with pytest.raises(ValueError):
+            elicit_weight_system(hierarchy, sessions)
+
+    def test_wrong_sibling_set(self):
+        hierarchy = build_hierarchy()
+        sessions = self.build_sessions(hierarchy)
+        bad = WeightElicitation(["x", "y"], reference="x")
+        bad.compare("y", 1.0)
+        sessions["Reuse Cost"] = bad
+        with pytest.raises(ValueError):
+            elicit_weight_system(hierarchy, sessions)

@@ -1,0 +1,162 @@
+"""Tests for group decision support."""
+
+import pytest
+
+from repro.core.group import (
+    GroupDecision,
+    GroupMember,
+    aggregate_weights,
+    borda_ranking,
+    disagreement,
+)
+from repro.core.interval import Interval
+from repro.core.weights import WeightSystem
+
+from ..conftest import make_small_problem
+
+
+def member(name, cost_iv, quality_iv, battery_iv, support_iv, hierarchy):
+    return GroupMember(
+        name,
+        WeightSystem(
+            hierarchy,
+            {
+                "cost": cost_iv,
+                "quality": quality_iv,
+                "battery life": battery_iv,
+                "vendor support": support_iv,
+            },
+        ),
+    )
+
+
+@pytest.fixture()
+def members():
+    problem = make_small_problem()
+    h = problem.hierarchy
+    alice = member("alice", Interval(0.3, 0.5), Interval(0.5, 0.7),
+                   Interval(0.4, 0.6), Interval(0.4, 0.6), h)
+    bob = member("bob", Interval(0.4, 0.6), Interval(0.4, 0.6),
+                 Interval(0.3, 0.7), Interval(0.3, 0.7), h)
+    return problem, [alice, bob]
+
+
+class TestAggregation:
+    def test_intersection(self, members):
+        _, group = members
+        ws = aggregate_weights(group, "intersection")
+        iv = ws.local_interval("cost")
+        assert iv.lower >= 0.4 - 1e-9 and iv.upper <= 0.5 + 1e-9
+
+    def test_hull(self, members):
+        _, group = members
+        ws = aggregate_weights(group, "hull")
+        iv = ws.local_interval("cost")
+        assert iv.lower <= 0.3 + 1e-9 and iv.upper >= 0.6 - 1e-9
+
+    def test_disjoint_views_fail_intersection(self, members):
+        problem, group = members
+        h = problem.hierarchy
+        carol = member("carol", Interval(0.9, 0.95), Interval(0.05, 0.1),
+                       Interval(0.4, 0.6), Interval(0.4, 0.6), h)
+        with pytest.raises(ValueError):
+            aggregate_weights(group + [carol], "intersection")
+
+    def test_unknown_method(self, members):
+        _, group = members
+        with pytest.raises(ValueError):
+            aggregate_weights(group, "average")
+
+    def test_mismatched_hierarchies(self, members):
+        problem, group = members
+        other = make_small_problem(name="other")
+        import dataclasses
+
+        renamed_root = dataclasses.replace  # keep lint quiet
+        from repro.core.hierarchy import Hierarchy, ObjectiveNode
+
+        h2 = Hierarchy(
+            ObjectiveNode(
+                "different",
+                children=[
+                    ObjectiveNode("only", attribute="x"),
+                    ObjectiveNode("two", attribute="y"),
+                ],
+            )
+        )
+        stranger = GroupMember(
+            "stranger",
+            WeightSystem(
+                h2,
+                {"only": Interval(0.4, 0.6), "two": Interval(0.4, 0.6)},
+            ),
+        )
+        with pytest.raises(ValueError):
+            aggregate_weights(group + [stranger])
+
+
+class TestDisagreement:
+    def test_zero_when_identical(self, members):
+        problem, group = members
+        clone = GroupMember("clone", group[0].weights)
+        scores = disagreement([group[0], clone])
+        assert all(v == pytest.approx(0.0) for v in scores.values())
+
+    def test_in_unit_range(self, members):
+        _, group = members
+        scores = disagreement(group)
+        assert all(0.0 <= v <= 1.0 for v in scores.values())
+
+
+class TestBorda:
+    def test_simple_majority(self):
+        rankings = [("a", "b", "c"), ("a", "c", "b"), ("b", "a", "c")]
+        assert borda_ranking(rankings)[0] == "a"
+
+    def test_tie_broken_by_name(self):
+        rankings = [("a", "b"), ("b", "a")]
+        assert borda_ranking(rankings) == ("a", "b")
+
+    def test_mismatched_sets(self):
+        with pytest.raises(ValueError):
+            borda_ranking([("a", "b"), ("a", "c")])
+
+    def test_empty(self):
+        with pytest.raises(ValueError):
+            borda_ranking([])
+
+
+class TestGroupDecision:
+    def test_member_rankings_and_group(self, members):
+        problem, group = members
+        gd = GroupDecision(problem, group)
+        rankings = gd.member_rankings()
+        assert set(rankings) == {"alice", "bob"}
+        assert gd.group_ranking("intersection")[0] == "premium"
+        # alice weighs quality higher -> premium; bob weighs cost
+        # higher -> cheap: genuine disagreement the group machinery
+        # must surface rather than hide.
+        assert rankings["alice"][0] == "premium"
+        assert rankings["bob"][0] == "cheap"
+
+    def test_borda_of_identical_members_is_their_ranking(self, members):
+        problem, group = members
+        clones = [group[0], GroupMember("clone", group[0].weights)]
+        gd = GroupDecision(problem, clones)
+        assert gd.borda() == gd.member_ranking("alice")
+
+    def test_unknown_member(self, members):
+        problem, group = members
+        gd = GroupDecision(problem, group)
+        with pytest.raises(KeyError):
+            gd.member_ranking("nobody")
+
+    def test_duplicate_member_names(self, members):
+        problem, group = members
+        with pytest.raises(ValueError):
+            GroupDecision(problem, [group[0], group[0]])
+
+    def test_empty_group(self, members):
+        problem, _ = members
+        with pytest.raises(ValueError):
+            GroupDecision(problem, [])

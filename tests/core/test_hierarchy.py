@@ -1,0 +1,114 @@
+"""Tests for the objective hierarchy."""
+
+import pytest
+
+from repro.core.hierarchy import Hierarchy, ObjectiveNode
+
+
+def tiny() -> Hierarchy:
+    return Hierarchy(
+        ObjectiveNode(
+            "root",
+            children=[
+                ObjectiveNode("a", attribute="x"),
+                ObjectiveNode(
+                    "b",
+                    children=[
+                        ObjectiveNode("b1", attribute="y"),
+                        ObjectiveNode("b2", attribute="z"),
+                    ],
+                ),
+            ],
+        )
+    )
+
+
+class TestValidation:
+    def test_leaf_needs_attribute(self):
+        with pytest.raises(ValueError):
+            Hierarchy(ObjectiveNode("root", children=[ObjectiveNode("leaf")]))
+
+    def test_node_cannot_have_both(self):
+        with pytest.raises(ValueError):
+            ObjectiveNode("bad", children=[ObjectiveNode("c", attribute="x")],
+                          attribute="y")
+
+    def test_duplicate_names(self):
+        with pytest.raises(ValueError):
+            Hierarchy(
+                ObjectiveNode(
+                    "root",
+                    children=[
+                        ObjectiveNode("a", attribute="x"),
+                        ObjectiveNode("a", attribute="y"),
+                    ],
+                )
+            )
+
+    def test_duplicate_attributes(self):
+        with pytest.raises(ValueError):
+            Hierarchy(
+                ObjectiveNode(
+                    "root",
+                    children=[
+                        ObjectiveNode("a", attribute="x"),
+                        ObjectiveNode("b", attribute="x"),
+                    ],
+                )
+            )
+
+
+class TestNavigation:
+    def test_lookup(self):
+        h = tiny()
+        assert h.node("b1").attribute == "y"
+        assert "b2" in h and "nope" not in h
+        with pytest.raises(KeyError):
+            h.node("nope")
+
+    def test_parent_and_path(self):
+        h = tiny()
+        assert h.parent_of("b1").name == "b"
+        assert h.parent_of("root") is None
+        assert [n.name for n in h.path_to("b2")] == ["root", "b", "b2"]
+        assert h.depth_of("b2") == 2
+        assert h.depth_of("root") == 0
+
+    def test_leaves_and_attributes(self):
+        h = tiny()
+        assert [l.name for l in h.leaves()] == ["a", "b1", "b2"]
+        assert h.attribute_names == ("x", "y", "z")
+        assert h.attributes_under("b") == ("y", "z")
+
+    def test_leaf_for_attribute(self):
+        h = tiny()
+        assert h.leaf_for_attribute("z").name == "b2"
+        with pytest.raises(KeyError):
+            h.leaf_for_attribute("w")
+
+    def test_subtree(self):
+        sub = tiny().subtree("b")
+        assert sub.root.name == "b"
+        assert sub.attribute_names == ("y", "z")
+
+
+class TestRender:
+    def test_render_contains_all_nodes(self):
+        text = tiny().render()
+        for name in ("root", "a", "b", "b1", "b2"):
+            assert name in text
+
+    def test_render_annotation(self):
+        text = tiny().render(lambda n: "leaf" if n.is_leaf else "")
+        assert text.count("leaf") == 3
+
+
+class TestFig1:
+    def test_paper_hierarchy_shape(self):
+        from repro.neon.criteria import OBJECTIVES, build_hierarchy
+
+        h = build_hierarchy()
+        assert [c.name for c in h.root.children] == list(OBJECTIVES)
+        assert len(h.leaves()) == 14
+        sizes = [len(c.children) for c in h.root.children]
+        assert sizes == [2, 3, 4, 5]

@@ -1,0 +1,193 @@
+"""Unit + property tests for the Interval type."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.interval import Interval, hull, intersect_all
+
+finite = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+
+
+@st.composite
+def intervals(draw):
+    a = draw(finite)
+    b = draw(finite)
+    return Interval(min(a, b), max(a, b))
+
+
+class TestConstruction:
+    def test_orders_bounds(self):
+        with pytest.raises(ValueError):
+            Interval(2.0, 1.0)
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError):
+            Interval(float("nan"), 1.0)
+        with pytest.raises(ValueError):
+            Interval(0.0, float("nan"))
+
+    def test_point(self):
+        p = Interval.point(0.4)
+        assert p.is_point
+        assert p.lower == p.upper == 0.4
+
+    def test_unit_is_missing_utility(self):
+        assert Interval.unit() == Interval(0.0, 1.0)
+
+    def test_from_bounds(self):
+        assert Interval.from_bounds([3.0, 1.0, 2.0]) == Interval(1.0, 3.0)
+
+    def test_from_bounds_empty(self):
+        with pytest.raises(ValueError):
+            Interval.from_bounds([])
+
+
+class TestQueries:
+    def test_midpoint_width(self):
+        iv = Interval(0.2, 0.6)
+        assert iv.midpoint == pytest.approx(0.4)
+        assert iv.width == pytest.approx(0.4)
+
+    def test_contains(self):
+        iv = Interval(0.0, 1.0)
+        assert iv.contains(0.0) and iv.contains(1.0) and iv.contains(0.5)
+        assert not iv.contains(1.5)
+
+    def test_contains_interval(self):
+        assert Interval(0, 1).contains_interval(Interval(0.2, 0.8))
+        assert not Interval(0.2, 0.8).contains_interval(Interval(0, 1))
+
+    def test_overlaps(self):
+        assert Interval(0, 1).overlaps(Interval(1, 2))
+        assert not Interval(0, 1).overlaps(Interval(1.1, 2))
+
+    def test_clamp(self):
+        iv = Interval(0.0, 1.0)
+        assert iv.clamp(-1.0) == 0.0
+        assert iv.clamp(2.0) == 1.0
+        assert iv.clamp(0.3) == 0.3
+
+
+class TestArithmetic:
+    def test_add_scalar(self):
+        assert Interval(0, 1) + 2 == Interval(2, 3)
+        assert 2 + Interval(0, 1) == Interval(2, 3)
+
+    def test_sub(self):
+        assert Interval(1, 2) - Interval(0, 1) == Interval(0, 2)
+        assert 1 - Interval(0, 1) == Interval(0, 1)
+
+    def test_mul_signs(self):
+        assert Interval(-1, 2) * Interval(-3, 1) == Interval(-6, 3)
+
+    def test_div(self):
+        assert Interval(1, 2) / Interval(2, 4) == Interval(0.25, 1.0)
+
+    def test_div_by_zero_interval(self):
+        with pytest.raises(ZeroDivisionError):
+            Interval(1, 2) / Interval(-1, 1)
+
+    def test_neg(self):
+        assert -Interval(1, 2) == Interval(-2, -1)
+
+    def test_type_error(self):
+        with pytest.raises(TypeError):
+            Interval(0, 1) + "x"  # type: ignore[operator]
+
+
+class TestSetOps:
+    def test_intersection(self):
+        assert Interval(0, 2).intersection(Interval(1, 3)) == Interval(1, 2)
+        assert Interval(0, 1).intersection(Interval(2, 3)) is None
+
+    def test_hull_method(self):
+        assert Interval(0, 1).hull(Interval(2, 3)) == Interval(0, 3)
+
+    def test_hull_function(self):
+        assert hull([Interval(0, 1), Interval(-1, 0.5)]) == Interval(-1, 1)
+
+    def test_intersect_all(self):
+        assert intersect_all(
+            [Interval(0, 3), Interval(1, 4), Interval(2, 5)]
+        ) == Interval(2, 3)
+        assert intersect_all([Interval(0, 1), Interval(2, 3)]) is None
+
+    def test_empty_collections(self):
+        with pytest.raises(ValueError):
+            hull([])
+        with pytest.raises(ValueError):
+            intersect_all([])
+
+
+class TestOrdering:
+    def test_strong_order(self):
+        assert Interval(0, 1) < Interval(2, 3)
+        assert not Interval(0, 2) < Interval(1, 3)
+        assert Interval(2, 3) > Interval(0, 1)
+        assert Interval(0, 1) <= Interval(1, 2)
+
+    def test_iter(self):
+        assert list(Interval(1, 2)) == [1, 2]
+
+    def test_hashable(self):
+        assert len({Interval(0, 1), Interval(0, 1), Interval(0, 2)}) == 2
+
+
+# ----------------------------------------------------------------------
+# Property-based laws
+# ----------------------------------------------------------------------
+
+@given(intervals(), intervals())
+def test_add_is_commutative(a, b):
+    assert (a + b).almost_equal(b + a, tol=1e-6)
+
+
+@given(intervals(), intervals())
+def test_mul_is_commutative(a, b):
+    assert (a * b).almost_equal(b * a, tol=1e-3)
+
+
+@given(intervals(), intervals(), finite)
+def test_addition_is_inclusion_monotone(a, b, x):
+    """x in a and y in b implies x + y in a + b (checked at x, b ends)."""
+    x = a.clamp(x)
+    total = a + b
+    assert total.contains(x + b.lower, tol=1e-6)
+    assert total.contains(x + b.upper, tol=1e-6)
+
+
+@given(intervals(), intervals())
+def test_hull_contains_both(a, b):
+    h = a.hull(b)
+    assert h.contains_interval(a) and h.contains_interval(b)
+
+
+@given(intervals(), intervals())
+def test_intersection_contained_in_both(a, b):
+    common = a.intersection(b)
+    if common is not None:
+        assert a.contains_interval(common)
+        assert b.contains_interval(common)
+    else:
+        assert not a.overlaps(b, tol=0.0)
+
+
+@given(intervals())
+def test_sub_self_contains_zero(a):
+    assert (a - a).contains(0.0, tol=1e-6)
+
+
+@given(intervals(), finite, finite)
+def test_scale_shift(a, factor, offset):
+    factor = max(min(factor, 1e3), -1e3)
+    offset = max(min(offset, 1e3), -1e3)
+    scaled = a.scale(factor)
+    assert scaled.width == pytest.approx(abs(factor) * a.width, rel=1e-6, abs=1e-6)
+    shifted = a.shift(offset)
+    assert shifted.width == pytest.approx(a.width, rel=1e-9, abs=1e-9)
+    assert shifted.midpoint == pytest.approx(a.midpoint + offset, rel=1e-6, abs=1e-6)

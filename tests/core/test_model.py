@@ -1,0 +1,141 @@
+"""Tests for the additive model and evaluation (§IV semantics)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.model import AdditiveModel, evaluate
+from repro.core.performance import UncertainValue
+
+from ..conftest import make_small_problem
+
+
+class TestTriplets:
+    def test_min_avg_max_ordering(self, small_problem_missing):
+        model = AdditiveModel(small_problem_missing)
+        mins = model.minimum_utilities()
+        avgs = model.average_utilities()
+        maxs = model.maximum_utilities()
+        # With lower weight bounds summing below 1 the minimum sits
+        # below the average, and conversely for the maximum.
+        assert np.all(mins <= avgs + 1e-12)
+        assert np.all(avgs <= maxs + 1e-12)
+
+    def test_evaluation_sorted_by_average(self, small_problem):
+        ev = evaluate(small_problem)
+        avgs = [row.average for row in ev]
+        assert avgs == sorted(avgs, reverse=True)
+        assert [row.rank for row in ev] == [1, 2, 3]
+
+    def test_premium_wins_small_problem(self, small_problem):
+        assert evaluate(small_problem).best.name == "premium"
+
+    def test_missing_value_uses_unit_interval(self, small_problem_missing):
+        model = AdditiveModel(small_problem_missing)
+        j = model.attribute_names.index("support")
+        i = model.alternative_names.index("mid")
+        assert model.u_low[i, j] == pytest.approx(0.0)
+        assert model.u_avg[i, j] == pytest.approx(0.5)
+        assert model.u_up[i, j] == pytest.approx(1.0)
+
+    def test_uncertain_value_envelopes(self, small_problem):
+        problem = small_problem
+        table = problem.table
+        alt = table["mid"].with_performance(
+            "price", UncertainValue(600.0, 800.0, 1000.0)
+        )
+        from repro.core.performance import PerformanceTable
+        from repro.core.problem import DecisionProblem
+
+        new_table = PerformanceTable(
+            {a: table.scale_of(a) for a in table.attribute_names},
+            [alt if x.name == "mid" else x for x in table.alternatives],
+        )
+        new_problem = DecisionProblem(
+            problem.hierarchy, new_table, problem.utilities, problem.weights
+        )
+        model = AdditiveModel(new_problem)
+        i = model.alternative_names.index("mid")
+        j = model.attribute_names.index("price")
+        # price is descending: utility low end comes from the max price
+        fn = problem.utility_function("price")
+        assert model.u_low[i, j] == pytest.approx(fn.utility(1000.0).lower)
+        assert model.u_up[i, j] == pytest.approx(fn.utility(600.0).upper)
+        assert model.u_avg[i, j] == pytest.approx(fn.utility(800.0).midpoint)
+
+
+class TestWeightVectorEvaluation:
+    def test_vector_and_matrix_forms(self, small_problem):
+        model = AdditiveModel(small_problem)
+        w = model.w_avg
+        single = model.utilities_for_weights(w)
+        batch = model.utilities_for_weights(np.vstack([w, w]))
+        assert single == pytest.approx(model.average_utilities())
+        assert batch[:, 0] == pytest.approx(single)
+        assert batch[:, 1] == pytest.approx(single)
+
+    def test_shape_errors(self, small_problem):
+        model = AdditiveModel(small_problem)
+        with pytest.raises(ValueError):
+            model.utilities_for_weights(np.ones(5))
+        with pytest.raises(ValueError):
+            model.utilities_for_weights(np.ones((2, 5)))
+
+
+class TestSubtreeEvaluation:
+    def test_restricted_ranking_uses_subtree_only(self, small_problem):
+        ev = evaluate(small_problem, "quality")
+        # Quality ignores price: premium (3,3) > mid (2,2) > cheap (1,1)
+        assert ev.names_by_rank == ("premium", "mid", "cheap")
+
+    def test_restricting_to_root_is_identity(self, small_problem):
+        assert (
+            evaluate(small_problem, "overall").names_by_rank
+            == evaluate(small_problem).names_by_rank
+        )
+
+
+class TestEvaluationObject:
+    def test_row_accessors(self, small_problem):
+        ev = evaluate(small_problem)
+        best = ev.best
+        assert ev.rank_of(best.name) == 1
+        assert ev.average_of(best.name) == pytest.approx(best.average)
+        assert ev.utility_interval(best.name).lower == pytest.approx(best.minimum)
+        with pytest.raises(KeyError):
+            ev.row("nope")
+
+    def test_top(self, small_problem):
+        ev = evaluate(small_problem)
+        assert [r.name for r in ev.top(2)] == list(ev.names_by_rank[:2])
+
+    def test_overlap_count(self, case_problem):
+        """§IV: 'the output utility intervals are very overlapped'."""
+        ev = evaluate(case_problem)
+        assert ev.overlap_count() == len(ev) - 1
+
+
+@settings(max_examples=30)
+@given(st.floats(min_value=300.0, max_value=1500.0))
+def test_price_improvement_never_hurts(price):
+    """Lowering the price of 'mid' can only improve its average rank."""
+    base = make_small_problem()
+    from repro.core.performance import PerformanceTable
+    from repro.core.problem import DecisionProblem
+
+    table = base.table
+    better = PerformanceTable(
+        {a: table.scale_of(a) for a in table.attribute_names},
+        [
+            alt.with_performance("price", price) if alt.name == "mid" else alt
+            for alt in table.alternatives
+        ],
+    )
+    problem = DecisionProblem(base.hierarchy, better, base.utilities, base.weights)
+    baseline = evaluate(base).average_of("mid")
+    changed = evaluate(problem).average_of("mid")
+    if price <= 800.0:
+        assert changed >= baseline - 1e-12
+    else:
+        assert changed <= baseline + 1e-12

@@ -1,0 +1,189 @@
+"""Tests for the Monte Carlo samplers and rank statistics (§V)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.model import AdditiveModel
+from repro.core.montecarlo import (
+    MonteCarloResult,
+    missing_mask,
+    sample_in_intervals,
+    sample_rank_order,
+    sample_simplex,
+    simulate,
+)
+
+
+class TestSimplexSampler:
+    def test_rows_sum_to_one(self):
+        rng = np.random.default_rng(1)
+        w = sample_simplex(5, 200, rng)
+        assert w.shape == (200, 5)
+        assert np.allclose(w.sum(axis=1), 1.0)
+        assert np.all(w >= 0)
+
+    def test_mean_is_uniform(self):
+        rng = np.random.default_rng(2)
+        w = sample_simplex(4, 20_000, rng)
+        assert w.mean(axis=0) == pytest.approx([0.25] * 4, abs=0.01)
+
+    def test_validation(self):
+        rng = np.random.default_rng(3)
+        with pytest.raises(ValueError):
+            sample_simplex(0, 10, rng)
+        with pytest.raises(ValueError):
+            sample_simplex(3, 0, rng)
+
+
+class TestRankOrderSampler:
+    def test_total_order_preserved(self):
+        rng = np.random.default_rng(4)
+        groups = [[2], [0], [1]]  # attr2 most important, then 0, then 1
+        w = sample_rank_order(groups, 3, 500, rng)
+        assert np.allclose(w.sum(axis=1), 1.0)
+        assert np.all(w[:, 2] >= w[:, 0] - 1e-12)
+        assert np.all(w[:, 0] >= w[:, 1] - 1e-12)
+
+    def test_partial_order(self):
+        rng = np.random.default_rng(5)
+        groups = [[0, 1], [2]]
+        w = sample_rank_order(groups, 3, 500, rng)
+        assert np.all(np.minimum(w[:, 0], w[:, 1]) >= w[:, 2] - 1e-12)
+        # within the group both orders occur
+        assert (w[:, 0] > w[:, 1]).any() and (w[:, 1] > w[:, 0]).any()
+
+    def test_groups_must_partition(self):
+        rng = np.random.default_rng(6)
+        with pytest.raises(ValueError):
+            sample_rank_order([[0], [0, 1]], 3, 10, rng)
+        with pytest.raises(ValueError):
+            sample_rank_order([[0]], 2, 10, rng)
+
+
+class TestIntervalSampler:
+    def test_renormalised_rows(self):
+        rng = np.random.default_rng(7)
+        lower = np.array([0.1, 0.2, 0.3])
+        upper = np.array([0.3, 0.4, 0.6])
+        w, acceptance = sample_in_intervals(lower, upper, 300, rng)
+        assert acceptance == 1.0
+        assert np.allclose(w.sum(axis=1), 1.0)
+
+    def test_rejection_keeps_box(self):
+        rng = np.random.default_rng(8)
+        lower = np.array([0.2, 0.2, 0.2])
+        upper = np.array([0.5, 0.5, 0.5])
+        w, acceptance = sample_in_intervals(
+            lower, upper, 200, rng, reject_outside=True
+        )
+        assert 0 < acceptance <= 1.0
+        assert np.all(w >= lower - 1e-9) and np.all(w <= upper + 1e-9)
+
+    def test_infeasible_box(self):
+        rng = np.random.default_rng(9)
+        with pytest.raises(ValueError):
+            sample_in_intervals(
+                np.array([0.6, 0.6]), np.array([0.7, 0.7]), 10, rng
+            )
+
+    def test_bad_bounds(self):
+        rng = np.random.default_rng(10)
+        with pytest.raises(ValueError):
+            sample_in_intervals(np.array([0.5]), np.array([0.4]), 10, rng)
+
+
+class TestSimulate:
+    @pytest.mark.parametrize("method", ["random", "rank_order", "intervals"])
+    def test_rank_matrix_is_valid(self, small_problem, method):
+        result = simulate(small_problem, method=method, n_simulations=64, seed=0)
+        assert result.n_simulations == 64
+        sorted_rows = np.sort(result.ranks, axis=1)
+        assert np.all(sorted_rows == np.arange(1, 4))
+
+    def test_unknown_method(self, small_problem):
+        with pytest.raises(ValueError):
+            simulate(small_problem, method="quantum", n_simulations=8)
+
+    def test_seed_reproducibility(self, small_problem):
+        a = simulate(small_problem, n_simulations=128, seed=42)
+        b = simulate(small_problem, n_simulations=128, seed=42)
+        assert np.array_equal(a.ranks, b.ranks)
+
+    def test_sample_utilities_modes(self, small_problem_missing):
+        for mode in (False, True, "all", "missing"):
+            result = simulate(
+                small_problem_missing,
+                n_simulations=32,
+                seed=1,
+                sample_utilities=mode,
+            )
+            assert result.n_simulations == 32
+        with pytest.raises(ValueError):
+            simulate(small_problem_missing, n_simulations=8, sample_utilities="some")
+
+    def test_missing_sampling_moves_only_missing_rows(self, small_problem_missing):
+        """Without missing draws, a fixed weight-free gap keeps ranks
+        constant; the alternative with the unknown cell fluctuates."""
+        result = simulate(
+            small_problem_missing,
+            method="intervals",
+            n_simulations=400,
+            seed=3,
+            sample_utilities="missing",
+        )
+        assert result.ranks_of("mid").std() > 0
+
+    def test_missing_mask(self, small_problem_missing):
+        model = AdditiveModel(small_problem_missing)
+        mask = missing_mask(small_problem_missing, model)
+        i = model.alternative_names.index("mid")
+        j = model.attribute_names.index("support")
+        assert mask[i, j]
+        assert mask.sum() == 1
+
+
+class TestResultStatistics:
+    def make_result(self):
+        ranks = np.array([[1, 2, 3], [1, 2, 3], [2, 1, 3], [1, 2, 3]])
+        return MonteCarloResult(("a", "b", "c"), ranks, "intervals")
+
+    def test_statistics(self):
+        stats = self.make_result().statistics_for("a")
+        assert stats.mode == 1
+        assert stats.minimum == 1 and stats.maximum == 2
+        assert stats.mean == pytest.approx(1.25)
+        assert stats.fluctuation == 1
+
+    def test_ever_best(self):
+        assert self.make_result().ever_best() == ("a", "b")
+
+    def test_names_by_mean_rank(self):
+        assert self.make_result().names_by_mean_rank() == ("a", "b", "c")
+
+    def test_boxplot_summary(self):
+        box = self.make_result().boxplot_summary()
+        c = next(s for s in box if s.name == "c")
+        assert c.median == 3 and c.whisker_low == 3 and c.whisker_high == 3
+
+    def test_max_fluctuation(self):
+        assert self.make_result().max_fluctuation() == 1
+        assert self.make_result().max_fluctuation(["c"]) == 0
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            self.make_result().ranks_of("nope")
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            MonteCarloResult(("a",), np.ones((3, 2), dtype=int), "random")
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(min_value=2, max_value=10), st.integers(min_value=1, max_value=200))
+def test_simplex_sampler_always_valid(n_attrs, n_samples):
+    rng = np.random.default_rng(n_attrs * 1000 + n_samples)
+    w = sample_simplex(n_attrs, n_samples, rng)
+    assert np.allclose(w.sum(axis=1), 1.0)
+    assert np.all(w >= 0)

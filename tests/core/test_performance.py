@@ -1,0 +1,127 @@
+"""Tests for alternatives and the performance table."""
+
+import pytest
+
+from repro.core.performance import Alternative, PerformanceTable, UncertainValue
+from repro.core.scales import MISSING, ContinuousScale, linguistic_0_3
+
+SCALES = {
+    "speed": ContinuousScale("speed", 0.0, 10.0),
+    "grade": linguistic_0_3("grade"),
+}
+
+
+def table(**overrides):
+    rows = {
+        "a": {"speed": 5.0, "grade": 2},
+        "b": {"speed": 9.0, "grade": MISSING},
+    }
+    rows.update(overrides)
+    return PerformanceTable(
+        SCALES, [Alternative(name, perf) for name, perf in rows.items()]
+    )
+
+
+class TestUncertainValue:
+    def test_ordering_enforced(self):
+        with pytest.raises(ValueError):
+            UncertainValue(2.0, 1.0, 3.0)
+
+    def test_interval_and_precise(self):
+        uv = UncertainValue(1.0, 2.0, 4.0)
+        assert uv.interval.lower == 1.0 and uv.interval.upper == 4.0
+        assert UncertainValue.precise(2.0).interval.is_point
+
+
+class TestAlternative:
+    def test_performance_lookup(self):
+        alt = Alternative("a", {"speed": 5.0})
+        assert alt.performance("speed") == 5.0
+        with pytest.raises(KeyError):
+            alt.performance("grade")
+
+    def test_is_missing(self):
+        alt = Alternative("a", {"speed": MISSING})
+        assert alt.is_missing("speed")
+
+    def test_with_performance_copies(self):
+        alt = Alternative("a", {"speed": 5.0})
+        other = alt.with_performance("speed", 6.0)
+        assert alt.performance("speed") == 5.0
+        assert other.performance("speed") == 6.0
+
+
+class TestTableValidation:
+    def test_valid_table(self):
+        t = table()
+        assert len(t) == 2
+        assert t.alternative_names == ("a", "b")
+
+    def test_duplicate_names(self):
+        with pytest.raises(ValueError):
+            PerformanceTable(
+                SCALES,
+                [
+                    Alternative("a", {"speed": 1.0, "grade": 1}),
+                    Alternative("a", {"speed": 2.0, "grade": 2}),
+                ],
+            )
+
+    def test_missing_attribute_row(self):
+        with pytest.raises(KeyError):
+            table(c={"speed": 1.0})
+
+    def test_extra_attribute(self):
+        with pytest.raises(ValueError):
+            table(c={"speed": 1.0, "grade": 1, "bogus": 3})
+
+    def test_invalid_value_on_scale(self):
+        with pytest.raises(ValueError):
+            table(c={"speed": 11.0, "grade": 1})
+        with pytest.raises(ValueError):
+            table(c={"speed": 1.0, "grade": 9})
+
+    def test_uncertain_value_validated(self):
+        with pytest.raises(ValueError):
+            table(c={"speed": UncertainValue(1.0, 5.0, 11.0), "grade": 1})
+        t = table(c={"speed": UncertainValue(1.0, 5.0, 9.0), "grade": 1})
+        assert isinstance(t["c"].performance("speed"), UncertainValue)
+
+    def test_empty_inputs(self):
+        with pytest.raises(ValueError):
+            PerformanceTable({}, [Alternative("a", {})])
+        with pytest.raises(ValueError):
+            PerformanceTable(SCALES, [])
+
+
+class TestMissingHelpers:
+    def test_attributes_with_missing(self):
+        assert table().attributes_with_missing() == ("grade",)
+
+    def test_missing_cells(self):
+        assert table().missing_cells() == (("b", "grade"),)
+
+    def test_replacing_missing_with_worst(self):
+        replaced = table().replacing_missing_with_worst()
+        assert replaced["b"].performance("grade") == 0
+        assert replaced.missing_cells() == ()
+        # original untouched
+        assert table()["b"].is_missing("grade")
+
+    def test_subset(self):
+        sub = table().subset(["b"])
+        assert sub.alternative_names == ("b",)
+        with pytest.raises(KeyError):
+            table().subset(["nope"])
+
+    def test_case_study_missing_cells(self, case_problem):
+        """§III: some criteria have unknown performances; all of ours
+        sit on provenance or inaccessible-artefact criteria."""
+        cells = case_problem.table.missing_cells()
+        assert len(cells) > 0
+        structural_ok = {
+            "external_knowledge", "code_clarity", "knowledge_extraction",
+            "naming_conventions", "implementation_language",
+            "former_evaluation", "team_reputation", "purpose_reliability",
+        }
+        assert all(attr in structural_ok for _, attr in cells)

@@ -1,0 +1,90 @@
+"""Tests for the DecisionProblem facade and its validation."""
+
+import pytest
+
+from repro.core.problem import DecisionProblem
+
+from ..conftest import make_small_problem
+
+
+class TestValidation:
+    def test_valid_problem(self, small_problem):
+        assert small_problem.attribute_names == ("price", "battery", "support")
+        assert len(small_problem.alternatives) == 3
+
+    def test_table_attribute_mismatch(self, small_problem):
+        from repro.core.performance import Alternative, PerformanceTable
+        from repro.core.scales import linguistic_0_3
+
+        bad_table = PerformanceTable(
+            {"other": linguistic_0_3("other")},
+            [Alternative("a", {"other": 1})],
+        )
+        with pytest.raises(ValueError):
+            DecisionProblem(
+                small_problem.hierarchy,
+                bad_table,
+                small_problem.utilities,
+                small_problem.weights,
+            )
+
+    def test_missing_utility(self, small_problem):
+        utilities = dict(small_problem.utilities)
+        del utilities["battery"]
+        with pytest.raises(ValueError):
+            DecisionProblem(
+                small_problem.hierarchy,
+                small_problem.table,
+                utilities,
+                small_problem.weights,
+            )
+
+    def test_scale_mismatch(self, small_problem):
+        from repro.core.scales import linguistic_0_3
+        from repro.core.utility import banded_discrete_utility
+
+        utilities = dict(small_problem.utilities)
+        utilities["battery"] = banded_discrete_utility(linguistic_0_3("zzz"))
+        with pytest.raises(ValueError):
+            DecisionProblem(
+                small_problem.hierarchy,
+                small_problem.table,
+                utilities,
+                small_problem.weights,
+            )
+
+    def test_foreign_weight_system(self, small_problem):
+        other = make_small_problem(name="other")
+        # same node names -> accepted even though a distinct object
+        problem = DecisionProblem(
+            small_problem.hierarchy,
+            small_problem.table,
+            small_problem.utilities,
+            other.weights,
+        )
+        assert problem.weights is other.weights
+
+    def test_utility_lookup(self, small_problem):
+        assert small_problem.utility_function("price") is small_problem.utilities["price"]
+        with pytest.raises(KeyError):
+            small_problem.utility_function("bogus")
+
+
+class TestDerivedProblems:
+    def test_restricted_to(self, small_problem):
+        sub = small_problem.restricted_to("quality")
+        assert set(sub.attribute_names) == {"battery", "support"}
+        assert sub.hierarchy.root.name == "quality"
+        assert sub.name.endswith(":quality")
+
+    def test_with_alternatives(self, small_problem):
+        sub = small_problem.with_alternatives(["cheap", "premium"])
+        assert sub.alternative_names == ("cheap", "premium")
+
+    def test_with_weights(self, small_problem):
+        from repro.core.weights import WeightSystem
+
+        uniform = WeightSystem.uniform(small_problem.hierarchy)
+        swapped = small_problem.with_weights(uniform)
+        assert swapped.weights is uniform
+        assert swapped.table is small_problem.table

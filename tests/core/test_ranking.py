@@ -1,0 +1,73 @@
+"""Tests for ranking comparison helpers."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.ranking import (
+    footrule_distance,
+    kendall_tau,
+    rank_vector,
+    spearman_rho,
+    top_k_overlap,
+)
+
+
+class TestRankVector:
+    def test_basic(self):
+        assert rank_vector(["b", "a"]) == {"b": 1, "a": 2}
+
+    def test_duplicates_rejected(self):
+        with pytest.raises(ValueError):
+            rank_vector(["a", "a"])
+
+
+class TestCorrelations:
+    def test_identical(self):
+        order = ["a", "b", "c", "d"]
+        assert kendall_tau(order, order) == pytest.approx(1.0)
+        assert spearman_rho(order, order) == pytest.approx(1.0)
+        assert footrule_distance(order, order) == 0
+
+    def test_reversed(self):
+        order = ["a", "b", "c", "d"]
+        assert kendall_tau(order, order[::-1]) == pytest.approx(-1.0)
+        assert spearman_rho(order, order[::-1]) == pytest.approx(-1.0)
+
+    def test_single_swap(self):
+        tau = kendall_tau(["a", "b", "c"], ["b", "a", "c"])
+        assert tau == pytest.approx(1 - 2 * 1 / 3)
+
+    def test_partial_overlap_ignored(self):
+        tau = kendall_tau(["a", "b", "c"], ["c", "b", "x"])
+        # common items: b, c -> one discordant pair
+        assert tau == pytest.approx(-1.0)
+
+    def test_too_few_common(self):
+        with pytest.raises(ValueError):
+            kendall_tau(["a"], ["a"])
+
+
+class TestTopK:
+    def test_overlap(self):
+        assert top_k_overlap(["a", "b", "c"], ["b", "a", "d"], 2) == 2
+        assert top_k_overlap(["a", "b", "c"], ["c", "d", "e"], 2) == 0
+
+    def test_k_validation(self):
+        with pytest.raises(ValueError):
+            top_k_overlap(["a"], ["a"], 0)
+
+
+@given(st.permutations(["a", "b", "c", "d", "e"]))
+def test_tau_bounds_and_symmetry(perm):
+    base = ["a", "b", "c", "d", "e"]
+    tau = kendall_tau(base, list(perm))
+    assert -1.0 <= tau <= 1.0
+    assert tau == pytest.approx(kendall_tau(list(perm), base))
+
+
+@given(st.permutations(["a", "b", "c", "d", "e", "f"]))
+def test_footrule_even(perm):
+    """The footrule distance is always an even integer."""
+    base = ["a", "b", "c", "d", "e", "f"]
+    assert footrule_distance(base, list(perm)) % 2 == 0

@@ -1,0 +1,84 @@
+"""Tests for attainable-rank intervals under partial information."""
+
+import numpy as np
+import pytest
+
+from repro.core.model import AdditiveModel, evaluate
+from repro.core.montecarlo import simulate
+from repro.core.rankintervals import RankInterval, rank_intervals
+
+from .test_dominance import flat_problem
+
+
+class TestRankInterval:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RankInterval("x", 3, 2)
+        with pytest.raises(ValueError):
+            RankInterval("x", 0, 2)
+
+    def test_queries(self):
+        iv = RankInterval("x", 2, 5)
+        assert iv.width == 3
+        assert iv.contains(2) and iv.contains(5)
+        assert not iv.contains(1)
+
+
+class TestComputation:
+    def test_chain_of_dominance(self):
+        problem = flat_problem([(3, 3), (2, 2), (1, 1), (0, 0)])
+        model = AdditiveModel(problem)
+        intervals = rank_intervals(model)
+        assert intervals["alt0"].best == 1 and intervals["alt0"].worst == 1
+        assert intervals["alt3"].best == 4 and intervals["alt3"].worst == 4
+
+    def test_incomparable_pair_spans_both_ranks(self):
+        problem = flat_problem([(3, 0), (0, 3)])
+        intervals = rank_intervals(AdditiveModel(problem))
+        for name in ("alt0", "alt1"):
+            assert intervals[name].best == 1
+            assert intervals[name].worst == 2
+
+    def test_precomputed_matrix_accepted(self):
+        problem = flat_problem([(3, 3), (1, 1)])
+        model = AdditiveModel(problem)
+        from repro.core.dominance import dominance_matrix
+
+        matrix = dominance_matrix(model)
+        assert rank_intervals(model, matrix=matrix) == rank_intervals(model)
+
+    def test_matrix_shape_checked(self):
+        problem = flat_problem([(3, 3), (1, 1)])
+        model = AdditiveModel(problem)
+        with pytest.raises(ValueError):
+            rank_intervals(model, matrix=np.zeros((3, 3), dtype=bool))
+
+
+class TestCaseStudy:
+    @pytest.fixture(scope="class")
+    def intervals(self, case_model):
+        return rank_intervals(case_model)
+
+    def test_average_rank_inside_interval(self, intervals, case_problem):
+        ev = evaluate(case_problem)
+        for name in ev.names_by_rank:
+            assert intervals[name].contains(ev.rank_of(name)), name
+
+    def test_monte_carlo_ranks_inside_intervals(self, intervals, case_mc):
+        for name in case_mc.names:
+            stats = case_mc.statistics_for(name)
+            assert intervals[name].best <= stats.minimum, name
+            assert stats.maximum <= intervals[name].worst, name
+
+    def test_discarded_candidates_cannot_reach_rank_one(self, intervals):
+        for name in ("Kanzaki Music", "Photography Ontology", "MPEG7 Ontology"):
+            assert intervals[name].best > 1, name
+
+    def test_survivor_intervals_reach_rank_one_or_wide(self, intervals):
+        """Potential optimality is stronger than best == 1 (the rank
+        bound ignores the shared-weight coupling), so every potentially
+        optimal candidate must have best attainable rank 1."""
+        from repro.core.dominance import screen
+
+        # cheap consistency: the best-ranked candidate can always be first
+        assert intervals["Media Ontology"].best == 1

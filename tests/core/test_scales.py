@@ -1,0 +1,84 @@
+"""Tests for attribute scales and the MISSING marker."""
+
+import pickle
+
+import pytest
+
+from repro.core.scales import (
+    MISSING,
+    ContinuousScale,
+    DiscreteScale,
+    MissingType,
+    linguistic_0_3,
+)
+
+
+class TestMissing:
+    def test_singleton(self):
+        assert MissingType() is MISSING
+
+    def test_pickle_preserves_identity(self):
+        assert pickle.loads(pickle.dumps(MISSING)) is MISSING
+
+    def test_repr(self):
+        assert repr(MISSING) == "MISSING"
+
+
+class TestDiscreteScale:
+    def test_levels_and_codes(self):
+        scale = linguistic_0_3("purpose")
+        assert len(scale) == 4
+        assert scale.code_of("medium") == 2
+        assert scale.label_of(3) == "high"
+        assert scale.worst == 0 and scale.best == 3
+
+    def test_unknown_label(self):
+        with pytest.raises(KeyError):
+            linguistic_0_3("x").code_of("great")
+
+    def test_unknown_code(self):
+        with pytest.raises(KeyError):
+            linguistic_0_3("x").label_of(7)
+
+    def test_needs_two_levels(self):
+        with pytest.raises(ValueError):
+            DiscreteScale("bad", ("only",))
+
+    def test_duplicate_labels(self):
+        with pytest.raises(ValueError):
+            DiscreteScale("bad", ("a", "a"))
+
+    @pytest.mark.parametrize(
+        "value,expected",
+        [(0, True), (3, True), (2.0, True), (4, False), (-1, False),
+         (1.5, False), (True, False), ("2", False), (MISSING, False)],
+    )
+    def test_is_valid(self, value, expected):
+        assert linguistic_0_3("x").is_valid(value) is expected
+
+
+class TestContinuousScale:
+    def test_bounds_validation(self):
+        with pytest.raises(ValueError):
+            ContinuousScale("bad", 2.0, 1.0)
+
+    def test_direction(self):
+        up = ContinuousScale("more", 0.0, 3.0, ascending=True)
+        down = ContinuousScale("less", 0.0, 3.0, ascending=False)
+        assert up.worst == 0.0 and up.best == 3.0
+        assert down.worst == 3.0 and down.best == 0.0
+
+    def test_normalise(self):
+        up = ContinuousScale("more", 0.0, 4.0)
+        assert up.normalise(1.0) == pytest.approx(0.25)
+        down = ContinuousScale("less", 0.0, 4.0, ascending=False)
+        assert down.normalise(1.0) == pytest.approx(0.75)
+
+    @pytest.mark.parametrize(
+        "value,expected",
+        [(0.0, True), (3.0, True), (1.5, True), (-0.1, False),
+         (3.1, False), (True, False), ("1", False)],
+    )
+    def test_is_valid(self, value, expected):
+        scale = ContinuousScale("v", 0.0, 3.0)
+        assert scale.is_valid(value) is expected

@@ -1,0 +1,112 @@
+"""Tests for the fallback simplex LP solver, cross-checked with scipy."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from scipy.optimize import linprog
+
+from repro.core.simplex import linprog_simplex
+
+
+class TestBasics:
+    def test_simple_minimisation(self):
+        # min x + y  s.t. x + y >= 1 (as -x - y <= -1), 0 <= x,y <= 1
+        res = linprog_simplex(
+            [1.0, 1.0],
+            a_ub=[[-1.0, -1.0]],
+            b_ub=[-1.0],
+            bounds=[(0.0, 1.0), (0.0, 1.0)],
+        )
+        assert res.success
+        assert res.fun == pytest.approx(1.0)
+
+    def test_equality_constraint(self):
+        # min -x  s.t. x + y == 1, bounds [0, 0.6]
+        res = linprog_simplex(
+            [-1.0, 0.0],
+            a_eq=[[1.0, 1.0]],
+            b_eq=[1.0],
+            bounds=[(0.0, 0.6), (0.0, 0.6)],
+        )
+        assert res.success
+        assert res.fun == pytest.approx(-0.6)
+        assert res.x[0] == pytest.approx(0.6)
+
+    def test_infeasible(self):
+        res = linprog_simplex(
+            [1.0],
+            a_eq=[[1.0]],
+            b_eq=[2.0],
+            bounds=[(0.0, 1.0)],
+        )
+        assert not res.success
+        assert res.status == 2
+
+    def test_unbounded(self):
+        res = linprog_simplex([-1.0], bounds=[(0.0, None)])
+        assert not res.success
+        assert res.status == 3
+
+    def test_shifted_lower_bounds(self):
+        # min x  with x in [2, 5]
+        res = linprog_simplex([1.0], bounds=[(2.0, 5.0)])
+        assert res.success
+        assert res.fun == pytest.approx(2.0)
+
+    def test_requires_finite_lower_bound(self):
+        with pytest.raises(ValueError):
+            linprog_simplex([1.0], bounds=[(None, 1.0)])
+
+
+@st.composite
+def weight_lps(draw):
+    """Random dominance-shaped LPs: min c.w over a box meeting the simplex.
+
+    The spread stays well away from zero: a box whose width is at
+    floating-point noise level makes HiGHS declare infeasibility inside
+    its own tolerance while the exact answer exists — not a behaviour
+    worth pinning either solver to.
+    """
+    n = draw(st.integers(min_value=2, max_value=7))
+    c = [draw(st.floats(-1, 1, allow_nan=False)) for _ in range(n)]
+    mids = [draw(st.floats(0.05, 1.0)) for _ in range(n)]
+    total = sum(mids)
+    mids = [m / total for m in mids]
+    spread = draw(st.floats(0.05, 0.8))
+    bounds = [(m * (1 - spread), min(1.0, m * (1 + spread))) for m in mids]
+    return np.array(c), bounds
+
+
+@settings(max_examples=60, deadline=None)
+@given(weight_lps())
+def test_matches_scipy_on_weight_polytopes(lp):
+    c, bounds = lp
+    n = len(c)
+    a_eq = np.ones((1, n))
+    b_eq = np.array([1.0])
+    ours = linprog_simplex(c, a_eq=a_eq, b_eq=b_eq, bounds=bounds)
+    theirs = linprog(c, A_eq=a_eq, b_eq=b_eq, bounds=bounds, method="highs")
+    assert ours.success == theirs.success
+    if ours.success:
+        assert ours.fun == pytest.approx(theirs.fun, abs=1e-7)
+        assert np.asarray(ours.x).sum() == pytest.approx(1.0, abs=1e-7)
+
+
+@settings(max_examples=40, deadline=None)
+@given(weight_lps(), st.integers(min_value=1, max_value=4))
+def test_matches_scipy_with_inequalities(lp, n_rows):
+    c, bounds = lp
+    n = len(c)
+    rng = np.random.default_rng(n_rows * 97 + n)
+    a_ub = rng.uniform(-1, 1, size=(n_rows, n))
+    b_ub = rng.uniform(0.2, 1.5, size=n_rows)
+    a_eq = np.ones((1, n))
+    b_eq = np.array([1.0])
+    ours = linprog_simplex(c, a_ub=a_ub, b_ub=b_ub, a_eq=a_eq, b_eq=b_eq, bounds=bounds)
+    theirs = linprog(
+        c, A_ub=a_ub, b_ub=b_ub, A_eq=a_eq, b_eq=b_eq, bounds=bounds, method="highs"
+    )
+    assert ours.success == theirs.success
+    if ours.success:
+        assert ours.fun == pytest.approx(theirs.fun, abs=1e-6)

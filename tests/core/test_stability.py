@@ -1,0 +1,127 @@
+"""Tests for weight-stability intervals (Fig. 8 machinery)."""
+
+import numpy as np
+import pytest
+
+from repro.core.interval import Interval
+from repro.core.model import AdditiveModel
+from repro.core.stability import (
+    affine_coefficients,
+    stability_interval,
+    stability_report,
+)
+from repro.core.weights import WeightSystem
+
+
+def brute_force_utilities(problem, objective, x):
+    """Re-evaluate average utilities with ``objective``'s local average
+    forced to ``x`` and its siblings proportionally rescaled."""
+    ws = problem.weights
+    hierarchy = problem.hierarchy
+    parent = hierarchy.parent_of(objective)
+    current = ws.local_average(objective)
+    factor = (1.0 - x) / (1.0 - current)
+    local = {}
+    for node in hierarchy.nodes():
+        if node.name == hierarchy.root.name:
+            continue
+        avg = ws.local_average(node.name)
+        if node.name == objective:
+            avg = x
+        elif hierarchy.parent_of(node.name) is parent.name or (
+            hierarchy.parent_of(node.name) is not None
+            and hierarchy.parent_of(node.name).name == parent.name
+            and node.name != objective
+        ):
+            avg = avg * factor
+        local[node.name] = Interval.point(avg)
+    new_ws = WeightSystem(hierarchy, local)
+    model = AdditiveModel(problem.with_weights(new_ws))
+    return model.average_utilities()
+
+
+class TestAffineCoefficients:
+    @pytest.mark.parametrize("objective", ["cost", "quality", "battery life"])
+    @pytest.mark.parametrize("x", [0.1, 0.35, 0.8])
+    def test_matches_brute_force(self, small_problem, objective, x):
+        model = AdditiveModel(small_problem)
+        constant, slope = affine_coefficients(model, objective)
+        predicted = constant + x * slope
+        actual = brute_force_utilities(small_problem, objective, x)
+        assert predicted == pytest.approx(actual, abs=1e-9)
+
+    def test_current_point_reproduces_averages(self, small_problem):
+        model = AdditiveModel(small_problem)
+        for objective in ("cost", "quality", "vendor support"):
+            constant, slope = affine_coefficients(model, objective)
+            x0 = small_problem.weights.local_average(objective)
+            assert constant + x0 * slope == pytest.approx(
+                model.average_utilities(), abs=1e-9
+            )
+
+    def test_root_rejected(self, small_problem):
+        model = AdditiveModel(small_problem)
+        with pytest.raises(ValueError):
+            affine_coefficients(model, "overall")
+
+
+class TestStabilityInterval:
+    def test_contains_current_point(self, small_problem):
+        for objective in ("cost", "quality", "battery life", "vendor support"):
+            interval = stability_interval(small_problem, objective)
+            assert interval is not None
+            current = small_problem.weights.local_average(objective)
+            assert interval.contains(current, tol=1e-9)
+
+    def test_mode_validation(self, small_problem):
+        with pytest.raises(ValueError):
+            stability_interval(small_problem, "cost", mode="everything")
+
+    def test_ranking_mode_is_tighter(self, case_problem):
+        for objective in ("Reuse Cost", "Integration"):
+            best = stability_interval(case_problem, objective, mode="best")
+            ranking = stability_interval(case_problem, objective, mode="ranking")
+            assert best is not None
+            if ranking is not None:
+                assert best.contains_interval(ranking, tol=1e-9)
+
+    def test_boundary_flip_detected(self, case_problem):
+        """Moving the funct weight above its stability bound must
+        actually change the best alternative (consistency check)."""
+        interval = stability_interval(
+            case_problem, "N. Functional Requirements", mode="best"
+        )
+        assert interval is not None and interval.upper < 1.0
+        x_beyond = min(1.0, interval.upper + 0.05)
+        utilities = brute_force_utilities(
+            case_problem, "N. Functional Requirements", x_beyond
+        )
+        model = AdditiveModel(case_problem)
+        names = model.alternative_names
+        best_now = names[int(np.argmax(utilities))]
+        assert best_now != "Media Ontology"
+
+
+class TestCaseStudyFig8:
+    def test_only_funct_and_naming_bounded(self, case_problem):
+        report = stability_report(case_problem, mode="best")
+        sensitive = set(report.sensitive_objectives())
+        assert sensitive == {
+            "N. Functional Requirements",
+            "Adequacy naming conventions",
+        }
+
+    def test_all_intervals_exist(self, case_problem):
+        report = stability_report(case_problem, mode="best")
+        assert all(iv is not None for iv in report.intervals.values())
+
+    def test_insensitive_are_full_unit(self, case_problem):
+        report = stability_report(case_problem, mode="best")
+        full = Interval(0.0, 1.0)
+        for name in report.insensitive_objectives():
+            assert report.intervals[name].almost_equal(full, tol=1e-6)
+
+    def test_branch_nodes_included(self, case_problem):
+        report = stability_report(case_problem, mode="best")
+        for branch in ("Reuse Cost", "Understandability", "Integration", "Reliability"):
+            assert branch in report.intervals

@@ -1,0 +1,163 @@
+"""Tests for component-utility classes (Figs. 3-4 shapes)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.interval import Interval
+from repro.core.scales import MISSING, ContinuousScale, linguistic_0_3
+from repro.core.utility import (
+    MISSING_UTILITY,
+    DiscreteUtility,
+    PiecewiseLinearUtility,
+    banded_discrete_utility,
+    linear_utility,
+)
+
+
+class TestDiscreteUtility:
+    def test_fig4_banded_shape(self):
+        """Fig. 4: [0,.2], [.2,.4], [.4,.6], then exactly 1.0."""
+        fn = banded_discrete_utility(linguistic_0_3("purpose"))
+        assert fn.utility(0).almost_equal(Interval(0.0, 0.2))
+        assert fn.utility(1).almost_equal(Interval(0.2, 0.4))
+        assert fn.utility(2).almost_equal(Interval(0.4, 0.6), tol=1e-9)
+        assert fn.utility(3) == Interval.point(1.0)
+
+    def test_imprecise_best(self):
+        fn = banded_discrete_utility(linguistic_0_3("x"), best_is_precise=False)
+        assert fn.utility(3) == Interval(0.8, 1.0)
+
+    def test_missing_gets_unit_interval(self):
+        fn = banded_discrete_utility(linguistic_0_3("x"))
+        assert fn.utility(MISSING) == MISSING_UTILITY == Interval(0.0, 1.0)
+
+    def test_average_is_midpoint(self):
+        fn = banded_discrete_utility(linguistic_0_3("x"))
+        assert fn.average_utility(2) == pytest.approx(0.5)
+        assert fn.average_utility(MISSING) == pytest.approx(0.5)
+
+    def test_rejects_wrong_level_count(self):
+        scale = linguistic_0_3("x")
+        with pytest.raises(ValueError):
+            DiscreteUtility(scale, (Interval(0, 1),))
+
+    def test_rejects_nonmonotone_envelopes(self):
+        scale = linguistic_0_3("x")
+        with pytest.raises(ValueError):
+            DiscreteUtility(
+                scale,
+                (
+                    Interval(0.0, 0.5),
+                    Interval(0.4, 0.4),
+                    Interval(0.2, 0.6),  # lower envelope decreases
+                    Interval(0.9, 1.0),
+                ),
+            )
+
+    def test_rejects_out_of_unit(self):
+        scale = linguistic_0_3("x")
+        with pytest.raises(ValueError):
+            DiscreteUtility(
+                scale,
+                (Interval(0, 0.2), Interval(0.2, 0.4), Interval(0.4, 0.6),
+                 Interval(0.9, 1.1)),
+            )
+
+    def test_rejects_invalid_performance(self):
+        fn = banded_discrete_utility(linguistic_0_3("x"))
+        with pytest.raises(ValueError):
+            fn.utility(9)
+
+    def test_band_width_bounds(self):
+        with pytest.raises(ValueError):
+            banded_discrete_utility(linguistic_0_3("x"), band_width=0.5)
+        with pytest.raises(ValueError):
+            banded_discrete_utility(linguistic_0_3("x"), band_width=0.0)
+
+
+class TestPiecewiseLinearUtility:
+    def test_fig3_linear(self):
+        scale = ContinuousScale("ValueT", 0.0, 3.0)
+        fn = linear_utility(scale)
+        assert fn.utility(0.0) == Interval.point(0.0)
+        assert fn.utility(3.0) == Interval.point(1.0)
+        assert fn.utility(0.93).midpoint == pytest.approx(0.31)
+
+    def test_descending_scale(self):
+        scale = ContinuousScale("cost", 0.0, 100.0, ascending=False)
+        fn = linear_utility(scale)
+        assert fn.utility(0.0) == Interval.point(1.0)
+        assert fn.utility(100.0) == Interval.point(0.0)
+
+    def test_imprecise_knots_interpolate(self):
+        scale = ContinuousScale("x", 0.0, 1.0)
+        fn = PiecewiseLinearUtility(
+            scale,
+            ((0.0, Interval(0.0, 0.1)), (1.0, Interval(0.8, 1.0))),
+        )
+        mid = fn.utility(0.5)
+        assert mid.lower == pytest.approx(0.4)
+        assert mid.upper == pytest.approx(0.55)
+
+    def test_exact_knot_hit(self):
+        scale = ContinuousScale("x", 0.0, 2.0)
+        fn = PiecewiseLinearUtility(
+            scale,
+            ((0.0, Interval.point(0.0)), (1.0, Interval(0.3, 0.5)),
+             (2.0, Interval.point(1.0))),
+        )
+        assert fn.utility(1.0) == Interval(0.3, 0.5)
+
+    def test_missing(self):
+        fn = linear_utility(ContinuousScale("x", 0.0, 1.0))
+        assert fn.utility(MISSING) == Interval(0.0, 1.0)
+
+    def test_out_of_range(self):
+        fn = linear_utility(ContinuousScale("x", 0.0, 1.0))
+        with pytest.raises(ValueError):
+            fn.utility(1.5)
+
+    def test_knots_must_span_scale(self):
+        scale = ContinuousScale("x", 0.0, 2.0)
+        with pytest.raises(ValueError):
+            PiecewiseLinearUtility(
+                scale, ((0.0, Interval.point(0)), (1.0, Interval.point(1)))
+            )
+
+    def test_knots_must_increase(self):
+        scale = ContinuousScale("x", 0.0, 1.0)
+        with pytest.raises(ValueError):
+            PiecewiseLinearUtility(
+                scale,
+                ((1.0, Interval.point(1)), (0.0, Interval.point(0))),
+            )
+
+
+# ----------------------------------------------------------------------
+# Properties
+# ----------------------------------------------------------------------
+
+@given(st.floats(min_value=0.0, max_value=3.0))
+def test_linear_utility_stays_in_unit(x):
+    fn = linear_utility(ContinuousScale("v", 0.0, 3.0))
+    iv = fn.utility(x)
+    assert 0.0 <= iv.lower <= iv.upper <= 1.0
+
+
+@given(
+    st.floats(min_value=0.0, max_value=3.0),
+    st.floats(min_value=0.0, max_value=3.0),
+)
+def test_linear_utility_is_monotone(a, b):
+    fn = linear_utility(ContinuousScale("v", 0.0, 3.0))
+    lo, hi = sorted((a, b))
+    assert fn.utility(lo).midpoint <= fn.utility(hi).midpoint + 1e-12
+
+
+@given(st.integers(min_value=0, max_value=3), st.integers(min_value=0, max_value=3))
+def test_banded_utility_is_monotone_in_levels(a, b):
+    fn = banded_discrete_utility(linguistic_0_3("x"))
+    lo, hi = sorted((a, b))
+    assert fn.utility(lo).lower <= fn.utility(hi).lower + 1e-12
+    assert fn.utility(lo).upper <= fn.utility(hi).upper + 1e-12

@@ -1,0 +1,188 @@
+"""Tests for the hierarchical weight system and elicitation helpers."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.hierarchy import Hierarchy, ObjectiveNode
+from repro.core.interval import Interval
+from repro.core.weights import (
+    WeightSystem,
+    equal_weights,
+    rank_order_centroid,
+    rank_sum_weights,
+    swing_weights,
+    tradeoff_intervals,
+)
+
+
+def hier() -> Hierarchy:
+    return Hierarchy(
+        ObjectiveNode(
+            "root",
+            children=[
+                ObjectiveNode("a", attribute="x"),
+                ObjectiveNode(
+                    "b",
+                    children=[
+                        ObjectiveNode("b1", attribute="y"),
+                        ObjectiveNode("b2", attribute="z"),
+                    ],
+                ),
+            ],
+        )
+    )
+
+
+def system() -> WeightSystem:
+    return WeightSystem(
+        hier(),
+        {
+            "a": Interval(0.3, 0.5),
+            "b": Interval(0.5, 0.7),
+            "b1": Interval(0.2, 0.6),
+            "b2": Interval(0.4, 0.8),
+        },
+    )
+
+
+class TestValidation:
+    def test_missing_node(self):
+        with pytest.raises(ValueError):
+            WeightSystem(hier(), {"a": Interval(0.5, 0.5), "b": Interval(0.5, 0.5),
+                                  "b1": Interval(0.5, 0.5)})
+
+    def test_unknown_node(self):
+        with pytest.raises(ValueError):
+            WeightSystem(
+                hier(),
+                {"a": Interval(0.5, 0.5), "b": Interval(0.5, 0.5),
+                 "b1": Interval(0.5, 0.5), "b2": Interval(0.5, 0.5),
+                 "ghost": Interval(0.1, 0.2)},
+            )
+
+    def test_box_must_straddle_simplex(self):
+        with pytest.raises(ValueError):
+            WeightSystem(
+                hier(),
+                {"a": Interval(0.1, 0.2), "b": Interval(0.1, 0.2),
+                 "b1": Interval(0.5, 0.5), "b2": Interval(0.5, 0.5)},
+            )
+
+    def test_negative_weight(self):
+        with pytest.raises(ValueError):
+            WeightSystem(
+                hier(),
+                {"a": Interval(-0.2, 0.5), "b": Interval(0.5, 1.2),
+                 "b1": Interval(0.5, 0.5), "b2": Interval(0.5, 0.5)},
+            )
+
+
+class TestAverages:
+    def test_local_averages_sum_to_one_per_group(self):
+        ws = system()
+        assert ws.local_average("a") + ws.local_average("b") == pytest.approx(1.0)
+        assert ws.local_average("b1") + ws.local_average("b2") == pytest.approx(1.0)
+
+    def test_attribute_averages_sum_to_one(self):
+        totals = sum(system().attribute_averages().values())
+        assert totals == pytest.approx(1.0)
+
+    def test_path_multiplication(self):
+        ws = system()
+        expected = ws.local_average("b") * ws.local_average("b1")
+        assert ws.attribute_weight_average("y") == pytest.approx(expected)
+
+    def test_interval_multiplication(self):
+        ws = system()
+        iv = ws.attribute_weight_interval("y")
+        assert iv.lower == pytest.approx(0.5 * 0.2)
+        assert iv.upper == pytest.approx(0.7 * 0.6)
+
+    def test_root_weight_is_one(self):
+        ws = system()
+        assert ws.local_interval("root") == Interval.point(1.0)
+        assert ws.node_weight_average("root") == pytest.approx(1.0)
+
+
+class TestConstructors:
+    def test_uniform(self):
+        ws = WeightSystem.uniform(hier())
+        assert ws.local_average("a") == pytest.approx(0.5)
+        assert ws.attribute_weight_average("y") == pytest.approx(0.25)
+
+    def test_precise(self):
+        ws = WeightSystem.precise(hier(), {"a": 1.0, "b": 3.0, "b1": 1.0, "b2": 1.0})
+        assert ws.local_average("b") == pytest.approx(0.75)
+        assert ws.local_interval("b").is_point
+
+    def test_from_raw_intervals_rescales(self):
+        ws = WeightSystem.from_raw_intervals(
+            hier(),
+            {"a": Interval(1.0, 2.0), "b": Interval(2.0, 4.0),
+             "b1": Interval(1.0, 1.0), "b2": Interval(1.0, 3.0)},
+        )
+        group = ws.local_interval("a").midpoint + ws.local_interval("b").midpoint
+        assert group == pytest.approx(1.0)
+
+
+class TestViews:
+    def test_for_subtree(self):
+        sub = system().for_subtree("b")
+        assert sub.hierarchy.root.name == "b"
+        assert sub.attribute_averages()["y"] + sub.attribute_averages()["z"] == pytest.approx(1.0)
+
+    def test_replace_local(self):
+        ws = system().replace_local("a", Interval(0.4, 0.4))
+        assert ws.local_interval("a").is_point
+        with pytest.raises(ValueError):
+            system().replace_local("root", Interval(0.4, 0.4))
+        with pytest.raises(KeyError):
+            system().replace_local("nope", Interval(0.4, 0.4))
+
+    def test_as_precise_averages(self):
+        precise = system().as_precise_averages()
+        for name in ("a", "b", "b1", "b2"):
+            assert precise.local_interval(name).is_point
+        assert sum(precise.attribute_averages().values()) == pytest.approx(1.0)
+
+
+class TestSurrogateWeights:
+    @pytest.mark.parametrize("fn", [rank_order_centroid, rank_sum_weights, equal_weights])
+    def test_sum_to_one_and_decrease(self, fn):
+        w = fn(6)
+        assert sum(w) == pytest.approx(1.0)
+        assert all(a >= b - 1e-12 for a, b in zip(w, w[1:]))
+
+    def test_roc_known_values(self):
+        w = rank_order_centroid(3)
+        assert w[0] == pytest.approx((1 + 1 / 2 + 1 / 3) / 3)
+        assert w[2] == pytest.approx((1 / 3) / 3)
+
+    def test_swing(self):
+        assert swing_weights([100, 50, 50]) == pytest.approx((0.5, 0.25, 0.25))
+        with pytest.raises(ValueError):
+            swing_weights([])
+        with pytest.raises(ValueError):
+            swing_weights([0, 0])
+        with pytest.raises(ValueError):
+            swing_weights([-1, 2])
+
+    def test_invalid_n(self):
+        for fn in (rank_order_centroid, rank_sum_weights, equal_weights):
+            with pytest.raises(ValueError):
+                fn(0)
+
+    def test_tradeoff_intervals(self):
+        raw = tradeoff_intervals("a", {"b": Interval(2.0, 3.0)})
+        assert raw["a"] == Interval.point(1.0)
+        assert raw["b"] == Interval(2.0, 3.0)
+        with pytest.raises(ValueError):
+            tradeoff_intervals("a", {"b": Interval(-1.0, 1.0)})
+
+
+@given(st.integers(min_value=1, max_value=30))
+def test_roc_majorises_rank_sum(n):
+    """ROC concentrates more weight on the top rank than rank-sum."""
+    roc, rs = rank_order_centroid(n), rank_sum_weights(n)
+    assert roc[0] >= rs[0] - 1e-12

@@ -1,0 +1,89 @@
+"""Tests for GMAA-style workspace persistence (JSON round trips)."""
+
+import json
+
+import pytest
+
+from repro.core.model import evaluate
+from repro.core.scales import MISSING
+from repro.core.workspace import FORMAT, from_dict, load, save, to_dict
+
+from ..conftest import make_small_problem
+
+
+class TestRoundTrip:
+    def test_small_problem(self, tmp_path):
+        problem = make_small_problem(missing_cell=True)
+        path = tmp_path / "ws.json"
+        save(problem, path)
+        restored = load(path)
+        assert restored.name == problem.name
+        assert restored.attribute_names == problem.attribute_names
+        assert restored.alternative_names == problem.alternative_names
+        assert restored.table["mid"].is_missing("support")
+        assert (
+            evaluate(restored).names_by_rank == evaluate(problem).names_by_rank
+        )
+        for row_a, row_b in zip(evaluate(restored), evaluate(problem)):
+            assert row_a.average == pytest.approx(row_b.average)
+            assert row_a.minimum == pytest.approx(row_b.minimum)
+            assert row_a.maximum == pytest.approx(row_b.maximum)
+
+    def test_case_study(self, tmp_path, case_problem):
+        path = tmp_path / "multimedia.json"
+        save(case_problem, path)
+        restored = load(path)
+        assert evaluate(restored).names_by_rank == evaluate(case_problem).names_by_rank
+        weights_a = case_problem.weights.attribute_averages()
+        weights_b = restored.weights.attribute_averages()
+        for attr, value in weights_a.items():
+            assert weights_b[attr] == pytest.approx(value)
+
+    def test_dict_round_trip_is_stable(self, case_problem):
+        once = to_dict(case_problem)
+        twice = to_dict(from_dict(once))
+        assert json.dumps(once, sort_keys=True) == json.dumps(twice, sort_keys=True)
+
+
+class TestFormatGuards:
+    def test_version_checked(self, case_problem):
+        data = to_dict(case_problem)
+        data["format"] = "repro-workspace/99"
+        with pytest.raises(ValueError):
+            from_dict(data)
+
+    def test_format_field_present(self, case_problem):
+        assert to_dict(case_problem)["format"] == FORMAT
+
+    def test_unknown_scale_kind(self, case_problem):
+        data = to_dict(case_problem)
+        first = next(iter(data["scales"]))
+        data["scales"][first]["kind"] = "fuzzy"
+        with pytest.raises(ValueError):
+            from_dict(data)
+
+    def test_unknown_performance_kind(self, case_problem):
+        data = to_dict(case_problem)
+        data["alternatives"][0]["performances"]["financial_cost"] = {"kind": "spooky"}
+        with pytest.raises(ValueError):
+            from_dict(data)
+
+    def test_unknown_utility_kind(self, case_problem):
+        data = to_dict(case_problem)
+        data["utilities"]["financial_cost"]["kind"] = "cubic"
+        with pytest.raises(ValueError):
+            from_dict(data)
+
+
+class TestEncoding:
+    def test_missing_encodes_explicitly(self, case_problem):
+        data = to_dict(case_problem)
+        boemie = next(
+            a for a in data["alternatives"] if a["name"] == "Boemie VDO"
+        )
+        assert boemie["performances"]["purpose_reliability"] == {"kind": "missing"}
+
+    def test_weights_cover_all_non_root_nodes(self, case_problem):
+        data = to_dict(case_problem)
+        n_nodes = len(case_problem.hierarchy.nodes()) - 1
+        assert len(data["weights"]) == n_nodes

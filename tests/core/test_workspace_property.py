@@ -1,0 +1,85 @@
+"""Property test: randomly generated problems survive workspace I/O."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.hierarchy import Hierarchy, ObjectiveNode
+from repro.core.interval import Interval
+from repro.core.model import evaluate
+from repro.core.performance import Alternative, PerformanceTable
+from repro.core.problem import DecisionProblem
+from repro.core.scales import MISSING, linguistic_0_3
+from repro.core.utility import banded_discrete_utility
+from repro.core.weights import WeightSystem
+from repro.core.workspace import from_dict, to_dict
+
+
+@st.composite
+def problems(draw):
+    n_attrs = draw(st.integers(min_value=2, max_value=5))
+    n_alts = draw(st.integers(min_value=2, max_value=6))
+    attrs = [f"a{j}" for j in range(n_attrs)]
+    scales = {a: linguistic_0_3(a) for a in attrs}
+    cells = draw(
+        st.lists(
+            st.lists(
+                st.one_of(st.integers(0, 3), st.just(MISSING)),
+                min_size=n_attrs,
+                max_size=n_attrs,
+            ),
+            min_size=n_alts,
+            max_size=n_alts,
+        )
+    )
+    table = PerformanceTable(
+        scales,
+        [
+            Alternative(f"alt{i}", dict(zip(attrs, row)))
+            for i, row in enumerate(cells)
+        ],
+    )
+    hierarchy = Hierarchy(
+        ObjectiveNode(
+            "root",
+            children=[ObjectiveNode(f"c{j}", attribute=a) for j, a in enumerate(attrs)],
+        )
+    )
+    share = 1.0 / n_attrs
+    spread = draw(st.floats(min_value=0.0, max_value=0.5))
+    weights = WeightSystem(
+        hierarchy,
+        {
+            f"c{j}": Interval(share * (1 - spread), min(1.0, share * (1 + spread)))
+            for j in range(n_attrs)
+        },
+    )
+    best_precise = draw(st.booleans())
+    utilities = {
+        a: banded_discrete_utility(scales[a], best_is_precise=best_precise)
+        for a in attrs
+    }
+    return DecisionProblem(hierarchy, table, utilities, weights)
+
+
+@settings(max_examples=40, deadline=None)
+@given(problems())
+def test_workspace_round_trip_preserves_evaluation(problem):
+    restored = from_dict(to_dict(problem))
+    original = evaluate(problem)
+    again = evaluate(restored)
+    assert again.names_by_rank == original.names_by_rank
+    for a, b in zip(again, original):
+        assert a.minimum == pytest.approx(b.minimum)
+        assert a.average == pytest.approx(b.average)
+        assert a.maximum == pytest.approx(b.maximum)
+
+
+@settings(max_examples=25, deadline=None)
+@given(problems())
+def test_min_avg_max_ordering_holds_universally(problem):
+    """min <= avg <= max for every alternative of every random problem
+    whose weight box straddles the simplex."""
+    for row in evaluate(problem):
+        assert row.minimum <= row.average + 1e-9
+        assert row.average <= row.maximum + 1e-9

@@ -1,0 +1,154 @@
+"""Tests for the NeOn assess activity (criteria thresholds)."""
+
+import pytest
+
+from repro.core.scales import MISSING
+from repro.neon.assessment import (
+    TRANSFORMABLE_LANGUAGES,
+    assess,
+    assessment_table,
+)
+from repro.ontology.corpus import ReuseMetadata
+from repro.ontology.cq import CompetencyQuestion
+from repro.ontology.generator import OntologySpec, generate
+
+CQS = [
+    CompetencyQuestion("cq0", "x", key_terms=("chrominance",)),
+    CompetencyQuestion("cq1", "x", key_terms=("rotoscope",)),
+]
+
+
+def assessed(meta: ReuseMetadata, language_adequacy: int = 3):
+    spec = OntologySpec(
+        "T", seed=11, language_adequacy=language_adequacy,
+        covered_cqs=(CQS[0],), metadata=meta,
+    )
+    return assess(generate(spec), CQS)
+
+
+class TestProvenanceCriteria:
+    @pytest.mark.parametrize(
+        "cost,level", [(0.0, 3), (50.0, 2), (500.0, 1), (5000.0, 0)]
+    )
+    def test_financial_cost(self, cost, level):
+        assert assessed(ReuseMetadata(financial_cost=cost)).performance(
+            "financial_cost"
+        ) == level
+
+    @pytest.mark.parametrize(
+        "days,level", [(0.5, 3), (3.0, 2), (14.0, 1), (90.0, 0)]
+    )
+    def test_required_time(self, days, level):
+        assert assessed(ReuseMetadata(access_time_days=days)).performance(
+            "required_time"
+        ) == level
+
+    @pytest.mark.parametrize("suites,level", [(0, 0), (1, 1), (2, 2), (3, 3)])
+    def test_tests(self, suites, level):
+        assert assessed(ReuseMetadata(n_test_suites=suites)).performance(
+            "test_availability"
+        ) == level
+
+    @pytest.mark.parametrize("pubs,level", [(0, 0), (1, 1), (4, 2), (8, 3)])
+    def test_team(self, pubs, level):
+        assert assessed(ReuseMetadata(team_publications=pubs)).performance(
+            "team_reputation"
+        ) == level
+
+    @pytest.mark.parametrize(
+        "purpose,level",
+        [("unclassified", 0), ("academic", 1), ("standard-transform", 2),
+         ("project", 3)],
+    )
+    def test_purpose_levels(self, purpose, level):
+        assert assessed(ReuseMetadata(purpose=purpose)).performance(
+            "purpose_reliability"
+        ) == level
+
+    @pytest.mark.parametrize(
+        "reused,patterns,level",
+        [((), False, 0), (("A",), False, 1), (("A", "B"), False, 2),
+         (("A", "B"), True, 3)],
+    )
+    def test_practical_support(self, reused, patterns, level):
+        meta = ReuseMetadata(reused_by=reused, uses_design_patterns=patterns)
+        assert assessed(meta).performance("practical_support") == level
+
+
+class TestMissingFacts:
+    def test_unknown_facts_become_missing(self):
+        meta = ReuseMetadata(
+            financial_cost=None,
+            access_time_days=None,
+            n_test_suites=None,
+            evaluation_level=None,
+            team_publications=None,
+            purpose=None,
+            reused_by=None,
+        )
+        assessment = assessed(meta)
+        for attr in (
+            "financial_cost", "required_time", "test_availability",
+            "former_evaluation", "team_reputation", "purpose_reliability",
+            "practical_support",
+        ):
+            assert assessment.performance(attr) is MISSING
+        assert set(assessment.missing_attributes) == {
+            "financial_cost", "required_time", "test_availability",
+            "former_evaluation", "team_reputation", "purpose_reliability",
+            "practical_support",
+        }
+
+    def test_structural_criteria_never_missing(self):
+        assessment = assessed(ReuseMetadata(
+            financial_cost=None, purpose=None, reused_by=None,
+        ))
+        for attr in ("documentation_quality", "external_knowledge",
+                     "code_clarity", "knowledge_extraction",
+                     "naming_conventions", "implementation_language",
+                     "functional_requirements"):
+            assert assessment.performance(attr) is not MISSING
+
+
+class TestLanguage:
+    def test_transformable_pairs(self):
+        assert ("RDFS", "OWL") in TRANSFORMABLE_LANGUAGES
+
+    @pytest.mark.parametrize("adequacy,expected", [(3, 3), (2, 2), (1, 1)])
+    def test_language_levels(self, adequacy, expected):
+        assessment = assessed(ReuseMetadata(), language_adequacy=adequacy)
+        assert assessment.performance("implementation_language") == expected
+
+
+class TestExpertsBump:
+    def test_contactable_experts_raise_external_knowledge(self):
+        spec = OntologySpec(
+            "T", seed=12, ext_knowledge=0,
+            metadata=ReuseMetadata(experts_contactable=True),
+        )
+        assessment = assess(generate(spec), CQS)
+        assert assessment.performance("external_knowledge") == 2
+
+
+class TestValueT:
+    def test_cq_coverage_becomes_value_t(self):
+        spec = OntologySpec("T", seed=13, covered_cqs=(CQS[0],))
+        assessment = assess(generate(spec), CQS)
+        assert assessment.performance("functional_requirements") == pytest.approx(1.5)
+        assert assessment.cq_coverage.covered == ("cq0",)
+
+
+class TestAssessmentTable:
+    def test_bundles_into_performance_table(self):
+        specs = [
+            OntologySpec("A", seed=1, covered_cqs=(CQS[0],)),
+            OntologySpec("B", seed=2, covered_cqs=CQS and tuple(CQS)),
+        ]
+        assessments = [assess(generate(s), CQS) for s in specs]
+        table = assessment_table(assessments)
+        assert table.alternative_names == ("A", "B")
+        assert len(table.attribute_names) == 14
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            assessment_table([])

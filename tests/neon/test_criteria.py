@@ -1,0 +1,87 @@
+"""Tests for the criteria catalogue and Fig. 1 hierarchy builder."""
+
+import pytest
+
+from repro.core.scales import ContinuousScale, DiscreteScale
+from repro.core.utility import DiscreteUtility, PiecewiseLinearUtility
+from repro.neon.criteria import (
+    ATTRIBUTE_IDS,
+    CRITERIA,
+    CRITERIA_BY_ID,
+    OBJECTIVES,
+    PRECISE_BEST_ATTRIBUTES,
+    build_hierarchy,
+    default_scales,
+    default_utilities,
+)
+
+
+class TestCatalogue:
+    def test_fourteen_criteria(self):
+        assert len(CRITERIA) == 14
+        assert len(ATTRIBUTE_IDS) == 14
+        assert len(set(ATTRIBUTE_IDS)) == 14
+
+    def test_branch_sizes_match_fig1(self):
+        by_branch = {}
+        for criterion in CRITERIA:
+            by_branch.setdefault(criterion.branch, []).append(criterion)
+        assert [len(by_branch[o]) for o in OBJECTIVES] == [2, 3, 4, 5]
+
+    def test_lookup(self):
+        assert CRITERIA_BY_ID["purpose_reliability"].short == "Purpose Rel"
+
+    def test_only_funct_requirements_continuous(self):
+        continuous = [c.attribute for c in CRITERIA if c.levels is None]
+        assert continuous == ["functional_requirements"]
+
+
+class TestHierarchy:
+    def test_structure(self):
+        h = build_hierarchy()
+        assert h.root.name == "Reuse Ontology"
+        assert tuple(c.name for c in h.root.children) == OBJECTIVES
+        assert h.attribute_names == ATTRIBUTE_IDS
+
+    def test_attributes_under_branches(self):
+        h = build_hierarchy()
+        assert h.attributes_under("Understandability") == (
+            "documentation_quality", "external_knowledge", "code_clarity",
+        )
+
+
+class TestScalesAndUtilities:
+    def test_scales(self):
+        scales = default_scales()
+        assert isinstance(scales["functional_requirements"], ContinuousScale)
+        assert scales["functional_requirements"].maximum == 3.0
+        for attr in ATTRIBUTE_IDS:
+            if attr != "functional_requirements":
+                assert isinstance(scales[attr], DiscreteScale)
+                assert len(scales[attr]) == 4
+
+    def test_utilities_shapes(self):
+        utilities = default_utilities()
+        assert isinstance(utilities["functional_requirements"], PiecewiseLinearUtility)
+        for attr in ATTRIBUTE_IDS:
+            if attr != "functional_requirements":
+                assert isinstance(utilities[attr], DiscreteUtility)
+
+    def test_purpose_keeps_precise_best(self):
+        """Fig. 4 anchors purpose's best level at exactly 1.0."""
+        utilities = default_utilities()
+        purpose = utilities["purpose_reliability"]
+        assert purpose.by_level[-1].is_point
+        assert purpose.by_level[-1].lower == pytest.approx(1.0)
+
+    def test_other_criteria_imprecise_best(self):
+        utilities = default_utilities()
+        naming = utilities["naming_conventions"]
+        assert not naming.by_level[-1].is_point
+        assert naming.by_level[-1].lower == pytest.approx(0.8)
+
+    def test_precise_best_configurable(self):
+        utilities = default_utilities(precise_best_attributes=())
+        purpose = utilities["purpose_reliability"]
+        assert not purpose.by_level[-1].is_point
+        assert "purpose_reliability" in PRECISE_BEST_ATTRIBUTES

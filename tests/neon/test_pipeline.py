@@ -1,0 +1,79 @@
+"""Tests for the end-to-end NeOn reuse pipeline."""
+
+import pytest
+
+from repro.casestudy.cqs import m3_competency_questions
+from repro.casestudy.preferences import paper_weight_system
+from repro.neon.pipeline import ReusePipeline
+from repro.ontology.model import Ontology
+
+
+@pytest.fixture(scope="module")
+def pipeline(case_registry_module):
+    return ReusePipeline(
+        case_registry_module,
+        m3_competency_questions(),
+        target=Ontology("http://repro.example.org/m3", label="M3"),
+        weights=paper_weight_system(),
+    )
+
+
+@pytest.fixture(scope="module")
+def case_registry_module():
+    from repro.casestudy.corpus import multimedia_registry
+
+    return multimedia_registry()
+
+
+class TestRun:
+    def test_full_run(self, pipeline):
+        report = pipeline.run("multimedia ontology")
+        assert len(report.hits) == 23
+        assert len(report.assessments) == 23
+        assert report.evaluation.best.name == "Media Ontology"
+        assert report.selected == (
+            "Media Ontology", "Boemie VDO", "COMM", "SAPO", "DIG35",
+        )
+        assert report.network is not None
+        assert len(report.network.imports) == 5
+
+    def test_summary_mentions_key_facts(self, pipeline):
+        report = pipeline.run("multimedia ontology")
+        text = report.summary()
+        assert "Media Ontology" in text
+        assert "selected 5" in text
+
+    def test_query_narrowing(self, pipeline):
+        report = pipeline.run("multimedia ontology", max_candidates=10,
+                              integrate_selection=False)
+        assert len(report.assessments) == 10
+
+    def test_min_score_can_empty_the_hits(self, pipeline):
+        with pytest.raises(ValueError):
+            pipeline.run("zzzunmatchable quixotic", min_score=0.9)
+
+    def test_screening_optional(self, pipeline):
+        without = pipeline.run("multimedia ontology", integrate_selection=False)
+        assert without.screening is None
+
+    def test_no_target_skips_integration(self, case_registry_module):
+        pipeline = ReusePipeline(
+            case_registry_module,
+            m3_competency_questions(),
+            weights=paper_weight_system(),
+        )
+        report = pipeline.run("multimedia ontology")
+        assert report.network is None and report.merge_report is None
+
+
+class TestConstruction:
+    def test_needs_questions(self, case_registry_module):
+        with pytest.raises(ValueError):
+            ReusePipeline(case_registry_module, [])
+
+    def test_default_weights_are_uniform(self, case_registry_module):
+        pipeline = ReusePipeline(
+            case_registry_module, m3_competency_questions()
+        )
+        averages = pipeline.weights.attribute_averages()
+        assert sum(averages.values()) == pytest.approx(1.0)

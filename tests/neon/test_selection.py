@@ -1,0 +1,89 @@
+"""Tests for the NeOn selection rule (coverage-threshold stopping)."""
+
+import pytest
+
+from repro.neon.selection import SelectionResult, select_for_coverage
+
+
+def cov(**sets):
+    return {name: frozenset(ids) for name, ids in sets.items()}
+
+
+class TestSelectForCoverage:
+    def test_stops_at_threshold(self):
+        result = select_for_coverage(
+            ["a", "b", "c"],
+            cov(a={"1", "2"}, b={"3"}, c={"4"}),
+            total_cqs=4,
+            threshold=0.75,
+        )
+        assert result.selected == ("a", "b")
+        assert result.reached_threshold
+        assert result.coverage_ratio == pytest.approx(0.75)
+
+    def test_overlapping_coverage_not_double_counted(self):
+        result = select_for_coverage(
+            ["a", "b", "c"],
+            cov(a={"1", "2"}, b={"1", "2"}, c={"3"}),
+            total_cqs=4,
+            threshold=0.75,
+        )
+        assert result.selected == ("a", "b", "c")
+        assert result.covered_cqs == ("1", "2", "3")
+
+    def test_never_reaching_threshold(self):
+        result = select_for_coverage(
+            ["a", "b"],
+            cov(a={"1"}, b={"2"}),
+            total_cqs=10,
+            threshold=0.9,
+        )
+        assert not result.reached_threshold
+        assert result.selected == ("a", "b")
+
+    def test_max_candidates_cap(self):
+        result = select_for_coverage(
+            ["a", "b", "c"],
+            cov(a={"1"}, b={"2"}, c={"3"}),
+            total_cqs=3,
+            threshold=1.0,
+            max_candidates=2,
+        )
+        assert result.selected == ("a", "b")
+        assert not result.reached_threshold
+
+    def test_missing_coverage_info(self):
+        with pytest.raises(KeyError):
+            select_for_coverage(["a", "x"], cov(a={"1"}), total_cqs=2)
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            select_for_coverage(["a"], cov(a={"1"}), total_cqs=0)
+        with pytest.raises(ValueError):
+            select_for_coverage(["a"], cov(a={"1"}), total_cqs=2, threshold=1.5)
+
+
+class TestCaseStudySelection:
+    def test_paper_rule_selects_exactly_top_five(self, case_registry):
+        """§V: the five best-ranked cover > 70 %, so five are selected."""
+        from repro.casestudy.cqs import m3_competency_questions
+        from repro.casestudy.names import TOP_FIVE
+        from repro.casestudy.preferences import paper_weight_system
+        from repro.neon.pipeline import ReusePipeline
+
+        pipeline = ReusePipeline(
+            case_registry,
+            m3_competency_questions(),
+            weights=paper_weight_system(),
+        )
+        report = pipeline.run("multimedia ontology", integrate_selection=False)
+        assert report.selection.selected == TOP_FIVE
+        assert report.selection.reached_threshold
+        assert report.selection.coverage_ratio > 0.70
+
+    def test_four_best_are_not_enough(self, case_registry):
+        from repro.casestudy.cqs import covered_cq_ids, m3_competency_questions
+        from repro.casestudy.names import TOP_FIVE
+
+        union = frozenset().union(*(covered_cq_ids(n) for n in TOP_FIVE[:4]))
+        assert len(union) / len(m3_competency_questions()) < 0.70

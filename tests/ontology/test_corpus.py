@@ -1,0 +1,102 @@
+"""Tests for the ontology registry, metadata and search."""
+
+import pytest
+
+from repro.ontology.corpus import (
+    OntologyRegistry,
+    RegisteredOntology,
+    ReuseMetadata,
+)
+from repro.ontology.model import OntClass, Ontology
+
+EX = "http://example.org/reg#"
+
+
+def entry(name: str, *class_names: str, keywords=()) -> RegisteredOntology:
+    onto = Ontology(EX + name, label=name, comment=f"About {name}.")
+    for cn in class_names:
+        onto.add_class(OntClass(EX + name + "/" + cn, label=cn))
+    return RegisteredOntology(name=name, ontology=onto, keywords=tuple(keywords))
+
+
+class TestMetadata:
+    def test_defaults(self):
+        meta = ReuseMetadata()
+        assert meta.financial_cost == 0.0
+        assert meta.evaluation_level is None
+        assert meta.reused_by == ()
+
+    def test_purpose_validated(self):
+        with pytest.raises(ValueError):
+            ReuseMetadata(purpose="commercial")
+        for purpose in ("unclassified", "academic", "standard-transform", "project", None):
+            ReuseMetadata(purpose=purpose)
+
+    def test_negative_values_rejected(self):
+        with pytest.raises(ValueError):
+            ReuseMetadata(financial_cost=-5)
+        with pytest.raises(ValueError):
+            ReuseMetadata(access_time_days=-1)
+        with pytest.raises(ValueError):
+            ReuseMetadata(evaluation_level=4)
+
+
+class TestRegistry:
+    def test_register_and_get(self):
+        reg = OntologyRegistry([entry("A", "Video")])
+        assert "A" in reg and len(reg) == 1
+        assert reg.get("A").name == "A"
+        with pytest.raises(KeyError):
+            reg.get("B")
+
+    def test_duplicate_rejected(self):
+        reg = OntologyRegistry([entry("A")])
+        with pytest.raises(ValueError):
+            reg.register(entry("A"))
+
+    def test_with_metadata(self):
+        reg = OntologyRegistry([entry("A")])
+        reg.with_metadata("A", financial_cost=10.0)
+        assert reg.get("A").metadata.financial_cost == 10.0
+
+    def test_entry_needs_name(self):
+        with pytest.raises(ValueError):
+            RegisteredOntology(name="", ontology=Ontology(EX + "x"))
+
+
+class TestSearch:
+    def make_registry(self):
+        return OntologyRegistry(
+            [
+                entry("VideoOnt", "Video", "Segment", keywords=("multimedia",)),
+                entry("MusicOnt", "Track", "Album", keywords=("music",)),
+                entry("MixedOnt", "Video", "Track"),
+            ]
+        )
+
+    def test_scores_by_term_fraction(self):
+        hits = self.make_registry().search("video segment")
+        scores = {h.name: h.score for h in hits}
+        assert scores["VideoOnt"] == pytest.approx(1.0)
+        assert scores["MixedOnt"] == pytest.approx(0.5)
+
+    def test_ordering(self):
+        hits = self.make_registry().search("video track")
+        assert hits[0].name == "MixedOnt"
+
+    def test_min_score_filters(self):
+        hits = self.make_registry().search("video segment", min_score=0.6)
+        assert [h.name for h in hits] == ["VideoOnt"]
+
+    def test_keywords_searchable(self):
+        hits = self.make_registry().search("multimedia")
+        assert hits and hits[0].name == "VideoOnt"
+
+    def test_matched_terms_reported(self):
+        hits = self.make_registry().search("video zzzunknown")
+        best = hits[0]
+        assert best.matched_terms == ("video",)
+
+    def test_empty_query(self):
+        with pytest.raises(ValueError):
+            self.make_registry().search("of the")

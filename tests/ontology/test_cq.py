@@ -1,0 +1,150 @@
+"""Tests for competency questions and coverage (the ValueT criterion)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.ontology.cq import (
+    MNVLT,
+    CompetencyQuestion,
+    coverage,
+    extract_terms,
+    lexicon,
+    normalise_term,
+    value_t,
+)
+from repro.ontology.model import OntClass, OntProperty, Ontology
+
+EX = "http://example.org/cq#"
+
+
+class TestNormalise:
+    @pytest.mark.parametrize(
+        "word,expected",
+        [
+            ("Formats", "format"),
+            ("categories", "category"),
+            ("codecs", "codec"),
+            ("glasses", "glass"),  # 'ses' suffix handled
+            ("loudness", "loudness"),
+            ("video", "video"),
+            ("aliasing", "aliasing"),
+        ],
+    )
+    def test_examples(self, word, expected):
+        assert normalise_term(word) == expected
+
+
+class TestExtractTerms:
+    def test_strips_stopwords(self):
+        terms = extract_terms("What is the duration of a video?")
+        assert terms == ("duration", "video")
+
+    def test_deduplicates_preserving_order(self):
+        terms = extract_terms("video video codec video")
+        assert terms == ("video", "codec")
+
+
+class TestCompetencyQuestion:
+    def test_auto_terms(self):
+        cq = CompetencyQuestion("q1", "Which codec encodes the stream?")
+        assert "codec" in cq.key_terms and "stream" in cq.key_terms
+
+    def test_explicit_terms_normalised(self):
+        cq = CompetencyQuestion("q1", "whatever", key_terms=("Codecs",))
+        assert cq.key_terms == ("codec",)
+
+    def test_needs_id_and_terms(self):
+        with pytest.raises(ValueError):
+            CompetencyQuestion("", "something")
+        with pytest.raises(ValueError):
+            CompetencyQuestion("q", "of the a")
+
+
+def ontology_with(*names: str) -> Ontology:
+    onto = Ontology(EX.rstrip("#"))
+    for i, name in enumerate(names):
+        if i % 2 == 0:
+            onto.add_class(OntClass(EX + name, label=name))
+        else:
+            onto.add_property(OntProperty(EX + name))
+    return onto
+
+
+class TestLexicon:
+    def test_splits_and_stems(self):
+        lex = lexicon(ontology_with("VideoSegments", "hasDurations"))
+        assert {"video", "segment", "duration"} <= lex
+        # scaffolding words ("has") are stopwords, not lexicon content
+        assert "has" not in lex
+
+    def test_labels_included(self):
+        onto = Ontology(EX.rstrip("#"))
+        onto.add_class(OntClass(EX + "X1", label="anamorphic lens"))
+        assert "anamorphic" in lexicon(onto)
+
+
+class TestCoverage:
+    def questions(self):
+        return [
+            CompetencyQuestion("q1", "x", key_terms=("video", "duration")),
+            CompetencyQuestion("q2", "x", key_terms=("vignette",)),
+            CompetencyQuestion("q3", "x", key_terms=("telecine", "video")),
+        ]
+
+    def test_full_term_requirement(self):
+        onto = ontology_with("Video", "duration", "Vignette")
+        result = coverage(onto, self.questions())
+        assert set(result.covered) == {"q1", "q2"}
+        assert result.uncovered == ("q3",)
+        assert result.ratio == pytest.approx(2 / 3)
+        assert result.value_t == pytest.approx(2.0)
+
+    def test_threshold_relaxation(self):
+        onto = ontology_with("Video")
+        strict = coverage(onto, self.questions())
+        assert "q1" not in strict.covered
+        relaxed = coverage(onto, self.questions(), threshold=0.5)
+        assert "q1" in relaxed.covered and "q3" in relaxed.covered
+
+    def test_match_fractions(self):
+        onto = ontology_with("Video")
+        result = coverage(onto, self.questions())
+        assert result.match_fractions["q1"] == pytest.approx(0.5)
+        assert result.match_fractions["q2"] == 0.0
+
+    def test_duplicate_ids_rejected(self):
+        onto = ontology_with("Video")
+        qs = [CompetencyQuestion("q", "a video"), CompetencyQuestion("q", "a codec")]
+        with pytest.raises(ValueError):
+            coverage(onto, qs)
+
+    def test_empty_questions(self):
+        with pytest.raises(ValueError):
+            coverage(ontology_with("Video"), [])
+
+    def test_threshold_bounds(self):
+        with pytest.raises(ValueError):
+            coverage(ontology_with("Video"), self.questions(), threshold=0.0)
+
+
+class TestValueT:
+    def test_paper_formula(self):
+        """ValueT = covered x MNVLT / total, MNVLT = 3 (Fig. 3)."""
+        assert MNVLT == 3.0
+        assert value_t(31, 100) == pytest.approx(0.93)
+        assert value_t(25, 100) == pytest.approx(0.75)
+        assert value_t(6, 100) == pytest.approx(0.18)
+
+    def test_bounds(self):
+        with pytest.raises(ValueError):
+            value_t(5, 0)
+        with pytest.raises(ValueError):
+            value_t(-1, 10)
+        with pytest.raises(ValueError):
+            value_t(11, 10)
+
+    @given(st.integers(0, 50), st.integers(1, 50))
+    def test_range(self, covered, total):
+        covered = min(covered, total)
+        assert 0.0 <= value_t(covered, total) <= MNVLT

@@ -1,0 +1,148 @@
+"""Tests for the N-Triples and RDF/XML formats."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.ontology.graph import Literal, TripleGraph
+from repro.ontology.ntriples import (
+    NTriplesSyntaxError,
+    parse_ntriples,
+    serialise_ntriples,
+)
+from repro.ontology.rdfxml import (
+    RdfXmlSyntaxError,
+    parse_rdfxml,
+    serialise_rdfxml,
+)
+from repro.ontology.vocab import RDF, RDFS, XSD
+
+EX = "http://example.org/fmt#"
+
+
+def sample() -> TripleGraph:
+    g = TripleGraph()
+    g.add(EX + "a", RDF.type, EX + "Widget")
+    g.add(EX + "a", RDFS.label, Literal("a widget", lang="en"))
+    g.add(EX + "a", RDFS.comment, Literal('quote " backslash \\ newline\n'))
+    g.add(EX + "a", EX + "size", Literal("42", datatype=XSD.integer))
+    g.add("_:b1", RDFS.seeAlso, EX + "a")
+    g.add(EX + "a", EX + "rel", "_:b1")
+    return g
+
+
+class TestNTriples:
+    def test_round_trip(self):
+        g = sample()
+        assert parse_ntriples(serialise_ntriples(g)).equals(g)
+
+    def test_deterministic_sorted_output(self):
+        out = serialise_ntriples(sample())
+        assert out == serialise_ntriples(sample())
+        assert out.splitlines() == sorted(out.splitlines())
+
+    def test_comments_and_blanks_skipped(self):
+        text = (
+            "# a comment\n\n"
+            f"<{EX}a> <{RDF.type}> <{EX}Widget> .\n"
+        )
+        assert len(parse_ntriples(text)) == 1
+
+    def test_malformed_line_reports_number(self):
+        with pytest.raises(NTriplesSyntaxError) as err:
+            parse_ntriples("this is not a triple .")
+        assert err.value.line == 1
+
+    def test_escape_handling(self):
+        g = parse_ntriples(
+            f'<{EX}a> <{EX}p> "tab\\there \\u00e9" .\n'
+        )
+        value = next(iter(g))[2]
+        assert value.value == "tab\there é"
+
+    def test_empty_document(self):
+        assert len(parse_ntriples("")) == 0
+        assert serialise_ntriples(TripleGraph()) == ""
+
+
+class TestRdfXml:
+    def test_round_trip(self):
+        g = sample()
+        text = serialise_rdfxml(g, {"ex": EX})
+        assert parse_rdfxml(text).equals(g)
+
+    def test_typed_node_element(self):
+        doc = (
+            '<?xml version="1.0"?>'
+            '<rdf:RDF xmlns:rdf="http://www.w3.org/1999/02/22-rdf-syntax-ns#"'
+            f' xmlns:ex="{EX}">'
+            f'<ex:Widget rdf:about="{EX}a"/></rdf:RDF>'
+        )
+        g = parse_rdfxml(doc)
+        assert (EX + "a", RDF.type, EX + "Widget") in g
+
+    def test_nested_node_element(self):
+        doc = (
+            '<?xml version="1.0"?>'
+            '<rdf:RDF xmlns:rdf="http://www.w3.org/1999/02/22-rdf-syntax-ns#"'
+            f' xmlns:ex="{EX}">'
+            f'<rdf:Description rdf:about="{EX}a">'
+            f'<ex:part><ex:Widget rdf:about="{EX}b"/></ex:part>'
+            "</rdf:Description></rdf:RDF>"
+        )
+        g = parse_rdfxml(doc)
+        assert (EX + "a", EX + "part", EX + "b") in g
+        assert (EX + "b", RDF.type, EX + "Widget") in g
+
+    def test_property_attributes(self):
+        doc = (
+            '<?xml version="1.0"?>'
+            '<rdf:RDF xmlns:rdf="http://www.w3.org/1999/02/22-rdf-syntax-ns#"'
+            f' xmlns:ex="{EX}">'
+            f'<rdf:Description rdf:about="{EX}a" ex:name="gadget"/></rdf:RDF>'
+        )
+        g = parse_rdfxml(doc)
+        assert (EX + "a", EX + "name", Literal("gadget")) in g
+
+    def test_parse_type_rejected(self):
+        doc = (
+            '<?xml version="1.0"?>'
+            '<rdf:RDF xmlns:rdf="http://www.w3.org/1999/02/22-rdf-syntax-ns#"'
+            f' xmlns:ex="{EX}">'
+            f'<rdf:Description rdf:about="{EX}a">'
+            '<ex:p rdf:parseType="Collection"/>'
+            "</rdf:Description></rdf:RDF>"
+        )
+        with pytest.raises(RdfXmlSyntaxError):
+            parse_rdfxml(doc)
+
+    def test_not_xml(self):
+        with pytest.raises(RdfXmlSyntaxError):
+            parse_rdfxml("@prefix ex: <http://e/> .")
+
+    def test_ontology_round_trip(self, case_registry):
+        from repro.ontology.model import Ontology
+
+        onto = case_registry.get("COMM").ontology
+        g = onto.to_graph()
+        text = serialise_rdfxml(g, onto.prefixes)
+        restored = Ontology.from_graph(parse_rdfxml(text))
+        assert restored.to_graph().equals(g)
+
+
+_iris = st.sampled_from([EX + n for n in ("A", "B", "p", "q")])
+_objects = st.one_of(
+    _iris,
+    st.text(alphabet="abc \"\\\n", max_size=12).map(Literal),
+    st.integers(-99, 99).map(Literal.integer),
+    st.sampled_from(["_:x", "_:y"]),
+)
+
+
+@given(st.lists(st.tuples(_iris, _iris, _objects), max_size=15))
+def test_formats_round_trip_random_graphs(triples):
+    g = TripleGraph()
+    for t in triples:
+        g.add(*t)
+    assert parse_ntriples(serialise_ntriples(g)).equals(g)
+    assert parse_rdfxml(serialise_rdfxml(g, {"ex": EX})).equals(g)

@@ -1,0 +1,192 @@
+"""Tests for the synthetic ontology generator and its calibration.
+
+The contract: for every feasible target combination, assessing the
+generated ontology yields exactly the targets.  The full grid has 1,584
+combinations (covered by the slow-marked sweep); the default run checks
+a deterministic stratified sample plus the corner cases.
+"""
+
+import itertools
+
+import pytest
+
+from repro.neon.assessment import assess
+from repro.ontology.corpus import ReuseMetadata
+from repro.ontology.cq import CompetencyQuestion, coverage
+from repro.ontology.generator import OntologySpec, generate
+
+CQS = [
+    CompetencyQuestion("cq0", "x", key_terms=("chrominance",)),
+    CompetencyQuestion("cq1", "x", key_terms=("rotoscope",)),
+    CompetencyQuestion("cq2", "x", key_terms=("telecine",)),
+    CompetencyQuestion("cq3", "x", key_terms=("vectorscope",)),
+]
+
+CLARITY_MIN = {0: 0, 1: 1, 2: 2, 3: 2}
+_STRUCTURAL_ATTRS = (
+    "documentation_quality",
+    "external_knowledge",
+    "code_clarity",
+    "naming_conventions",
+    "knowledge_extraction",
+    "implementation_language",
+)
+
+
+def all_combinations():
+    for combo in itertools.product(
+        (0, 1, 2, 3), (0, 1, 2, 3), (0, 1, 2, 3), (1, 2, 3), (0, 1, 2, 3), (1, 2, 3)
+    ):
+        doc, _, clar, _, _, _ = combo
+        if clar >= CLARITY_MIN[doc]:
+            yield combo
+
+
+def spec_for(combo, n_classes=40, cqs=2):
+    doc, ext, clar, naming, ke, lang = combo
+    return OntologySpec(
+        "T",
+        seed=hash(combo) % 100_000,
+        n_classes=n_classes,
+        doc_quality=doc,
+        ext_knowledge=ext,
+        code_clarity=clar,
+        naming=naming,
+        knowledge_extraction=ke,
+        language_adequacy=lang,
+        covered_cqs=tuple(CQS[:cqs]),
+        metadata=ReuseMetadata(),
+    )
+
+
+def assert_round_trip(combo, **kwargs):
+    assessment = assess(generate(spec_for(combo, **kwargs)), CQS)
+    got = tuple(assessment.performance(a) for a in _STRUCTURAL_ATTRS)
+    assert got == combo, f"targets {combo} assessed as {got}"
+
+
+class TestSpecValidation:
+    def test_range_checks(self):
+        with pytest.raises(ValueError):
+            spec_for((4, 0, 0, 1, 0, 1))
+        with pytest.raises(ValueError):
+            spec_for((0, 0, 0, 0, 0, 1))  # naming 0 invalid
+        with pytest.raises(ValueError):
+            spec_for((0, 0, 0, 1, 0, 0))  # language 0 invalid
+
+    def test_doc_clarity_consistency(self):
+        with pytest.raises(ValueError):
+            spec_for((3, 0, 1, 2, 0, 3))  # doc 3 forces clarity >= 2
+
+    def test_min_size(self):
+        with pytest.raises(ValueError):
+            OntologySpec("T", seed=1, n_classes=4)
+
+    def test_needs_name(self):
+        with pytest.raises(ValueError):
+            OntologySpec("", seed=1)
+
+
+class TestDeterminism:
+    def test_same_spec_same_ontology(self):
+        spec = spec_for((2, 2, 3, 3, 2, 3))
+        a = generate(spec).ontology.to_graph()
+        b = generate(spec).ontology.to_graph()
+        assert a.equals(b)
+
+    def test_different_seeds_differ(self):
+        base = spec_for((2, 2, 3, 3, 2, 3))
+        import dataclasses
+
+        other = dataclasses.replace(base, seed=base.seed + 1)
+        assert not generate(base).ontology.to_graph().equals(
+            generate(other).ontology.to_graph()
+        )
+
+
+class TestCQCoverage:
+    def test_covered_cqs_reach_lexicon(self):
+        entry = generate(spec_for((2, 2, 3, 2, 2, 3), cqs=3))
+        result = coverage(entry.ontology, CQS)
+        assert set(result.covered) == {"cq0", "cq1", "cq2"}
+
+    def test_opaque_names_still_cover(self):
+        entry = generate(spec_for((0, 0, 0, 1, 0, 1), cqs=3))
+        result = coverage(entry.ontology, CQS)
+        assert set(result.covered) == {"cq0", "cq1", "cq2"}
+
+    def test_uncovered_cqs_stay_uncovered(self):
+        entry = generate(spec_for((3, 3, 3, 3, 3, 3), cqs=1))
+        result = coverage(entry.ontology, CQS)
+        assert result.covered == ("cq0",)
+
+
+class TestCalibrationCorners:
+    @pytest.mark.parametrize(
+        "combo",
+        [
+            (0, 0, 0, 1, 0, 1),
+            (3, 3, 3, 3, 3, 3),
+            (0, 3, 3, 1, 0, 2),
+            (3, 0, 2, 2, 1, 1),
+            (1, 1, 1, 2, 2, 2),
+            (2, 2, 2, 3, 3, 3),
+            (3, 2, 2, 1, 3, 2),
+            (1, 0, 3, 3, 1, 3),
+        ],
+    )
+    def test_corner(self, combo):
+        assert_round_trip(combo)
+
+    @pytest.mark.parametrize("n_classes", [12, 25, 64])
+    def test_sizes(self, n_classes):
+        assert_round_trip((2, 1, 2, 2, 2, 3), n_classes=n_classes)
+
+
+class TestCalibrationSample:
+    def test_stratified_sample(self):
+        combos = list(all_combinations())
+        sample = combos[:: max(1, len(combos) // 80)]
+        for combo in sample:
+            assert_round_trip(combo)
+
+
+@pytest.mark.slow
+class TestCalibrationFullSweep:
+    def test_every_combination(self):
+        for combo in all_combinations():
+            assert_round_trip(combo)
+
+
+class TestMetadataPassThrough:
+    def test_metadata_preserved(self):
+        meta = ReuseMetadata(
+            financial_cost=50.0,
+            n_test_suites=2,
+            evaluation_level=3,
+            team_publications=8,
+            purpose="project",
+            reused_by=("NeOn",),
+        )
+        spec = OntologySpec("T", seed=9, covered_cqs=(), metadata=meta)
+        assert generate(spec).metadata is meta
+
+    def test_provenance_assessed_from_metadata(self):
+        meta = ReuseMetadata(
+            financial_cost=0.0,
+            access_time_days=0.5,
+            n_test_suites=3,
+            evaluation_level=3,
+            team_publications=10,
+            purpose="project",
+            reused_by=("NeOn", "W3C"),
+            uses_design_patterns=True,
+        )
+        assessment = assess(generate(OntologySpec("T", seed=9, metadata=meta)), CQS)
+        assert assessment.performance("financial_cost") == 3
+        assert assessment.performance("required_time") == 3
+        assert assessment.performance("test_availability") == 3
+        assert assessment.performance("former_evaluation") == 3
+        assert assessment.performance("team_reputation") == 3
+        assert assessment.performance("purpose_reliability") == 3
+        assert assessment.performance("practical_support") == 3

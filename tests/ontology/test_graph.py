@@ -1,0 +1,149 @@
+"""Tests for the triple store."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.ontology.graph import Literal, TripleGraph
+from repro.ontology.vocab import RDF, RDFS, XSD
+
+EX = "http://example.org/"
+
+
+def sample_graph() -> TripleGraph:
+    g = TripleGraph()
+    g.add(EX + "a", RDF.type, EX + "Widget")
+    g.add(EX + "a", RDFS.label, Literal.string("widget a"))
+    g.add(EX + "b", RDF.type, EX + "Widget")
+    g.add(EX + "b", RDFS.subClassOf, EX + "a")
+    return g
+
+
+class TestLiteral:
+    def test_lang_xor_datatype(self):
+        with pytest.raises(ValueError):
+            Literal("x", datatype=XSD.string, lang="en")
+
+    def test_constructors(self):
+        assert Literal.integer(3).datatype == XSD.integer
+        assert Literal.decimal(1.5).datatype == XSD.decimal
+        assert Literal.boolean(True).value == "true"
+        assert Literal.string("hi", lang="en").lang == "en"
+
+    def test_hashable_equality(self):
+        assert Literal("a") == Literal("a")
+        assert Literal("a") != Literal("a", lang="en")
+        assert len({Literal("a"), Literal("a")}) == 1
+
+
+class TestMutation:
+    def test_add_and_contains(self):
+        g = sample_graph()
+        assert (EX + "a", RDF.type, EX + "Widget") in g
+        assert len(g) == 4
+
+    def test_add_duplicate(self):
+        g = sample_graph()
+        assert not g.add(EX + "a", RDF.type, EX + "Widget")
+        assert len(g) == 4
+
+    def test_discard(self):
+        g = sample_graph()
+        assert g.discard(EX + "a", RDF.type, EX + "Widget")
+        assert (EX + "a", RDF.type, EX + "Widget") not in g
+        assert len(g) == 3
+        assert not g.discard(EX + "a", RDF.type, EX + "Widget")
+
+    def test_validation(self):
+        g = TripleGraph()
+        with pytest.raises(ValueError):
+            g.add("", RDF.type, EX)
+        with pytest.raises(ValueError):
+            g.add(EX, "", EX)
+        with pytest.raises(ValueError):
+            g.add(EX, "_:blank", EX)
+        with pytest.raises(ValueError):
+            g.add(EX, RDF.type, "")
+
+    def test_update_counts_new(self):
+        g = TripleGraph()
+        added = g.update(sample_graph())
+        assert added == 4
+        assert g.update(sample_graph()) == 0
+
+
+class TestPatterns:
+    def test_spo_patterns(self):
+        g = sample_graph()
+        assert len(list(g.triples(EX + "a", None, None))) == 2
+        assert len(list(g.triples(None, RDF.type, None))) == 2
+        assert len(list(g.triples(None, None, EX + "Widget"))) == 2
+        assert len(list(g.triples(EX + "a", RDF.type, None))) == 1
+        assert len(list(g.triples(None, RDF.type, EX + "Widget"))) == 2
+        assert len(list(g.triples())) == 4
+
+    def test_no_match(self):
+        g = sample_graph()
+        assert list(g.triples(EX + "zzz", None, None)) == []
+        assert list(g.triples(None, EX + "zzz", None)) == []
+        assert list(g.triples(None, None, EX + "zzz")) == []
+
+    def test_subjects_objects_predicates(self):
+        g = sample_graph()
+        assert set(g.subjects(RDF.type, EX + "Widget")) == {EX + "a", EX + "b"}
+        assert set(g.objects(EX + "a", RDF.type)) == {EX + "Widget"}
+        assert RDF.type in set(g.predicates(EX + "a"))
+
+    def test_value(self):
+        g = sample_graph()
+        assert g.value(EX + "a", RDFS.label) == Literal.string("widget a")
+        assert g.value(EX + "a", RDFS.comment) is None
+
+
+class TestWholeGraph:
+    def test_copy_independent(self):
+        g = sample_graph()
+        h = g.copy()
+        h.add(EX + "c", RDF.type, EX + "Widget")
+        assert len(g) == 4 and len(h) == 5
+
+    def test_union(self):
+        g = sample_graph()
+        h = TripleGraph([(EX + "c", RDF.type, EX + "Widget")])
+        merged = g | h
+        assert len(merged) == 5
+
+    def test_equals(self):
+        assert sample_graph().equals(sample_graph())
+        other = sample_graph()
+        other.add(EX + "x", RDF.type, EX + "Widget")
+        assert not sample_graph().equals(other)
+
+    def test_bool(self):
+        assert sample_graph()
+        assert not TripleGraph()
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.sampled_from([EX + s for s in "abcde"]),
+            st.sampled_from([RDF.type, RDFS.label, RDFS.subClassOf]),
+            st.sampled_from([EX + o for o in "xyz"]),
+        ),
+        max_size=40,
+    )
+)
+def test_store_behaves_like_a_set(triples):
+    g = TripleGraph()
+    reference = set()
+    for t in triples:
+        g.add(*t)
+        reference.add(t)
+    assert len(g) == len(reference)
+    assert set(g) == reference
+    for t in list(reference)[: len(reference) // 2]:
+        g.discard(*t)
+        reference.discard(t)
+    assert set(g) == reference
+    assert len(g) == len(reference)

@@ -1,0 +1,106 @@
+"""Tests for the integration (merge) substrate."""
+
+import pytest
+
+from repro.ontology.merge import equivalence_triples, integrate
+from repro.ontology.model import Individual, OntClass, OntProperty, Ontology
+from repro.ontology.vocab import OWL
+
+
+def onto(iri: str, *class_names: str, label=None) -> Ontology:
+    o = Ontology(iri, label=label or iri.rsplit("/", 1)[-1])
+    for cn in class_names:
+        o.add_class(OntClass(f"{iri}#{cn}", label=cn))
+    return o
+
+
+class TestIntegrate:
+    def test_basic_network(self):
+        target = onto("http://t.example/m3", "Resource")
+        a = onto("http://a.example/one", "Video", "Audio")
+        b = onto("http://b.example/two", "Track")
+        network, report = integrate(target, [a, b])
+        assert set(network.imports) == {"http://a.example/one", "http://b.example/two"}
+        assert report.n_classes == 4
+        assert report.n_entities == 4
+        assert set(report.sources) == {a.iri, b.iri}
+
+    def test_inputs_untouched(self):
+        target = onto("http://t.example/m3", "Resource")
+        a = onto("http://a.example/one", "Video")
+        n_before = len(target.classes)
+        integrate(target, [a])
+        assert len(target.classes) == n_before
+
+    def test_prefix_bindings_unique(self):
+        target = onto("http://t.example/m3")
+        a = onto("http://a.example/one", label="media")
+        b = onto("http://b.example/two", label="media")
+        network, report = integrate(target, [a, b])
+        assert len(report.prefix_bindings) == 2
+        assert len(set(report.prefix_bindings)) == 2
+
+    def test_collision_links(self):
+        target = onto("http://t.example/m3")
+        a = onto("http://a.example/one", "Video")
+        b = onto("http://b.example/two", "Video")
+        _, report = integrate(target, [a, b])
+        assert len(report.collisions) == 1
+        link = report.collisions[0]
+        assert link.local == "video"
+        assert link.kind == "class"
+
+    def test_collision_detection_covers_properties_and_individuals(self):
+        target = onto("http://t.example/m3")
+        a = onto("http://a.example/one")
+        a.add_property(OntProperty("http://a.example/one#duration", kind="data"))
+        a.add_individual(Individual("http://a.example/one#clip"))
+        b = onto("http://b.example/two")
+        b.add_property(OntProperty("http://b.example/two#duration", kind="data"))
+        b.add_individual(Individual("http://b.example/two#clip"))
+        _, report = integrate(target, [a, b])
+        kinds = sorted(link.kind for link in report.collisions)
+        assert kinds == ["individual", "property"]
+
+    def test_needs_selection(self):
+        with pytest.raises(ValueError):
+            integrate(onto("http://t.example/m3"), [])
+
+    def test_duplicate_iris_rejected(self):
+        a = onto("http://a.example/one", "Video")
+        with pytest.raises(ValueError):
+            integrate(a, [onto("http://a.example/one")])
+
+
+class TestEquivalenceTriples:
+    def test_predicates_by_kind(self):
+        target = onto("http://t.example/m3")
+        a = onto("http://a.example/one", "Video")
+        b = onto("http://b.example/two", "Video")
+        _, report = integrate(target, [a, b])
+        graph = equivalence_triples(report.collisions)
+        assert len(graph) == 1
+        triple = next(iter(graph))
+        assert triple[1] == OWL.equivalentClass
+
+
+class TestCaseStudyIntegration:
+    def test_pipeline_network(self, case_registry):
+        from repro.casestudy.cqs import m3_competency_questions
+        from repro.casestudy.preferences import paper_weight_system
+        from repro.neon.pipeline import ReusePipeline
+        from repro.ontology.model import Ontology as Onto
+
+        target = Onto("http://repro.example.org/m3", label="M3")
+        pipeline = ReusePipeline(
+            case_registry,
+            m3_competency_questions(),
+            target=target,
+            weights=paper_weight_system(),
+        )
+        report = pipeline.run("multimedia ontology")
+        assert report.network is not None
+        assert report.merge_report is not None
+        assert set(report.network.imports) == {
+            case_registry.get(n).ontology.iri for n in report.selected
+        }

@@ -1,0 +1,161 @@
+"""Tests for structural and lexical ontology metrics."""
+
+import pytest
+
+from repro.ontology.metrics import (
+    case_style,
+    compute_metrics,
+    split_identifier,
+)
+from repro.ontology.model import Individual, OntClass, OntProperty, Ontology
+
+EX = "http://example.org/m#"
+
+
+class TestSplitIdentifier:
+    @pytest.mark.parametrize(
+        "name,expected",
+        [
+            ("hasVideoSegment", ("has", "video", "segment")),
+            ("VideoSegment", ("video", "segment")),
+            ("video_segment", ("video", "segment")),
+            ("video-segment", ("video", "segment")),
+            ("MPEG7", ("mpeg", "7")),
+            ("frameRate", ("frame", "rate")),
+            ("ALLCAPS", ("allcaps",)),
+            ("", ()),
+        ],
+    )
+    def test_examples(self, name, expected):
+        assert split_identifier(name) == expected
+
+
+class TestCaseStyle:
+    @pytest.mark.parametrize(
+        "name,style",
+        [
+            ("hasSegment", "camel"),
+            ("VideoSegment", "pascal"),
+            ("video_segment", "snake"),
+            ("video-segment", "kebab"),
+            ("video", "lower"),
+            ("VIDEO", "upper"),
+            ("", "mixed"),
+        ],
+    )
+    def test_examples(self, name, style):
+        assert case_style(name) == style
+
+
+def make_ontology(doc_pairs, superclass_map=None, see_also=0) -> Ontology:
+    """doc_pairs: list of (name, has_label, has_comment)."""
+    onto = Ontology(EX.rstrip("#"), label="T")
+    superclass_map = superclass_map or {}
+    for i, (name, has_label, has_comment) in enumerate(doc_pairs):
+        cls = OntClass(
+            EX + name,
+            label=name if has_label else None,
+            comment=f"doc {i}" if has_comment else None,
+            superclasses=[EX + s for s in superclass_map.get(name, [])],
+            see_also=[f"http://doc/{i}"] if i < see_also else [],
+        )
+        onto.add_class(cls)
+    return onto
+
+
+class TestDocumentation:
+    def test_coverage_fractions(self):
+        onto = make_ontology(
+            [("A", True, True), ("B", True, False), ("C", False, False), ("D", False, True)]
+        )
+        m = compute_metrics(onto)
+        assert m.documentation_coverage == pytest.approx(0.25)
+        assert m.label_coverage == pytest.approx(0.5)
+        assert m.comment_coverage == pytest.approx(0.5)
+
+    def test_see_also_counted(self):
+        m = compute_metrics(make_ontology([("A", True, True)] * 1, see_also=1))
+        assert m.n_see_also == 1
+
+
+class TestStructure:
+    def test_depth_and_roots(self):
+        onto = make_ontology(
+            [("A", True, True), ("B", True, True), ("C", True, True), ("D", True, True)],
+            superclass_map={"B": ["A"], "C": ["B"], "D": []},
+        )
+        m = compute_metrics(onto)
+        assert m.max_depth == 3
+        assert m.n_roots == 2
+        assert m.tangledness == 0.0
+
+    def test_tangledness(self):
+        onto = make_ontology(
+            [("A", True, True), ("B", True, True), ("C", True, True)],
+            superclass_map={"C": ["A", "B"]},
+        )
+        assert compute_metrics(onto).tangledness == pytest.approx(1 / 3)
+
+    def test_cycle_does_not_hang(self):
+        onto = make_ontology(
+            [("A", True, True), ("B", True, True)],
+            superclass_map={"A": ["B"], "B": ["A"]},
+        )
+        m = compute_metrics(onto)
+        assert m.max_depth >= 1
+
+    def test_empty_ontology(self):
+        onto = Ontology(EX.rstrip("#"))
+        m = compute_metrics(onto)
+        assert m.n_entities == 0
+        assert m.max_depth == 0
+        assert m.documentation_coverage == 0.0
+
+
+class TestNaming:
+    def test_consistency_detects_dominant_family(self):
+        onto = Ontology(EX.rstrip("#"))
+        for name in ("VideoClip", "AudioClip", "hasTrack", "duration"):
+            onto.add_class(OntClass(EX + name))
+        onto.add_class(OntClass(EX + "weird_name"))
+        m = compute_metrics(onto)
+        assert m.dominant_case_style == "camel"
+        assert m.case_consistency == pytest.approx(0.8)
+
+    def test_intuitive_fraction(self):
+        onto = Ontology(EX.rstrip("#"))
+        onto.add_class(OntClass(EX + "VideoSegment"))
+        onto.add_class(OntClass(EX + "C07XQ"))
+        m = compute_metrics(onto)
+        assert m.intuitive_name_fraction == pytest.approx(0.5)
+
+    def test_standard_terms_counted(self):
+        onto = Ontology(EX.rstrip("#"))
+        onto.add_class(OntClass(EX + "MediaFormat"))     # standard (MPEG-7 family)
+        onto.add_class(OntClass(EX + "Zorbltrap"))       # not standard
+        m = compute_metrics(onto)
+        assert m.standard_term_fraction == pytest.approx(0.5)
+
+    def test_standard_namespace_counts(self):
+        onto = Ontology(EX.rstrip("#"))
+        onto.add_class(OntClass("http://www.w3.org/ns/ma-ont#Unseen"))
+        m = compute_metrics(onto)
+        assert m.standard_term_fraction == pytest.approx(1.0)
+
+
+class TestLanguageAndCounts:
+    def test_counts(self):
+        onto = make_ontology([("A", True, True)])
+        onto.add_property(OntProperty(EX + "p", kind="object"))
+        onto.add_property(OntProperty(EX + "q", kind="data"))
+        onto.add_individual(Individual(EX + "i"))
+        m = compute_metrics(onto)
+        assert m.n_classes == 1
+        assert m.n_object_properties == 1
+        assert m.n_data_properties == 1
+        assert m.n_individuals == 1
+        assert m.n_entities == 4
+
+    def test_language_carried(self):
+        onto = Ontology(EX.rstrip("#"), language="RDFS")
+        assert compute_metrics(onto).language == "RDFS"

@@ -1,0 +1,130 @@
+"""Tests for the ontology object model and graph conversion."""
+
+import pytest
+
+from repro.ontology.graph import TripleGraph
+from repro.ontology.model import Individual, OntClass, OntProperty, Ontology
+from repro.ontology.turtle import parse, serialise
+from repro.ontology.vocab import OWL, RDF
+
+EX = "http://example.org/mm#"
+
+
+def build() -> Ontology:
+    onto = Ontology(
+        "http://example.org/mm",
+        label="MM",
+        comment="A multimedia test ontology.",
+        language="OWL",
+        version="0.3",
+    )
+    onto.imports.append("http://example.org/base")
+    onto.documentation_urls.append("http://wiki.example.org/mm")
+    onto.creators.append("Ada")
+    onto.add_class(OntClass(EX + "Media", label="Media", comment="Root."))
+    onto.add_class(
+        OntClass(EX + "Video", label="Video", superclasses=[EX + "Media"])
+    )
+    onto.add_property(
+        OntProperty(
+            EX + "duration",
+            label="duration",
+            kind="data",
+            domain=EX + "Video",
+            range="http://www.w3.org/2001/XMLSchema#decimal",
+        )
+    )
+    onto.add_property(
+        OntProperty(EX + "hasPart", kind="object", domain=EX + "Media",
+                    range=EX + "Media")
+    )
+    onto.add_individual(
+        Individual(EX + "clip1", label="Clip one", types=[EX + "Video"])
+    )
+    return onto
+
+
+class TestEntities:
+    def test_name_is_local_part(self):
+        assert OntClass(EX + "Video").name == "Video"
+
+    def test_is_documented(self):
+        assert OntClass(EX + "V", label="v", comment="c").is_documented
+        assert not OntClass(EX + "V", label="v").is_documented
+
+    def test_property_kind_validated(self):
+        with pytest.raises(ValueError):
+            OntProperty(EX + "p", kind="annotation")
+
+    def test_empty_iri_rejected(self):
+        with pytest.raises(ValueError):
+            OntClass("")
+        with pytest.raises(ValueError):
+            Ontology("")
+
+
+class TestOntology:
+    def test_duplicate_entities_rejected(self):
+        onto = build()
+        with pytest.raises(ValueError):
+            onto.add_class(OntClass(EX + "Media"))
+        with pytest.raises(ValueError):
+            onto.add_property(OntProperty(EX + "duration", kind="data"))
+        with pytest.raises(ValueError):
+            onto.add_individual(Individual(EX + "clip1"))
+
+    def test_accessors(self):
+        onto = build()
+        assert len(onto.classes) == 2
+        assert len(onto.object_properties) == 1
+        assert len(onto.data_properties) == 1
+        assert len(onto.individuals) == 1
+        assert onto.entity_count() == 5
+        assert onto.get_class(EX + "Video").label == "Video"
+        assert onto.has_class(EX + "Media")
+        with pytest.raises(KeyError):
+            onto.get_class(EX + "Nope")
+
+    def test_lexical_entries(self):
+        entries = build().lexical_entries()
+        assert "Video" in entries and "duration" in entries
+        # labels and names deduplicated
+        assert entries.count("Video") == 1
+
+
+class TestGraphConversion:
+    def test_round_trip(self):
+        onto = build()
+        restored = Ontology.from_graph(onto.to_graph())
+        assert restored.iri == onto.iri
+        assert restored.version == "0.3"
+        assert restored.imports == ["http://example.org/base"]
+        assert restored.documentation_urls == ["http://wiki.example.org/mm"]
+        assert restored.creators == ["Ada"]
+        assert {c.iri for c in restored.classes} == {c.iri for c in onto.classes}
+        video = restored.get_class(EX + "Video")
+        assert video.superclasses == [EX + "Media"]
+        prop = next(p for p in restored.properties if p.name == "duration")
+        assert prop.kind == "data" and prop.domain == EX + "Video"
+        ind = restored.individuals[0]
+        assert ind.types == [EX + "Video"]
+
+    def test_round_trip_through_turtle(self):
+        onto = build()
+        text = serialise(onto.to_graph(), onto.prefixes)
+        restored = Ontology.from_graph(parse(text))
+        assert restored.to_graph().equals(onto.to_graph())
+
+    def test_graph_without_ontology_header(self):
+        with pytest.raises(ValueError):
+            Ontology.from_graph(TripleGraph([(EX + "x", RDF.type, OWL.Class)]))
+
+    def test_graph_with_two_ontologies(self):
+        g = TripleGraph(
+            [
+                ("http://a", RDF.type, OWL.Ontology),
+                ("http://b", RDF.type, OWL.Ontology),
+            ]
+        )
+        with pytest.raises(ValueError):
+            Ontology.from_graph(g)

@@ -1,0 +1,181 @@
+"""Tests for the Turtle-subset parser and serialiser."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.ontology.graph import Literal, TripleGraph
+from repro.ontology.turtle import TurtleSyntaxError, parse, serialise
+from repro.ontology.vocab import RDF, RDFS, XSD
+
+EX = "http://example.org/ns#"
+
+
+class TestParsing:
+    def test_prefixes_and_a(self):
+        g = parse(
+            "@prefix ex: <http://example.org/ns#> .\n"
+            "@prefix owl: <http://www.w3.org/2002/07/owl#> .\n"
+            "ex:Video a owl:Class .\n"
+        )
+        assert (EX + "Video", RDF.type,
+                "http://www.w3.org/2002/07/owl#Class") in g
+
+    def test_sparql_style_prefix(self):
+        g = parse("PREFIX ex: <http://example.org/ns#>\nex:a ex:b ex:c .")
+        assert len(g) == 1
+
+    def test_base_resolution(self):
+        g = parse("@base <http://example.org/ns#> .\n<Video> <p> <Target> .")
+        assert (EX + "Video", EX + "p", EX + "Target") in g
+
+    def test_semicolon_and_comma(self):
+        g = parse(
+            "@prefix ex: <http://example.org/ns#> .\n"
+            "ex:a ex:p ex:b , ex:c ;\n   ex:q ex:d .\n"
+        )
+        assert len(g) == 3
+        assert (EX + "a", EX + "q", EX + "d") in g
+
+    def test_trailing_semicolon(self):
+        g = parse("@prefix ex: <http://example.org/ns#> .\nex:a ex:p ex:b ; .")
+        assert len(g) == 1
+
+    def test_string_literals(self):
+        g = parse(
+            '@prefix ex: <http://example.org/ns#> .\n'
+            'ex:a ex:label "hello" ; ex:note \'single\' .'
+        )
+        assert (EX + "a", EX + "label", Literal("hello")) in g
+        assert (EX + "a", EX + "note", Literal("single")) in g
+
+    def test_long_string(self):
+        g = parse(
+            '@prefix ex: <http://example.org/ns#> .\n'
+            'ex:a ex:doc """line one\nline two""" .'
+        )
+        value = next(iter(g))[2]
+        assert "line one\nline two" == value.value
+
+    def test_escapes(self):
+        g = parse(
+            '@prefix ex: <http://example.org/ns#> .\n'
+            'ex:a ex:p "tab\\there \\"quoted\\" \\u00e9" .'
+        )
+        value = next(iter(g))[2]
+        assert value.value == 'tab\there "quoted" é'
+
+    def test_lang_and_datatype(self):
+        g = parse(
+            '@prefix ex: <http://example.org/ns#> .\n'
+            '@prefix xsd: <http://www.w3.org/2001/XMLSchema#> .\n'
+            'ex:a ex:p "hi"@en ; ex:q "4"^^xsd:int .'
+        )
+        assert (EX + "a", EX + "p", Literal("hi", lang="en")) in g
+        assert (EX + "a", EX + "q", Literal("4", datatype=XSD.base + "int")) in g
+
+    def test_numbers_and_booleans(self):
+        g = parse(
+            "@prefix ex: <http://example.org/ns#> .\n"
+            "ex:a ex:i 42 ; ex:d 1.25 ; ex:e 2e3 ; ex:t true ; ex:f false .\n"
+        )
+        objs = {p: o for _, p, o in g}
+        assert objs[EX + "i"] == Literal("42", datatype=XSD.integer)
+        assert objs[EX + "d"] == Literal("1.25", datatype=XSD.decimal)
+        assert objs[EX + "e"] == Literal("2e3", datatype=XSD.double)
+        assert objs[EX + "t"] == Literal("true", datatype=XSD.boolean)
+        assert objs[EX + "f"] == Literal("false", datatype=XSD.boolean)
+
+    def test_integer_then_terminator(self):
+        """``1.`` must parse as integer 1 followed by the end of the
+        statement, not as a decimal."""
+        g = parse("@prefix ex: <http://example.org/ns#> .\nex:a ex:p 1 .")
+        assert (EX + "a", EX + "p", Literal("1", datatype=XSD.integer)) in g
+
+    def test_blank_nodes(self):
+        g = parse("@prefix ex: <http://example.org/ns#> .\n_:x ex:p _:y .")
+        assert ("_:x", EX + "p", "_:y") in g
+
+    def test_comments_ignored(self):
+        g = parse(
+            "# leading comment\n"
+            "@prefix ex: <http://example.org/ns#> . # trailing\n"
+            "ex:a ex:p ex:b . # done\n"
+        )
+        assert len(g) == 1
+
+
+class TestErrors:
+    def test_undeclared_prefix(self):
+        with pytest.raises(TurtleSyntaxError) as err:
+            parse("ex:a ex:p ex:b .")
+        assert "prefix" in str(err.value)
+
+    def test_missing_dot(self):
+        with pytest.raises(TurtleSyntaxError):
+            parse("@prefix ex: <http://example.org/> .\nex:a ex:p ex:b")
+
+    def test_unsupported_bnode_list(self):
+        with pytest.raises(TurtleSyntaxError) as err:
+            parse("@prefix ex: <http://e/> .\nex:a ex:p [ ex:q ex:b ] .")
+        assert "subset" in str(err.value)
+
+    def test_line_numbers(self):
+        with pytest.raises(TurtleSyntaxError) as err:
+            parse("@prefix ex: <http://e/> .\n\nex:a ex:p @@ .")
+        assert err.value.line == 3
+
+    def test_literal_as_subject(self):
+        with pytest.raises(TurtleSyntaxError):
+            parse('@prefix ex: <http://e/> .\n"str" ex:p ex:b .')
+
+
+class TestSerialisation:
+    def test_round_trip_sample(self):
+        g = TripleGraph()
+        g.add(EX + "Video", RDF.type, "http://www.w3.org/2002/07/owl#Class")
+        g.add(EX + "Video", RDFS.label, Literal.string("Video", lang="en"))
+        g.add(EX + "Video", RDFS.comment, Literal('with "quotes" and \n newline'))
+        g.add(EX + "v", EX + "duration", Literal("12.5", datatype=XSD.decimal))
+        g.add("_:b0", RDFS.seeAlso, EX + "Video")
+        out = serialise(g, {"ex": EX})
+        assert parse(out).equals(g)
+
+    def test_uses_prefixes(self):
+        g = TripleGraph([(EX + "a", RDF.type, EX + "B")])
+        out = serialise(g, {"ex": EX})
+        assert "ex:a" in out and "a ex:B" in out
+
+    def test_deterministic(self):
+        g = TripleGraph()
+        for i in range(10):
+            g.add(EX + f"s{i}", RDFS.label, Literal(f"label {i}"))
+        assert serialise(g) == serialise(g)
+
+
+# ----------------------------------------------------------------------
+# Round-trip property over random graphs
+# ----------------------------------------------------------------------
+
+_iris = st.sampled_from([EX + name for name in ("A", "B", "prop", "value", "x9")])
+_literals = st.one_of(
+    st.text(
+        alphabet=st.characters(blacklist_categories=("Cs", "Cc")),
+        max_size=20,
+    ).map(Literal),
+    st.integers(-1000, 1000).map(Literal.integer),
+    st.booleans().map(Literal.boolean),
+    st.text(alphabet="abc", min_size=1, max_size=5).map(
+        lambda s: Literal(s, lang="en")
+    ),
+)
+_subjects = st.one_of(_iris, st.sampled_from(["_:b1", "_:b2"]))
+_objects = st.one_of(_iris, _literals, st.sampled_from(["_:b1", "_:b2"]))
+
+
+@given(st.lists(st.tuples(_subjects, _iris, _objects), max_size=25))
+def test_round_trip_random_graphs(triples):
+    g = TripleGraph()
+    for s, p, o in triples:
+        g.add(s, p, o)
+    assert parse(serialise(g, {"ex": EX})).equals(g)

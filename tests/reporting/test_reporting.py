@@ -1,0 +1,114 @@
+"""Tests for tables, plots and the per-figure renderers."""
+
+import pytest
+
+from repro.core.montecarlo import BoxplotSummary
+from repro.reporting import figures
+from repro.reporting.plots import interval_bars, rank_boxplots
+from repro.reporting.tables import render_table, to_csv
+
+
+class TestRenderTable:
+    def test_alignment_and_precision(self):
+        text = render_table(
+            ["name", "value"], [["a", 1.23456], ["bb", 2.0]], precision=2
+        )
+        lines = text.splitlines()
+        assert lines[0].startswith("name")
+        assert "1.23" in text and "2.00" in text
+
+    def test_row_width_checked(self):
+        with pytest.raises(ValueError):
+            render_table(["a", "b"], [["only-one"]])
+
+    def test_none_and_bool_cells(self):
+        text = render_table(["x", "y"], [[None, True]])
+        assert "yes" in text
+
+    def test_deterministic(self):
+        rows = [["a", 1.0], ["b", 2.0]]
+        assert render_table(["n", "v"], rows) == render_table(["n", "v"], rows)
+
+
+class TestCsv:
+    def test_quoting(self):
+        out = to_csv(["name"], [['tricky,"value"']])
+        assert '"tricky,""value"""' in out
+
+    def test_header_row(self):
+        out = to_csv(["a", "b"], [[1, 2]])
+        assert out.splitlines()[0] == "a,b"
+
+
+class TestPlots:
+    def test_interval_bars(self):
+        text = interval_bars(
+            [("alpha", 0.1, 0.2, 0.4), ("beta", 0.0, 0.5, 1.0)], width=30
+        )
+        assert "alpha" in text and "o" in text and "=" in text
+
+    def test_interval_bars_validation(self):
+        with pytest.raises(ValueError):
+            interval_bars([])
+        with pytest.raises(ValueError):
+            interval_bars([("x", 0.5, 0.2, 0.8)])
+
+    def test_rank_boxplots(self):
+        text = rank_boxplots(
+            [
+                BoxplotSummary("one", 1, 1, 1, 2, 3),
+                BoxplotSummary("two", 2, 3, 3, 3, 4),
+            ],
+            n_alternatives=5,
+        )
+        assert "M" in text and "#" in text
+
+    def test_rank_boxplots_empty(self):
+        with pytest.raises(ValueError):
+            rank_boxplots([])
+
+
+class TestFigureRenderers:
+    def test_figure_1_tree(self, case_problem):
+        text = figures.figure_1(case_problem)
+        assert "Reuse Cost" in text and "avg w" in text
+
+    def test_figure_2_table(self, case_problem):
+        text = figures.figure_2(case_problem)
+        assert "COMM" in text and "?" in text  # missing cells rendered
+
+    def test_figure_3_utility(self, case_problem):
+        text = figures.figure_3(case_problem)
+        assert "ValueT" in text and "missing" in text
+
+    def test_figure_4_levels(self, case_problem):
+        text = figures.figure_4(case_problem)
+        assert "unknown" in text and "high" in text
+
+    def test_figure_5_weights(self, case_problem):
+        text = figures.figure_5(case_problem)
+        assert "Financ" in text or "Financial" in text
+        assert "0.095" in text
+
+    def test_figure_6_ranking(self, case_problem):
+        text = figures.figure_6(case_problem)
+        assert text.index("Media Ontology") < text.index("MPEG7 Ontology")
+
+    def test_figure_7_subtree(self, case_problem):
+        text = figures.figure_7(case_problem)
+        assert "Boemie" in text
+
+    def test_figure_8_stability(self, case_problem):
+        text = figures.figure_8(case_problem)
+        assert text.count("BOUNDED") == 2
+
+    def test_figures_9_and_10_share_result(self, case_problem, case_mc):
+        nine = figures.figure_9(case_problem, case_mc)
+        ten = figures.figure_10(case_problem, case_mc)
+        assert "Media Ontology" in nine
+        assert "mode" in ten and "std" in ten
+
+    def test_screening_summary(self, case_problem):
+        text = figures.screening_summary(case_problem)
+        assert "20 of 23" in text
+        assert "Kanzaki Music" in text

@@ -1,0 +1,81 @@
+"""Tests for the ``repro`` command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    out = capsys.readouterr().out
+    return code, out
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_figure_range(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figure", "11"])
+
+
+class TestCommands:
+    def test_figure(self, capsys):
+        code, out = run_cli(capsys, "figure", "1")
+        assert code == 0
+        assert "Reuse Cost" in out
+
+    def test_rank(self, capsys):
+        code, out = run_cli(capsys, "rank")
+        assert code == 0
+        assert out.index("Media Ontology") < out.index("Boemie VDO")
+
+    def test_rank_by_objective(self, capsys):
+        code, out = run_cli(capsys, "rank", "--objective", "Understandability")
+        assert code == 0
+        assert "Boemie VDO" in out
+
+    def test_stability(self, capsys):
+        code, out = run_cli(capsys, "stability")
+        assert code == 0
+        assert out.count("BOUNDED") == 2
+
+    def test_screen(self, capsys):
+        code, out = run_cli(capsys, "screen")
+        assert code == 0
+        assert "20 of 23" in out
+
+    def test_intervals(self, capsys):
+        code, out = run_cli(capsys, "intervals")
+        assert code == 0
+        assert "best attainable" in out
+        assert "Media Ontology" in out
+
+    def test_simulate_small(self, capsys):
+        code, out = run_cli(capsys, "simulate", "-n", "200", "--seed", "1")
+        assert code == 0
+        assert "ever ranked first" in out
+
+    def test_pipeline(self, capsys):
+        code, out = run_cli(capsys, "pipeline")
+        assert code == 0
+        assert "selected 5" in out
+
+    def test_workspace_round_trip(self, capsys, tmp_path):
+        target = tmp_path / "ws.json"
+        code, out = run_cli(capsys, "workspace", "save", str(target))
+        assert code == 0 and target.exists()
+        code, out = run_cli(capsys, "--workspace", str(target), "rank")
+        assert code == 0
+        assert "Media Ontology" in out
+
+    def test_workspace_show(self, capsys):
+        code, out = run_cli(capsys, "workspace", "show")
+        assert code == 0
+        assert "alternatives: 23" in out
+
+    def test_workspace_save_needs_path(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["workspace", "save"])

@@ -1,0 +1,106 @@
+"""Cross-subsystem integration tests.
+
+Each scenario chains several packages the way a downstream user would:
+corpus on disk -> registry -> pipeline -> workspace -> CLI -> figures.
+"""
+
+import pytest
+
+from repro.casestudy.cqs import m3_competency_questions
+from repro.casestudy.names import RANKED_NAMES, TOP_FIVE
+from repro.casestudy.preferences import paper_weight_system
+from repro.core.model import evaluate
+from repro.core.workspace import load, save
+from repro.neon.pipeline import ReusePipeline
+from repro.ontology.io import dump_registry, load_registry
+
+
+class TestDiskToDecision:
+    def test_full_chain(self, tmp_path, case_registry):
+        """corpus dir -> registry -> pipeline -> ranking -> workspace ->
+        reload -> same ranking."""
+        dump_registry(case_registry, tmp_path / "corpus", fmt=".nt")
+        registry = load_registry(tmp_path / "corpus")
+
+        pipeline = ReusePipeline(
+            registry,
+            m3_competency_questions(),
+            weights=paper_weight_system(),
+        )
+        report = pipeline.run("multimedia ontology", integrate_selection=False)
+        assert report.evaluation.names_by_rank == RANKED_NAMES
+        assert report.selection.selected == TOP_FIVE
+
+        ws_path = tmp_path / "decision.json"
+        save(report.problem, ws_path)
+        restored = load(ws_path)
+        assert evaluate(restored).names_by_rank == RANKED_NAMES
+
+
+class TestCliOverExportedArtifacts:
+    def test_cli_reads_pipeline_workspace(self, tmp_path, capsys, case_problem):
+        from repro.cli import main
+
+        ws_path = tmp_path / "case.json"
+        save(case_problem, ws_path)
+        code = main(["--workspace", str(ws_path), "figure", "6"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert out.index("Media Ontology") < out.index("Photography")
+
+    def test_cli_corpus_export(self, tmp_path, capsys):
+        from repro.cli import main
+
+        code = main(["corpus", str(tmp_path / "exported"), "--format", ".ttl"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "23 candidate ontologies" in out
+        registry = load_registry(tmp_path / "exported")
+        assert len(registry) == 23
+
+
+class TestSensitivitySuiteConsistency:
+    def test_all_analyses_agree_on_the_leader(self, case_problem, case_model, case_mc):
+        """Average ranking, stability, screening, Monte Carlo and rank
+        intervals must tell one coherent story about Media Ontology."""
+        from repro.core.dominance import screen
+        from repro.core.rankintervals import rank_intervals
+        from repro.core.stability import stability_report
+
+        ev = evaluate(case_problem)
+        assert ev.best.name == "Media Ontology"
+
+        report = stability_report(case_problem, mode="best")
+        full = [
+            name
+            for name in report.insensitive_objectives()
+        ]
+        assert len(full) == 16  # leader robust almost everywhere
+
+        screening = screen(case_model)
+        assert "Media Ontology" in screening.potentially_optimal
+
+        assert case_mc.statistics_for("Media Ontology").mode == 1
+
+        intervals = rank_intervals(case_model)
+        assert intervals["Media Ontology"].best == 1
+
+    def test_monte_carlo_respects_rank_intervals(self, case_model, case_mc):
+        from repro.core.rankintervals import rank_intervals
+
+        intervals = rank_intervals(case_model)
+        for name in case_mc.names:
+            stats = case_mc.statistics_for(name)
+            assert intervals[name].contains(stats.minimum)
+            assert intervals[name].contains(stats.maximum)
+
+
+class TestGroupOverCaseStudy:
+    def test_group_of_paper_dms_reproduces_paper_ranking(self, case_problem):
+        """Members sharing the paper's weight system agree with Fig. 6."""
+        from repro.core.group import GroupDecision, GroupMember
+
+        member = GroupMember("dm1", paper_weight_system(case_problem.hierarchy))
+        clone = GroupMember("dm2", member.weights)
+        group = GroupDecision(case_problem, [member, clone])
+        assert group.borda() == RANKED_NAMES
