@@ -1,0 +1,146 @@
+"""Batch-engine speedup — the 10,000-run Monte Carlo as one array program.
+
+The seed implementation of ``sample_utilities`` evaluation looped in
+Python over simulations and alternatives; the batch engine
+(:mod:`repro.core.engine`) lowers the problem once and evaluates the
+whole run as tensors with a leading ``n_simulations`` axis.  This
+benchmark replays the seed-style loop against the engine on the
+paper's §V setting (interval weights, missing-cell utilities drawn in
+[0, 1], seed 2012) and asserts
+
+* the engine is at least 10x faster over 10,000 simulations, and
+* the rank matrices — and therefore every Fig. 9/10 ranking statistic —
+  are bit-identical for the fixed seed.
+
+Runs standalone (CI smoke)::
+
+    PYTHONPATH=src python benchmarks/bench_batch_engine.py
+
+or under pytest (``pytest benchmarks/bench_batch_engine.py -s``).
+The full comparison takes well under a second, so the standalone run
+always uses the paper's 10,000 simulations; below a few thousand
+simulations fixed costs (weight sampling) dominate both paths and the
+speedup ratio is meaningless.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+try:  # allow standalone execution without a PYTHONPATH export
+    import repro  # noqa: F401
+except ImportError:  # pragma: no cover - path bootstrap
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+import numpy as np
+
+from repro.casestudy.problem import multimedia_problem
+from repro.core.engine import (
+    BatchEvaluator,
+    compile_problem,
+    sample_in_intervals,
+)
+from repro.core.montecarlo import MonteCarloResult
+
+SEED = 2012
+
+
+def _seed_loop_reference(compiled, weights, draws):
+    """The pre-engine evaluation: Python loops over sims and alternatives.
+
+    Mirrors the seed's ``sample_utilities`` math — class-average
+    component utilities plus per-missing-cell corrections — one
+    simulation, one alternative, one attribute at a time, with the same
+    stable column-order tie-break for ranks.
+    """
+    n_sims = weights.shape[0]
+    u_avg = compiled.u_avg
+    n_alt, n_att = u_avg.shape
+    cells = [(int(i), int(j)) for i, j in np.argwhere(compiled.missing)]
+    utilities = np.empty((n_sims, n_alt))
+    for s in range(n_sims):
+        w = weights[s]
+        for i in range(n_alt):
+            utilities[s, i] = np.dot(u_avg[i], w)
+        for k, (i, j) in enumerate(cells):
+            utilities[s, i] += w[j] * (draws[s, k] - u_avg[i, j])
+    ranks = np.empty((n_sims, n_alt), dtype=np.intp)
+    for s in range(n_sims):
+        order = sorted(range(n_alt), key=lambda i: (-utilities[s, i], i))
+        for rank, i in enumerate(order, start=1):
+            ranks[s, i] = rank
+    return ranks
+
+
+def _statistics_table(names, ranks):
+    """The full Fig. 10 statistics table from a rank matrix."""
+    result = MonteCarloResult(names, ranks, "intervals")
+    return [
+        (s.name, s.mode, s.minimum, s.maximum, s.mean, s.std, s.p25, s.p50, s.p75)
+        for s in result.statistics()
+    ]
+
+
+def run(n_simulations: int = 10_000, verbose: bool = True) -> dict:
+    compiled = compile_problem(multimedia_problem())
+    evaluator = BatchEvaluator(compiled)
+
+    # --- engine path: one call, sampling included -------------------
+    t0 = time.perf_counter()
+    engine_ranks, _ = evaluator.monte_carlo_ranks(
+        method="intervals",
+        n_simulations=n_simulations,
+        seed=SEED,
+        sample_utilities="missing",
+    )
+    t_engine = time.perf_counter() - t0
+
+    # --- seed-style loop: identical RNG stream, Python evaluation ---
+    t0 = time.perf_counter()
+    rng = np.random.default_rng(SEED)
+    weights, _ = sample_in_intervals(
+        compiled.w_low, compiled.w_up, n_simulations, rng
+    )
+    n_cells = int(compiled.missing.sum())
+    draws = rng.uniform(0.0, 1.0, size=(n_simulations, n_cells))
+    loop_ranks = _seed_loop_reference(compiled, weights, draws)
+    t_loop = time.perf_counter() - t0
+
+    identical_ranks = bool(np.array_equal(engine_ranks, loop_ranks))
+    names = compiled.alternative_names
+    identical_stats = _statistics_table(names, engine_ranks) == _statistics_table(
+        names, loop_ranks
+    )
+    speedup = t_loop / t_engine
+
+    if verbose:
+        print(f"simulations            : {n_simulations}")
+        print(f"engine (vectorized)    : {t_engine * 1e3:8.1f} ms")
+        print(f"seed-style Python loop : {t_loop * 1e3:8.1f} ms")
+        print(f"speedup                : {speedup:8.1f}x")
+        print(f"rank matrices identical: {identical_ranks}")
+        print(f"Fig. 10 stats identical: {identical_stats}")
+
+    assert identical_ranks, "engine ranks diverge from the loop reference"
+    assert identical_stats, "ranking statistics diverge"
+    assert speedup >= 10.0, f"expected >= 10x speedup, measured {speedup:.1f}x"
+    return {
+        "n_simulations": n_simulations,
+        "t_engine": t_engine,
+        "t_loop": t_loop,
+        "speedup": speedup,
+    }
+
+
+def test_batch_engine_speedup_and_bit_identity():
+    run(10_000, verbose=True)
+
+
+if __name__ == "__main__":
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--simulations", type=int, default=10_000)
+    args = parser.parse_args()
+    run(args.simulations)

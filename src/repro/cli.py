@@ -10,6 +10,10 @@ Subcommands map onto the paper's workflow:
 * ``repro pipeline [--query Q] [--threshold T]`` — the NeOn reuse
   pipeline over the synthetic multimedia corpus.
 * ``repro workspace save/load`` — GMAA-style JSON workspaces.
+* ``repro batch [WORKSPACE ...]`` — evaluate a whole registry of
+  decision problems in one call through the vectorized batch engine
+  (compile once per problem, array-program evaluation, optional
+  Monte Carlo per problem).
 
 All subcommands operate on the built-in multimedia case study unless
 ``--workspace FILE`` points at a saved problem.
@@ -94,6 +98,39 @@ def build_parser() -> argparse.ArgumentParser:
     p_save.add_argument("action", choices=("save", "show"))
     p_save.add_argument("path", nargs="?", help="target file for 'save'")
 
+    p_batch = sub.add_parser(
+        "batch",
+        help="evaluate many decision problems in one call (batch engine)",
+    )
+    p_batch.add_argument(
+        "workspaces",
+        nargs="*",
+        metavar="WORKSPACE",
+        help=(
+            "workspace JSON files to evaluate; defaults to the built-in "
+            "multimedia case study"
+        ),
+    )
+    p_batch.add_argument(
+        "--objectives",
+        action="store_true",
+        help="also rank each problem by its top-level objectives (Fig. 7)",
+    )
+    p_batch.add_argument(
+        "--simulate",
+        type=int,
+        default=0,
+        metavar="N",
+        help="additionally run an N-simulation Monte Carlo per problem",
+    )
+    p_batch.add_argument(
+        "--method",
+        choices=("random", "rank_order", "intervals"),
+        default="intervals",
+        help="Monte Carlo simulation class for --simulate",
+    )
+    p_batch.add_argument("--seed", type=int, default=figures.MC_SEED)
+
     p_corpus = sub.add_parser(
         "corpus", help="export the synthetic multimedia corpus to disk"
     )
@@ -145,6 +182,82 @@ def _cmd_simulate(
     return header + "\n" + figures.figure_10(problem, result)
 
 
+def _cmd_batch(
+    workspaces: Sequence[str],
+    objectives: bool,
+    simulations: int,
+    method: str,
+    seed: int,
+) -> str:
+    """Evaluate a registry of problems through the batch engine.
+
+    Every problem is compiled once (through the workspace LRU compile
+    cache) and all downstream numbers — the Fig. 6-style ranking and
+    the optional per-problem Monte Carlo — come out of
+    :class:`~repro.core.engine.BatchEvaluator` array programs.
+    """
+    from .core.engine import BatchEvaluator
+    from .core.workspace import (
+        compile_cache_info,
+        compile_cached,
+        load_compiled,
+    )
+
+    compiled_problems = []
+    if workspaces:
+        for path in workspaces:
+            compiled_problems.append(load_compiled(path))
+    else:
+        compiled_problems.append(compile_cached(multimedia_problem()))
+    if objectives:
+        expanded = []
+        for compiled in compiled_problems:
+            expanded.append(compiled)
+            for child in compiled.problem.hierarchy.root.children:
+                expanded.append(
+                    compile_cached(compiled.problem.restricted_to(child.name))
+                )
+        compiled_problems = expanded
+
+    headers = ["problem", "alts", "attrs", "best", "avg", "min", "max"]
+    align = [True, False, False, True, False, False, False]
+    if simulations:
+        headers += ["ever best", "top-5 fluct"]
+        align += [False, False]
+    rows = []
+    for compiled in compiled_problems:
+        evaluator = BatchEvaluator(compiled)
+        best = evaluator.evaluate().best
+        row = [
+            compiled.name,
+            evaluator.n_alternatives,
+            evaluator.n_attributes,
+            best.name,
+            f"{best.average:.4f}",
+            f"{best.minimum:.4f}",
+            f"{best.maximum:.4f}",
+        ]
+        if simulations:
+            result = evaluator.simulate(
+                method=method,
+                n_simulations=simulations,
+                seed=seed,
+                sample_utilities="missing",
+            )
+            row += [
+                len(result.ever_best()),
+                result.max_fluctuation(result.top_k_by_mean(5)),
+            ]
+        rows.append(row)
+    info = compile_cache_info()
+    footer = (
+        f"\nevaluated {len(compiled_problems)} problem(s)"
+        + (f", {simulations} simulations each ({method})" if simulations else "")
+        + f"; compile cache: {info['hits']} hits, {info['misses']} misses"
+    )
+    return render_table(headers, rows, align_left=align) + footer
+
+
 def _cmd_pipeline(
     problem_path: Optional[str], query: str, threshold: float, run_screening: bool
 ) -> str:
@@ -170,6 +283,17 @@ def _cmd_pipeline(
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     try:
+        if args.command == "batch":
+            print(
+                _cmd_batch(
+                    args.workspaces,
+                    args.objectives,
+                    args.simulate,
+                    args.method,
+                    args.seed,
+                )
+            )
+            return 0
         if args.command == "pipeline":
             print(_cmd_pipeline(args.workspace, args.query, args.threshold, args.screen))
             return 0

@@ -17,6 +17,13 @@ from .dominance import (
     potentially_optimal,
     screen,
 )
+from .engine import (
+    BatchEvaluator,
+    CompiledProblem,
+    batch_dominance,
+    compile_problem,
+    rank_matrix,
+)
 from .elicitation import (
     UtilityElicitation,
     WeightElicitation,
@@ -62,9 +69,17 @@ from .weights import (
     swing_weights,
     tradeoff_intervals,
 )
-from .workspace import load, save
+from .workspace import compile_cached, load, load_compiled, save
 
 __all__ = [
+    # batch engine
+    "BatchEvaluator",
+    "CompiledProblem",
+    "compile_problem",
+    "batch_dominance",
+    "rank_matrix",
+    "compile_cached",
+    "load_compiled",
     # interval
     "Interval",
     "hull",

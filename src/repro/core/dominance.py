@@ -37,6 +37,7 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
+from .engine import batch_dominance, weight_polytope
 from .model import AdditiveModel
 from .simplex import linprog_simplex
 
@@ -80,22 +81,24 @@ def _solve_lp(
     raise ValueError(f"unknown solver {solver!r}; use 'scipy' or 'simplex'")
 
 
+def _lp_solver(solver: str):
+    """A solver-bound LP callable for the batch engine.
+
+    Validates the solver name eagerly so a typo fails before any array
+    work starts.
+    """
+    if solver not in ("scipy", "simplex"):
+        raise ValueError(f"unknown solver {solver!r}; use 'scipy' or 'simplex'")
+
+    def solve(c, a_ub, b_ub, a_eq, b_eq, bounds):
+        return _solve_lp(c, a_ub, b_ub, a_eq, b_eq, bounds, solver)
+
+    return solve
+
+
 def _weight_polytope(model: AdditiveModel) -> Tuple[np.ndarray, np.ndarray, List[Tuple[float, float]]]:
     """(A_eq, b_eq, bounds) of ``W``: box intersect simplex."""
-    n = model.n_attributes
-    a_eq = np.ones((1, n))
-    b_eq = np.array([1.0])
-    bounds = [
-        (float(model.w_low[j]), float(model.w_up[j])) for j in range(n)
-    ]
-    low_sum = float(model.w_low.sum())
-    up_sum = float(model.w_up.sum())
-    if low_sum > 1.0 + 1e-7 or up_sum < 1.0 - 1e-7:
-        raise ValueError(
-            "weight intervals do not intersect the simplex: "
-            f"sum of lowers {low_sum:.4f}, sum of uppers {up_sum:.4f}"
-        )
-    return a_eq, b_eq, bounds
+    return weight_polytope(model.compiled)
 
 
 def dominates(
@@ -133,47 +136,12 @@ def dominates(
 def dominance_matrix(model: AdditiveModel, solver: str = "scipy") -> np.ndarray:
     """Boolean matrix D with ``D[i, j]`` iff alternative i dominates j.
 
-    The worst-case LP is skipped whenever a cheap bound already decides
-    the pair: if ``min_j diff_j >= 0`` the dominance holds for every
-    weight vector; if ``max_j diff_j < 0`` it fails for every one.
+    Delegates to :func:`repro.core.engine.batch_dominance`: every
+    pairwise envelope difference is materialised as one tensor and all
+    pairs a cheap bound can decide are settled by array operations; the
+    worst-case / strictness LPs only run for the residue.
     """
-    n = model.n_alternatives
-    names = model.alternative_names
-    result = np.zeros((n, n), dtype=bool)
-    a_eq, b_eq, bounds = _weight_polytope(model)
-    for i in range(n):
-        for j in range(n):
-            if i == j:
-                continue
-            diff = model.u_low[i] - model.u_up[j]
-            if diff.max() < -_FEAS_TOL:
-                continue
-            if diff.min() >= -_FEAS_TOL:
-                worst_fun = None  # dominates under every weight vector
-            else:
-                res = _solve_lp(diff, None, None, a_eq, b_eq, bounds, solver)
-                if not res.success:
-                    raise RuntimeError(
-                        f"dominance LP failed for ({names[i]!r}, {names[j]!r})"
-                    )
-                if res.fun < -_FEAS_TOL:
-                    continue
-                worst_fun = res.fun
-            best_diff = model.u_up[i] - model.u_low[j]
-            if best_diff.max() <= _FEAS_TOL:
-                strict = False
-                if best_diff.max() > -_FEAS_TOL:
-                    res = _solve_lp(
-                        -best_diff, None, None, a_eq, b_eq, bounds, solver
-                    )
-                    strict = res.success and -res.fun > _FEAS_TOL
-            else:
-                # Some component is strictly positive; whether the LP can
-                # realise it depends on the weights, so solve it.
-                res = _solve_lp(-best_diff, None, None, a_eq, b_eq, bounds, solver)
-                strict = res.success and -res.fun > _FEAS_TOL
-            result[i, j] = strict
-    return result
+    return batch_dominance(model, _lp_solver(solver))
 
 
 def non_dominated(model: AdditiveModel, solver: str = "scipy") -> Tuple[str, ...]:

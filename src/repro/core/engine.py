@@ -1,0 +1,678 @@
+"""Vectorized batch evaluation engine.
+
+The paper's workflow — additive MAUT evaluation (§IV), the §V
+screening and the 10,000-run Monte Carlo sensitivity analysis — is the
+hot path of this reproduction.  This module lowers a
+:class:`~repro.core.problem.DecisionProblem` into dense NumPy arrays
+*once* (:class:`CompiledProblem`) and evaluates everything downstream
+as array programs over ``(n_scenarios, n_alternatives, n_attributes)``
+tensors (:class:`BatchEvaluator`) — no Python-level loop over
+simulations or alternatives.
+
+Layering: this module sits *below* :mod:`repro.core.model`,
+:mod:`repro.core.montecarlo` and :mod:`repro.core.dominance`; they keep
+their public, paper-exact APIs and delegate the numeric work here.  The
+result-object imports in :class:`BatchEvaluator` are deferred so the
+dependency arrows at import time only point downward.
+
+Compiled layout
+---------------
+
+``u_low``/``u_avg``/``u_up``
+    ``(n_alternatives, n_attributes)`` component-utility envelopes —
+    the lower bound, class-average and upper bound of every cell of the
+    performance table pushed through its utility function.
+``w_low``/``w_avg``/``w_up``
+    ``(n_attributes,)`` elicited weight bounds and normalised averages.
+``missing``
+    boolean ``(n_alternatives, n_attributes)`` mask of unknown cells
+    (the ref.-[18] "whole [0, 1] interval" facts).
+``key_low``/``key_up``/``alt_key``/``key_count``
+    the utility-*class* structure used by full utility sampling: per
+    attribute, the distinct performance values define keys ordered by
+    average utility; every alternative points at its key.  Padded to
+    the maximum key count so one ``(n_scenarios, n_attributes,
+    max_keys)`` uniform draw covers all attributes at once.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from .interval import Interval
+from .performance import UncertainValue
+from .problem import DecisionProblem
+from .scales import MISSING
+
+__all__ = [
+    "CompiledProblem",
+    "BatchEvaluator",
+    "compile_problem",
+    "rank_matrix",
+    "sample_simplex",
+    "sample_rank_order",
+    "sample_in_intervals",
+    "batch_dominance",
+    "weight_polytope",
+]
+
+_FEAS_TOL = 1e-9
+
+
+# ----------------------------------------------------------------------
+# Lowering
+# ----------------------------------------------------------------------
+
+def _utility_triplet(fn, performance) -> Tuple[float, float, float]:
+    """(lower, average, upper) component utility of one performance."""
+    if performance is MISSING:
+        interval = fn.utility(MISSING)
+        return interval.lower, interval.midpoint, interval.upper
+    if isinstance(performance, UncertainValue):
+        at_min = fn.utility(performance.minimum)
+        at_avg = fn.utility(performance.average)
+        at_max = fn.utility(performance.maximum)
+        lower = min(at_min.lower, at_avg.lower, at_max.lower)
+        upper = max(at_min.upper, at_avg.upper, at_max.upper)
+        return lower, at_avg.midpoint, upper
+    interval = fn.utility(performance)
+    return interval.lower, interval.midpoint, interval.upper
+
+
+def _performance_key(value: object) -> object:
+    """A hashable identity for a performance value (MISSING included)."""
+    if value is MISSING:
+        return "__missing__"
+    return float(value)
+
+
+class CompiledProblem:
+    """A decision problem lowered to dense arrays, built once.
+
+    Everything the sensitivity analyses touch — utility envelopes,
+    weight bounds, the missing-cell mask and the utility-class key
+    structure — lives here as plain ``float64``/``bool``/``intp``
+    arrays, so :class:`BatchEvaluator` never walks the object graph
+    again.
+    """
+
+    def __init__(self, problem: DecisionProblem) -> None:
+        self.problem = problem
+        self.name = problem.name
+        self.attribute_names: Tuple[str, ...] = problem.hierarchy.attribute_names
+        self.alternative_names: Tuple[str, ...] = problem.table.alternative_names
+        n_alt = len(self.alternative_names)
+        n_att = len(self.attribute_names)
+
+        self.u_low = np.zeros((n_alt, n_att))
+        self.u_avg = np.zeros((n_alt, n_att))
+        self.u_up = np.zeros((n_alt, n_att))
+        self.missing = np.zeros((n_alt, n_att), dtype=bool)
+        for i, alt in enumerate(problem.table.alternatives):
+            for j, attr in enumerate(self.attribute_names):
+                fn = problem.utility_function(attr)
+                perf = alt.performance(attr)
+                lo, avg, up = _utility_triplet(fn, perf)
+                self.u_low[i, j] = lo
+                self.u_avg[i, j] = avg
+                self.u_up[i, j] = up
+                self.missing[i, j] = perf is MISSING
+
+        intervals = [
+            problem.weights.attribute_weight_interval(a)
+            for a in self.attribute_names
+        ]
+        averages = problem.weights.attribute_averages()
+        self.w_low = np.array([iv.lower for iv in intervals])
+        self.w_up = np.array([iv.upper for iv in intervals])
+        self.w_avg = np.array([averages[a] for a in self.attribute_names])
+
+        self._compile_utility_classes(problem)
+
+    def _compile_utility_classes(self, problem: DecisionProblem) -> None:
+        """The per-attribute utility-class key tensors (padded)."""
+        n_alt = len(self.alternative_names)
+        n_att = len(self.attribute_names)
+        key_lows: List[np.ndarray] = []
+        key_ups: List[np.ndarray] = []
+        alt_key = np.zeros((n_att, n_alt), dtype=np.intp)
+        for j, attr in enumerate(self.attribute_names):
+            fn = problem.utility_function(attr)
+            values = []
+            for alt in problem.table.alternatives:
+                perf = alt.performance(attr)
+                if isinstance(perf, UncertainValue):
+                    perf = perf.average
+                values.append(perf)
+            keys: List[object] = []
+            for v in values:
+                if v not in keys:
+                    keys.append(v)
+            # Order keys by their average utility so the monotone
+            # accumulation in full utility sampling never flips
+            # preference.
+            keys.sort(key=lambda v: fn.utility(v).midpoint)
+            index = {_performance_key(v): k for k, v in enumerate(keys)}
+            alt_key[j] = [index[_performance_key(v)] for v in values]
+            key_intervals = [fn.utility(v) for v in keys]
+            key_lows.append(np.array([iv.lower for iv in key_intervals]))
+            key_ups.append(np.array([iv.upper for iv in key_intervals]))
+
+        self.key_count = np.array([len(k) for k in key_lows], dtype=np.intp)
+        max_keys = int(self.key_count.max()) if n_att else 0
+        self.key_low = np.zeros((n_att, max_keys))
+        self.key_up = np.zeros((n_att, max_keys))
+        for j in range(n_att):
+            k = len(key_lows[j])
+            self.key_low[j, :k] = key_lows[j]
+            self.key_up[j, :k] = key_ups[j]
+        self.alt_key = alt_key
+
+    # ------------------------------------------------------------------
+    @property
+    def n_alternatives(self) -> int:
+        return len(self.alternative_names)
+
+    @property
+    def n_attributes(self) -> int:
+        return len(self.attribute_names)
+
+    def alternative_index(self, name: str) -> int:
+        try:
+            return self.alternative_names.index(name)
+        except ValueError:
+            raise KeyError(f"no alternative named {name!r}") from None
+
+
+def compile_problem(problem: DecisionProblem) -> CompiledProblem:
+    """Lower ``problem`` into the dense-array form evaluated in batch."""
+    return CompiledProblem(problem)
+
+
+def _as_compiled(
+    source: Union[DecisionProblem, CompiledProblem, object]
+) -> CompiledProblem:
+    """Accept a problem, a compiled problem, or an AdditiveModel."""
+    if isinstance(source, CompiledProblem):
+        return source
+    if isinstance(source, DecisionProblem):
+        return CompiledProblem(source)
+    compiled = getattr(source, "compiled", None)
+    if isinstance(compiled, CompiledProblem):
+        return compiled
+    raise TypeError(
+        "expected a DecisionProblem, CompiledProblem or AdditiveModel, "
+        f"got {type(source).__name__}"
+    )
+
+
+# ----------------------------------------------------------------------
+# Weight generators (the three §V simulation classes)
+# ----------------------------------------------------------------------
+
+def sample_simplex(
+    n_attributes: int, n_samples: int, rng: np.random.Generator
+) -> np.ndarray:
+    """Uniform samples from the weight simplex.
+
+    The classic exponential-spacings construction: normalised i.i.d.
+    exponentials are uniform on ``{w >= 0 : sum w = 1}``.  This is §V's
+    first simulation class — "attribute weights completely at random
+    (there is no knowledge whatsoever of the relative importance of the
+    attributes)".
+    """
+    if n_attributes < 1:
+        raise ValueError("need at least one attribute")
+    if n_samples < 1:
+        raise ValueError("need at least one sample")
+    raw = rng.exponential(scale=1.0, size=(n_samples, n_attributes))
+    return raw / raw.sum(axis=1, keepdims=True)
+
+
+def sample_rank_order(
+    groups: Sequence[Sequence[int]],
+    n_attributes: int,
+    n_samples: int,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Simplex samples preserving a total or partial attribute rank order.
+
+    ``groups`` lists attribute indices from most to least important;
+    attributes inside one group are unordered relative to each other
+    (the *partial* order case).  Singleton groups everywhere give a
+    total order.  Sampling: draw uniformly on the simplex, sort each
+    sample descending, hand the largest values to the first group
+    (shuffled within the group), the next largest to the second, and so
+    on — the standard construction for rank-order-constrained simplex
+    sampling.
+    """
+    flat = [i for group in groups for i in group]
+    if sorted(flat) != list(range(n_attributes)):
+        raise ValueError(
+            "groups must partition the attribute indices "
+            f"0..{n_attributes - 1}; got {groups!r}"
+        )
+    base = sample_simplex(n_attributes, n_samples, rng)
+    base.sort(axis=1)
+    base = base[:, ::-1]  # descending: position 0 = largest weight
+    result = np.empty_like(base)
+    cursor = 0
+    for group in groups:
+        size = len(group)
+        block = base[:, cursor:cursor + size]
+        if size == 1:
+            result[:, group[0]] = block[:, 0]
+        else:
+            # Shuffle the block's columns independently per sample so
+            # within-group order is uniform.
+            perm = np.argsort(rng.random((n_samples, size)), axis=1)
+            shuffled = np.take_along_axis(block, perm, axis=1)
+            for k, attr in enumerate(group):
+                result[:, attr] = shuffled[:, k]
+        cursor += size
+    return result
+
+
+def sample_in_intervals(
+    lower: np.ndarray,
+    upper: np.ndarray,
+    n_samples: int,
+    rng: np.random.Generator,
+    reject_outside: bool = False,
+    max_batches: int = 200,
+) -> Tuple[np.ndarray, float]:
+    """Weights drawn within elicited intervals, renormalised to sum 1.
+
+    GMAA's third simulation class: "attribute weights can be randomly
+    assigned values taking into account the elicited weight intervals"
+    (Fig. 5).  Each attribute weight is drawn uniformly in its interval
+    and the vector is divided by its sum.  With ``reject_outside`` the
+    renormalised vector must also remain inside the intervals (the
+    normalised-box polytope); samples violating that are redrawn.
+
+    Returns ``(weights, acceptance_rate)``; the acceptance rate is 1.0
+    when no rejection was requested.
+    """
+    lower = np.asarray(lower, dtype=float)
+    upper = np.asarray(upper, dtype=float)
+    if lower.shape != upper.shape or lower.ndim != 1:
+        raise ValueError("lower and upper must be 1-D arrays of equal length")
+    if np.any(lower < 0) or np.any(lower > upper):
+        raise ValueError("need 0 <= lower <= upper per attribute")
+    if float(lower.sum()) > 1.0 + 1e-9 or float(upper.sum()) < 1.0 - 1e-9:
+        raise ValueError(
+            "weight intervals do not intersect the simplex: "
+            f"sum of lowers {lower.sum():.4f}, sum of uppers {upper.sum():.4f}"
+        )
+    n = lower.shape[0]
+    if not reject_outside:
+        raw = rng.uniform(lower, upper, size=(n_samples, n))
+        return raw / raw.sum(axis=1, keepdims=True), 1.0
+
+    accepted: List[np.ndarray] = []
+    drawn = kept = 0
+    tol = 1e-12
+    for _ in range(max_batches):
+        raw = rng.uniform(lower, upper, size=(n_samples, n))
+        w = raw / raw.sum(axis=1, keepdims=True)
+        ok = np.all(w >= lower - tol, axis=1) & np.all(w <= upper + tol, axis=1)
+        drawn += n_samples
+        kept += int(ok.sum())
+        if ok.any():
+            accepted.append(w[ok])
+        if kept >= n_samples:
+            break
+    if kept < n_samples:
+        raise RuntimeError(
+            f"interval rejection sampling accepted only {kept} of the "
+            f"requested {n_samples} samples after {drawn} draws; relax the "
+            "intervals or disable reject_outside"
+        )
+    stacked = np.vstack(accepted)[:n_samples]
+    return stacked, kept / drawn
+
+
+# ----------------------------------------------------------------------
+# Ranking
+# ----------------------------------------------------------------------
+
+def rank_matrix(utilities: np.ndarray) -> np.ndarray:
+    """Per-scenario 1-based ranks from a (n_scenarios, n_alt) utility array.
+
+    Ties resolve in alternative (column) order, matching the stable
+    tie-break the deterministic evaluation uses.
+    """
+    order = np.argsort(-utilities, axis=1, kind="stable")
+    ranks = np.empty_like(order)
+    n_scen, n_alt = utilities.shape
+    rows = np.arange(n_scen)[:, None]
+    ranks[rows, order] = np.arange(1, n_alt + 1)[None, :]
+    return ranks
+
+
+# ----------------------------------------------------------------------
+# Dominance (vectorised pre-screen + LP residue)
+# ----------------------------------------------------------------------
+
+def weight_polytope(
+    compiled: CompiledProblem,
+) -> Tuple[np.ndarray, np.ndarray, List[Tuple[float, float]]]:
+    """(A_eq, b_eq, bounds) of ``W``: elicited box intersect simplex."""
+    n = compiled.n_attributes
+    a_eq = np.ones((1, n))
+    b_eq = np.array([1.0])
+    bounds = [
+        (float(compiled.w_low[j]), float(compiled.w_up[j])) for j in range(n)
+    ]
+    low_sum = float(compiled.w_low.sum())
+    up_sum = float(compiled.w_up.sum())
+    if low_sum > 1.0 + 1e-7 or up_sum < 1.0 - 1e-7:
+        raise ValueError(
+            "weight intervals do not intersect the simplex: "
+            f"sum of lowers {low_sum:.4f}, sum of uppers {up_sum:.4f}"
+        )
+    return a_eq, b_eq, bounds
+
+
+def batch_dominance(
+    source: Union[DecisionProblem, CompiledProblem, object],
+    solve_lp: Callable,
+) -> np.ndarray:
+    """Boolean matrix D with ``D[i, j]`` iff alternative i dominates j.
+
+    All pairwise envelope differences are materialised as one
+    ``(n, n, n_attributes)`` tensor and every pair a cheap bound can
+    decide is settled by array ops; the adversarial LP only runs for
+    the residue.  ``solve_lp`` is
+    ``(c, a_ub, b_ub, a_eq, b_eq, bounds) -> result`` — the caller
+    picks the solver (scipy HiGHS or the pure-Python simplex).
+
+    Decision rule per pair (identical to the scalar formulation):
+
+    * worst case: ``min_{w in W} (u_low_i - u_up_j) . w >= 0``, decided
+      without an LP when the componentwise min/max already settles it;
+    * strictness: ``max_{w in W} (u_up_i - u_low_j) . w > 0``, decided
+      without an LP when every component clears the tolerance (any
+      simplex point then does) or none can reach it.
+    """
+    compiled = _as_compiled(source)
+    n = compiled.n_alternatives
+    a_eq, b_eq, bounds = weight_polytope(compiled)
+
+    # (n, n, n_att) pairwise envelope differences.
+    diff_low = compiled.u_low[:, None, :] - compiled.u_up[None, :, :]
+    diff_up = compiled.u_up[:, None, :] - compiled.u_low[None, :, :]
+    off_diagonal = ~np.eye(n, dtype=bool)
+
+    # Worst-case screen: pairs whose componentwise max is already
+    # negative can never dominate; pairs whose componentwise min is
+    # non-negative dominate under every weight vector.
+    candidate = off_diagonal & (diff_low.max(axis=2) >= -_FEAS_TOL)
+    worst_ok = candidate & (diff_low.min(axis=2) >= -_FEAS_TOL)
+    for i, j in np.argwhere(candidate & ~worst_ok):
+        res = solve_lp(diff_low[i, j], None, None, a_eq, b_eq, bounds)
+        if not res.success:
+            raise RuntimeError(
+                "dominance LP failed for "
+                f"({compiled.alternative_names[i]!r}, "
+                f"{compiled.alternative_names[j]!r}): {res.message}"
+            )
+        if res.fun >= -_FEAS_TOL:
+            worst_ok[i, j] = True
+
+    # Strictness screen: u(a) must be able to exceed u(b) somewhere.
+    du_min = diff_up.min(axis=2)
+    du_max = diff_up.max(axis=2)
+    strict = worst_ok & (du_min > _FEAS_TOL)  # every simplex w clears tol
+    undecided = worst_ok & ~strict & (du_max > -_FEAS_TOL)
+    for i, j in np.argwhere(undecided):
+        res = solve_lp(-diff_up[i, j], None, None, a_eq, b_eq, bounds)
+        if res.success and -res.fun > _FEAS_TOL:
+            strict[i, j] = True
+    return strict
+
+
+# ----------------------------------------------------------------------
+# The batch evaluator
+# ----------------------------------------------------------------------
+
+class BatchEvaluator:
+    """Array-program evaluation over a compiled decision problem.
+
+    One instance answers every question the paper's workflow asks —
+    utility intervals, the Fig. 6 ranking, weight-scenario sweeps,
+    dominance/rank-interval screening and the §V Monte Carlo — without
+    re-walking the problem's object graph and without Python loops over
+    scenarios or alternatives.
+    """
+
+    def __init__(
+        self, source: Union[DecisionProblem, CompiledProblem, object]
+    ) -> None:
+        self.compiled = _as_compiled(source)
+
+    # -- §IV: overall-utility intervals and the Fig. 6 ranking ---------
+    def minimum_utilities(self) -> np.ndarray:
+        return self.compiled.u_low @ self.compiled.w_low
+
+    def average_utilities(self) -> np.ndarray:
+        return self.compiled.u_avg @ self.compiled.w_avg
+
+    def maximum_utilities(self) -> np.ndarray:
+        return self.compiled.u_up @ self.compiled.w_up
+
+    def utility_intervals(self) -> Tuple[Interval, ...]:
+        """[min, max] overall utility per alternative (table order)."""
+        mins = self.minimum_utilities()
+        maxs = self.maximum_utilities()
+        return tuple(
+            Interval(float(lo), float(up)) for lo, up in zip(mins, maxs)
+        )
+
+    def ranking_order(self) -> np.ndarray:
+        """Alternative indices by decreasing average utility.
+
+        Ties break on the alternative name, exactly like the scalar
+        ``AdditiveModel.evaluate``.
+        """
+        avgs = self.average_utilities()
+        names = np.array(self.compiled.alternative_names)
+        return np.lexsort((names, -avgs))
+
+    def evaluate(self):
+        """The Fig. 6 ranking as a :class:`repro.core.model.Evaluation`."""
+        from .model import Evaluation, RankedAlternative
+
+        mins = self.minimum_utilities()
+        avgs = self.average_utilities()
+        maxs = self.maximum_utilities()
+        rows = tuple(
+            RankedAlternative(
+                name=self.compiled.alternative_names[i],
+                minimum=float(mins[i]),
+                average=float(avgs[i]),
+                maximum=float(maxs[i]),
+                rank=rank,
+            )
+            for rank, i in enumerate(self.ranking_order(), start=1)
+        )
+        return Evaluation(self.compiled.name, rows)
+
+    # -- weight-scenario sweeps ----------------------------------------
+    def utilities_for_weights(self, weights: np.ndarray) -> np.ndarray:
+        """Overall utilities under explicit weight scenarios.
+
+        ``weights`` is one vector ``(n_attributes,)`` or a scenario
+        matrix ``(n_scenarios, n_attributes)``; component utilities sit
+        at their class averages, as in §V.  Returns ``(n_alternatives,)``
+        or ``(n_alternatives, n_scenarios)`` to match the historical
+        ``AdditiveModel.utilities_for_weights`` contract.
+        """
+        w = np.asarray(weights, dtype=float)
+        if w.ndim == 1:
+            if w.shape[0] != self.compiled.n_attributes:
+                raise ValueError(
+                    f"expected {self.compiled.n_attributes} weights, "
+                    f"got {w.shape[0]}"
+                )
+            return self.compiled.u_avg @ w
+        if w.shape[1] != self.compiled.n_attributes:
+            raise ValueError(
+                f"expected weight rows of length {self.compiled.n_attributes}, "
+                f"got {w.shape[1]}"
+            )
+        return self.compiled.u_avg @ w.T
+
+    def scenario_ranks(self, weights: np.ndarray) -> np.ndarray:
+        """1-based ranks per weight scenario, ``(n_scenarios, n_alt)``."""
+        w = np.asarray(weights, dtype=float)
+        if w.ndim == 1:
+            w = w[None, :]
+        return rank_matrix(self.utilities_for_weights(w).T)
+
+    # -- §V: Monte Carlo -----------------------------------------------
+    def sample_weights(
+        self,
+        method: str,
+        n_simulations: int,
+        rng: np.random.Generator,
+        order_groups: Optional[Sequence[Sequence[int]]] = None,
+        reject_outside: bool = False,
+    ) -> Tuple[np.ndarray, float]:
+        """(weights, acceptance_rate) for one §V simulation class."""
+        n = self.compiled.n_attributes
+        if method == "random":
+            return sample_simplex(n, n_simulations, rng), 1.0
+        if method == "rank_order":
+            if order_groups is None:
+                order = np.argsort(-self.compiled.w_avg, kind="stable")
+                order_groups = [[int(i)] for i in order]
+            return sample_rank_order(order_groups, n, n_simulations, rng), 1.0
+        if method == "intervals":
+            return sample_in_intervals(
+                self.compiled.w_low,
+                self.compiled.w_up,
+                n_simulations,
+                rng,
+                reject_outside,
+            )
+        raise ValueError(
+            f"unknown method {method!r}; expected 'random', 'rank_order' "
+            "or 'intervals'"
+        )
+
+    def _sampled_utility_tensor(
+        self, n_simulations: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Full utility sampling as one (S, n_alt, n_att) gather.
+
+        Per attribute, one draw per utility class shared by every
+        alternative on the same level — the coupling that makes a draw
+        a utility *function* — then made monotone along the preference
+        order with a cumulative max.  All attributes and simulations
+        are drawn in a single uniform call over the padded key tensor.
+        """
+        c = self.compiled
+        draws = rng.uniform(
+            c.key_low[None, :, :],
+            c.key_up[None, :, :],
+            size=(n_simulations, c.n_attributes, c.key_low.shape[1]),
+        )
+        draws = np.maximum.accumulate(draws, axis=2)
+        attr_index = np.arange(c.n_attributes)[None, :]
+        # u[s, i, j] = draws[s, j, alt_key[j, i]]
+        return draws[:, attr_index, c.alt_key.T]
+
+    def monte_carlo_utilities(
+        self,
+        weights: np.ndarray,
+        rng: np.random.Generator,
+        sample_utilities: Union[bool, str] = False,
+    ) -> np.ndarray:
+        """(n_simulations, n_alternatives) overall utilities.
+
+        The ``"missing"`` path reproduces the historical scalar
+        implementation bit-for-bit: the same single uniform draw over
+        the missing cells, and per-cell corrections accumulated in the
+        same (row-major cell) order via an unbuffered scatter-add.
+        """
+        c = self.compiled
+        n_simulations = weights.shape[0]
+        if sample_utilities in (True, "all"):
+            u = self._sampled_utility_tensor(n_simulations, rng)
+            return np.einsum("saj,sj->sa", u, weights)
+        if sample_utilities == "missing":
+            utilities = weights @ c.u_avg.T
+            if c.missing.any():
+                cells = np.argwhere(c.missing)
+                rows, cols = cells[:, 0], cells[:, 1]
+                draws = rng.uniform(0.0, 1.0, size=(n_simulations, len(cells)))
+                delta = draws - c.u_avg[rows, cols][None, :]
+                np.add.at(
+                    utilities, (slice(None), rows), weights[:, cols] * delta
+                )
+            return utilities
+        if sample_utilities is not False:
+            raise ValueError(
+                f"sample_utilities must be False, True, 'all' or 'missing', "
+                f"got {sample_utilities!r}"
+            )
+        return weights @ c.u_avg.T
+
+    def monte_carlo_ranks(
+        self,
+        method: str = "intervals",
+        n_simulations: int = 10_000,
+        seed: Optional[int] = None,
+        rng: Optional[np.random.Generator] = None,
+        order_groups: Optional[Sequence[Sequence[int]]] = None,
+        sample_utilities: Union[bool, str] = False,
+        reject_outside: bool = False,
+    ) -> Tuple[np.ndarray, float]:
+        """One §V simulation class as raw arrays: (ranks, acceptance)."""
+        if n_simulations < 1:
+            raise ValueError("n_simulations must be positive")
+        if rng is None:
+            rng = np.random.default_rng(seed)
+        weights, acceptance = self.sample_weights(
+            method, n_simulations, rng, order_groups, reject_outside
+        )
+        utilities = self.monte_carlo_utilities(weights, rng, sample_utilities)
+        return rank_matrix(utilities), acceptance
+
+    def simulate(self, **kwargs):
+        """Full §V Monte Carlo as a
+        :class:`repro.core.montecarlo.MonteCarloResult`."""
+        from .montecarlo import MonteCarloResult
+
+        method = kwargs.get("method", "intervals")
+        ranks, acceptance = self.monte_carlo_ranks(**kwargs)
+        return MonteCarloResult(
+            self.compiled.alternative_names, ranks, method, acceptance
+        )
+
+    # -- §V: screening --------------------------------------------------
+    def dominance_matrix(self, solver: str = "scipy") -> np.ndarray:
+        from .dominance import dominance_matrix as _dominance_matrix
+
+        return _dominance_matrix(self.compiled, solver=solver)
+
+    def rank_intervals(self, solver: str = "scipy"):
+        """Best/worst attainable rank per alternative, from dominance."""
+        from .rankintervals import rank_intervals as _rank_intervals
+
+        return _rank_intervals(self, matrix=self.dominance_matrix(solver))
+
+    @property
+    def alternative_names(self) -> Tuple[str, ...]:
+        return self.compiled.alternative_names
+
+    @property
+    def n_attributes(self) -> int:
+        return self.compiled.n_attributes
+
+    @property
+    def n_alternatives(self) -> int:
+        return self.compiled.n_alternatives

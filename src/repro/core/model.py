@@ -27,14 +27,13 @@ Carlo) evaluate weight vectors with a single matrix-vector product.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Sequence, Tuple
+from typing import Optional, Tuple
 
 import numpy as np
 
+from .engine import BatchEvaluator, CompiledProblem, compile_problem
 from .interval import Interval
-from .performance import PerformanceTable, UncertainValue
 from .problem import DecisionProblem
-from .scales import MISSING
 
 __all__ = ["AdditiveModel", "Evaluation", "RankedAlternative", "evaluate"]
 
@@ -110,22 +109,6 @@ class Evaluation:
         )
 
 
-def _utility_triplet(fn, performance) -> Tuple[float, float, float]:
-    """(lower, average, upper) component utility of one performance."""
-    if performance is MISSING:
-        interval = fn.utility(MISSING)
-        return interval.lower, interval.midpoint, interval.upper
-    if isinstance(performance, UncertainValue):
-        at_min = fn.utility(performance.minimum)
-        at_avg = fn.utility(performance.average)
-        at_max = fn.utility(performance.maximum)
-        lower = min(at_min.lower, at_avg.lower, at_max.lower)
-        upper = max(at_min.upper, at_avg.upper, at_max.upper)
-        return lower, at_avg.midpoint, upper
-    interval = fn.utility(performance)
-    return interval.lower, interval.midpoint, interval.upper
-
-
 class AdditiveModel:
     """Matrix form of a decision problem's additive utility model.
 
@@ -133,32 +116,39 @@ class AdditiveModel:
     hierarchy leaf order).  ``u_low``/``u_avg``/``u_up`` hold the
     component-utility envelopes; ``w_low``/``w_avg``/``w_up`` the
     attribute-weight bounds and normalised averages.
+
+    The arrays are lowered once by :func:`repro.core.engine.compile_problem`
+    and shared with the batch engine; every evaluation method delegates
+    to a :class:`repro.core.engine.BatchEvaluator` over that compiled
+    form.
     """
 
-    def __init__(self, problem: DecisionProblem) -> None:
+    def __init__(
+        self,
+        problem: DecisionProblem,
+        compiled: Optional[CompiledProblem] = None,
+    ) -> None:
         self.problem = problem
-        self.attribute_names: Tuple[str, ...] = problem.hierarchy.attribute_names
-        self.alternative_names: Tuple[str, ...] = problem.table.alternative_names
-        n_alt = len(self.alternative_names)
-        n_att = len(self.attribute_names)
-        self.u_low = np.zeros((n_alt, n_att))
-        self.u_avg = np.zeros((n_alt, n_att))
-        self.u_up = np.zeros((n_alt, n_att))
-        for i, alt in enumerate(problem.table.alternatives):
-            for j, attr in enumerate(self.attribute_names):
-                fn = problem.utility_function(attr)
-                lo, avg, up = _utility_triplet(fn, alt.performance(attr))
-                self.u_low[i, j] = lo
-                self.u_avg[i, j] = avg
-                self.u_up[i, j] = up
-        intervals = [
-            problem.weights.attribute_weight_interval(a)
-            for a in self.attribute_names
-        ]
-        averages = problem.weights.attribute_averages()
-        self.w_low = np.array([iv.lower for iv in intervals])
-        self.w_up = np.array([iv.upper for iv in intervals])
-        self.w_avg = np.array([averages[a] for a in self.attribute_names])
+        if compiled is None:
+            compiled = compile_problem(problem)
+        elif (
+            compiled.alternative_names != problem.table.alternative_names
+            or compiled.attribute_names != problem.hierarchy.attribute_names
+        ):
+            # A content-addressed cache (workspace.compile_cached) may
+            # hand back a compiled form built from a different-but-equal
+            # problem object; only reject structural mismatches.
+            raise ValueError("compiled form belongs to a different problem")
+        self.compiled = compiled
+        self._evaluator = BatchEvaluator(compiled)
+        self.attribute_names: Tuple[str, ...] = compiled.attribute_names
+        self.alternative_names: Tuple[str, ...] = compiled.alternative_names
+        self.u_low = compiled.u_low
+        self.u_avg = compiled.u_avg
+        self.u_up = compiled.u_up
+        self.w_low = compiled.w_low
+        self.w_up = compiled.w_up
+        self.w_avg = compiled.w_avg
 
     # ------------------------------------------------------------------
     @property
@@ -169,14 +159,19 @@ class AdditiveModel:
     def n_attributes(self) -> int:
         return len(self.attribute_names)
 
+    @property
+    def evaluator(self) -> BatchEvaluator:
+        """The batch engine bound to this model's compiled form."""
+        return self._evaluator
+
     def minimum_utilities(self) -> np.ndarray:
-        return self.u_low @ self.w_low
+        return self._evaluator.minimum_utilities()
 
     def average_utilities(self) -> np.ndarray:
-        return self.u_avg @ self.w_avg
+        return self._evaluator.average_utilities()
 
     def maximum_utilities(self) -> np.ndarray:
-        return self.u_up @ self.w_up
+        return self._evaluator.maximum_utilities()
 
     def utilities_for_weights(self, weights: np.ndarray) -> np.ndarray:
         """Overall utilities for an explicit weight vector.
@@ -186,39 +181,11 @@ class AdditiveModel:
         weights").  ``weights`` may be a single vector or a matrix of
         shape (n_samples, n_attributes).
         """
-        w = np.asarray(weights, dtype=float)
-        if w.ndim == 1:
-            if w.shape[0] != self.n_attributes:
-                raise ValueError(
-                    f"expected {self.n_attributes} weights, got {w.shape[0]}"
-                )
-            return self.u_avg @ w
-        if w.shape[1] != self.n_attributes:
-            raise ValueError(
-                f"expected weight rows of length {self.n_attributes}, "
-                f"got {w.shape[1]}"
-            )
-        return self.u_avg @ w.T
+        return self._evaluator.utilities_for_weights(weights)
 
     def evaluate(self) -> Evaluation:
         """The Fig. 6 ranking: min/avg/max per alternative, by average."""
-        mins = self.minimum_utilities()
-        avgs = self.average_utilities()
-        maxs = self.maximum_utilities()
-        order = sorted(
-            range(self.n_alternatives), key=lambda i: (-avgs[i], self.alternative_names[i])
-        )
-        rows = tuple(
-            RankedAlternative(
-                name=self.alternative_names[i],
-                minimum=float(mins[i]),
-                average=float(avgs[i]),
-                maximum=float(maxs[i]),
-                rank=rank,
-            )
-            for rank, i in enumerate(order, start=1)
-        )
-        return Evaluation(self.problem.name, rows)
+        return self._evaluator.evaluate()
 
 
 def evaluate(problem: DecisionProblem, objective: "str | None" = None) -> Evaluation:

@@ -37,15 +37,22 @@ available:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+from typing import Optional, Sequence, Tuple, Union
 
 import numpy as np
 
-from .interval import Interval
+from .engine import (
+    BatchEvaluator,
+    CompiledProblem,
+    compile_problem,
+    rank_matrix as _rank_matrix,
+    sample_in_intervals,
+    sample_rank_order,
+    sample_simplex,
+)
+from .engine import _performance_key as id_key  # noqa: F401 (re-export)
 from .model import AdditiveModel
-from .performance import UncertainValue
 from .problem import DecisionProblem
-from .scales import MISSING
 
 __all__ = [
     "sample_simplex",
@@ -57,201 +64,12 @@ __all__ = [
 ]
 
 
-# ----------------------------------------------------------------------
-# Weight generators (the three §V simulation classes)
-# ----------------------------------------------------------------------
-
-def sample_simplex(
-    n_attributes: int, n_samples: int, rng: np.random.Generator
-) -> np.ndarray:
-    """Uniform samples from the weight simplex.
-
-    The classic exponential-spacings construction: normalised i.i.d.
-    exponentials are uniform on ``{w >= 0 : sum w = 1}``.  This is §V's
-    first simulation class — "attribute weights completely at random
-    (there is no knowledge whatsoever of the relative importance of the
-    attributes)".
-    """
-    if n_attributes < 1:
-        raise ValueError("need at least one attribute")
-    if n_samples < 1:
-        raise ValueError("need at least one sample")
-    raw = rng.exponential(scale=1.0, size=(n_samples, n_attributes))
-    return raw / raw.sum(axis=1, keepdims=True)
-
-
-def sample_rank_order(
-    groups: Sequence[Sequence[int]],
-    n_attributes: int,
-    n_samples: int,
-    rng: np.random.Generator,
-) -> np.ndarray:
-    """Simplex samples preserving a total or partial attribute rank order.
-
-    ``groups`` lists attribute indices from most to least important;
-    attributes inside one group are unordered relative to each other
-    (the *partial* order case).  Singleton groups everywhere give a
-    total order.  Sampling: draw uniformly on the simplex, sort each
-    sample descending, hand the largest values to the first group
-    (shuffled within the group), the next largest to the second, and so
-    on — the standard construction for rank-order-constrained simplex
-    sampling.
-    """
-    flat = [i for group in groups for i in group]
-    if sorted(flat) != list(range(n_attributes)):
-        raise ValueError(
-            "groups must partition the attribute indices "
-            f"0..{n_attributes - 1}; got {groups!r}"
-        )
-    base = sample_simplex(n_attributes, n_samples, rng)
-    base.sort(axis=1)
-    base = base[:, ::-1]  # descending: position 0 = largest weight
-    result = np.empty_like(base)
-    cursor = 0
-    for group in groups:
-        size = len(group)
-        block = base[:, cursor:cursor + size]
-        if size == 1:
-            result[:, group[0]] = block[:, 0]
-        else:
-            # Shuffle the block's columns independently per sample so
-            # within-group order is uniform.
-            perm = np.argsort(rng.random((n_samples, size)), axis=1)
-            shuffled = np.take_along_axis(block, perm, axis=1)
-            for k, attr in enumerate(group):
-                result[:, attr] = shuffled[:, k]
-        cursor += size
-    return result
-
-
-def sample_in_intervals(
-    lower: np.ndarray,
-    upper: np.ndarray,
-    n_samples: int,
-    rng: np.random.Generator,
-    reject_outside: bool = False,
-    max_batches: int = 200,
-) -> Tuple[np.ndarray, float]:
-    """Weights drawn within elicited intervals, renormalised to sum 1.
-
-    GMAA's third simulation class: "attribute weights can be randomly
-    assigned values taking into account the elicited weight intervals"
-    (Fig. 5).  Each attribute weight is drawn uniformly in its interval
-    and the vector is divided by its sum.  With ``reject_outside`` the
-    renormalised vector must also remain inside the intervals (the
-    normalised-box polytope); samples violating that are redrawn.
-
-    Returns ``(weights, acceptance_rate)``; the acceptance rate is 1.0
-    when no rejection was requested.
-    """
-    lower = np.asarray(lower, dtype=float)
-    upper = np.asarray(upper, dtype=float)
-    if lower.shape != upper.shape or lower.ndim != 1:
-        raise ValueError("lower and upper must be 1-D arrays of equal length")
-    if np.any(lower < 0) or np.any(lower > upper):
-        raise ValueError("need 0 <= lower <= upper per attribute")
-    if float(lower.sum()) > 1.0 + 1e-9 or float(upper.sum()) < 1.0 - 1e-9:
-        raise ValueError(
-            "weight intervals do not intersect the simplex: "
-            f"sum of lowers {lower.sum():.4f}, sum of uppers {upper.sum():.4f}"
-        )
-    n = lower.shape[0]
-    if not reject_outside:
-        raw = rng.uniform(lower, upper, size=(n_samples, n))
-        return raw / raw.sum(axis=1, keepdims=True), 1.0
-
-    accepted: List[np.ndarray] = []
-    drawn = kept = 0
-    tol = 1e-12
-    for _ in range(max_batches):
-        raw = rng.uniform(lower, upper, size=(n_samples, n))
-        w = raw / raw.sum(axis=1, keepdims=True)
-        ok = np.all(w >= lower - tol, axis=1) & np.all(w <= upper + tol, axis=1)
-        drawn += n_samples
-        kept += int(ok.sum())
-        if ok.any():
-            accepted.append(w[ok])
-        if kept >= n_samples:
-            break
-    if kept < n_samples:
-        raise RuntimeError(
-            f"interval rejection sampling accepted only {kept} of the "
-            f"requested {n_samples} samples after {drawn} draws; relax the "
-            "intervals or disable reject_outside"
-        )
-    stacked = np.vstack(accepted)[:n_samples]
-    return stacked, kept / drawn
-
-
-# ----------------------------------------------------------------------
-# Component-utility sampling (optional extension)
-# ----------------------------------------------------------------------
-
-class _UtilitySampler:
-    """Draws component-utility matrices inside the class envelopes.
-
-    For every attribute the distinct performance values define *keys*;
-    a simulation draws one utility per key (uniform in its interval,
-    then made monotone along the level order for discrete scales) and
-    every alternative on the same key receives the same draw — the
-    coupling that makes the draw a utility *function*, not independent
-    noise per cell.
-    """
-
-    def __init__(self, problem: DecisionProblem, model: AdditiveModel) -> None:
-        self._n_alt = model.n_alternatives
-        self._n_att = model.n_attributes
-        # Per attribute: list of interval bounds per key (ordered by
-        # preference so monotonisation is meaningful), and the key index
-        # of every alternative.
-        self._key_lowers: List[np.ndarray] = []
-        self._key_uppers: List[np.ndarray] = []
-        self._alt_keys: List[np.ndarray] = []
-        self._monotone: List[bool] = []
-        for j, attr in enumerate(model.attribute_names):
-            fn = problem.utility_function(attr)
-            values = []
-            for alt in problem.table.alternatives:
-                perf = alt.performance(attr)
-                if isinstance(perf, UncertainValue):
-                    perf = perf.average
-                values.append(perf)
-            keys: List[object] = []
-            for v in values:
-                if v not in keys:
-                    keys.append(v)
-            # Order keys by their average utility so monotonisation
-            # never flips preference.
-            keys.sort(key=lambda v: fn.utility(v).midpoint)
-            index = {id_key(v): k for k, v in enumerate(keys)}
-            self._alt_keys.append(
-                np.array([index[id_key(v)] for v in values], dtype=int)
-            )
-            intervals = [fn.utility(v) for v in keys]
-            self._key_lowers.append(np.array([iv.lower for iv in intervals]))
-            self._key_uppers.append(np.array([iv.upper for iv in intervals]))
-            self._monotone.append(True)
-
-    def sample(self, rng: np.random.Generator) -> np.ndarray:
-        """One (n_alternatives, n_attributes) utility matrix."""
-        u = np.empty((self._n_alt, self._n_att))
-        for j in range(self._n_att):
-            draws = rng.uniform(self._key_lowers[j], self._key_uppers[j])
-            if self._monotone[j]:
-                draws = np.maximum.accumulate(draws)
-            u[:, j] = draws[self._alt_keys[j]]
-        return u
-
-
-def id_key(value: object) -> object:
-    """A hashable identity for a performance value (MISSING included)."""
-    if value is MISSING:
-        return "__missing__"
-    return float(value)
-
-
 def missing_mask(problem: DecisionProblem, model: AdditiveModel) -> np.ndarray:
     """Boolean (n_alternatives, n_attributes) mask of unknown cells."""
+    if problem is model.problem:
+        return model.compiled.missing.copy()
+    from .scales import MISSING
+
     mask = np.zeros((model.n_alternatives, model.n_attributes), dtype=bool)
     for i, alt in enumerate(problem.table.alternatives):
         for j, attr in enumerate(model.attribute_names):
@@ -403,22 +221,8 @@ class MonteCarloResult:
 # Driver
 # ----------------------------------------------------------------------
 
-def _rank_matrix(utilities: np.ndarray) -> np.ndarray:
-    """Per-simulation 1-based ranks from a (n_sims, n_alt) utility array.
-
-    Ties resolve in alternative (column) order, matching the stable
-    tie-break the deterministic evaluation uses.
-    """
-    order = np.argsort(-utilities, axis=1, kind="stable")
-    ranks = np.empty_like(order)
-    n_sims, n_alt = utilities.shape
-    rows = np.arange(n_sims)[:, None]
-    ranks[rows, order] = np.arange(1, n_alt + 1)[None, :]
-    return ranks
-
-
 def simulate(
-    problem_or_model: Union[DecisionProblem, AdditiveModel],
+    problem_or_model: Union[DecisionProblem, AdditiveModel, CompiledProblem],
     method: str = "intervals",
     n_simulations: int = 10_000,
     seed: Optional[int] = None,
@@ -438,57 +242,27 @@ def simulate(
     utility uniformly in [0, 1] per simulation (the ref.-[18] model);
     ``True``/``"all"`` additionally samples every component utility
     inside its class envelope (shared per level across alternatives).
+
+    The whole run is a single array program over the problem's
+    compiled form (:mod:`repro.core.engine`): weight scenarios,
+    component-utility draws, overall utilities and ranks are tensors of
+    leading dimension ``n_simulations`` — there is no Python loop over
+    simulations or alternatives.
     """
-    if isinstance(problem_or_model, AdditiveModel):
-        model = problem_or_model
+    if isinstance(problem_or_model, DecisionProblem):
+        compiled = compile_problem(problem_or_model)
     else:
-        model = AdditiveModel(problem_or_model)
-    if n_simulations < 1:
-        raise ValueError("n_simulations must be positive")
-    if rng is None:
-        rng = np.random.default_rng(seed)
-
-    n = model.n_attributes
-    acceptance = 1.0
-    if method == "random":
-        weights = sample_simplex(n, n_simulations, rng)
-    elif method == "rank_order":
-        if order_groups is None:
-            order = np.argsort(-model.w_avg, kind="stable")
-            order_groups = [[int(i)] for i in order]
-        weights = sample_rank_order(order_groups, n, n_simulations, rng)
-    elif method == "intervals":
-        weights, acceptance = sample_in_intervals(
-            model.w_low, model.w_up, n_simulations, rng, reject_outside
-        )
-    else:
-        raise ValueError(
-            f"unknown method {method!r}; expected 'random', 'rank_order' "
-            "or 'intervals'"
-        )
-
-    if sample_utilities in (True, "all"):
-        sampler = _UtilitySampler(model.problem, model)
-        utilities = np.empty((n_simulations, model.n_alternatives))
-        for s in range(n_simulations):
-            u = sampler.sample(rng)
-            utilities[s] = u @ weights[s]
-    elif sample_utilities == "missing":
-        mask = missing_mask(model.problem, model)
-        utilities = weights @ model.u_avg.T
-        if mask.any():
-            cells = np.argwhere(mask)
-            draws = rng.uniform(0.0, 1.0, size=(n_simulations, len(cells)))
-            for k, (i, j) in enumerate(cells):
-                delta = draws[:, k] - model.u_avg[i, j]
-                utilities[:, i] += weights[:, j] * delta
-    elif sample_utilities is not False:
-        raise ValueError(
-            f"sample_utilities must be False, True, 'all' or 'missing', "
-            f"got {sample_utilities!r}"
-        )
-    else:
-        utilities = weights @ model.u_avg.T
-
-    ranks = _rank_matrix(utilities)
-    return MonteCarloResult(model.alternative_names, ranks, method, acceptance)
+        compiled = problem_or_model  # AdditiveModel or CompiledProblem
+    evaluator = BatchEvaluator(compiled)
+    ranks, acceptance = evaluator.monte_carlo_ranks(
+        method=method,
+        n_simulations=n_simulations,
+        seed=seed,
+        rng=rng,
+        order_groups=order_groups,
+        sample_utilities=sample_utilities,
+        reject_outside=reject_outside,
+    )
+    return MonteCarloResult(
+        evaluator.alternative_names, ranks, method, acceptance
+    )

@@ -27,7 +27,6 @@ from typing import Dict, Optional, Tuple
 import numpy as np
 
 from .dominance import dominance_matrix
-from .model import AdditiveModel
 
 __all__ = ["RankInterval", "rank_intervals"]
 
@@ -56,15 +55,19 @@ class RankInterval:
 
 
 def rank_intervals(
-    model: AdditiveModel,
+    model,
     matrix: Optional[np.ndarray] = None,
     solver: str = "scipy",
 ) -> Dict[str, RankInterval]:
     """Best/worst attainable rank per alternative.
 
-    ``matrix`` may pass a precomputed dominance matrix (``D[i, j]``
-    true iff alternative ``i`` dominates ``j``) to avoid re-solving the
-    LPs.
+    ``model`` is anything carrying ``alternative_names`` and the
+    compiled envelopes — an :class:`~repro.core.model.AdditiveModel`, a
+    :class:`~repro.core.engine.BatchEvaluator` or a
+    :class:`~repro.core.engine.CompiledProblem`; the dominance LPs run
+    through the batch engine's vectorised pre-screen.  ``matrix`` may
+    pass a precomputed dominance matrix (``D[i, j]`` true iff
+    alternative ``i`` dominates ``j``) to avoid re-solving the LPs.
     """
     if matrix is None:
         matrix = dominance_matrix(model, solver=solver)

@@ -14,9 +14,11 @@ reject unknown versions instead of guessing.
 from __future__ import annotations
 
 import json
+from collections import OrderedDict
 from pathlib import Path
 from typing import Any, Dict, List, Mapping, Union
 
+from .engine import CompiledProblem, compile_problem
 from .hierarchy import Hierarchy, ObjectiveNode
 from .interval import Interval
 from .performance import Alternative, PerformanceTable, UncertainValue
@@ -25,7 +27,18 @@ from .scales import MISSING, ContinuousScale, DiscreteScale
 from .utility import DiscreteUtility, PiecewiseLinearUtility
 from .weights import WeightSystem
 
-__all__ = ["to_dict", "from_dict", "save", "load", "FORMAT"]
+__all__ = [
+    "to_dict",
+    "from_dict",
+    "save",
+    "load",
+    "FORMAT",
+    "canonical_key",
+    "compile_cached",
+    "load_compiled",
+    "compile_cache_info",
+    "clear_compile_cache",
+]
 
 FORMAT = "repro-workspace/1"
 
@@ -252,3 +265,71 @@ def save(problem: DecisionProblem, path: Union[str, Path]) -> None:
 def load(path: Union[str, Path]) -> DecisionProblem:
     """Read a workspace JSON written by :func:`save`."""
     return from_dict(json.loads(Path(path).read_text()))
+
+
+# ----------------------------------------------------------------------
+# Compile cache
+# ----------------------------------------------------------------------
+#
+# Lowering a problem into the batch engine's dense arrays walks the
+# whole object graph once per problem; a repository-scale batch run
+# (``repro batch``) evaluates the same workspaces again and again, so
+# the compiled forms are memoised here.  The cache key is *semantic* —
+# the canonical workspace JSON — so two problems with identical content
+# share one compiled form regardless of which file or constructor they
+# came from.
+
+_COMPILE_CACHE_CAPACITY = 128
+_compile_cache: "OrderedDict[str, CompiledProblem]" = OrderedDict()
+_compile_hits = 0
+_compile_misses = 0
+
+
+def canonical_key(problem: DecisionProblem) -> str:
+    """The content-addressed cache key: canonical workspace JSON."""
+    return json.dumps(to_dict(problem), sort_keys=True, separators=(",", ":"))
+
+
+def compile_cached(problem: DecisionProblem) -> CompiledProblem:
+    """The LRU-cached compiled form of ``problem``.
+
+    Returns the same :class:`~repro.core.engine.CompiledProblem` for
+    every problem whose workspace serialisation matches; least
+    recently used entries are evicted past the cache capacity.
+    """
+    global _compile_hits, _compile_misses
+    key = canonical_key(problem)
+    cached = _compile_cache.get(key)
+    if cached is not None:
+        _compile_cache.move_to_end(key)
+        _compile_hits += 1
+        return cached
+    _compile_misses += 1
+    compiled = compile_problem(problem)
+    _compile_cache[key] = compiled
+    while len(_compile_cache) > _COMPILE_CACHE_CAPACITY:
+        _compile_cache.popitem(last=False)
+    return compiled
+
+
+def load_compiled(path: Union[str, Path]) -> CompiledProblem:
+    """Load a workspace file straight into its compiled form (cached)."""
+    return compile_cached(load(path))
+
+
+def compile_cache_info() -> Dict[str, int]:
+    """Hit/miss/size counters, in the spirit of ``lru_cache.cache_info``."""
+    return {
+        "hits": _compile_hits,
+        "misses": _compile_misses,
+        "size": len(_compile_cache),
+        "capacity": _COMPILE_CACHE_CAPACITY,
+    }
+
+
+def clear_compile_cache() -> None:
+    """Drop every cached compiled form and reset the counters."""
+    global _compile_hits, _compile_misses
+    _compile_cache.clear()
+    _compile_hits = 0
+    _compile_misses = 0

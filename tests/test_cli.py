@@ -58,6 +58,33 @@ class TestCommands:
         assert code == 0
         assert "ever ranked first" in out
 
+    def test_batch_default_problem(self, capsys):
+        code, out = run_cli(capsys, "batch")
+        assert code == 0
+        assert "Multimedia" in out and "Media Ontology" in out
+        assert "evaluated 1 problem(s)" in out
+
+    def test_batch_objectives_and_simulate(self, capsys):
+        code, out = run_cli(
+            capsys, "batch", "--objectives", "--simulate", "200", "--seed", "1"
+        )
+        assert code == 0
+        assert "Multimedia:Understandability" in out
+        assert "ever best" in out
+        assert "200 simulations each" in out
+
+    def test_batch_workspace_registry_hits_compile_cache(self, capsys, tmp_path):
+        from repro.core.workspace import clear_compile_cache
+
+        target = tmp_path / "ws.json"
+        code, _ = run_cli(capsys, "workspace", "save", str(target))
+        assert code == 0
+        clear_compile_cache()
+        code, out = run_cli(capsys, "batch", str(target), str(target))
+        assert code == 0
+        assert "evaluated 2 problem(s)" in out
+        assert "1 hits, 1 misses" in out
+
     def test_pipeline(self, capsys):
         code, out = run_cli(capsys, "pipeline")
         assert code == 0
