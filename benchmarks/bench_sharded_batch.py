@@ -1,0 +1,309 @@
+"""Sharded multi-problem runtime speedup — a registry in one array program.
+
+PR 1 made a single decision problem fast; ``repro batch`` still walked
+a registry one workspace at a time — JSON parse, object-graph compile,
+per-problem evaluation, single process.  The sharded runtime
+(:mod:`repro.core.runtime`) removes all three costs: compiled arrays
+mmap-load from persisted ``.npz`` artifacts, same-shape problems stack
+into ``(n_problems, n_alternatives, n_attributes)`` tensor programs,
+and shards spread across a process pool with work-stealing chunks.
+
+This benchmark builds a ~200-workspace synthetic registry — candidate
+shortlists drawn from a pool of generated ontologies
+(:mod:`repro.ontology.generator`) scored through the NeOn assess
+activity — and asserts
+
+* the sharded runtime beats the PR 1 sequential path by >= 4x, and
+* the merged report is identical for 1 worker and N workers (and to a
+  per-problem reference on a sample of workspaces).
+
+It emits a ``BENCH_sharded_batch.json`` trajectory artifact (uploaded
+by CI) recording every timed leg.
+
+Runs standalone (CI smoke)::
+
+    PYTHONPATH=src python benchmarks/bench_sharded_batch.py
+
+or under pytest (``pytest benchmarks/bench_sharded_batch.py -s``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import random
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+try:  # allow standalone execution without a PYTHONPATH export
+    import repro  # noqa: F401
+except ImportError:  # pragma: no cover - path bootstrap
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.core.engine import BatchEvaluator
+from repro.core.performance import Alternative, PerformanceTable
+from repro.core.problem import DecisionProblem
+from repro.core.runtime import BatchOptions, ShardedRunner
+from repro.core.weights import WeightSystem
+from repro.core import workspace
+from repro.neon.assessment import assess_batch
+from repro.neon.criteria import build_hierarchy, default_scales, default_utilities
+from repro.ontology.corpus import ReuseMetadata
+from repro.ontology.cq import CompetencyQuestion
+from repro.ontology.generator import OntologySpec, generate
+
+SEED = 2012
+N_WORKSPACES = 200
+POOL_SIZE = 12
+SHORTLIST = 8
+MIN_SPEEDUP = 4.0
+ARTIFACT = "BENCH_sharded_batch.json"
+
+_CQS = tuple(
+    CompetencyQuestion(f"cq{i}", f"q{i}", key_terms=(term,))
+    for i, term in enumerate(
+        ("codec", "playlist", "subtitle", "waveform", "storyboard", "tempo")
+    )
+)
+
+
+def build_registry(directory: Path, n_workspaces: int = N_WORKSPACES):
+    """Write a synthetic multi-problem registry of workspace JSONs.
+
+    A pool of generated candidate ontologies is scored once through the
+    (vectorised) NeOn assess activity; every workspace is then a
+    shortlist problem over a seeded subset of the pool — the shape a
+    repository-scale reuse sweep produces, one decision problem per
+    shortlist, all sharing the 14-criteria shape.
+    """
+    rng = random.Random(SEED)
+    pool = []
+    for i in range(POOL_SIZE):
+        spec = OntologySpec(
+            name=f"Candidate {i:02d}",
+            seed=1000 + i,
+            n_classes=24 + (i % 5) * 4,
+            doc_quality=i % 4,
+            ext_knowledge=(i + 1) % 4,
+            code_clarity=max(2, 3 - i % 2),
+            naming=1 + i % 3,
+            knowledge_extraction=i % 4,
+            language_adequacy=1 + i % 3,
+            covered_cqs=_CQS[: 1 + i % len(_CQS)],
+            metadata=ReuseMetadata(
+                financial_cost=None if i % 5 == 0 else float(50 * (i % 4)),
+                access_time_days=float(1 + i % 9),
+                n_test_suites=i % 4,
+                evaluation_level=None if i % 3 == 0 else i % 4,
+                team_publications=i % 7,
+                purpose=(None, "academic", "standard-transform", "project")[
+                    i % 4
+                ],
+                reused_by=tuple(f"adopter-{k}" for k in range(i % 3)),
+                uses_design_patterns=i % 2 == 0,
+            ),
+        )
+        pool.append(generate(spec))
+
+    assessments = assess_batch(pool, _CQS)
+    hierarchy = build_hierarchy()
+    scales = default_scales()
+    utilities = default_utilities()
+    weights = WeightSystem.uniform(hierarchy)
+
+    paths = []
+    for w in range(n_workspaces):
+        chosen = rng.sample(range(POOL_SIZE), SHORTLIST)
+        table = PerformanceTable(
+            dict(scales),
+            [
+                Alternative(
+                    assessments[c].name, dict(assessments[c].performances)
+                )
+                for c in chosen
+            ],
+        )
+        problem = DecisionProblem(
+            hierarchy, table, utilities, weights, name=f"shortlist-{w:04d}"
+        )
+        path = directory / f"shortlist-{w:04d}.json"
+        workspace.save(problem, path)
+        paths.append(path)
+    return paths
+
+
+def sequential_reference(paths, simulations: int = 0):
+    """The PR 1 `repro batch` hot path: one workspace at a time.
+
+    JSON parse -> object-graph compile (through the in-memory LRU, as
+    the CLI did) -> per-problem BatchEvaluator, single process; with
+    ``simulations`` a per-problem §V Monte Carlo on top, exactly as
+    ``repro batch --simulate N`` computed it.  Returns the
+    per-workspace (name, best, avg) fingerprints.
+    """
+    workspace.clear_compile_cache()
+    fingerprints = []
+    for path in paths:
+        compiled = workspace.load_compiled(path)
+        evaluator = BatchEvaluator(compiled)
+        best = evaluator.evaluate().best
+        if simulations:
+            result = evaluator.simulate(
+                method="intervals",
+                n_simulations=simulations,
+                seed=SEED,
+                sample_utilities="missing",
+            )
+            len(result.ever_best())
+            result.max_fluctuation(result.top_k_by_mean(5))
+        fingerprints.append((compiled.name, best.name, round(best.average, 12)))
+    return fingerprints
+
+
+def report_fingerprints(report):
+    return [
+        (r.name, r.best_name, round(r.best_average, 12))
+        for r in report.results
+    ]
+
+
+MC_SIMULATIONS = 256
+
+
+def _best_sharded_time(paths, worker_counts, options, repeats: int = 3):
+    """Fastest warm wall time per worker count: {workers: seconds}."""
+    timings = {}
+    for workers in worker_counts:
+        runner = ShardedRunner(workers=workers, options=options)
+        best = None
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            runner.run(paths)
+            elapsed = time.perf_counter() - t0
+            best = elapsed if best is None else min(best, elapsed)
+        timings[workers] = best
+    return timings
+
+
+def run(
+    n_workspaces: int = N_WORKSPACES,
+    workers: int | None = None,
+    verbose: bool = True,
+) -> dict:
+    if workers is None:
+        workers = max(2, min(os.cpu_count() or 2, 4))
+    worker_counts = sorted({1, workers})
+    with tempfile.TemporaryDirectory(prefix="sharded-registry-") as tmp:
+        tmp = Path(tmp)
+        t0 = time.perf_counter()
+        paths = build_registry(tmp, n_workspaces)
+        t_build = time.perf_counter() - t0
+
+        # --- PR 1 sequential path, both workloads -------------------
+        t0 = time.perf_counter()
+        seq_fingerprints = sequential_reference(paths)
+        t_seq_eval = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        sequential_reference(paths, simulations=MC_SIMULATIONS)
+        t_seq_mc = time.perf_counter() - t0
+
+        # --- cold sharded run: compiles once, persists .npz ---------
+        runner = ShardedRunner(workers=workers, options=BatchOptions())
+        t0 = time.perf_counter()
+        runner.run(paths)
+        t_cold = time.perf_counter() - t0
+
+        # --- warm sharded runs: mmap artifacts, stacked tensors -----
+        eval_times = _best_sharded_time(paths, worker_counts, BatchOptions())
+        mc_times = _best_sharded_time(
+            paths,
+            worker_counts,
+            BatchOptions(simulations=MC_SIMULATIONS, seed=SEED),
+        )
+
+        # --- determinism: every worker count merges identically -----
+        reports = {
+            w: ShardedRunner(
+                workers=w,
+                options=BatchOptions(simulations=MC_SIMULATIONS, seed=SEED),
+            ).run(paths)
+            for w in sorted({1, 2, workers, workers * 2})
+        }
+        reference = reports[1]
+        identical = all(
+            r.results == reference.results and r.skipped == reference.skipped
+            for r in reports.values()
+        )
+        matches_sequential = (
+            report_fingerprints(reference) == seq_fingerprints
+        )
+
+    t_eval = min(eval_times.values())
+    t_mc = min(mc_times.values())
+    speedup_eval = t_seq_eval / t_eval
+    speedup_mc = t_seq_mc / t_mc
+    result = {
+        "n_workspaces": n_workspaces,
+        "worker_counts": worker_counts,
+        "t_build_registry": t_build,
+        "t_sequential_eval": t_seq_eval,
+        "t_sequential_mc": t_seq_mc,
+        "t_sharded_cold": t_cold,
+        "t_sharded_eval_by_workers": {
+            str(w): t for w, t in eval_times.items()
+        },
+        "t_sharded_mc_by_workers": {str(w): t for w, t in mc_times.items()},
+        "mc_simulations": MC_SIMULATIONS,
+        "speedup_eval": speedup_eval,
+        "speedup_mc": speedup_mc,
+        "speedup_cold": t_seq_eval / t_cold,
+        "n_stacks": reference.n_stacks,
+        "identical_across_worker_counts": identical,
+        "matches_sequential_reference": matches_sequential,
+        "min_speedup_floor": MIN_SPEEDUP,
+    }
+    if verbose:
+        print(f"workspaces                    : {n_workspaces}")
+        print(f"PR 1 sequential (eval)        : {t_seq_eval * 1e3:8.1f} ms")
+        print(f"PR 1 sequential (+MC)         : {t_seq_mc * 1e3:8.1f} ms")
+        print(f"sharded cold (compile+save)   : {t_cold * 1e3:8.1f} ms")
+        for w in worker_counts:
+            print(
+                f"sharded warm w={w} (eval / MC) : "
+                f"{eval_times[w] * 1e3:8.1f} ms / {mc_times[w] * 1e3:8.1f} ms"
+            )
+        print(f"speedup (eval)                : {speedup_eval:8.1f}x")
+        print(f"speedup (+MC)                 : {speedup_mc:8.1f}x")
+        print(f"identical across workers      : {identical}")
+        print(f"matches sequential reference  : {matches_sequential}")
+
+    assert identical, "merged reports differ across worker counts"
+    assert matches_sequential, "sharded results diverge from PR 1 path"
+    assert speedup_eval >= MIN_SPEEDUP, (
+        f"expected >= {MIN_SPEEDUP}x over the sequential eval path, "
+        f"measured {speedup_eval:.1f}x"
+    )
+    assert speedup_mc >= MIN_SPEEDUP, (
+        f"expected >= {MIN_SPEEDUP}x over the sequential Monte Carlo "
+        f"path, measured {speedup_mc:.1f}x"
+    )
+    return result
+
+
+def test_sharded_batch_speedup_and_determinism():
+    result = run(N_WORKSPACES, verbose=True)
+    Path(ARTIFACT).write_text(json.dumps(result, indent=2))
+
+
+if __name__ == "__main__":
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--workspaces", type=int, default=N_WORKSPACES)
+    parser.add_argument("--workers", type=int, default=None)
+    parser.add_argument("--artifact", default=ARTIFACT)
+    args = parser.parse_args()
+    outcome = run(args.workspaces, args.workers)
+    Path(args.artifact).write_text(json.dumps(outcome, indent=2))
+    print(f"wrote {args.artifact}")

@@ -130,6 +130,23 @@ def build_parser() -> argparse.ArgumentParser:
         help="Monte Carlo simulation class for --simulate",
     )
     p_batch.add_argument("--seed", type=int, default=figures.MC_SEED)
+    p_batch.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "evaluate the registry through the sharded runtime: stack "
+            "same-shape problems, run shards across N processes (1 = "
+            "in-process, same merged output), mmap-load persisted "
+            "compiled artifacts"
+        ),
+    )
+    p_batch.add_argument(
+        "--no-disk-cache",
+        action="store_true",
+        help="with --workers: skip the .npz compiled-artifact cache",
+    )
 
     p_corpus = sub.add_parser(
         "corpus", help="export the synthetic multimedia corpus to disk"
@@ -204,9 +221,13 @@ def _cmd_batch(
     )
 
     compiled_problems = []
+    skipped = []
     if workspaces:
         for path in workspaces:
-            compiled_problems.append(load_compiled(path))
+            try:
+                compiled_problems.append(load_compiled(path))
+            except (OSError, ValueError, KeyError, TypeError) as exc:
+                skipped.append((path, f"{type(exc).__name__}: {exc}"))
     else:
         compiled_problems.append(compile_cached(multimedia_problem()))
     if objectives:
@@ -219,24 +240,12 @@ def _cmd_batch(
                 )
         compiled_problems = expanded
 
-    headers = ["problem", "alts", "attrs", "best", "avg", "min", "max"]
-    align = [True, False, False, True, False, False, False]
-    if simulations:
-        headers += ["ever best", "top-5 fluct"]
-        align += [False, False]
+    headers, align = _batch_table_spec(simulations)
     rows = []
     for compiled in compiled_problems:
         evaluator = BatchEvaluator(compiled)
         best = evaluator.evaluate().best
-        row = [
-            compiled.name,
-            evaluator.n_alternatives,
-            evaluator.n_attributes,
-            best.name,
-            f"{best.average:.4f}",
-            f"{best.minimum:.4f}",
-            f"{best.maximum:.4f}",
-        ]
+        mc = None
         if simulations:
             result = evaluator.simulate(
                 method=method,
@@ -244,18 +253,166 @@ def _cmd_batch(
                 seed=seed,
                 sample_utilities="missing",
             )
-            row += [
+            mc = (
                 len(result.ever_best()),
                 result.max_fluctuation(result.top_k_by_mean(5)),
-            ]
-        rows.append(row)
+            )
+        rows.append(
+            _batch_row(
+                compiled.name,
+                evaluator.n_alternatives,
+                evaluator.n_attributes,
+                best.name,
+                best.average,
+                best.minimum,
+                best.maximum,
+                mc,
+            )
+        )
     info = compile_cache_info()
-    footer = (
-        f"\nevaluated {len(compiled_problems)} problem(s)"
-        + (f", {simulations} simulations each ({method})" if simulations else "")
-        + f"; compile cache: {info['hits']} hits, {info['misses']} misses"
+    footer = _batch_footer(
+        len(compiled_problems),
+        simulations,
+        method,
+        skipped,
+        extra=f"; compile cache: {info['hits']} hits, {info['misses']} misses",
     )
-    return render_table(headers, rows, align_left=align) + footer
+    return (
+        render_table(headers, rows, align_left=align) + footer,
+        _batch_exit_code(len(compiled_problems), skipped),
+    )
+
+
+# The sequential and sharded batch paths must render byte-identical
+# tables for identical inputs (pinned by tests), so the table shape,
+# row formatting and footer live in exactly one place.
+
+def _batch_table_spec(simulations: int):
+    """(headers, align) of the batch table, +MC columns when simulating."""
+    headers = ["problem", "alts", "attrs", "best", "avg", "min", "max"]
+    align = [True, False, False, True, False, False, False]
+    if simulations:
+        headers += ["ever best", "top-5 fluct"]
+        align += [False, False]
+    return headers, align
+
+
+def _batch_row(
+    name: str,
+    n_alternatives: int,
+    n_attributes: int,
+    best_name: str,
+    average: float,
+    minimum: float,
+    maximum: float,
+    mc=None,
+):
+    """One batch-table row; ``mc`` is (ever_best, top5_fluctuation)."""
+    row = [
+        name,
+        n_alternatives,
+        n_attributes,
+        best_name,
+        f"{average:.4f}",
+        f"{minimum:.4f}",
+        f"{maximum:.4f}",
+    ]
+    if mc is not None:
+        row += list(mc)
+    return row
+
+
+def _batch_footer(
+    n_problems: int,
+    simulations: int,
+    method: str,
+    skipped,
+    extra: str = "",
+) -> str:
+    return (
+        f"\nevaluated {n_problems} problem(s)"
+        + (f", {simulations} simulations each ({method})" if simulations else "")
+        + extra
+        + _skipped_footer(skipped)
+    )
+
+
+def _batch_exit_code(n_evaluated: int, skipped) -> int:
+    """Nonzero when a batch run produced no results at all.
+
+    Individual unreadable workspaces are reported and skipped, but a
+    run where *every* input was unreadable must not look like success
+    to automation.
+    """
+    return 1 if skipped and n_evaluated == 0 else 0
+
+
+def _skipped_footer(skipped) -> str:
+    """The report-and-skip lines for unreadable registry entries."""
+    if not skipped:
+        return ""
+    lines = [f"\nskipped {len(skipped)} unreadable workspace(s):"]
+    lines += [f"\n  {path}: {error}" for path, error in skipped]
+    return "".join(lines)
+
+
+def _cmd_batch_sharded(
+    workspaces: Sequence[str],
+    objectives: bool,
+    simulations: int,
+    method: str,
+    seed: int,
+    workers: int,
+    use_disk_cache: bool,
+) -> str:
+    """`repro batch --workers N`: the sharded multi-problem runtime.
+
+    Same table as the sequential path, computed through
+    :class:`~repro.core.runtime.ShardedRunner`: same-shape problems
+    stack into one tensor program, shards run across processes, and
+    compiled arrays mmap-load from the ``.npz`` artifacts.  The merged
+    output is byte-identical for any worker count.
+    """
+    from .core.runtime import BatchOptions, ShardedRunner
+
+    runner = ShardedRunner(
+        workers=workers,
+        options=BatchOptions(
+            objectives=objectives,
+            simulations=simulations,
+            method=method,
+            seed=seed,
+            use_disk_cache=use_disk_cache,
+        ),
+    )
+    report = runner.run(workspaces)
+
+    headers, align = _batch_table_spec(simulations)
+    rows = [
+        _batch_row(
+            result.name,
+            result.n_alternatives,
+            result.n_attributes,
+            result.best_name,
+            result.best_average,
+            result.best_minimum,
+            result.best_maximum,
+            (result.ever_best, result.top5_fluctuation)
+            if simulations
+            else None,
+        )
+        for result in report.results
+    ]
+    footer = _batch_footer(
+        report.n_evaluated,
+        simulations,
+        method,
+        [(s.path, s.error) for s in report.skipped],
+    )
+    return (
+        render_table(headers, rows, align_left=align) + footer,
+        _batch_exit_code(report.n_evaluated, report.skipped),
+    )
 
 
 def _cmd_pipeline(
@@ -284,16 +441,30 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     try:
         if args.command == "batch":
-            print(
-                _cmd_batch(
+            if args.workers is not None:
+                if not args.workspaces:
+                    raise SystemExit(
+                        "batch --workers needs explicit workspace files"
+                    )
+                output, exit_code = _cmd_batch_sharded(
+                    args.workspaces,
+                    args.objectives,
+                    args.simulate,
+                    args.method,
+                    args.seed,
+                    args.workers,
+                    not args.no_disk_cache,
+                )
+            else:
+                output, exit_code = _cmd_batch(
                     args.workspaces,
                     args.objectives,
                     args.simulate,
                     args.method,
                     args.seed,
                 )
-            )
-            return 0
+            print(output)
+            return exit_code
         if args.command == "pipeline":
             print(_cmd_pipeline(args.workspace, args.query, args.threshold, args.screen))
             return 0

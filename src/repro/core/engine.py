@@ -37,6 +37,7 @@ Compiled layout
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from typing import Callable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
@@ -48,13 +49,17 @@ from .scales import MISSING
 
 __all__ = [
     "CompiledProblem",
+    "StackedProblem",
     "BatchEvaluator",
+    "StackedEvaluator",
     "compile_problem",
+    "stack_problems",
     "rank_matrix",
     "sample_simplex",
     "sample_rank_order",
     "sample_in_intervals",
     "batch_dominance",
+    "stacked_dominance",
     "weight_polytope",
 ]
 
@@ -171,6 +176,55 @@ class CompiledProblem:
         self.alt_key = alt_key
 
     # ------------------------------------------------------------------
+    @classmethod
+    def from_arrays(
+        cls,
+        name: str,
+        attribute_names: Sequence[str],
+        alternative_names: Sequence[str],
+        u_low: np.ndarray,
+        u_avg: np.ndarray,
+        u_up: np.ndarray,
+        missing: np.ndarray,
+        w_low: np.ndarray,
+        w_avg: np.ndarray,
+        w_up: np.ndarray,
+        key_low: np.ndarray,
+        key_up: np.ndarray,
+        key_count: np.ndarray,
+        alt_key: np.ndarray,
+        problem: Optional[DecisionProblem] = None,
+    ) -> "CompiledProblem":
+        """Rebuild a compiled form straight from its dense arrays.
+
+        This is the loading path of the persisted ``.npz`` compile
+        cache (:mod:`repro.core.workspace`): no object graph is walked,
+        no utility function is evaluated.  ``problem`` stays ``None``
+        unless the caller also parsed the workspace JSON.
+        """
+        self = cls.__new__(cls)
+        self.problem = problem
+        self.name = name
+        self.attribute_names = tuple(str(a) for a in attribute_names)
+        self.alternative_names = tuple(str(a) for a in alternative_names)
+        self.u_low = np.asarray(u_low, dtype=float)
+        self.u_avg = np.asarray(u_avg, dtype=float)
+        self.u_up = np.asarray(u_up, dtype=float)
+        self.missing = np.asarray(missing, dtype=bool)
+        self.w_low = np.asarray(w_low, dtype=float)
+        self.w_avg = np.asarray(w_avg, dtype=float)
+        self.w_up = np.asarray(w_up, dtype=float)
+        self.key_low = np.asarray(key_low, dtype=float)
+        self.key_up = np.asarray(key_up, dtype=float)
+        self.key_count = np.asarray(key_count, dtype=np.intp)
+        self.alt_key = np.asarray(alt_key, dtype=np.intp)
+        n_alt, n_att = self.u_low.shape
+        if self.missing.shape != (n_alt, n_att) or self.w_low.shape != (n_att,):
+            raise ValueError("compiled arrays have inconsistent shapes")
+        if self.alt_key.shape != (n_att, n_alt):
+            raise ValueError("alt_key must be (n_attributes, n_alternatives)")
+        return self
+
     @property
     def n_alternatives(self) -> int:
         return len(self.alternative_names)
@@ -178,6 +232,11 @@ class CompiledProblem:
     @property
     def n_attributes(self) -> int:
         return len(self.attribute_names)
+
+    @property
+    def shape(self) -> Tuple[int, int]:
+        """(n_alternatives, n_attributes) — the stacking group key."""
+        return (len(self.alternative_names), len(self.attribute_names))
 
     def alternative_index(self, name: str) -> int:
         try:
@@ -206,6 +265,110 @@ def _as_compiled(
         "expected a DecisionProblem, CompiledProblem or AdditiveModel, "
         f"got {type(source).__name__}"
     )
+
+
+# ----------------------------------------------------------------------
+# Stacking — many same-shape problems as one tensor set
+# ----------------------------------------------------------------------
+
+class StackedProblem:
+    """Same-shape compiled problems stacked into one tensor set.
+
+    A repository-scale registry holds thousands of decision problems
+    that share one shape (e.g. every reuse shortlist compares 8
+    candidates on the 14 §II criteria).  Stacking them turns the
+    per-problem ``(n_alternatives, n_attributes)`` arrays into
+    ``(n_problems, n_alternatives, n_attributes)`` tensors so
+    :class:`StackedEvaluator` can answer every deterministic question
+    and run every Monte Carlo sweep for the whole stack in one array
+    program — no Python loop over problems.
+
+    ``source_indices`` remembers each member's position in the original
+    registry so results merge back deterministically after grouping.
+    """
+
+    def __init__(
+        self,
+        members: Sequence[CompiledProblem],
+        source_indices: Optional[Sequence[int]] = None,
+    ) -> None:
+        if not members:
+            raise ValueError("a stack needs at least one compiled problem")
+        shape = members[0].shape
+        for member in members[1:]:
+            if member.shape != shape:
+                raise ValueError(
+                    f"cannot stack shape {member.shape} with {shape}; "
+                    "group problems with stack_problems() first"
+                )
+        self.members: Tuple[CompiledProblem, ...] = tuple(members)
+        if source_indices is None:
+            source_indices = range(len(members))
+        self.source_indices: Tuple[int, ...] = tuple(
+            int(i) for i in source_indices
+        )
+        if len(self.source_indices) != len(self.members):
+            raise ValueError("source_indices must align with members")
+        self.names: Tuple[str, ...] = tuple(m.name for m in members)
+
+        self.u_low = np.stack([m.u_low for m in members])
+        self.u_avg = np.stack([m.u_avg for m in members])
+        self.u_up = np.stack([m.u_up for m in members])
+        self.missing = np.stack([m.missing for m in members])
+        self.w_low = np.stack([m.w_low for m in members])
+        self.w_avg = np.stack([m.w_avg for m in members])
+        self.w_up = np.stack([m.w_up for m in members])
+
+        # Key tensors are padded per member; re-pad to the stack-wide
+        # maximum so one (P, n_att, max_keys) tensor covers everyone.
+        max_keys = max(m.key_low.shape[1] for m in members)
+        p, (n_alt, n_att) = len(members), shape
+        self.key_low = np.zeros((p, n_att, max_keys))
+        self.key_up = np.zeros((p, n_att, max_keys))
+        for idx, m in enumerate(members):
+            k = m.key_low.shape[1]
+            self.key_low[idx, :, :k] = m.key_low
+            self.key_up[idx, :, :k] = m.key_up
+        self.key_count = np.stack([m.key_count for m in members])
+        self.alt_key = np.stack([m.alt_key for m in members])
+
+    # ------------------------------------------------------------------
+    @property
+    def n_problems(self) -> int:
+        return len(self.members)
+
+    @property
+    def n_alternatives(self) -> int:
+        return self.u_low.shape[1]
+
+    @property
+    def n_attributes(self) -> int:
+        return self.u_low.shape[2]
+
+    @property
+    def shape(self) -> Tuple[int, int]:
+        return (self.n_alternatives, self.n_attributes)
+
+    def __len__(self) -> int:
+        return len(self.members)
+
+
+def stack_problems(
+    compiled: Sequence[CompiledProblem],
+) -> List[StackedProblem]:
+    """Group compiled problems into same-shape stacks.
+
+    Groups form in first-seen order and keep each member's original
+    index, so downstream merges are deterministic regardless of how the
+    registry interleaves shapes.
+    """
+    groups: "OrderedDict[Tuple[int, int], List[int]]" = OrderedDict()
+    for i, c in enumerate(compiled):
+        groups.setdefault(c.shape, []).append(i)
+    return [
+        StackedProblem([compiled[i] for i in indices], indices)
+        for indices in groups.values()
+    ]
 
 
 # ----------------------------------------------------------------------
@@ -431,6 +594,55 @@ def batch_dominance(
         res = solve_lp(-diff_up[i, j], None, None, a_eq, b_eq, bounds)
         if res.success and -res.fun > _FEAS_TOL:
             strict[i, j] = True
+    return strict
+
+
+def stacked_dominance(
+    stacked: StackedProblem, solve_lp: Callable
+) -> np.ndarray:
+    """Dominance matrices for a whole stack: (P, n, n) boolean tensor.
+
+    The envelope screens — the part that settles almost every pair —
+    run over the full ``(P, n, n, n_att)`` difference tensors at once;
+    only the LP residue falls back to per-pair calls, each using its
+    own member's weight polytope.  Member ``p``'s slice is identical to
+    :func:`batch_dominance` on that member alone.
+    """
+    p, n = stacked.n_problems, stacked.n_alternatives
+    diff_low = stacked.u_low[:, :, None, :] - stacked.u_up[:, None, :, :]
+    diff_up = stacked.u_up[:, :, None, :] - stacked.u_low[:, None, :, :]
+    off_diagonal = ~np.eye(n, dtype=bool)[None, :, :]
+
+    candidate = off_diagonal & (diff_low.max(axis=3) >= -_FEAS_TOL)
+    worst_ok = candidate & (diff_low.min(axis=3) >= -_FEAS_TOL)
+    polytopes: dict = {}
+
+    def polytope(k: int):
+        if k not in polytopes:
+            polytopes[k] = weight_polytope(stacked.members[k])
+        return polytopes[k]
+
+    for k, i, j in np.argwhere(candidate & ~worst_ok):
+        a_eq, b_eq, bounds = polytope(k)
+        res = solve_lp(diff_low[k, i, j], None, None, a_eq, b_eq, bounds)
+        if not res.success:
+            raise RuntimeError(
+                f"dominance LP failed for problem {stacked.names[k]!r} "
+                f"({stacked.members[k].alternative_names[i]!r}, "
+                f"{stacked.members[k].alternative_names[j]!r}): {res.message}"
+            )
+        if res.fun >= -_FEAS_TOL:
+            worst_ok[k, i, j] = True
+
+    du_min = diff_up.min(axis=3)
+    du_max = diff_up.max(axis=3)
+    strict = worst_ok & (du_min > _FEAS_TOL)
+    undecided = worst_ok & ~strict & (du_max > -_FEAS_TOL)
+    for k, i, j in np.argwhere(undecided):
+        a_eq, b_eq, bounds = polytope(k)
+        res = solve_lp(-diff_up[k, i, j], None, None, a_eq, b_eq, bounds)
+        if res.success and -res.fun > _FEAS_TOL:
+            strict[k, i, j] = True
     return strict
 
 
@@ -676,3 +888,315 @@ class BatchEvaluator:
     @property
     def n_alternatives(self) -> int:
         return self.compiled.n_alternatives
+
+
+# ----------------------------------------------------------------------
+# The stacked evaluator — many problems per array program
+# ----------------------------------------------------------------------
+
+class StackedEvaluator:
+    """Array-program evaluation over a whole stack of problems.
+
+    Mirrors :class:`BatchEvaluator` with one extra leading
+    ``n_problems`` axis on every tensor: rankings, utility intervals,
+    dominance matrices and Monte Carlo sweeps evaluate the entire stack
+    at once.  All linear algebra runs through batched ``np.matmul`` (or
+    batched ``einsum`` exactly where the per-problem path uses einsum)
+    with per-slice operand shapes identical to the per-problem path, so
+    member ``p``'s outputs are bit-identical to
+    ``BatchEvaluator(stack.members[p])``.
+
+    Monte Carlo keeps one seeded RNG stream *per member* — the draws
+    loop over members (that is the contract that makes stacked output
+    equal per-problem output exactly) while utilities, corrections and
+    ranks evaluate stacked.
+    """
+
+    def __init__(self, stacked: Union[StackedProblem, Sequence[CompiledProblem]]) -> None:
+        if not isinstance(stacked, StackedProblem):
+            stacked = StackedProblem(list(stacked))
+        self.stacked = stacked
+
+    # -- deterministic readings ----------------------------------------
+    def minimum_utilities(self) -> np.ndarray:
+        """(P, n_alternatives) lower overall utilities."""
+        s = self.stacked
+        return np.matmul(s.u_low, s.w_low[:, :, None])[..., 0]
+
+    def average_utilities(self) -> np.ndarray:
+        s = self.stacked
+        return np.matmul(s.u_avg, s.w_avg[:, :, None])[..., 0]
+
+    def maximum_utilities(self) -> np.ndarray:
+        s = self.stacked
+        return np.matmul(s.u_up, s.w_up[:, :, None])[..., 0]
+
+    def ranking_orders(self) -> np.ndarray:
+        """(P, n_alt) alternative indices by decreasing average utility.
+
+        Per problem, ties break on the alternative name — the same
+        stable tie-break as :meth:`BatchEvaluator.ranking_order` — via
+        one lexsort over the whole stack.
+        """
+        avgs = self.average_utilities()
+        names = np.array(
+            [m.alternative_names for m in self.stacked.members]
+        )
+        return np.lexsort((names, -avgs), axis=-1)
+
+    def evaluate_all(self) -> Tuple[object, ...]:
+        """One Fig. 6 :class:`~repro.core.model.Evaluation` per member."""
+        from .model import Evaluation, RankedAlternative
+
+        mins = self.minimum_utilities()
+        avgs = self.average_utilities()
+        maxs = self.maximum_utilities()
+        orders = self.ranking_orders()
+        evaluations = []
+        for p, member in enumerate(self.stacked.members):
+            rows = tuple(
+                RankedAlternative(
+                    name=member.alternative_names[i],
+                    minimum=float(mins[p, i]),
+                    average=float(avgs[p, i]),
+                    maximum=float(maxs[p, i]),
+                    rank=rank,
+                )
+                for rank, i in enumerate(orders[p], start=1)
+            )
+            evaluations.append(Evaluation(member.name, rows))
+        return tuple(evaluations)
+
+    # -- weight-scenario sweeps ----------------------------------------
+    def utilities_for_weights(self, weights: np.ndarray) -> np.ndarray:
+        """Overall utilities under per-problem weight scenarios.
+
+        ``weights`` is ``(n_problems, n_scenarios, n_attributes)``;
+        component utilities sit at their class averages.  Returns
+        ``(n_problems, n_scenarios, n_alternatives)``.
+        """
+        w = np.asarray(weights, dtype=float)
+        s = self.stacked
+        if w.ndim != 3 or w.shape[0] != s.n_problems or w.shape[2] != s.n_attributes:
+            raise ValueError(
+                f"expected weights of shape ({s.n_problems}, n_scenarios, "
+                f"{s.n_attributes}), got {w.shape}"
+            )
+        return np.matmul(w, s.u_avg.transpose(0, 2, 1))
+
+    def scenario_ranks(self, weights: np.ndarray) -> np.ndarray:
+        """(P, n_scenarios, n_alt) 1-based ranks per weight scenario."""
+        utilities = self.utilities_for_weights(weights)
+        p, n_scen, n_alt = utilities.shape
+        return rank_matrix(utilities.reshape(p * n_scen, n_alt)).reshape(
+            p, n_scen, n_alt
+        )
+
+    # -- §V: Monte Carlo over the whole stack --------------------------
+    def _member_rngs(
+        self,
+        seed: Union[None, int, Sequence[Optional[int]]],
+    ) -> List[np.random.Generator]:
+        """One independent generator per member (the exactness contract)."""
+        p = self.stacked.n_problems
+        if seed is None or isinstance(seed, (int, np.integer)):
+            seeds: List[Optional[int]] = [seed] * p  # type: ignore[list-item]
+        else:
+            seeds = list(seed)
+            if len(seeds) != p:
+                raise ValueError(
+                    f"need one seed per member: expected {p}, got {len(seeds)}"
+                )
+        return [np.random.default_rng(s) for s in seeds]
+
+    def monte_carlo_ranks(
+        self,
+        method: str = "intervals",
+        n_simulations: int = 10_000,
+        seed: Union[None, int, Sequence[Optional[int]]] = None,
+        order_groups: Optional[Sequence[Sequence[int]]] = None,
+        sample_utilities: Union[bool, str] = False,
+        reject_outside: bool = False,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """One §V simulation class for every member at once.
+
+        Returns ``(ranks, acceptance_rates)`` with ``ranks`` of shape
+        ``(n_problems, n_simulations, n_alternatives)``.  ``seed`` is a
+        single seed applied to every member's own fresh RNG stream, or
+        a per-member sequence; member ``p``'s rank slice equals
+        ``BatchEvaluator(members[p]).monte_carlo_ranks(seed=seed_p)``
+        exactly.
+        """
+        if n_simulations < 1:
+            raise ValueError("n_simulations must be positive")
+        s = self.stacked
+        rngs = self._member_rngs(seed)
+
+        # Per-member draws (the RNG streams), stacked evaluation below.
+        weights = np.empty((s.n_problems, n_simulations, s.n_attributes))
+        acceptance = np.ones(s.n_problems)
+        for p, member in enumerate(s.members):
+            w_p, acc = BatchEvaluator(member).sample_weights(
+                method, n_simulations, rngs[p], order_groups, reject_outside
+            )
+            weights[p] = w_p
+            acceptance[p] = acc
+
+        utilities = self._monte_carlo_utilities(
+            weights, rngs, sample_utilities
+        )
+        n_alt = s.n_alternatives
+        ranks = rank_matrix(
+            utilities.reshape(s.n_problems * n_simulations, n_alt)
+        ).reshape(s.n_problems, n_simulations, n_alt)
+        return ranks, acceptance
+
+    def _monte_carlo_utilities(
+        self,
+        weights: np.ndarray,
+        rngs: Sequence[np.random.Generator],
+        sample_utilities: Union[bool, str],
+    ) -> np.ndarray:
+        """(P, S, n_alt) overall utilities for stacked weight scenarios."""
+        s = self.stacked
+        n_sims = weights.shape[1]
+        if sample_utilities in (True, "all"):
+            u = self._sampled_utility_tensor(n_sims, rngs)
+            return np.einsum("psaj,psj->psa", u, weights)
+        if sample_utilities == "missing":
+            utilities = np.matmul(weights, s.u_avg.transpose(0, 2, 1))
+            self._apply_missing_corrections(utilities, weights, rngs)
+            return utilities
+        if sample_utilities is not False:
+            raise ValueError(
+                f"sample_utilities must be False, True, 'all' or 'missing', "
+                f"got {sample_utilities!r}"
+            )
+        return np.matmul(weights, s.u_avg.transpose(0, 2, 1))
+
+    def _apply_missing_corrections(
+        self,
+        utilities: np.ndarray,
+        weights: np.ndarray,
+        rngs: Sequence[np.random.Generator],
+    ) -> None:
+        """The ref.-[18] missing-cell draws as one padded scatter-add.
+
+        Each member's uniform draws come from its own RNG stream (bit
+        compatibility with the per-problem path); the correction itself
+        is a single unbuffered ``np.add.at`` over the whole stack,
+        iterating cells in the same per-problem row-major order so
+        repeated target rows accumulate identically.
+        """
+        s = self.stacked
+        n_sims = weights.shape[1]
+        cell_lists = [np.argwhere(m.missing) for m in s.members]
+        max_cells = max((len(c) for c in cell_lists), default=0)
+        if max_cells == 0:
+            # Still no RNG to consume: the per-problem path draws only
+            # when the member has missing cells.
+            return
+        p = s.n_problems
+        rows = np.zeros((p, max_cells), dtype=np.intp)
+        cols = np.zeros((p, max_cells), dtype=np.intp)
+        delta = np.zeros((p, n_sims, max_cells))
+        for k, cells in enumerate(cell_lists):
+            if not len(cells):
+                continue
+            r, c = cells[:, 0], cells[:, 1]
+            draws = rngs[k].uniform(0.0, 1.0, size=(n_sims, len(cells)))
+            rows[k, : len(cells)] = r
+            cols[k, : len(cells)] = c
+            delta[k, :, : len(cells)] = draws - s.u_avg[k, r, c][None, :]
+        vals = (
+            np.take_along_axis(
+                weights, np.broadcast_to(cols[:, None, :], delta.shape), axis=2
+            )
+            * delta
+        )
+        p_idx = np.broadcast_to(
+            np.arange(p)[:, None, None], delta.shape
+        )
+        s_idx = np.broadcast_to(
+            np.arange(n_sims)[None, :, None], delta.shape
+        )
+        r_idx = np.broadcast_to(rows[:, None, :], delta.shape)
+        np.add.at(utilities, (p_idx, s_idx, r_idx), vals)
+
+    def _sampled_utility_tensor(
+        self, n_simulations: int, rngs: Sequence[np.random.Generator]
+    ) -> np.ndarray:
+        """Full utility sampling for the stack: (P, S, n_alt, n_att).
+
+        Draws per member over the member's *own* padded key tensor (so
+        the RNG stream matches the per-problem path draw for draw),
+        then monotonises and gathers the whole stack at once.
+        """
+        s = self.stacked
+        max_keys = s.key_low.shape[2]
+        draws = np.zeros(
+            (s.n_problems, n_simulations, s.n_attributes, max_keys)
+        )
+        for p, member in enumerate(s.members):
+            k = member.key_low.shape[1]
+            draws[p, :, :, :k] = rngs[p].uniform(
+                member.key_low[None, :, :],
+                member.key_up[None, :, :],
+                size=(n_simulations, member.n_attributes, k),
+            )
+        draws = np.maximum.accumulate(draws, axis=3)
+        # Advanced-index gather: u[p, s, i, j] = draws[p, s, j, key] with
+        # key = alt_key[p, j, i].
+        alt_key_t = s.alt_key.transpose(0, 2, 1)  # (P, n_alt, n_att)
+        return draws[
+            np.arange(s.n_problems)[:, None, None, None],
+            np.arange(n_simulations)[None, :, None, None],
+            np.arange(s.n_attributes)[None, None, None, :],
+            alt_key_t[:, None, :, :],
+        ]
+
+    def simulate_all(self, **kwargs) -> Tuple[object, ...]:
+        """Full §V Monte Carlo per member, as MonteCarloResult objects."""
+        from .montecarlo import MonteCarloResult
+
+        method = kwargs.get("method", "intervals")
+        ranks, acceptance = self.monte_carlo_ranks(**kwargs)
+        return tuple(
+            MonteCarloResult(
+                member.alternative_names,
+                ranks[p],
+                method,
+                float(acceptance[p]),
+            )
+            for p, member in enumerate(self.stacked.members)
+        )
+
+    # -- §V: screening --------------------------------------------------
+    def dominance_matrices(self, solver: str = "scipy") -> np.ndarray:
+        """(P, n, n) stacked dominance tensor (envelope screen + LPs)."""
+        from .dominance import _lp_solver
+
+        return stacked_dominance(self.stacked, _lp_solver(solver))
+
+    def rank_intervals_all(self, solver: str = "scipy") -> Tuple[dict, ...]:
+        """Attainable-rank intervals per member, from one stacked screen."""
+        from .rankintervals import rank_intervals as _rank_intervals
+
+        matrices = self.dominance_matrices(solver)
+        return tuple(
+            _rank_intervals(member, matrix=matrices[p])
+            for p, member in enumerate(self.stacked.members)
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def n_problems(self) -> int:
+        return self.stacked.n_problems
+
+    @property
+    def n_alternatives(self) -> int:
+        return self.stacked.n_alternatives
+
+    @property
+    def n_attributes(self) -> int:
+        return self.stacked.n_attributes

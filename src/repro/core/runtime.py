@@ -1,0 +1,357 @@
+"""Sharded multi-problem batch runtime.
+
+The PR 1 engine made one decision problem fast; a repository-scale
+registry (thousands of candidate shortlists, one workspace each — the
+OntoMaven / reuse-landscape setting) needs the *outer* loop fast too.
+This module runs a registry of workspace files through three layers:
+
+1. **compiled artifacts** — every workspace loads through the ``.npz``
+   compile cache (:func:`repro.core.workspace.load_compiled_fast`), so
+   warm runs mmap dense arrays instead of re-parsing JSON;
+2. **stacking** — same-shape compiled problems are grouped into
+   :class:`~repro.core.engine.StackedProblem` tensor sets and evaluated
+   by :class:`~repro.core.engine.StackedEvaluator` array programs, no
+   Python loop over problems;
+3. **sharding** — the registry is partitioned into chunks executed
+   across a ``ProcessPoolExecutor``; chunks are deliberately smaller
+   than ``n / workers`` (work stealing) so a shard of skewed, slow
+   workspaces cannot serialise the run.
+
+Results merge deterministically: every record carries its registry
+index, the merge sorts by it, and each problem's numbers depend only on
+its own compiled arrays and its own seeded RNG stream — so the merged
+report is byte-identical for any worker count, chunk size or completion
+order.  Unreadable registry entries are reported and skipped, never
+fatal.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass, replace
+from pathlib import Path
+from typing import List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from .engine import StackedEvaluator, compile_problem, stack_problems
+
+__all__ = [
+    "BatchOptions",
+    "WorkspaceResult",
+    "SkippedWorkspace",
+    "RegistryReport",
+    "ShardedRunner",
+    "shard_registry",
+    "evaluate_registry_chunk",
+]
+
+
+# ----------------------------------------------------------------------
+# Options and result records (all picklable, all deterministic)
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class BatchOptions:
+    """What one batch run computes per workspace.
+
+    ``objectives`` additionally ranks every top-level objective
+    restriction (the Fig. 7 view); it needs the workspace object graph,
+    so those runs parse JSON instead of using the ``.npz`` fast path.
+    ``simulations > 0`` adds a per-problem §V Monte Carlo
+    (``sample_utilities="missing"``, one fresh seeded stream per
+    problem — identical to evaluating each problem alone).
+    """
+
+    objectives: bool = False
+    simulations: int = 0
+    method: str = "intervals"
+    seed: Optional[int] = None
+    use_disk_cache: bool = True
+    refresh_cache: bool = True
+    mmap: bool = True
+
+
+@dataclass(frozen=True)
+class WorkspaceResult:
+    """One evaluated problem (a workspace, or one of its objectives)."""
+
+    index: int
+    sub_index: int
+    path: str
+    name: str
+    n_alternatives: int
+    n_attributes: int
+    best_name: str
+    best_minimum: float
+    best_average: float
+    best_maximum: float
+    ever_best: Optional[int] = None
+    top5_fluctuation: Optional[int] = None
+
+    @property
+    def order_key(self) -> Tuple[int, int]:
+        return (self.index, self.sub_index)
+
+
+@dataclass(frozen=True)
+class SkippedWorkspace:
+    """A registry entry that could not be read or compiled."""
+
+    index: int
+    path: str
+    error: str
+
+
+@dataclass(frozen=True)
+class RegistryReport:
+    """The deterministic merged outcome of one registry run."""
+
+    results: Tuple[WorkspaceResult, ...]
+    skipped: Tuple[SkippedWorkspace, ...]
+    n_workspaces: int
+    n_stacks: int
+    n_chunks: int
+    workers: int
+
+    @property
+    def n_evaluated(self) -> int:
+        return len(self.results)
+
+
+# ----------------------------------------------------------------------
+# Chunking (work stealing for skewed shard sizes)
+# ----------------------------------------------------------------------
+
+def shard_registry(
+    n_items: int, workers: int, chunk_size: Optional[int] = None
+) -> List[range]:
+    """Partition ``range(n_items)`` into contiguous work-stealing chunks.
+
+    Chunks default to a quarter of an even split, so ~4 chunks per
+    worker queue up and fast workers steal from the backlog instead of
+    idling behind one slow shard.
+    """
+    if n_items < 0:
+        raise ValueError("n_items must be non-negative")
+    if workers < 1:
+        raise ValueError("workers must be positive")
+    if chunk_size is None:
+        chunk_size = max(1, -(-n_items // (workers * 4)))
+    if chunk_size < 1:
+        raise ValueError("chunk_size must be positive")
+    return [
+        range(start, min(start + chunk_size, n_items))
+        for start in range(0, n_items, chunk_size)
+    ]
+
+
+# ----------------------------------------------------------------------
+# Chunk evaluation (runs inside workers; top-level for picklability)
+# ----------------------------------------------------------------------
+
+def _load_chunk_problems(
+    chunk: Sequence[Tuple[int, str]], options: BatchOptions
+):
+    """((index, sub_index, path, compiled) list, skipped list)."""
+    from . import workspace
+
+    loaded = []
+    skipped: List[SkippedWorkspace] = []
+    for index, path in chunk:
+        try:
+            if options.objectives:
+                problem = workspace.load(path)
+                # Build the whole expansion before publishing any of it,
+                # so a workspace never ends up both evaluated (partial
+                # rows) and skipped when a restriction fails to compile.
+                expansion = [(index, 0, path, compile_problem(problem))]
+                for sub, child in enumerate(
+                    problem.hierarchy.root.children, start=1
+                ):
+                    expansion.append(
+                        (
+                            index,
+                            sub,
+                            path,
+                            compile_problem(
+                                problem.restricted_to(child.name)
+                            ),
+                        )
+                    )
+                loaded.extend(expansion)
+            elif options.use_disk_cache:
+                compiled = workspace.load_compiled_fast(
+                    path,
+                    refresh=options.refresh_cache,
+                    mmap_arrays=options.mmap,
+                )
+                loaded.append((index, 0, path, compiled))
+            else:
+                compiled = compile_problem(workspace.load(path))
+                loaded.append((index, 0, path, compiled))
+        except (OSError, ValueError, KeyError, TypeError) as exc:
+            skipped.append(
+                SkippedWorkspace(
+                    index=index,
+                    path=path,
+                    error=f"{type(exc).__name__}: {exc}",
+                )
+            )
+    return loaded, skipped
+
+
+def _stacked_mc_summary(ranks) -> Tuple["object", "object"]:
+    """(ever_best, top5_fluctuation) per member, as whole-stack array ops.
+
+    ``ranks`` is the stacked ``(P, S, n_alt)`` Monte Carlo tensor.
+    Matches the per-problem
+    ``len(result.ever_best())`` / ``result.max_fluctuation(
+    result.top_k_by_mean(5))`` numbers exactly: same stable mean-rank
+    tie-break, same max-minus-min fluctuation — without building a
+    result object or a percentile table per problem.
+    """
+    ever_best = (ranks == 1).any(axis=1).sum(axis=1)
+    spread = ranks.max(axis=1) - ranks.min(axis=1)  # (P, n_alt)
+    mean_rank = ranks.mean(axis=1)
+    by_mean = np.argsort(mean_rank, axis=1, kind="stable")[:, :5]
+    top5 = np.take_along_axis(spread, by_mean, axis=1).max(axis=1)
+    return ever_best, top5
+
+
+def evaluate_registry_chunk(
+    chunk: Sequence[Tuple[int, str]], options: BatchOptions
+) -> Tuple[List[WorkspaceResult], List[SkippedWorkspace], int]:
+    """Evaluate one chunk of ``(registry_index, path)`` pairs.
+
+    Loads every workspace (``.npz`` fast path unless the options need
+    the object graph), stacks same-shape compiled problems and
+    evaluates each stack in one array program.  Returns
+    ``(results, skipped, n_stacks)``; results carry registry indices so
+    the caller can merge shards deterministically.
+    """
+    loaded, skipped = _load_chunk_problems(chunk, options)
+    if not loaded:
+        return [], skipped, 0
+
+    compiled_forms = [item[3] for item in loaded]
+    stacks = stack_problems(compiled_forms)
+    results: List[WorkspaceResult] = []
+    for stack in stacks:
+        evaluator = StackedEvaluator(stack)
+        evaluations = evaluator.evaluate_all()
+        mc_stats = None
+        if options.simulations:
+            ranks, _ = evaluator.monte_carlo_ranks(
+                method=options.method,
+                n_simulations=options.simulations,
+                seed=options.seed,
+                sample_utilities="missing",
+            )
+            mc_stats = _stacked_mc_summary(ranks)
+        for p, member_pos in enumerate(stack.source_indices):
+            index, sub_index, path, compiled = loaded[member_pos]
+            best = evaluations[p].best
+            ever_best = top5 = None
+            if mc_stats is not None:
+                ever_best = int(mc_stats[0][p])
+                top5 = int(mc_stats[1][p])
+            results.append(
+                WorkspaceResult(
+                    index=index,
+                    sub_index=sub_index,
+                    path=path,
+                    name=compiled.name,
+                    n_alternatives=compiled.n_alternatives,
+                    n_attributes=compiled.n_attributes,
+                    best_name=best.name,
+                    best_minimum=best.minimum,
+                    best_average=best.average,
+                    best_maximum=best.maximum,
+                    ever_best=ever_best,
+                    top5_fluctuation=top5,
+                )
+            )
+    return results, skipped, len(stacks)
+
+
+# ----------------------------------------------------------------------
+# The sharded runner
+# ----------------------------------------------------------------------
+
+class ShardedRunner:
+    """Run a workspace registry across processes, merging deterministically.
+
+    ``workers=None`` picks ``os.cpu_count()`` (capped at 8);
+    ``workers=1`` (or a single-chunk registry) evaluates in-process —
+    the merged report is byte-identical either way, which the tests and
+    the ``BENCH_sharded_batch`` trajectory assert.
+    """
+
+    def __init__(
+        self,
+        workers: Optional[int] = None,
+        chunk_size: Optional[int] = None,
+        options: Optional[BatchOptions] = None,
+    ) -> None:
+        if workers is None:
+            workers = min(os.cpu_count() or 1, 8)
+        if workers < 1:
+            raise ValueError("workers must be positive")
+        self.workers = workers
+        self.chunk_size = chunk_size
+        self.options = options or BatchOptions()
+
+    # ------------------------------------------------------------------
+    def run(self, paths: Sequence[Union[str, Path]]) -> RegistryReport:
+        """Evaluate every workspace in ``paths`` (registry order)."""
+        indexed = [(i, str(p)) for i, p in enumerate(paths)]
+        chunk_ranges = shard_registry(
+            len(indexed), self.workers, self.chunk_size
+        )
+        chunks = [
+            [indexed[i] for i in chunk_range]
+            for chunk_range in chunk_ranges
+            if len(chunk_range)
+        ]
+
+        results: List[WorkspaceResult] = []
+        skipped: List[SkippedWorkspace] = []
+        n_stacks = 0
+        if self.workers == 1 or len(chunks) <= 1:
+            for chunk in chunks:
+                r, s, k = evaluate_registry_chunk(chunk, self.options)
+                results.extend(r)
+                skipped.extend(s)
+                n_stacks += k
+        else:
+            with ProcessPoolExecutor(max_workers=self.workers) as pool:
+                futures = [
+                    pool.submit(evaluate_registry_chunk, chunk, self.options)
+                    for chunk in chunks
+                ]
+                for future in as_completed(futures):
+                    r, s, k = future.result()
+                    results.extend(r)
+                    skipped.extend(s)
+                    n_stacks += k
+
+        results.sort(key=lambda r: r.order_key)
+        skipped.sort(key=lambda s: s.index)
+        return RegistryReport(
+            results=tuple(results),
+            skipped=tuple(skipped),
+            n_workspaces=len(indexed),
+            n_stacks=n_stacks,
+            n_chunks=len(chunks),
+            workers=self.workers,
+        )
+
+    def with_options(self, **changes) -> "ShardedRunner":
+        """A runner with the same pool shape and updated options."""
+        return ShardedRunner(
+            workers=self.workers,
+            chunk_size=self.chunk_size,
+            options=replace(self.options, **changes),
+        )

@@ -23,7 +23,7 @@ functional requirements covered* and *adequacy of naming conventions*.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 import numpy as np
 
@@ -31,7 +31,13 @@ from .interval import Interval
 from .model import AdditiveModel
 from .problem import DecisionProblem
 
-__all__ = ["StabilityReport", "affine_coefficients", "stability_interval", "stability_report"]
+__all__ = [
+    "StabilityReport",
+    "affine_coefficients",
+    "batch_affine_coefficients",
+    "stability_interval",
+    "stability_report",
+]
 
 _TOL = 1e-9
 
@@ -106,6 +112,86 @@ def affine_coefficients(
     return constant, slope
 
 
+def batch_affine_coefficients(
+    model: AdditiveModel,
+    objectives: "Sequence[str] | None" = None,
+) -> Tuple[Tuple[str, ...], np.ndarray, np.ndarray]:
+    """(objectives, constants, slopes) for many objectives at once.
+
+    Returns ``(names, C, S)`` with ``C``/``S`` of shape
+    ``(n_objectives, n_alternatives)``: alternative ``i``'s average
+    overall utility equals ``C[o, i] + x * S[o, i]`` when objective
+    ``o``'s average normalised weight is set to ``x``.
+
+    The hierarchy walk only builds two weight-coefficient matrices
+    ``(n_objectives, n_attributes)``; the per-alternative math — the
+    part that scales with the problem — is two tensor ops through the
+    model's :class:`~repro.core.engine.BatchEvaluator`
+    (``utilities_for_weights``), not a Python loop per objective.
+    Equivalent to calling :func:`affine_coefficients` per objective
+    (pinned by tests) up to summation order.
+    """
+    problem = model.problem
+    hierarchy = problem.hierarchy
+    root = hierarchy.root.name
+    if objectives is None:
+        objectives = tuple(
+            node.name for node in hierarchy.nodes() if node.name != root
+        )
+    names = tuple(objectives)
+    if root in names:
+        raise ValueError("the root objective has no weight to vary")
+
+    weights = problem.weights
+    attrs = list(model.attribute_names)
+    w_avg = model.w_avg
+    n_att = len(attrs)
+
+    # Weight-space coefficient matrices: w_j(x) = Wc[o, j] + x * Ws[o, j].
+    coef_const = np.zeros((len(names), n_att))
+    coef_slope = np.zeros((len(names), n_att))
+    for o, objective in enumerate(names):
+        parent = hierarchy.parent_of(objective)
+        assert parent is not None
+        local_avg = weights.local_average(objective)
+        under_node = set(hierarchy.attributes_under(objective))
+        under_parent = set(hierarchy.attributes_under(parent.name))
+        sibling_attrs = under_parent - under_node
+        if not sibling_attrs:
+            # An only child: renormalisation pins its weight, so the
+            # current averages are the whole story.
+            coef_const[o] = w_avg
+            continue
+        if 1.0 - local_avg <= _TOL:
+            raise ValueError(
+                f"siblings of {objective!r} hold zero weight; the "
+                "proportional rescaling is undefined"
+            )
+        parent_weight = weights.node_weight_average(parent.name)
+        for j, attr in enumerate(attrs):
+            if attr in under_node:
+                leaf = hierarchy.leaf_for_attribute(attr)
+                path = hierarchy.path_to(leaf.name)
+                node_pos = next(
+                    i for i, step in enumerate(path) if step.name == objective
+                )
+                inner = 1.0
+                for step in path[node_pos + 1:]:
+                    inner *= weights.local_average(step.name)
+                coef_slope[o, j] = parent_weight * inner
+            elif attr in sibling_attrs:
+                coef_const[o, j] = w_avg[j] / (1.0 - local_avg)
+                coef_slope[o, j] = -w_avg[j] / (1.0 - local_avg)
+            else:
+                coef_const[o, j] = w_avg[j]
+
+    # One batched tensor op each over all objectives: (n_alt, n_obj).T
+    evaluator = model.evaluator
+    constants = evaluator.utilities_for_weights(coef_const).T
+    slopes = evaluator.utilities_for_weights(coef_slope).T
+    return names, constants, slopes
+
+
 def _feasible_interval(
     constraints: List[Tuple[float, float]]
 ) -> "Interval | None":
@@ -144,10 +230,17 @@ def stability_interval(
     model = model or AdditiveModel(problem)
     constant, slope = affine_coefficients(model, objective)
     order = np.argsort(-model.average_utilities(), kind="stable")
+    return _interval_from_coefficients(constant, slope, order, mode)
+
+
+def _interval_from_coefficients(
+    constant: np.ndarray, slope: np.ndarray, order: np.ndarray, mode: str
+) -> "Interval | None":
+    """The stability interval implied by one objective's (C, S) row."""
     constraints: List[Tuple[float, float]] = []
     if mode == "best":
         best = order[0]
-        for i in range(model.n_alternatives):
+        for i in range(len(constant)):
             if i == best:
                 continue
             constraints.append(
@@ -192,12 +285,22 @@ class StabilityReport:
 def stability_report(
     problem: DecisionProblem, mode: str = "best"
 ) -> StabilityReport:
-    """Stability intervals for all objectives at all levels."""
+    """Stability intervals for all objectives at all levels.
+
+    The whole sweep — every non-root objective, every alternative —
+    evaluates as two batched tensor ops through
+    :func:`batch_affine_coefficients`, not one model evaluation per
+    objective.
+    """
+    if mode not in ("best", "ranking"):
+        raise ValueError(f"mode must be 'best' or 'ranking', got {mode!r}")
     model = AdditiveModel(problem)
-    root = problem.hierarchy.root.name
+    names, constants, slopes = batch_affine_coefficients(model)
+    order = np.argsort(-model.average_utilities(), kind="stable")
     intervals = {
-        node.name: stability_interval(problem, node.name, mode, model)
-        for node in problem.hierarchy.nodes()
-        if node.name != root
+        name: _interval_from_coefficients(
+            constants[o], slopes[o], order, mode
+        )
+        for o, name in enumerate(names)
     }
     return StabilityReport(mode, intervals)

@@ -13,10 +13,19 @@ reject unknown versions instead of guessing.
 
 from __future__ import annotations
 
+import ast
+import hashlib
 import json
+import mmap
+import os
+import struct
+import zipfile
 from collections import OrderedDict
+from io import BytesIO
 from pathlib import Path
-from typing import Any, Dict, List, Mapping, Union
+from typing import Any, Dict, List, Mapping, Optional, Tuple, Union
+
+import numpy as np
 
 from .engine import CompiledProblem, compile_problem
 from .hierarchy import Hierarchy, ObjectiveNode
@@ -33,14 +42,22 @@ __all__ = [
     "save",
     "load",
     "FORMAT",
+    "COMPILED_FORMAT",
     "canonical_key",
+    "content_hash",
     "compile_cached",
     "load_compiled",
     "compile_cache_info",
     "clear_compile_cache",
+    "compiled_array_path",
+    "save_compiled_arrays",
+    "load_compiled_arrays",
+    "load_compiled_fast",
+    "warm_compiled_cache",
 ]
 
 FORMAT = "repro-workspace/1"
+COMPILED_FORMAT = "repro-compiled/1"
 
 
 # ----------------------------------------------------------------------
@@ -333,3 +350,312 @@ def clear_compile_cache() -> None:
     _compile_cache.clear()
     _compile_hits = 0
     _compile_misses = 0
+
+
+# ----------------------------------------------------------------------
+# Persisted compiled artifacts (.npz next to the workspace JSON)
+# ----------------------------------------------------------------------
+#
+# The in-memory LRU above only helps within one process.  A sharded
+# batch run (:mod:`repro.core.runtime`) cold-starts many worker
+# processes, each of which would otherwise re-parse and re-compile
+# every workspace JSON.  Persisting the compiled dense arrays as an
+# ``.npz`` sibling of the workspace file turns that cold start into an
+# ``mmap`` of ready-to-use tensors:
+#
+# * the artifact is **keyed by content**: it stores the semantic
+#   content hash (sha256 of the canonical workspace JSON) plus the
+#   sha256 of the raw source file bytes.  A byte-level match of the
+#   source file proves freshness without parsing any JSON; any
+#   mismatch falls back to compile-from-JSON and rewrites the artifact;
+# * writes are **atomic** (temp file + ``os.replace``), so concurrent
+#   writers — e.g. several shard workers warming the same registry —
+#   can race freely: readers only ever see a complete artifact and
+#   every writer produces identical bytes-for-equal-content arrays;
+# * loads **mmap** the big float tensors straight out of the
+#   uncompressed zip members (``np.savez`` stores members with
+#   ``ZIP_STORED``), so fork-based worker pools share pages instead of
+#   materialising per-process copies.
+
+_ARRAY_FIELDS = (
+    "u_low",
+    "u_avg",
+    "u_up",
+    "missing",
+    "w_low",
+    "w_avg",
+    "w_up",
+    "key_low",
+    "key_up",
+    "key_count",
+    "alt_key",
+)
+def content_hash(problem: DecisionProblem) -> str:
+    """sha256 of the canonical workspace JSON — the semantic cache key."""
+    return hashlib.sha256(canonical_key(problem).encode("utf-8")).hexdigest()
+
+
+def compiled_array_path(path: Union[str, Path]) -> Path:
+    """The ``.npz`` compiled-artifact sibling of a workspace JSON file."""
+    return Path(path).with_suffix(".npz")
+
+
+def _file_sha256(path: Path) -> str:
+    digest = hashlib.sha256()
+    with open(path, "rb") as fh:
+        for block in iter(lambda: fh.read(1 << 20), b""):
+            digest.update(block)
+    return digest.hexdigest()
+
+
+def save_compiled_arrays(
+    compiled: CompiledProblem,
+    npz_path: Union[str, Path],
+    source_sha: str,
+    semantic_hash: str,
+) -> Path:
+    """Atomically persist a compiled form's dense arrays as ``.npz``.
+
+    The write goes to a unique temp file in the target directory and is
+    published with ``os.replace``, so a reader can never observe a
+    partially-written artifact and the last concurrent writer wins with
+    a complete file.
+    """
+    npz_path = Path(npz_path)
+    payload: Dict[str, np.ndarray] = {
+        field: np.ascontiguousarray(getattr(compiled, field))
+        for field in _ARRAY_FIELDS
+    }
+    payload["alt_key"] = payload["alt_key"].astype(np.int64)
+    payload["key_count"] = payload["key_count"].astype(np.int64)
+    payload["problem_name"] = np.array(compiled.name)
+    payload["attribute_names"] = np.array(compiled.attribute_names)
+    payload["alternative_names"] = np.array(compiled.alternative_names)
+    payload["format"] = np.array(COMPILED_FORMAT)
+    payload["source_sha"] = np.array(source_sha)
+    payload["content_hash"] = np.array(semantic_hash)
+
+    buffer = BytesIO()
+    np.savez(buffer, **payload)
+    tmp_path = npz_path.with_name(
+        f".{npz_path.name}.tmp.{os.getpid()}.{id(buffer):x}"
+    )
+    try:
+        with open(tmp_path, "wb") as fh:
+            fh.write(buffer.getvalue())
+        os.replace(tmp_path, npz_path)
+    finally:
+        if tmp_path.exists():  # pragma: no cover - only on replace failure
+            tmp_path.unlink()
+    return npz_path
+
+
+# npy headers repeat across a registry (same shapes, same dtypes), so
+# the ast parse of each distinct header happens once per process.
+_NPY_HEADER_CACHE: Dict[bytes, Tuple[Tuple[int, ...], bool, np.dtype]] = {}
+
+
+def _parse_npy_header(
+    buf, start: int
+) -> "Optional[Tuple[Tuple[int, ...], bool, np.dtype, int]]":
+    """(shape, fortran, dtype, data_offset) of an npy blob at ``start``."""
+    if bytes(buf[start:start + 6]) != b"\x93NUMPY":
+        return None
+    major = buf[start + 6]
+    if major == 1:
+        (header_len,) = struct.unpack_from("<H", buf, start + 8)
+        header_start = start + 10
+    elif major == 2:
+        (header_len,) = struct.unpack_from("<I", buf, start + 8)
+        header_start = start + 12
+    else:  # pragma: no cover - future npy versions
+        return None
+    header = bytes(buf[header_start:header_start + header_len])
+    parsed = _NPY_HEADER_CACHE.get(header)
+    if parsed is None:
+        try:
+            fields = ast.literal_eval(header.decode("latin1"))
+            parsed = (
+                tuple(fields["shape"]),
+                bool(fields["fortran_order"]),
+                np.dtype(fields["descr"]),
+            )
+        except (ValueError, KeyError, TypeError, SyntaxError):
+            return None  # pragma: no cover - corrupt member
+        _NPY_HEADER_CACHE[header] = parsed
+    shape, fortran, dtype = parsed
+    return shape, fortran, dtype, header_start + header_len
+
+
+def _read_npz_mmapped(npz_path: Path) -> Optional[Dict[str, np.ndarray]]:
+    """One-pass zero-copy read of an uncompressed ``.npz``.
+
+    The whole archive is mapped read-only once; every member becomes an
+    ``np.frombuffer`` view straight into the mapping — no decompression,
+    no per-member file opens, no data copies.  Forked worker pools
+    therefore share one page-cache copy of every registry artifact.
+    Returns ``None`` whenever the archive needs the slow path.
+
+    Trade-off: like ``np.load(..., mmap_mode="r")`` on a bare ``.npy``,
+    this path skips the zip CRC check — a truncated or out-of-bounds
+    member still fails safely (``np.frombuffer`` bounds-checks against
+    the mapping and the caller treats the error as a cache miss), but
+    silent bit-rot *inside* a member's data region is not detected.
+    Artifacts are disposable derived data keyed by the source hash;
+    delete the ``.npz`` (or load with ``mmap_arrays=False``) to force a
+    fully-checked read.
+    """
+    with open(npz_path, "rb") as fh:
+        buf = mmap.mmap(fh.fileno(), 0, access=mmap.ACCESS_READ)
+        arrays: Dict[str, np.ndarray] = {}
+        with zipfile.ZipFile(fh) as zf:
+            for info in zf.infolist():
+                if (
+                    info.compress_type != zipfile.ZIP_STORED
+                    or not info.filename.endswith(".npy")
+                ):
+                    return None
+                offset = info.header_offset
+                name_len, extra_len = struct.unpack_from(
+                    "<HH", buf, offset + 26
+                )
+                parsed = _parse_npy_header(
+                    buf, offset + 30 + name_len + extra_len
+                )
+                if parsed is None:
+                    return None
+                shape, fortran, dtype, data_offset = parsed
+                if dtype.hasobject:  # pragma: no cover - never written
+                    return None
+                count = 1
+                for dim in shape:
+                    count *= dim
+                member = np.frombuffer(
+                    buf, dtype=dtype, count=count, offset=data_offset
+                )
+                arrays[info.filename[:-4]] = member.reshape(
+                    shape, order="F" if fortran else "C"
+                )
+    return arrays
+
+
+def load_compiled_arrays(
+    npz_path: Union[str, Path], mmap_arrays: bool = True
+) -> Optional[Dict[str, np.ndarray]]:
+    """Read a compiled artifact; arrays are mmap-backed views by default.
+
+    Returns ``None`` for a missing, unreadable or wrong-format file —
+    the caller treats that exactly like a cache miss.
+    """
+    npz_path = Path(npz_path)
+    if not npz_path.is_file():
+        return None
+    try:
+        arrays = _read_npz_mmapped(npz_path) if mmap_arrays else None
+        if arrays is None:
+            with np.load(npz_path, allow_pickle=False) as npz:
+                arrays = {key: npz[key] for key in npz.files}
+        if str(arrays.get("format")) != COMPILED_FORMAT:
+            return None
+        return arrays
+    except (
+        OSError,
+        ValueError,
+        KeyError,
+        IndexError,
+        struct.error,
+        zipfile.BadZipFile,
+    ):
+        return None
+
+
+def _compiled_from_arrays(arrays: Mapping[str, np.ndarray]) -> CompiledProblem:
+    return CompiledProblem.from_arrays(
+        name=str(arrays["problem_name"]),
+        attribute_names=[str(a) for a in arrays["attribute_names"]],
+        alternative_names=[str(a) for a in arrays["alternative_names"]],
+        u_low=arrays["u_low"],
+        u_avg=arrays["u_avg"],
+        u_up=arrays["u_up"],
+        missing=arrays["missing"],
+        w_low=arrays["w_low"],
+        w_avg=arrays["w_avg"],
+        w_up=arrays["w_up"],
+        key_low=arrays["key_low"],
+        key_up=arrays["key_up"],
+        key_count=arrays["key_count"],
+        alt_key=arrays["alt_key"],
+    )
+
+
+def _fresh_artifact(
+    path: Path, mmap_arrays: bool
+) -> Tuple[Optional[Dict[str, np.ndarray]], Path, str]:
+    """(arrays-if-fresh, npz_path, source_sha) for one workspace file.
+
+    The single definition of artifact freshness: the artifact is usable
+    iff it loads and its recorded ``source_sha`` matches the current
+    raw bytes of the workspace JSON.
+    """
+    npz_path = compiled_array_path(path)
+    source_sha = _file_sha256(path)
+    arrays = load_compiled_arrays(npz_path, mmap_arrays=mmap_arrays)
+    if arrays is not None and str(arrays.get("source_sha")) == source_sha:
+        return arrays, npz_path, source_sha
+    return None, npz_path, source_sha
+
+
+def _compile_and_persist(
+    path: Path, npz_path: Path, source_sha: str
+) -> CompiledProblem:
+    """Compile a workspace from JSON and atomically (re)write its artifact."""
+    problem = load(path)
+    compiled = compile_problem(problem)
+    save_compiled_arrays(compiled, npz_path, source_sha, content_hash(problem))
+    return compiled
+
+
+def load_compiled_fast(
+    path: Union[str, Path],
+    refresh: bool = True,
+    mmap_arrays: bool = True,
+) -> CompiledProblem:
+    """Load a workspace's compiled form, via the ``.npz`` artifact.
+
+    Fast path: when the sibling artifact exists and its recorded source
+    hash matches the current JSON bytes, the compiled arrays come
+    straight off disk (mmapped) — no JSON parse, no object graph, no
+    utility evaluation.  Otherwise the workspace is compiled from JSON
+    and, with ``refresh``, the artifact is (re)written atomically.
+    The returned compiled form carries ``problem=None`` on the fast
+    path; callers needing the object graph parse the JSON explicitly.
+    """
+    path = Path(path)
+    arrays, npz_path, source_sha = _fresh_artifact(
+        path, mmap_arrays=mmap_arrays
+    )
+    if arrays is not None:
+        return _compiled_from_arrays(arrays)
+    if refresh:
+        return _compile_and_persist(path, npz_path, source_sha)
+    return compile_problem(load(path))
+
+
+def warm_compiled_cache(paths) -> int:
+    """Ensure every workspace in ``paths`` has a fresh artifact.
+
+    Returns the number of artifacts (re)written.  Safe to run from
+    several processes at once — writes are atomic and idempotent.
+    """
+    written = 0
+    for path in paths:
+        path = Path(path)
+        # mmap keeps the freshness probe lazy: only the two metadata
+        # strings are touched, no tensor is decompressed or copied.
+        arrays, npz_path, source_sha = _fresh_artifact(
+            path, mmap_arrays=True
+        )
+        if arrays is None:
+            _compile_and_persist(path, npz_path, source_sha)
+            written += 1
+    return written

@@ -19,6 +19,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Mapping, Optional, Sequence, Tuple
 
+import numpy as np
+
 from ..core.performance import Alternative, PerformanceTable, PerformanceValue
 from ..core.scales import MISSING
 from ..ontology.corpus import RegisteredOntology, ReuseMetadata
@@ -30,7 +32,9 @@ __all__ = [
     "TRANSFORMABLE_LANGUAGES",
     "CandidateAssessment",
     "assess",
+    "assess_batch",
     "assessment_table",
+    "batch_assessment_table",
 ]
 
 #: Language pairs with "an available mechanism to make the
@@ -229,6 +233,191 @@ def assess(
     return CandidateAssessment(entry.name, performances, metrics, cq_result)
 
 
+def assess_batch(
+    entries: Sequence[RegisteredOntology],
+    questions: Sequence[CompetencyQuestion],
+    target_language: str = "OWL",
+) -> Tuple[CandidateAssessment, ...]:
+    """Assess a whole registry of candidates in one scoring pass.
+
+    The measurable signals (metrics, CQ coverage) still come from each
+    ontology's graph, but every §II criterion level is then derived for
+    *all* candidates at once with vectorised threshold comparisons —
+    one ``np.select`` per criterion instead of a Python branch ladder
+    per candidate.  Bit-equal to mapping :func:`assess` over
+    ``entries`` (pinned by tests).
+    """
+    if not entries:
+        return ()
+    n = len(entries)
+    metrics = [compute_metrics(e.ontology) for e in entries]
+    cq_results = [coverage(e.ontology, questions) for e in entries]
+    metas = [e.metadata for e in entries]
+
+    def signal(values, default=np.nan):
+        return np.array(
+            [default if v is None else v for v in values], dtype=float
+        )
+
+    def known(values):
+        return np.array([v is not None for v in values], dtype=bool)
+
+    levels: Dict[str, np.ndarray] = {}
+    missing: Dict[str, np.ndarray] = {}
+    no_missing = np.zeros(n, dtype=bool)
+
+    # -- structural criteria (always assessable) -----------------------
+    doc = np.array([m.documentation_coverage for m in metrics])
+    urls = np.array([m.n_documentation_urls for m in metrics])
+    levels["documentation_quality"] = np.select(
+        [(doc >= 0.75) & (urls >= 1), doc >= 0.45, doc >= 0.15], [3, 2, 1], 0
+    )
+    missing["documentation_quality"] = no_missing
+
+    entities = np.array([m.n_entities for m in metrics], dtype=float)
+    see_also = np.array([m.n_see_also for m in metrics], dtype=float)
+    density = np.divide(
+        see_also, entities, out=np.zeros(n), where=entities > 0
+    )
+    ext = np.select(
+        [density >= 0.5, density >= 0.25, density >= 0.08], [3, 2, 1], 0
+    )
+    contactable = np.array([m.experts_contactable for m in metas], dtype=bool)
+    levels["external_knowledge"] = np.where(
+        contactable, np.maximum(ext, 2), ext
+    )
+    missing["external_knowledge"] = no_missing
+
+    comments = np.array([m.comment_coverage for m in metrics])
+    consistency = np.array([m.case_consistency for m in metrics])
+    levels["code_clarity"] = np.select(
+        [
+            (comments >= 0.85) & (consistency >= 0.90),
+            (comments >= 0.55) & (consistency >= 0.75),
+            comments >= 0.25,
+        ],
+        [3, 2, 1],
+        0,
+    )
+    missing["code_clarity"] = no_missing
+
+    tangled = np.array([m.tangledness for m in metrics])
+    roots = np.array([m.n_roots for m in metrics])
+    levels["knowledge_extraction"] = np.select(
+        [(tangled <= 0.05) & (roots >= 3), tangled <= 0.15, tangled <= 0.30],
+        [3, 2, 1],
+        0,
+    )
+    missing["knowledge_extraction"] = no_missing
+
+    standard = np.array([m.standard_term_fraction for m in metrics])
+    intuitive = np.array([m.intuitive_name_fraction for m in metrics])
+    levels["naming_conventions"] = np.select(
+        [standard >= 0.40, intuitive >= 0.70], [3, 2], 1
+    )
+    missing["naming_conventions"] = no_missing
+
+    same_language = np.array(
+        [m.language == target_language for m in metrics], dtype=bool
+    )
+    transformable = np.array(
+        [
+            (m.language, target_language) in TRANSFORMABLE_LANGUAGES
+            for m in metrics
+        ],
+        dtype=bool,
+    )
+    levels["implementation_language"] = np.select(
+        [same_language, transformable], [3, 2], 1
+    )
+    missing["implementation_language"] = no_missing
+
+    # functional_requirements carries the continuous ValueT score
+    # (reused from CoverageResult so its validation stays in one place).
+    levels["functional_requirements"] = np.array(
+        [r.value_t for r in cq_results]
+    )
+    missing["functional_requirements"] = no_missing
+
+    # -- provenance criteria (unknown facts become MISSING) ------------
+    cost = signal([m.financial_cost for m in metas])
+    levels["financial_cost"] = np.select(
+        [cost <= 0, cost <= 100, cost <= 1000], [3, 2, 1], 0
+    )
+    missing["financial_cost"] = ~known([m.financial_cost for m in metas])
+
+    days = signal([m.access_time_days for m in metas])
+    levels["required_time"] = np.select(
+        [days <= 1, days <= 7, days <= 30], [3, 2, 1], 0
+    )
+    missing["required_time"] = ~known([m.access_time_days for m in metas])
+
+    suites = signal([m.n_test_suites for m in metas], default=0.0)
+    levels["test_availability"] = np.minimum(suites.astype(int), 3)
+    missing["test_availability"] = ~known([m.n_test_suites for m in metas])
+
+    evaluated = signal([m.evaluation_level for m in metas], default=0.0)
+    levels["former_evaluation"] = evaluated.astype(int)
+    missing["former_evaluation"] = ~known(
+        [m.evaluation_level for m in metas]
+    )
+
+    pubs = signal([m.team_publications for m in metas])
+    levels["team_reputation"] = np.select(
+        [pubs > 5, pubs > 2, pubs > 0], [3, 2, 1], 0
+    )
+    missing["team_reputation"] = ~known(
+        [m.team_publications for m in metas]
+    )
+
+    purposes = np.array(
+        [m.purpose if m.purpose is not None else "" for m in metas]
+    )
+    levels["purpose_reliability"] = np.select(
+        [
+            purposes == "project",
+            purposes == "standard-transform",
+            purposes == "academic",
+        ],
+        [3, 2, 1],
+        0,
+    )
+    missing["purpose_reliability"] = ~known([m.purpose for m in metas])
+
+    adopters = signal(
+        [None if m.reused_by is None else len(m.reused_by) for m in metas]
+    )
+    patterns = np.array([m.uses_design_patterns for m in metas], dtype=bool)
+    levels["practical_support"] = np.select(
+        [(adopters >= 2) & patterns, adopters >= 2, adopters == 1],
+        [3, 2, 1],
+        0,
+    )
+    missing["practical_support"] = ~known([m.reused_by for m in metas])
+
+    assert set(levels) == set(ATTRIBUTE_IDS)
+    assessments = []
+    for i, entry in enumerate(entries):
+        performances: Dict[str, PerformanceValue] = {
+            attr: (
+                MISSING
+                if missing[attr][i]
+                else (
+                    float(levels[attr][i])
+                    if attr == "functional_requirements"
+                    else int(levels[attr][i])
+                )
+            )
+            for attr in ATTRIBUTE_IDS
+        }
+        assessments.append(
+            CandidateAssessment(
+                entry.name, performances, metrics[i], cq_results[i]
+            )
+        )
+    return tuple(assessments)
+
+
 def assessment_table(
     assessments: Sequence[CandidateAssessment],
     scales: "Optional[Mapping[str, object]]" = None,
@@ -241,3 +430,19 @@ def assessment_table(
         Alternative(a.name, dict(a.performances)) for a in assessments
     ]
     return PerformanceTable(scales, alternatives)
+
+
+def batch_assessment_table(
+    entries: Sequence[RegisteredOntology],
+    questions: Sequence[CompetencyQuestion],
+    target_language: str = "OWL",
+    scales: "Optional[Mapping[str, object]]" = None,
+) -> Tuple[Tuple[CandidateAssessment, ...], PerformanceTable]:
+    """Score a registry and build the §II table in one pass.
+
+    ``(assessments, table)`` — the vectorised :func:`assess_batch`
+    scoring followed by a single :class:`PerformanceTable`
+    construction, the shape the reuse pipeline consumes.
+    """
+    assessments = assess_batch(entries, questions, target_language)
+    return assessments, assessment_table(assessments, scales)

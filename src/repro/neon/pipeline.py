@@ -28,7 +28,7 @@ from ..ontology.corpus import OntologyRegistry, SearchHit
 from ..ontology.cq import CompetencyQuestion
 from ..ontology.merge import MergeReport, integrate
 from ..ontology.model import Ontology
-from .assessment import CandidateAssessment, assess, assessment_table
+from .assessment import CandidateAssessment, batch_assessment_table
 from .criteria import build_hierarchy, default_utilities
 from .selection import SelectionResult, select
 
@@ -131,11 +131,11 @@ class ReusePipeline:
         if max_candidates is not None:
             hits = hits[:max_candidates]
 
-        assessments = tuple(
-            assess(self.registry.get(hit.name), self.questions, self.target_language)
-            for hit in hits
+        assessments, table = batch_assessment_table(
+            [self.registry.get(hit.name) for hit in hits],
+            self.questions,
+            self.target_language,
         )
-        table = assessment_table(assessments)
         problem = DecisionProblem(
             self.hierarchy,
             table,

@@ -1,0 +1,214 @@
+"""Tests for the persisted ``.npz`` compile-artifact cache.
+
+Covers the satellite contract: round-trip equality with JSON-compiled
+arrays, stale-hash invalidation, and concurrent-writer safety.
+"""
+
+import json
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+import pytest
+
+from repro.core import workspace
+from repro.core.engine import BatchEvaluator, CompiledProblem, compile_problem
+
+from ..conftest import make_small_problem
+
+ARRAY_FIELDS = workspace._ARRAY_FIELDS
+
+
+@pytest.fixture()
+def saved_workspace(tmp_path):
+    problem = make_small_problem(missing_cell=True)
+    path = tmp_path / "ws.json"
+    workspace.save(problem, path)
+    return problem, path
+
+
+class TestRoundTrip:
+    def test_arrays_equal_json_compile(self, saved_workspace):
+        problem, path = saved_workspace
+        cold = workspace.load_compiled_fast(path)  # compiles, writes npz
+        warm = workspace.load_compiled_fast(path)  # loads npz
+        reference = compile_problem(problem)
+        for loaded in (cold, warm):
+            for field in ARRAY_FIELDS:
+                assert np.array_equal(
+                    getattr(loaded, field), getattr(reference, field)
+                ), field
+            assert loaded.name == reference.name
+            assert loaded.alternative_names == reference.alternative_names
+            assert loaded.attribute_names == reference.attribute_names
+
+    def test_artifact_sits_next_to_json(self, saved_workspace):
+        _, path = saved_workspace
+        workspace.load_compiled_fast(path)
+        npz = workspace.compiled_array_path(path)
+        assert npz == path.with_suffix(".npz")
+        assert npz.is_file()
+
+    def test_fast_path_skips_object_graph(self, saved_workspace):
+        _, path = saved_workspace
+        workspace.load_compiled_fast(path)
+        warm = workspace.load_compiled_fast(path)
+        assert warm.problem is None  # no JSON parse happened
+        assert isinstance(warm, CompiledProblem)
+
+    def test_loaded_form_evaluates_identically(self, saved_workspace):
+        problem, path = saved_workspace
+        workspace.load_compiled_fast(path)
+        warm = workspace.load_compiled_fast(path)
+        reference = compile_problem(problem)
+        ranks_a, _ = BatchEvaluator(warm).monte_carlo_ranks(
+            n_simulations=128, seed=13, sample_utilities="missing"
+        )
+        ranks_b, _ = BatchEvaluator(reference).monte_carlo_ranks(
+            n_simulations=128, seed=13, sample_utilities="missing"
+        )
+        assert np.array_equal(ranks_a, ranks_b)
+
+    def test_no_refresh_leaves_no_artifact(self, saved_workspace):
+        _, path = saved_workspace
+        compiled = workspace.load_compiled_fast(path, refresh=False)
+        assert compiled.n_alternatives == 3
+        assert not workspace.compiled_array_path(path).exists()
+
+    def test_non_mmap_load_equal(self, saved_workspace):
+        _, path = saved_workspace
+        workspace.load_compiled_fast(path)
+        npz = workspace.compiled_array_path(path)
+        mmapped = workspace.load_compiled_arrays(npz, mmap_arrays=True)
+        copied = workspace.load_compiled_arrays(npz, mmap_arrays=False)
+        for key in copied:
+            assert np.array_equal(mmapped[key], copied[key]), key
+
+
+class TestStaleHashInvalidation:
+    def test_changed_json_recompiles_and_rewrites(self, saved_workspace):
+        _, path = saved_workspace
+        workspace.load_compiled_fast(path)
+        data = json.loads(path.read_text())
+        data["name"] = "renamed"
+        path.write_text(json.dumps(data, indent=2, sort_keys=True))
+        reloaded = workspace.load_compiled_fast(path)
+        assert reloaded.name == "renamed"
+        arrays = workspace.load_compiled_arrays(
+            workspace.compiled_array_path(path)
+        )
+        assert str(arrays["problem_name"]) == "renamed"
+        assert str(arrays["source_sha"]) == workspace._file_sha256(path)
+
+    def test_cosmetic_reformat_invalidates_by_bytes(self, saved_workspace):
+        """A reformatted file re-keys the artifact (raw-byte freshness),
+        but the recompiled arrays stay semantically identical."""
+        problem, path = saved_workspace
+        workspace.load_compiled_fast(path)
+        before = workspace.load_compiled_arrays(
+            workspace.compiled_array_path(path)
+        )
+        path.write_text(json.dumps(json.loads(path.read_text())))  # re-dump
+        after_compiled = workspace.load_compiled_fast(path)
+        after = workspace.load_compiled_arrays(
+            workspace.compiled_array_path(path)
+        )
+        assert str(before["source_sha"]) != str(after["source_sha"])
+        assert str(before["content_hash"]) == str(after["content_hash"])
+        reference = compile_problem(problem)
+        for field in ARRAY_FIELDS:
+            assert np.array_equal(
+                getattr(after_compiled, field), getattr(reference, field)
+            )
+
+    def test_corrupt_artifact_falls_back_to_json(self, saved_workspace):
+        _, path = saved_workspace
+        workspace.load_compiled_fast(path)
+        npz = workspace.compiled_array_path(path)
+        npz.write_bytes(b"not a zip archive at all")
+        compiled = workspace.load_compiled_fast(path)
+        assert compiled.n_alternatives == 3
+        # and the artifact was healed
+        assert workspace.load_compiled_arrays(npz) is not None
+
+    def test_corrupt_member_offset_is_cache_miss(self, saved_workspace):
+        """A valid central directory pointing at a bad local-header
+        offset (in-place corruption) must read as a miss, not raise."""
+        _, path = saved_workspace
+        workspace.load_compiled_fast(path)
+        npz = workspace.compiled_array_path(path)
+        blob = bytearray(npz.read_bytes())
+        # point the first central-directory entry's local-header offset
+        # (4 bytes at position 42 of the PK\x01\x02 record) past EOF so
+        # the member read lands outside the mapped buffer
+        entry = blob.find(b"PK\x01\x02")
+        assert entry != -1
+        blob[entry + 42:entry + 46] = (0x7FFFFFFF).to_bytes(4, "little")
+        npz.write_bytes(bytes(blob))
+        assert workspace.load_compiled_arrays(npz) is None
+        compiled = workspace.load_compiled_fast(path)  # heals via JSON
+        assert compiled.n_alternatives == 3
+
+    def test_missing_artifact_returns_none(self, tmp_path):
+        assert workspace.load_compiled_arrays(tmp_path / "nope.npz") is None
+
+    def test_wrong_format_returns_none(self, tmp_path):
+        target = tmp_path / "bad.npz"
+        np.savez(target, format=np.array("some-other-format/9"))
+        assert workspace.load_compiled_arrays(target) is None
+
+
+class TestWarmCache:
+    def test_warms_only_stale_entries(self, tmp_path):
+        paths = []
+        for i in range(3):
+            path = tmp_path / f"ws{i}.json"
+            workspace.save(make_small_problem(name=f"p{i}"), path)
+            paths.append(path)
+        assert workspace.warm_compiled_cache(paths) == 3
+        assert workspace.warm_compiled_cache(paths) == 0  # all fresh
+        data = json.loads(paths[1].read_text())
+        data["name"] = "poked"
+        paths[1].write_text(json.dumps(data, sort_keys=True))
+        assert workspace.warm_compiled_cache(paths) == 1
+
+
+class TestConcurrentWriters:
+    def test_parallel_writers_leave_valid_artifact(self, saved_workspace):
+        problem, path = saved_workspace
+        compiled = compile_problem(problem)
+        npz = workspace.compiled_array_path(path)
+        sha = workspace._file_sha256(path)
+        semantic = workspace.content_hash(problem)
+
+        def write(_):
+            workspace.save_compiled_arrays(compiled, npz, sha, semantic)
+            return workspace.load_compiled_arrays(npz) is not None
+
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            outcomes = list(pool.map(write, range(32)))
+        assert all(outcomes)
+        final = workspace.load_compiled_arrays(npz)
+        assert str(final["source_sha"]) == sha
+        for field in ARRAY_FIELDS:
+            assert np.array_equal(final[field], getattr(compiled, field))
+        # no temp files left behind
+        leftovers = [
+            p for p in path.parent.iterdir() if ".tmp." in p.name
+        ]
+        assert leftovers == []
+
+    def test_parallel_load_compiled_fast(self, saved_workspace):
+        """Racing readers/writers on a cold cache all get valid forms."""
+        problem, path = saved_workspace
+        reference = compile_problem(problem)
+
+        def load(_):
+            return workspace.load_compiled_fast(path)
+
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            forms = list(pool.map(load, range(16)))
+        for form in forms:
+            for field in ARRAY_FIELDS:
+                assert np.array_equal(
+                    getattr(form, field), getattr(reference, field)
+                )

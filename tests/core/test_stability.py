@@ -7,6 +7,7 @@ from repro.core.interval import Interval
 from repro.core.model import AdditiveModel
 from repro.core.stability import (
     affine_coefficients,
+    batch_affine_coefficients,
     stability_interval,
     stability_report,
 )
@@ -63,6 +64,68 @@ class TestAffineCoefficients:
         model = AdditiveModel(small_problem)
         with pytest.raises(ValueError):
             affine_coefficients(model, "overall")
+
+
+class TestBatchAffineCoefficients:
+    """The vectorised sweep must equal the per-objective implementation."""
+
+    def test_matches_per_objective_small(self, small_problem):
+        model = AdditiveModel(small_problem)
+        names, constants, slopes = batch_affine_coefficients(model)
+        assert constants.shape == (len(names), model.n_alternatives)
+        for o, objective in enumerate(names):
+            constant, slope = affine_coefficients(model, objective)
+            assert constants[o] == pytest.approx(constant, abs=1e-12)
+            assert slopes[o] == pytest.approx(slope, abs=1e-12)
+
+    def test_matches_per_objective_case_study(self, case_problem, case_model):
+        names, constants, slopes = batch_affine_coefficients(case_model)
+        assert set(names) == {
+            node.name
+            for node in case_problem.hierarchy.nodes()
+            if node.name != case_problem.hierarchy.root.name
+        }
+        for o, objective in enumerate(names):
+            constant, slope = affine_coefficients(case_model, objective)
+            assert constants[o] == pytest.approx(constant, abs=1e-12)
+            assert slopes[o] == pytest.approx(slope, abs=1e-12)
+
+    def test_explicit_objective_subset(self, small_problem):
+        model = AdditiveModel(small_problem)
+        names, constants, slopes = batch_affine_coefficients(
+            model, objectives=("quality", "cost")
+        )
+        assert names == ("quality", "cost")
+        assert constants.shape == (2, model.n_alternatives)
+
+    def test_root_rejected(self, small_problem):
+        model = AdditiveModel(small_problem)
+        with pytest.raises(ValueError):
+            batch_affine_coefficients(model, objectives=("overall",))
+
+    def test_report_equals_per_objective_intervals(self, case_problem):
+        """stability_report (batched) == stability_interval per objective."""
+        model = AdditiveModel(case_problem)
+        for mode in ("best", "ranking"):
+            report = stability_report(case_problem, mode=mode)
+            for name, interval in report.intervals.items():
+                reference = stability_interval(
+                    case_problem, name, mode=mode, model=model
+                )
+                if reference is None:
+                    assert interval is None
+                else:
+                    assert interval is not None
+                    assert interval.lower == pytest.approx(
+                        reference.lower, abs=1e-9
+                    )
+                    assert interval.upper == pytest.approx(
+                        reference.upper, abs=1e-9
+                    )
+
+    def test_report_mode_validation(self, small_problem):
+        with pytest.raises(ValueError):
+            stability_report(small_problem, mode="everything")
 
 
 class TestStabilityInterval:

@@ -6,7 +6,9 @@ from repro.core.scales import MISSING
 from repro.neon.assessment import (
     TRANSFORMABLE_LANGUAGES,
     assess,
+    assess_batch,
     assessment_table,
+    batch_assessment_table,
 )
 from repro.ontology.corpus import ReuseMetadata
 from repro.ontology.cq import CompetencyQuestion
@@ -136,6 +138,88 @@ class TestValueT:
         assessment = assess(generate(spec), CQS)
         assert assessment.performance("functional_requirements") == pytest.approx(1.5)
         assert assessment.cq_coverage.covered == ("cq0",)
+
+
+class TestBatchAssessment:
+    """Vectorised registry scoring must equal per-candidate assess()."""
+
+    def _pool(self):
+        metas = [
+            ReuseMetadata(),
+            ReuseMetadata(
+                financial_cost=None, purpose=None, reused_by=None,
+                n_test_suites=None, team_publications=None,
+                access_time_days=None, evaluation_level=None,
+            ),
+            ReuseMetadata(
+                financial_cost=500.0, access_time_days=14.0,
+                n_test_suites=2, evaluation_level=3, team_publications=8,
+                purpose="project", reused_by=("A", "B"),
+                uses_design_patterns=True, experts_contactable=True,
+            ),
+            ReuseMetadata(purpose="unclassified", team_publications=0),
+        ]
+        return [
+            generate(
+                OntologySpec(
+                    f"P{i}", seed=40 + i,
+                    doc_quality=i % 4,
+                    ext_knowledge=i % 4,
+                    code_clarity=max(2, 3 - i % 2),
+                    naming=1 + i % 3,
+                    knowledge_extraction=i % 4,
+                    language_adequacy=1 + i % 3,
+                    covered_cqs=tuple(CQS[: 1 + i % 2]),
+                    metadata=meta,
+                )
+            )
+            for i, meta in enumerate(metas)
+        ]
+
+    def test_equals_per_candidate_scalar_path(self):
+        entries = self._pool()
+        batch = assess_batch(entries, CQS)
+        assert len(batch) == len(entries)
+        for entry, batched in zip(entries, batch):
+            scalar = assess(entry, CQS)
+            assert batched.name == scalar.name
+            for attr, expected in scalar.performances.items():
+                actual = batched.performances[attr]
+                if expected is MISSING:
+                    assert actual is MISSING, (entry.name, attr)
+                else:
+                    assert actual == expected, (entry.name, attr)
+                    assert type(actual) is type(expected), (entry.name, attr)
+
+    def test_case_study_registry_equivalence(self):
+        from repro.casestudy.corpus import multimedia_registry
+        from repro.casestudy.cqs import m3_competency_questions
+
+        registry = multimedia_registry()
+        questions = m3_competency_questions()
+        entries = [registry.get(name) for name in registry.names]
+        batch = assess_batch(entries, questions)
+        for entry, batched in zip(entries, batch):
+            scalar = assess(entry, questions)
+            assert batched.performances == scalar.performances
+            assert batched.missing_attributes == scalar.missing_attributes
+
+    def test_empty_registry(self):
+        assert assess_batch([], CQS) == ()
+
+    def test_one_pass_table_construction(self):
+        entries = self._pool()
+        assessments, table = batch_assessment_table(entries, CQS)
+        reference = assessment_table([assess(e, CQS) for e in entries])
+        assert table.alternative_names == reference.alternative_names
+        assert len(table.attribute_names) == 14
+        for alt in table.alternative_names:
+            for attr in table.attribute_names:
+                a = table[alt].performance(attr)
+                b = reference[alt].performance(attr)
+                assert (a is MISSING) == (b is MISSING)
+                if a is not MISSING:
+                    assert a == b
 
 
 class TestAssessmentTable:

@@ -85,6 +85,87 @@ class TestCommands:
         assert "evaluated 2 problem(s)" in out
         assert "1 hits, 1 misses" in out
 
+    def test_batch_skips_corrupt_workspace(self, capsys, tmp_path):
+        good = tmp_path / "good.json"
+        code, _ = run_cli(capsys, "workspace", "save", str(good))
+        assert code == 0
+        bad = tmp_path / "bad.json"
+        bad.write_text("{ definitely not json")
+        code, out = run_cli(capsys, "batch", str(good), str(bad))
+        assert code == 0
+        assert "evaluated 1 problem(s)" in out
+        assert "skipped 1 unreadable workspace(s)" in out
+        assert "bad.json" in out
+
+    def test_batch_workers_byte_identical_merged_output(
+        self, capsys, tmp_path
+    ):
+        target = tmp_path / "ws.json"
+        code, _ = run_cli(capsys, "workspace", "save", str(target))
+        assert code == 0
+        registry = [str(target)] * 5
+        outputs = {}
+        for workers in (1, 2, 3):
+            code, out = run_cli(
+                capsys,
+                "batch",
+                "--workers",
+                str(workers),
+                "--simulate",
+                "100",
+                *registry,
+            )
+            assert code == 0
+            outputs[workers] = out
+        assert outputs[1] == outputs[2] == outputs[3]
+        assert "evaluated 5 problem(s)" in outputs[1]
+        # and the rows agree with the sequential engine path
+        code, sequential = run_cli(
+            capsys, "batch", "--simulate", "100", *registry
+        )
+        assert code == 0
+        table = lambda text: [  # noqa: E731 - local helper
+            line for line in text.splitlines() if "Media Ontology" in line
+        ]
+        assert table(sequential) == table(outputs[1])
+
+    def test_batch_workers_skips_corrupt_workspace(self, capsys, tmp_path):
+        good = tmp_path / "good.json"
+        code, _ = run_cli(capsys, "workspace", "save", str(good))
+        assert code == 0
+        bad = tmp_path / "bad.json"
+        bad.write_text("[1, 2")
+        code, out = run_cli(
+            capsys, "batch", "--workers", "1", str(good), str(bad)
+        )
+        assert code == 0
+        assert "evaluated 1 problem(s)" in out
+        assert "skipped 1 unreadable workspace(s)" in out
+
+    def test_batch_all_corrupt_exits_nonzero(self, capsys, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("nope")
+        code, out = run_cli(capsys, "batch", str(bad))
+        assert code == 1
+        assert "evaluated 0 problem(s)" in out
+        code, out = run_cli(capsys, "batch", "--workers", "1", str(bad))
+        assert code == 1
+        assert "skipped 1 unreadable workspace(s)" in out
+
+    def test_batch_workers_requires_workspaces(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["batch", "--workers", "2"])
+
+    def test_batch_workers_objectives(self, capsys, tmp_path):
+        target = tmp_path / "ws.json"
+        code, _ = run_cli(capsys, "workspace", "save", str(target))
+        assert code == 0
+        code, out = run_cli(
+            capsys, "batch", "--workers", "1", "--objectives", str(target)
+        )
+        assert code == 0
+        assert "Multimedia:Understandability" in out
+
     def test_pipeline(self, capsys):
         code, out = run_cli(capsys, "pipeline")
         assert code == 0
