@@ -1,0 +1,171 @@
+"""Persistent registry index — warm runs served from the sqlite cache.
+
+PR 2's sharded runtime made one pass over a registry fast, but every
+``repro batch`` invocation still re-walked the registry, re-hashed
+every workspace and re-evaluated problems whose inputs had not changed.
+The persistent registry index (:mod:`repro.core.index`) caches results
+across runs, keyed by ``(content_hash, eval_config_hash)``.
+
+This benchmark builds the same ~200-workspace synthetic registry as
+``bench_sharded_batch.py`` and asserts
+
+* a warm second ``repro batch`` run over the unchanged registry is
+  >= 5x faster than the cold first run,
+* the warm run's CLI output is **byte-identical** to the cold run's,
+  and identical to a ``--no-cache`` (never-cached) run, and
+* after mutating exactly one workspace, only that workspace is
+  re-evaluated (the other N-1 are served from the index).
+
+It emits a ``BENCH_registry_index.json`` trajectory artifact (uploaded
+by CI).  Runs standalone (CI smoke)::
+
+    PYTHONPATH=src python benchmarks/bench_registry_index.py
+
+or under pytest (``pytest benchmarks/bench_registry_index.py -s``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import contextlib
+import io
+import json
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+try:  # allow standalone execution without a PYTHONPATH export
+    import repro  # noqa: F401
+except ImportError:  # pragma: no cover - path bootstrap
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from bench_sharded_batch import build_registry
+
+from repro.cli import main as repro_main
+from repro.core.index import RegistryIndex, default_index_path
+from repro.core.runtime import BatchOptions, ShardedRunner
+
+N_WORKSPACES = 200
+MIN_SPEEDUP = 5.0
+ARTIFACT = "BENCH_registry_index.json"
+WARM_REPEATS = 3
+
+
+def cli_batch(paths, *flags) -> str:
+    """One ``repro batch --workers 1 ...`` invocation's stdout."""
+    buffer = io.StringIO()
+    with contextlib.redirect_stdout(buffer):
+        code = repro_main(
+            ["batch", "--workers", "1", *flags, *[str(p) for p in paths]]
+        )
+    assert code == 0, f"repro batch exited {code}"
+    return buffer.getvalue()
+
+
+def mutate_workspace(path: Path) -> None:
+    """Semantically edit one workspace (its content hash changes)."""
+    data = json.loads(path.read_text())
+    data["name"] = data["name"] + "-edited"
+    path.write_text(json.dumps(data, indent=2, sort_keys=True))
+
+
+def run(n_workspaces: int = N_WORKSPACES, verbose: bool = True) -> dict:
+    with tempfile.TemporaryDirectory(prefix="registry-index-") as tmp:
+        tmp = Path(tmp)
+        t0 = time.perf_counter()
+        paths = build_registry(tmp, n_workspaces)
+        t_build = time.perf_counter() - t0
+
+        # --- cold run: parse + compile + evaluate + persist ----------
+        t0 = time.perf_counter()
+        cold_out = cli_batch(paths)
+        t_cold = time.perf_counter() - t0
+
+        # --- warm runs: stat + sqlite lookup, no evaluation ----------
+        t_warm = None
+        warm_out = None
+        for _ in range(WARM_REPEATS):
+            t0 = time.perf_counter()
+            warm_out = cli_batch(paths)
+            elapsed = time.perf_counter() - t0
+            t_warm = elapsed if t_warm is None else min(t_warm, elapsed)
+
+        byte_identical = warm_out == cold_out
+
+        # --- a never-cached run must render the same bytes too -------
+        nocache_out = cli_batch(paths, "--no-cache")
+        matches_nocache = nocache_out == cold_out
+
+        # --- cache accounting: full hit, then mutate exactly one -----
+        db_path = default_index_path([str(p) for p in paths])
+        with RegistryIndex(db_path) as index:
+            runner = ShardedRunner(workers=1, options=BatchOptions())
+            full = runner.run(paths, index=index)
+            mutate_workspace(paths[0])
+            partial = runner.run(paths, index=index)
+        n_cached_full = full.n_cached
+        n_cached_after_mutation = partial.n_cached
+        unchanged_rows_stable = (
+            full.results[1:] == partial.results[1:]
+            and partial.results[0].name.endswith("-edited")
+        )
+
+    speedup = t_cold / t_warm
+    result = {
+        "n_workspaces": n_workspaces,
+        "t_build_registry": t_build,
+        "t_cold": t_cold,
+        "t_warm_best": t_warm,
+        "warm_repeats": WARM_REPEATS,
+        "speedup_warm": speedup,
+        "byte_identical_warm_output": byte_identical,
+        "matches_no_cache_output": matches_nocache,
+        "n_cached_full": n_cached_full,
+        "n_cached_after_mutation": n_cached_after_mutation,
+        "unchanged_rows_stable": unchanged_rows_stable,
+        "min_speedup_floor": MIN_SPEEDUP,
+    }
+    if verbose:
+        print(f"workspaces                  : {n_workspaces}")
+        print(f"cold run (compile + eval)   : {t_cold * 1e3:8.1f} ms")
+        print(f"warm run (index hits)       : {t_warm * 1e3:8.1f} ms")
+        print(f"speedup (warm vs cold)      : {speedup:8.1f}x")
+        print(f"byte-identical warm output  : {byte_identical}")
+        print(f"matches --no-cache output   : {matches_nocache}")
+        print(
+            f"cached after one mutation   : "
+            f"{n_cached_after_mutation}/{n_workspaces}"
+        )
+
+    assert byte_identical, "warm output differs from cold output"
+    assert matches_nocache, "--no-cache output differs from cached output"
+    assert n_cached_full == n_workspaces, (
+        f"expected every workspace cached on the warm run, got "
+        f"{n_cached_full}/{n_workspaces}"
+    )
+    assert n_cached_after_mutation == n_workspaces - 1, (
+        f"expected exactly one re-evaluation after mutating one "
+        f"workspace, got {n_workspaces - n_cached_after_mutation}"
+    )
+    assert unchanged_rows_stable, "unchanged workspaces changed results"
+    assert speedup >= MIN_SPEEDUP, (
+        f"expected >= {MIN_SPEEDUP}x warm-over-cold, measured "
+        f"{speedup:.1f}x"
+    )
+    return result
+
+
+def test_registry_index_speedup_and_byte_identity():
+    result = run(N_WORKSPACES, verbose=True)
+    Path(ARTIFACT).write_text(json.dumps(result, indent=2))
+
+
+if __name__ == "__main__":
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--workspaces", type=int, default=N_WORKSPACES)
+    parser.add_argument("--artifact", default=ARTIFACT)
+    args = parser.parse_args()
+    outcome = run(args.workspaces)
+    Path(args.artifact).write_text(json.dumps(outcome, indent=2))
+    print(f"wrote {args.artifact}")

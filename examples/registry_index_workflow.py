@@ -1,0 +1,136 @@
+"""Registry lifecycle: cold batch run, warm cached run, one mutation.
+
+Builds a synthetic registry of workspace JSONs, evaluates it cold
+through the sharded runtime with the persistent registry index
+attached, runs it again warm (every result served from sqlite, no
+compilation or evaluation), then mutates a single workspace and shows
+that only the changed problem re-evaluates.
+
+Run:  PYTHONPATH=src python examples/registry_index_workflow.py
+"""
+
+import json
+import tempfile
+import time
+from pathlib import Path
+
+from repro.core import workspace
+from repro.core.hierarchy import Hierarchy, ObjectiveNode
+from repro.core.index import RegistryIndex
+from repro.core.interval import Interval
+from repro.core.performance import Alternative, PerformanceTable
+from repro.core.problem import DecisionProblem
+from repro.core.runtime import BatchOptions, ShardedRunner
+from repro.core.scales import ContinuousScale
+from repro.core.utility import linear_utility
+from repro.core.weights import WeightSystem
+
+N_WORKSPACES = 40
+
+
+def build_registry(directory: Path) -> list:
+    """Write a small synthetic registry: one shortlist per workspace."""
+    price = ContinuousScale("price", 0.0, 100.0, ascending=False)
+    quality = ContinuousScale("quality", 0.0, 10.0)
+    hierarchy = Hierarchy(
+        ObjectiveNode(
+            "overall",
+            children=[
+                ObjectiveNode("cost", attribute="price"),
+                ObjectiveNode("value", attribute="quality"),
+            ],
+        )
+    )
+    utilities = {
+        "price": linear_utility(price),
+        "quality": linear_utility(quality),
+    }
+    paths = []
+    for w in range(N_WORKSPACES):
+        table = PerformanceTable(
+            {"price": price, "quality": quality},
+            [
+                Alternative(
+                    f"candidate-{a}",
+                    {
+                        "price": float(10 + ((7 * w + 13 * a) % 80)),
+                        "quality": float((3 * w + 5 * a) % 10),
+                    },
+                )
+                for a in range(4)
+            ],
+        )
+        weights = WeightSystem(
+            hierarchy,
+            {
+                "cost": Interval(0.3, 0.7),
+                "value": Interval(0.3, 0.7),
+            },
+        )
+        problem = DecisionProblem(
+            hierarchy, table, utilities, weights, name=f"shortlist-{w:03d}"
+        )
+        path = directory / f"shortlist-{w:03d}.json"
+        workspace.save(problem, path)
+        paths.append(path)
+    return paths
+
+
+def timed(label: str, fn):
+    t0 = time.perf_counter()
+    result = fn()
+    elapsed = (time.perf_counter() - t0) * 1e3
+    print(f"{label:<34}: {elapsed:8.1f} ms")
+    return result
+
+
+def main() -> None:
+    with tempfile.TemporaryDirectory(prefix="registry-demo-") as tmp:
+        tmp = Path(tmp)
+        paths = build_registry(tmp)
+        print(f"registry: {len(paths)} workspaces in {tmp}\n")
+
+        runner = ShardedRunner(
+            workers=1, options=BatchOptions(simulations=500, seed=2012)
+        )
+        with RegistryIndex(tmp / ".repro-index.sqlite") as index:
+            cold = timed(
+                "cold run (compile + evaluate)",
+                lambda: runner.run(paths, index=index),
+            )
+            warm = timed(
+                "warm run (index hits)",
+                lambda: runner.run(paths, index=index),
+            )
+            print(
+                f"\ncold: {cold.n_cached}/{cold.n_workspaces} cached | "
+                f"warm: {warm.n_cached}/{warm.n_workspaces} cached | "
+                f"identical results: {warm.results == cold.results}\n"
+            )
+
+            # mutate exactly one workspace: nudge one performance value
+            target = paths[7]
+            data = json.loads(target.read_text())
+            data["alternatives"][0]["performances"]["quality"] = 9.5
+            target.write_text(json.dumps(data, indent=2, sort_keys=True))
+
+            after = timed(
+                "after mutating one workspace",
+                lambda: runner.run(paths, index=index),
+            )
+            print(
+                f"\nre-evaluated: "
+                f"{after.n_workspaces - after.n_cached} workspace(s) "
+                f"(cached {after.n_cached}/{after.n_workspaces})"
+            )
+            changed = [
+                i
+                for i, (a, b) in enumerate(zip(cold.results, after.results))
+                if a != b
+            ]
+            print(f"rows that changed: {changed} (registry position 7)")
+            print(f"\nindex status: {index.status()}")
+
+
+if __name__ == "__main__":
+    main()

@@ -13,7 +13,11 @@ Subcommands map onto the paper's workflow:
 * ``repro batch [WORKSPACE ...]`` — evaluate a whole registry of
   decision problems in one call through the vectorized batch engine
   (compile once per problem, array-program evaluation, optional
-  Monte Carlo per problem).
+  Monte Carlo per problem).  ``--workers N`` engages the sharded
+  runtime and, by default, the persistent registry index
+  (``--no-cache`` / ``--refresh`` control it).
+* ``repro index build|status|vacuum DIR`` — manage the sqlite registry
+  index that caches batch results across runs.
 
 All subcommands operate on the built-in multimedia case study unless
 ``--workspace FILE`` points at a saved problem.
@@ -23,6 +27,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 from typing import Optional, Sequence
 
 from .casestudy.cqs import m3_competency_questions
@@ -146,6 +151,50 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-disk-cache",
         action="store_true",
         help="with --workers: skip the .npz compiled-artifact cache",
+    )
+    p_batch.add_argument(
+        "--index",
+        metavar="FILE",
+        default=None,
+        dest="index_path",
+        help=(
+            "registry index database for cross-run result caching "
+            "(default: .repro-index.sqlite in the registry's common "
+            "directory); implies the sharded runtime"
+        ),
+    )
+    p_batch.add_argument(
+        "--no-cache",
+        action="store_true",
+        help=(
+            "skip the persistent registry index entirely: re-evaluate "
+            "every workspace and leave the index untouched"
+        ),
+    )
+    p_batch.add_argument(
+        "--refresh",
+        action="store_true",
+        help=(
+            "re-evaluate every workspace and overwrite its cached "
+            "results in the registry index; implies the sharded runtime"
+        ),
+    )
+
+    p_index = sub.add_parser(
+        "index",
+        help="manage the persistent registry index (sqlite result cache)",
+    )
+    p_index.add_argument("action", choices=("build", "status", "vacuum"))
+    p_index.add_argument(
+        "registry",
+        help="registry directory (workspace *.json files, scanned recursively)",
+    )
+    p_index.add_argument(
+        "--index",
+        metavar="FILE",
+        default=None,
+        dest="index_path",
+        help="index database (default: <registry>/.repro-index.sqlite)",
     )
 
     p_corpus = sub.add_parser(
@@ -364,14 +413,20 @@ def _cmd_batch_sharded(
     seed: int,
     workers: int,
     use_disk_cache: bool,
+    index_path: Optional[str] = None,
+    use_index: bool = True,
+    refresh: bool = False,
 ) -> str:
-    """`repro batch --workers N`: the sharded multi-problem runtime.
+    """``repro batch --workers N``: the sharded multi-problem runtime.
 
     Same table as the sequential path, computed through
     :class:`~repro.core.runtime.ShardedRunner`: same-shape problems
     stack into one tensor program, shards run across processes, and
-    compiled arrays mmap-load from the ``.npz`` artifacts.  The merged
-    output is byte-identical for any worker count.
+    compiled arrays mmap-load from the ``.npz`` artifacts.  Unless
+    ``--no-cache`` was given, the run consults the persistent registry
+    index first — unchanged workspaces with cached results for this
+    configuration skip evaluation entirely.  The merged output is
+    byte-identical for any worker count and any cache state.
     """
     from .core.runtime import BatchOptions, ShardedRunner
 
@@ -385,7 +440,34 @@ def _cmd_batch_sharded(
             use_disk_cache=use_disk_cache,
         ),
     )
-    report = runner.run(workspaces)
+    index = None
+    if use_index:
+        import sqlite3
+
+        from .core.index import RegistryIndex, default_index_path
+
+        try:
+            db_path = (
+                Path(index_path)
+                if index_path
+                else default_index_path(workspaces)
+            )
+            index = RegistryIndex(db_path)
+        except (OSError, ValueError, sqlite3.Error) as exc:
+            # An unusable index (read-only registry, foreign schema,
+            # mixed roots) must never block evaluation: fall back to an
+            # uncached run, with the same byte-identical stdout.
+            print(
+                f"warning: registry index unavailable "
+                f"({type(exc).__name__}: {exc}); evaluating without "
+                f"cross-run cache",
+                file=sys.stderr,
+            )
+    if index is not None:
+        with index:
+            report = runner.run(workspaces, index=index, refresh=refresh)
+    else:
+        report = runner.run(workspaces)
 
     headers, align = _batch_table_spec(simulations)
     rows = [
@@ -415,6 +497,61 @@ def _cmd_batch_sharded(
     )
 
 
+def _cmd_index(action: str, registry: str, index_path: Optional[str]) -> str:
+    """``repro index build|status|vacuum``: registry index maintenance.
+
+    ``build`` fingerprints every workspace JSON under the registry
+    directory (recursively) and warms missing/stale ``.npz`` compiled
+    artifacts; ``status`` reports row counts and how much of the index
+    is still fresh on disk; ``vacuum`` drops rows for deleted files and
+    results whose content no longer exists, then compacts the database.
+    """
+    from .core.index import DEFAULT_INDEX_FILENAME, RegistryIndex
+
+    root = Path(registry)
+    if not root.is_dir():
+        raise SystemExit(f"not a registry directory: {registry}")
+    db_path = Path(index_path) if index_path else root / DEFAULT_INDEX_FILENAME
+    if action != "build" and not db_path.is_file():
+        # status/vacuum are read/maintenance verbs: opening would
+        # silently create an empty database (+ WAL side files).
+        raise SystemExit(
+            f"no registry index at {db_path} (run `repro index build` first)"
+        )
+    with RegistryIndex(db_path) as index:
+        if action == "build":
+            paths = sorted(
+                p
+                for p in root.rglob("*.json")
+                if p.resolve() != db_path.resolve()
+            )
+            counts = index.build(paths)
+            return (
+                f"indexed {sum(counts.values()) - counts['error']} "
+                f"workspace(s) into {db_path}\n"
+                f"  unchanged: {counts['fresh'] + counts['touched']}"
+                f"  changed: {counts['changed']}  new: {counts['new']}"
+                f"  unreadable: {counts['error']}"
+            )
+        if action == "status":
+            info = index.status()
+            return (
+                f"index {info['db_path']} ({info['db_bytes']} bytes)\n"
+                f"  workspaces : {info['n_workspaces']} "
+                f"({info['fresh']} fresh, {info['stale']} stale, "
+                f"{info['missing']} missing)\n"
+                f"  results    : {info['n_result_rows']} row(s) in "
+                f"{info['n_result_sets']} set(s) across "
+                f"{info['n_configs']} configuration(s)"
+            )
+        removed = index.vacuum()
+        return (
+            f"vacuumed {db_path}: removed {removed['workspaces_removed']} "
+            f"workspace row(s) and {removed['result_rows_removed']} "
+            f"result row(s)"
+        )
+
+
 def _cmd_pipeline(
     problem_path: Optional[str], query: str, threshold: float, run_screening: bool
 ) -> str:
@@ -440,11 +577,25 @@ def _cmd_pipeline(
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     try:
+        if args.command == "index":
+            print(_cmd_index(args.action, args.registry, args.index_path))
+            return 0
         if args.command == "batch":
-            if args.workers is not None:
+            if args.no_cache and (args.refresh or args.index_path):
+                raise SystemExit(
+                    "batch --no-cache conflicts with --refresh/--index: "
+                    "the registry index would not be consulted or written"
+                )
+            registry_mode = (
+                args.workers is not None
+                or args.index_path is not None
+                or args.refresh
+            )
+            if registry_mode:
                 if not args.workspaces:
                     raise SystemExit(
-                        "batch --workers needs explicit workspace files"
+                        "batch --workers/--index/--refresh needs explicit "
+                        "workspace files"
                     )
                 output, exit_code = _cmd_batch_sharded(
                     args.workspaces,
@@ -452,8 +603,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                     args.simulate,
                     args.method,
                     args.seed,
-                    args.workers,
+                    args.workers if args.workers is not None else 1,
                     not args.no_disk_cache,
+                    index_path=args.index_path,
+                    use_index=not args.no_cache,
+                    refresh=args.refresh,
                 )
             else:
                 output, exit_code = _cmd_batch(

@@ -101,9 +101,31 @@ class CompiledProblem:
     structure — lives here as plain ``float64``/``bool``/``intp``
     arrays, so :class:`BatchEvaluator` never walks the object graph
     again.
+
+    Attributes
+    ----------
+    u_low, u_avg, u_up : ndarray of float64, shape (n_alt, n_att)
+        Component-utility envelope per (alternative, attribute):
+        interval lower bound, midpoint/average, interval upper bound.
+    missing : ndarray of bool, shape (n_alt, n_att)
+        True where the performance is :data:`~repro.core.scales.MISSING`
+        (utility envelope pinned to ``[0, 1]``).
+    w_low, w_avg, w_up : ndarray of float64, shape (n_att,)
+        Attribute-level weight bounds and normalized averages.
+    key_low, key_up : ndarray of float64, shape (n_att, max_keys)
+        Distinct utility-class values per attribute, padded to the
+        per-problem maximum and sorted by utility midpoint.
+    key_count : ndarray of intp, shape (n_att,)
+        How many leading entries of ``key_low``/``key_up`` are real.
+    alt_key : ndarray of intp, shape (n_att, n_alt)
+        Each alternative's index into its attribute's key row.
+    problem : DecisionProblem or None
+        The source object graph; ``None`` on the ``.npz`` fast path
+        (:meth:`from_arrays`).
     """
 
     def __init__(self, problem: DecisionProblem) -> None:
+        """Walk ``problem``'s object graph once and build every array."""
         self.problem = problem
         self.name = problem.name
         self.attribute_names: Tuple[str, ...] = problem.hierarchy.attribute_names
@@ -227,10 +249,12 @@ class CompiledProblem:
 
     @property
     def n_alternatives(self) -> int:
+        """Number of alternatives (rows of the utility envelopes)."""
         return len(self.alternative_names)
 
     @property
     def n_attributes(self) -> int:
+        """Number of leaf attributes (columns of the utility envelopes)."""
         return len(self.attribute_names)
 
     @property
@@ -239,6 +263,7 @@ class CompiledProblem:
         return (len(self.alternative_names), len(self.attribute_names))
 
     def alternative_index(self, name: str) -> int:
+        """The row index of alternative ``name`` (KeyError if absent)."""
         try:
             return self.alternative_names.index(name)
         except ValueError:
@@ -285,6 +310,20 @@ class StackedProblem:
 
     ``source_indices`` remembers each member's position in the original
     registry so results merge back deterministically after grouping.
+
+    Attributes
+    ----------
+    u_low, u_avg, u_up, missing : ndarray, shape (P, n_alt, n_att)
+        Member envelopes/masks stacked along a leading problem axis.
+    w_low, w_avg, w_up : ndarray of float64, shape (P, n_att)
+        Member weight bounds, stacked.
+    key_low, key_up : ndarray of float64, shape (P, n_att, max_keys)
+        Utility-class keys re-padded to the stack-wide maximum.
+    key_count : ndarray of intp, shape (P, n_att)
+    alt_key : ndarray of intp, shape (P, n_att, n_alt)
+    members : tuple of CompiledProblem
+    source_indices : tuple of int
+        Each member's registry position (defaults to ``0..P-1``).
     """
 
     def __init__(
@@ -292,6 +331,7 @@ class StackedProblem:
         members: Sequence[CompiledProblem],
         source_indices: Optional[Sequence[int]] = None,
     ) -> None:
+        """Stack ``members`` (all sharing one shape) into tensors."""
         if not members:
             raise ValueError("a stack needs at least one compiled problem")
         shape = members[0].shape
@@ -335,21 +375,26 @@ class StackedProblem:
     # ------------------------------------------------------------------
     @property
     def n_problems(self) -> int:
+        """Stack size ``P`` (the leading tensor axis)."""
         return len(self.members)
 
     @property
     def n_alternatives(self) -> int:
+        """Alternatives per member (every member shares this)."""
         return self.u_low.shape[1]
 
     @property
     def n_attributes(self) -> int:
+        """Leaf attributes per member (every member shares this)."""
         return self.u_low.shape[2]
 
     @property
     def shape(self) -> Tuple[int, int]:
+        """The shared per-member ``(n_alternatives, n_attributes)``."""
         return (self.n_alternatives, self.n_attributes)
 
     def __len__(self) -> int:
+        """Stack size ``P`` — same as :attr:`n_problems`."""
         return len(self.members)
 
 
@@ -663,16 +708,20 @@ class BatchEvaluator:
     def __init__(
         self, source: Union[DecisionProblem, CompiledProblem, object]
     ) -> None:
+        """Wrap ``source`` (problem, compiled form or AdditiveModel)."""
         self.compiled = _as_compiled(source)
 
     # -- §IV: overall-utility intervals and the Fig. 6 ranking ---------
     def minimum_utilities(self) -> np.ndarray:
+        """(n_alternatives,) lower overall utilities (table order)."""
         return self.compiled.u_low @ self.compiled.w_low
 
     def average_utilities(self) -> np.ndarray:
+        """(n_alternatives,) average overall utilities (table order)."""
         return self.compiled.u_avg @ self.compiled.w_avg
 
     def maximum_utilities(self) -> np.ndarray:
+        """(n_alternatives,) upper overall utilities (table order)."""
         return self.compiled.u_up @ self.compiled.w_up
 
     def utility_intervals(self) -> Tuple[Interval, ...]:
@@ -867,6 +916,7 @@ class BatchEvaluator:
 
     # -- §V: screening --------------------------------------------------
     def dominance_matrix(self, solver: str = "scipy") -> np.ndarray:
+        """(n_alt, n_alt) boolean strict-dominance matrix (§V LPs)."""
         from .dominance import dominance_matrix as _dominance_matrix
 
         return _dominance_matrix(self.compiled, solver=solver)
@@ -879,14 +929,17 @@ class BatchEvaluator:
 
     @property
     def alternative_names(self) -> Tuple[str, ...]:
+        """Alternative names in performance-table order."""
         return self.compiled.alternative_names
 
     @property
     def n_attributes(self) -> int:
+        """Leaf attributes of the underlying compiled problem."""
         return self.compiled.n_attributes
 
     @property
     def n_alternatives(self) -> int:
+        """Alternatives of the underlying compiled problem."""
         return self.compiled.n_alternatives
 
 
@@ -913,6 +966,7 @@ class StackedEvaluator:
     """
 
     def __init__(self, stacked: Union[StackedProblem, Sequence[CompiledProblem]]) -> None:
+        """Wrap a stack (or stack a compiled-problem sequence)."""
         if not isinstance(stacked, StackedProblem):
             stacked = StackedProblem(list(stacked))
         self.stacked = stacked
@@ -924,10 +978,12 @@ class StackedEvaluator:
         return np.matmul(s.u_low, s.w_low[:, :, None])[..., 0]
 
     def average_utilities(self) -> np.ndarray:
+        """(P, n_alternatives) average overall utilities."""
         s = self.stacked
         return np.matmul(s.u_avg, s.w_avg[:, :, None])[..., 0]
 
     def maximum_utilities(self) -> np.ndarray:
+        """(P, n_alternatives) upper overall utilities."""
         s = self.stacked
         return np.matmul(s.u_up, s.w_up[:, :, None])[..., 0]
 
@@ -1191,12 +1247,15 @@ class StackedEvaluator:
     # ------------------------------------------------------------------
     @property
     def n_problems(self) -> int:
+        """Stack size ``P`` (the leading axis of every result)."""
         return self.stacked.n_problems
 
     @property
     def n_alternatives(self) -> int:
+        """Alternatives per member of the underlying stack."""
         return self.stacked.n_alternatives
 
     @property
     def n_attributes(self) -> int:
+        """Leaf attributes per member of the underlying stack."""
         return self.stacked.n_attributes

@@ -1,0 +1,677 @@
+"""Persistent registry index with cross-run result caching.
+
+The sharded runtime (:mod:`repro.core.runtime`) made one *run* over a
+registry fast; this module makes the *next* run fast.  A
+:class:`RegistryIndex` is a sqlite database that acts as the system of
+record for a registry of workspace JSON files:
+
+* a ``workspaces`` table holds one row per workspace — path, stat
+  fingerprint (``mtime_ns`` + ``size``), raw-byte sha256
+  (``source_sha``), semantic content hash (sha256 of the canonical
+  workspace JSON, the same key the ``.npz`` compile cache records), the
+  source sha the compiled ``.npz`` artifact carried when last
+  inspected, and the ``(n_alternatives, n_attributes)`` shape signature
+  used for stacking;
+* a ``results`` table caches evaluated outcomes keyed by
+  ``(content_hash, config_hash)`` — the workspace *content* and the
+  evaluation *configuration* (:func:`eval_config_hash`), never the
+  path.  Renaming, copying or touching a file therefore keeps its
+  cached results; only a semantic edit invalidates them.
+
+Freshness is a three-step ladder, cheapest first: a matching stat
+fingerprint trusts the stored hashes without reading the file; a
+matching ``source_sha`` (file re-read, e.g. after ``touch``) keeps the
+stored content hash; otherwise the workspace JSON is parsed and
+re-hashed.  Results are valid per content hash, so every one of those
+steps ends at the same cache key.
+
+Caching per-problem results is sound because the engine guarantees
+each problem's numbers depend only on its own compiled arrays and its
+own seeded RNG stream — never on which problems share a stack, chunk
+or process (the PR 2 determinism contract).  A cached row is therefore
+byte-for-byte the number a fresh evaluation would produce (floats
+round-trip exactly through sqlite ``REAL``, which is IEEE-754 binary64).
+
+Concurrency: the database runs in WAL mode and every mutation happens
+in a single ``BEGIN IMMEDIATE`` transaction issued by one writer (the
+merge step after the process-pool fan-in); worker processes never touch
+the index.  Readers see either the previous or the new state, never a
+partial run.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import sqlite3
+from dataclasses import dataclass, replace
+from pathlib import Path
+from typing import (
+    Dict,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+from . import workspace as _workspace
+from .engine import compile_problem
+
+__all__ = [
+    "DEFAULT_INDEX_FILENAME",
+    "SCHEMA_VERSION",
+    "eval_config_hash",
+    "default_index_path",
+    "IndexedWorkspace",
+    "CachedResult",
+    "RegistryIndex",
+]
+
+DEFAULT_INDEX_FILENAME = ".repro-index.sqlite"
+SCHEMA_VERSION = 1
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS index_meta (
+    key   TEXT PRIMARY KEY,
+    value TEXT NOT NULL
+);
+CREATE TABLE IF NOT EXISTS workspaces (
+    path            TEXT PRIMARY KEY,
+    mtime_ns        INTEGER NOT NULL,
+    size            INTEGER NOT NULL,
+    source_sha      TEXT NOT NULL,
+    content_hash    TEXT NOT NULL,
+    npz_source_sha  TEXT,
+    n_alternatives  INTEGER NOT NULL,
+    n_attributes    INTEGER NOT NULL
+);
+CREATE INDEX IF NOT EXISTS workspaces_by_content
+    ON workspaces (content_hash);
+CREATE TABLE IF NOT EXISTS results (
+    content_hash     TEXT NOT NULL,
+    config_hash      TEXT NOT NULL,
+    sub_index        INTEGER NOT NULL,
+    name             TEXT NOT NULL,
+    n_alternatives   INTEGER NOT NULL,
+    n_attributes     INTEGER NOT NULL,
+    best_name        TEXT NOT NULL,
+    best_minimum     REAL NOT NULL,
+    best_average     REAL NOT NULL,
+    best_maximum     REAL NOT NULL,
+    ever_best        INTEGER,
+    top5_fluctuation INTEGER,
+    PRIMARY KEY (content_hash, config_hash, sub_index)
+);
+"""
+
+
+def eval_config_hash(options) -> str:
+    """The cache key for an evaluation configuration.
+
+    Hashes exactly the :class:`~repro.core.runtime.BatchOptions` fields
+    that determine a run's *numbers* — ``objectives``, ``simulations``
+    and (only when simulating) ``method`` and ``seed``.  Transport
+    knobs (``use_disk_cache``, ``refresh_cache``, ``mmap``) and the
+    worker/chunk layout never influence results (the PR 2 determinism
+    contract), so they are deliberately excluded: the same registry
+    evaluated with any worker count shares one cache entry.
+
+    Parameters
+    ----------
+    options : object
+        Anything with ``objectives`` / ``simulations`` / ``method`` /
+        ``seed`` attributes, typically a
+        :class:`~repro.core.runtime.BatchOptions`.
+
+    Returns
+    -------
+    str
+        Hex sha256 of the canonical configuration JSON.
+    """
+    simulations = int(getattr(options, "simulations", 0) or 0)
+    payload = {
+        "objectives": bool(getattr(options, "objectives", False)),
+        "simulations": simulations,
+        "method": getattr(options, "method", None) if simulations else None,
+        "seed": getattr(options, "seed", None) if simulations else None,
+        # pinned by the batch paths; recorded so a future knob cannot
+        # silently alias old cache entries
+        "sample_utilities": "missing" if simulations else None,
+    }
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def default_index_path(paths: Sequence[Union[str, Path]]) -> Path:
+    """Where a registry's index database lives by default.
+
+    The deepest directory common to every workspace path, plus
+    :data:`DEFAULT_INDEX_FILENAME` — so a flat registry directory keeps
+    its index as a hidden sibling of the workspace files.
+
+    Parameters
+    ----------
+    paths : sequence of str or Path
+        The registry's workspace files (must be non-empty).
+
+    Returns
+    -------
+    Path
+        ``<common directory>/.repro-index.sqlite``.
+    """
+    if not paths:
+        raise ValueError("default_index_path needs at least one path")
+    dirs = {os.path.dirname(os.path.abspath(str(p))) for p in paths}
+    return Path(os.path.commonpath(sorted(dirs))) / DEFAULT_INDEX_FILENAME
+
+
+@dataclass(frozen=True)
+class IndexedWorkspace:
+    """One ``workspaces`` row: a workspace file's identity fingerprint.
+
+    Attributes
+    ----------
+    path : str
+        Absolute path of the workspace JSON (the row key).
+    mtime_ns, size : int
+        Stat fingerprint at index time; a match lets the next probe
+        trust the stored hashes without reading the file.
+    source_sha : str
+        sha256 of the raw file bytes.
+    content_hash : str
+        sha256 of the canonical workspace JSON — the semantic key the
+        ``results`` table and the ``.npz`` compile cache share.
+    npz_source_sha : str or None
+        The ``source_sha`` recorded inside the sibling ``.npz``
+        compiled artifact when this row was derived (``None`` when the
+        artifact was absent or stale at that moment).  Informational:
+        freshness decisions always re-check the artifact itself.
+    n_alternatives, n_attributes : int
+        The stacking shape signature of the compiled problem.
+    """
+
+    path: str
+    mtime_ns: int
+    size: int
+    source_sha: str
+    content_hash: str
+    npz_source_sha: Optional[str]
+    n_alternatives: int
+    n_attributes: int
+
+
+@dataclass(frozen=True)
+class CachedResult:
+    """One cached evaluation row (path- and registry-order-free).
+
+    The persisted complement of
+    :class:`~repro.core.runtime.WorkspaceResult`: everything except the
+    registry ``index`` and the ``path``, which belong to a particular
+    run and are re-applied at lookup time.  ``sub_index`` 0 is the
+    whole workspace; higher values are its per-objective restrictions
+    (``objectives`` runs).  ``ever_best`` / ``top5_fluctuation`` are
+    ``None`` unless the configuration included a Monte Carlo.
+    """
+
+    sub_index: int
+    name: str
+    n_alternatives: int
+    n_attributes: int
+    best_name: str
+    best_minimum: float
+    best_average: float
+    best_maximum: float
+    ever_best: Optional[int] = None
+    top5_fluctuation: Optional[int] = None
+
+
+_LOAD_ERRORS = (OSError, ValueError, KeyError, TypeError)
+
+
+class RegistryIndex:
+    """The sqlite system of record for one workspace registry.
+
+    Opens (creating if needed) the database at ``db_path`` in WAL mode.
+    Use as a context manager, or call :meth:`close` explicitly::
+
+        with RegistryIndex(registry_dir / ".repro-index.sqlite") as index:
+            report = ShardedRunner(workers=4).run(paths, index=index)
+
+    All reads (:meth:`probe`, :meth:`lookup_results`, :meth:`status`)
+    are side-effect free; all writes go through single-transaction
+    methods (:meth:`record_run`, :meth:`build`, :meth:`vacuum`), so a
+    crash can never leave a partially-recorded run.
+    """
+
+    def __init__(self, db_path: Union[str, Path]) -> None:
+        """Open or create the index database at ``db_path``."""
+        self.db_path = Path(db_path)
+        self._conn = sqlite3.connect(self.db_path)
+        self._conn.row_factory = sqlite3.Row
+        try:
+            self._conn.execute("PRAGMA journal_mode=WAL")
+            self._conn.execute("PRAGMA synchronous=NORMAL")
+            with self._conn:
+                self._conn.executescript(_SCHEMA)
+                self._check_schema_version()
+        except BaseException:
+            self._conn.close()
+            raise
+
+    def _check_schema_version(self) -> None:
+        row = self._conn.execute(
+            "SELECT value FROM index_meta WHERE key = 'schema_version'"
+        ).fetchone()
+        if row is None:
+            self._conn.execute(
+                "INSERT INTO index_meta (key, value) VALUES (?, ?)",
+                ("schema_version", str(SCHEMA_VERSION)),
+            )
+        elif row["value"] != str(SCHEMA_VERSION):
+            raise ValueError(
+                f"unsupported registry index schema {row['value']!r} at "
+                f"{self.db_path}; expected {SCHEMA_VERSION!r}"
+            )
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def close(self) -> None:
+        """Close the underlying sqlite connection."""
+        self._conn.close()
+
+    def __enter__(self) -> "RegistryIndex":
+        """Enter a ``with`` block; returns the open index."""
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        """Close the index on ``with`` block exit."""
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Probing (read-only freshness ladder)
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _key(path: Union[str, Path]) -> str:
+        return os.path.abspath(str(path))
+
+    def _stored(self, key: str) -> Optional[IndexedWorkspace]:
+        row = self._conn.execute(
+            "SELECT * FROM workspaces WHERE path = ?", (key,)
+        ).fetchone()
+        if row is None:
+            return None
+        return IndexedWorkspace(
+            path=row["path"],
+            mtime_ns=row["mtime_ns"],
+            size=row["size"],
+            source_sha=row["source_sha"],
+            content_hash=row["content_hash"],
+            npz_source_sha=row["npz_source_sha"],
+            n_alternatives=row["n_alternatives"],
+            n_attributes=row["n_attributes"],
+        )
+
+    def _derive(
+        self,
+        key: str,
+        st: os.stat_result,
+        arrays,
+        npz_path: Path,
+        source_sha: str,
+        warm_artifact: bool,
+    ) -> Optional[IndexedWorkspace]:
+        """Fingerprint a new/changed workspace from the probe's evidence.
+
+        ``arrays`` is the fresh-artifact payload from
+        :func:`repro.core.workspace._fresh_artifact` (the single
+        definition of ``.npz`` freshness) — when present, the content
+        hash and shape signature come straight out of the artifact
+        metadata with no JSON parse.  Otherwise the workspace JSON is
+        parsed; with ``warm_artifact`` the compiled arrays are also
+        (re)persisted so the next batch run's workers mmap them.
+        """
+        if arrays is not None:
+            n_alternatives, n_attributes = arrays["u_avg"].shape
+            content = str(arrays.get("content_hash"))
+            npz_sha = source_sha
+        else:
+            try:
+                problem = _workspace.load(Path(key))
+            except _LOAD_ERRORS:
+                return None
+            content = _workspace.content_hash(problem)
+            if warm_artifact:
+                compiled = compile_problem(problem)
+                _workspace.save_compiled_arrays(
+                    compiled, npz_path, source_sha, content
+                )
+                n_alternatives = compiled.n_alternatives
+                n_attributes = compiled.n_attributes
+                npz_sha = source_sha
+            else:
+                n_alternatives = len(problem.alternative_names)
+                n_attributes = len(problem.attribute_names)
+                npz_sha = None
+        return IndexedWorkspace(
+            path=key,
+            mtime_ns=st.st_mtime_ns,
+            size=st.st_size,
+            source_sha=source_sha,
+            content_hash=content,
+            npz_source_sha=npz_sha,
+            n_alternatives=int(n_alternatives),
+            n_attributes=int(n_attributes),
+        )
+
+    def _probe(
+        self, path: Union[str, Path], warm_artifact: bool = False
+    ) -> Tuple[Optional[IndexedWorkspace], str]:
+        """(record, status) for one workspace file; never writes.
+
+        ``status`` is ``"fresh"`` (stat fingerprint matched),
+        ``"touched"`` (bytes unchanged, stat updated), ``"changed"``
+        (content re-hashed), ``"new"`` (no stored row) or ``"error"``
+        (unreadable/unparseable — record is ``None``).
+        """
+        key = self._key(path)
+        try:
+            st = os.stat(key)
+        except OSError:
+            return None, "error"
+        stored = self._stored(key)
+        if (
+            stored is not None
+            and stored.mtime_ns == st.st_mtime_ns
+            and stored.size == st.st_size
+        ):
+            return stored, "fresh"
+        try:
+            # One call supplies the raw-byte sha *and* the fresh-or-None
+            # artifact payload, under workspace.py's single freshness
+            # definition.
+            arrays, npz_path, source_sha = _workspace._fresh_artifact(
+                Path(key), mmap_arrays=True
+            )
+        except OSError:
+            return None, "error"
+        if stored is not None and stored.source_sha == source_sha:
+            return (
+                replace(stored, mtime_ns=st.st_mtime_ns, size=st.st_size),
+                "touched",
+            )
+        record = self._derive(
+            key, st, arrays, npz_path, source_sha, warm_artifact
+        )
+        if record is None:
+            return None, "error"
+        return record, ("changed" if stored is not None else "new")
+
+    def probe(
+        self, path: Union[str, Path], warm_artifact: bool = False
+    ) -> Optional[IndexedWorkspace]:
+        """The current identity fingerprint of one workspace file.
+
+        Read-only: walks the freshness ladder (stat fingerprint →
+        raw-byte sha → parse-and-hash) and returns the up-to-date
+        :class:`IndexedWorkspace`, or ``None`` when the file is missing
+        or unparseable.  Nothing is written to the database — pass the
+        record to :meth:`record_run` (or use :meth:`build`) to persist
+        it.
+
+        Parameters
+        ----------
+        path : str or Path
+            Workspace JSON file.
+        warm_artifact : bool, optional
+            When the content had to be re-hashed from JSON, also
+            compile and persist the ``.npz`` artifact (what
+            ``repro index build`` does).
+        """
+        record, _ = self._probe(path, warm_artifact=warm_artifact)
+        return record
+
+    # ------------------------------------------------------------------
+    # Result cache
+    # ------------------------------------------------------------------
+
+    def lookup_results(
+        self, content_hash: str, config_hash: str
+    ) -> Optional[Tuple[CachedResult, ...]]:
+        """The cached rows for one (content, configuration) pair.
+
+        Returns the complete row set ordered by ``sub_index`` — one row
+        for a plain run, ``1 + n_top_level_objectives`` rows for an
+        ``objectives`` run — or ``None`` on a cache miss.  Row sets are
+        written atomically, so a non-``None`` return is always complete.
+        """
+        rows = self._conn.execute(
+            "SELECT * FROM results WHERE content_hash = ? AND config_hash = ?"
+            " ORDER BY sub_index",
+            (content_hash, config_hash),
+        ).fetchall()
+        if not rows:
+            return None
+        return tuple(
+            CachedResult(
+                sub_index=row["sub_index"],
+                name=row["name"],
+                n_alternatives=row["n_alternatives"],
+                n_attributes=row["n_attributes"],
+                best_name=row["best_name"],
+                best_minimum=row["best_minimum"],
+                best_average=row["best_average"],
+                best_maximum=row["best_maximum"],
+                ever_best=row["ever_best"],
+                top5_fluctuation=row["top5_fluctuation"],
+            )
+            for row in rows
+        )
+
+    def _upsert_workspace(self, record: IndexedWorkspace) -> None:
+        self._conn.execute(
+            "INSERT OR REPLACE INTO workspaces"
+            " (path, mtime_ns, size, source_sha, content_hash,"
+            "  npz_source_sha, n_alternatives, n_attributes)"
+            " VALUES (?, ?, ?, ?, ?, ?, ?, ?)",
+            (
+                record.path,
+                record.mtime_ns,
+                record.size,
+                record.source_sha,
+                record.content_hash,
+                record.npz_source_sha,
+                record.n_alternatives,
+                record.n_attributes,
+            ),
+        )
+
+    def record_run(
+        self,
+        records: Iterable[IndexedWorkspace],
+        results: Mapping[str, Sequence[CachedResult]],
+        config_hash: str,
+    ) -> None:
+        """Persist one run's fingerprints and fresh results atomically.
+
+        The single-writer merge step: everything lands in one
+        ``BEGIN IMMEDIATE`` transaction — every probed workspace row is
+        upserted and, for each ``content_hash`` in ``results``, the old
+        row set under ``config_hash`` is replaced by the new one.  A
+        reader (or a crash) sees the index before or after the run,
+        never in between.
+
+        Parameters
+        ----------
+        records : iterable of IndexedWorkspace
+            Fingerprints from :meth:`probe` for this run's registry.
+        results : mapping of str to sequence of CachedResult
+            Freshly evaluated row sets keyed by content hash.  Cached
+            hits need not (and should not) be re-stored.
+        config_hash : str
+            :func:`eval_config_hash` of the run's options.
+        """
+        with self._conn:
+            self._conn.execute("BEGIN IMMEDIATE")
+            for record in records:
+                self._upsert_workspace(record)
+            for content_hash, rows in results.items():
+                self._conn.execute(
+                    "DELETE FROM results"
+                    " WHERE content_hash = ? AND config_hash = ?",
+                    (content_hash, config_hash),
+                )
+                self._conn.executemany(
+                    "INSERT INTO results"
+                    " (content_hash, config_hash, sub_index, name,"
+                    "  n_alternatives, n_attributes, best_name,"
+                    "  best_minimum, best_average, best_maximum,"
+                    "  ever_best, top5_fluctuation)"
+                    " VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+                    [
+                        (
+                            content_hash,
+                            config_hash,
+                            row.sub_index,
+                            row.name,
+                            row.n_alternatives,
+                            row.n_attributes,
+                            row.best_name,
+                            row.best_minimum,
+                            row.best_average,
+                            row.best_maximum,
+                            row.ever_best,
+                            row.top5_fluctuation,
+                        )
+                        for row in rows
+                    ],
+                )
+
+    # ------------------------------------------------------------------
+    # Maintenance verbs (repro index build|status|vacuum)
+    # ------------------------------------------------------------------
+
+    def build(
+        self,
+        paths: Iterable[Union[str, Path]],
+        warm_artifacts: bool = True,
+    ) -> Dict[str, int]:
+        """Index every workspace in ``paths``; returns probe-status counts.
+
+        Probes each file (compiling and persisting missing/stale
+        ``.npz`` artifacts when ``warm_artifacts``) and upserts all
+        fingerprints in one transaction.  Unreadable files are counted
+        under ``"error"`` and left out of the index.
+
+        Returns
+        -------
+        dict
+            ``{"fresh": ..., "touched": ..., "changed": ..., "new": ...,
+            "error": ...}`` file counts.
+        """
+        counts = {"fresh": 0, "touched": 0, "changed": 0, "new": 0, "error": 0}
+        records: List[IndexedWorkspace] = []
+        for path in paths:
+            record, status = self._probe(path, warm_artifact=warm_artifacts)
+            counts[status] += 1
+            if record is not None and status != "fresh":
+                records.append(record)
+        with self._conn:
+            self._conn.execute("BEGIN IMMEDIATE")
+            for record in records:
+                self._upsert_workspace(record)
+        return counts
+
+    def status(self) -> Dict[str, object]:
+        """A snapshot of the index: row counts, disk freshness, size.
+
+        Re-stats every indexed path (no hashing, no parsing) to report
+        how much of the index is still current.
+
+        Returns
+        -------
+        dict
+            ``n_workspaces``, ``n_result_rows``, ``n_result_sets``
+            (distinct ``(content_hash, config_hash)`` pairs),
+            ``n_configs`` (distinct configurations), ``fresh`` /
+            ``stale`` / ``missing`` path counts and ``db_bytes``.
+        """
+        n_workspaces = self._conn.execute(
+            "SELECT COUNT(*) FROM workspaces"
+        ).fetchone()[0]
+        n_rows = self._conn.execute("SELECT COUNT(*) FROM results").fetchone()[0]
+        n_sets = self._conn.execute(
+            "SELECT COUNT(*) FROM"
+            " (SELECT DISTINCT content_hash, config_hash FROM results)"
+        ).fetchone()[0]
+        n_configs = self._conn.execute(
+            "SELECT COUNT(DISTINCT config_hash) FROM results"
+        ).fetchone()[0]
+        fresh = stale = missing = 0
+        for row in self._conn.execute(
+            "SELECT path, mtime_ns, size FROM workspaces"
+        ):
+            try:
+                st = os.stat(row["path"])
+            except OSError:
+                missing += 1
+                continue
+            if st.st_mtime_ns == row["mtime_ns"] and st.st_size == row["size"]:
+                fresh += 1
+            else:
+                stale += 1
+        try:
+            db_bytes = os.path.getsize(self.db_path)
+        except OSError:  # pragma: no cover - e.g. in-memory databases
+            db_bytes = 0
+        return {
+            "db_path": str(self.db_path),
+            "n_workspaces": n_workspaces,
+            "n_result_rows": n_rows,
+            "n_result_sets": n_sets,
+            "n_configs": n_configs,
+            "fresh": fresh,
+            "stale": stale,
+            "missing": missing,
+            "db_bytes": db_bytes,
+        }
+
+    def vacuum(self) -> Dict[str, int]:
+        """Drop dead rows, then compact the database file.
+
+        Removes workspace rows whose file no longer exists and result
+        row sets whose content hash is no longer referenced by any
+        workspace row (results for *stale* content: the edited file now
+        hashes differently).  Ends with sqlite ``VACUUM``.
+
+        Returns
+        -------
+        dict
+            ``{"workspaces_removed": ..., "result_rows_removed": ...}``.
+        """
+        gone = [
+            row["path"]
+            for row in self._conn.execute("SELECT path FROM workspaces")
+            if not os.path.isfile(row["path"])
+        ]
+        with self._conn:
+            self._conn.execute("BEGIN IMMEDIATE")
+            self._conn.executemany(
+                "DELETE FROM workspaces WHERE path = ?",
+                [(path,) for path in gone],
+            )
+            removed = self._conn.execute(
+                "DELETE FROM results WHERE content_hash NOT IN"
+                " (SELECT content_hash FROM workspaces)"
+            ).rowcount
+        self._conn.execute("VACUUM")
+        return {
+            "workspaces_removed": len(gone),
+            "result_rows_removed": int(removed),
+        }

@@ -23,6 +23,16 @@ its own compiled arrays and its own seeded RNG stream — so the merged
 report is byte-identical for any worker count, chunk size or completion
 order.  Unreadable registry entries are reported and skipped, never
 fatal.
+
+A fourth layer sits above the three: passing a
+:class:`~repro.core.index.RegistryIndex` to :meth:`ShardedRunner.run`
+adds **cross-run result caching** — workspaces whose content hash and
+evaluation configuration already have rows in the index skip
+compilation *and* evaluation entirely, and the merged report (still
+byte-identical) marks how many entries were served from cache
+(:attr:`RegistryReport.n_cached`).  Only the main process touches the
+index: probing happens before the fan-out, and fresh results are
+persisted in one single-writer transaction after the fan-in.
 """
 
 from __future__ import annotations
@@ -31,7 +41,7 @@ import os
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass, replace
 from pathlib import Path
-from typing import List, Optional, Sequence, Tuple, Union
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -92,6 +102,7 @@ class WorkspaceResult:
 
     @property
     def order_key(self) -> Tuple[int, int]:
+        """``(index, sub_index)`` — the deterministic merge sort key."""
         return (self.index, self.sub_index)
 
 
@@ -106,7 +117,23 @@ class SkippedWorkspace:
 
 @dataclass(frozen=True)
 class RegistryReport:
-    """The deterministic merged outcome of one registry run."""
+    """The deterministic merged outcome of one registry run.
+
+    Attributes
+    ----------
+    results : tuple of WorkspaceResult
+        Every evaluated problem, sorted by ``(index, sub_index)`` —
+        identical for any worker count, chunk size or cache state.
+    skipped : tuple of SkippedWorkspace
+        Unreadable registry entries, sorted by registry index.
+    n_workspaces : int
+        Registry entries submitted (evaluated + cached + skipped).
+    n_stacks, n_chunks, workers : int
+        Execution-shape metadata; never affects ``results``.
+    n_cached : int
+        Registry entries served from the persistent index without
+        compiling or evaluating (0 when no index was passed).
+    """
 
     results: Tuple[WorkspaceResult, ...]
     skipped: Tuple[SkippedWorkspace, ...]
@@ -114,9 +141,11 @@ class RegistryReport:
     n_stacks: int
     n_chunks: int
     workers: int
+    n_cached: int = 0
 
     @property
     def n_evaluated(self) -> int:
+        """Result rows in the merged report (cached rows included)."""
         return len(self.results)
 
 
@@ -295,6 +324,7 @@ class ShardedRunner:
         chunk_size: Optional[int] = None,
         options: Optional[BatchOptions] = None,
     ) -> None:
+        """Configure the pool shape and per-workspace evaluation options."""
         if workers is None:
             workers = min(os.cpu_count() or 1, 8)
         if workers < 1:
@@ -304,14 +334,82 @@ class ShardedRunner:
         self.options = options or BatchOptions()
 
     # ------------------------------------------------------------------
-    def run(self, paths: Sequence[Union[str, Path]]) -> RegistryReport:
-        """Evaluate every workspace in ``paths`` (registry order)."""
+    def run(
+        self,
+        paths: Sequence[Union[str, Path]],
+        index=None,
+        refresh: bool = False,
+    ) -> RegistryReport:
+        """Evaluate every workspace in ``paths`` (registry order).
+
+        Parameters
+        ----------
+        paths : sequence of str or Path
+            The registry: workspace JSON files, in report order.
+        index : RegistryIndex, optional
+            A :class:`~repro.core.index.RegistryIndex` to consult
+            first.  Workspaces whose content hash already has cached
+            rows for this run's configuration skip compilation and
+            evaluation; everything else is evaluated as usual and the
+            index is updated atomically after the merge.
+        refresh : bool, optional
+            With ``index``: ignore cached rows (re-evaluate everything)
+            but overwrite them with the fresh results.
+
+        Returns
+        -------
+        RegistryReport
+            Byte-identical for any worker count, chunk size, cache
+            state or ``refresh`` value — caching only changes *when*
+            numbers are computed, never what they are.
+        """
         indexed = [(i, str(p)) for i, p in enumerate(paths)]
+        cached_results: List[WorkspaceResult] = []
+        pending = indexed
+        records: Dict[str, object] = {}
+        config_hash = None
+        n_cached = 0
+        if index is not None:
+            from .index import eval_config_hash
+
+            config_hash = eval_config_hash(self.options)
+            pending = []
+            for i, path in indexed:
+                record = index.probe(path)
+                if record is not None:
+                    records[path] = record
+                rows = None
+                if record is not None and not refresh:
+                    rows = index.lookup_results(
+                        record.content_hash, config_hash
+                    )
+                if rows is None:
+                    pending.append((i, path))
+                    continue
+                n_cached += 1
+                cached_results.extend(
+                    WorkspaceResult(
+                        index=i,
+                        sub_index=row.sub_index,
+                        path=path,
+                        name=row.name,
+                        n_alternatives=row.n_alternatives,
+                        n_attributes=row.n_attributes,
+                        best_name=row.best_name,
+                        best_minimum=row.best_minimum,
+                        best_average=row.best_average,
+                        best_maximum=row.best_maximum,
+                        ever_best=row.ever_best,
+                        top5_fluctuation=row.top5_fluctuation,
+                    )
+                    for row in rows
+                )
+
         chunk_ranges = shard_registry(
-            len(indexed), self.workers, self.chunk_size
+            len(pending), self.workers, self.chunk_size
         )
         chunks = [
-            [indexed[i] for i in chunk_range]
+            [pending[i] for i in chunk_range]
             for chunk_range in chunk_ranges
             if len(chunk_range)
         ]
@@ -337,6 +435,10 @@ class ShardedRunner:
                     skipped.extend(s)
                     n_stacks += k
 
+        if index is not None:
+            self._persist_run(index, config_hash, records, pending, results)
+
+        results.extend(cached_results)
         results.sort(key=lambda r: r.order_key)
         skipped.sort(key=lambda s: s.index)
         return RegistryReport(
@@ -346,7 +448,74 @@ class ShardedRunner:
             n_stacks=n_stacks,
             n_chunks=len(chunks),
             workers=self.workers,
+            n_cached=n_cached,
         )
+
+    @staticmethod
+    def _persist_run(
+        index,
+        config_hash: str,
+        records: Dict[str, object],
+        pending: Sequence[Tuple[int, str]],
+        fresh: Sequence[WorkspaceResult],
+    ) -> None:
+        """The single-writer merge: record fingerprints + fresh results.
+
+        Groups the freshly evaluated rows by registry entry, converts
+        each complete group to path-free
+        :class:`~repro.core.index.CachedResult` rows under its content
+        hash, and hands everything to
+        :meth:`~repro.core.index.RegistryIndex.record_run` as one
+        atomic transaction.  Skipped (unreadable) entries have no
+        record and are never cached.
+
+        Guard against mid-run edits: workers re-read each file at
+        evaluation time, so a workspace edited between the probe and
+        this merge would associate the *new* content's numbers with the
+        *old* content hash.  Every freshly evaluated entry is therefore
+        re-stat'ed here — if its fingerprint no longer matches the
+        probe, neither its results nor its fingerprint are recorded
+        (the next run simply re-evaluates it).
+        """
+        from .index import CachedResult
+
+        path_by_index = dict(pending)
+        by_entry: Dict[int, List[WorkspaceResult]] = {}
+        for result in fresh:
+            by_entry.setdefault(result.index, []).append(result)
+        to_record = dict(records)
+        store: Dict[str, Tuple[CachedResult, ...]] = {}
+        for i, rows in by_entry.items():
+            path = path_by_index[i]
+            record = records.get(path)
+            if record is None:
+                continue
+            try:
+                st = os.stat(record.path)
+            except OSError:
+                st = None
+            if st is None or (st.st_mtime_ns, st.st_size) != (
+                record.mtime_ns,
+                record.size,
+            ):
+                to_record.pop(path, None)
+                continue
+            store[record.content_hash] = tuple(
+                CachedResult(
+                    sub_index=row.sub_index,
+                    name=row.name,
+                    n_alternatives=row.n_alternatives,
+                    n_attributes=row.n_attributes,
+                    best_name=row.best_name,
+                    best_minimum=row.best_minimum,
+                    best_average=row.best_average,
+                    best_maximum=row.best_maximum,
+                    ever_best=row.ever_best,
+                    top5_fluctuation=row.top5_fluctuation,
+                )
+                for row in sorted(rows, key=lambda r: r.sub_index)
+            )
+        index.record_run(to_record.values(), store, config_hash)
 
     def with_options(self, **changes) -> "ShardedRunner":
         """A runner with the same pool shape and updated options."""

@@ -9,6 +9,14 @@ be saved, shared and re-opened exactly like a ``.gmaa`` file.
 
 The format is versioned (``"format": "repro-workspace/1"``); loaders
 reject unknown versions instead of guessing.
+
+Two compile-cache layers also live here (see ``docs/caching.md``): an
+in-process LRU keyed by the canonical workspace JSON
+(:func:`compile_cached`) and persisted ``.npz`` compiled-artifact
+siblings keyed by raw-byte and semantic sha256
+(:func:`load_compiled_fast`).  The cross-run *result* cache — the
+registry index — builds on the same ``content_hash`` and lives in
+:mod:`repro.core.index`.
 """
 
 from __future__ import annotations

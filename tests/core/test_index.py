@@ -1,0 +1,475 @@
+"""Tests for the persistent registry index (cross-run result caching)."""
+
+import json
+import os
+import sqlite3
+
+import pytest
+
+from repro.core import workspace
+from repro.core.index import (
+    CachedResult,
+    RegistryIndex,
+    default_index_path,
+    eval_config_hash,
+)
+from repro.core.runtime import BatchOptions, ShardedRunner
+
+from ..conftest import make_small_problem
+
+
+def write_registry(tmp_path, n=6):
+    paths = []
+    for i in range(n):
+        problem = make_small_problem(
+            missing_cell=(i % 2 == 0), name=f"ws-{i:02d}"
+        )
+        path = tmp_path / f"ws-{i:02d}.json"
+        workspace.save(problem, path)
+        paths.append(path)
+    return paths
+
+
+def mutate(path):
+    """Semantically edit a workspace JSON (changes the content hash)."""
+    data = json.loads(path.read_text())
+    data["name"] = data["name"] + "-edited"
+    path.write_text(json.dumps(data, indent=2, sort_keys=True))
+
+
+@pytest.fixture
+def index(tmp_path):
+    with RegistryIndex(tmp_path / "index.sqlite") as idx:
+        yield idx
+
+
+class TestEvalConfigHash:
+    def test_stable_for_equal_options(self):
+        a = BatchOptions(simulations=100, method="intervals", seed=3)
+        b = BatchOptions(simulations=100, method="intervals", seed=3)
+        assert eval_config_hash(a) == eval_config_hash(b)
+
+    def test_transport_knobs_do_not_matter(self):
+        a = BatchOptions(use_disk_cache=True, mmap=True)
+        b = BatchOptions(use_disk_cache=False, mmap=False)
+        assert eval_config_hash(a) == eval_config_hash(b)
+
+    def test_seed_and_method_ignored_without_simulations(self):
+        a = BatchOptions(simulations=0, seed=1, method="random")
+        b = BatchOptions(simulations=0, seed=2, method="intervals")
+        assert eval_config_hash(a) == eval_config_hash(b)
+
+    def test_result_shaping_fields_matter(self):
+        base = BatchOptions()
+        assert eval_config_hash(base) != eval_config_hash(
+            BatchOptions(objectives=True)
+        )
+        assert eval_config_hash(
+            BatchOptions(simulations=100, seed=1)
+        ) != eval_config_hash(BatchOptions(simulations=100, seed=2))
+
+
+class TestProbe:
+    def test_new_file_is_fingerprinted(self, tmp_path, index):
+        (path,) = write_registry(tmp_path, n=1)
+        record = index.probe(path)
+        assert record is not None
+        assert record.path == os.path.abspath(str(path))
+        assert record.content_hash == workspace.content_hash(
+            workspace.load(path)
+        )
+        assert (record.n_alternatives, record.n_attributes) == (3, 3)
+
+    def test_probe_is_read_only(self, tmp_path, index):
+        (path,) = write_registry(tmp_path, n=1)
+        index.probe(path)
+        assert index.status()["n_workspaces"] == 0
+
+    def test_stat_fast_path_trusts_stored_hashes(self, tmp_path, index):
+        (path,) = write_registry(tmp_path, n=1)
+        record = index.probe(path)
+        index.record_run([record], {}, "cfg")
+        again, status = index._probe(path)
+        assert status == "fresh"
+        assert again == record
+
+    def test_touch_keeps_content_hash(self, tmp_path, index):
+        (path,) = write_registry(tmp_path, n=1)
+        record = index.probe(path)
+        index.record_run([record], {}, "cfg")
+        os.utime(path, ns=(record.mtime_ns + 10**9, record.mtime_ns + 10**9))
+        again, status = index._probe(path)
+        assert status == "touched"
+        assert again.content_hash == record.content_hash
+        assert again.mtime_ns != record.mtime_ns
+
+    def test_edit_changes_content_hash(self, tmp_path, index):
+        (path,) = write_registry(tmp_path, n=1)
+        record = index.probe(path)
+        index.record_run([record], {}, "cfg")
+        mutate(path)
+        again, status = index._probe(path)
+        assert status == "changed"
+        assert again.content_hash != record.content_hash
+
+    def test_missing_or_corrupt_file_probes_none(self, tmp_path, index):
+        assert index.probe(tmp_path / "nope.json") is None
+        bad = tmp_path / "bad.json"
+        bad.write_text("{ not json")
+        assert index.probe(bad) is None
+
+    def test_fresh_npz_supplies_hash_without_parsing(self, tmp_path, index):
+        (path,) = write_registry(tmp_path, n=1)
+        workspace.load_compiled_fast(path)  # persists the .npz sibling
+        record = index.probe(path)
+        assert record.npz_source_sha == record.source_sha
+        assert record.content_hash == workspace.content_hash(
+            workspace.load(path)
+        )
+
+    def test_warm_artifact_persists_npz(self, tmp_path, index):
+        (path,) = write_registry(tmp_path, n=1)
+        npz = workspace.compiled_array_path(path)
+        assert not npz.exists()
+        record = index.probe(path, warm_artifact=True)
+        assert npz.exists()
+        assert record.npz_source_sha == record.source_sha
+
+
+class TestResultCache:
+    def test_round_trip_is_exact(self, index):
+        rows = (
+            CachedResult(
+                sub_index=0,
+                name="ws",
+                n_alternatives=3,
+                n_attributes=3,
+                best_name="alt",
+                best_minimum=0.12345678901234567,
+                best_average=2.0 / 3.0,
+                best_maximum=1.0 - 2.0**-52,
+                ever_best=2,
+                top5_fluctuation=1,
+            ),
+            CachedResult(
+                sub_index=1,
+                name="ws:cost",
+                n_alternatives=3,
+                n_attributes=1,
+                best_name="other",
+                best_minimum=0.0,
+                best_average=0.5,
+                best_maximum=1.0,
+            ),
+        )
+        index.record_run([], {"hash": rows}, "cfg")
+        assert index.lookup_results("hash", "cfg") == rows
+
+    def test_lookup_misses(self, index):
+        assert index.lookup_results("nope", "cfg") is None
+
+    def test_config_hash_partitions_results(self, index):
+        row = CachedResult(0, "ws", 3, 3, "a", 0.0, 0.5, 1.0)
+        index.record_run([], {"hash": (row,)}, "cfg-a")
+        assert index.lookup_results("hash", "cfg-b") is None
+
+    def test_record_run_replaces_row_set(self, index):
+        old = CachedResult(0, "ws", 3, 3, "a", 0.0, 0.5, 1.0)
+        new = CachedResult(0, "ws", 3, 3, "b", 0.1, 0.6, 0.9)
+        index.record_run([], {"hash": (old,)}, "cfg")
+        index.record_run([], {"hash": (new,)}, "cfg")
+        assert index.lookup_results("hash", "cfg") == (new,)
+
+    def test_schema_version_guard(self, tmp_path):
+        db = tmp_path / "index.sqlite"
+        RegistryIndex(db).close()
+        conn = sqlite3.connect(db)
+        with conn:
+            conn.execute(
+                "UPDATE index_meta SET value = '999'"
+                " WHERE key = 'schema_version'"
+            )
+        conn.close()
+        with pytest.raises(ValueError, match="schema"):
+            RegistryIndex(db)
+
+
+class TestIndexedRuns:
+    def test_second_run_is_fully_cached_and_identical(self, tmp_path):
+        paths = write_registry(tmp_path, n=6)
+        runner = ShardedRunner(
+            workers=1, options=BatchOptions(simulations=100, seed=7)
+        )
+        with RegistryIndex(tmp_path / "index.sqlite") as index:
+            cold = runner.run(paths, index=index)
+            warm = runner.run(paths, index=index)
+        assert cold.n_cached == 0
+        assert warm.n_cached == 6
+        assert warm.results == cold.results
+        assert warm.skipped == cold.skipped
+
+    def test_cached_results_match_uncached_run(self, tmp_path):
+        paths = write_registry(tmp_path, n=4)
+        runner = ShardedRunner(workers=1)
+        with RegistryIndex(tmp_path / "index.sqlite") as index:
+            runner.run(paths, index=index)
+            warm = runner.run(paths, index=index)
+        plain = runner.run(paths)
+        assert warm.results == plain.results
+
+    def test_mutating_one_workspace_reevaluates_only_it(self, tmp_path):
+        paths = write_registry(tmp_path, n=5)
+        runner = ShardedRunner(workers=1)
+        with RegistryIndex(tmp_path / "index.sqlite") as index:
+            cold = runner.run(paths, index=index)
+            mutate(paths[2])
+            after = runner.run(paths, index=index)
+        assert after.n_cached == 4
+        assert after.results[2].name == "ws-02-edited"
+        for i in (0, 1, 3, 4):
+            assert after.results[i] == cold.results[i]
+
+    def test_refresh_reevaluates_but_matches(self, tmp_path):
+        paths = write_registry(tmp_path, n=3)
+        runner = ShardedRunner(workers=1)
+        with RegistryIndex(tmp_path / "index.sqlite") as index:
+            cold = runner.run(paths, index=index)
+            refreshed = runner.run(paths, index=index, refresh=True)
+            warm = runner.run(paths, index=index)
+        assert refreshed.n_cached == 0
+        assert refreshed.results == cold.results
+        assert warm.n_cached == 3
+
+    def test_objectives_rows_cache_as_a_complete_set(self, tmp_path):
+        paths = write_registry(tmp_path, n=2)
+        runner = ShardedRunner(workers=1, options=BatchOptions(objectives=True))
+        with RegistryIndex(tmp_path / "index.sqlite") as index:
+            cold = runner.run(paths, index=index)
+            warm = runner.run(paths, index=index)
+        assert warm.n_cached == 2
+        assert warm.results == cold.results
+        assert [(r.index, r.sub_index) for r in warm.results] == [
+            (0, 0), (0, 1), (0, 2), (1, 0), (1, 1), (1, 2),
+        ]
+
+    def test_corrupt_workspace_skipped_never_cached(self, tmp_path):
+        paths = write_registry(tmp_path, n=2)
+        bad = tmp_path / "bad.json"
+        bad.write_text("{ not json")
+        registry = [paths[0], bad, paths[1]]
+        runner = ShardedRunner(workers=1)
+        with RegistryIndex(tmp_path / "index.sqlite") as index:
+            cold = runner.run(registry, index=index)
+            warm = runner.run(registry, index=index)
+        assert cold.skipped == warm.skipped
+        assert len(warm.skipped) == 1
+        assert warm.n_cached == 2
+
+    def test_duplicate_paths_share_one_cache_entry(self, tmp_path):
+        paths = write_registry(tmp_path, n=1)
+        registry = [paths[0]] * 3
+        runner = ShardedRunner(workers=1)
+        with RegistryIndex(tmp_path / "index.sqlite") as index:
+            cold = runner.run(registry, index=index)
+            warm = runner.run(registry, index=index)
+            n_rows = index.status()["n_workspaces"]
+        assert warm.n_cached == 3
+        assert warm.results == cold.results
+        assert n_rows == 1
+
+    def test_mid_run_edit_is_not_recorded(self, tmp_path):
+        """A workspace edited between probe and merge must not be cached.
+
+        Workers re-read files at evaluation time, so recording the run
+        would bind the *new* content's numbers to the *old* content
+        hash.  Simulated by giving _persist_run a record whose stat
+        fingerprint no longer matches the file.
+        """
+        from dataclasses import replace as dc_replace
+
+        (path,) = write_registry(tmp_path, n=1)
+        runner = ShardedRunner(workers=1)
+        with RegistryIndex(tmp_path / "index.sqlite") as index:
+            record = index.probe(path)
+            stale = dc_replace(record, mtime_ns=record.mtime_ns - 1)
+            report = runner.run([path])  # fresh results, no index
+            runner._persist_run(
+                index,
+                "cfg",
+                {str(path): stale},
+                [(0, str(path))],
+                list(report.results),
+            )
+            assert index.lookup_results(record.content_hash, "cfg") is None
+            assert index.status()["n_workspaces"] == 0
+
+    def test_multiworker_run_matches_single_worker_cache(self, tmp_path):
+        paths = write_registry(tmp_path, n=8)
+        with RegistryIndex(tmp_path / "index.sqlite") as index:
+            cold = ShardedRunner(workers=2).run(paths, index=index)
+            warm = ShardedRunner(workers=1).run(paths, index=index)
+        assert warm.n_cached == 8
+        assert warm.results == cold.results
+
+
+class TestMaintenance:
+    def test_build_counts(self, tmp_path):
+        paths = write_registry(tmp_path, n=3)
+        with RegistryIndex(tmp_path / "index.sqlite") as index:
+            first = index.build(paths)
+            assert first == {
+                "fresh": 0, "touched": 0, "changed": 0, "new": 3, "error": 0,
+            }
+            mutate(paths[0])
+            second = index.build(paths)
+            assert second["fresh"] == 2
+            assert second["changed"] == 1
+
+    def test_status_freshness_sweep(self, tmp_path):
+        paths = write_registry(tmp_path, n=3)
+        with RegistryIndex(tmp_path / "index.sqlite") as index:
+            index.build(paths)
+            mutate(paths[0])
+            paths[1].unlink()
+            info = index.status()
+        assert info["n_workspaces"] == 3
+        assert (info["fresh"], info["stale"], info["missing"]) == (1, 1, 1)
+
+    def test_vacuum_drops_dead_rows(self, tmp_path):
+        paths = write_registry(tmp_path, n=3)
+        runner = ShardedRunner(workers=1)
+        with RegistryIndex(tmp_path / "index.sqlite") as index:
+            runner.run(paths, index=index)
+            mutate(paths[0])  # orphans the old content's result row
+            runner.run(paths, index=index)
+            paths[1].unlink()
+            removed = index.vacuum()
+            info = index.status()
+        assert removed["workspaces_removed"] == 1
+        # the stale ws-00 content row and the deleted ws-01 row are gone
+        assert removed["result_rows_removed"] == 2
+        assert info["n_workspaces"] == 2
+        assert info["n_result_rows"] == 2
+
+    def test_default_index_path_is_common_directory(self, tmp_path):
+        a = tmp_path / "a" / "x.json"
+        b = tmp_path / "b" / "y.json"
+        assert default_index_path([a, b]) == tmp_path / ".repro-index.sqlite"
+        assert (
+            default_index_path([a])
+            == tmp_path / "a" / ".repro-index.sqlite"
+        )
+        with pytest.raises(ValueError):
+            default_index_path([])
+
+
+class TestIndexCLI:
+    def test_batch_warm_run_is_byte_identical(self, capsys, tmp_path):
+        from repro.cli import main
+
+        paths = [str(p) for p in write_registry(tmp_path, n=4)]
+        argv = ["batch", "--workers", "1", *paths]
+        assert main(argv) == 0
+        cold = capsys.readouterr().out
+        assert main(argv) == 0
+        warm = capsys.readouterr().out
+        assert warm == cold
+        assert (tmp_path / ".repro-index.sqlite").exists()
+
+    def test_batch_no_cache_leaves_no_index(self, capsys, tmp_path):
+        from repro.cli import main
+
+        paths = [str(p) for p in write_registry(tmp_path, n=2)]
+        assert main(["batch", "--workers", "1", "--no-cache", *paths]) == 0
+        capsys.readouterr()
+        assert not (tmp_path / ".repro-index.sqlite").exists()
+
+    def test_batch_refresh_implies_registry_mode(self, capsys, tmp_path):
+        from repro.cli import main
+
+        paths = [str(p) for p in write_registry(tmp_path, n=2)]
+        assert main(["batch", "--refresh", *paths]) == 0
+        out = capsys.readouterr().out
+        assert "evaluated 2 problem(s)" in out
+        assert (tmp_path / ".repro-index.sqlite").exists()
+
+    def test_batch_explicit_index_location(self, capsys, tmp_path):
+        from repro.cli import main
+
+        paths = [str(p) for p in write_registry(tmp_path, n=2)]
+        db = tmp_path / "elsewhere.sqlite"
+        assert main(["batch", "--index", str(db), *paths]) == 0
+        capsys.readouterr()
+        assert db.exists()
+        assert not (tmp_path / ".repro-index.sqlite").exists()
+
+    def test_index_build_status_vacuum(self, capsys, tmp_path):
+        from repro.cli import main
+
+        write_registry(tmp_path, n=3)
+        assert main(["index", "build", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "indexed 3 workspace(s)" in out
+        assert main(["index", "status", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "workspaces : 3 (3 fresh" in out
+        assert main(["index", "vacuum", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "vacuumed" in out
+
+    def test_index_requires_directory(self, tmp_path):
+        from repro.cli import main
+
+        with pytest.raises(SystemExit):
+            main(["index", "build", str(tmp_path / "nope")])
+
+    def test_status_on_unindexed_registry_creates_nothing(self, tmp_path):
+        from repro.cli import main
+
+        write_registry(tmp_path, n=1)
+        for action in ("status", "vacuum"):
+            with pytest.raises(SystemExit, match="no registry index"):
+                main(["index", action, str(tmp_path)])
+        assert not (tmp_path / ".repro-index.sqlite").exists()
+
+    def test_registry_flags_require_workspaces(self):
+        from repro.cli import main
+
+        with pytest.raises(SystemExit):
+            main(["batch", "--refresh"])
+
+    def test_no_cache_conflicts_with_refresh_and_index(self, tmp_path):
+        from repro.cli import main
+
+        paths = [str(p) for p in write_registry(tmp_path, n=1)]
+        with pytest.raises(SystemExit, match="conflicts"):
+            main(["batch", "--no-cache", "--refresh", *paths])
+        with pytest.raises(SystemExit, match="conflicts"):
+            main(["batch", "--no-cache", "--index", "x.sqlite", *paths])
+
+    def test_unwritable_index_falls_back_to_uncached(
+        self, capsys, tmp_path
+    ):
+        """Evaluation must survive an uncreatable index database."""
+        from repro.cli import main
+
+        paths = [str(p) for p in write_registry(tmp_path, n=2)]
+        db = tmp_path / "no" / "such" / "dir" / "index.sqlite"
+        assert main(["batch", "--workers", "1", "--index", str(db), *paths]) == 0
+        captured = capsys.readouterr()
+        assert "evaluated 2 problem(s)" in captured.out
+        assert "registry index unavailable" in captured.err
+        # stdout matches a plain uncached run byte for byte
+        assert main(["batch", "--workers", "1", "--no-cache", *paths]) == 0
+        assert capsys.readouterr().out == captured.out
+
+    def test_index_build_ignores_custom_json_database(self, capsys, tmp_path):
+        """--index pointing at a .json inside the registry is not scanned."""
+        from repro.cli import main
+
+        write_registry(tmp_path, n=2)
+        db = tmp_path / "custom-index.json"
+        assert main(["index", "build", str(tmp_path), "--index", str(db)]) == 0
+        out = capsys.readouterr().out
+        assert "indexed 2 workspace(s)" in out
+        assert "unreadable: 0" in out

@@ -1,0 +1,127 @@
+#!/usr/bin/env python
+"""Documentation checks, runnable locally and in CI.
+
+Two gates:
+
+1. **Links** — every intra-repository markdown link in ``README.md``
+   and ``docs/*.md`` must resolve to an existing file (external URLs
+   are ignored, anchors are stripped).
+2. **CLI smoke** — every ``repro`` command line documented in
+   ``docs/cli.md`` fenced code blocks must actually run: the
+   documented subcommand is invoked with ``--help`` in a subprocess
+   and must exit 0.  A documented verb that argparse no longer knows
+   fails the build.
+
+Run::
+
+    python tools/check_docs.py
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import subprocess
+import sys
+from pathlib import Path
+from typing import List
+
+ROOT = Path(__file__).resolve().parent.parent
+DOC_FILES = [ROOT / "README.md", *sorted((ROOT / "docs").glob("*.md"))]
+_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+_EXTERNAL = re.compile(r"^[a-z][a-z0-9+.-]*://|^mailto:")
+
+
+def check_links() -> List[str]:
+    """Broken intra-repo link descriptions, one per offence."""
+    errors = []
+    for doc in DOC_FILES:
+        for match in _LINK.finditer(doc.read_text()):
+            target = match.group(1).split("#", 1)[0]
+            if not target or _EXTERNAL.match(match.group(1)):
+                continue
+            if not (doc.parent / target).resolve().exists():
+                errors.append(
+                    f"{doc.relative_to(ROOT)}: broken link -> {target}"
+                )
+    return errors
+
+
+def documented_cli_lines() -> List[str]:
+    """Every ``repro`` invocation inside docs/cli.md code fences."""
+    lines = []
+    in_fence = False
+    for line in (ROOT / "docs" / "cli.md").read_text().splitlines():
+        if line.strip().startswith("```"):
+            in_fence = not in_fence
+            continue
+        stripped = line.strip()
+        if in_fence and "-m repro" in stripped and not stripped.startswith("#"):
+            lines.append(stripped)
+    return lines
+
+
+def _subcommand(line: str) -> List[str]:
+    """The subcommand tokens of one documented line (may be empty)."""
+    tokens = line.split()
+    rest = tokens[tokens.index("repro") + 1 :]
+    skip_value = False
+    for token in rest:
+        if skip_value:
+            skip_value = False
+            continue
+        if token.startswith("--"):
+            # global options before the subcommand take a value
+            skip_value = "=" not in token and token == "--workspace"
+            continue
+        return [token]
+    return []
+
+
+def check_cli_lines(lines: List[str]) -> List[str]:
+    """Failures from running each documented subcommand with ``--help``."""
+    env = dict(os.environ)
+    src = str(ROOT / "src")
+    env["PYTHONPATH"] = (
+        src + os.pathsep + env["PYTHONPATH"]
+        if env.get("PYTHONPATH")
+        else src
+    )
+    errors = []
+    seen = set()
+    for line in lines:
+        argv = _subcommand(line)
+        key = tuple(argv)
+        if key in seen:
+            continue
+        seen.add(key)
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", *argv, "--help"],
+            capture_output=True,
+            text=True,
+            env=env,
+            cwd=ROOT,
+        )
+        if proc.returncode != 0:
+            errors.append(
+                f"docs/cli.md: `repro {' '.join(argv)} --help` exited "
+                f"{proc.returncode}: {proc.stderr.strip().splitlines()[-1:]}"
+            )
+    return errors
+
+
+def main() -> int:
+    link_errors = check_links()
+    lines = documented_cli_lines()
+    cli_errors = check_cli_lines(lines)
+    for error in link_errors + cli_errors:
+        print(f"FAIL {error}")
+    if not link_errors:
+        print(f"OK   {len(DOC_FILES)} markdown file(s), links resolve")
+    if not cli_errors:
+        print(f"OK   {len(lines)} documented command line(s) run --help")
+    return 1 if (link_errors or cli_errors) else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
