@@ -18,6 +18,8 @@ Subcommands map onto the paper's workflow:
   (``--no-cache`` / ``--refresh`` control it).
 * ``repro index build|status|vacuum DIR`` — manage the sqlite registry
   index that caches batch results across runs.
+* ``repro serve --registry DIR`` — serve cached registry rankings over
+  HTTP (the registry query service; see ``docs/service.md``).
 
 All subcommands operate on the built-in multimedia case study unless
 ``--workspace FILE`` points at a saved problem.
@@ -195,6 +197,46 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         dest="index_path",
         help="index database (default: <registry>/.repro-index.sqlite)",
+    )
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="serve cached registry rankings over HTTP (query service)",
+    )
+    p_serve.add_argument(
+        "--registry",
+        required=True,
+        metavar="DIR",
+        help="registry directory of workspace *.json files to serve",
+    )
+    p_serve.add_argument(
+        "--host",
+        default="127.0.0.1",
+        help="interface to bind (default: 127.0.0.1)",
+    )
+    p_serve.add_argument(
+        "--port",
+        type=int,
+        default=8321,
+        help="port to bind; 0 picks an ephemeral port (default: 8321)",
+    )
+    p_serve.add_argument(
+        "--workers",
+        type=int,
+        default=8,
+        metavar="K",
+        help="maximum concurrent request threads (default: 8)",
+    )
+    p_serve.add_argument(
+        "--index",
+        metavar="FILE",
+        default=None,
+        dest="index_path",
+        help="registry index database "
+        "(default: <registry>/.repro-index.sqlite)",
+    )
+    p_serve.add_argument(
+        "--quiet", action="store_true", help="suppress the access log"
     )
 
     p_corpus = sub.add_parser(
@@ -542,7 +584,8 @@ def _cmd_index(action: str, registry: str, index_path: Optional[str]) -> str:
                 f"{info['missing']} missing)\n"
                 f"  results    : {info['n_result_rows']} row(s) in "
                 f"{info['n_result_sets']} set(s) across "
-                f"{info['n_configs']} configuration(s)"
+                f"{info['n_configs']} configuration(s), "
+                f"{info['result_bytes']} cached byte(s)"
             )
         removed = index.vacuum()
         return (
@@ -550,6 +593,64 @@ def _cmd_index(action: str, registry: str, index_path: Optional[str]) -> str:
             f"workspace row(s) and {removed['result_rows_removed']} "
             f"result row(s)"
         )
+
+
+def _cmd_serve(
+    registry: str,
+    host: str,
+    port: int,
+    workers: int,
+    index_path: Optional[str],
+    quiet: bool,
+) -> int:
+    """``repro serve``: run the registry query service until interrupted.
+
+    Boots the threaded HTTP server over the registry directory and its
+    persistent index, announces the bound address on stdout (so
+    ``--port 0`` callers learn the ephemeral port), and serves until
+    SIGINT, then shuts down gracefully — in-flight requests drain
+    before the index closes.
+    """
+    import signal
+
+    from .service.server import ServiceServer
+
+    if not Path(registry).is_dir():
+        raise SystemExit(f"not a registry directory: {registry}")
+
+    def _graceful(signum, frame):
+        # SIGTERM (systemd stop, CI teardown, docker stop) takes the
+        # same drain-then-close path as Ctrl-C.  SIGINT may arrive
+        # ignored when launched as a background job, so both are wired.
+        raise KeyboardInterrupt
+
+    signal.signal(signal.SIGTERM, _graceful)
+    try:
+        server = ServiceServer(
+            registry,
+            host=host,
+            port=port,
+            workers=workers,
+            index_path=index_path,
+            access_log=None if quiet else sys.stderr,
+        )
+    except OSError as exc:
+        raise SystemExit(f"cannot bind {host}:{port}: {exc}") from exc
+    bound_host, bound_port = server.address
+    try:
+        print(
+            f"serving registry {registry} at http://{bound_host}:{bound_port} "
+            f"(workers={server.httpd.workers}, "
+            f"index={server.app.index_path})",
+            flush=True,
+        )
+        server.serve_forever()
+    except KeyboardInterrupt:
+        # a signal that raced ahead of serve_forever's own handler
+        # (e.g. SIGTERM during the banner) still shuts down cleanly
+        server.stop()
+    print("shut down", flush=True)
+    return 0
 
 
 def _cmd_pipeline(
@@ -580,6 +681,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         if args.command == "index":
             print(_cmd_index(args.action, args.registry, args.index_path))
             return 0
+        if args.command == "serve":
+            return _cmd_serve(
+                args.registry,
+                args.host,
+                args.port,
+                args.workers,
+                args.index_path,
+                args.quiet,
+            )
         if args.command == "batch":
             if args.no_cache and (args.refresh or args.index_path):
                 raise SystemExit(

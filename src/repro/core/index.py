@@ -36,7 +36,11 @@ Concurrency: the database runs in WAL mode and every mutation happens
 in a single ``BEGIN IMMEDIATE`` transaction issued by one writer (the
 merge step after the process-pool fan-in); worker processes never touch
 the index.  Readers see either the previous or the new state, never a
-partial run.
+partial run.  One :class:`RegistryIndex` instance may be shared across
+threads — each thread lazily gets its own sqlite connection to the same
+database file, so WAL readers (e.g. the query service's request
+threads, :mod:`repro.service`) proceed concurrently while a writer
+commits.
 """
 
 from __future__ import annotations
@@ -45,6 +49,7 @@ import hashlib
 import json
 import os
 import sqlite3
+import threading
 from dataclasses import dataclass, replace
 from pathlib import Path
 from typing import (
@@ -245,22 +250,85 @@ class RegistryIndex:
     are side-effect free; all writes go through single-transaction
     methods (:meth:`record_run`, :meth:`build`, :meth:`vacuum`), so a
     crash can never leave a partially-recorded run.
+
+    The instance is thread-safe for file-backed databases: every thread
+    transparently uses its own connection to ``db_path`` (created on
+    first use, all closed by :meth:`close`), so concurrent WAL readers
+    never share a cursor with the single writer.  ``":memory:"`` paths
+    are rejected — each per-thread connection would open a distinct
+    empty database.
     """
 
     def __init__(self, db_path: Union[str, Path]) -> None:
         """Open or create the index database at ``db_path``."""
+        if str(db_path) == ":memory:":
+            raise ValueError(
+                "RegistryIndex needs a file-backed database; ':memory:' "
+                "would give every thread its own empty index"
+            )
         self.db_path = Path(db_path)
-        self._conn = sqlite3.connect(self.db_path)
-        self._conn.row_factory = sqlite3.Row
+        self._local = threading.local()
+        # thread ident -> (owning thread, its connection); dead owners
+        # are reaped on the next connect so a thread-per-request server
+        # cannot accumulate file descriptors
+        self._connections: Dict[
+            int, Tuple[threading.Thread, sqlite3.Connection]
+        ] = {}
+        self._connections_lock = threading.Lock()
+        self._closed = False
+        conn = self._connect()
         try:
-            self._conn.execute("PRAGMA journal_mode=WAL")
-            self._conn.execute("PRAGMA synchronous=NORMAL")
-            with self._conn:
-                self._conn.executescript(_SCHEMA)
+            with conn:
+                conn.executescript(_SCHEMA)
                 self._check_schema_version()
         except BaseException:
-            self._conn.close()
+            self.close()
             raise
+
+    def _connect(self) -> sqlite3.Connection:
+        """Open this thread's connection (pragmas applied) and cache it.
+
+        ``check_same_thread=False`` only so :meth:`close` (and the
+        dead-owner reap below) may close connections owned by other
+        threads; each connection is used for queries exclusively by the
+        thread that created it.
+        """
+        conn = sqlite3.connect(self.db_path, check_same_thread=False)
+        conn.row_factory = sqlite3.Row
+        try:
+            conn.execute("PRAGMA journal_mode=WAL")
+            conn.execute("PRAGMA synchronous=NORMAL")
+            conn.execute("PRAGMA busy_timeout=30000")
+        except BaseException:
+            conn.close()
+            raise
+        reaped: List[sqlite3.Connection] = []
+        with self._connections_lock:
+            if self._closed:
+                conn.close()
+                raise ValueError(f"registry index {self.db_path} is closed")
+            for ident in [
+                ident
+                for ident, (owner, _) in self._connections.items()
+                if not owner.is_alive()
+            ]:
+                reaped.append(self._connections.pop(ident)[1])
+            self._connections[threading.get_ident()] = (
+                threading.current_thread(),
+                conn,
+            )
+        for dead in reaped:
+            dead.close()
+        self._local.conn = conn
+        return conn
+
+    @property
+    def _conn(self) -> sqlite3.Connection:
+        """The calling thread's connection, opened lazily."""
+        conn = getattr(self._local, "conn", None)
+        if conn is None:
+            conn = self._connect()
+        return conn
 
     def _check_schema_version(self) -> None:
         row = self._conn.execute(
@@ -282,8 +350,13 @@ class RegistryIndex:
     # ------------------------------------------------------------------
 
     def close(self) -> None:
-        """Close the underlying sqlite connection."""
-        self._conn.close()
+        """Close every per-thread sqlite connection."""
+        with self._connections_lock:
+            self._closed = True
+            connections, self._connections = self._connections, {}
+        for _, conn in connections.values():
+            conn.close()
+        self._local.conn = None
 
     def __enter__(self) -> "RegistryIndex":
         """Enter a ``with`` block; returns the open index."""
@@ -436,6 +509,36 @@ class RegistryIndex:
         """
         record, _ = self._probe(path, warm_artifact=warm_artifact)
         return record
+
+    def probe_with_status(
+        self, path: Union[str, Path], warm_artifact: bool = False
+    ) -> Tuple[Optional[IndexedWorkspace], str]:
+        """:meth:`probe` plus how the record relates to the stored row.
+
+        Returns ``(record, status)`` where ``status`` is ``"fresh"``
+        (stat fingerprint matched the stored row — nothing to persist),
+        ``"touched"`` / ``"changed"`` / ``"new"`` (the record is newer
+        than the database; pass it to :meth:`record_probes` or
+        :meth:`record_run` to persist) or ``"error"`` (record is
+        ``None``).  Read-only, like :meth:`probe`.
+        """
+        return self._probe(path, warm_artifact=warm_artifact)
+
+    def record_probes(self, records: Iterable[IndexedWorkspace]) -> None:
+        """Persist probe fingerprints alone, in one transaction.
+
+        For read paths that probe many workspaces without evaluating
+        (e.g. the query service's registry listing): upserting the
+        fingerprints lets every later probe take the stat-fingerprint
+        fast path instead of re-hashing unchanged files.
+        """
+        records = list(records)
+        if not records:
+            return
+        with self._conn:
+            self._conn.execute("BEGIN IMMEDIATE")
+            for record in records:
+                self._upsert_workspace(record)
 
     # ------------------------------------------------------------------
     # Result cache
@@ -599,13 +702,22 @@ class RegistryIndex:
         dict
             ``n_workspaces``, ``n_result_rows``, ``n_result_sets``
             (distinct ``(content_hash, config_hash)`` pairs),
-            ``n_configs`` (distinct configurations), ``fresh`` /
-            ``stale`` / ``missing`` path counts and ``db_bytes``.
+            ``n_configs`` (distinct configurations),
+            ``result_bytes`` (total cached-result payload bytes: text
+            columns at their stored length, numeric columns at 8 bytes
+            each), ``fresh`` / ``stale`` / ``missing`` path counts and
+            ``db_bytes``.
         """
         n_workspaces = self._conn.execute(
             "SELECT COUNT(*) FROM workspaces"
         ).fetchone()[0]
         n_rows = self._conn.execute("SELECT COUNT(*) FROM results").fetchone()[0]
+        result_bytes = self._conn.execute(
+            "SELECT COALESCE(SUM("
+            " LENGTH(content_hash) + LENGTH(config_hash)"
+            " + LENGTH(name) + LENGTH(best_name) + 8 * 8), 0)"
+            " FROM results"
+        ).fetchone()[0]
         n_sets = self._conn.execute(
             "SELECT COUNT(*) FROM"
             " (SELECT DISTINCT content_hash, config_hash FROM results)"
@@ -636,6 +748,7 @@ class RegistryIndex:
             "n_result_rows": n_rows,
             "n_result_sets": n_sets,
             "n_configs": n_configs,
+            "result_bytes": int(result_bytes),
             "fresh": fresh,
             "stale": stale,
             "missing": missing,

@@ -1,0 +1,38 @@
+"""The registry query service: HTTP serving over the registry index.
+
+The reuse workflow the paper targets is repository-centric — many
+analysts querying one shared registry of candidate shortlists, not each
+recomputing MAUT rankings locally.  This package serves the persistent
+registry index (:mod:`repro.core.index`) over HTTP:
+
+* :mod:`repro.service.app` — the route table and JSON
+  request/response handling (:class:`~repro.service.app.ServiceApp`),
+  independent of any socket so tests drive it directly;
+* :mod:`repro.service.cache` — the in-process content-hash-keyed LRU
+  of hot responses sitting above the sqlite index, including the ETag
+  machinery (``If-None-Match`` → 304);
+* :mod:`repro.service.server` — a threaded stdlib HTTP server with
+  graceful shutdown and an access log, plus the
+  :func:`~repro.service.server.ServiceServer` lifecycle wrapper the
+  ``repro serve`` CLI command and the tests share.
+
+Reads are *read-through*: an index hit serves the exact cached floats
+from ``RegistryIndex.results``; a miss falls back to a
+:class:`~repro.core.runtime.ShardedRunner` compile-and-evaluate and
+commits the fresh rows back through the index's single-writer path, so
+the server and ``repro batch`` share one cache and stay byte-identical.
+See ``docs/service.md``.
+"""
+
+from .app import ServiceApp, ServiceError
+from .cache import ResponseCache, make_etag
+from .server import RegistryHTTPServer, ServiceServer
+
+__all__ = [
+    "ServiceApp",
+    "ServiceError",
+    "ResponseCache",
+    "make_etag",
+    "RegistryHTTPServer",
+    "ServiceServer",
+]

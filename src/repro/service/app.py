@@ -1,0 +1,697 @@
+"""Route table and JSON request/response handling for the query service.
+
+A :class:`ServiceApp` is the whole HTTP surface minus the socket: it
+maps ``(method, path, query, headers, body)`` to a :class:`Response`,
+so unit tests exercise every endpoint, error path and cache state
+without binding a port.  :mod:`repro.service.server` adapts it onto a
+threaded stdlib HTTP server.
+
+Endpoints
+---------
+``GET /healthz``
+    Liveness: the registry and index the server is bound to.
+``GET /metrics``
+    Request counts, response-cache hit ratio, p50/p99 latency.
+``GET /v1/registry``
+    Index status plus the workspace listing with identity fingerprints.
+``GET /v1/workspaces/{id}/ranking``
+    The cached batch ranking row set for one workspace (read-through).
+``GET /v1/workspaces/{id}/montecarlo``
+    Ranking plus §V Monte Carlo stats (``simulations``/``method``/
+    ``seed`` query parameters select the configuration; read-through).
+``GET /v1/workspaces/{id}/dominance``
+    The §V strict-dominance matrix (LRU-cached by content hash).
+``GET /v1/workspaces/{id}/rankintervals``
+    Attainable-rank intervals (LRU-cached by content hash).
+``POST /v1/evaluate``
+    Evaluate an ad-hoc workspace JSON document through
+    :class:`~repro.core.engine.BatchEvaluator`; nothing is persisted.
+
+Read-through contract: ranking/montecarlo answers come from the
+registry index when the workspace's content hash has cached rows for
+the requested configuration — the *exact* floats ``repro batch``
+stored.  On a miss the workspace is compiled and evaluated via
+:class:`~repro.core.runtime.ShardedRunner` (under the app's single
+writer lock) and the fresh rows are committed back through
+:meth:`~repro.core.index.RegistryIndex.record_run`, so the server and
+the batch CLI share one cache and serve byte-identical numbers in
+either direction.
+
+Workspace ids are registry-relative paths without the ``.json``
+suffix (``shortlists/2024/q1`` → ``<registry>/shortlists/2024/q1.json``).
+Status codes: 400 malformed ids/parameters/bodies, 404 unknown routes
+and workspaces, 405 wrong method on a known route, 409 a workspace
+file that exists but cannot be parsed or evaluated.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+from urllib.parse import parse_qs, unquote, urlsplit
+
+from ..core import workspace as _workspace
+from ..core.engine import BatchEvaluator, compile_problem
+from ..core.index import (
+    DEFAULT_INDEX_FILENAME,
+    RegistryIndex,
+    eval_config_hash,
+)
+from ..core.runtime import BatchOptions, ShardedRunner
+from ..reporting.figures import MC_SEED
+from .cache import (
+    CachedResponse,
+    ResponseCache,
+    if_none_match_matches,
+    make_etag,
+)
+
+__all__ = ["Response", "ServiceError", "ServiceApp"]
+
+_JSON = "application/json"
+_MC_METHODS = ("random", "rank_order", "intervals")
+_WORKSPACE_VERBS = ("ranking", "montecarlo", "dominance", "rankintervals")
+_LOAD_ERRORS = (OSError, ValueError, KeyError, TypeError)
+
+
+class ServiceError(Exception):
+    """An error response: HTTP ``status`` plus a client-facing message."""
+
+    def __init__(self, status: int, message: str) -> None:
+        """Record the status code and message for the JSON error body."""
+        super().__init__(message)
+        self.status = status
+        self.message = message
+
+
+@dataclass(frozen=True)
+class Response:
+    """One rendered HTTP response (status, body bytes, extra headers)."""
+
+    status: int
+    body: bytes = b""
+    content_type: str = _JSON
+    headers: Mapping[str, str] = field(default_factory=dict)
+
+
+def _dumps(payload: object) -> bytes:
+    """Canonical JSON rendering: sorted keys, no whitespace.
+
+    ``json.dumps`` renders floats via ``repr`` (shortest round-trip),
+    so two payloads built from bit-identical binary64 values always
+    render byte-identical bodies — the property the read-through
+    contract and its tests rely on.
+    """
+    return (
+        json.dumps(payload, sort_keys=True, separators=(",", ":")) + "\n"
+    ).encode("utf-8")
+
+
+class _Metrics:
+    """Thread-safe request counters and a latency reservoir."""
+
+    def __init__(self, window: int = 4096) -> None:
+        """Empty counters; latency keeps the last ``window`` samples."""
+        self._lock = threading.Lock()
+        self._by_endpoint: Dict[str, int] = {}
+        self._by_status: Dict[str, int] = {}
+        self._latencies: deque = deque(maxlen=window)
+        self._total = 0
+        self._not_modified = 0
+
+    def record(self, endpoint: str, status: int, seconds: float) -> None:
+        """Count one served request and append its latency sample."""
+        with self._lock:
+            self._total += 1
+            self._by_endpoint[endpoint] = self._by_endpoint.get(endpoint, 0) + 1
+            key = str(status)
+            self._by_status[key] = self._by_status.get(key, 0) + 1
+            if status == 304:
+                self._not_modified += 1
+            self._latencies.append(seconds)
+
+    def snapshot(self) -> Dict[str, object]:
+        """The ``/metrics`` payload: counters + latency percentiles."""
+        with self._lock:
+            latencies = sorted(self._latencies)
+            payload = {
+                "total": self._total,
+                "by_endpoint": dict(sorted(self._by_endpoint.items())),
+                "by_status": dict(sorted(self._by_status.items())),
+                "not_modified": self._not_modified,
+            }
+        latency: Dict[str, object] = {"window": len(latencies)}
+        if latencies:
+            def pct(q: float) -> float:
+                pos = min(len(latencies) - 1, int(q * (len(latencies) - 1)))
+                return latencies[pos] * 1000.0
+            latency["p50_ms"] = pct(0.50)
+            latency["p99_ms"] = pct(0.99)
+            latency["max_ms"] = latencies[-1] * 1000.0
+        return {"requests": payload, "latency": latency}
+
+
+class ServiceApp:
+    """The registry query service's request handler (no socket).
+
+    Binds a registry directory to its
+    :class:`~repro.core.index.RegistryIndex` (shared across request
+    threads; per-thread sqlite connections) and an in-process
+    :class:`~repro.service.cache.ResponseCache` of hot rendered
+    responses keyed by content hash.  All evaluation writes funnel
+    through one lock so the index keeps its single-writer discipline.
+
+    Parameters
+    ----------
+    registry_dir : str or Path
+        Directory of workspace ``*.json`` files to serve.
+    index_path : str or Path, optional
+        Index database (default ``<registry>/.repro-index.sqlite``).
+    cache_size : int, optional
+        Response-LRU capacity (entries, not bytes).
+    """
+
+    def __init__(
+        self,
+        registry_dir: Union[str, Path],
+        index_path: Optional[Union[str, Path]] = None,
+        cache_size: int = 1024,
+    ) -> None:
+        """Open the registry index and build an empty response cache."""
+        self.registry_dir = Path(registry_dir).resolve()
+        if not self.registry_dir.is_dir():
+            raise ValueError(f"not a registry directory: {registry_dir}")
+        self.index_path = (
+            Path(index_path)
+            if index_path is not None
+            else self.registry_dir / DEFAULT_INDEX_FILENAME
+        )
+        self.index = RegistryIndex(self.index_path)
+        self.cache = ResponseCache(cache_size)
+        self.metrics = _Metrics()
+        self._write_lock = threading.Lock()
+
+    def close(self) -> None:
+        """Release the index's sqlite connections."""
+        self.index.close()
+
+    def __enter__(self) -> "ServiceApp":
+        """Enter a ``with`` block; returns the app."""
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        """Close the app on ``with`` block exit."""
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Dispatch
+    # ------------------------------------------------------------------
+
+    def handle(
+        self,
+        method: str,
+        target: str,
+        headers: Optional[Mapping[str, str]] = None,
+        body: bytes = b"",
+    ) -> Response:
+        """Route one request; never raises (errors become JSON bodies)."""
+        headers = {k.lower(): v for k, v in (headers or {}).items()}
+        split = urlsplit(target)
+        path = unquote(split.path)
+        query = parse_qs(split.query, keep_blank_values=True)
+        endpoint, started = path, time.perf_counter()
+        try:
+            endpoint, response = self._route(method, path, query, headers, body)
+        except ServiceError as exc:
+            response = Response(
+                exc.status, _dumps({"error": exc.message, "status": exc.status})
+            )
+        except Exception as exc:  # pragma: no cover - defensive backstop
+            response = Response(
+                500,
+                _dumps(
+                    {"error": f"{type(exc).__name__}: {exc}", "status": 500}
+                ),
+            )
+        self.metrics.record(
+            endpoint, response.status, time.perf_counter() - started
+        )
+        return response
+
+    def _route(
+        self,
+        method: str,
+        path: str,
+        query: Mapping[str, List[str]],
+        headers: Mapping[str, str],
+        body: bytes,
+    ) -> Tuple[str, Response]:
+        """(metrics endpoint label, response) for one parsed request."""
+        parts = [p for p in path.split("/") if p]
+        if parts == ["healthz"]:
+            return path, self._require_get(method, path, self._healthz)
+        if parts == ["metrics"]:
+            return path, self._require_get(method, path, self._metrics)
+        if parts == ["v1", "registry"]:
+            return path, self._require_get(method, path, self._registry)
+        if parts[:2] == ["v1", "workspaces"] and len(parts) >= 4:
+            verb = parts[-1]
+            ws_id = "/".join(parts[2:-1])
+            if verb not in _WORKSPACE_VERBS:
+                raise ServiceError(404, f"unknown endpoint {path!r}")
+            label = f"/v1/workspaces/{{id}}/{verb}"
+            if method != "GET":
+                raise ServiceError(405, f"{method} not allowed on {path!r}")
+            return label, self._workspace_endpoint(verb, ws_id, query, headers)
+        if parts == ["v1", "evaluate"]:
+            if method != "POST":
+                raise ServiceError(405, f"{method} not allowed on {path!r}")
+            return path, self._evaluate(body)
+        raise ServiceError(404, f"unknown endpoint {path!r}")
+
+    @staticmethod
+    def _require_get(method: str, path: str, handler) -> Response:
+        if method != "GET":
+            raise ServiceError(405, f"{method} not allowed on {path!r}")
+        return handler()
+
+    # ------------------------------------------------------------------
+    # Plain endpoints
+    # ------------------------------------------------------------------
+
+    def _healthz(self) -> Response:
+        return Response(
+            200,
+            _dumps(
+                {
+                    "status": "ok",
+                    "registry": str(self.registry_dir),
+                    "index_db": str(self.index_path),
+                }
+            ),
+        )
+
+    def _metrics(self) -> Response:
+        payload = self.metrics.snapshot()
+        payload["cache"] = self.cache.stats()
+        return Response(200, _dumps(payload))
+
+    def _registry_paths(self) -> List[Path]:
+        return sorted(
+            p
+            for p in self.registry_dir.rglob("*.json")
+            if p.resolve() != self.index_path.resolve()
+        )
+
+    def _registry(self) -> Response:
+        workspaces = []
+        fresh_records = []
+        for path in self._registry_paths():
+            ws_id = path.relative_to(self.registry_dir).with_suffix(
+                ""
+            ).as_posix()
+            record, status = self.index.probe_with_status(path)
+            if record is None:
+                workspaces.append({"id": ws_id, "error": "unreadable"})
+                continue
+            if status != "fresh":
+                fresh_records.append(record)
+            workspaces.append(
+                {
+                    "id": ws_id,
+                    "content_hash": record.content_hash,
+                    "source_sha": record.source_sha,
+                    "size": record.size,
+                    "mtime_ns": record.mtime_ns,
+                    "n_alternatives": record.n_alternatives,
+                    "n_attributes": record.n_attributes,
+                }
+            )
+        if fresh_records:
+            # persist the fingerprints so the next listing (and every
+            # ranking probe) takes the stat fast path instead of
+            # re-hashing unchanged files
+            with self._write_lock:
+                self.index.record_probes(fresh_records)
+        payload = {
+            "registry": str(self.registry_dir),
+            "index": self.index.status(),
+            "n_workspaces": len(workspaces),
+            "workspaces": workspaces,
+        }
+        return Response(200, _dumps(payload))
+
+    # ------------------------------------------------------------------
+    # Workspace endpoints
+    # ------------------------------------------------------------------
+
+    def _resolve(self, ws_id: str) -> Path:
+        """The registry file behind a workspace id (404 when absent)."""
+        segments = ws_id.split("/")
+        if not ws_id or any(s in ("", ".", "..") for s in segments):
+            raise ServiceError(400, f"invalid workspace id {ws_id!r}")
+        path = self.registry_dir / (ws_id + ".json")
+        if not path.is_file():
+            raise ServiceError(404, f"unknown workspace {ws_id!r}")
+        return path
+
+    def _probe(self, ws_id: str, path: Path):
+        record = self.index.probe(path)
+        if record is None:
+            raise ServiceError(
+                409, f"workspace {ws_id!r} exists but cannot be parsed"
+            )
+        return record
+
+    @staticmethod
+    def _reject_unknown_params(
+        query: Mapping[str, List[str]], allowed: Sequence[str]
+    ) -> None:
+        unknown = sorted(set(query) - set(allowed))
+        if unknown:
+            raise ServiceError(
+                400, f"unknown query parameter(s): {', '.join(unknown)}"
+            )
+
+    @staticmethod
+    def _int_param(
+        query: Mapping[str, List[str]], name: str, default: int
+    ) -> int:
+        values = query.get(name)
+        if not values:
+            return default
+        try:
+            return int(values[-1])
+        except ValueError:
+            raise ServiceError(
+                400, f"query parameter {name!r} must be an integer"
+            ) from None
+
+    def _mc_options(self, query: Mapping[str, List[str]]) -> BatchOptions:
+        self._reject_unknown_params(query, ("simulations", "method", "seed"))
+        simulations = self._int_param(query, "simulations", 10_000)
+        if simulations < 1:
+            raise ServiceError(400, "simulations must be positive")
+        method = query.get("method", ["intervals"])[-1]
+        if method not in _MC_METHODS:
+            raise ServiceError(
+                400,
+                f"method must be one of {', '.join(_MC_METHODS)}; "
+                f"got {method!r}",
+            )
+        seed = self._int_param(query, "seed", MC_SEED)
+        return BatchOptions(simulations=simulations, method=method, seed=seed)
+
+    def _workspace_endpoint(
+        self,
+        verb: str,
+        ws_id: str,
+        query: Mapping[str, List[str]],
+        headers: Mapping[str, str],
+    ) -> Response:
+        path = self._resolve(ws_id)
+        if verb == "ranking":
+            self._reject_unknown_params(query, ())
+            return self._serve_results(ws_id, path, BatchOptions(), headers)
+        if verb == "montecarlo":
+            return self._serve_results(
+                ws_id, path, self._mc_options(query), headers
+            )
+        self._reject_unknown_params(query, ())
+        return self._serve_screening(verb, ws_id, path, headers)
+
+    def _finish(
+        self,
+        key: Tuple,
+        etag: str,
+        headers: Mapping[str, str],
+        build,
+    ) -> Response:
+        """The shared validator → LRU → build tail of every GET.
+
+        ``build()`` runs only when both the client validator and the
+        response LRU miss; its body is cached under ``key`` for the
+        next request with the same semantic identity.
+        """
+        if if_none_match_matches(headers.get("if-none-match"), etag):
+            return Response(304, b"", headers={"ETag": etag})
+        cached = self.cache.get(key)
+        if cached is not None:
+            return Response(
+                200,
+                cached.body,
+                headers={"ETag": etag, "X-Cache": "hit"},
+            )
+        body = build()
+        self.cache.put(key, CachedResponse(body=body, etag=etag))
+        return Response(200, body, headers={"ETag": etag, "X-Cache": "miss"})
+
+    # -- ranking / montecarlo: the index read-through -------------------
+
+    def _serve_results(
+        self,
+        ws_id: str,
+        path: Path,
+        options: BatchOptions,
+        headers: Mapping[str, str],
+    ) -> Response:
+        record = self._probe(ws_id, path)
+        config_hash = eval_config_hash(options)
+        verb = "montecarlo" if options.simulations else "ranking"
+        etag = make_etag(verb, record.content_hash, config_hash)
+        key = (verb, record.content_hash, config_hash)
+
+        def build() -> bytes:
+            rows = self.index.lookup_results(record.content_hash, config_hash)
+            if rows is None:
+                rows = self._evaluate_through(ws_id, path, options, config_hash)
+            return _dumps(
+                self._results_payload(ws_id, record.content_hash, options, rows)
+            )
+
+        return self._finish(key, etag, headers, build)
+
+    def _evaluate_through(
+        self,
+        ws_id: str,
+        path: Path,
+        options: BatchOptions,
+        config_hash: str,
+    ):
+        """The read-through miss: evaluate and commit via the index.
+
+        Serialised on the app's write lock so concurrent misses for the
+        same workspace evaluate once and the index keeps exactly one
+        writer at a time.  The runner probes, evaluates, and persists
+        through :meth:`RegistryIndex.record_run` — the same single
+        -writer path ``repro batch`` uses — so the committed rows are
+        the ones a batch run would cache.
+        """
+        with self._write_lock:
+            probed = self.index.probe(path)
+            if probed is not None:
+                rows = self.index.lookup_results(
+                    probed.content_hash, config_hash
+                )
+                if rows is not None:
+                    return rows
+            report = ShardedRunner(workers=1, options=options).run(
+                [str(path)], index=self.index
+            )
+            if report.skipped or not report.results:
+                detail = report.skipped[0].error if report.skipped else "empty"
+                raise ServiceError(
+                    409, f"workspace {ws_id!r} cannot be evaluated: {detail}"
+                )
+            return report.results
+
+    @staticmethod
+    def _results_payload(
+        ws_id: str, content_hash: str, options: BatchOptions, rows
+    ) -> Dict[str, object]:
+        """One ranking/montecarlo body, identical for cached and fresh rows.
+
+        ``rows`` are :class:`~repro.core.index.CachedResult` (index hit)
+        or :class:`~repro.core.runtime.WorkspaceResult` (fresh) — the
+        shared field names carry bit-identical binary64 floats either
+        way, so the rendered bytes never depend on the cache state.
+        """
+        simulations = int(options.simulations)
+        results = []
+        for row in rows:
+            entry: Dict[str, object] = {
+                "sub_index": row.sub_index,
+                "name": row.name,
+                "n_alternatives": row.n_alternatives,
+                "n_attributes": row.n_attributes,
+                "best": {
+                    "name": row.best_name,
+                    "minimum": row.best_minimum,
+                    "average": row.best_average,
+                    "maximum": row.best_maximum,
+                },
+            }
+            if simulations:
+                entry["ever_best"] = row.ever_best
+                entry["top5_fluctuation"] = row.top5_fluctuation
+            results.append(entry)
+        return {
+            "workspace": ws_id,
+            "content_hash": content_hash,
+            "config": {
+                "objectives": False,
+                "simulations": simulations,
+                "method": options.method if simulations else None,
+                "seed": options.seed if simulations else None,
+            },
+            "results": results,
+        }
+
+    # -- dominance / rank intervals: engine-backed, LRU-cached ----------
+
+    def _serve_screening(
+        self,
+        verb: str,
+        ws_id: str,
+        path: Path,
+        headers: Mapping[str, str],
+    ) -> Response:
+        record = self._probe(ws_id, path)
+        etag = make_etag(verb, record.content_hash)
+        key = (verb, record.content_hash)
+
+        def build() -> bytes:
+            try:
+                compiled = _workspace.load_compiled_fast(str(path))
+            except _LOAD_ERRORS as exc:
+                raise ServiceError(
+                    409,
+                    f"workspace {ws_id!r} cannot be compiled: "
+                    f"{type(exc).__name__}: {exc}",
+                ) from exc
+            evaluator = BatchEvaluator(compiled)
+            names = list(evaluator.alternative_names)
+            if verb == "dominance":
+                matrix = evaluator.dominance_matrix()
+                dominated = matrix.any(axis=0)
+                payload = {
+                    "workspace": ws_id,
+                    "content_hash": record.content_hash,
+                    "alternatives": names,
+                    "matrix": [[bool(x) for x in row] for row in matrix],
+                    "non_dominated": [
+                        name
+                        for name, hit in zip(names, dominated)
+                        if not hit
+                    ],
+                }
+            else:
+                intervals = evaluator.rank_intervals()
+                payload = {
+                    "workspace": ws_id,
+                    "content_hash": record.content_hash,
+                    "intervals": [
+                        {
+                            "name": name,
+                            "best": intervals[name].best,
+                            "worst": intervals[name].worst,
+                        }
+                        for name in names
+                    ],
+                }
+            return _dumps(payload)
+
+        return self._finish(key, etag, headers, build)
+
+    # ------------------------------------------------------------------
+    # POST /v1/evaluate
+    # ------------------------------------------------------------------
+
+    def _evaluate(self, body: bytes) -> Response:
+        """Ad-hoc evaluation of a posted workspace document.
+
+        Accepts either the raw ``repro-workspace/1`` document or an
+        envelope ``{"workspace": <document>, "simulations": N,
+        "method": ..., "seed": ...}``.  Nothing touches the registry or
+        the index — the problem never has a path, so there is nothing
+        to fingerprint.
+        """
+        try:
+            doc = json.loads(body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise ServiceError(400, f"request body is not JSON: {exc}") from exc
+        if not isinstance(doc, dict):
+            raise ServiceError(400, "request body must be a JSON object")
+        simulations, method, seed = 0, "intervals", MC_SEED
+        if "format" not in doc and "workspace" in doc:
+            envelope, doc = doc, doc["workspace"]
+            unknown = sorted(
+                set(envelope) - {"workspace", "simulations", "method", "seed"}
+            )
+            if unknown:
+                raise ServiceError(
+                    400, f"unknown field(s): {', '.join(unknown)}"
+                )
+            simulations = envelope.get("simulations", 0)
+            method = envelope.get("method", "intervals")
+            seed = envelope.get("seed", MC_SEED)
+            if not isinstance(simulations, int) or simulations < 0:
+                raise ServiceError(
+                    400, "simulations must be a non-negative integer"
+                )
+            if method not in _MC_METHODS:
+                raise ServiceError(
+                    400, f"method must be one of {', '.join(_MC_METHODS)}"
+                )
+            if not isinstance(seed, int):
+                raise ServiceError(400, "seed must be an integer")
+        if not isinstance(doc, dict):
+            raise ServiceError(400, "workspace must be a JSON object")
+        try:
+            problem = _workspace.from_dict(doc)
+            compiled = compile_problem(problem)
+        except _LOAD_ERRORS as exc:
+            raise ServiceError(
+                400,
+                f"invalid workspace document: {type(exc).__name__}: {exc}",
+            ) from exc
+        evaluator = BatchEvaluator(compiled)
+        evaluation = evaluator.evaluate()
+        payload: Dict[str, object] = {
+            "problem": compiled.name,
+            "n_alternatives": evaluator.n_alternatives,
+            "n_attributes": evaluator.n_attributes,
+            "best": evaluation.best.name,
+            "ranking": [
+                {
+                    "rank": row.rank,
+                    "name": row.name,
+                    "minimum": row.minimum,
+                    "average": row.average,
+                    "maximum": row.maximum,
+                }
+                for row in evaluation
+            ],
+        }
+        if simulations:
+            result = evaluator.simulate(
+                method=method,
+                n_simulations=simulations,
+                seed=seed,
+                sample_utilities="missing",
+            )
+            payload["montecarlo"] = {
+                "simulations": simulations,
+                "method": method,
+                "seed": seed,
+                "ever_best": list(result.ever_best()),
+                "top5_fluctuation": int(
+                    result.max_fluctuation(result.top_k_by_mean(5))
+                ),
+            }
+        return Response(200, _dumps(payload))

@@ -1,0 +1,136 @@
+"""In-process response cache for the registry query service.
+
+The sqlite registry index already memoises *numbers* across runs; this
+module memoises *rendered responses* across requests.  A
+:class:`ResponseCache` is a thread-safe LRU keyed by the semantic
+identity of a response — for workspace endpoints that key contains the
+workspace ``content_hash`` and the evaluation ``config_hash``, so a
+``touch``/rename keeps an entry hot while any semantic edit silently
+misses to a fresh render (the stale entry ages out of the LRU).
+
+The same identity doubles as the HTTP validator: :func:`make_etag`
+derives a strong ETag from the key parts, and
+:func:`if_none_match_matches` implements the ``If-None-Match`` →
+``304 Not Modified`` comparison, so a client that caches one response
+revalidates with one stat + one sqlite point read and no body bytes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, Hashable, Optional, Tuple
+
+__all__ = [
+    "CachedResponse",
+    "ResponseCache",
+    "make_etag",
+    "if_none_match_matches",
+]
+
+
+@dataclass(frozen=True)
+class CachedResponse:
+    """One rendered response body plus its validator."""
+
+    body: bytes
+    etag: str
+    content_type: str = "application/json"
+
+
+def make_etag(*parts: str) -> str:
+    """A strong ETag derived from the response's semantic identity.
+
+    ``parts`` are the key components (endpoint name, content hash,
+    config hash, ...); the ETag is a quoted sha256 prefix over their
+    canonical join, so equal identities always revalidate and any
+    changed part produces a different validator.
+    """
+    digest = hashlib.sha256("\x1f".join(parts).encode("utf-8")).hexdigest()
+    return f'"{digest[:32]}"'
+
+
+def if_none_match_matches(header: Optional[str], etag: str) -> bool:
+    """Whether an ``If-None-Match`` header revalidates ``etag``.
+
+    Implements the comparison a GET endpoint needs: ``*`` matches any
+    representation, otherwise the comma-separated candidate list is
+    compared entity-tag by entity-tag (weak ``W/`` prefixes ignored,
+    per RFC 9110's weak comparison for ``If-None-Match``).
+    """
+    if not header:
+        return False
+    if header.strip() == "*":
+        return True
+    for candidate in header.split(","):
+        candidate = candidate.strip()
+        if candidate.startswith("W/"):
+            candidate = candidate[2:]
+        if candidate == etag:
+            return True
+    return False
+
+
+class ResponseCache:
+    """A bounded, thread-safe LRU of hot :class:`CachedResponse` entries.
+
+    ``capacity`` bounds the entry count; insertion past it evicts the
+    least-recently-used entry.  ``get``/``put`` are O(1) under one
+    lock, and hit/miss counters feed the service's ``/metrics``
+    endpoint.
+    """
+
+    def __init__(self, capacity: int = 1024) -> None:
+        """Create an empty cache holding at most ``capacity`` entries."""
+        if capacity < 1:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self._entries: "OrderedDict[Hashable, CachedResponse]" = OrderedDict()
+        self._lock = threading.Lock()
+        self._hits = 0
+        self._misses = 0
+
+    def get(self, key: Hashable) -> Optional[CachedResponse]:
+        """The cached response under ``key``, refreshed to MRU; or None."""
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self._misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self._hits += 1
+            return entry
+
+    def put(self, key: Hashable, entry: CachedResponse) -> None:
+        """Insert (or refresh) ``key``, evicting LRU entries past capacity."""
+        with self._lock:
+            self._entries[key] = entry
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+
+    def clear(self) -> None:
+        """Drop every entry (counters are kept)."""
+        with self._lock:
+            self._entries.clear()
+
+    def __len__(self) -> int:
+        """Current entry count."""
+        with self._lock:
+            return len(self._entries)
+
+    def stats(self) -> Dict[str, object]:
+        """Hit/miss counters and occupancy for ``/metrics``."""
+        with self._lock:
+            hits, misses = self._hits, self._misses
+            size = len(self._entries)
+        total = hits + misses
+        return {
+            "hits": hits,
+            "misses": misses,
+            "size": size,
+            "capacity": self.capacity,
+            "hit_ratio": (hits / total) if total else 0.0,
+        }

@@ -473,3 +473,142 @@ class TestIndexCLI:
         out = capsys.readouterr().out
         assert "indexed 2 workspace(s)" in out
         assert "unreadable: 0" in out
+
+
+class TestConcurrency:
+    """One shared RegistryIndex across threads: WAL readers + one writer.
+
+    The query service (repro.service) shares a single index instance
+    across request threads while read-through misses commit through the
+    single-writer path — these tests pin the contract that makes that
+    sound: per-thread connections, readers seeing complete row sets or
+    nothing, and close() releasing every thread's connection.
+    """
+
+    def test_memory_databases_are_rejected(self):
+        with pytest.raises(ValueError, match=":memory:"):
+            RegistryIndex(":memory:")
+
+    def test_multi_reader_while_writer_commits(self, tmp_path):
+        import threading
+
+        paths = write_registry(tmp_path, n=4)
+        config_hash = eval_config_hash(BatchOptions())
+        with RegistryIndex(tmp_path / "index.sqlite") as index:
+            runner = ShardedRunner(workers=1)
+            runner.run(paths, index=index)  # seed every content hash
+            hashes = [index.probe(p).content_hash for p in paths]
+
+            stop = threading.Event()
+            errors = []
+
+            def reader(content_hash):
+                try:
+                    while not stop.is_set():
+                        rows = index.lookup_results(content_hash, config_hash)
+                        # complete row set or nothing, never a torn read
+                        assert rows is None or (
+                            len(rows) == 1 and rows[0].sub_index == 0
+                        )
+                        record = index.probe(paths[0])
+                        assert record is not None
+                        assert index.status()["n_workspaces"] == 4
+                except Exception as exc:  # pragma: no cover - failure detail
+                    errors.append(exc)
+
+            threads = [
+                threading.Thread(target=reader, args=(h,)) for h in hashes
+            ]
+            for thread in threads:
+                thread.start()
+            try:
+                # the writer: repeated full refresh commits under
+                # BEGIN IMMEDIATE while the readers spin
+                for _ in range(5):
+                    runner.run(paths, index=index, refresh=True)
+            finally:
+                stop.set()
+                for thread in threads:
+                    thread.join(timeout=30)
+            assert not errors
+            assert index.status()["n_result_rows"] == 4
+
+    def test_each_thread_gets_its_own_connection(self, tmp_path):
+        import threading
+
+        write_registry(tmp_path, n=1)
+        with RegistryIndex(tmp_path / "index.sqlite") as index:
+            main_conn = index._conn
+            seen = []
+
+            def worker():
+                seen.append(index._conn)
+                assert index.status()["n_workspaces"] == 0
+
+            thread = threading.Thread(target=worker)
+            thread.start()
+            thread.join(timeout=10)
+            assert len(seen) == 1
+            assert seen[0] is not main_conn
+
+    def test_close_shuts_every_threads_connection(self, tmp_path):
+        import threading
+
+        index = RegistryIndex(tmp_path / "index.sqlite")
+
+        def worker():
+            index.status()  # opens this thread's connection
+
+        thread = threading.Thread(target=worker)
+        thread.start()
+        thread.join(timeout=10)
+        assert len(index._connections) == 2
+        index.close()
+        assert index._connections == {}
+        with pytest.raises((sqlite3.ProgrammingError, ValueError)):
+            index.status()
+
+    def test_dead_threads_connections_are_reaped(self, tmp_path):
+        import threading
+
+        with RegistryIndex(tmp_path / "index.sqlite") as index:
+            for _ in range(5):
+                thread = threading.Thread(target=index.status)
+                thread.start()
+                thread.join(timeout=10)
+            # each new thread's connect reaps the previous dead owner,
+            # so churners cannot accumulate file descriptors
+            with index._connections_lock:
+                alive = [
+                    owner.is_alive()
+                    for owner, _ in index._connections.values()
+                ]
+            assert len(alive) <= 2  # main + at most the last worker
+            assert alive.count(True) == 1
+
+
+class TestStatusResultBytes:
+    def test_empty_index_reports_zero_cached_bytes(self, index):
+        info = index.status()
+        assert info["n_result_rows"] == 0
+        assert info["result_bytes"] == 0
+
+    def test_result_bytes_track_cached_payload(self, tmp_path):
+        paths = write_registry(tmp_path, n=3)
+        with RegistryIndex(tmp_path / "index.sqlite") as index:
+            ShardedRunner(workers=1).run(paths, index=index)
+            info = index.status()
+        assert info["n_result_rows"] == 3
+        # per row: two 64-hex hashes + the text names + 8 numeric columns
+        assert info["result_bytes"] >= 3 * (64 + 64 + 8 * 8)
+
+    def test_cli_status_reports_rows_and_bytes(self, capsys, tmp_path):
+        from repro.cli import main
+
+        paths = [str(p) for p in write_registry(tmp_path, n=2)]
+        assert main(["batch", "--workers", "1", *paths]) == 0
+        capsys.readouterr()
+        assert main(["index", "status", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "results    : 2 row(s)" in out
+        assert "cached byte(s)" in out

@@ -1,0 +1,426 @@
+"""Tests for the query service route table (no socket involved)."""
+
+import json
+
+import pytest
+
+from repro.core import workspace
+from repro.core.engine import BatchEvaluator, compile_problem
+from repro.core.index import RegistryIndex, eval_config_hash
+from repro.core.runtime import BatchOptions, ShardedRunner
+from repro.service.app import ServiceApp
+from repro.service.cache import if_none_match_matches, make_etag
+
+from ..conftest import make_small_problem
+
+
+def write_registry(tmp_path, n=4):
+    paths = []
+    for i in range(n):
+        problem = make_small_problem(
+            missing_cell=(i % 2 == 0), name=f"ws-{i:02d}"
+        )
+        path = tmp_path / f"ws-{i:02d}.json"
+        workspace.save(problem, path)
+        paths.append(path)
+    return paths
+
+
+@pytest.fixture()
+def registry(tmp_path):
+    return write_registry(tmp_path)
+
+
+@pytest.fixture()
+def app(tmp_path, registry):
+    with ServiceApp(tmp_path) as service_app:
+        yield service_app
+
+
+def get(app, target, **headers):
+    return app.handle("GET", target, headers)
+
+
+def body(response):
+    return json.loads(response.body)
+
+
+class TestRouting:
+    def test_unknown_endpoint_404(self, app):
+        assert get(app, "/nope").status == 404
+        assert get(app, "/v1/workspaces/ws-00/unknown-verb").status == 404
+        assert get(app, "/v1/workspaces").status == 404
+
+    def test_wrong_method_405(self, app):
+        assert app.handle("POST", "/healthz").status == 405
+        assert app.handle("POST", "/v1/workspaces/ws-00/ranking").status == 405
+        assert get(app, "/v1/evaluate").status == 405
+
+    def test_healthz(self, app, tmp_path):
+        response = get(app, "/healthz")
+        assert response.status == 200
+        payload = body(response)
+        assert payload["status"] == "ok"
+        assert payload["registry"] == str(tmp_path.resolve())
+
+    def test_error_bodies_are_json(self, app):
+        payload = body(get(app, "/nope"))
+        assert payload["status"] == 404
+        assert "unknown endpoint" in payload["error"]
+
+
+class TestRanking:
+    def test_matches_engine_bit_exactly(self, app, registry):
+        response = get(app, "/v1/workspaces/ws-01/ranking")
+        assert response.status == 200
+        evaluator = BatchEvaluator(
+            compile_problem(workspace.load(registry[1]))
+        )
+        best = evaluator.evaluate().best
+        row = body(response)["results"][0]
+        assert row["best"]["name"] == best.name
+        assert row["best"]["minimum"] == best.minimum
+        assert row["best"]["average"] == best.average
+        assert row["best"]["maximum"] == best.maximum
+
+    def test_miss_index_hit_and_lru_hit_serve_identical_bytes(self, app):
+        first = get(app, "/v1/workspaces/ws-00/ranking")
+        assert first.headers["X-Cache"] == "miss"
+        app.cache.clear()  # force the next build to come from the index
+        second = get(app, "/v1/workspaces/ws-00/ranking")
+        assert second.headers["X-Cache"] == "miss"
+        third = get(app, "/v1/workspaces/ws-00/ranking")
+        assert third.headers["X-Cache"] == "hit"
+        assert first.body == second.body == third.body
+
+    def test_read_through_miss_matches_batch_runner_bytes(
+        self, tmp_path, registry
+    ):
+        # evaluate via the batch path first, against a separate index db:
+        # the reference numbers the service must reproduce byte-for-byte
+        report = ShardedRunner(workers=1).run([str(registry[2])])
+        reference = report.results[0]
+        with ServiceApp(tmp_path) as app:
+            row = body(get(app, "/v1/workspaces/ws-02/ranking"))["results"][0]
+        assert row["name"] == reference.name
+        assert row["best"]["minimum"] == reference.best_minimum
+        assert row["best"]["average"] == reference.best_average
+        assert row["best"]["maximum"] == reference.best_maximum
+
+    def test_index_hit_serves_batch_cached_floats(self, tmp_path, registry):
+        # warm the shared index through the batch path, then serve:
+        # the service's first answer is already an index hit
+        db = tmp_path / ".repro-index.sqlite"
+        with RegistryIndex(db) as index:
+            report = ShardedRunner(workers=1).run(
+                [str(p) for p in registry], index=index
+            )
+        with ServiceApp(tmp_path) as app:
+            row = body(get(app, "/v1/workspaces/ws-03/ranking"))["results"][0]
+            n_rows_after = app.index.status()["n_result_rows"]
+        reference = report.results[3]
+        assert row["best"]["minimum"] == reference.best_minimum
+        assert row["best"]["average"] == reference.best_average
+        assert row["best"]["maximum"] == reference.best_maximum
+        # served, not re-evaluated: no new rows were committed
+        assert n_rows_after == len(registry)
+
+    def test_read_through_commits_back_to_the_shared_cache(
+        self, app, tmp_path, registry
+    ):
+        get(app, "/v1/workspaces/ws-00/ranking")
+        config_hash = eval_config_hash(BatchOptions())
+        record = app.index.probe(registry[0])
+        rows = app.index.lookup_results(record.content_hash, config_hash)
+        assert rows is not None and rows[0].sub_index == 0
+        # a batch run over the same registry now counts it as cached
+        report = ShardedRunner(workers=1).run(
+            [str(registry[0])], index=app.index
+        )
+        assert report.n_cached == 1
+
+    def test_rejects_query_parameters(self, app):
+        assert get(app, "/v1/workspaces/ws-00/ranking?simulations=5").status \
+            == 400
+
+
+class TestMonteCarlo:
+    def test_matches_runner_options_bit_exactly(self, app, registry):
+        options = BatchOptions(simulations=300, method="intervals", seed=11)
+        reference = ShardedRunner(workers=1, options=options).run(
+            [str(registry[1])]
+        ).results[0]
+        response = get(
+            app, "/v1/workspaces/ws-01/montecarlo?simulations=300&seed=11"
+        )
+        row = body(response)["results"][0]
+        assert row["ever_best"] == reference.ever_best
+        assert row["top5_fluctuation"] == reference.top5_fluctuation
+        assert row["best"]["average"] == reference.best_average
+
+    def test_distinct_configs_get_distinct_cache_entries(self, app):
+        a = get(app, "/v1/workspaces/ws-00/montecarlo?simulations=100&seed=1")
+        b = get(app, "/v1/workspaces/ws-00/montecarlo?simulations=100&seed=2")
+        assert a.status == b.status == 200
+        assert a.body != b.body
+        assert a.headers["ETag"] != b.headers["ETag"]
+
+    def test_parameter_validation(self, app):
+        base = "/v1/workspaces/ws-00/montecarlo"
+        assert get(app, base + "?simulations=0").status == 400
+        assert get(app, base + "?simulations=abc").status == 400
+        assert get(app, base + "?method=bogus").status == 400
+        assert get(app, base + "?seed=x").status == 400
+        assert get(app, base + "?bogus=1").status == 400
+
+
+class TestScreening:
+    def test_dominance_matches_engine(self, app, registry):
+        evaluator = BatchEvaluator(
+            compile_problem(workspace.load(registry[0]))
+        )
+        matrix = evaluator.dominance_matrix()
+        payload = body(get(app, "/v1/workspaces/ws-00/dominance"))
+        assert payload["alternatives"] == list(evaluator.alternative_names)
+        assert payload["matrix"] == [
+            [bool(x) for x in row] for row in matrix
+        ]
+        dominated = matrix.any(axis=0)
+        assert payload["non_dominated"] == [
+            name
+            for name, hit in zip(evaluator.alternative_names, dominated)
+            if not hit
+        ]
+
+    def test_rankintervals_matches_engine(self, app, registry):
+        evaluator = BatchEvaluator(
+            compile_problem(workspace.load(registry[1]))
+        )
+        intervals = evaluator.rank_intervals()
+        payload = body(get(app, "/v1/workspaces/ws-01/rankintervals"))
+        assert payload["intervals"] == [
+            {
+                "name": name,
+                "best": intervals[name].best,
+                "worst": intervals[name].worst,
+            }
+            for name in evaluator.alternative_names
+        ]
+
+    def test_second_request_is_an_lru_hit(self, app):
+        first = get(app, "/v1/workspaces/ws-00/dominance")
+        second = get(app, "/v1/workspaces/ws-00/dominance")
+        assert first.headers["X-Cache"] == "miss"
+        assert second.headers["X-Cache"] == "hit"
+        assert first.body == second.body
+
+
+class TestETag:
+    def test_if_none_match_revalidates_to_304(self, app):
+        first = get(app, "/v1/workspaces/ws-00/ranking")
+        etag = first.headers["ETag"]
+        revalidated = app.handle(
+            "GET",
+            "/v1/workspaces/ws-00/ranking",
+            {"If-None-Match": etag},
+        )
+        assert revalidated.status == 304
+        assert revalidated.body == b""
+        assert revalidated.headers["ETag"] == etag
+
+    def test_star_and_weak_comparison(self, app):
+        etag = get(app, "/v1/workspaces/ws-00/ranking").headers["ETag"]
+        for header in ("*", f"W/{etag}", f'"other", {etag}'):
+            response = app.handle(
+                "GET",
+                "/v1/workspaces/ws-00/ranking",
+                {"If-None-Match": header},
+            )
+            assert response.status == 304, header
+
+    def test_semantic_edit_invalidates_the_validator(
+        self, app, tmp_path, registry
+    ):
+        old = get(app, "/v1/workspaces/ws-00/ranking")
+        data = json.loads(registry[0].read_text())
+        data["name"] = data["name"] + "-edited"
+        registry[0].write_text(json.dumps(data, indent=2, sort_keys=True))
+        fresh = app.handle(
+            "GET",
+            "/v1/workspaces/ws-00/ranking",
+            {"If-None-Match": old.headers["ETag"]},
+        )
+        assert fresh.status == 200  # stale validator no longer matches
+        assert fresh.headers["ETag"] != old.headers["ETag"]
+        assert body(fresh)["results"][0]["name"].endswith("-edited")
+
+    def test_touch_keeps_the_validator(self, app, registry):
+        import os
+
+        etag = get(app, "/v1/workspaces/ws-00/ranking").headers["ETag"]
+        os.utime(registry[0])  # new stat fingerprint, same bytes
+        assert get(app, "/v1/workspaces/ws-00/ranking").headers["ETag"] == etag
+
+    def test_make_etag_and_matching_helpers(self):
+        etag = make_etag("ranking", "abc", "def")
+        assert etag.startswith('"') and etag.endswith('"')
+        assert make_etag("ranking", "abc", "xyz") != etag
+        assert if_none_match_matches(etag, etag)
+        assert if_none_match_matches("*", etag)
+        assert not if_none_match_matches(None, etag)
+        assert not if_none_match_matches('"nope"', etag)
+
+
+class TestErrors:
+    def test_unknown_workspace_404(self, app):
+        assert get(app, "/v1/workspaces/ghost/ranking").status == 404
+
+    def test_traversal_id_400(self, app):
+        response = app.handle(
+            "GET", "/v1/workspaces/%2e%2e/secrets/ranking"
+        )
+        assert response.status == 400
+
+    def test_corrupt_workspace_409(self, app, tmp_path):
+        (tmp_path / "corrupt.json").write_text("{not json")
+        for verb in ("ranking", "montecarlo", "dominance", "rankintervals"):
+            assert get(app, f"/v1/workspaces/corrupt/{verb}").status == 409
+
+
+class TestEvaluate:
+    def post(self, app, payload):
+        raw = payload if isinstance(payload, bytes) else json.dumps(
+            payload
+        ).encode()
+        return app.handle("POST", "/v1/evaluate", {}, raw)
+
+    def test_matches_engine_bit_exactly(self, app):
+        problem = make_small_problem(name="adhoc")
+        response = self.post(app, workspace.to_dict(problem))
+        assert response.status == 200
+        payload = body(response)
+        evaluation = BatchEvaluator(compile_problem(problem)).evaluate()
+        assert payload["best"] == evaluation.best.name
+        for served, row in zip(payload["ranking"], evaluation):
+            assert served["rank"] == row.rank
+            assert served["name"] == row.name
+            assert served["minimum"] == row.minimum
+            assert served["average"] == row.average
+            assert served["maximum"] == row.maximum
+
+    def test_envelope_with_monte_carlo(self, app):
+        problem = make_small_problem(missing_cell=True, name="adhoc-mc")
+        evaluator = BatchEvaluator(compile_problem(problem))
+        reference = evaluator.simulate(
+            method="intervals",
+            n_simulations=150,
+            seed=5,
+            sample_utilities="missing",
+        )
+        response = self.post(
+            app,
+            {
+                "workspace": workspace.to_dict(problem),
+                "simulations": 150,
+                "seed": 5,
+            },
+        )
+        mc = body(response)["montecarlo"]
+        assert mc["ever_best"] == list(reference.ever_best())
+        assert mc["top5_fluctuation"] == int(
+            reference.max_fluctuation(reference.top_k_by_mean(5))
+        )
+
+    def test_bad_bodies_400(self, app):
+        assert self.post(app, b"{nope").status == 400
+        assert self.post(app, [1, 2]).status == 400
+        assert self.post(app, {"format": "bogus/9"}).status == 400
+        assert self.post(
+            app, {"workspace": {"format": "bogus/9"}}
+        ).status == 400
+        assert self.post(
+            app,
+            {"workspace": {}, "unexpected": 1},
+        ).status == 400
+        assert self.post(
+            app,
+            {"workspace": {}, "simulations": -3},
+        ).status == 400
+        assert self.post(
+            app,
+            {"workspace": {}, "method": "bogus"},
+        ).status == 400
+
+    def test_nothing_is_persisted(self, app):
+        before = app.index.status()["n_result_rows"]
+        self.post(app, workspace.to_dict(make_small_problem(name="adhoc")))
+        assert app.index.status()["n_result_rows"] == before
+
+
+class TestRegistryListing:
+    def test_lists_every_workspace_with_fingerprints(
+        self, app, tmp_path, registry
+    ):
+        payload = body(get(app, "/v1/registry"))
+        assert payload["n_workspaces"] == len(registry)
+        ids = [entry["id"] for entry in payload["workspaces"]]
+        assert ids == sorted(f"ws-{i:02d}" for i in range(len(registry)))
+        entry = payload["workspaces"][0]
+        record = app.index.probe(registry[0])
+        assert entry["content_hash"] == record.content_hash
+        assert entry["source_sha"] == record.source_sha
+        assert (entry["n_alternatives"], entry["n_attributes"]) == (3, 3)
+
+    def test_embeds_index_status_with_result_summary(self, app):
+        get(app, "/v1/workspaces/ws-00/ranking")
+        payload = body(get(app, "/v1/registry"))
+        assert payload["index"]["n_result_rows"] == 1
+        assert payload["index"]["result_bytes"] > 0
+
+    def test_marks_unreadable_entries(self, app, tmp_path):
+        (tmp_path / "corrupt.json").write_text("{not json")
+        payload = body(get(app, "/v1/registry"))
+        by_id = {entry["id"]: entry for entry in payload["workspaces"]}
+        assert by_id["corrupt"] == {"id": "corrupt", "error": "unreadable"}
+
+    def test_listing_persists_fingerprints_for_later_fast_probes(
+        self, app, registry
+    ):
+        assert app.index.status()["n_workspaces"] == 0
+        get(app, "/v1/registry")
+        # the next listing (and every ranking probe) now stat-matches
+        assert app.index.status()["n_workspaces"] == len(registry)
+        assert app.index.status()["fresh"] == len(registry)
+
+    def test_nested_ids_resolve(self, app, tmp_path):
+        nested = tmp_path / "deep" / "nested.json"
+        nested.parent.mkdir()
+        workspace.save(make_small_problem(name="nested"), nested)
+        payload = body(get(app, "/v1/registry"))
+        assert "deep/nested" in [e["id"] for e in payload["workspaces"]]
+        assert get(app, "/v1/workspaces/deep/nested/ranking").status == 200
+
+
+class TestMetrics:
+    def test_counters_and_latency_shape(self, app):
+        get(app, "/v1/workspaces/ws-00/ranking")
+        get(app, "/v1/workspaces/ws-00/ranking")
+        get(app, "/nope")
+        payload = body(get(app, "/metrics"))
+        requests = payload["requests"]
+        assert requests["total"] == 3
+        assert requests["by_endpoint"]["/v1/workspaces/{id}/ranking"] == 2
+        assert requests["by_status"]["200"] == 2
+        assert requests["by_status"]["404"] == 1
+        assert payload["cache"]["hits"] == 1
+        assert payload["cache"]["misses"] == 1
+        assert payload["latency"]["window"] == 3
+        assert payload["latency"]["p50_ms"] <= payload["latency"]["p99_ms"]
+
+    def test_304_counted(self, app):
+        etag = get(app, "/v1/workspaces/ws-00/ranking").headers["ETag"]
+        app.handle(
+            "GET", "/v1/workspaces/ws-00/ranking", {"If-None-Match": etag}
+        )
+        payload = body(get(app, "/metrics"))
+        assert payload["requests"]["not_modified"] == 1

@@ -15,7 +15,13 @@ check_docs = importlib.util.module_from_spec(_spec)
 _spec.loader.exec_module(check_docs)
 
 
-DOC_PAGES = ("architecture.md", "cli.md", "caching.md", "paper-map.md")
+DOC_PAGES = (
+    "architecture.md",
+    "cli.md",
+    "caching.md",
+    "paper-map.md",
+    "service.md",
+)
 
 
 class TestDocsTree:
@@ -69,13 +75,21 @@ class TestDocsTree:
         assert check_docs.check_cli_lines(lines) == []
 
 
-DOCSTRING_MODULES = ("engine", "runtime", "workspace", "index")
+DOCSTRING_MODULES = (
+    "core/engine",
+    "core/runtime",
+    "core/workspace",
+    "core/index",
+    "service/app",
+    "service/cache",
+    "service/server",
+)
 
 
 class TestDocstringCoverage:
     @pytest.mark.parametrize("module", DOCSTRING_MODULES)
     def test_every_public_symbol_has_a_docstring(self, module):
-        path = ROOT / "src" / "repro" / "core" / f"{module}.py"
+        path = ROOT / "src" / "repro" / f"{module}.py"
         tree = ast.parse(path.read_text())
         missing = []
         if ast.get_docstring(tree) is None:
@@ -97,5 +111,5 @@ class TestDocstringCoverage:
 
         walk(tree)
         assert not missing, (
-            f"core/{module}.py public symbols without docstrings: {missing}"
+            f"{module}.py public symbols without docstrings: {missing}"
         )
