@@ -1,0 +1,217 @@
+"""Group-decision speedup — a registry's member rosters in one array program.
+
+The paper's case for imprecise inputs is that they make the system
+"suitable for group decision support": every decision maker answers
+with intervals, and the group inputs combine them (intersection for
+consensus, hull for tolerant aggregation).  Before the members axis,
+``core/group.py`` evaluated each decision maker through the scalar
+``model.evaluate`` path — at registry scale, that is
+``n_workspaces × n_members`` object-graph compilations.
+
+This benchmark builds a 200-workspace synthetic registry with a
+20-member roster and compares
+
+* the **scalar loop** — per workspace, per member:
+  ``evaluate(problem.with_weights(member.weights))``, plus the scalar
+  aggregation/Borda/disagreement calls (exactly what
+  ``GroupDecision`` did before the tensor path), against
+* the **members tensor axis** — ``ShardedRunner`` with a group
+  roster: one compile per workspace, rosters stacked into
+  ``(P, M, n_att)`` tensors, every member ranking / aggregation /
+  Borda count / disagreement profile from stacked array programs.
+
+It asserts the tensor path is >= 8x faster and produces *identical*
+group results, then emits a ``BENCH_group.json`` trajectory artifact
+(uploaded and floor-checked by CI's bench-trajectory job).
+
+Runs standalone (CI smoke)::
+
+    PYTHONPATH=src python benchmarks/bench_group.py
+
+or under pytest (``pytest benchmarks/bench_group.py -s``).
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+try:  # allow standalone execution without a PYTHONPATH export
+    import repro  # noqa: F401
+except ImportError:  # pragma: no cover - path bootstrap
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from bench_sharded_batch import build_registry
+
+from repro.core import workspace
+from repro.core.engine import GroupResult
+from repro.core.group import (
+    aggregate_weights,
+    borda_ranking,
+    disagreement,
+    members_from_spec,
+    parse_members_document,
+)
+from repro.core.model import evaluate
+from repro.core.runtime import BatchOptions, ShardedRunner
+
+N_WORKSPACES = 200
+N_MEMBERS = 20
+MIN_SPEEDUP = 8.0
+ARTIFACT = "BENCH_group.json"
+
+
+def build_members_document(hierarchy, n_members: int = N_MEMBERS) -> dict:
+    """A deterministic ``repro-members/1`` roster over ``hierarchy``.
+
+    Every member emphasises a rotating subset of objectives (raw
+    ratio-scale intervals with ±20 % imprecision), so the roster
+    carries genuine disagreement without being disjoint.
+    """
+    nodes = [
+        n.name for n in hierarchy.nodes() if n.name != hierarchy.root.name
+    ]
+    members = []
+    for k in range(n_members):
+        local = {}
+        for i, name in enumerate(nodes):
+            factor = 1.0 + 0.15 * ((k + i) % 5)
+            local[name] = [0.8 * factor, 1.2 * factor]
+        members.append({"name": f"dm-{k:02d}", "local": local})
+    return {"format": "repro-members/1", "members": members}
+
+
+def scalar_reference(paths, spec):
+    """The pre-members-axis loop: one scalar evaluation per member.
+
+    Per workspace: JSON parse, then per decision maker a full
+    ``problem.with_weights(...)`` object-graph compile + evaluation,
+    then the scalar aggregation (intersection + hull evaluations),
+    Borda count and disagreement profile — the exact work the old
+    ``GroupDecision`` methods performed.
+    """
+    results = []
+    for path in paths:
+        problem = workspace.load(path)
+        members = members_from_spec(spec, problem.hierarchy)
+        rankings = tuple(
+            evaluate(problem.with_weights(m.weights)).names_by_rank
+            for m in members
+        )
+        tolerant = evaluate(
+            problem.with_weights(aggregate_weights(members, "hull"))
+        ).names_by_rank
+        try:
+            consensus = evaluate(
+                problem.with_weights(
+                    aggregate_weights(members, "intersection")
+                )
+            ).names_by_rank
+        except ValueError:
+            consensus = None
+        scores = disagreement(members)
+        results.append(
+            GroupResult(
+                member_names=tuple(m.name for m in members),
+                member_rankings=rankings,
+                borda=borda_ranking(rankings),
+                tolerant=tolerant,
+                consensus=consensus,
+                disjoint=(),
+                disagreement=tuple(scores.items()),
+            )
+        )
+    return results
+
+
+def tensor_path(paths, spec):
+    """The members tensor axis: one sharded group run (single worker)."""
+    report = ShardedRunner(workers=1, options=BatchOptions(group=spec)).run(
+        [str(p) for p in paths]
+    )
+    assert not report.skipped, report.skipped[:1]
+    return [
+        GroupResult.from_payload(json.loads(r.group_json))
+        for r in report.results
+    ]
+
+
+def run_benchmark(n_workspaces: int = N_WORKSPACES) -> dict:
+    """Time both paths, assert identity and the >= 8x floor."""
+    from repro.neon.criteria import build_hierarchy
+
+    with tempfile.TemporaryDirectory() as tmp:
+        registry = Path(tmp)
+        t0 = time.perf_counter()
+        paths = build_registry(registry, n_workspaces)
+        t_build = time.perf_counter() - t0
+
+        spec = parse_members_document(
+            build_members_document(build_hierarchy())
+        )
+
+        t0 = time.perf_counter()
+        scalar = scalar_reference(paths, spec)
+        t_scalar = time.perf_counter() - t0
+
+        # Warm the OS cache symmetrically (scalar already parsed all
+        # files once), then time the tensor path.
+        t0 = time.perf_counter()
+        tensor = tensor_path(paths, spec)
+        t_tensor = time.perf_counter() - t0
+
+        identical = all(
+            s.member_rankings == t.member_rankings
+            and s.borda == t.borda
+            and s.tolerant == t.tolerant
+            and s.consensus == t.consensus
+            and s.disagreement == t.disagreement
+            for s, t in zip(scalar, tensor)
+        ) and len(scalar) == len(tensor)
+
+    speedup = t_scalar / t_tensor if t_tensor > 0 else float("inf")
+    return {
+        "n_workspaces": n_workspaces,
+        "n_members": N_MEMBERS,
+        "t_build_registry": t_build,
+        "t_scalar_loop": t_scalar,
+        "t_tensor_axis": t_tensor,
+        "speedup": speedup,
+        "identical_to_scalar_loop": identical,
+        "min_speedup_floor": MIN_SPEEDUP,
+    }
+
+
+def main() -> int:
+    """CI entry point: run, report, write the artifact, gate the floor."""
+    stats = run_benchmark()
+    print(json.dumps(stats, indent=2))
+    Path(ARTIFACT).write_text(json.dumps(stats, indent=2))
+    if not stats["identical_to_scalar_loop"]:
+        print("FAIL group tensor axis diverges from the scalar loop")
+        return 1
+    if stats["speedup"] < MIN_SPEEDUP:
+        print(
+            f"FAIL speedup {stats['speedup']:.2f}x is below the "
+            f"{MIN_SPEEDUP:.0f}x floor"
+        )
+        return 1
+    print(
+        f"OK   {stats['speedup']:.1f}x over the per-member scalar loop "
+        f"({stats['n_workspaces']} workspaces x {stats['n_members']} members)"
+    )
+    return 0
+
+
+def test_group_tensor_axis_speedup():
+    """Pytest wrapper: identity + the >= 8x floor on a smaller registry."""
+    stats = run_benchmark(n_workspaces=60)
+    assert stats["identical_to_scalar_loop"]
+    assert stats["speedup"] >= MIN_SPEEDUP, stats
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -17,7 +17,7 @@ already preference-increasing in [0, 1]) plus weights.  The helper
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Tuple
+from typing import List, Sequence, Tuple
 
 import numpy as np
 

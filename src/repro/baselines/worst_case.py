@@ -14,7 +14,6 @@ between this baseline and the imprecise evaluation.
 
 from __future__ import annotations
 
-from typing import Dict, Tuple
 
 from ..core.model import AdditiveModel, Evaluation
 from ..core.problem import DecisionProblem

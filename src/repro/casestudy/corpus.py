@@ -24,9 +24,9 @@ equals the shipped matrix cell-for-cell (pinned by tests).
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Optional, Tuple
+from typing import FrozenSet, Optional, Tuple
 
-from ..core.performance import Alternative, PerformanceTable
+from ..core.performance import PerformanceTable
 from ..core.scales import MISSING
 from ..neon.assessment import CandidateAssessment, assess, assessment_table
 from ..ontology.corpus import OntologyRegistry, ReuseMetadata

@@ -33,7 +33,7 @@ Calibration levers worth knowing when reading the numbers:
 
 from __future__ import annotations
 
-from typing import Dict, Mapping, Optional, Tuple, Union
+from typing import Dict, Tuple, Union
 
 from ..core.performance import Alternative, PerformanceTable
 from ..core.scales import MISSING

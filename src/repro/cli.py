@@ -18,8 +18,15 @@ Subcommands map onto the paper's workflow:
   (``--no-cache`` / ``--refresh`` control it).
 * ``repro index build|status|vacuum DIR`` — manage the sqlite registry
   index that caches batch results across runs.
-* ``repro serve --registry DIR`` — serve cached registry rankings over
-  HTTP (the registry query service; see ``docs/service.md``).
+* ``repro group --registry DIR --members FILE`` — group-decision
+  rankings for every workspace in a registry: each decision maker's
+  ranking, consensus (interval intersection) and tolerant (hull)
+  aggregations, Borda counts and disagreement, evaluated through the
+  engine's members tensor axis (see ``docs/group.md``).  ``repro batch
+  --group FILE`` rides the same axis inside a batch run.
+* ``repro serve --registry DIR [--members FILE]`` — serve cached
+  registry rankings (and group results) over HTTP (the registry query
+  service; see ``docs/service.md``).
 
 All subcommands operate on the built-in multimedia case study unless
 ``--workspace FILE`` points at a saved problem.
@@ -181,6 +188,62 @@ def build_parser() -> argparse.ArgumentParser:
             "results in the registry index; implies the sharded runtime"
         ),
     )
+    p_batch.add_argument(
+        "--group",
+        metavar="FILE",
+        default=None,
+        dest="members_path",
+        help=(
+            "repro-members/1 roster file: additionally compute each "
+            "workspace's group-decision result (consensus/Borda) over "
+            "the members tensor axis; implies the sharded runtime"
+        ),
+    )
+
+    p_group = sub.add_parser(
+        "group",
+        help="group-decision rankings over a registry (members axis)",
+    )
+    p_group.add_argument(
+        "--registry",
+        required=True,
+        metavar="DIR",
+        help="registry directory (workspace *.json files, scanned recursively)",
+    )
+    p_group.add_argument(
+        "--members",
+        required=True,
+        metavar="FILE",
+        dest="members_path",
+        help="repro-members/1 roster file (one entry per decision maker)",
+    )
+    p_group.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker processes for the sharded runtime (default: 1)",
+    )
+    p_group.add_argument(
+        "--index",
+        metavar="FILE",
+        default=None,
+        dest="index_path",
+        help=(
+            "registry index database for cross-run result caching "
+            "(default: .repro-index.sqlite in the registry directory)"
+        ),
+    )
+    p_group.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="skip the persistent registry index entirely",
+    )
+    p_group.add_argument(
+        "--refresh",
+        action="store_true",
+        help="re-evaluate everything and overwrite cached group results",
+    )
 
     p_index = sub.add_parser(
         "index",
@@ -234,6 +297,16 @@ def build_parser() -> argparse.ArgumentParser:
         dest="index_path",
         help="registry index database "
         "(default: <registry>/.repro-index.sqlite)",
+    )
+    p_serve.add_argument(
+        "--members",
+        metavar="FILE",
+        default=None,
+        dest="members_path",
+        help=(
+            "repro-members/1 roster file enabling "
+            "GET /v1/workspaces/{id}/group"
+        ),
     )
     p_serve.add_argument(
         "--quiet", action="store_true", help="suppress the access log"
@@ -296,7 +369,7 @@ def _cmd_batch(
     simulations: int,
     method: str,
     seed: int,
-) -> str:
+) -> "tuple[str, int]":
     """Evaluate a registry of problems through the batch engine.
 
     Every problem is compiled once (through the workspace LRU compile
@@ -378,13 +451,16 @@ def _cmd_batch(
 # tables for identical inputs (pinned by tests), so the table shape,
 # row formatting and footer live in exactly one place.
 
-def _batch_table_spec(simulations: int):
-    """(headers, align) of the batch table, +MC columns when simulating."""
+def _batch_table_spec(simulations: int, group: bool = False):
+    """(headers, align) of the batch table, +MC/group columns as needed."""
     headers = ["problem", "alts", "attrs", "best", "avg", "min", "max"]
     align = [True, False, False, True, False, False, False]
     if simulations:
         headers += ["ever best", "top-5 fluct"]
         align += [False, False]
+    if group:
+        headers += ["group best", "borda best"]
+        align += [True, True]
     return headers, align
 
 
@@ -397,8 +473,10 @@ def _batch_row(
     minimum: float,
     maximum: float,
     mc=None,
+    group=None,
 ):
-    """One batch-table row; ``mc`` is (ever_best, top5_fluctuation)."""
+    """One batch-table row; ``mc`` is (ever_best, top5_fluctuation),
+    ``group`` is (group_best, borda_best)."""
     row = [
         name,
         n_alternatives,
@@ -410,7 +488,22 @@ def _batch_row(
     ]
     if mc is not None:
         row += list(mc)
+    if group is not None:
+        row += list(group)
     return row
+
+
+def _group_cells(result) -> tuple:
+    """(group best, borda best) cells from one parsed GroupResult.
+
+    The group best falls back to the tolerant (hull) ranking when the
+    members' intervals are disjoint on some objective; the cell marks
+    that fallback so genuine consensus stays distinguishable.
+    """
+    best = result.best
+    if result.consensus is None:
+        best += " (no consensus)"
+    return (best, result.borda[0])
 
 
 def _batch_footer(
@@ -447,6 +540,42 @@ def _skipped_footer(skipped) -> str:
     return "".join(lines)
 
 
+def _open_registry_index(
+    workspaces: Sequence[str], index_path: Optional[str]
+):
+    """The registry index for a batch/group run, or ``None`` + warning.
+
+    An unusable index (read-only registry, foreign schema, mixed
+    roots) must never block evaluation: fall back to an uncached run,
+    with the same byte-identical stdout.
+    """
+    import sqlite3
+
+    from .core.index import RegistryIndex, default_index_path
+
+    try:
+        db_path = (
+            Path(index_path) if index_path else default_index_path(workspaces)
+        )
+        return RegistryIndex(db_path)
+    except (OSError, ValueError, sqlite3.Error) as exc:
+        print(
+            f"warning: registry index unavailable "
+            f"({type(exc).__name__}: {exc}); evaluating without "
+            f"cross-run cache",
+            file=sys.stderr,
+        )
+        return None
+
+
+def _run_sharded(runner, workspaces, index, refresh):
+    """One sharded run, with or without the persistent index."""
+    if index is not None:
+        with index:
+            return runner.run(workspaces, index=index, refresh=refresh)
+    return runner.run(workspaces)
+
+
 def _cmd_batch_sharded(
     workspaces: Sequence[str],
     objectives: bool,
@@ -458,7 +587,8 @@ def _cmd_batch_sharded(
     index_path: Optional[str] = None,
     use_index: bool = True,
     refresh: bool = False,
-) -> str:
+    group_spec=None,
+) -> "tuple[str, int]":
     """``repro batch --workers N``: the sharded multi-problem runtime.
 
     Same table as the sequential path, computed through
@@ -468,8 +598,13 @@ def _cmd_batch_sharded(
     ``--no-cache`` was given, the run consults the persistent registry
     index first — unchanged workspaces with cached results for this
     configuration skip evaluation entirely.  The merged output is
-    byte-identical for any worker count and any cache state.
+    byte-identical for any worker count and any cache state.  With
+    ``--group`` every row additionally reports the roster's group best
+    and Borda best, evaluated over the members tensor axis.
     """
+    import json as _json
+
+    from .core.engine import GroupResult
     from .core.runtime import BatchOptions, ShardedRunner
 
     runner = ShardedRunner(
@@ -480,38 +615,14 @@ def _cmd_batch_sharded(
             method=method,
             seed=seed,
             use_disk_cache=use_disk_cache,
+            group=group_spec,
         ),
     )
-    index = None
-    if use_index:
-        import sqlite3
+    index = _open_registry_index(workspaces, index_path) if use_index else None
+    report = _run_sharded(runner, workspaces, index, refresh)
 
-        from .core.index import RegistryIndex, default_index_path
-
-        try:
-            db_path = (
-                Path(index_path)
-                if index_path
-                else default_index_path(workspaces)
-            )
-            index = RegistryIndex(db_path)
-        except (OSError, ValueError, sqlite3.Error) as exc:
-            # An unusable index (read-only registry, foreign schema,
-            # mixed roots) must never block evaluation: fall back to an
-            # uncached run, with the same byte-identical stdout.
-            print(
-                f"warning: registry index unavailable "
-                f"({type(exc).__name__}: {exc}); evaluating without "
-                f"cross-run cache",
-                file=sys.stderr,
-            )
-    if index is not None:
-        with index:
-            report = runner.run(workspaces, index=index, refresh=refresh)
-    else:
-        report = runner.run(workspaces)
-
-    headers, align = _batch_table_spec(simulations)
+    group = group_spec is not None
+    headers, align = _batch_table_spec(simulations, group)
     rows = [
         _batch_row(
             result.name,
@@ -524,6 +635,9 @@ def _cmd_batch_sharded(
             (result.ever_best, result.top5_fluctuation)
             if simulations
             else None,
+            _group_cells(GroupResult.from_payload(_json.loads(result.group_json)))
+            if group
+            else None,
         )
         for result in report.results
     ]
@@ -532,6 +646,111 @@ def _cmd_batch_sharded(
         simulations,
         method,
         [(s.path, s.error) for s in report.skipped],
+    )
+    return (
+        render_table(headers, rows, align_left=align) + footer,
+        _batch_exit_code(report.n_evaluated, report.skipped),
+    )
+
+
+def _registry_workspaces(registry: str, index_path: Optional[str]) -> list:
+    """Every workspace JSON under a registry directory, sorted.
+
+    The index database (and its default filename anywhere under the
+    tree) is excluded — it is a sibling file, not a workspace.
+    """
+    from .core.index import DEFAULT_INDEX_FILENAME
+
+    root = Path(registry)
+    if not root.is_dir():
+        raise SystemExit(f"not a registry directory: {registry}")
+    db_path = (
+        Path(index_path).resolve()
+        if index_path
+        else (root / DEFAULT_INDEX_FILENAME).resolve()
+    )
+    return sorted(
+        str(p) for p in root.rglob("*.json") if p.resolve() != db_path
+    )
+
+
+def _cmd_group(
+    registry: str,
+    members_path: str,
+    workers: Optional[int],
+    index_path: Optional[str],
+    use_index: bool,
+    refresh: bool,
+) -> "tuple[str, int]":
+    """``repro group``: group-decision rankings for a whole registry.
+
+    Resolves the roster file against every workspace's hierarchy and
+    evaluates the registry through the engine's members tensor axis —
+    per-member rankings, consensus/tolerant aggregations, Borda counts
+    and disagreement in one stacked array program per shard.  Results
+    cache in the registry index under the workspace content hash × the
+    roster digest, so re-runs with an unchanged roster are pure cache
+    reads.
+    """
+    import json as _json
+
+    from .core.engine import GroupResult
+    from .core.group import load_members
+    from .core.runtime import BatchOptions, ShardedRunner
+
+    try:
+        spec = load_members(members_path)
+    except (OSError, ValueError) as exc:
+        raise SystemExit(f"cannot load members file: {exc}") from exc
+    workspaces = _registry_workspaces(registry, index_path)
+    if not workspaces:
+        raise SystemExit(f"no workspace JSON files under {registry}")
+
+    runner = ShardedRunner(
+        workers=workers if workers is not None else 1,
+        options=BatchOptions(group=spec),
+    )
+    index = _open_registry_index(workspaces, index_path) if use_index else None
+    report = _run_sharded(runner, workspaces, index, refresh)
+
+    headers = [
+        "problem",
+        "alts",
+        "members",
+        "group best",
+        "consensus best",
+        "borda best",
+        "max disagree",
+    ]
+    align = [True, False, False, True, True, True, False]
+    rows = []
+    for result in report.results:
+        group = GroupResult.from_payload(_json.loads(result.group_json))
+        if group.consensus:
+            consensus_cell = group.consensus[0]
+        elif group.disjoint:
+            consensus_cell = "(disjoint)"
+        else:
+            # degenerate intersection (no consensus system exists even
+            # though no single objective's intervals are disjoint)
+            consensus_cell = "(none)"
+        rows.append(
+            [
+                result.name,
+                result.n_alternatives,
+                group.n_members,
+                group.best,
+                consensus_cell,
+                group.borda[0],
+                f"{group.max_disagreement:.3f}",
+            ]
+        )
+    n_members = len(spec)
+    footer = (
+        f"\nevaluated {report.n_evaluated} workspace(s) under "
+        f"{n_members} member(s)"
+        + (f"; {report.n_cached} served from cache" if report.n_cached else "")
+        + _skipped_footer([(s.path, s.error) for s in report.skipped])
     )
     return (
         render_table(headers, rows, align_left=align) + footer,
@@ -562,11 +781,7 @@ def _cmd_index(action: str, registry: str, index_path: Optional[str]) -> str:
         )
     with RegistryIndex(db_path) as index:
         if action == "build":
-            paths = sorted(
-                p
-                for p in root.rglob("*.json")
-                if p.resolve() != db_path.resolve()
-            )
+            paths = _registry_workspaces(registry, index_path)
             counts = index.build(paths)
             return (
                 f"indexed {sum(counts.values()) - counts['error']} "
@@ -602,6 +817,7 @@ def _cmd_serve(
     workers: int,
     index_path: Optional[str],
     quiet: bool,
+    members_path: Optional[str] = None,
 ) -> int:
     """``repro serve``: run the registry query service until interrupted.
 
@@ -617,6 +833,15 @@ def _cmd_serve(
 
     if not Path(registry).is_dir():
         raise SystemExit(f"not a registry directory: {registry}")
+    if members_path is not None:
+        # Validate the roster up front: a missing or malformed members
+        # file must not masquerade as a port-binding failure below.
+        from .core.group import load_members
+
+        try:
+            load_members(members_path)
+        except (OSError, ValueError) as exc:
+            raise SystemExit(f"cannot load members file: {exc}") from exc
 
     def _graceful(signum, frame):
         # SIGTERM (systemd stop, CI teardown, docker stop) takes the
@@ -633,7 +858,10 @@ def _cmd_serve(
             workers=workers,
             index_path=index_path,
             access_log=None if quiet else sys.stderr,
+            members_path=members_path,
         )
+    except ValueError as exc:
+        raise SystemExit(f"cannot start service: {exc}") from exc
     except OSError as exc:
         raise SystemExit(f"cannot bind {host}:{port}: {exc}") from exc
     bound_host, bound_port = server.address
@@ -689,23 +917,56 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 args.workers,
                 args.index_path,
                 args.quiet,
+                args.members_path,
             )
+        if args.command == "group":
+            if args.no_cache and (args.refresh or args.index_path):
+                raise SystemExit(
+                    "group --no-cache conflicts with --refresh/--index: "
+                    "the registry index would not be consulted or written"
+                )
+            output, exit_code = _cmd_group(
+                args.registry,
+                args.members_path,
+                args.workers,
+                args.index_path,
+                use_index=not args.no_cache,
+                refresh=args.refresh,
+            )
+            print(output)
+            return exit_code
         if args.command == "batch":
             if args.no_cache and (args.refresh or args.index_path):
                 raise SystemExit(
                     "batch --no-cache conflicts with --refresh/--index: "
                     "the registry index would not be consulted or written"
                 )
+            if args.members_path and args.objectives:
+                raise SystemExit(
+                    "batch --group conflicts with --objectives: a member "
+                    "roster applies to whole workspaces"
+                )
+            group_spec = None
+            if args.members_path:
+                from .core.group import load_members
+
+                try:
+                    group_spec = load_members(args.members_path)
+                except (OSError, ValueError) as exc:
+                    raise SystemExit(
+                        f"cannot load members file: {exc}"
+                    ) from exc
             registry_mode = (
                 args.workers is not None
                 or args.index_path is not None
                 or args.refresh
+                or group_spec is not None
             )
             if registry_mode:
                 if not args.workspaces:
                     raise SystemExit(
-                        "batch --workers/--index/--refresh needs explicit "
-                        "workspace files"
+                        "batch --workers/--index/--refresh/--group needs "
+                        "explicit workspace files"
                     )
                 output, exit_code = _cmd_batch_sharded(
                     args.workspaces,
@@ -718,6 +979,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                     index_path=args.index_path,
                     use_index=not args.no_cache,
                     refresh=args.refresh,
+                    group_spec=group_spec,
                 )
             else:
                 output, exit_code = _cmd_batch(

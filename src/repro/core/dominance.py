@@ -33,7 +33,7 @@ Python :mod:`repro.core.simplex` fallback (``solver="simplex"``).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 

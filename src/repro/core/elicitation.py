@@ -22,7 +22,6 @@ corresponding imprecise artefacts:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from .hierarchy import Hierarchy

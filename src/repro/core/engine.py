@@ -38,7 +38,8 @@ Compiled layout
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Callable, List, Optional, Sequence, Tuple, Union
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -46,13 +47,18 @@ from .interval import Interval
 from .performance import UncertainValue
 from .problem import DecisionProblem
 from .scales import MISSING
+from .weights import WeightSystem
 
 __all__ = [
     "CompiledProblem",
     "StackedProblem",
+    "CompiledRoster",
+    "StackedRoster",
+    "GroupResult",
     "BatchEvaluator",
     "StackedEvaluator",
     "compile_problem",
+    "compile_roster",
     "stack_problems",
     "rank_matrix",
     "sample_simplex",
@@ -269,6 +275,36 @@ class CompiledProblem:
         except ValueError:
             raise KeyError(f"no alternative named {name!r}") from None
 
+    def reweighted(
+        self,
+        w_low: np.ndarray,
+        w_avg: np.ndarray,
+        w_up: np.ndarray,
+    ) -> "CompiledProblem":
+        """A shallow view of this compiled form with other weight vectors.
+
+        The utility envelopes, masks and key tensors are shared (not
+        copied); only the ``(n_attributes,)`` weight arrays differ.
+        This is how group decision support evaluates aggregated
+        (consensus / tolerant) weight systems through exactly the same
+        array program as the member weights — one
+        :class:`BatchEvaluator` over the reweighted view is
+        bit-identical to compiling ``problem.with_weights(...)``.
+        """
+        clone = CompiledProblem.__new__(CompiledProblem)
+        clone.__dict__.update(self.__dict__)
+        clone.w_low = np.asarray(w_low, dtype=float)
+        clone.w_avg = np.asarray(w_avg, dtype=float)
+        clone.w_up = np.asarray(w_up, dtype=float)
+        n_att = len(self.attribute_names)
+        for arr in (clone.w_low, clone.w_avg, clone.w_up):
+            if arr.shape != (n_att,):
+                raise ValueError(
+                    f"weight vectors must have shape ({n_att},), "
+                    f"got {arr.shape}"
+                )
+        return clone
+
 
 def compile_problem(problem: DecisionProblem) -> CompiledProblem:
     """Lower ``problem`` into the dense-array form evaluated in batch."""
@@ -414,6 +450,359 @@ def stack_problems(
         StackedProblem([compiled[i] for i in indices], indices)
         for indices in groups.values()
     ]
+
+
+# ----------------------------------------------------------------------
+# Group decision support — the members axis
+# ----------------------------------------------------------------------
+
+_DISAGREEMENT_TOL = 1e-12
+
+
+@dataclass(frozen=True)
+class GroupResult:
+    """Everything a group evaluation of one decision problem produces.
+
+    The tensor complement of the scalar :class:`repro.core.group`
+    workflow: per-member rankings, the two aggregated group rankings
+    (consensus = interval intersection, tolerant = interval hull),
+    Borda aggregation of the member rankings, and the per-objective
+    disagreement profile.  ``consensus`` is ``None`` when the members'
+    local weight intervals are disjoint on at least one objective (the
+    objectives are listed in ``disjoint``) — the documented fallback is
+    the tolerant ranking, which :attr:`best` applies.
+
+    The payload round-trips exactly: rankings are name tuples and
+    disagreement scores are binary64 floats, both of which JSON
+    preserves bit-for-bit (:meth:`to_payload` / :meth:`from_payload`).
+    """
+
+    member_names: Tuple[str, ...]
+    member_rankings: Tuple[Tuple[str, ...], ...]
+    borda: Tuple[str, ...]
+    tolerant: Tuple[str, ...]
+    consensus: Optional[Tuple[str, ...]]
+    disjoint: Tuple[str, ...]
+    disagreement: Tuple[Tuple[str, float], ...]
+
+    @property
+    def best(self) -> str:
+        """The group's top alternative: consensus, else tolerant hull."""
+        ranking = self.consensus if self.consensus is not None else self.tolerant
+        return ranking[0]
+
+    @property
+    def n_members(self) -> int:
+        """How many decision makers the result aggregates."""
+        return len(self.member_names)
+
+    @property
+    def max_disagreement(self) -> float:
+        """The largest per-objective disagreement score (0 when empty)."""
+        return max((score for _, score in self.disagreement), default=0.0)
+
+    def to_payload(self) -> Dict[str, object]:
+        """A JSON-ready dict preserving every ranking and float exactly."""
+        return {
+            "member_names": list(self.member_names),
+            "member_rankings": [list(r) for r in self.member_rankings],
+            "borda": list(self.borda),
+            "tolerant": list(self.tolerant),
+            "consensus": (
+                list(self.consensus) if self.consensus is not None else None
+            ),
+            "disjoint": list(self.disjoint),
+            "disagreement": [[name, score] for name, score in self.disagreement],
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Mapping[str, object]) -> "GroupResult":
+        """Rebuild a result from :meth:`to_payload` output (exact)."""
+        consensus = payload["consensus"]
+        return cls(
+            member_names=tuple(payload["member_names"]),
+            member_rankings=tuple(
+                tuple(r) for r in payload["member_rankings"]
+            ),
+            borda=tuple(payload["borda"]),
+            tolerant=tuple(payload["tolerant"]),
+            consensus=tuple(consensus) if consensus is not None else None,
+            disjoint=tuple(payload["disjoint"]),
+            disagreement=tuple(
+                (str(name), float(score))
+                for name, score in payload["disagreement"]
+            ),
+        )
+
+
+class CompiledRoster:
+    """A member roster lowered to dense per-member weight tensors.
+
+    The group analogue of :class:`CompiledProblem`: every decision
+    maker's elicited :class:`~repro.core.weights.WeightSystem` is
+    lowered once into ``(n_members, n_attributes)`` weight tensors and
+    ``(n_members, n_nodes)`` local-interval tensors, so the evaluators
+    answer every group question as one array program over a members
+    axis — no Python loop over decision makers.
+
+    Attributes
+    ----------
+    member_names : tuple of str
+        Decision-maker names, roster order (the members axis order).
+    attribute_names : tuple of str
+        Leaf attributes in hierarchy order (matches the compiled
+        problem the roster is evaluated against).
+    node_names : tuple of str
+        Every non-root objective, hierarchy order — the axis of the
+        local-interval tensors and the disagreement profile.
+    w_low, w_avg, w_up : ndarray of float64, shape (M, n_att)
+        Per-member global attribute weight bounds and normalised
+        averages — exactly what compiling
+        ``problem.with_weights(member.weights)`` produces per member.
+    node_low, node_up : ndarray of float64, shape (M, n_nodes)
+        Per-member local weight interval bounds per non-root objective.
+    hierarchy : Hierarchy
+        The shared objective hierarchy (aggregated weight systems are
+        rebuilt over it).
+    """
+
+    def __init__(self, members: Sequence[object], hierarchy=None) -> None:
+        """Lower ``members`` (objects with ``.name`` / ``.weights``)."""
+        members = list(members)
+        if not members:
+            raise ValueError("a group needs at least one member")
+        first = members[0].weights.hierarchy
+        first_names = {n.name for n in first.nodes()}
+        for member in members[1:]:
+            names = {n.name for n in member.weights.hierarchy.nodes()}
+            if names != first_names:
+                raise ValueError(
+                    f"member {member.name!r} uses a different hierarchy "
+                    "(objective names do not match)"
+                )
+        if hierarchy is not None:
+            expected = {n.name for n in hierarchy.nodes()}
+            for member in members:
+                names = {n.name for n in member.weights.hierarchy.nodes()}
+                if names != expected:
+                    raise ValueError(
+                        f"member {member.name!r} weights do not match the "
+                        "problem hierarchy"
+                    )
+        else:
+            hierarchy = first
+        self.hierarchy = hierarchy
+        self.member_names: Tuple[str, ...] = tuple(m.name for m in members)
+        self.attribute_names: Tuple[str, ...] = hierarchy.attribute_names
+        root = hierarchy.root.name
+        self.node_names: Tuple[str, ...] = tuple(
+            n.name for n in hierarchy.nodes() if n.name != root
+        )
+
+        m = len(members)
+        n_att = len(self.attribute_names)
+        n_nodes = len(self.node_names)
+        self.w_low = np.zeros((m, n_att))
+        self.w_avg = np.zeros((m, n_att))
+        self.w_up = np.zeros((m, n_att))
+        self.node_low = np.zeros((m, n_nodes))
+        self.node_up = np.zeros((m, n_nodes))
+        for k, member in enumerate(members):
+            ws = member.weights
+            averages = ws.attribute_averages()
+            for j, attr in enumerate(self.attribute_names):
+                iv = ws.attribute_weight_interval(attr)
+                self.w_low[k, j] = iv.lower
+                self.w_up[k, j] = iv.upper
+                self.w_avg[k, j] = averages[attr]
+            for j, node in enumerate(self.node_names):
+                iv = ws.local_interval(node)
+                self.node_low[k, j] = iv.lower
+                self.node_up[k, j] = iv.upper
+
+        self._aggregated: Dict[str, WeightSystem] = {}
+        self._aggregated_vectors: Dict[
+            str, Tuple[np.ndarray, np.ndarray, np.ndarray]
+        ] = {}
+
+    # ------------------------------------------------------------------
+    @property
+    def n_members(self) -> int:
+        """Roster size ``M`` (the members tensor axis)."""
+        return len(self.member_names)
+
+    @property
+    def n_attributes(self) -> int:
+        """Leaf attributes per member weight vector."""
+        return len(self.attribute_names)
+
+    @property
+    def disjoint_nodes(self) -> Tuple[str, ...]:
+        """Objectives whose member intervals have an empty intersection.
+
+        Hierarchy order — the first entry is the node the scalar
+        ``aggregate_weights(..., "intersection")`` names in its error.
+        """
+        empty = self.node_low.max(axis=0) > self.node_up.min(axis=0)
+        return tuple(
+            name for name, bad in zip(self.node_names, empty) if bad
+        )
+
+    def disagreement(self) -> Dict[str, float]:
+        """Per-objective disagreement in ``[0, 1]``, hierarchy order.
+
+        One array program over the ``(M, n_nodes)`` local-interval
+        tensors, bit-identical to the scalar
+        :func:`repro.core.group.disagreement` loop: ``1 -
+        |intersection| / |hull|`` per node, 0 for a degenerate hull, 1
+        for a disjoint pair.
+        """
+        hull_w = self.node_up.max(axis=0) - self.node_low.min(axis=0)
+        inter_lo = self.node_low.max(axis=0)
+        inter_hi = self.node_up.min(axis=0)
+        safe_hull = np.where(hull_w > _DISAGREEMENT_TOL, hull_w, 1.0)
+        scores = np.where(
+            hull_w <= _DISAGREEMENT_TOL,
+            0.0,
+            np.where(
+                inter_lo > inter_hi,
+                1.0,
+                1.0 - (inter_hi - inter_lo) / safe_hull,
+            ),
+        )
+        return {
+            name: float(score)
+            for name, score in zip(self.node_names, scores)
+        }
+
+    def aggregated(self, method: str = "intersection") -> WeightSystem:
+        """The group weight system under one aggregation method.
+
+        ``"intersection"`` keeps only weights every member accepts (a
+        ``ValueError`` names the first objective with disjoint member
+        intervals); ``"hull"`` covers every member's interval.  The
+        per-node combination runs as array min/max over the members
+        axis — exact, so the result is identical to the scalar
+        sequential fold.
+        """
+        if method not in ("intersection", "hull"):
+            raise ValueError(
+                f"method must be 'intersection' or 'hull', got {method!r}"
+            )
+        cached = self._aggregated.get(method)
+        if cached is not None:
+            return cached
+        if method == "hull":
+            low = self.node_low.min(axis=0)
+            up = self.node_up.max(axis=0)
+        else:
+            disjoint = self.disjoint_nodes
+            if disjoint:
+                raise ValueError(
+                    f"members disagree irreconcilably on objective "
+                    f"{disjoint[0]!r}: weight intervals are disjoint"
+                )
+            low = self.node_low.max(axis=0)
+            up = self.node_up.min(axis=0)
+        local = {
+            name: Interval(float(lo), float(hi))
+            for name, lo, hi in zip(self.node_names, low, up)
+        }
+        system = WeightSystem.from_raw_intervals(self.hierarchy, local)
+        self._aggregated[method] = system
+        return system
+
+    def aggregated_vectors(
+        self, method: str = "intersection"
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """``(w_low, w_avg, w_up)`` of the aggregated weight system.
+
+        The same lowering :class:`CompiledProblem` applies to a
+        problem's own weight system, so evaluating these vectors
+        through a :meth:`CompiledProblem.reweighted` view is
+        bit-identical to compiling ``problem.with_weights(aggregated)``.
+        """
+        cached = self._aggregated_vectors.get(method)
+        if cached is not None:
+            return cached
+        ws = self.aggregated(method)
+        averages = ws.attribute_averages()
+        intervals = [
+            ws.attribute_weight_interval(a) for a in self.attribute_names
+        ]
+        vectors = (
+            np.array([iv.lower for iv in intervals]),
+            np.array([averages[a] for a in self.attribute_names]),
+            np.array([iv.upper for iv in intervals]),
+        )
+        self._aggregated_vectors[method] = vectors
+        return vectors
+
+
+def compile_roster(
+    members: Sequence[object], hierarchy=None
+) -> CompiledRoster:
+    """Lower a member roster into the dense per-member weight tensors.
+
+    ``members`` are objects with ``.name`` and ``.weights`` attributes
+    (typically :class:`repro.core.group.GroupMember`).  ``hierarchy``
+    optionally pins the decision problem's hierarchy the roster must
+    match; by default the first member's hierarchy is used.
+    """
+    return CompiledRoster(members, hierarchy)
+
+
+class StackedRoster:
+    """Per-problem rosters stacked along the problem axis.
+
+    The group analogue of :class:`StackedProblem`: one
+    :class:`CompiledRoster` per stack member (every roster lists the
+    same decision makers over the same attribute count) stacked into
+    ``(n_problems, n_members, n_attributes)`` weight tensors, so
+    :class:`StackedEvaluator` runs the whole registry's group
+    evaluation as one array program.
+    """
+
+    def __init__(self, rosters: Sequence[CompiledRoster]) -> None:
+        """Stack ``rosters`` (same member names, same attribute count)."""
+        rosters = list(rosters)
+        if not rosters:
+            raise ValueError("a stacked roster needs at least one roster")
+        names = rosters[0].member_names
+        n_att = rosters[0].n_attributes
+        for roster in rosters[1:]:
+            if roster.member_names != names:
+                raise ValueError(
+                    "cannot stack rosters with different member names"
+                )
+            if roster.n_attributes != n_att:
+                raise ValueError(
+                    "cannot stack rosters with different attribute counts"
+                )
+        self.rosters: Tuple[CompiledRoster, ...] = tuple(rosters)
+        self.member_names: Tuple[str, ...] = names
+        self.w_low = np.stack([r.w_low for r in rosters])
+        self.w_avg = np.stack([r.w_avg for r in rosters])
+        self.w_up = np.stack([r.w_up for r in rosters])
+
+    @property
+    def n_problems(self) -> int:
+        """Stack size ``P`` (the leading tensor axis)."""
+        return len(self.rosters)
+
+    @property
+    def n_members(self) -> int:
+        """Decision makers per roster (every roster shares this)."""
+        return len(self.member_names)
+
+    @property
+    def n_attributes(self) -> int:
+        """Leaf attributes per member weight vector."""
+        return self.w_avg.shape[2]
+
+    def __len__(self) -> int:
+        """Stack size ``P`` — same as :attr:`n_problems`."""
+        return len(self.rosters)
 
 
 # ----------------------------------------------------------------------
@@ -927,6 +1316,116 @@ class BatchEvaluator:
 
         return _rank_intervals(self, matrix=self.dominance_matrix(solver))
 
+    # -- group decision support (the members axis) ----------------------
+    def _check_roster(self, roster: CompiledRoster) -> None:
+        if roster.n_attributes != self.compiled.n_attributes:
+            raise ValueError(
+                f"roster covers {roster.n_attributes} attributes but the "
+                f"problem has {self.compiled.n_attributes}"
+            )
+
+    def member_average_utilities(self, roster: CompiledRoster) -> np.ndarray:
+        """(n_members, n_alternatives) average overall utilities.
+
+        One batched matrix-vector product over the members axis; member
+        ``m``'s slice is bit-identical to evaluating
+        ``problem.with_weights(members[m].weights)`` through the scalar
+        path (same per-slice operand shapes, same kernel).
+        """
+        self._check_roster(roster)
+        c = self.compiled
+        return np.matmul(
+            c.u_avg[None, :, :], roster.w_avg[:, :, None]
+        )[..., 0]
+
+    def member_ranking_orders(self, roster: CompiledRoster) -> np.ndarray:
+        """(n_members, n_alt) alternative indices by decreasing utility.
+
+        Per member, ties break on the alternative name — the same
+        stable tie-break as :meth:`ranking_order` — via one lexsort
+        over the whole members axis.
+        """
+        avgs = self.member_average_utilities(roster)
+        names = np.broadcast_to(
+            np.array(self.compiled.alternative_names), avgs.shape
+        )
+        return np.lexsort((names, -avgs), axis=-1)
+
+    def member_rankings(
+        self, roster: CompiledRoster
+    ) -> Tuple[Tuple[str, ...], ...]:
+        """Per-member name rankings, roster order."""
+        names = self.compiled.alternative_names
+        return tuple(
+            tuple(names[i] for i in order)
+            for order in self.member_ranking_orders(roster)
+        )
+
+    def borda_order(self, roster: CompiledRoster) -> Tuple[str, ...]:
+        """Borda aggregation of the member rankings (ties by name).
+
+        Integer Borda points computed from the member rank tensor in
+        one reduction — identical to the scalar
+        :func:`repro.core.group.borda_ranking` over the per-member
+        rankings.
+        """
+        orders = self.member_ranking_orders(roster)
+        m, n = orders.shape
+        ranks = np.empty_like(orders)
+        rows = np.arange(m)[:, None]
+        ranks[rows, orders] = np.arange(1, n + 1)[None, :]
+        points = m * n - ranks.sum(axis=0)
+        names = np.array(self.compiled.alternative_names)
+        return tuple(names[i] for i in np.lexsort((names, -points)))
+
+    def group_evaluation(
+        self, roster: CompiledRoster, method: str = "intersection"
+    ):
+        """The aggregated group ranking as a Fig. 6 ``Evaluation``.
+
+        Evaluates the roster's aggregated (consensus or tolerant)
+        weight vectors through a reweighted view of the compiled
+        problem — bit-identical to compiling
+        ``problem.with_weights(aggregate_weights(members, method))``.
+        Raises ``ValueError`` for an intersection over disjoint member
+        intervals, exactly like the scalar path.
+        """
+        self._check_roster(roster)
+        w_low, w_avg, w_up = roster.aggregated_vectors(method)
+        return BatchEvaluator(
+            self.compiled.reweighted(w_low, w_avg, w_up)
+        ).evaluate()
+
+    def group_result(self, roster: CompiledRoster) -> GroupResult:
+        """The full group outcome for this problem in one array program.
+
+        Per-member rankings, Borda aggregation, the tolerant (hull)
+        ranking, the consensus (intersection) ranking — ``None`` with
+        the offending objectives listed in ``disjoint`` when member
+        intervals are irreconcilable — and the per-objective
+        disagreement profile.
+        """
+        disjoint = roster.disjoint_nodes
+        consensus: Optional[Tuple[str, ...]] = None
+        if not disjoint:
+            try:
+                consensus = self.group_evaluation(
+                    roster, "intersection"
+                ).names_by_rank
+            except ValueError:
+                # degenerate intersection (e.g. all-zero sibling
+                # weights): no consensus system exists
+                consensus = None
+        return GroupResult(
+            member_names=roster.member_names,
+            member_rankings=self.member_rankings(roster),
+            borda=self.borda_order(roster),
+            tolerant=self.group_evaluation(roster, "hull").names_by_rank,
+            consensus=consensus,
+            disjoint=disjoint,
+            disagreement=tuple(roster.disagreement().items()),
+        )
+
     @property
     def alternative_names(self) -> Tuple[str, ...]:
         """Alternative names in performance-table order."""
@@ -1243,6 +1742,109 @@ class StackedEvaluator:
             _rank_intervals(member, matrix=matrices[p])
             for p, member in enumerate(self.stacked.members)
         )
+
+    # -- group decision support over the whole stack --------------------
+    def _check_stacked_roster(self, roster: StackedRoster) -> None:
+        s = self.stacked
+        if roster.n_problems != s.n_problems:
+            raise ValueError(
+                f"stacked roster covers {roster.n_problems} problems but "
+                f"the stack holds {s.n_problems}"
+            )
+        if roster.n_attributes != s.n_attributes:
+            raise ValueError(
+                f"stacked roster covers {roster.n_attributes} attributes "
+                f"but the stack has {s.n_attributes}"
+            )
+
+    def _stack_names(self) -> np.ndarray:
+        return np.array([m.alternative_names for m in self.stacked.members])
+
+    def group_member_utilities(self, roster: StackedRoster) -> np.ndarray:
+        """(P, n_members, n_alt) per-member average overall utilities.
+
+        One batched matmul over both the problem and the members axes;
+        slice ``[p, m]`` is bit-identical to the scalar per-member
+        evaluation of problem ``p`` under member ``m``'s weights.
+        """
+        self._check_stacked_roster(roster)
+        s = self.stacked
+        return np.matmul(
+            s.u_avg[:, None, :, :], roster.w_avg[:, :, :, None]
+        )[..., 0]
+
+    def group_member_orders(self, roster: StackedRoster) -> np.ndarray:
+        """(P, M, n_alt) ranking orders, name tie-break, one lexsort."""
+        avgs = self.group_member_utilities(roster)
+        names = np.broadcast_to(self._stack_names()[:, None, :], avgs.shape)
+        return np.lexsort((names, -avgs), axis=-1)
+
+    def group_results(self, roster: StackedRoster) -> Tuple[GroupResult, ...]:
+        """One :class:`GroupResult` per stack member, evaluated stacked.
+
+        Member utilities, ranking orders and Borda points run over the
+        full ``(P, M, n_alt)`` tensors; the aggregated (consensus /
+        tolerant) weight vectors are gathered per roster and evaluated
+        as stacked matrix-vector products.  Member ``p``'s result is
+        identical to ``BatchEvaluator(members[p]).group_result(...)``.
+        """
+        self._check_stacked_roster(roster)
+        s = self.stacked
+        p, m, n = s.n_problems, roster.n_members, s.n_alternatives
+        orders = self.group_member_orders(roster)
+        names_arr = self._stack_names()
+
+        # Borda: scatter orders back to 1-based ranks, reduce members.
+        ranks = np.empty_like(orders)
+        p_idx = np.arange(p)[:, None, None]
+        m_idx = np.arange(m)[None, :, None]
+        ranks[p_idx, m_idx, orders] = np.arange(1, n + 1)[None, None, :]
+        points = m * n - ranks.sum(axis=1)
+        borda_orders = np.lexsort((names_arr, -points), axis=-1)
+
+        # Aggregated weight vectors per problem (tiny, object-graph
+        # level); the evaluation itself stays stacked.
+        tol_w = np.stack(
+            [r.aggregated_vectors("hull")[1] for r in roster.rosters]
+        )
+        cons_w = np.zeros((p, s.n_attributes))
+        cons_ok = np.zeros(p, dtype=bool)
+        for k, r in enumerate(roster.rosters):
+            if r.disjoint_nodes:
+                continue
+            try:
+                cons_w[k] = r.aggregated_vectors("intersection")[1]
+            except ValueError:
+                continue
+            cons_ok[k] = True
+        tol_avgs = np.matmul(s.u_avg, tol_w[:, :, None])[..., 0]
+        cons_avgs = np.matmul(s.u_avg, cons_w[:, :, None])[..., 0]
+        tol_orders = np.lexsort((names_arr, -tol_avgs), axis=-1)
+        cons_orders = np.lexsort((names_arr, -cons_avgs), axis=-1)
+
+        results = []
+        for k, r in enumerate(roster.rosters):
+            names = self.stacked.members[k].alternative_names
+            consensus = (
+                tuple(names[i] for i in cons_orders[k])
+                if cons_ok[k]
+                else None
+            )
+            results.append(
+                GroupResult(
+                    member_names=r.member_names,
+                    member_rankings=tuple(
+                        tuple(names[i] for i in order)
+                        for order in orders[k]
+                    ),
+                    borda=tuple(names[i] for i in borda_orders[k]),
+                    tolerant=tuple(names[i] for i in tol_orders[k]),
+                    consensus=consensus,
+                    disjoint=r.disjoint_nodes,
+                    disagreement=tuple(r.disagreement().items()),
+                )
+            )
+        return tuple(results)
 
     # ------------------------------------------------------------------
     @property

@@ -17,7 +17,7 @@ do.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, Iterator, List, Optional, Tuple
 
 __all__ = ["ObjectiveNode", "Hierarchy"]
 

@@ -77,7 +77,7 @@ __all__ = [
 ]
 
 DEFAULT_INDEX_FILENAME = ".repro-index.sqlite"
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
 
 _SCHEMA = """
 CREATE TABLE IF NOT EXISTS index_meta (
@@ -109,17 +109,27 @@ CREATE TABLE IF NOT EXISTS results (
     best_maximum     REAL NOT NULL,
     ever_best        INTEGER,
     top5_fluctuation INTEGER,
+    group_json       TEXT,
     PRIMARY KEY (content_hash, config_hash, sub_index)
 );
 """
+
+#: Nullable tail columns a legacy ``results`` table may predate; the
+#: in-place migration adds whichever are missing via ``ALTER TABLE``.
+_RESULT_TAIL_COLUMNS = (
+    ("ever_best", "INTEGER"),
+    ("top5_fluctuation", "INTEGER"),
+    ("group_json", "TEXT"),
+)
 
 
 def eval_config_hash(options) -> str:
     """The cache key for an evaluation configuration.
 
     Hashes exactly the :class:`~repro.core.runtime.BatchOptions` fields
-    that determine a run's *numbers* — ``objectives``, ``simulations``
-    and (only when simulating) ``method`` and ``seed``.  Transport
+    that determine a run's *numbers* — ``objectives``, ``simulations``,
+    (only when simulating) ``method`` and ``seed``, and (only for group
+    runs) the member-roster digest.  Transport
     knobs (``use_disk_cache``, ``refresh_cache``, ``mmap``) and the
     worker/chunk layout never influence results (the PR 2 determinism
     contract), so they are deliberately excluded: the same registry
@@ -147,6 +157,15 @@ def eval_config_hash(options) -> str:
         # silently alias old cache entries
         "sample_utilities": "missing" if simulations else None,
     }
+    group = getattr(options, "group", None)
+    if group:
+        # The member-set digest: group runs are keyed by workspace
+        # content AND the exact roster.  The key is only added when a
+        # roster is present so every pre-group configuration keeps its
+        # historical hash (old cache rows stay valid).
+        from .group import members_digest
+
+        payload["group"] = members_digest(group)
     canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
@@ -219,7 +238,11 @@ class CachedResult:
     run and are re-applied at lookup time.  ``sub_index`` 0 is the
     whole workspace; higher values are its per-objective restrictions
     (``objectives`` runs).  ``ever_best`` / ``top5_fluctuation`` are
-    ``None`` unless the configuration included a Monte Carlo.
+    ``None`` unless the configuration included a Monte Carlo;
+    ``group_json`` is ``None`` unless it included a member roster (the
+    canonical JSON of a
+    :meth:`~repro.core.engine.GroupResult.to_payload`, stored as text
+    so rankings and disagreement floats round-trip exactly).
     """
 
     sub_index: int
@@ -232,6 +255,7 @@ class CachedResult:
     best_maximum: float
     ever_best: Optional[int] = None
     top5_fluctuation: Optional[int] = None
+    group_json: Optional[str] = None
 
 
 _LOAD_ERRORS = (OSError, ValueError, KeyError, TypeError)
@@ -280,7 +304,7 @@ class RegistryIndex:
         try:
             with conn:
                 conn.executescript(_SCHEMA)
-                self._check_schema_version()
+                self._migrate_schema()
         except BaseException:
             self.close()
             raise
@@ -330,19 +354,51 @@ class RegistryIndex:
             conn = self._connect()
         return conn
 
-    def _check_schema_version(self) -> None:
+    def _migrate_schema(self) -> None:
+        """Bring a legacy database up to the current schema in place.
+
+        Newer schema versions only *add* nullable columns/tables, so
+        migration is a sequence of ``ALTER TABLE ... ADD COLUMN``
+        statements: an index written before the group axis (schema 1,
+        or a hand-me-down whose ``results`` table predates the
+        ``ever_best`` / ``top5_fluctuation`` / ``group_json`` columns)
+        opens cleanly — ``repro index status`` and every cache lookup
+        keep working, existing rows untouched.  Only a *newer* (or
+        unparseable) recorded version is refused, since this code
+        cannot know what it means.
+        """
         row = self._conn.execute(
             "SELECT value FROM index_meta WHERE key = 'schema_version'"
         ).fetchone()
+        stored: Optional[int] = None
+        if row is not None:
+            try:
+                stored = int(row["value"])
+            except ValueError:
+                stored = -1
+        if stored is not None and (stored > SCHEMA_VERSION or stored < 1):
+            raise ValueError(
+                f"unsupported registry index schema {row['value']!r} at "
+                f"{self.db_path}; expected <= {SCHEMA_VERSION!r}"
+            )
+        present = {
+            info["name"]
+            for info in self._conn.execute("PRAGMA table_info(results)")
+        }
+        for column, sql_type in _RESULT_TAIL_COLUMNS:
+            if column not in present:
+                self._conn.execute(
+                    f"ALTER TABLE results ADD COLUMN {column} {sql_type}"
+                )
         if row is None:
             self._conn.execute(
                 "INSERT INTO index_meta (key, value) VALUES (?, ?)",
                 ("schema_version", str(SCHEMA_VERSION)),
             )
-        elif row["value"] != str(SCHEMA_VERSION):
-            raise ValueError(
-                f"unsupported registry index schema {row['value']!r} at "
-                f"{self.db_path}; expected {SCHEMA_VERSION!r}"
+        elif stored != SCHEMA_VERSION:
+            self._conn.execute(
+                "UPDATE index_meta SET value = ? WHERE key = 'schema_version'",
+                (str(SCHEMA_VERSION),),
             )
 
     # ------------------------------------------------------------------
@@ -573,6 +629,7 @@ class RegistryIndex:
                 best_maximum=row["best_maximum"],
                 ever_best=row["ever_best"],
                 top5_fluctuation=row["top5_fluctuation"],
+                group_json=row["group_json"],
             )
             for row in rows
         )
@@ -635,8 +692,8 @@ class RegistryIndex:
                     " (content_hash, config_hash, sub_index, name,"
                     "  n_alternatives, n_attributes, best_name,"
                     "  best_minimum, best_average, best_maximum,"
-                    "  ever_best, top5_fluctuation)"
-                    " VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+                    "  ever_best, top5_fluctuation, group_json)"
+                    " VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
                     [
                         (
                             content_hash,
@@ -651,6 +708,7 @@ class RegistryIndex:
                             row.best_maximum,
                             row.ever_best,
                             row.top5_fluctuation,
+                            row.group_json,
                         )
                         for row in rows
                     ],
@@ -703,6 +761,7 @@ class RegistryIndex:
             ``n_workspaces``, ``n_result_rows``, ``n_result_sets``
             (distinct ``(content_hash, config_hash)`` pairs),
             ``n_configs`` (distinct configurations),
+            ``n_group_rows`` (rows carrying a cached group payload),
             ``result_bytes`` (total cached-result payload bytes: text
             columns at their stored length, numeric columns at 8 bytes
             each), ``fresh`` / ``stale`` / ``missing`` path counts and
@@ -715,8 +774,12 @@ class RegistryIndex:
         result_bytes = self._conn.execute(
             "SELECT COALESCE(SUM("
             " LENGTH(content_hash) + LENGTH(config_hash)"
-            " + LENGTH(name) + LENGTH(best_name) + 8 * 8), 0)"
+            " + LENGTH(name) + LENGTH(best_name) + 8 * 8"
+            " + COALESCE(LENGTH(group_json), 0)), 0)"
             " FROM results"
+        ).fetchone()[0]
+        n_group_rows = self._conn.execute(
+            "SELECT COUNT(*) FROM results WHERE group_json IS NOT NULL"
         ).fetchone()[0]
         n_sets = self._conn.execute(
             "SELECT COUNT(*) FROM"
@@ -748,6 +811,7 @@ class RegistryIndex:
             "n_result_rows": n_rows,
             "n_result_sets": n_sets,
             "n_configs": n_configs,
+            "n_group_rows": int(n_group_rows),
             "result_bytes": int(result_bytes),
             "fresh": fresh,
             "stale": stale,

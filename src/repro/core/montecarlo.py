@@ -45,7 +45,6 @@ from .engine import (
     BatchEvaluator,
     CompiledProblem,
     compile_problem,
-    rank_matrix as _rank_matrix,
     sample_in_intervals,
     sample_rank_order,
     sample_simplex,

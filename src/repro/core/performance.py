@@ -15,8 +15,8 @@ performance", so a cell may be:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Mapping, Sequence, Tuple, Union
+from dataclasses import dataclass
+from typing import Iterable, List, Mapping, Sequence, Tuple, Union
 
 from .interval import Interval
 from .scales import MISSING, MissingType

@@ -8,7 +8,7 @@ footrule distance and top-k overlap.
 
 from __future__ import annotations
 
-from typing import Dict, Mapping, Sequence, Tuple
+from typing import Dict, Sequence, Tuple
 
 __all__ = [
     "rank_vector",

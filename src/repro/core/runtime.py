@@ -37,6 +37,7 @@ persisted in one single-writer transaction after the fan-in.
 
 from __future__ import annotations
 
+import json
 import os
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass, replace
@@ -45,7 +46,12 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
-from .engine import StackedEvaluator, compile_problem, stack_problems
+from .engine import (
+    StackedEvaluator,
+    StackedRoster,
+    compile_problem,
+    stack_problems,
+)
 
 __all__ = [
     "BatchOptions",
@@ -72,6 +78,15 @@ class BatchOptions:
     ``simulations > 0`` adds a per-problem §V Monte Carlo
     (``sample_utilities="missing"``, one fresh seeded stream per
     problem — identical to evaluating each problem alone).
+
+    ``group`` attaches a member roster: a tuple of
+    :data:`~repro.core.group.MemberSpec` entries (see
+    :func:`~repro.core.group.load_members`) resolved against every
+    workspace's own hierarchy, adding a
+    :class:`~repro.core.engine.GroupResult` per workspace evaluated
+    through the stacked members axis.  Group runs need the object
+    graph (like ``objectives``, which they conflict with) and fold the
+    roster digest into the evaluation configuration hash.
     """
 
     objectives: bool = False
@@ -81,11 +96,17 @@ class BatchOptions:
     use_disk_cache: bool = True
     refresh_cache: bool = True
     mmap: bool = True
+    group: Optional[Tuple[Tuple[str, Tuple[Tuple[str, float, float], ...]], ...]] = None
 
 
 @dataclass(frozen=True)
 class WorkspaceResult:
-    """One evaluated problem (a workspace, or one of its objectives)."""
+    """One evaluated problem (a workspace, or one of its objectives).
+
+    ``group_json`` carries the canonical JSON of a
+    :meth:`~repro.core.engine.GroupResult.to_payload` when the run had
+    a member roster; it is ``None`` otherwise.
+    """
 
     index: int
     sub_index: int
@@ -99,6 +120,7 @@ class WorkspaceResult:
     best_maximum: float
     ever_best: Optional[int] = None
     top5_fluctuation: Optional[int] = None
+    group_json: Optional[str] = None
 
     @property
     def order_key(self) -> Tuple[int, int]:
@@ -183,7 +205,13 @@ def shard_registry(
 def _load_chunk_problems(
     chunk: Sequence[Tuple[int, str]], options: BatchOptions
 ):
-    """((index, sub_index, path, compiled) list, skipped list)."""
+    """((index, sub_index, path, compiled, roster) list, skipped list).
+
+    ``roster`` is the workspace's
+    :class:`~repro.core.engine.CompiledRoster` when ``options.group``
+    carries a member spec (resolved against the workspace's own
+    hierarchy) and ``None`` otherwise.
+    """
     from . import workspace
 
     loaded = []
@@ -195,7 +223,7 @@ def _load_chunk_problems(
                 # Build the whole expansion before publishing any of it,
                 # so a workspace never ends up both evaluated (partial
                 # rows) and skipped when a restriction fails to compile.
-                expansion = [(index, 0, path, compile_problem(problem))]
+                expansion = [(index, 0, path, compile_problem(problem), None)]
                 for sub, child in enumerate(
                     problem.hierarchy.root.children, start=1
                 ):
@@ -207,19 +235,34 @@ def _load_chunk_problems(
                             compile_problem(
                                 problem.restricted_to(child.name)
                             ),
+                            None,
                         )
                     )
                 loaded.extend(expansion)
+            elif options.group is not None:
+                from .group import compiled_roster_for
+
+                # Rosters resolve against the workspace's hierarchy, so
+                # group runs parse the object graph like `objectives`;
+                # structurally identical hierarchies share one resolved
+                # roster through the group module's LRU.
+                problem = workspace.load(path)
+                roster = compiled_roster_for(
+                    options.group, problem.hierarchy
+                )
+                loaded.append(
+                    (index, 0, path, compile_problem(problem), roster)
+                )
             elif options.use_disk_cache:
                 compiled = workspace.load_compiled_fast(
                     path,
                     refresh=options.refresh_cache,
                     mmap_arrays=options.mmap,
                 )
-                loaded.append((index, 0, path, compiled))
+                loaded.append((index, 0, path, compiled, None))
             else:
                 compiled = compile_problem(workspace.load(path))
-                loaded.append((index, 0, path, compiled))
+                loaded.append((index, 0, path, compiled, None))
         except (OSError, ValueError, KeyError, TypeError) as exc:
             skipped.append(
                 SkippedWorkspace(
@@ -279,8 +322,21 @@ def evaluate_registry_chunk(
                 sample_utilities="missing",
             )
             mc_stats = _stacked_mc_summary(ranks)
+        group_payloads = None
+        if options.group is not None:
+            roster_stack = StackedRoster(
+                [loaded[pos][4] for pos in stack.source_indices]
+            )
+            group_payloads = [
+                json.dumps(
+                    result.to_payload(),
+                    sort_keys=True,
+                    separators=(",", ":"),
+                )
+                for result in evaluator.group_results(roster_stack)
+            ]
         for p, member_pos in enumerate(stack.source_indices):
-            index, sub_index, path, compiled = loaded[member_pos]
+            index, sub_index, path, compiled, _roster = loaded[member_pos]
             best = evaluations[p].best
             ever_best = top5 = None
             if mc_stats is not None:
@@ -300,6 +356,11 @@ def evaluate_registry_chunk(
                     best_maximum=best.maximum,
                     ever_best=ever_best,
                     top5_fluctuation=top5,
+                    group_json=(
+                        group_payloads[p]
+                        if group_payloads is not None
+                        else None
+                    ),
                 )
             )
     return results, skipped, len(stacks)
@@ -363,6 +424,12 @@ class ShardedRunner:
             state or ``refresh`` value — caching only changes *when*
             numbers are computed, never what they are.
         """
+        if self.options.group is not None and self.options.objectives:
+            raise ValueError(
+                "group and objectives runs are mutually exclusive: a "
+                "member roster applies to whole workspaces, not to "
+                "per-objective restrictions"
+            )
         indexed = [(i, str(p)) for i, p in enumerate(paths)]
         cached_results: List[WorkspaceResult] = []
         pending = indexed
@@ -401,6 +468,7 @@ class ShardedRunner:
                         best_maximum=row.best_maximum,
                         ever_best=row.ever_best,
                         top5_fluctuation=row.top5_fluctuation,
+                        group_json=row.group_json,
                     )
                     for row in rows
                 )
@@ -512,6 +580,7 @@ class ShardedRunner:
                     best_maximum=row.best_maximum,
                     ever_best=row.ever_best,
                     top5_fluctuation=row.top5_fluctuation,
+                    group_json=row.group_json,
                 )
                 for row in sorted(rows, key=lambda r: r.sub_index)
             )

@@ -18,8 +18,8 @@ the whole interval ``[0, 1]`` (following ref. [18] of the paper).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Sequence, Tuple
+from dataclasses import dataclass
+from typing import Tuple
 
 __all__ = [
     "MISSING",

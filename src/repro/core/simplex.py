@@ -166,7 +166,6 @@ def linprog_simplex(
                 ge_rows.add(i)
 
     # Columns: n structural + slacks/surplus + artificials.
-    slack_cols: dict = {}
     surplus_cols: dict = {}
     artificial_rows: List[int] = []
     n_slack = sum(1 for i in range(m) if kinds[i] == "ub" and i not in ge_rows)

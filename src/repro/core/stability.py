@@ -56,14 +56,13 @@ def affine_coefficients(
     hierarchy = problem.hierarchy
     if objective == hierarchy.root.name:
         raise ValueError("the root objective has no weight to vary")
-    node = hierarchy.node(objective)
+    hierarchy.node(objective)  # validates the objective name
     parent = hierarchy.parent_of(objective)
     assert parent is not None
 
     weights = problem.weights
     local_avg = weights.local_average(objective)
     attrs = list(model.attribute_names)
-    attr_index = {a: j for j, a in enumerate(attrs)}
     w_avg = model.w_avg
 
     under_node = set(hierarchy.attributes_under(objective))

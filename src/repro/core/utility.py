@@ -21,8 +21,8 @@ Missing performances follow the paper's ref. [18]: the utility of the
 from __future__ import annotations
 
 import bisect
-from dataclasses import dataclass, field
-from typing import Dict, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Tuple
 
 from .interval import Interval
 from .scales import MISSING, ContinuousScale, DiscreteScale, MissingType

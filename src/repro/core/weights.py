@@ -25,10 +25,9 @@ rank-sum, equal weights, swing) live at the bottom.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, Mapping, Sequence, Tuple
 
-from .hierarchy import Hierarchy, ObjectiveNode
+from .hierarchy import Hierarchy
 from .interval import Interval
 
 __all__ = [

@@ -17,7 +17,7 @@ OntologyRegistry`:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Optional, Sequence, Tuple
 
 from ..core.dominance import DominanceResult, screen

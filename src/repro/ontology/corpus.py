@@ -12,9 +12,9 @@ team, purpose, adopters).
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Dict, Iterable, List, Optional, Set, Tuple
 
-from .cq import extract_terms, lexicon, normalise_term
+from .cq import extract_terms, lexicon
 from .model import Ontology
 
 __all__ = ["ReuseMetadata", "RegisteredOntology", "SearchHit", "OntologyRegistry"]

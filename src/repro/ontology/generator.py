@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import List, Set, Tuple
 
 from .corpus import RegisteredOntology, ReuseMetadata
 from .cq import CompetencyQuestion
@@ -326,7 +326,6 @@ def generate(spec: OntologySpec) -> RegisteredOntology:
     tangledness, n_roots = _EXTRACTION_TARGET[spec.knowledge_extraction]
     n_classes = len(class_iris)
     n_roots = min(n_roots, n_classes)
-    roots = class_iris[:n_roots]
     for pos, iri in enumerate(class_iris[n_roots:], start=n_roots):
         parent = class_iris[(pos - n_roots) // 2]  # binary-ish tree
         onto.get_class(iri).superclasses.append(parent)

@@ -10,7 +10,7 @@ keeps the metrics and the merge fast on corpus-sized graphs.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterable, Iterator, Optional, Set, Tuple, Union
 
 from .vocab import XSD

@@ -25,10 +25,10 @@ from __future__ import annotations
 
 import re
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Sequence, Set, Tuple
+from typing import Dict, List, Set, Tuple
 
 from .model import Ontology
-from .vocab import STANDARD_NAMESPACES, local_name
+from .vocab import STANDARD_NAMESPACES
 
 __all__ = [
     "split_identifier",

@@ -15,10 +15,10 @@ parser/serialiser and the merge substrate operate on.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Set, Tuple
+from typing import Dict, Iterator, List, Optional, Set, Tuple
 
 from .graph import Literal, TripleGraph
-from .vocab import CORE_PREFIXES, DC, DCTERMS, OWL, RDF, RDFS, local_name
+from .vocab import CORE_PREFIXES, DC, OWL, RDF, RDFS, local_name
 
 __all__ = [
     "Entity",

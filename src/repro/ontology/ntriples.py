@@ -12,7 +12,7 @@ triples; blank-node labels round-trip literally.
 from __future__ import annotations
 
 import re
-from typing import Iterator, List, Tuple
+from typing import List
 
 from .graph import Literal, Term, TripleGraph
 

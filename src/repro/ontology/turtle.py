@@ -26,7 +26,7 @@ the same triple set for every graph whose terms this subset can spell
 from __future__ import annotations
 
 import re
-from typing import Dict, Iterator, List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from .graph import Literal, Term, TripleGraph
 from .vocab import CORE_PREFIXES, RDF, XSD

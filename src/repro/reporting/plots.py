@@ -7,7 +7,7 @@ output and golden tests alike.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple
+from typing import Optional, Sequence, Tuple
 
 from ..core.montecarlo import BoxplotSummary
 

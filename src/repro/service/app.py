@@ -23,6 +23,11 @@ Endpoints
     The §V strict-dominance matrix (LRU-cached by content hash).
 ``GET /v1/workspaces/{id}/rankintervals``
     Attainable-rank intervals (LRU-cached by content hash).
+``GET /v1/workspaces/{id}/group``
+    The group-decision result under the server's member roster
+    (``repro serve --members FILE``): per-member rankings, consensus /
+    tolerant / Borda aggregations, disagreement profile.  Read-through
+    like ranking, keyed by content hash × roster digest.
 ``POST /v1/evaluate``
     Evaluate an ad-hoc workspace JSON document through
     :class:`~repro.core.engine.BatchEvaluator`; nothing is persisted.
@@ -57,6 +62,7 @@ from urllib.parse import parse_qs, unquote, urlsplit
 
 from ..core import workspace as _workspace
 from ..core.engine import BatchEvaluator, compile_problem
+from ..core.group import load_members, members_digest
 from ..core.index import (
     DEFAULT_INDEX_FILENAME,
     RegistryIndex,
@@ -75,7 +81,13 @@ __all__ = ["Response", "ServiceError", "ServiceApp"]
 
 _JSON = "application/json"
 _MC_METHODS = ("random", "rank_order", "intervals")
-_WORKSPACE_VERBS = ("ranking", "montecarlo", "dominance", "rankintervals")
+_WORKSPACE_VERBS = (
+    "ranking",
+    "montecarlo",
+    "dominance",
+    "rankintervals",
+    "group",
+)
 _LOAD_ERRORS = (OSError, ValueError, KeyError, TypeError)
 
 
@@ -174,6 +186,11 @@ class ServiceApp:
         Index database (default ``<registry>/.repro-index.sqlite``).
     cache_size : int, optional
         Response-LRU capacity (entries, not bytes).
+    members_path : str or Path, optional
+        A ``repro-members/1`` roster document; configures the
+        ``/v1/workspaces/{id}/group`` endpoint (404 without it).
+        Validated at boot, so a malformed roster fails startup, not a
+        request.
     """
 
     def __init__(
@@ -181,6 +198,7 @@ class ServiceApp:
         registry_dir: Union[str, Path],
         index_path: Optional[Union[str, Path]] = None,
         cache_size: int = 1024,
+        members_path: Optional[Union[str, Path]] = None,
     ) -> None:
         """Open the registry index and build an empty response cache."""
         self.registry_dir = Path(registry_dir).resolve()
@@ -190,6 +208,19 @@ class ServiceApp:
             Path(index_path)
             if index_path is not None
             else self.registry_dir / DEFAULT_INDEX_FILENAME
+        )
+        self.members_path = (
+            Path(members_path) if members_path is not None else None
+        )
+        self.members_spec = (
+            load_members(self.members_path)
+            if self.members_path is not None
+            else None
+        )
+        self.members_digest = (
+            members_digest(self.members_spec)
+            if self.members_spec is not None
+            else None
         )
         self.index = RegistryIndex(self.index_path)
         self.cache = ResponseCache(cache_size)
@@ -292,6 +323,11 @@ class ServiceApp:
                     "status": "ok",
                     "registry": str(self.registry_dir),
                     "index_db": str(self.index_path),
+                    "members": (
+                        str(self.members_path)
+                        if self.members_path is not None
+                        else None
+                    ),
                 }
             ),
         )
@@ -422,6 +458,9 @@ class ServiceApp:
             return self._serve_results(
                 ws_id, path, self._mc_options(query), headers
             )
+        if verb == "group":
+            self._reject_unknown_params(query, ())
+            return self._serve_group(ws_id, path, headers)
         self._reject_unknown_params(query, ())
         return self._serve_screening(verb, ws_id, path, headers)
 
@@ -551,6 +590,58 @@ class ServiceApp:
             },
             "results": results,
         }
+
+    # -- group: the members-axis read-through ---------------------------
+
+    def _serve_group(
+        self,
+        ws_id: str,
+        path: Path,
+        headers: Mapping[str, str],
+    ) -> Response:
+        """The group-decision result under the configured roster.
+
+        Same read-through contract as ranking: the cache key (and the
+        ETag) is the workspace content hash × the evaluation
+        configuration hash, which for group runs folds in the member
+        roster digest — so editing the roster file and restarting the
+        server serves fresh results while every other cache row stays
+        valid.  On a miss the workspace evaluates through the stacked
+        members axis via :class:`~repro.core.runtime.ShardedRunner` and
+        the rows commit back through the index, byte-identical to what
+        ``repro group`` caches.
+        """
+        if self.members_spec is None:
+            raise ServiceError(
+                404,
+                "no member roster configured; start the service with "
+                "a members file (repro serve --members FILE)",
+            )
+        record = self._probe(ws_id, path)
+        options = BatchOptions(group=self.members_spec)
+        config_hash = eval_config_hash(options)
+        etag = make_etag("group", record.content_hash, config_hash)
+        key = ("group", record.content_hash, config_hash)
+
+        def build() -> bytes:
+            rows = self.index.lookup_results(record.content_hash, config_hash)
+            if rows is None:
+                rows = self._evaluate_through(ws_id, path, options, config_hash)
+            group_json = rows[0].group_json
+            if group_json is None:  # pragma: no cover - defensive
+                raise ServiceError(
+                    409, f"workspace {ws_id!r} has no group result"
+                )
+            return _dumps(
+                {
+                    "workspace": ws_id,
+                    "content_hash": record.content_hash,
+                    "members_digest": self.members_digest,
+                    "group": json.loads(group_json),
+                }
+            )
+
+        return self._finish(key, etag, headers, build)
 
     # -- dominance / rank intervals: engine-backed, LRU-cached ----------
 

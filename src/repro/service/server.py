@@ -128,10 +128,14 @@ class ServiceServer:
         index_path: Optional[Union[str, Path]] = None,
         cache_size: int = 1024,
         access_log: Optional[IO[str]] = sys.stderr,
+        members_path: Optional[Union[str, Path]] = None,
     ) -> None:
         """Build the app and bind the server (not yet serving)."""
         self.app = ServiceApp(
-            registry_dir, index_path=index_path, cache_size=cache_size
+            registry_dir,
+            index_path=index_path,
+            cache_size=cache_size,
+            members_path=members_path,
         )
         try:
             self.httpd = RegistryHTTPServer(

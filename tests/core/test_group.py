@@ -69,10 +69,6 @@ class TestAggregation:
 
     def test_mismatched_hierarchies(self, members):
         problem, group = members
-        other = make_small_problem(name="other")
-        import dataclasses
-
-        renamed_root = dataclasses.replace  # keep lint quiet
         from repro.core.hierarchy import Hierarchy, ObjectiveNode
 
         h2 = Hierarchy(
@@ -160,3 +156,231 @@ class TestGroupDecision:
         problem, _ = members
         with pytest.raises(ValueError):
             GroupDecision(problem, [])
+
+
+class TestSingleMemberGroup:
+    """A group of one: every aggregation collapses to the member."""
+
+    def test_aggregations_equal_member_intervals(self, members):
+        _, group = members
+        solo = [group[0]]
+        for method in ("intersection", "hull"):
+            ws = aggregate_weights(solo, method)
+            for node in ("cost", "quality", "battery life", "vendor support"):
+                assert ws.local_interval(node) == group[0].weights.local_interval(node)
+
+    def test_rankings_and_borda_collapse(self, members):
+        problem, group = members
+        gd = GroupDecision(problem, [group[0]])
+        member_ranking = gd.member_ranking("alice")
+        assert gd.borda() == member_ranking
+        assert gd.group_ranking("intersection") == member_ranking
+        assert gd.group_ranking("hull") == member_ranking
+
+    def test_disagreement_is_zero(self, members):
+        _, group = members
+        assert all(
+            score == 0.0 for score in disagreement([group[0]]).values()
+        )
+
+    def test_result_has_consensus(self, members):
+        problem, group = members
+        result = GroupDecision(problem, [group[0]]).result()
+        assert result.consensus is not None
+        assert result.disjoint == ()
+        assert result.n_members == 1
+
+
+class TestDisjointFallback:
+    """Empty intersections: the documented tolerant-hull fallback."""
+
+    @pytest.fixture()
+    def split_group(self, members):
+        problem, group = members
+        h = problem.hierarchy
+        # carol's cost/quality views share no point with the others
+        carol = member("carol", Interval(0.9, 0.95), Interval(0.05, 0.1),
+                       Interval(0.4, 0.6), Interval(0.4, 0.6), h)
+        return problem, group + [carol]
+
+    def test_group_ranking_raises_and_names_node(self, split_group):
+        problem, group = split_group
+        gd = GroupDecision(problem, group)
+        with pytest.raises(ValueError, match="irreconcilably.*cost"):
+            gd.group_ranking("intersection")
+
+    def test_result_falls_back_to_tolerant(self, split_group):
+        problem, group = split_group
+        result = GroupDecision(problem, group).result()
+        assert result.consensus is None
+        assert set(result.disjoint) == {"cost", "quality"}
+        assert result.best == result.tolerant[0]
+        assert result.member_rankings  # members still ranked individually
+
+    def test_disjoint_nodes_score_full_disagreement(self, split_group):
+        problem, group = split_group
+        scores = GroupDecision(problem, group).disagreement()
+        assert scores["cost"] == 1.0
+        assert scores["quality"] == 1.0
+
+    def test_hull_still_feasible(self, split_group):
+        problem, group = split_group
+        ranking = GroupDecision(problem, group).group_ranking("hull")
+        assert len(ranking) == len(problem.alternative_names)
+
+    def test_payload_round_trips_fallback(self, split_group):
+        import json
+
+        from repro.core.engine import GroupResult
+
+        problem, group = split_group
+        result = GroupDecision(problem, group).result()
+        restored = GroupResult.from_payload(
+            json.loads(json.dumps(result.to_payload()))
+        )
+        assert restored == result
+        assert restored.consensus is None
+
+
+class TestBordaTies:
+    def test_full_reversal_ties_break_by_name(self):
+        rankings = [("b", "c", "a"), ("a", "c", "b")]
+        # a and b tie on points; c holds the middle alone
+        assert borda_ranking(rankings) == ("a", "b", "c")
+
+    def test_three_way_tie_is_alphabetical(self):
+        rankings = [("a", "b", "c"), ("b", "c", "a"), ("c", "a", "b")]
+        assert borda_ranking(rankings) == ("a", "b", "c")
+
+    def test_tensor_borda_matches_on_tied_members(self, members):
+        problem, group = members
+        clones = [
+            GroupMember("x", group[0].weights),
+            GroupMember("y", group[0].weights),
+        ]
+        gd = GroupDecision(problem, clones)
+        assert gd.borda() == gd.member_ranking("x")
+
+
+class TestMemberSpecs:
+    """The repro-members/1 document layer."""
+
+    def make_doc(self):
+        return {
+            "format": "repro-members/1",
+            "members": [
+                {
+                    "name": "alice",
+                    "local": {
+                        "cost": [0.8, 1.2],
+                        "quality": [1.6, 2.4],
+                        "battery life": [0.8, 1.2],
+                        "vendor support": [0.8, 1.2],
+                    },
+                },
+                {
+                    "name": "bob",
+                    "local": {
+                        "cost": [1.6, 2.4],
+                        "quality": [0.8, 1.2],
+                        "battery life": [0.8, 1.2],
+                        "vendor support": [0.8, 1.2],
+                    },
+                },
+            ],
+        }
+
+    def test_parse_load_round_trip(self, tmp_path):
+        import json
+
+        from repro.core.group import load_members, parse_members_document
+
+        doc = self.make_doc()
+        path = tmp_path / "members.json"
+        path.write_text(json.dumps(doc))
+        assert load_members(path) == parse_members_document(doc)
+
+    def test_spec_resolves_to_group_members(self, members):
+        from repro.core.group import members_from_spec, parse_members_document
+
+        problem, _ = members
+        spec = parse_members_document(self.make_doc())
+        resolved = members_from_spec(spec, problem.hierarchy)
+        assert [m.name for m in resolved] == ["alice", "bob"]
+        gd = GroupDecision(problem, resolved)
+        assert gd.result().n_members == 2
+
+    def test_digest_stable_under_objective_order(self):
+        from repro.core.group import members_digest, parse_members_document
+
+        doc = self.make_doc()
+        shuffled = self.make_doc()
+        shuffled["members"][0]["local"] = dict(
+            reversed(list(shuffled["members"][0]["local"].items()))
+        )
+        assert members_digest(parse_members_document(doc)) == members_digest(
+            parse_members_document(shuffled)
+        )
+
+    def test_digest_changes_with_intervals(self):
+        from repro.core.group import members_digest, parse_members_document
+
+        doc = self.make_doc()
+        other = self.make_doc()
+        other["members"][0]["local"]["cost"] = [0.7, 1.3]
+        assert members_digest(parse_members_document(doc)) != members_digest(
+            parse_members_document(other)
+        )
+
+    @pytest.mark.parametrize(
+        "mutate, match",
+        [
+            (lambda d: d.update(format="repro-members/2"), "format"),
+            (lambda d: d.update(members=[]), "at least one"),
+            (lambda d: d["members"].append(d["members"][0]), "duplicate"),
+            (
+                lambda d: d["members"][0]["local"].update(cost=[0.5]),
+                "number pair",
+            ),
+            (
+                lambda d: d["members"][0]["local"].update(cost=[0.9, 0.1]),
+                "exceeds",
+            ),
+            (lambda d: d["members"][0].pop("local"), "local"),
+            (lambda d: d["members"][0].update(name=""), "name"),
+            (lambda d: d["members"][0].update(extra=1), "unknown field"),
+        ],
+    )
+    def test_invalid_documents_rejected(self, mutate, match):
+        from repro.core.group import parse_members_document
+
+        doc = self.make_doc()
+        mutate(doc)
+        with pytest.raises(ValueError, match=match):
+            parse_members_document(doc)
+
+    def test_spec_mismatching_hierarchy_raises(self, members):
+        from repro.core.group import members_from_spec, parse_members_document
+
+        problem, _ = members
+        doc = self.make_doc()
+        for entry in doc["members"]:
+            entry["local"]["made up objective"] = [0.8, 1.2]
+        with pytest.raises(ValueError):
+            members_from_spec(
+                parse_members_document(doc), problem.hierarchy
+            )
+
+    def test_roster_cache_reuses_structural_twins(self, members):
+        from repro.core.group import (
+            compiled_roster_for,
+            parse_members_document,
+        )
+
+        _, _ = members
+        spec = parse_members_document(self.make_doc())
+        first = make_small_problem(name="one")
+        twin = make_small_problem(missing_cell=True, name="two")
+        assert compiled_roster_for(spec, first.hierarchy) is compiled_roster_for(
+            spec, twin.hierarchy
+        )

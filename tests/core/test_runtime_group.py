@@ -1,0 +1,178 @@
+"""The sharded runtime's member-roster path and its index round-trip."""
+
+import json
+
+import pytest
+
+from repro.core import workspace
+from repro.core.engine import GroupResult
+from repro.core.group import (
+    GroupDecision,
+    members_digest,
+    members_from_spec,
+    parse_members_document,
+)
+from repro.core.index import RegistryIndex, eval_config_hash
+from repro.core.runtime import BatchOptions, ShardedRunner
+
+from ..conftest import make_small_problem
+
+
+def write_registry(tmp_path, n=6):
+    paths = []
+    for i in range(n):
+        problem = make_small_problem(
+            missing_cell=(i % 2 == 0), name=f"ws-{i:02d}"
+        )
+        path = tmp_path / f"ws-{i:02d}.json"
+        workspace.save(problem, path)
+        paths.append(str(path))
+    return paths
+
+
+def make_spec(n_members=3):
+    members = []
+    for k in range(n_members):
+        local = {}
+        for i, node in enumerate(
+            ("cost", "quality", "battery life", "vendor support")
+        ):
+            factor = 1.0 + 0.2 * ((k + i) % 3)
+            local[node] = [0.8 * factor, 1.2 * factor]
+        members.append({"name": f"dm-{k}", "local": local})
+    return parse_members_document(
+        {"format": "repro-members/1", "members": members}
+    )
+
+
+@pytest.fixture()
+def registry(tmp_path):
+    return write_registry(tmp_path)
+
+
+@pytest.fixture()
+def spec():
+    return make_spec()
+
+
+class TestGroupRuns:
+    def test_every_result_carries_group_json(self, registry, spec):
+        report = ShardedRunner(
+            workers=1, options=BatchOptions(group=spec)
+        ).run(registry)
+        assert len(report.results) == len(registry)
+        assert all(r.group_json for r in report.results)
+
+    def test_identical_across_worker_counts(self, registry, spec):
+        options = BatchOptions(group=spec)
+        single = ShardedRunner(workers=1, options=options).run(registry)
+        sharded = ShardedRunner(
+            workers=2, chunk_size=2, options=options
+        ).run(registry)
+        assert single.results == sharded.results
+
+    def test_matches_group_decision_exactly(self, registry, spec):
+        report = ShardedRunner(
+            workers=1, options=BatchOptions(group=spec)
+        ).run(registry)
+        for result in report.results:
+            problem = workspace.load(result.path)
+            expected = GroupDecision(
+                problem, members_from_spec(spec, problem.hierarchy)
+            ).result()
+            assert (
+                GroupResult.from_payload(json.loads(result.group_json))
+                == expected
+            )
+
+    def test_group_conflicts_with_objectives(self, registry, spec):
+        runner = ShardedRunner(
+            workers=1, options=BatchOptions(group=spec, objectives=True)
+        )
+        with pytest.raises(ValueError, match="mutually exclusive"):
+            runner.run(registry)
+
+    def test_mismatching_workspace_is_skipped(self, tmp_path, registry, spec):
+        from repro.casestudy.problem import multimedia_problem
+
+        alien = tmp_path / "alien.json"
+        workspace.save(multimedia_problem(), alien)
+        report = ShardedRunner(
+            workers=1, options=BatchOptions(group=spec)
+        ).run(registry + [str(alien)])
+        assert len(report.results) == len(registry)
+        assert len(report.skipped) == 1
+        assert report.skipped[0].path == str(alien)
+
+    def test_group_rides_with_monte_carlo(self, registry, spec):
+        report = ShardedRunner(
+            workers=1,
+            options=BatchOptions(group=spec, simulations=64, seed=7),
+        ).run(registry)
+        assert all(
+            r.group_json and r.ever_best is not None for r in report.results
+        )
+
+
+class TestGroupConfigHash:
+    def test_group_key_absent_without_roster(self):
+        assert eval_config_hash(BatchOptions()) == eval_config_hash(
+            BatchOptions(group=None)
+        )
+
+    def test_group_changes_hash(self, spec):
+        assert eval_config_hash(BatchOptions(group=spec)) != eval_config_hash(
+            BatchOptions()
+        )
+
+    def test_distinct_rosters_distinct_hashes(self, spec):
+        other = make_spec(n_members=4)
+        assert members_digest(spec) != members_digest(other)
+        assert eval_config_hash(BatchOptions(group=spec)) != eval_config_hash(
+            BatchOptions(group=other)
+        )
+
+
+class TestGroupIndexRoundTrip:
+    def test_cached_rows_identical_to_fresh(self, tmp_path, registry, spec):
+        options = BatchOptions(group=spec)
+        with RegistryIndex(tmp_path / "idx.sqlite") as index:
+            cold = ShardedRunner(workers=1, options=options).run(
+                registry, index=index
+            )
+            warm = ShardedRunner(workers=1, options=options).run(
+                registry, index=index
+            )
+        assert cold.n_cached == 0
+        assert warm.n_cached == len(registry)
+        assert cold.results == warm.results
+
+    def test_group_rows_do_not_alias_plain_rows(self, tmp_path, registry, spec):
+        with RegistryIndex(tmp_path / "idx.sqlite") as index:
+            ShardedRunner(workers=1, options=BatchOptions(group=spec)).run(
+                registry, index=index
+            )
+            plain = ShardedRunner(workers=1, options=BatchOptions()).run(
+                registry, index=index
+            )
+            assert plain.n_cached == 0  # separate configuration keys
+            status = index.status()
+        assert status["n_group_rows"] == len(registry)
+        assert status["n_result_rows"] == 2 * len(registry)
+
+    def test_roster_edit_invalidates_only_group_rows(
+        self, tmp_path, registry, spec
+    ):
+        other = make_spec(n_members=4)
+        with RegistryIndex(tmp_path / "idx.sqlite") as index:
+            ShardedRunner(workers=1, options=BatchOptions(group=spec)).run(
+                registry, index=index
+            )
+            changed = ShardedRunner(
+                workers=1, options=BatchOptions(group=other)
+            ).run(registry, index=index)
+            again = ShardedRunner(
+                workers=1, options=BatchOptions(group=spec)
+            ).run(registry, index=index)
+        assert changed.n_cached == 0
+        assert again.n_cached == len(registry)

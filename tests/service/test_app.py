@@ -424,3 +424,105 @@ class TestMetrics:
         )
         payload = body(get(app, "/metrics"))
         assert payload["requests"]["not_modified"] == 1
+
+
+def write_members(tmp_path, n_members=3):
+    members = []
+    for k in range(n_members):
+        local = {}
+        for i, node in enumerate(
+            ("cost", "quality", "battery life", "vendor support")
+        ):
+            factor = 1.0 + 0.2 * ((k + i) % 3)
+            local[node] = [0.8 * factor, 1.2 * factor]
+        members.append({"name": f"dm-{k}", "local": local})
+    path = tmp_path / "members.json"
+    path.write_text(
+        json.dumps({"format": "repro-members/1", "members": members})
+    )
+    return path
+
+
+@pytest.fixture()
+def group_app(tmp_path, tmp_path_factory, registry):
+    # the roster lives OUTSIDE the registry tree: it is configuration,
+    # not a workspace, and must not show up in the registry listing
+    members_path = write_members(tmp_path_factory.mktemp("roster"), 3)
+    with ServiceApp(tmp_path, members_path=members_path) as service_app:
+        yield service_app
+
+
+class TestGroupEndpoint:
+    def test_group_result_matches_group_decision(self, group_app, registry):
+        from repro.core.engine import GroupResult
+        from repro.core.group import (
+            GroupDecision,
+            load_members,
+            members_from_spec,
+        )
+
+        response = get(group_app, "/v1/workspaces/ws-01/group")
+        assert response.status == 200
+        payload = body(response)
+        problem = workspace.load(registry[1])
+        spec = load_members(group_app.members_path)
+        expected = GroupDecision(
+            problem, members_from_spec(spec, problem.hierarchy)
+        ).result()
+        assert GroupResult.from_payload(payload["group"]) == expected
+        assert payload["members_digest"] == group_app.members_digest
+
+    def test_without_roster_404(self, app):
+        response = get(app, "/v1/workspaces/ws-00/group")
+        assert response.status == 404
+        assert "no member roster" in body(response)["error"]
+
+    def test_etag_304_and_cache_hit(self, group_app):
+        first = get(group_app, "/v1/workspaces/ws-00/group")
+        etag = first.headers["ETag"]
+        again = get(group_app, "/v1/workspaces/ws-00/group")
+        assert again.headers["X-Cache"] == "hit"
+        assert again.body == first.body
+        not_modified = group_app.handle(
+            "GET", "/v1/workspaces/ws-00/group", {"If-None-Match": etag}
+        )
+        assert not_modified.status == 304
+
+    def test_read_through_shares_cache_with_group_runs(
+        self, tmp_path, registry, group_app
+    ):
+        """Rows a `repro group` run commits serve byte-identically."""
+        from repro.core.group import load_members
+        from repro.core.runtime import BatchOptions, ShardedRunner
+
+        spec = load_members(group_app.members_path)
+        ShardedRunner(workers=1, options=BatchOptions(group=spec)).run(
+            [str(p) for p in registry], index=group_app.index
+        )
+        warm = get(group_app, "/v1/workspaces/ws-02/group")
+        assert warm.status == 200
+        # the served rows ARE the committed rows: evaluate independently
+        with ServiceApp(
+            tmp_path, members_path=group_app.members_path
+        ) as fresh_app:
+            fresh = get(fresh_app, "/v1/workspaces/ws-02/group")
+        assert fresh.body == warm.body
+
+    def test_query_params_rejected(self, group_app):
+        response = get(group_app, "/v1/workspaces/ws-00/group?simulations=5")
+        assert response.status == 400
+
+    def test_group_etag_differs_from_ranking_etag(self, group_app):
+        ranking = get(group_app, "/v1/workspaces/ws-00/ranking")
+        group = get(group_app, "/v1/workspaces/ws-00/group")
+        assert ranking.headers["ETag"] != group.headers["ETag"]
+
+    def test_healthz_reports_members(self, group_app):
+        payload = body(get(group_app, "/healthz"))
+        assert payload["members"] == str(group_app.members_path)
+
+    def test_malformed_roster_fails_boot(self, tmp_path, registry):
+        bad = tmp_path / "bad-members.json"
+        bad.write_text('{"format": "nope"}')
+        with pytest.raises(ValueError, match="format"):
+            ServiceApp(tmp_path, members_path=bad)

@@ -1,0 +1,161 @@
+"""Gates for the benchmark-trajectory checker (tools/check_bench.py)."""
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+ROOT = Path(__file__).resolve().parent.parent
+
+_spec = importlib.util.spec_from_file_location(
+    "check_bench", ROOT / "tools" / "check_bench.py"
+)
+check_bench = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(check_bench)
+
+
+@pytest.fixture(scope="module")
+def floors():
+    return check_bench.load_floors()
+
+
+class TestCommittedFloors:
+    def test_floors_file_covers_every_schema(self, floors):
+        assert check_bench.check_floors_file(floors) == []
+        assert set(floors) == set(check_bench.SCHEMAS)
+
+    def test_group_floor_tracks_the_8x_gate(self, floors):
+        # the committed trajectory floor must sit at or above the
+        # benchmark's own hard gate — otherwise the regression check
+        # is weaker than the bench itself
+        assert floors["BENCH_group.json"]["speedup"] >= 8.0
+
+    def test_incomplete_floors_rejected(self, floors):
+        broken = {k: v for k, v in floors.items() if k != "BENCH_group.json"}
+        errors = check_bench.check_floors_file(broken)
+        assert any("no committed floor" in e for e in errors)
+
+    def test_unknown_floor_rejected(self, floors):
+        extra = dict(floors)
+        extra["BENCH_mystery.json"] = {"speedup": 1.0}
+        errors = check_bench.check_floors_file(extra)
+        assert any("unknown artifact" in e for e in errors)
+
+
+class TestArtifactValidation:
+    def write(self, tmp_path, name, payload):
+        path = tmp_path / name
+        path.write_text(json.dumps(payload))
+        return path
+
+    def group_payload(self, **overrides):
+        payload = {
+            "n_workspaces": 200,
+            "n_members": 20,
+            "speedup": 18.0,
+            "identical_to_scalar_loop": True,
+            "min_speedup_floor": 8.0,
+        }
+        payload.update(overrides)
+        return payload
+
+    def test_valid_artifact_passes(self, tmp_path, floors):
+        path = self.write(tmp_path, "BENCH_group.json", self.group_payload())
+        assert check_bench.check_artifact(path, floors) == []
+
+    def test_unknown_artifact_fails(self, tmp_path):
+        path = self.write(tmp_path, "BENCH_mystery.json", {})
+        errors = check_bench.check_artifact(path)
+        assert errors and "unknown benchmark artifact" in errors[0]
+
+    def test_missing_key_fails(self, tmp_path):
+        payload = self.group_payload()
+        del payload["speedup"]
+        path = self.write(tmp_path, "BENCH_group.json", payload)
+        errors = check_bench.check_artifact(path)
+        assert any("missing required key 'speedup'" in e for e in errors)
+
+    def test_wrong_type_fails(self, tmp_path):
+        path = self.write(
+            tmp_path,
+            "BENCH_group.json",
+            self.group_payload(identical_to_scalar_loop="yes"),
+        )
+        errors = check_bench.check_artifact(path)
+        assert any("must be bool" in e for e in errors)
+
+    def test_false_correctness_flag_fails(self, tmp_path):
+        path = self.write(
+            tmp_path,
+            "BENCH_group.json",
+            self.group_payload(identical_to_scalar_loop=False),
+        )
+        errors = check_bench.check_artifact(path)
+        assert any("correctness flag" in e for e in errors)
+
+    def test_below_declared_floor_fails(self, tmp_path):
+        path = self.write(
+            tmp_path, "BENCH_group.json", self.group_payload(speedup=7.5)
+        )
+        errors = check_bench.check_artifact(path)
+        assert any("below the declared floor" in e for e in errors)
+
+    def test_malformed_json_fails(self, tmp_path):
+        path = tmp_path / "BENCH_group.json"
+        path.write_text("{not json")
+        errors = check_bench.check_artifact(path)
+        assert errors and "unreadable" in errors[0]
+
+
+class TestRegressionGate:
+    def test_regression_beyond_20_percent_fails(self, tmp_path, floors):
+        baseline = floors["BENCH_group.json"]["speedup"]
+        fresh = {
+            "n_workspaces": 200,
+            "n_members": 20,
+            "speedup": baseline * 0.7,  # 30% below the committed floor
+            "identical_to_scalar_loop": True,
+            "min_speedup_floor": 1.0,  # keeps the declared-floor gate quiet
+        }
+        path = tmp_path / "BENCH_group.json"
+        path.write_text(json.dumps(fresh))
+        errors = check_bench.check_artifact(path, floors)
+        assert any("regressed more than 20%" in e for e in errors)
+
+    def test_small_regression_within_tolerance_passes(self, tmp_path, floors):
+        baseline = floors["BENCH_group.json"]["speedup"]
+        fresh = {
+            "n_workspaces": 200,
+            "n_members": 20,
+            "speedup": baseline * 0.9,
+            "identical_to_scalar_loop": True,
+            "min_speedup_floor": 8.0,
+        }
+        path = tmp_path / "BENCH_group.json"
+        path.write_text(json.dumps(fresh))
+        assert check_bench.check_artifact(path, floors) == []
+
+    def test_ci_mode_requires_every_artifact(self, tmp_path, floors):
+        errors = check_bench.check_directory(tmp_path, floors)
+        missing = {e.split(":")[0] for e in errors}
+        assert missing == set(check_bench.SCHEMAS)
+
+    def test_self_check_mode_tolerates_absent_artifacts(
+        self, tmp_path, floors
+    ):
+        assert (
+            check_bench.check_directory(tmp_path, floors, require_all=False)
+            == []
+        )
+
+    def test_cli_self_check_passes(self):
+        # validates the floors file plus whatever artifacts exist locally
+        assert check_bench.main([]) == 0
+
+    def test_fresh_group_artifact_holds_the_committed_floor(self, floors):
+        """The artifact this PR's benchmark run produced clears its floor."""
+        artifact = ROOT / "BENCH_group.json"
+        if not artifact.is_file():
+            pytest.skip("BENCH_group.json not generated in this checkout")
+        assert check_bench.check_artifact(artifact, floors) == []

@@ -187,3 +187,146 @@ class TestCommands:
     def test_workspace_save_needs_path(self, capsys):
         with pytest.raises(SystemExit):
             main(["workspace", "save"])
+
+
+def write_group_fixture(tmp_path):
+    """(registry dir, members file) for group CLI tests."""
+    import json
+
+    from repro.core import workspace
+
+    from .conftest import make_small_problem
+
+    registry = tmp_path / "registry"
+    registry.mkdir()
+    for i in range(4):
+        workspace.save(
+            make_small_problem(missing_cell=(i % 2 == 0), name=f"ws-{i:02d}"),
+            registry / f"ws-{i:02d}.json",
+        )
+    members = []
+    for k in range(3):
+        local = {}
+        for i, node in enumerate(
+            ("cost", "quality", "battery life", "vendor support")
+        ):
+            factor = 1.0 + 0.2 * ((k + i) % 3)
+            local[node] = [0.8 * factor, 1.2 * factor]
+        members.append({"name": f"dm-{k}", "local": local})
+    members_path = tmp_path / "members.json"
+    members_path.write_text(
+        json.dumps({"format": "repro-members/1", "members": members})
+    )
+    return registry, members_path
+
+
+class TestGroupCommand:
+    def test_group_table_over_registry(self, capsys, tmp_path):
+        registry, members = write_group_fixture(tmp_path)
+        code, out = run_cli(
+            capsys, "group", "--registry", str(registry),
+            "--members", str(members),
+        )
+        assert code == 0
+        assert "group best" in out and "borda best" in out
+        assert out.count("ws-0") >= 4
+        assert "evaluated 4 workspace(s) under 3 member(s)" in out
+
+    def test_group_second_run_serves_from_cache(self, capsys, tmp_path):
+        registry, members = write_group_fixture(tmp_path)
+        code1, out1 = run_cli(
+            capsys, "group", "--registry", str(registry),
+            "--members", str(members),
+        )
+        code2, out2 = run_cli(
+            capsys, "group", "--registry", str(registry),
+            "--members", str(members),
+        )
+        assert (code1, code2) == (0, 0)
+        assert "4 served from cache" in out2
+        # identical table either way
+        assert out1.splitlines()[:6] == out2.splitlines()[:6]
+
+    def test_group_no_cache_leaves_no_index(self, capsys, tmp_path):
+        registry, members = write_group_fixture(tmp_path)
+        code, _ = run_cli(
+            capsys, "group", "--registry", str(registry),
+            "--members", str(members), "--no-cache",
+        )
+        assert code == 0
+        assert not (registry / ".repro-index.sqlite").exists()
+
+    def test_group_missing_members_file(self, capsys, tmp_path):
+        registry, _ = write_group_fixture(tmp_path)
+        with pytest.raises(SystemExit, match="members"):
+            run_cli(
+                capsys, "group", "--registry", str(registry),
+                "--members", str(tmp_path / "absent.json"),
+            )
+
+    def test_group_bad_registry(self, capsys, tmp_path):
+        _, members = write_group_fixture(tmp_path)
+        with pytest.raises(SystemExit, match="registry"):
+            run_cli(
+                capsys, "group", "--registry", str(tmp_path / "nope"),
+                "--members", str(members),
+            )
+
+
+class TestBatchGroup:
+    def test_batch_group_columns(self, capsys, tmp_path):
+        registry, members = write_group_fixture(tmp_path)
+        workspaces = sorted(str(p) for p in registry.glob("*.json"))
+        code, out = run_cli(
+            capsys, "batch", "--group", str(members), *workspaces
+        )
+        assert code == 0
+        assert "group best" in out and "borda best" in out
+
+    def test_batch_group_conflicts_with_objectives(self, capsys, tmp_path):
+        registry, members = write_group_fixture(tmp_path)
+        workspaces = sorted(str(p) for p in registry.glob("*.json"))
+        with pytest.raises(SystemExit, match="conflicts"):
+            run_cli(
+                capsys, "batch", "--group", str(members), "--objectives",
+                *workspaces,
+            )
+
+    def test_batch_group_requires_workspaces(self, capsys, tmp_path):
+        _, members = write_group_fixture(tmp_path)
+        with pytest.raises(SystemExit, match="explicit"):
+            run_cli(capsys, "batch", "--group", str(members))
+
+    def test_group_no_cache_conflicts_with_refresh(self, capsys, tmp_path):
+        registry, members = write_group_fixture(tmp_path)
+        with pytest.raises(SystemExit, match="no-cache conflicts"):
+            run_cli(
+                capsys, "group", "--registry", str(registry),
+                "--members", str(members), "--no-cache", "--refresh",
+            )
+
+
+class TestServeMembersValidation:
+    def test_missing_members_file_is_not_a_bind_error(self, tmp_path):
+        from repro.cli import main
+
+        registry = tmp_path / "registry"
+        registry.mkdir()
+        with pytest.raises(SystemExit, match="members file"):
+            main([
+                "serve", "--registry", str(registry),
+                "--members", str(tmp_path / "absent.json"), "--port", "0",
+            ])
+
+    def test_malformed_members_file_reported(self, tmp_path):
+        from repro.cli import main
+
+        registry = tmp_path / "registry"
+        registry.mkdir()
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"format": "nope"}')
+        with pytest.raises(SystemExit, match="members file"):
+            main([
+                "serve", "--registry", str(registry),
+                "--members", str(bad), "--port", "0",
+            ])

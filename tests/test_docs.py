@@ -19,6 +19,7 @@ DOC_PAGES = (
     "architecture.md",
     "cli.md",
     "caching.md",
+    "group.md",
     "paper-map.md",
     "service.md",
 )
@@ -77,6 +78,7 @@ class TestDocsTree:
 
 DOCSTRING_MODULES = (
     "core/engine",
+    "core/group",
     "core/runtime",
     "core/workspace",
     "core/index",

@@ -1,0 +1,253 @@
+#!/usr/bin/env python
+"""Benchmark trajectory checks, runnable locally and in CI.
+
+Every benchmark emits a ``BENCH_*.json`` artifact recording what it
+measured and the floor it gates.  This tool is the CI
+``bench-trajectory`` job's brain — it
+
+1. **validates** each artifact against a small schema (required keys,
+   value types, correctness flags that must be true),
+2. **gates the floor** the artifact itself declares (e.g.
+   ``speedup >= min_speedup_floor``), and
+3. **gates the trajectory**: the fresh metric must not regress more
+   than 20 % below the committed floors in ``benchmarks/floors.json``
+   (``BENCH_*.json`` artifacts themselves are generated, gitignored
+   files — the floors file is the versioned baseline).
+
+Run against freshly produced artifacts (every registered artifact must
+be present)::
+
+    python tools/check_bench.py --artifacts path/to/downloaded
+
+or with no arguments to self-check whatever artifacts exist at the
+repository root plus the floors file's consistency::
+
+    python tools/check_bench.py
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Dict, List, Optional
+
+ROOT = Path(__file__).resolve().parent.parent
+
+#: The versioned baseline the trajectory gate compares against.
+FLOORS_PATH = ROOT / "benchmarks" / "floors.json"
+
+#: How far below the committed floor a fresh run may land before the
+#: trajectory job fails (20 %).
+REGRESSION_TOLERANCE = 0.20
+
+_NUMBER = "number"
+_BOOL = "bool"
+_INT = "int"
+
+#: Per-artifact schema: required keys with types, the primary metric,
+#: the floor key it must clear, and flags that must be true.
+SCHEMAS: Dict[str, Dict[str, object]] = {
+    "BENCH_sharded_batch.json": {
+        "required": {
+            "n_workspaces": _INT,
+            "speedup_eval": _NUMBER,
+            "speedup_mc": _NUMBER,
+            "identical_across_worker_counts": _BOOL,
+            "matches_sequential_reference": _BOOL,
+            "min_speedup_floor": _NUMBER,
+        },
+        "metric": "speedup_eval",
+        "floor": "min_speedup_floor",
+        "must_be_true": (
+            "identical_across_worker_counts",
+            "matches_sequential_reference",
+        ),
+    },
+    "BENCH_registry_index.json": {
+        "required": {
+            "n_workspaces": _INT,
+            "speedup_warm": _NUMBER,
+            "byte_identical_warm_output": _BOOL,
+            "matches_no_cache_output": _BOOL,
+            "min_speedup_floor": _NUMBER,
+        },
+        "metric": "speedup_warm",
+        "floor": "min_speedup_floor",
+        "must_be_true": (
+            "byte_identical_warm_output",
+            "matches_no_cache_output",
+        ),
+    },
+    "BENCH_service.json": {
+        "required": {
+            "throughput_rps": _NUMBER,
+            "speedup_warm_over_cold": _NUMBER,
+            "byte_identical_warm_responses": _BOOL,
+            "min_throughput_floor_rps": _NUMBER,
+            "min_warm_over_cold_floor": _NUMBER,
+        },
+        "metric": "throughput_rps",
+        "floor": "min_throughput_floor_rps",
+        "must_be_true": ("byte_identical_warm_responses",),
+    },
+    "BENCH_group.json": {
+        "required": {
+            "n_workspaces": _INT,
+            "n_members": _INT,
+            "speedup": _NUMBER,
+            "identical_to_scalar_loop": _BOOL,
+            "min_speedup_floor": _NUMBER,
+        },
+        "metric": "speedup",
+        "floor": "min_speedup_floor",
+        "must_be_true": ("identical_to_scalar_loop",),
+    },
+}
+
+
+def _type_ok(value: object, kind: str) -> bool:
+    """Schema type check; bools never masquerade as numbers."""
+    if kind == _BOOL:
+        return isinstance(value, bool)
+    if kind == _INT:
+        return isinstance(value, int) and not isinstance(value, bool)
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def load_floors(path: Optional[Path] = None) -> Dict[str, Dict[str, float]]:
+    """The committed floors, keyed by artifact name (``_comment`` aside)."""
+    payload = json.loads((path or FLOORS_PATH).read_text())
+    return {
+        name: floors
+        for name, floors in payload.items()
+        if not name.startswith("_")
+    }
+
+
+def check_floors_file(floors: Dict[str, Dict[str, float]]) -> List[str]:
+    """The floors file must cover every schema's primary metric."""
+    errors = []
+    for name, schema in SCHEMAS.items():
+        entry = floors.get(name)
+        if entry is None:
+            errors.append(f"floors.json: no committed floor for {name}")
+        elif not _type_ok(entry.get(schema["metric"]), _NUMBER):
+            errors.append(
+                f"floors.json: {name} needs a numeric "
+                f"{schema['metric']!r} floor"
+            )
+    for name in sorted(set(floors) - set(SCHEMAS)):
+        errors.append(
+            f"floors.json: floor for unknown artifact {name} "
+            "(register in SCHEMAS)"
+        )
+    return errors
+
+
+def check_artifact(
+    path: Path,
+    floors: Optional[Dict[str, Dict[str, float]]] = None,
+) -> List[str]:
+    """All failures for one artifact file (empty list = pass)."""
+    name = path.name
+    schema = SCHEMAS.get(name)
+    if schema is None:
+        return [f"{name}: unknown benchmark artifact (register in SCHEMAS)"]
+    try:
+        payload = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        return [f"{name}: unreadable artifact: {exc}"]
+    if not isinstance(payload, dict):
+        return [f"{name}: artifact must be a JSON object"]
+
+    errors: List[str] = []
+    for key, kind in schema["required"].items():
+        if key not in payload:
+            errors.append(f"{name}: missing required key {key!r}")
+        elif not _type_ok(payload[key], kind):
+            errors.append(
+                f"{name}: key {key!r} must be {kind}, "
+                f"got {payload[key]!r}"
+            )
+    if errors:
+        return errors
+
+    for flag in schema["must_be_true"]:
+        if payload[flag] is not True:
+            errors.append(f"{name}: correctness flag {flag!r} is false")
+    metric, floor = payload[schema["metric"]], payload[schema["floor"]]
+    if metric < floor:
+        errors.append(
+            f"{name}: {schema['metric']} {metric:.2f} is below the "
+            f"declared floor {floor:.2f}"
+        )
+    if floors is not None:
+        baseline = floors.get(name, {}).get(schema["metric"])
+        if _type_ok(baseline, _NUMBER):
+            allowed = (1.0 - REGRESSION_TOLERANCE) * baseline
+            if metric < allowed:
+                errors.append(
+                    f"{name}: {schema['metric']} {metric:.2f} regressed "
+                    f"more than {REGRESSION_TOLERANCE:.0%} below the "
+                    f"committed floor {baseline:.2f} "
+                    f"(allowed >= {allowed:.2f})"
+                )
+    return errors
+
+
+def check_directory(
+    artifacts: Path,
+    floors: Dict[str, Dict[str, float]],
+    require_all: bool = True,
+) -> List[str]:
+    """Failures across one artifact directory.
+
+    ``require_all`` (the CI mode) also fails when a registered
+    benchmark produced no artifact at all.
+    """
+    errors: List[str] = []
+    seen = set()
+    for path in sorted(artifacts.rglob("BENCH_*.json")):
+        seen.add(path.name)
+        errors.extend(check_artifact(path, floors))
+    if require_all:
+        for missing in sorted(set(SCHEMAS) - seen):
+            errors.append(f"{missing}: artifact was not produced")
+    return errors
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; exit 1 on any validation or regression failure."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--artifacts",
+        metavar="DIR",
+        default=None,
+        help=(
+            "directory of freshly produced BENCH_*.json files; every "
+            "registered benchmark must be present (default: self-check "
+            "whatever artifacts exist at the repository root)"
+        ),
+    )
+    args = parser.parse_args(argv)
+    floors = load_floors()
+    errors = check_floors_file(floors)
+    artifacts = Path(args.artifacts) if args.artifacts else ROOT
+    errors += check_directory(
+        artifacts, floors, require_all=args.artifacts is not None
+    )
+    for error in errors:
+        print(f"FAIL {error}")
+    if not errors:
+        print(
+            f"OK   benchmark artifacts validate, clear their declared "
+            f"floors and hold the committed trajectory "
+            f"({len(SCHEMAS)} registered)"
+        )
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
