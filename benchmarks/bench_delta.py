@@ -1,0 +1,193 @@
+"""Delta compilation — absorb a one-cell edit without full recompute.
+
+PR 5's registry index made unchanged registries nearly free, but any
+edit — even a single performance cell — still re-parsed, re-compiled
+and re-evaluated the whole touched workspace from scratch, and the
+other N-1 workspaces still paid a full run's orchestration.  The delta
+runtime (schema v3 sub-problem fingerprints in :mod:`repro.core.index`
+plus :func:`repro.core.workspace.load_compiled_delta` /
+:func:`repro.core.engine.delta_compile`) diffs the stored per-component
+hashes against the edited file, patches only the changed rows of the
+persisted compiled arrays and re-evaluates just that workspace
+in-process.
+
+This benchmark builds the same ~200-workspace synthetic registry as
+``bench_sharded_batch.py``, warms the index, then repeatedly mutates
+exactly one performance cell of one workspace and asserts
+
+* the delta run is >= 10x faster than a full ``--no-cache`` recompute
+  of the registry,
+* the delta run's CLI output is **byte-identical** to the full
+  recompute's over the same (mutated) registry, and its merged results
+  are identical to a forced ``refresh`` re-evaluation, and
+* exactly one workspace takes the delta path while the other N-1 are
+  served from the index (``n_delta == 1``, ``n_cached == N-1``).
+
+It emits a ``BENCH_delta.json`` trajectory artifact (uploaded by CI).
+Runs standalone (CI smoke)::
+
+    PYTHONPATH=src python benchmarks/bench_delta.py
+
+or under pytest (``pytest benchmarks/bench_delta.py -s``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+try:  # allow standalone execution without a PYTHONPATH export
+    import repro  # noqa: F401
+except ImportError:  # pragma: no cover - path bootstrap
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from bench_registry_index import cli_batch
+from bench_sharded_batch import build_registry
+
+from repro.core.index import (
+    RECORDING_WINDOW_NS,
+    RegistryIndex,
+    default_index_path,
+)
+from repro.core.runtime import BatchOptions, ShardedRunner
+
+N_WORKSPACES = 200
+MIN_SPEEDUP = 10.0
+ARTIFACT = "BENCH_delta.json"
+DELTA_REPEATS = 3
+FULL_REPEATS = 2
+
+
+def mutate_one_cell(path: Path, repeat: int) -> None:
+    """Change exactly one performance cell to a different valid value.
+
+    The replacement value is borrowed from another alternative's cell
+    for the same attribute (so it is guaranteed to sit on that
+    attribute's scale); ``repeat`` rotates which attribute is edited so
+    successive mutations touch different cells.
+    """
+    data = json.loads(path.read_text())
+    alts = data["alternatives"]
+    attrs = sorted(alts[0]["performances"])
+    for offset in range(len(attrs)):
+        attr = attrs[(repeat + offset) % len(attrs)]
+        current = alts[0]["performances"][attr]
+        for donor in alts[1:]:
+            value = donor["performances"].get(attr)
+            if value is not None and value != current:
+                alts[0]["performances"][attr] = value
+                path.write_text(json.dumps(data, indent=2, sort_keys=True))
+                return
+    raise AssertionError("registry degenerate: no mutable cell found")
+
+
+def run(n_workspaces: int = N_WORKSPACES, verbose: bool = True) -> dict:
+    with tempfile.TemporaryDirectory(prefix="delta-registry-") as tmp:
+        tmp = Path(tmp)
+        paths = build_registry(tmp, n_workspaces)
+
+        # --- cold run: warms the index and the .npz artifacts --------
+        cli_batch(paths)
+        # Let the rows age out of the recording window (see
+        # repro.core.index.RECORDING_WINDOW_NS), then re-stamp them
+        # with one warm run: steady-state probes of unchanged files
+        # now take the pure stat fast path, the regime a long-lived
+        # registry lives in.
+        time.sleep(RECORDING_WINDOW_NS / 1e9 + 0.1)
+        cli_batch(paths)
+
+        # --- baseline: full recompute of the whole registry ----------
+        # --no-cache --no-disk-cache bypasses the whole caching stack:
+        # every workspace re-parses, re-compiles and re-evaluates, the
+        # cost an edit used to impose before delta compilation.
+        t_full = None
+        for _ in range(FULL_REPEATS):
+            t0 = time.perf_counter()
+            cli_batch(paths, "--no-cache", "--no-disk-cache")
+            elapsed = time.perf_counter() - t0
+            t_full = elapsed if t_full is None else min(t_full, elapsed)
+
+        # --- delta runs: one-cell edit, then an indexed run ----------
+        t_delta = None
+        byte_identical = True
+        for repeat in range(DELTA_REPEATS):
+            mutate_one_cell(paths[0], repeat)
+            t0 = time.perf_counter()
+            delta_out = cli_batch(paths)
+            elapsed = time.perf_counter() - t0
+            t_delta = elapsed if t_delta is None else min(t_delta, elapsed)
+            full_out = cli_batch(paths, "--no-cache")
+            byte_identical = byte_identical and delta_out == full_out
+
+        # --- accounting: the edit takes the delta path, N-1 cache ----
+        db_path = default_index_path([str(p) for p in paths])
+        with RegistryIndex(db_path) as index:
+            runner = ShardedRunner(workers=1, options=BatchOptions())
+            warm = runner.run(paths, index=index)
+            mutate_one_cell(paths[0], DELTA_REPEATS)
+            partial = runner.run(paths, index=index)
+            refreshed = runner.run(paths, index=index, refresh=True)
+        delta_slice_only = (
+            warm.n_cached == n_workspaces
+            and partial.n_delta == 1
+            and partial.n_cached == n_workspaces - 1
+            and not partial.skipped
+        )
+        matches_refresh = partial.results == refreshed.results
+
+    speedup = t_full / t_delta
+    result = {
+        "n_workspaces": n_workspaces,
+        "t_full_recompute_best": t_full,
+        "t_delta_run_best": t_delta,
+        "full_repeats": FULL_REPEATS,
+        "delta_repeats": DELTA_REPEATS,
+        "speedup_delta": speedup,
+        "byte_identical_delta_output": bool(byte_identical and matches_refresh),
+        "delta_slice_only": bool(delta_slice_only),
+        "n_delta": partial.n_delta,
+        "n_cached_after_mutation": partial.n_cached,
+        "min_speedup_floor": MIN_SPEEDUP,
+    }
+    if verbose:
+        print(f"workspaces                   : {n_workspaces}")
+        print(f"full recompute (--no-cache)  : {t_full * 1e3:8.1f} ms")
+        print(f"delta run (one-cell edit)    : {t_delta * 1e3:8.1f} ms")
+        print(f"speedup (delta vs full)      : {speedup:8.1f}x")
+        print(f"byte-identical delta output  : {byte_identical}")
+        print(f"matches refresh results      : {matches_refresh}")
+        print(
+            f"delta slice accounting       : "
+            f"{partial.n_delta} delta / {partial.n_cached} cached"
+        )
+
+    assert byte_identical, "delta output differs from full recompute output"
+    assert matches_refresh, "delta results differ from refresh re-evaluation"
+    assert delta_slice_only, (
+        f"expected exactly one delta evaluation with {n_workspaces - 1} "
+        f"cache hits, got {partial.n_delta} delta / {partial.n_cached} cached"
+    )
+    assert speedup >= MIN_SPEEDUP, (
+        f"expected >= {MIN_SPEEDUP}x delta-over-full, measured "
+        f"{speedup:.1f}x"
+    )
+    return result
+
+
+def test_delta_speedup_and_byte_identity():
+    result = run(N_WORKSPACES, verbose=True)
+    Path(ARTIFACT).write_text(json.dumps(result, indent=2))
+
+
+if __name__ == "__main__":
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--workspaces", type=int, default=N_WORKSPACES)
+    parser.add_argument("--artifact", default=ARTIFACT)
+    args = parser.parse_args()
+    outcome = run(args.workspaces)
+    Path(args.artifact).write_text(json.dumps(outcome, indent=2))
+    print(f"wrote {args.artifact}")

@@ -199,6 +199,31 @@ def build_parser() -> argparse.ArgumentParser:
             "the members tensor axis; implies the sharded runtime"
         ),
     )
+    p_batch.add_argument(
+        "--follow",
+        action="store_true",
+        help=(
+            "watch the registry: re-poll the workspace files (or "
+            "directories, re-expanded every cycle) each --interval "
+            "seconds, incrementally re-evaluate only what changed, and "
+            "print one delta report per cycle; implies the sharded "
+            "runtime and the registry index"
+        ),
+    )
+    p_batch.add_argument(
+        "--interval",
+        type=float,
+        default=1.0,
+        metavar="SECONDS",
+        help="with --follow: seconds between polling cycles (default: 1.0)",
+    )
+    p_batch.add_argument(
+        "--cycles",
+        type=int,
+        default=None,
+        metavar="N",
+        help="with --follow: stop after N cycles (default: until Ctrl-C)",
+    )
 
     p_group = sub.add_parser(
         "group",
@@ -653,6 +678,85 @@ def _cmd_batch_sharded(
     )
 
 
+def _cmd_batch_follow(
+    sources: Sequence[str],
+    objectives: bool,
+    simulations: int,
+    method: str,
+    seed: int,
+    workers: int,
+    use_disk_cache: bool,
+    index_path: Optional[str],
+    interval: float,
+    cycles: Optional[int],
+    group_spec=None,
+) -> int:
+    """``repro batch --follow``: keep a registry continuously evaluated.
+
+    Wraps :meth:`~repro.core.runtime.ShardedRunner.watch`: each cycle
+    re-expands the sources (so files created, renamed or deleted
+    between cycles are noticed), classifies every unchanged workspace
+    with one ``stat`` against the registry index, absorbs edits through
+    delta compilation where the problem structure held, and prints one
+    delta report line per cycle.  Runs until interrupted unless
+    ``--cycles`` bounds it.
+    """
+    from .core.index import DEFAULT_INDEX_FILENAME
+    from .core.runtime import (
+        BatchOptions,
+        ShardedRunner,
+        WatchCycle,
+        expand_registry_source,
+    )
+
+    runner = ShardedRunner(
+        workers=workers,
+        options=BatchOptions(
+            objectives=objectives,
+            simulations=simulations,
+            method=method,
+            seed=seed,
+            use_disk_cache=use_disk_cache,
+            group=group_spec,
+        ),
+    )
+    # Anchor the default index location before the first cycle: an
+    # empty registry directory is a legitimate watch target (files
+    # appear later), so fall back to the directory itself.
+    anchors = expand_registry_source(list(sources)) or [
+        str(Path(src) / DEFAULT_INDEX_FILENAME)
+        for src in sources
+        if Path(src).is_dir()
+    ]
+    index = _open_registry_index(anchors, index_path) if anchors else None
+    if index is None:
+        raise SystemExit(
+            "batch --follow needs a usable registry index to detect "
+            "changes between cycles"
+        )
+
+    def _report(cycle: WatchCycle) -> None:
+        print(
+            f"cycle {cycle.cycle}: {cycle.n_paths} workspace(s): "
+            f"{cycle.n_evaluated} evaluated ({cycle.n_delta} delta), "
+            f"{cycle.n_cached} cached, {cycle.n_skipped} skipped",
+            flush=True,
+        )
+
+    try:
+        with index:
+            runner.watch(
+                list(sources),
+                index,
+                interval=interval,
+                max_cycles=cycles,
+                on_cycle=_report,
+            )
+    except KeyboardInterrupt:
+        print("stopped", flush=True)
+    return 0
+
+
 def _registry_workspaces(registry: str, index_path: Optional[str]) -> list:
     """Every workspace JSON under a registry directory, sorted.
 
@@ -805,8 +909,9 @@ def _cmd_index(action: str, registry: str, index_path: Optional[str]) -> str:
         removed = index.vacuum()
         return (
             f"vacuumed {db_path}: removed {removed['workspaces_removed']} "
-            f"workspace row(s) and {removed['result_rows_removed']} "
-            f"result row(s)"
+            f"workspace row(s), {removed['result_rows_removed']} "
+            f"result row(s) and {removed['temp_artifacts_removed']} "
+            f"stray temp artifact(s)"
         )
 
 
@@ -956,6 +1061,35 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                     raise SystemExit(
                         f"cannot load members file: {exc}"
                     ) from exc
+            if args.follow:
+                if args.no_cache:
+                    raise SystemExit(
+                        "batch --follow conflicts with --no-cache: follow "
+                        "mode needs the registry index to detect changes"
+                    )
+                if args.refresh:
+                    raise SystemExit(
+                        "batch --follow conflicts with --refresh: a follow "
+                        "cycle re-evaluates exactly what changed"
+                    )
+                if not args.workspaces:
+                    raise SystemExit(
+                        "batch --follow needs workspace files or a "
+                        "registry directory"
+                    )
+                return _cmd_batch_follow(
+                    args.workspaces,
+                    args.objectives,
+                    args.simulate,
+                    args.method,
+                    args.seed,
+                    args.workers if args.workers is not None else 1,
+                    not args.no_disk_cache,
+                    args.index_path,
+                    args.interval,
+                    args.cycles,
+                    group_spec=group_spec,
+                )
             registry_mode = (
                 args.workers is not None
                 or args.index_path is not None

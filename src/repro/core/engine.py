@@ -58,6 +58,7 @@ __all__ = [
     "BatchEvaluator",
     "StackedEvaluator",
     "compile_problem",
+    "delta_compile",
     "compile_roster",
     "stack_problems",
     "rank_matrix",
@@ -311,6 +312,74 @@ def compile_problem(problem: DecisionProblem) -> CompiledProblem:
     return CompiledProblem(problem)
 
 
+def delta_compile(
+    old: CompiledProblem,
+    problem: DecisionProblem,
+    changed_rows: Sequence[int],
+) -> CompiledProblem:
+    """Patch an existing compiled form for a partially edited problem.
+
+    ``old`` is the compiled form of the *previous* version of
+    ``problem`` (typically mmapped off the ``.npz`` artifact), and
+    ``changed_rows`` names every alternative row whose performances
+    differ — callers derive it from the per-component fingerprints the
+    registry index stores (schema v3).  Only those rows' component
+    -utility triplets are recomputed; unchanged rows are copied
+    bit-for-bit.  The weight vectors and the utility-class key tensors
+    are always rebuilt (both are cheap relative to the per-row utility
+    walk, and the key structure is global: one edited cell can merge or
+    split a utility class).
+
+    The result is **bit-identical** to ``compile_problem(problem)``
+    provided the problem's structure — hierarchy, scales, utility
+    functions, alternative order — is unchanged and ``changed_rows``
+    covers every row whose performances differ; both preconditions are
+    validated by hash upstream and the cheap shape/name parts are
+    re-checked here (ValueError on mismatch).
+    """
+    new_names = tuple(problem.table.alternative_names)
+    new_attrs = tuple(problem.hierarchy.attribute_names)
+    if new_names != tuple(old.alternative_names) or new_attrs != tuple(
+        old.attribute_names
+    ):
+        raise ValueError(
+            "delta_compile needs an unchanged alternative/attribute "
+            "structure; recompile from scratch instead"
+        )
+    self = CompiledProblem.__new__(CompiledProblem)
+    self.problem = problem
+    self.name = problem.name
+    self.attribute_names = new_attrs
+    self.alternative_names = new_names
+    # copies, not views: the old arrays may be read-only mmaps
+    self.u_low = np.array(old.u_low, dtype=float)
+    self.u_avg = np.array(old.u_avg, dtype=float)
+    self.u_up = np.array(old.u_up, dtype=float)
+    self.missing = np.array(old.missing, dtype=bool)
+    alternatives = problem.table.alternatives
+    for i in changed_rows:
+        alt = alternatives[i]
+        for j, attr in enumerate(new_attrs):
+            fn = problem.utility_function(attr)
+            perf = alt.performance(attr)
+            lo, avg, up = _utility_triplet(fn, perf)
+            self.u_low[i, j] = lo
+            self.u_avg[i, j] = avg
+            self.u_up[i, j] = up
+            self.missing[i, j] = perf is MISSING
+
+    intervals = [
+        problem.weights.attribute_weight_interval(a) for a in new_attrs
+    ]
+    averages = problem.weights.attribute_averages()
+    self.w_low = np.array([iv.lower for iv in intervals])
+    self.w_up = np.array([iv.upper for iv in intervals])
+    self.w_avg = np.array([averages[a] for a in new_attrs])
+
+    self._compile_utility_classes(problem)
+    return self
+
+
 def _as_compiled(
     source: Union[DecisionProblem, CompiledProblem, object]
 ) -> CompiledProblem:
@@ -432,6 +501,61 @@ class StackedProblem:
     def __len__(self) -> int:
         """Stack size ``P`` — same as :attr:`n_problems`."""
         return len(self.members)
+
+    def patch_member(self, pos: int, compiled: CompiledProblem) -> None:
+        """Replace member ``pos``'s slices of every stacked tensor in place.
+
+        The delta-compilation path: when one workspace of a stacked
+        registry changes, its freshly (delta-)compiled form is written
+        into the existing ``(P, ...)`` tensors instead of re-stacking
+        all ``P`` members.  Key tensors re-pad if the new member needs
+        more utility-class slots than the current stack-wide maximum;
+        padding never influences results (``key_count`` masks it), so a
+        patched stack evaluates bit-identically to a freshly stacked
+        one.
+        """
+        if not 0 <= pos < len(self.members):
+            raise IndexError(f"no stack member at position {pos}")
+        if compiled.shape != self.shape:
+            raise ValueError(
+                f"cannot patch shape {compiled.shape} into a "
+                f"{self.shape} stack"
+            )
+        members = list(self.members)
+        members[pos] = compiled
+        self.members = tuple(members)
+        self.names = tuple(m.name for m in self.members)
+        for field in ("u_low", "u_avg", "u_up", "missing", "w_low",
+                      "w_avg", "w_up"):
+            getattr(self, field)[pos] = getattr(compiled, field)
+        k = compiled.key_low.shape[1]
+        max_keys = self.key_low.shape[2]
+        if k > max_keys:
+            p, (_, n_att) = len(self.members), self.shape
+            for field in ("key_low", "key_up"):
+                grown = np.zeros((p, n_att, k))
+                grown[:, :, :max_keys] = getattr(self, field)
+                setattr(self, field, grown)
+        self.key_low[pos] = 0.0
+        self.key_up[pos] = 0.0
+        self.key_low[pos, :, :k] = compiled.key_low
+        self.key_up[pos, :, :k] = compiled.key_up
+        self.key_count[pos] = compiled.key_count
+        self.alt_key[pos] = compiled.alt_key
+
+    def subset(self, positions: Sequence[int]) -> "StackedProblem":
+        """A new stack of just ``positions``, keeping source indices.
+
+        The sliced re-evaluation primitive: every member's numbers
+        depend only on its own arrays and its own seeded stream (the
+        PR 2 determinism contract), so evaluating a subset stack is
+        bit-identical to evaluating those members inside the full
+        stack.
+        """
+        return StackedProblem(
+            [self.members[p] for p in positions],
+            [self.source_indices[p] for p in positions],
+        )
 
 
 def stack_problems(

@@ -19,11 +19,26 @@ record for a registry of workspace JSON files:
   cached results; only a semantic edit invalidates them.
 
 Freshness is a three-step ladder, cheapest first: a matching stat
-fingerprint trusts the stored hashes without reading the file; a
-matching ``source_sha`` (file re-read, e.g. after ``touch``) keeps the
-stored content hash; otherwise the workspace JSON is parsed and
-re-hashed.  Results are valid per content hash, so every one of those
-steps ends at the same cache key.
+fingerprint (``mtime_ns`` + ``size`` + ``ctime_ns``) trusts the stored
+hashes without reading the file; a matching ``source_sha`` (file
+re-read, e.g. after ``touch``) keeps the stored content hash;
+otherwise the workspace JSON is parsed and re-hashed.  Results are
+valid per content hash, so every one of those steps ends at the same
+cache key.
+
+Two hardenings close the classic stat-cache staleness hole (an edit
+that preserves ``mtime`` and ``size``, e.g. ``cp -p``, ``git
+checkout`` or two writes within the filesystem's timestamp
+resolution): the fingerprint includes ``ctime_ns`` — bumped by every
+rename/replace/metadata change and not forgeable from userspace — and
+each row remembers *when* it was recorded (``recorded_ns``), so a file
+whose ``mtime`` falls inside the recording window (it was modified
+about when the row was written, where a same-tick second write could
+hide) is byte-verified against ``source_sha`` before the stored hashes
+are trusted.  Since schema v3 each row also carries the per-component
+fingerprint table (``component_json``, see
+:func:`repro.core.workspace.component_hashes`) that powers delta
+compilation in :mod:`repro.core.runtime`.
 
 Caching per-problem results is sound because the engine guarantees
 each problem's numbers depend only on its own compiled arrays and its
@@ -50,7 +65,8 @@ import json
 import os
 import sqlite3
 import threading
-from dataclasses import dataclass, replace
+import time
+from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import (
     Dict,
@@ -69,6 +85,7 @@ from .engine import compile_problem
 __all__ = [
     "DEFAULT_INDEX_FILENAME",
     "SCHEMA_VERSION",
+    "RECORDING_WINDOW_NS",
     "eval_config_hash",
     "default_index_path",
     "IndexedWorkspace",
@@ -77,7 +94,14 @@ __all__ = [
 ]
 
 DEFAULT_INDEX_FILENAME = ".repro-index.sqlite"
-SCHEMA_VERSION = 2
+SCHEMA_VERSION = 3
+
+#: How close (in nanoseconds) a file's ``mtime`` may sit to the moment
+#: its row was recorded before the stat fast path stops being trusted
+#: and the raw bytes are re-verified.  Two seconds comfortably covers
+#: coarse filesystem timestamp resolution (FAT: 2 s) plus clock skew
+#: between the stat clock and :func:`time.time_ns`.
+RECORDING_WINDOW_NS = 2_000_000_000
 
 _SCHEMA = """
 CREATE TABLE IF NOT EXISTS index_meta (
@@ -92,7 +116,10 @@ CREATE TABLE IF NOT EXISTS workspaces (
     content_hash    TEXT NOT NULL,
     npz_source_sha  TEXT,
     n_alternatives  INTEGER NOT NULL,
-    n_attributes    INTEGER NOT NULL
+    n_attributes    INTEGER NOT NULL,
+    ctime_ns        INTEGER,
+    recorded_ns     INTEGER,
+    component_json  TEXT
 );
 CREATE INDEX IF NOT EXISTS workspaces_by_content
     ON workspaces (content_hash);
@@ -120,6 +147,15 @@ _RESULT_TAIL_COLUMNS = (
     ("ever_best", "INTEGER"),
     ("top5_fluctuation", "INTEGER"),
     ("group_json", "TEXT"),
+)
+
+#: Nullable tail columns a pre-v3 ``workspaces`` table predates (ctime
+#: fingerprint, recording timestamp, per-component hashes); migrated in
+#: place the same way.
+_WORKSPACE_TAIL_COLUMNS = (
+    ("ctime_ns", "INTEGER"),
+    ("recorded_ns", "INTEGER"),
+    ("component_json", "TEXT"),
 )
 
 
@@ -216,6 +252,17 @@ class IndexedWorkspace:
         freshness decisions always re-check the artifact itself.
     n_alternatives, n_attributes : int
         The stacking shape signature of the compiled problem.
+    ctime_ns : int or None
+        ``st_ctime_ns`` at index time — the third leg of the stat
+        fingerprint (``None`` on rows recorded before schema v3).
+    recorded_ns : int or None
+        :func:`time.time_ns` when the row was (re)written, stamped by
+        the upsert itself.  Drives the recording-window byte check;
+        excluded from equality because it is bookkeeping, not identity.
+    component_json : str or None
+        Canonical per-component hash table
+        (:func:`repro.core.workspace.component_json`) enabling delta
+        compilation; ``None`` on legacy rows or when unknown.
     """
 
     path: str
@@ -226,6 +273,9 @@ class IndexedWorkspace:
     npz_source_sha: Optional[str]
     n_alternatives: int
     n_attributes: int
+    ctime_ns: Optional[int] = None
+    recorded_ns: Optional[int] = field(default=None, compare=False)
+    component_json: Optional[str] = None
 
 
 @dataclass(frozen=True)
@@ -359,13 +409,14 @@ class RegistryIndex:
 
         Newer schema versions only *add* nullable columns/tables, so
         migration is a sequence of ``ALTER TABLE ... ADD COLUMN``
-        statements: an index written before the group axis (schema 1,
-        or a hand-me-down whose ``results`` table predates the
-        ``ever_best`` / ``top5_fluctuation`` / ``group_json`` columns)
-        opens cleanly — ``repro index status`` and every cache lookup
-        keep working, existing rows untouched.  Only a *newer* (or
-        unparseable) recorded version is refused, since this code
-        cannot know what it means.
+        statements: an index written before the group axis (schema 1),
+        or before the v3 workspace fingerprints (``ctime_ns`` /
+        ``recorded_ns`` / ``component_json``), opens cleanly —
+        ``repro index status`` and every cache lookup keep working,
+        existing rows untouched (their new columns read as ``NULL``,
+        which every consumer treats as "unknown, verify the long way").
+        Only a *newer* (or unparseable) recorded version is refused,
+        since this code cannot know what it means.
         """
         row = self._conn.execute(
             "SELECT value FROM index_meta WHERE key = 'schema_version'"
@@ -381,15 +432,21 @@ class RegistryIndex:
                 f"unsupported registry index schema {row['value']!r} at "
                 f"{self.db_path}; expected <= {SCHEMA_VERSION!r}"
             )
-        present = {
-            info["name"]
-            for info in self._conn.execute("PRAGMA table_info(results)")
-        }
-        for column, sql_type in _RESULT_TAIL_COLUMNS:
-            if column not in present:
-                self._conn.execute(
-                    f"ALTER TABLE results ADD COLUMN {column} {sql_type}"
+        for table, columns in (
+            ("results", _RESULT_TAIL_COLUMNS),
+            ("workspaces", _WORKSPACE_TAIL_COLUMNS),
+        ):
+            present = {
+                info["name"]
+                for info in self._conn.execute(
+                    f"PRAGMA table_info({table})"
                 )
+            }
+            for column, sql_type in columns:
+                if column not in present:
+                    self._conn.execute(
+                        f"ALTER TABLE {table} ADD COLUMN {column} {sql_type}"
+                    )
         if row is None:
             self._conn.execute(
                 "INSERT INTO index_meta (key, value) VALUES (?, ?)",
@@ -445,7 +502,21 @@ class RegistryIndex:
             npz_source_sha=row["npz_source_sha"],
             n_alternatives=row["n_alternatives"],
             n_attributes=row["n_attributes"],
+            ctime_ns=row["ctime_ns"],
+            recorded_ns=row["recorded_ns"],
+            component_json=row["component_json"],
         )
+
+    def lookup_workspace(
+        self, path: Union[str, Path]
+    ) -> Optional[IndexedWorkspace]:
+        """The stored row for one workspace path, exactly as indexed.
+
+        Unlike :meth:`probe` this never touches the filesystem — it is
+        the *previous* recorded identity (or ``None``), which is what
+        the delta-compilation path diffs a changed file against.
+        """
+        return self._stored(self._key(path))
 
     def _derive(
         self,
@@ -470,16 +541,25 @@ class RegistryIndex:
             n_alternatives, n_attributes = arrays["u_avg"].shape
             content = str(arrays.get("content_hash"))
             npz_sha = source_sha
+            raw_components = arrays.get("component_json")
+            components = (
+                str(raw_components) if raw_components is not None else None
+            )
         else:
             try:
                 problem = _workspace.load(Path(key))
             except _LOAD_ERRORS:
                 return None
             content = _workspace.content_hash(problem)
+            components = _workspace.component_json(problem)
             if warm_artifact:
                 compiled = compile_problem(problem)
                 _workspace.save_compiled_arrays(
-                    compiled, npz_path, source_sha, content
+                    compiled,
+                    npz_path,
+                    source_sha,
+                    content,
+                    component_json=components,
                 )
                 n_alternatives = compiled.n_alternatives
                 n_attributes = compiled.n_attributes
@@ -497,6 +577,8 @@ class RegistryIndex:
             npz_source_sha=npz_sha,
             n_alternatives=int(n_alternatives),
             n_attributes=int(n_attributes),
+            ctime_ns=st.st_ctime_ns,
+            component_json=components,
         )
 
     def _probe(
@@ -515,12 +597,23 @@ class RegistryIndex:
         except OSError:
             return None, "error"
         stored = self._stored(key)
-        if (
+        stat_match = (
             stored is not None
             and stored.mtime_ns == st.st_mtime_ns
             and stored.size == st.st_size
-        ):
-            return stored, "fresh"
+            and stored.ctime_ns == st.st_ctime_ns
+        )
+        if stat_match:
+            if not self._needs_byte_check(stored, st):
+                return stored, "fresh"
+            # Recording-window byte check: only the raw-byte sha is in
+            # question (the stat pair is current), so skip the artifact
+            # probe entirely on the happy path.
+            try:
+                if _workspace._file_sha256(Path(key)) == stored.source_sha:
+                    return stored, "fresh"
+            except OSError:
+                return None, "error"
         try:
             # One call supplies the raw-byte sha *and* the fresh-or-None
             # artifact payload, under workspace.py's single freshness
@@ -531,8 +624,17 @@ class RegistryIndex:
         except OSError:
             return None, "error"
         if stored is not None and stored.source_sha == source_sha:
+            if stat_match:
+                # recording-window byte check passed: the stat pair was
+                # already current, nothing to persist
+                return stored, "fresh"
             return (
-                replace(stored, mtime_ns=st.st_mtime_ns, size=st.st_size),
+                replace(
+                    stored,
+                    mtime_ns=st.st_mtime_ns,
+                    size=st.st_size,
+                    ctime_ns=st.st_ctime_ns,
+                ),
                 "touched",
             )
         record = self._derive(
@@ -541,6 +643,45 @@ class RegistryIndex:
         if record is None:
             return None, "error"
         return record, ("changed" if stored is not None else "new")
+
+    @staticmethod
+    def needs_restamp(stored: "IndexedWorkspace") -> bool:
+        """Whether re-persisting this unchanged row would still help.
+
+        A ``"fresh"`` probe of a row whose ``mtime`` falls inside the
+        recording window was byte-verified (see :meth:`_needs_byte_check`);
+        re-stamping it moves the row out of the window so future probes
+        take the pure stat fast path.  A row already outside the window
+        gains nothing from another write — steady-state runs over an
+        unchanged registry can skip persisting it entirely.  Pure
+        record inspection; no filesystem or database access.
+        """
+        return (
+            stored.recorded_ns is None
+            or stored.mtime_ns >= stored.recorded_ns - RECORDING_WINDOW_NS
+        )
+
+    @staticmethod
+    def _needs_byte_check(
+        stored: IndexedWorkspace, st: os.stat_result
+    ) -> bool:
+        """Whether a stat-matching row must still verify raw bytes.
+
+        The guard against mtime-preserving edits that even ``ctime``
+        cannot see: when the file's ``mtime`` falls inside the window
+        around the moment the row was recorded
+        (:data:`RECORDING_WINDOW_NS`), a second write in the same
+        filesystem timestamp tick could hide behind an identical stat
+        triple — so the ``source_sha`` is re-verified.  Rows are
+        re-stamped on every upsert, so a quiet file leaves the window
+        after the next recorded run and returns to the pure stat fast
+        path.  Legacy (pre-v3) rows have no recording time and are
+        always verified.
+        """
+        return (
+            stored.recorded_ns is None
+            or st.st_mtime_ns >= stored.recorded_ns - RECORDING_WINDOW_NS
+        )
 
     def probe(
         self, path: Union[str, Path], warm_artifact: bool = False
@@ -635,11 +776,18 @@ class RegistryIndex:
         )
 
     def _upsert_workspace(self, record: IndexedWorkspace) -> None:
+        # recorded_ns is stamped here, at write time, regardless of what
+        # the record carries: every probed row was either byte-verified,
+        # derived fresh, or already outside the recording window (where
+        # the file's mtime tick lies in the past and cannot be reused by
+        # a later write) — so "observed now" is safe, and the stamp is
+        # what ages a row out of the window's byte check.
         self._conn.execute(
             "INSERT OR REPLACE INTO workspaces"
             " (path, mtime_ns, size, source_sha, content_hash,"
-            "  npz_source_sha, n_alternatives, n_attributes)"
-            " VALUES (?, ?, ?, ?, ?, ?, ?, ?)",
+            "  npz_source_sha, n_alternatives, n_attributes,"
+            "  ctime_ns, recorded_ns, component_json)"
+            " VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
             (
                 record.path,
                 record.mtime_ns,
@@ -649,6 +797,9 @@ class RegistryIndex:
                 record.npz_source_sha,
                 record.n_alternatives,
                 record.n_attributes,
+                record.ctime_ns,
+                time.time_ns(),
+                record.component_json,
             ),
         )
 
@@ -820,23 +971,34 @@ class RegistryIndex:
         }
 
     def vacuum(self) -> Dict[str, int]:
-        """Drop dead rows, then compact the database file.
+        """Drop dead rows and crash residue, then compact the database.
 
-        Removes workspace rows whose file no longer exists and result
-        row sets whose content hash is no longer referenced by any
+        Removes workspace rows whose file no longer exists, result row
+        sets whose content hash is no longer referenced by any
         workspace row (results for *stale* content: the edited file now
-        hashes differently).  Ends with sqlite ``VACUUM``.
+        hashes differently), and stray ``.npz`` temp files a killed
+        artifact writer left next to indexed workspaces
+        (:func:`repro.core.workspace.sweep_temp_artifacts`).  Ends with
+        sqlite ``VACUUM``.
 
         Returns
         -------
         dict
-            ``{"workspaces_removed": ..., "result_rows_removed": ...}``.
+            ``{"workspaces_removed": ..., "result_rows_removed": ...,
+            "temp_artifacts_removed": ...}``.
         """
-        gone = [
+        paths = [
             row["path"]
             for row in self._conn.execute("SELECT path FROM workspaces")
-            if not os.path.isfile(row["path"])
         ]
+        gone = [path for path in paths if not os.path.isfile(path)]
+        registry_dirs = {os.path.dirname(path) for path in paths}
+        registry_dirs.add(str(self.db_path.parent))
+        temp_removed = sum(
+            _workspace.sweep_temp_artifacts(directory)
+            for directory in sorted(registry_dirs)
+            if os.path.isdir(directory)
+        )
         with self._conn:
             self._conn.execute("BEGIN IMMEDIATE")
             self._conn.executemany(
@@ -851,4 +1013,5 @@ class RegistryIndex:
         return {
             "workspaces_removed": len(gone),
             "result_rows_removed": int(removed),
+            "temp_artifacts_removed": int(temp_removed),
         }

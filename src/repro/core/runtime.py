@@ -58,9 +58,11 @@ __all__ = [
     "WorkspaceResult",
     "SkippedWorkspace",
     "RegistryReport",
+    "WatchCycle",
     "ShardedRunner",
     "shard_registry",
     "evaluate_registry_chunk",
+    "expand_registry_source",
 ]
 
 
@@ -155,6 +157,13 @@ class RegistryReport:
     n_cached : int
         Registry entries served from the persistent index without
         compiling or evaluating (0 when no index was passed).
+    n_delta : int
+        Registry entries whose edit was absorbed by delta compilation:
+        the stale compiled artifact was patched in place
+        (:func:`repro.core.workspace.load_compiled_delta`) and only
+        that workspace was re-evaluated — numbers still byte-identical
+        to a full recompute (0 when no index was passed or the
+        configuration rules delta out).
     """
 
     results: Tuple[WorkspaceResult, ...]
@@ -164,11 +173,69 @@ class RegistryReport:
     n_chunks: int
     workers: int
     n_cached: int = 0
+    n_delta: int = 0
 
     @property
     def n_evaluated(self) -> int:
         """Result rows in the merged report (cached rows included)."""
         return len(self.results)
+
+
+@dataclass(frozen=True)
+class WatchCycle:
+    """One polling cycle of :meth:`ShardedRunner.watch`.
+
+    Attributes
+    ----------
+    cycle : int
+        1-based cycle number.
+    n_paths : int
+        Workspace files the registry expanded to this cycle.
+    n_evaluated : int
+        Entries freshly evaluated (full compile or delta).
+    n_delta : int
+        Of those, how many were absorbed by delta compilation.
+    n_cached, n_skipped : int
+        Entries served from the index / reported unreadable.
+    report : RegistryReport
+        The cycle's full merged report.
+    """
+
+    cycle: int
+    n_paths: int
+    n_evaluated: int
+    n_delta: int
+    n_cached: int
+    n_skipped: int
+    report: RegistryReport
+
+
+def expand_registry_source(source) -> List[str]:
+    """Resolve a watch source to this instant's registry paths.
+
+    ``source`` is a directory, a workspace file, or a sequence of
+    either; directories expand recursively to their sorted ``*.json``
+    files (hidden files — e.g. the index database's WAL siblings —
+    excluded).  Called once per watch cycle, so files created, renamed
+    or deleted between cycles are picked up.
+    """
+    entries = (
+        [source] if isinstance(source, (str, Path)) else list(source)
+    )
+    paths: List[str] = []
+    for entry in entries:
+        root = Path(entry)
+        if root.is_dir():
+            paths.extend(
+                sorted(
+                    str(p)
+                    for p in root.rglob("*.json")
+                    if not p.name.startswith(".")
+                )
+            )
+        else:
+            paths.append(str(root))
+    return paths
 
 
 # ----------------------------------------------------------------------
@@ -306,7 +373,21 @@ def evaluate_registry_chunk(
     loaded, skipped = _load_chunk_problems(chunk, options)
     if not loaded:
         return [], skipped, 0
+    results, n_stacks = _evaluate_loaded(loaded, options)
+    return results, skipped, n_stacks
 
+
+def _evaluate_loaded(
+    loaded: Sequence[tuple], options: BatchOptions
+) -> Tuple[List[WorkspaceResult], int]:
+    """Evaluate already-loaded ``(index, sub_index, path, compiled,
+    roster)`` entries; returns ``(results, n_stacks)``.
+
+    The single evaluation loop behind both the chunk fan-out and the
+    delta fast path — sharing it is what makes delta re-evaluation
+    bit-identical to a full run by construction, not by parallel
+    maintenance of two code paths.
+    """
     compiled_forms = [item[3] for item in loaded]
     stacks = stack_problems(compiled_forms)
     results: List[WorkspaceResult] = []
@@ -363,7 +444,7 @@ def evaluate_registry_chunk(
                     ),
                 )
             )
-    return results, skipped, len(stacks)
+    return results, len(stacks)
 
 
 # ----------------------------------------------------------------------
@@ -411,8 +492,11 @@ class ShardedRunner:
             A :class:`~repro.core.index.RegistryIndex` to consult
             first.  Workspaces whose content hash already has cached
             rows for this run's configuration skip compilation and
-            evaluation; everything else is evaluated as usual and the
-            index is updated atomically after the merge.
+            evaluation; changed workspaces whose structure held are
+            delta-compiled against their previous artifact and
+            re-evaluated alone (``n_delta`` in the report); everything
+            else is evaluated as usual and the index is updated
+            atomically after the merge.
         refresh : bool, optional
             With ``index``: ignore cached rows (re-evaluate everything)
             but overwrite them with the fresh results.
@@ -433,16 +517,30 @@ class ShardedRunner:
         indexed = [(i, str(p)) for i, p in enumerate(paths)]
         cached_results: List[WorkspaceResult] = []
         pending = indexed
+        to_evaluate = indexed
+        delta_loaded: List[tuple] = []
         records: Dict[str, object] = {}
         config_hash = None
         n_cached = 0
         if index is not None:
+            from . import workspace as _workspace
             from .index import eval_config_hash
 
             config_hash = eval_config_hash(self.options)
+            # Delta compilation patches the previous compiled artifact,
+            # so it needs the artifact machinery and a configuration the
+            # fast path can serve: no object-graph expansions
+            # (objectives/group) and no forced re-evaluation.
+            delta_ok = (
+                not refresh
+                and self.options.use_disk_cache
+                and not self.options.objectives
+                and self.options.group is None
+            )
             pending = []
+            to_evaluate = []
             for i, path in indexed:
-                record = index.probe(path)
+                record, status = index.probe_with_status(path)
                 if record is not None:
                     records[path] = record
                 rows = None
@@ -452,8 +550,34 @@ class ShardedRunner:
                     )
                 if rows is None:
                     pending.append((i, path))
+                    if delta_ok and status == "changed":
+                        old = index.lookup_workspace(path)
+                        delta = (
+                            _workspace.load_compiled_delta(
+                                path,
+                                old.content_hash,
+                                old.component_json,
+                                mmap_arrays=self.options.mmap,
+                            )
+                            if old is not None and old.component_json
+                            else None
+                        )
+                        if (
+                            delta is not None
+                            and delta.content_hash == record.content_hash
+                        ):
+                            delta_loaded.append(
+                                (i, 0, path, delta.compiled, None)
+                            )
+                            continue
+                    to_evaluate.append((i, path))
                     continue
                 n_cached += 1
+                if status == "fresh" and not index.needs_restamp(record):
+                    # Out-of-window fresh hit: fingerprint and results
+                    # are both already persisted — writing the row
+                    # again would only force a WAL checkpoint.
+                    del records[path]
                 cached_results.extend(
                     WorkspaceResult(
                         index=i,
@@ -474,10 +598,10 @@ class ShardedRunner:
                 )
 
         chunk_ranges = shard_registry(
-            len(pending), self.workers, self.chunk_size
+            len(to_evaluate), self.workers, self.chunk_size
         )
         chunks = [
-            [pending[i] for i in chunk_range]
+            [to_evaluate[i] for i in chunk_range]
             for chunk_range in chunk_ranges
             if len(chunk_range)
         ]
@@ -485,6 +609,17 @@ class ShardedRunner:
         results: List[WorkspaceResult] = []
         skipped: List[SkippedWorkspace] = []
         n_stacks = 0
+        if delta_loaded:
+            # The sliced re-evaluation: only the delta-compiled members
+            # run, in-process, through the same evaluation loop the
+            # chunk workers use.  Monte Carlo runs are full per-problem
+            # re-evaluations here — each problem's seeded stream is its
+            # own, so this is still bit-identical to a cold run.
+            delta_results, delta_stacks = _evaluate_loaded(
+                delta_loaded, self.options
+            )
+            results.extend(delta_results)
+            n_stacks += delta_stacks
         if self.workers == 1 or len(chunks) <= 1:
             for chunk in chunks:
                 r, s, k = evaluate_registry_chunk(chunk, self.options)
@@ -517,6 +652,7 @@ class ShardedRunner:
             n_chunks=len(chunks),
             workers=self.workers,
             n_cached=n_cached,
+            n_delta=len(delta_loaded),
         )
 
     @staticmethod
@@ -562,9 +698,14 @@ class ShardedRunner:
                 st = os.stat(record.path)
             except OSError:
                 st = None
-            if st is None or (st.st_mtime_ns, st.st_size) != (
+            if st is None or (
+                st.st_mtime_ns,
+                st.st_size,
+                st.st_ctime_ns,
+            ) != (
                 record.mtime_ns,
                 record.size,
+                record.ctime_ns,
             ):
                 to_record.pop(path, None)
                 continue
@@ -593,3 +734,72 @@ class ShardedRunner:
             chunk_size=self.chunk_size,
             options=replace(self.options, **changes),
         )
+
+    def watch(
+        self,
+        source,
+        index,
+        interval: float = 1.0,
+        max_cycles: Optional[int] = None,
+        on_cycle=None,
+    ) -> List[WatchCycle]:
+        """Follow a registry: poll, ingest deltas, repeat.
+
+        Each cycle re-expands ``source``
+        (:func:`expand_registry_source`, so new/renamed/deleted files
+        are noticed), runs the registry through :meth:`run` against
+        ``index``, and reports a :class:`WatchCycle`.  Between cycles
+        the index's stat fingerprints classify every unchanged file in
+        one ``stat`` call, an edited file delta-compiles when its
+        structure held, and only genuinely new content is evaluated —
+        steady-state cycles over an N-workspace registry cost N stats
+        and zero evaluations.
+
+        Parameters
+        ----------
+        source : str, Path or sequence
+            Registry directory (or explicit files) to re-expand every
+            cycle.
+        index : RegistryIndex
+            The persistent index that carries state across cycles.
+        interval : float, optional
+            Seconds to sleep between cycles (the first cycle runs
+            immediately).
+        max_cycles : int, optional
+            Stop after this many cycles; ``None`` follows forever
+            (interrupt to stop).
+        on_cycle : callable, optional
+            Called with each :class:`WatchCycle` as it completes (e.g.
+            to print a delta report); returning ``False`` — exactly —
+            stops the watch after that cycle.
+
+        Returns
+        -------
+        list of WatchCycle
+            Every completed cycle, in order.
+        """
+        import time as _time
+
+        cycles: List[WatchCycle] = []
+        while max_cycles is None or len(cycles) < max_cycles:
+            if cycles:
+                _time.sleep(interval)
+            paths = expand_registry_source(source)
+            report = self.run(paths, index=index)
+            cycle = WatchCycle(
+                cycle=len(cycles) + 1,
+                n_paths=len(paths),
+                n_evaluated=(
+                    report.n_workspaces
+                    - report.n_cached
+                    - len(report.skipped)
+                ),
+                n_delta=report.n_delta,
+                n_cached=report.n_cached,
+                n_skipped=len(report.skipped),
+                report=report,
+            )
+            cycles.append(cycle)
+            if on_cycle is not None and on_cycle(cycle) is False:
+                break
+        return cycles

@@ -29,13 +29,14 @@ import os
 import struct
 import zipfile
 from collections import OrderedDict
+from dataclasses import dataclass
 from io import BytesIO
 from pathlib import Path
 from typing import Any, Dict, List, Mapping, Optional, Tuple, Union
 
 import numpy as np
 
-from .engine import CompiledProblem, compile_problem
+from .engine import CompiledProblem, compile_problem, delta_compile
 from .hierarchy import Hierarchy, ObjectiveNode
 from .interval import Interval
 from .performance import Alternative, PerformanceTable, UncertainValue
@@ -62,6 +63,11 @@ __all__ = [
     "load_compiled_arrays",
     "load_compiled_fast",
     "warm_compiled_cache",
+    "component_hashes",
+    "component_json",
+    "DeltaLoad",
+    "load_compiled_delta",
+    "sweep_temp_artifacts",
 ]
 
 FORMAT = "repro-workspace/1"
@@ -403,6 +409,72 @@ def content_hash(problem: DecisionProblem) -> str:
     return hashlib.sha256(canonical_key(problem).encode("utf-8")).hexdigest()
 
 
+def _component_digest(payload: Any) -> str:
+    return hashlib.sha256(
+        json.dumps(payload, sort_keys=True, separators=(",", ":")).encode(
+            "utf-8"
+        )
+    ).hexdigest()
+
+
+def component_hashes(problem: DecisionProblem) -> Dict[str, str]:
+    """Per-component sha256 fingerprints of a decision problem.
+
+    The sub-problem counterpart of :func:`content_hash`: instead of one
+    hash over the whole workspace, every independently editable piece
+    gets its own digest so an edit can be localised —
+
+    ``"structure"``
+        format, objective hierarchy, scales, component utilities and
+        the ordered alternative-name list.  If this changes, the dense
+        array shapes or utility-class tensors may change and delta
+        compilation is off the table.
+    ``"name"``
+        the workspace's display name.
+    ``"alt:<name>"``
+        one alternative's full entry (description included).
+    ``"row:<name>"``
+        one alternative's performance row only — the component that
+        drives which :func:`~repro.core.engine.delta_compile` rows are
+        re-lowered.
+    ``"weight:<node>"``
+        one objective node's local weight interval.
+    """
+    data = to_dict(problem)
+    hashes = {
+        "structure": _component_digest(
+            {
+                "format": data["format"],
+                "hierarchy": data["hierarchy"],
+                "scales": data["scales"],
+                "utilities": data["utilities"],
+                "alternative_names": [
+                    alt["name"] for alt in data["alternatives"]
+                ],
+            }
+        ),
+        "name": _component_digest(data["name"]),
+    }
+    for alt in data["alternatives"]:
+        hashes[f"alt:{alt['name']}"] = _component_digest(alt)
+        hashes[f"row:{alt['name']}"] = _component_digest(alt["performances"])
+    for node, interval in data["weights"].items():
+        hashes[f"weight:{node}"] = _component_digest(interval)
+    return hashes
+
+
+def component_json(problem: DecisionProblem) -> str:
+    """Canonical JSON text of :func:`component_hashes`.
+
+    This is what the registry index stores per workspace row (schema
+    v3) and what compiled ``.npz`` artifacts carry, so a later run can
+    diff components without re-hashing the old problem.
+    """
+    return json.dumps(
+        component_hashes(problem), sort_keys=True, separators=(",", ":")
+    )
+
+
 def compiled_array_path(path: Union[str, Path]) -> Path:
     """The ``.npz`` compiled-artifact sibling of a workspace JSON file."""
     return Path(path).with_suffix(".npz")
@@ -421,13 +493,21 @@ def save_compiled_arrays(
     npz_path: Union[str, Path],
     source_sha: str,
     semantic_hash: str,
+    component_json: Optional[str] = None,
 ) -> Path:
     """Atomically persist a compiled form's dense arrays as ``.npz``.
 
     The write goes to a unique temp file in the target directory and is
     published with ``os.replace``, so a reader can never observe a
     partially-written artifact and the last concurrent writer wins with
-    a complete file.
+    a complete file.  The temp file is unlinked on *every* failure path
+    (including a failed replace); residue from a killed process is
+    swept by :func:`sweep_temp_artifacts` / ``repro index vacuum``.
+
+    ``component_json`` optionally embeds the per-component fingerprint
+    table (:func:`component_json`) so index probes that trust the
+    artifact can pick up sub-problem hashes without parsing the source
+    JSON.
     """
     npz_path = Path(npz_path)
     payload: Dict[str, np.ndarray] = {
@@ -442,6 +522,8 @@ def save_compiled_arrays(
     payload["format"] = np.array(COMPILED_FORMAT)
     payload["source_sha"] = np.array(source_sha)
     payload["content_hash"] = np.array(semantic_hash)
+    if component_json is not None:
+        payload["component_json"] = np.array(component_json)
 
     buffer = BytesIO()
     np.savez(buffer, **payload)
@@ -453,9 +535,39 @@ def save_compiled_arrays(
             fh.write(buffer.getvalue())
         os.replace(tmp_path, npz_path)
     finally:
-        if tmp_path.exists():  # pragma: no cover - only on replace failure
-            tmp_path.unlink()
+        try:
+            tmp_path.unlink(missing_ok=True)
+        except OSError:  # pragma: no cover - directory-level failures
+            pass
     return npz_path
+
+
+#: Glob matching the temp names :func:`save_compiled_arrays` writes
+#: (``.{name}.npz.tmp.{pid}.{token}``) — what a crashed writer leaves
+#: behind and :func:`sweep_temp_artifacts` removes.
+_TEMP_ARTIFACT_GLOB = ".*.npz.tmp.*"
+
+
+def sweep_temp_artifacts(directory: Union[str, Path]) -> int:
+    """Remove stray compiled-artifact temp files under ``directory``.
+
+    An ``os.replace`` publish can never leave a partial ``.npz``, but a
+    writer killed between temp creation and replace leaves its
+    dot-prefixed temp file behind forever.  This sweeps every such
+    sibling (recursively) and returns the number removed.  Run it from
+    ``repro index vacuum``; it assumes no artifact writer is active
+    concurrently.
+    """
+    removed = 0
+    for tmp in sorted(Path(directory).rglob(_TEMP_ARTIFACT_GLOB)):
+        if not tmp.is_file():
+            continue
+        try:
+            tmp.unlink()
+        except OSError:  # pragma: no cover - raced or permission-denied
+            continue
+        removed += 1
+    return removed
 
 
 # npy headers repeat across a registry (same shapes, same dtypes), so
@@ -619,7 +731,13 @@ def _compile_and_persist(
     """Compile a workspace from JSON and atomically (re)write its artifact."""
     problem = load(path)
     compiled = compile_problem(problem)
-    save_compiled_arrays(compiled, npz_path, source_sha, content_hash(problem))
+    save_compiled_arrays(
+        compiled,
+        npz_path,
+        source_sha,
+        content_hash(problem),
+        component_json=component_json(problem),
+    )
     return compiled
 
 
@@ -647,6 +765,113 @@ def load_compiled_fast(
     if refresh:
         return _compile_and_persist(path, npz_path, source_sha)
     return compile_problem(load(path))
+
+
+@dataclass(frozen=True)
+class DeltaLoad:
+    """One successful delta (re)compilation of an edited workspace.
+
+    Everything the incremental runtime needs in one bundle: the patched
+    compiled form (with the freshly parsed problem attached), the new
+    semantic fingerprints to index, and which components actually
+    changed — ``changed_rows`` are positions into the alternative list,
+    ``changed_components`` the raw :func:`component_hashes` keys.
+    """
+
+    compiled: CompiledProblem
+    problem: DecisionProblem
+    content_hash: str
+    component_json: str
+    source_sha: str
+    npz_path: Path
+    changed_rows: Tuple[int, ...]
+    changed_components: Tuple[str, ...]
+
+
+def load_compiled_delta(
+    path: Union[str, Path],
+    old_content_hash: str,
+    old_component_json: Optional[str],
+    mmap_arrays: bool = True,
+    persist: bool = True,
+) -> Optional[DeltaLoad]:
+    """Delta-compile an edited workspace against its cached artifact.
+
+    The incremental fast path for a workspace whose content hash
+    changed: load the (now stale) ``.npz`` artifact, verify it still
+    matches the *old* indexed state, diff the per-component hashes and
+    patch only the changed rows via
+    :func:`~repro.core.engine.delta_compile`.  The rewritten artifact
+    is published atomically so subsequent runs take the plain fast
+    path.
+
+    Returns ``None`` whenever delta compilation is not safe or not
+    possible — missing/stale artifact, missing or unparsable component
+    fingerprints, or a structural edit (hierarchy, scales, utilities,
+    alternative set/order) — in which case the caller falls back to a
+    full recompile exactly as before this path existed.
+    """
+    path = Path(path)
+    try:
+        old_components = json.loads(old_component_json or "")
+    except ValueError:
+        return None
+    if (
+        not isinstance(old_components, dict)
+        or "structure" not in old_components
+    ):
+        return None
+    npz_path = compiled_array_path(path)
+    arrays = load_compiled_arrays(npz_path, mmap_arrays=mmap_arrays)
+    if arrays is None or str(arrays.get("content_hash")) != old_content_hash:
+        return None
+    try:
+        source_sha = _file_sha256(path)
+        problem = load(path)
+    except (OSError, ValueError, KeyError, TypeError):
+        return None
+    new_components = component_hashes(problem)
+    if new_components["structure"] != old_components.get("structure"):
+        return None
+    changed = tuple(
+        key
+        for key, digest in sorted(new_components.items())
+        if old_components.get(key) != digest
+    )
+    names = list(problem.table.alternative_names)
+    changed_rows = tuple(
+        names.index(key[len("row:"):])
+        for key in changed
+        if key.startswith("row:")
+    )
+    try:
+        compiled = delta_compile(
+            _compiled_from_arrays(arrays), problem, changed_rows
+        )
+    except (ValueError, KeyError):  # pragma: no cover - structure gate
+        return None
+    new_hash = content_hash(problem)
+    new_component_json = json.dumps(
+        new_components, sort_keys=True, separators=(",", ":")
+    )
+    if persist:
+        save_compiled_arrays(
+            compiled,
+            npz_path,
+            source_sha,
+            new_hash,
+            component_json=new_component_json,
+        )
+    return DeltaLoad(
+        compiled=compiled,
+        problem=problem,
+        content_hash=new_hash,
+        component_json=new_component_json,
+        source_sha=source_sha,
+        npz_path=npz_path,
+        changed_rows=changed_rows,
+        changed_components=changed,
+    )
 
 
 def warm_compiled_cache(paths) -> int:

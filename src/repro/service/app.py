@@ -125,14 +125,28 @@ def _dumps(payload: object) -> bytes:
 
 
 class _Metrics:
-    """Thread-safe request counters and a latency reservoir."""
+    """Thread-safe request counters and a latency reservoir.
 
-    def __init__(self, window: int = 4096) -> None:
+    Both accumulators are bounded, so a long-lived (``--follow``-era)
+    server cannot grow without limit: latency samples live in a ring
+    buffer of the last ``window`` requests, and the per-endpoint
+    counter keeps at most ``max_endpoints`` distinct labels — requests
+    for further labels (typically unique 404 paths, which use the raw
+    request path as their label) aggregate under ``"(other)"``.
+    """
+
+    #: Distinct endpoint labels kept before aggregating into "(other)".
+    _MAX_ENDPOINTS = 64
+
+    def __init__(
+        self, window: int = 4096, max_endpoints: int = _MAX_ENDPOINTS
+    ) -> None:
         """Empty counters; latency keeps the last ``window`` samples."""
         self._lock = threading.Lock()
         self._by_endpoint: Dict[str, int] = {}
         self._by_status: Dict[str, int] = {}
         self._latencies: deque = deque(maxlen=window)
+        self._max_endpoints = max_endpoints
         self._total = 0
         self._not_modified = 0
 
@@ -140,6 +154,11 @@ class _Metrics:
         """Count one served request and append its latency sample."""
         with self._lock:
             self._total += 1
+            if (
+                endpoint not in self._by_endpoint
+                and len(self._by_endpoint) >= self._max_endpoints
+            ):
+                endpoint = "(other)"
             self._by_endpoint[endpoint] = self._by_endpoint.get(endpoint, 0) + 1
             key = str(status)
             self._by_status[key] = self._by_status.get(key, 0) + 1
@@ -356,6 +375,13 @@ class ServiceApp:
                 workspaces.append({"id": ws_id, "error": "unreadable"})
                 continue
             if status != "fresh":
+                if status == "changed":
+                    old = self.index.lookup_workspace(path)
+                    if (
+                        old is not None
+                        and old.content_hash != record.content_hash
+                    ):
+                        self.cache.invalidate(old.content_hash)
                 fresh_records.append(record)
             workspaces.append(
                 {
@@ -397,11 +423,27 @@ class ServiceApp:
         return path
 
     def _probe(self, ws_id: str, path: Path):
-        record = self.index.probe(path)
+        """Probe one workspace, absorbing any edit incrementally.
+
+        When the probe reports the file changed, the responses rendered
+        from its *previous* content hash are evicted from the LRU
+        (:meth:`~repro.service.cache.ResponseCache.invalidate`) —
+        targeted invalidation instead of waiting for cold misses to age
+        them out — and the fresh fingerprint is persisted so every
+        later probe takes the stat fast path.
+        """
+        record, status = self.index.probe_with_status(path)
         if record is None:
             raise ServiceError(
                 409, f"workspace {ws_id!r} exists but cannot be parsed"
             )
+        if status != "fresh":
+            if status == "changed":
+                old = self.index.lookup_workspace(path)
+                if old is not None and old.content_hash != record.content_hash:
+                    self.cache.invalidate(old.content_hash)
+            with self._write_lock:
+                self.index.record_probes([record])
         return record
 
     @staticmethod

@@ -116,6 +116,26 @@ class ResponseCache:
         with self._lock:
             self._entries.clear()
 
+    def invalidate(self, part: Hashable) -> int:
+        """Drop every entry whose key tuple contains ``part``.
+
+        The incremental-invalidation hook: when a workspace edit is
+        detected, passing its *old* ``content_hash`` evicts exactly the
+        responses rendered from the superseded content (every verb,
+        every configuration) while the rest of the cache stays hot —
+        instead of waiting for stale entries to age out of the LRU.
+        Returns the number of entries dropped.
+        """
+        with self._lock:
+            doomed = [
+                key
+                for key in self._entries
+                if isinstance(key, tuple) and part in key
+            ]
+            for key in doomed:
+                del self._entries[key]
+        return len(doomed)
+
     def __len__(self) -> int:
         """Current entry count."""
         with self._lock:

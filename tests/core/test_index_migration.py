@@ -1,10 +1,15 @@
 """Legacy registry-index schemas must migrate in place, never error."""
 
+import json
 import sqlite3
 
 import pytest
 
+from repro.core import workspace
 from repro.core.index import SCHEMA_VERSION, CachedResult, RegistryIndex
+from repro.core.runtime import BatchOptions, ShardedRunner
+
+from ..conftest import make_small_problem
 
 #: The PR 3-era schema: no ``group_json`` column (and, for the oldest
 #: variant, none of the nullable Monte Carlo tail columns either).
@@ -38,6 +43,27 @@ CREATE TABLE results (
     best_minimum     REAL NOT NULL,
     best_average     REAL NOT NULL,
     best_maximum     REAL NOT NULL,
+    PRIMARY KEY (content_hash, config_hash, sub_index)
+);
+"""
+
+#: The PR 4/5-era results schema: ``group_json`` present, but the
+#: workspaces table still lacks the v3 fingerprint tail.
+_LEGACY_RESULTS_V2 = """
+CREATE TABLE results (
+    content_hash     TEXT NOT NULL,
+    config_hash      TEXT NOT NULL,
+    sub_index        INTEGER NOT NULL,
+    name             TEXT NOT NULL,
+    n_alternatives   INTEGER NOT NULL,
+    n_attributes     INTEGER NOT NULL,
+    best_name        TEXT NOT NULL,
+    best_minimum     REAL NOT NULL,
+    best_average     REAL NOT NULL,
+    best_maximum     REAL NOT NULL,
+    ever_best        INTEGER,
+    top5_fluctuation INTEGER,
+    group_json       TEXT,
     PRIMARY KEY (content_hash, config_hash, sub_index)
 );
 """
@@ -177,3 +203,96 @@ class TestSchemaMigration:
                 "SELECT value FROM index_meta WHERE key = 'schema_version'"
             ).fetchone()
             assert row["value"] == str(SCHEMA_VERSION)
+
+
+class TestWorkspaceTailMigration:
+    """v1/v2 databases gain the v3 fingerprint columns in place."""
+
+    @pytest.mark.parametrize(
+        "results_sql, version",
+        [(_LEGACY_RESULTS_OLDEST, "1"), (_LEGACY_RESULTS_V2, "2")],
+    )
+    def test_workspace_columns_added(self, tmp_path, results_sql, version):
+        db = tmp_path / "legacy.sqlite"
+        build_legacy_db(db, results_sql, version=version)
+        with RegistryIndex(db) as index:
+            columns = {
+                row["name"]
+                for row in index._conn.execute(
+                    "PRAGMA table_info(workspaces)"
+                )
+            }
+            assert {"ctime_ns", "recorded_ns", "component_json"} <= columns
+            # the legacy result row is still served after migration
+            assert index.lookup_results("hash-a", "cfg-a") is not None
+
+    @pytest.mark.parametrize(
+        "results_sql, version",
+        [(_LEGACY_RESULTS_OLDEST, "1"), (_LEGACY_RESULTS_V2, "2")],
+    )
+    def test_legacy_workspace_row_still_probes(
+        self, tmp_path, results_sql, version
+    ):
+        """A pre-v3 row (no ctime/recording time) must never serve a
+        stale classification: its stat pair can't match the v3 triple,
+        so the probe falls through to the byte check and reports the
+        unchanged file as touched."""
+        problem = make_small_problem(name="legacy-ws")
+        path = tmp_path / "legacy-ws.json"
+        workspace.save(problem, path)
+        st = path.stat()
+        source_sha = workspace._file_sha256(path)
+        content = workspace.content_hash(problem)
+
+        db = tmp_path / "legacy.sqlite"
+        build_legacy_db(db, results_sql, version=version, with_row=False)
+        conn = sqlite3.connect(db)
+        try:
+            conn.execute(
+                "INSERT INTO workspaces VALUES (?, ?, ?, ?, ?, ?, ?, ?)",
+                (
+                    str(path.resolve()),
+                    st.st_mtime_ns,
+                    st.st_size,
+                    source_sha,
+                    content,
+                    None,
+                    len(problem.alternative_names),
+                    len(problem.attribute_names),
+                ),
+            )
+            conn.commit()
+        finally:
+            conn.close()
+
+        with RegistryIndex(db) as index:
+            stored = index.lookup_workspace(path)
+            assert stored is not None
+            assert stored.ctime_ns is None
+            assert stored.component_json is None
+            record, status = index.probe_with_status(path)
+            assert status == "touched"
+            assert record.content_hash == content
+            assert record.ctime_ns == st.st_ctime_ns
+
+    def test_legacy_row_upgrades_into_delta_eligibility(self, tmp_path):
+        """After one run over a migrated index, rows carry component
+        hashes, so the next one-cell edit takes the delta path."""
+        db = tmp_path / "legacy.sqlite"
+        build_legacy_db(db, _LEGACY_RESULTS_V2, version="2", with_row=False)
+        problem = make_small_problem(name="legacy-ws")
+        path = tmp_path / "legacy-ws.json"
+        workspace.save(problem, path)
+
+        runner = ShardedRunner(workers=1, options=BatchOptions())
+        with RegistryIndex(db) as index:
+            first = runner.run([path], index=index)
+            assert index.lookup_workspace(path).component_json is not None
+            data = json.loads(path.read_text())
+            perf = data["alternatives"][0]["performances"]
+            key = sorted(perf)[0]
+            perf[key] = 0 if perf[key] != 0 else 1
+            path.write_text(json.dumps(data))
+            second = runner.run([path], index=index)
+        assert first.n_delta == 0
+        assert second.n_delta == 1

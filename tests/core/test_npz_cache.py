@@ -197,6 +197,47 @@ class TestConcurrentWriters:
         ]
         assert leftovers == []
 
+    def test_failed_write_unlinks_its_temp_file(
+        self, saved_workspace, monkeypatch
+    ):
+        """A writer that dies mid-publish must not orphan its temp
+        sibling next to the artifact."""
+        import os
+
+        problem, path = saved_workspace
+        compiled = compile_problem(problem)
+        npz = workspace.compiled_array_path(path)
+
+        def boom(src, dst):
+            raise OSError("disk full")
+
+        monkeypatch.setattr(os, "replace", boom)
+        with pytest.raises(OSError):
+            workspace.save_compiled_arrays(
+                compiled,
+                npz,
+                workspace._file_sha256(path),
+                workspace.content_hash(problem),
+            )
+        leftovers = [p for p in path.parent.iterdir() if ".tmp." in p.name]
+        assert leftovers == []
+
+    def test_sweep_temp_artifacts_removes_only_strays(self, saved_workspace):
+        problem, path = saved_workspace
+        npz = workspace.compiled_array_path(path)
+        workspace.save_compiled_arrays(
+            compile_problem(problem),
+            npz,
+            workspace._file_sha256(path),
+            workspace.content_hash(problem),
+        )
+        stray = path.parent / ".ws.npz.tmp.999.ff"
+        stray.write_bytes(b"partial")
+        removed = workspace.sweep_temp_artifacts(path.parent)
+        assert removed == 1
+        assert not stray.exists()
+        assert npz.exists()
+
     def test_parallel_load_compiled_fast(self, saved_workspace):
         """Racing readers/writers on a cold cache all get valid forms."""
         problem, path = saved_workspace

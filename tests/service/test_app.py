@@ -425,6 +425,67 @@ class TestMetrics:
         payload = body(get(app, "/metrics"))
         assert payload["requests"]["not_modified"] == 1
 
+    def test_accumulators_stay_bounded_under_many_requests(self, app):
+        """10k requests with unique 404 paths must not grow the
+        latency sample buffer or the endpoint label map unboundedly."""
+        from repro.service.app import _Metrics
+
+        for i in range(10_000):
+            get(app, f"/nope-{i}")
+        metrics = app.metrics
+        assert len(metrics._latencies) <= metrics._latencies.maxlen
+        assert metrics._latencies.maxlen == 4096
+        assert len(metrics._by_endpoint) <= _Metrics._MAX_ENDPOINTS + 1
+        payload = body(get(app, "/metrics"))
+        assert payload["requests"]["by_endpoint"]["(other)"] > 0
+        assert payload["latency"]["window"] <= 4096
+
+
+class TestCacheInvalidation:
+    def test_edit_invalidates_only_that_workspace(self, app, registry):
+        """A detected edit evicts the edited workspace's rendered
+        responses (all verbs) while other entries stay hot."""
+        get(app, "/v1/workspaces/ws-00/ranking")
+        get(app, "/v1/workspaces/ws-00/dominance")
+        get(app, "/v1/workspaces/ws-01/ranking")
+        assert len(app.cache) == 3
+
+        data = json.loads(registry[0].read_text())
+        perf = data["alternatives"][0]["performances"]
+        key = sorted(perf)[0]
+        perf[key] = 0.0 if perf[key] != 0.0 else 1.0
+        registry[0].write_text(json.dumps(data))
+
+        first = get(app, "/v1/workspaces/ws-00/ranking")
+        assert first.status == 200
+        # old ws-00 entries were evicted, ws-01's entry survived
+        assert body(get(app, "/metrics"))["cache"]["size"] == 2
+        hits_before = body(get(app, "/metrics"))["cache"]["hits"]
+        assert get(app, "/v1/workspaces/ws-01/ranking").status == 200
+        assert (
+            body(get(app, "/metrics"))["cache"]["hits"] == hits_before + 1
+        )
+
+    def test_touch_keeps_entries_hot(self, app, registry):
+        get(app, "/v1/workspaces/ws-00/ranking")
+        size_before = len(app.cache)
+        registry[0].touch()
+        response = get(app, "/v1/workspaces/ws-00/ranking")
+        assert response.status == 200
+        assert len(app.cache) == size_before
+
+    def test_response_cache_invalidate_by_part(self):
+        from repro.service.cache import CachedResponse, ResponseCache
+
+        cache = ResponseCache(capacity=8)
+        cache.put(("ranking", "hash-a"), CachedResponse(b"a", '"a"'))
+        cache.put(("ranking", "hash-b"), CachedResponse(b"b", '"b"'))
+        cache.put(("mc", "hash-a", "cfg"), CachedResponse(b"c", '"c"'))
+        assert cache.invalidate("hash-a") == 2
+        assert cache.get(("ranking", "hash-b")) is not None
+        assert cache.get(("ranking", "hash-a")) is None
+        assert cache.get(("mc", "hash-a", "cfg")) is None
+
 
 def write_members(tmp_path, n_members=3):
     members = []

@@ -22,6 +22,7 @@ DOC_PAGES = (
     "group.md",
     "paper-map.md",
     "service.md",
+    "streaming.md",
 )
 
 

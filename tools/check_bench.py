@@ -104,6 +104,21 @@ SCHEMAS: Dict[str, Dict[str, object]] = {
         "floor": "min_speedup_floor",
         "must_be_true": ("identical_to_scalar_loop",),
     },
+    "BENCH_delta.json": {
+        "required": {
+            "n_workspaces": _INT,
+            "speedup_delta": _NUMBER,
+            "byte_identical_delta_output": _BOOL,
+            "delta_slice_only": _BOOL,
+            "min_speedup_floor": _NUMBER,
+        },
+        "metric": "speedup_delta",
+        "floor": "min_speedup_floor",
+        "must_be_true": (
+            "byte_identical_delta_output",
+            "delta_slice_only",
+        ),
+    },
 }
 
 
