@@ -1,0 +1,174 @@
+"""Fault tolerance — recovery is byte-exact and the clean path is free.
+
+PR 7's fault-tolerant runtime (:mod:`repro.core.faults` + the
+round-based retry/quarantine fan-out in :mod:`repro.core.runtime`)
+must hold two properties at once:
+
+* **Recovery changes nothing.**  A registry batch run under the
+  ``worker-kill`` fault plan — every chunk dispatch has a 10 % chance
+  of hard-killing its worker process (``os._exit``), producing real
+  ``BrokenProcessPool`` breaks in the parent — must complete and
+  produce results *identical* to a clean run: same rows, same floats,
+  same rendered bytes.  Completed chunks are merged, broken ones are
+  re-dispatched to a fresh pool.
+* **The clean path stays fast.**  The fault hooks (a module-global
+  ``is None`` check per site) must not tax the no-fault path: the
+  sharded runtime must keep its PR 2 speedup over the sequential
+  reference within 3 % (floor 4.365 = 0.97 x the 4.5 committed floor
+  of ``bench_sharded_batch.py``).
+
+The benchmark builds the same ~200-workspace synthetic registry as
+``bench_sharded_batch.py``, times the sequential reference against the
+warm sharded runtime (no plan installed), then runs the worker-kill
+plan and compares fingerprints and merged results against the clean
+run.  It emits a ``BENCH_faults.json`` trajectory artifact (uploaded
+by CI).  Runs standalone (CI smoke)::
+
+    PYTHONPATH=src python benchmarks/bench_faults.py
+
+or under pytest (``pytest benchmarks/bench_faults.py -s``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import tempfile
+import time
+from dataclasses import replace
+from pathlib import Path
+
+try:  # allow standalone execution without a PYTHONPATH export
+    import repro  # noqa: F401
+except ImportError:  # pragma: no cover - path bootstrap
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from bench_sharded_batch import (
+    _best_sharded_time,
+    build_registry,
+    report_fingerprints,
+    sequential_reference,
+)
+
+from repro.core.faults import named_plan
+from repro.core.runtime import BatchOptions, RetryPolicy, ShardedRunner
+
+N_WORKSPACES = 200
+#: Trajectory target, committed in ``benchmarks/floors.json``: 0.97 x
+#: the 4.5 committed floor of ``BENCH_sharded_batch.json`` — the fault
+#: hooks may not cost the clean path more than 3 %.
+TARGET_NO_FAULT_SPEEDUP = 4.365
+#: In-script assertion floor, deliberately looser than the committed
+#: target (the same pattern as bench_sharded_batch's 4.0 script floor
+#: vs its 4.5 committed floor) so a loaded single-core box does not
+#: flake on scheduler noise.
+MIN_NO_FAULT_SPEEDUP = 3.8
+ARTIFACT = "BENCH_faults.json"
+KILL_WORKERS = 4
+
+
+def run(n_workspaces: int = N_WORKSPACES, verbose: bool = True) -> dict:
+    """The gate: no-fault speedup floor + byte-exact worker-kill recovery."""
+    workers = max(2, min(os.cpu_count() or 2, 4))
+    worker_counts = sorted({1, workers})
+    options = BatchOptions()
+    with tempfile.TemporaryDirectory(prefix="faults-registry-") as tmp:
+        tmp = Path(tmp)
+        paths = build_registry(tmp, n_workspaces)
+
+        # --- clean path, same contenders as bench_sharded_batch ------
+        # (sequential re-parse reference vs the best warm sharded run).
+        # Noise only ever slows a run, so each side takes its best of a
+        # few passes, and a measurement session that still lands under
+        # the floor is retried — a load spike inflates both timings
+        # independently, never the true ratio the floor gates.
+        reference = sequential_reference(paths)
+        runner = ShardedRunner(workers=workers, options=options)
+        clean = runner.run(paths)  # cold run: compiles + persists .npz
+        speedup = 0.0
+        for _ in range(3):
+            t_seq = None
+            for _ in range(2):
+                t0 = time.perf_counter()
+                sequential_reference(paths)
+                elapsed = time.perf_counter() - t0
+                t_seq = elapsed if t_seq is None else min(t_seq, elapsed)
+            t_sharded = min(
+                _best_sharded_time(paths, worker_counts, options).values()
+            )
+            speedup = max(speedup, t_seq / t_sharded)
+            if speedup >= TARGET_NO_FAULT_SPEEDUP:
+                break
+        clean_ok = report_fingerprints(clean) == reference
+
+        # --- worker-kill plan: 10 % of dispatches kill their worker --
+        plan = named_plan("worker-kill")
+        kill_runner = ShardedRunner(
+            workers=max(workers, KILL_WORKERS),
+            options=replace(options, faults=plan),
+            retry=RetryPolicy(chunk_timeout=60.0),
+        )
+        t0 = time.perf_counter()
+        faulty = kill_runner.run(paths)
+        t_faulty = time.perf_counter() - t0
+        completed = (
+            len(faulty.results) == n_workspaces
+            and not faulty.skipped
+            and faulty.n_quarantined == 0
+        )
+        identical = (
+            report_fingerprints(faulty) == report_fingerprints(clean)
+            and faulty.results == clean.results
+        )
+
+    result = {
+        "n_workspaces": n_workspaces,
+        "workers": workers,
+        "t_sequential_best": t_seq,
+        "t_sharded_no_fault_best": t_sharded,
+        "speedup_no_fault": speedup,
+        "t_worker_kill_run": t_faulty,
+        "n_retried_under_kill": faulty.n_retried,
+        "completed_under_worker_kill": bool(completed),
+        "byte_identical_under_faults": bool(identical and clean_ok),
+        "min_no_fault_floor": MIN_NO_FAULT_SPEEDUP,
+    }
+    if verbose:
+        print(f"workspaces                    : {n_workspaces}")
+        print(f"sequential reference          : {t_seq * 1e3:8.1f} ms")
+        print(f"sharded, no faults            : {t_sharded * 1e3:8.1f} ms")
+        print(f"speedup (no-fault path)       : {speedup:8.1f}x")
+        print(f"worker-kill run               : {t_faulty * 1e3:8.1f} ms")
+        print(f"chunks retried under kill     : {faulty.n_retried}")
+        print(f"completed under worker-kill   : {completed}")
+        print(f"byte-identical under faults   : {identical and clean_ok}")
+
+    assert clean_ok, "clean sharded run diverged from the sequential reference"
+    assert completed, (
+        f"worker-kill run lost work: {len(faulty.results)} results, "
+        f"{len(faulty.skipped)} skipped, {faulty.n_quarantined} quarantined"
+    )
+    assert identical, "worker-kill run results differ from the clean run"
+    assert speedup >= MIN_NO_FAULT_SPEEDUP, (
+        f"fault hooks slowed the clean path: expected >= "
+        f"{MIN_NO_FAULT_SPEEDUP}x over sequential, measured {speedup:.1f}x"
+    )
+    return result
+
+
+def test_fault_recovery_and_no_fault_overhead():
+    """Pytest entry point: run the gate and write the CI artifact."""
+    result = run(N_WORKSPACES, verbose=True)
+    Path(ARTIFACT).write_text(json.dumps(result, indent=2))
+
+
+if __name__ == "__main__":
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--workspaces", type=int, default=N_WORKSPACES)
+    parser.add_argument("--artifact", default=ARTIFACT)
+    args = parser.parse_args()
+    outcome = run(args.workspaces)
+    Path(args.artifact).write_text(json.dumps(outcome, indent=2))
+    print(f"wrote {args.artifact}")

@@ -16,8 +16,14 @@ Subcommands map onto the paper's workflow:
   Monte Carlo per problem).  ``--workers N`` engages the sharded
   runtime and, by default, the persistent registry index
   (``--no-cache`` / ``--refresh`` control it).
-* ``repro index build|status|vacuum DIR`` — manage the sqlite registry
-  index that caches batch results across runs.
+* ``repro index build|status|vacuum|doctor DIR`` — manage the sqlite
+  registry index that caches batch results across runs; ``doctor``
+  checks integrity, rebuilds a corrupted database and re-probes
+  quarantined workspaces (see ``docs/robustness.md``).
+* ``repro chaos --registry DIR --plan NAME`` — run a registry batch
+  under deterministic fault injection (killed workers, failing
+  artifact reads, a torn index) and assert the output is
+  byte-identical to a clean run.
 * ``repro group --registry DIR --members FILE`` — group-decision
   rankings for every workspace in a registry: each decision maker's
   ranking, consensus (interval intersection) and tolerant (hull)
@@ -274,7 +280,9 @@ def build_parser() -> argparse.ArgumentParser:
         "index",
         help="manage the persistent registry index (sqlite result cache)",
     )
-    p_index.add_argument("action", choices=("build", "status", "vacuum"))
+    p_index.add_argument(
+        "action", choices=("build", "status", "vacuum", "doctor")
+    )
     p_index.add_argument(
         "registry",
         help="registry directory (workspace *.json files, scanned recursively)",
@@ -335,6 +343,46 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_serve.add_argument(
         "--quiet", action="store_true", help="suppress the access log"
+    )
+
+    from .core.faults import DEFAULT_SEED as _FAULT_SEED
+    from .core.faults import PLAN_NAMES as _PLAN_NAMES
+
+    p_chaos = sub.add_parser(
+        "chaos",
+        help="run a registry batch under fault injection and verify output",
+    )
+    p_chaos.add_argument(
+        "--registry",
+        required=True,
+        metavar="DIR",
+        help="registry directory of workspace *.json files to evaluate",
+    )
+    p_chaos.add_argument(
+        "--plan",
+        choices=_PLAN_NAMES,
+        default="worker-kill",
+        help="named fault plan to inject (default: worker-kill)",
+    )
+    p_chaos.add_argument(
+        "--seed",
+        type=int,
+        default=_FAULT_SEED,
+        help=f"fault-plan seed (default: {_FAULT_SEED})",
+    )
+    p_chaos.add_argument(
+        "--workers",
+        type=int,
+        default=4,
+        metavar="N",
+        help="worker processes for both runs (default: 4)",
+    )
+    p_chaos.add_argument(
+        "--simulate",
+        type=int,
+        default=0,
+        metavar="N",
+        help="also run N Monte Carlo simulations per workspace",
     )
 
     p_corpus = sub.add_parser(
@@ -863,13 +911,17 @@ def _cmd_group(
 
 
 def _cmd_index(action: str, registry: str, index_path: Optional[str]) -> str:
-    """``repro index build|status|vacuum``: registry index maintenance.
+    """``repro index build|status|vacuum|doctor``: index maintenance.
 
     ``build`` fingerprints every workspace JSON under the registry
     directory (recursively) and warms missing/stale ``.npz`` compiled
-    artifacts; ``status`` reports row counts and how much of the index
-    is still fresh on disk; ``vacuum`` drops rows for deleted files and
-    results whose content no longer exists, then compacts the database.
+    artifacts; ``status`` reports row counts, freshness, quarantine
+    and any past corruption rebuild; ``vacuum`` drops rows for deleted
+    files and results whose content no longer exists, then compacts
+    the database; ``doctor`` checks integrity (rebuilding a corrupted
+    database from scratch), rebuilds the workspace fingerprints,
+    re-probes quarantined workspaces and releases the ones that parse
+    again, and sweeps stray temp artifacts.
     """
     from .core.index import DEFAULT_INDEX_FILENAME, RegistryIndex
 
@@ -896,7 +948,7 @@ def _cmd_index(action: str, registry: str, index_path: Optional[str]) -> str:
             )
         if action == "status":
             info = index.status()
-            return (
+            text = (
                 f"index {info['db_path']} ({info['db_bytes']} bytes)\n"
                 f"  workspaces : {info['n_workspaces']} "
                 f"({info['fresh']} fresh, {info['stale']} stale, "
@@ -904,8 +956,43 @@ def _cmd_index(action: str, registry: str, index_path: Optional[str]) -> str:
                 f"  results    : {info['n_result_rows']} row(s) in "
                 f"{info['n_result_sets']} set(s) across "
                 f"{info['n_configs']} configuration(s), "
-                f"{info['result_bytes']} cached byte(s)"
+                f"{info['result_bytes']} cached byte(s)\n"
+                f"  quarantine : {info['n_quarantined']} workspace(s)"
             )
+            if info["last_rebuild_ns"] is not None:
+                from datetime import datetime, timezone
+
+                stamp = datetime.fromtimestamp(
+                    info["last_rebuild_ns"] / 1e9, tz=timezone.utc
+                ).isoformat(timespec="seconds")
+                text += (
+                    f"\n  rebuilt    : {stamp} "
+                    f"({info['rebuild_reason'] or 'unknown reason'})"
+                )
+            return text
+        if action == "doctor":
+            paths = _registry_workspaces(registry, index_path)
+            report = index.doctor(paths)
+            counts = report["build_counts"]
+            lines = [
+                f"doctor {db_path}",
+                "  integrity  : "
+                + (
+                    "ok"
+                    if report["integrity_ok"]
+                    else "CORRUPT — rebuilt from scratch "
+                    "(old file kept as .corrupt)"
+                ),
+                f"  workspaces : {sum(counts.values()) - counts['error']} "
+                f"indexed ({counts['error']} unreadable)",
+                f"  quarantine : {len(report['released'])} released, "
+                f"{len(report['held'])} still held",
+                f"  temp files : {report['temp_artifacts_removed']} "
+                f"stray artifact(s) swept",
+            ]
+            lines += [f"    released {path}" for path in report["released"]]
+            lines += [f"    held     {path}" for path in report["held"]]
+            return "\n".join(lines)
         removed = index.vacuum()
         return (
             f"vacuumed {db_path}: removed {removed['workspaces_removed']} "
@@ -913,6 +1000,90 @@ def _cmd_index(action: str, registry: str, index_path: Optional[str]) -> str:
             f"result row(s) and {removed['temp_artifacts_removed']} "
             f"stray temp artifact(s)"
         )
+
+
+def _cmd_chaos(
+    registry: str,
+    plan_name: str,
+    seed: int,
+    workers: int,
+    simulations: int,
+) -> "tuple[str, int]":
+    """``repro chaos``: prove fault recovery changes no output byte.
+
+    Evaluates every workspace in the registry twice — once clean, once
+    under the named fault plan (workers hard-killed mid-chunk, failing
+    artifact reads, a physically corrupted index, ...) — renders both
+    through the standard batch table, and compares the outputs.  Exit
+    status 0 means the runtime absorbed every injected fault without
+    changing a single byte; 1 means the outputs diverged (both tables
+    are printed for diffing).
+    """
+    import tempfile
+    from dataclasses import replace
+
+    from .core import faults as _faults
+    from .core.runtime import BatchOptions, RetryPolicy, ShardedRunner
+
+    plan = _faults.named_plan(plan_name, seed=seed)
+    workspaces = _registry_workspaces(registry, None)
+    if not workspaces:
+        raise SystemExit(f"no workspace *.json files under {registry}")
+    options = BatchOptions(simulations=simulations)
+
+    def _render(report) -> str:
+        headers, align = _batch_table_spec(simulations, False)
+        rows = [
+            _batch_row(
+                r.name,
+                r.n_alternatives,
+                r.n_attributes,
+                r.best_name,
+                r.best_average,
+                r.best_minimum,
+                r.best_maximum,
+                (r.ever_best, r.top5_fluctuation) if simulations else None,
+                None,
+            )
+            for r in report.results
+        ]
+        return render_table(headers, rows, align_left=align)
+
+    clean = ShardedRunner(workers=workers, options=options).run(workspaces)
+    faulty_runner = ShardedRunner(
+        workers=workers,
+        options=replace(options, faults=plan),
+        retry=RetryPolicy(chunk_timeout=30.0),
+    )
+    with tempfile.TemporaryDirectory(prefix="repro-chaos-") as scratch:
+        if plan.rate("index_corrupt") > 0.0:
+            # A scratch index (never the registry's real one) is built,
+            # physically corrupted, and handed to the faulty run — the
+            # open-time recovery rebuilds it and the run proceeds.
+            from .core.index import RegistryIndex
+
+            db_path = Path(scratch) / "chaos-index.sqlite"
+            with RegistryIndex(db_path) as pristine:
+                pristine.build(workspaces)
+            _faults.corrupt_sqlite(db_path)
+            with RegistryIndex(db_path) as recovered:
+                faulty = faulty_runner.run(workspaces, index=recovered)
+        else:
+            faulty = faulty_runner.run(workspaces)
+    clean_text, faulty_text = _render(clean), _render(faulty)
+    identical = clean_text == faulty_text
+    lines = [
+        f"chaos plan {plan.name!r} (seed {plan.seed}): {plan.describe()}",
+        f"  workspaces : {len(workspaces)} across {workers} worker(s)",
+        f"  clean run  : {clean.n_evaluated} evaluated",
+        f"  faulty run : {faulty.n_evaluated} evaluated, "
+        f"{faulty.n_retried} retried chunk(s), "
+        f"{faulty.n_quarantined} quarantined",
+        "  output     : " + ("byte-identical" if identical else "MISMATCH"),
+    ]
+    if not identical:
+        lines += ["", "--- clean ---", clean_text, "--- faulty ---", faulty_text]
+    return "\n".join(lines), 0 if identical else 1
 
 
 def _cmd_serve(
@@ -1014,6 +1185,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         if args.command == "index":
             print(_cmd_index(args.action, args.registry, args.index_path))
             return 0
+        if args.command == "chaos":
+            output, exit_code = _cmd_chaos(
+                args.registry,
+                args.plan,
+                args.seed,
+                args.workers,
+                args.simulate,
+            )
+            print(output)
+            return exit_code
         if args.command == "serve":
             return _cmd_serve(
                 args.registry,

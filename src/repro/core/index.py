@@ -90,11 +90,12 @@ __all__ = [
     "default_index_path",
     "IndexedWorkspace",
     "CachedResult",
+    "QuarantinedWorkspace",
     "RegistryIndex",
 ]
 
 DEFAULT_INDEX_FILENAME = ".repro-index.sqlite"
-SCHEMA_VERSION = 3
+SCHEMA_VERSION = 4
 
 #: How close (in nanoseconds) a file's ``mtime`` may sit to the moment
 #: its row was recorded before the stat fast path stops being trusted
@@ -138,6 +139,13 @@ CREATE TABLE IF NOT EXISTS results (
     top5_fluctuation INTEGER,
     group_json       TEXT,
     PRIMARY KEY (content_hash, config_hash, sub_index)
+);
+CREATE TABLE IF NOT EXISTS quarantine (
+    path           TEXT PRIMARY KEY,
+    failures       INTEGER NOT NULL,
+    last_error     TEXT NOT NULL,
+    source_sha     TEXT NOT NULL,
+    quarantined_ns INTEGER NOT NULL
 );
 """
 
@@ -308,6 +316,34 @@ class CachedResult:
     group_json: Optional[str] = None
 
 
+@dataclass(frozen=True)
+class QuarantinedWorkspace:
+    """One ``quarantine`` row: a workspace held out of evaluation.
+
+    Attributes
+    ----------
+    path : str
+        Absolute path of the quarantined workspace JSON.
+    failures : int
+        Dispatch failures accumulated before quarantine.
+    last_error : str
+        The failure that tipped the workspace over the threshold.
+    source_sha : str
+        sha256 of the file bytes at quarantine time (best effort,
+        ``""`` when unreadable); a run whose current bytes hash
+        differently releases the entry automatically — the operator
+        presumably fixed the file.
+    quarantined_ns : int
+        :func:`time.time_ns` when the row was written.
+    """
+
+    path: str
+    failures: int
+    last_error: str
+    source_sha: str
+    quarantined_ns: int
+
+
 _LOAD_ERRORS = (OSError, ValueError, KeyError, TypeError)
 
 
@@ -333,8 +369,21 @@ class RegistryIndex:
     empty database.
     """
 
-    def __init__(self, db_path: Union[str, Path]) -> None:
-        """Open or create the index database at ``db_path``."""
+    def __init__(
+        self, db_path: Union[str, Path], recover: bool = True
+    ) -> None:
+        """Open or create the index database at ``db_path``.
+
+        A physically corrupt database (torn page, zeroed header) is not
+        fatal: with ``recover`` (the default) the damaged file is moved
+        aside to a ``.corrupt`` sibling, a fresh database is created in
+        its place, and the rebuild is stamped into ``index_meta``
+        (``last_rebuild_ns`` / ``rebuild_reason``, surfaced by
+        :meth:`status` and ``repro index doctor``).  The index is
+        derived data — losing it costs one warm-up run, never
+        correctness.  ``recover=False`` re-raises instead, for callers
+        that want to inspect the damage.
+        """
         if str(db_path) == ":memory:":
             raise ValueError(
                 "RegistryIndex needs a file-backed database; ':memory:' "
@@ -350,14 +399,67 @@ class RegistryIndex:
         ] = {}
         self._connections_lock = threading.Lock()
         self._closed = False
-        conn = self._connect()
         try:
-            with conn:
-                conn.executescript(_SCHEMA)
-                self._migrate_schema()
+            self._initialise_schema()
+        except sqlite3.DatabaseError as exc:
+            if not recover or isinstance(exc, sqlite3.OperationalError):
+                # OperationalError is environmental (locked, read-only,
+                # bad path) — rebuilding would destroy a healthy index.
+                self.close()
+                raise
+            detail = self._integrity_report()
+            self._recover(f"open failed: {exc} (integrity: {detail})")
         except BaseException:
             self.close()
             raise
+
+    def _initialise_schema(self) -> None:
+        """Create/verify the schema on this thread's connection."""
+        conn = self._conn
+        with conn:
+            conn.executescript(_SCHEMA)
+            self._migrate_schema()
+
+    def _integrity_report(self) -> str:
+        """Best-effort ``PRAGMA integrity_check`` summary of the db file."""
+        try:
+            conn = sqlite3.connect(self.db_path)
+            try:
+                rows = conn.execute("PRAGMA integrity_check").fetchall()
+                return "; ".join(str(row[0]) for row in rows[:4])
+            finally:
+                conn.close()
+        except sqlite3.Error as exc:
+            return f"integrity_check failed: {exc}"
+
+    def _recover(self, reason: str) -> Path:
+        """Move the corrupt database aside and recreate it empty.
+
+        The damaged file becomes a ``.corrupt`` sibling (kept for
+        forensics; overwritten by the next recovery), WAL/SHM sidecars
+        are dropped, and the fresh database records when and why it was
+        rebuilt.  Returns the quarantined file's path.
+        """
+        with self._connections_lock:
+            connections, self._connections = self._connections, {}
+        for _, conn in connections.values():
+            conn.close()
+        self._local.conn = None
+        target = self.db_path.with_name(self.db_path.name + ".corrupt")
+        os.replace(self.db_path, target)
+        for suffix in ("-wal", "-shm"):
+            sidecar = Path(str(self.db_path) + suffix)
+            try:
+                sidecar.unlink()
+            except OSError:
+                pass
+        self._initialise_schema()
+        with self._conn:
+            self._conn.execute("BEGIN IMMEDIATE")
+            self._set_meta("last_rebuild_ns", str(time.time_ns()))
+            self._set_meta("rebuild_reason", reason)
+            self._set_meta("corrupt_copy", str(target))
+        return target
 
     def _connect(self) -> sqlite3.Connection:
         """Open this thread's connection (pragmas applied) and cache it.
@@ -457,6 +559,46 @@ class RegistryIndex:
                 "UPDATE index_meta SET value = ? WHERE key = 'schema_version'",
                 (str(SCHEMA_VERSION),),
             )
+
+    def _get_meta(self, key: str) -> Optional[str]:
+        """One ``index_meta`` value, or ``None`` when unset."""
+        row = self._conn.execute(
+            "SELECT value FROM index_meta WHERE key = ?", (key,)
+        ).fetchone()
+        return None if row is None else row["value"]
+
+    def _set_meta(self, key: str, value: str) -> None:
+        """Upsert one ``index_meta`` value (caller owns the transaction)."""
+        self._conn.execute(
+            "INSERT OR REPLACE INTO index_meta (key, value) VALUES (?, ?)",
+            (key, value),
+        )
+
+    def ping(self) -> bool:
+        """Cheap liveness probe: can the database answer a query at all?
+
+        Raises ``sqlite3.Error`` when it cannot — the service's
+        ``/healthz`` maps that to a degraded report.
+        """
+        self._conn.execute("SELECT 1").fetchone()
+        return True
+
+    def check(self) -> Dict[str, object]:
+        """Run ``PRAGMA integrity_check`` on the open database.
+
+        Returns ``{"ok": bool, "findings": [...]}``; damage that the
+        open itself did not trip (a zeroed interior page, say) shows up
+        here.  ``repro index doctor`` rebuilds when this reports
+        damage.
+        """
+        try:
+            rows = self._conn.execute(
+                "PRAGMA integrity_check"
+            ).fetchall()
+            findings = [str(row[0]) for row in rows]
+        except sqlite3.DatabaseError as exc:
+            findings = [f"{type(exc).__name__}: {exc}"]
+        return {"ok": findings == ["ok"], "findings": findings}
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -866,7 +1008,78 @@ class RegistryIndex:
                 )
 
     # ------------------------------------------------------------------
-    # Maintenance verbs (repro index build|status|vacuum)
+    # Quarantine (crash-looping workspaces held out of evaluation)
+    # ------------------------------------------------------------------
+
+    def quarantine_map(self) -> Dict[str, QuarantinedWorkspace]:
+        """Every quarantined workspace, keyed by absolute path."""
+        return {
+            row["path"]: QuarantinedWorkspace(
+                path=row["path"],
+                failures=row["failures"],
+                last_error=row["last_error"],
+                source_sha=row["source_sha"],
+                quarantined_ns=row["quarantined_ns"],
+            )
+            for row in self._conn.execute(
+                "SELECT path, failures, last_error, source_sha,"
+                " quarantined_ns FROM quarantine"
+            )
+        }
+
+    def record_quarantine(
+        self, entries: Iterable[Tuple[str, int, str]]
+    ) -> None:
+        """Quarantine ``(path, failures, error)`` entries in one write.
+
+        Stamps each entry with the file's current content hash (best
+        effort) so a later edit releases it automatically, and with the
+        quarantine time for operators.
+        """
+        rows = []
+        now = time.time_ns()
+        for path, failures, error in entries:
+            key = self._key(path)
+            try:
+                sha = _workspace._file_sha256(Path(key))
+            except OSError:
+                sha = ""
+            rows.append((key, int(failures), error, sha, now))
+        if not rows:
+            return
+        with self._conn:
+            self._conn.execute("BEGIN IMMEDIATE")
+            self._conn.executemany(
+                "INSERT OR REPLACE INTO quarantine"
+                " (path, failures, last_error, source_sha, quarantined_ns)"
+                " VALUES (?, ?, ?, ?, ?)",
+                rows,
+            )
+
+    def release_quarantine(
+        self, paths: Optional[Iterable[Union[str, Path]]] = None
+    ) -> int:
+        """Release quarantined workspaces (all of them when unspecified).
+
+        Returns the number of entries removed.
+        """
+        with self._conn:
+            self._conn.execute("BEGIN IMMEDIATE")
+            if paths is None:
+                removed = self._conn.execute(
+                    "DELETE FROM quarantine"
+                ).rowcount
+            else:
+                removed = 0
+                for path in paths:
+                    removed += self._conn.execute(
+                        "DELETE FROM quarantine WHERE path = ?",
+                        (self._key(path),),
+                    ).rowcount
+        return int(removed)
+
+    # ------------------------------------------------------------------
+    # Maintenance verbs (repro index build|status|vacuum|doctor)
     # ------------------------------------------------------------------
 
     def build(
@@ -915,8 +1128,12 @@ class RegistryIndex:
             ``n_group_rows`` (rows carrying a cached group payload),
             ``result_bytes`` (total cached-result payload bytes: text
             columns at their stored length, numeric columns at 8 bytes
-            each), ``fresh`` / ``stale`` / ``missing`` path counts and
-            ``db_bytes``.
+            each), ``fresh`` / ``stale`` / ``missing`` path counts,
+            ``db_bytes``, plus the degraded-state view:
+            ``n_quarantined`` (workspaces held out of evaluation),
+            ``last_rebuild_ns`` / ``rebuild_reason`` (most recent
+            corruption recovery, ``None`` when the database has never
+            been rebuilt).
         """
         n_workspaces = self._conn.execute(
             "SELECT COUNT(*) FROM workspaces"
@@ -956,6 +1173,10 @@ class RegistryIndex:
             db_bytes = os.path.getsize(self.db_path)
         except OSError:  # pragma: no cover - e.g. in-memory databases
             db_bytes = 0
+        n_quarantined = self._conn.execute(
+            "SELECT COUNT(*) FROM quarantine"
+        ).fetchone()[0]
+        last_rebuild = self._get_meta("last_rebuild_ns")
         return {
             "db_path": str(self.db_path),
             "n_workspaces": n_workspaces,
@@ -968,6 +1189,11 @@ class RegistryIndex:
             "stale": stale,
             "missing": missing,
             "db_bytes": db_bytes,
+            "n_quarantined": int(n_quarantined),
+            "last_rebuild_ns": (
+                int(last_rebuild) if last_rebuild is not None else None
+            ),
+            "rebuild_reason": self._get_meta("rebuild_reason"),
         }
 
     def vacuum(self) -> Dict[str, int]:
@@ -1014,4 +1240,67 @@ class RegistryIndex:
             "workspaces_removed": len(gone),
             "result_rows_removed": int(removed),
             "temp_artifacts_removed": int(temp_removed),
+        }
+
+    def doctor(
+        self, paths: Sequence[Union[str, Path]]
+    ) -> Dict[str, object]:
+        """Diagnose and repair the index against its registry.
+
+        Runs the full repair ladder:
+
+        1. ``PRAGMA integrity_check`` — a damaged database is moved
+           aside and rebuilt from scratch (same recovery the
+           constructor applies when the damage blocks the open);
+        2. re-index every registry path (:meth:`build`, compiling
+           missing/stale ``.npz`` artifacts on the way, so corrupt
+           artifacts are rewritten);
+        3. re-probe quarantined workspaces and release the ones that
+           load again (transient crashes heal; persistent poison
+           stays held);
+        4. sweep crashed writers' temp artifacts.
+
+        Returns a report dict: ``integrity_ok``, ``rebuilt``,
+        ``build_counts``, ``released`` / ``held`` (quarantine paths),
+        ``temp_artifacts_removed``, ``last_rebuild_ns`` and
+        ``rebuild_reason``.
+        """
+        integrity = self.check()
+        rebuilt = False
+        if not integrity["ok"]:
+            findings = "; ".join(integrity["findings"][:4])
+            self._recover(f"doctor integrity_check: {findings}")
+            rebuilt = True
+        build_counts = self.build(paths, warm_artifacts=True)
+        released: List[str] = []
+        held: List[str] = []
+        for path, row in sorted(self.quarantine_map().items()):
+            record, status = self._probe(path, warm_artifact=True)
+            if record is not None and status != "error":
+                released.append(path)
+            else:
+                held.append(path)
+        if released:
+            self.release_quarantine(released)
+        registry_dirs = {
+            os.path.dirname(self._key(path)) for path in paths
+        }
+        registry_dirs.add(str(self.db_path.parent))
+        temp_removed = sum(
+            _workspace.sweep_temp_artifacts(directory)
+            for directory in sorted(registry_dirs)
+            if os.path.isdir(directory)
+        )
+        last_rebuild = self._get_meta("last_rebuild_ns")
+        return {
+            "integrity_ok": bool(integrity["ok"]),
+            "rebuilt": rebuilt,
+            "build_counts": build_counts,
+            "released": released,
+            "held": held,
+            "temp_artifacts_removed": int(temp_removed),
+            "last_rebuild_ns": (
+                int(last_rebuild) if last_rebuild is not None else None
+            ),
+            "rebuild_reason": self._get_meta("rebuild_reason"),
         }

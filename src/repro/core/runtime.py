@@ -37,24 +37,30 @@ persisted in one single-writer transaction after the fan-in.
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
-from concurrent.futures import ProcessPoolExecutor, as_completed
+import sys
+import time
+from concurrent.futures import ProcessPoolExecutor, wait
 from dataclasses import dataclass, replace
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from . import faults as _faults
 from .engine import (
     StackedEvaluator,
     StackedRoster,
     compile_problem,
     stack_problems,
 )
+from .faults import FaultPlan
 
 __all__ = [
     "BatchOptions",
+    "RetryPolicy",
     "WorkspaceResult",
     "SkippedWorkspace",
     "RegistryReport",
@@ -99,6 +105,74 @@ class BatchOptions:
     refresh_cache: bool = True
     mmap: bool = True
     group: Optional[Tuple[Tuple[str, Tuple[Tuple[str, float, float], ...]], ...]] = None
+    #: A :class:`~repro.core.faults.FaultPlan` to run under (chaos
+    #: testing only).  Travels to the workers with the options, is
+    #: excluded from the evaluation-configuration hash — injected
+    #: faults never change what the numbers *are*, only which recovery
+    #: path computes them — and costs nothing when ``None``.
+    faults: Optional[FaultPlan] = None
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How :class:`ShardedRunner` survives dead and hung workers.
+
+    Attributes
+    ----------
+    chunk_timeout : float or None
+        The *no-progress* window, in seconds: if no chunk at all
+        completes for this long, the remaining in-flight chunks are
+        declared hung, the pool is abandoned without waiting, and the
+        chunks re-dispatch to a fresh pool.  ``None`` disables the
+        timeout.
+    quarantine_after : int
+        A workspace whose chunk dispatch fails this many times is
+        quarantined: reported in
+        :attr:`RegistryReport.n_quarantined` (and ``skipped``),
+        recorded in the index when one is attached, and excluded from
+        later runs until released (``repro index doctor``, or the file
+        content changing).  Pool-level failures charge every workspace
+        in the affected chunks, so this is deliberately generous.
+    split_after : int
+        Once a chunk has failed this many times it re-dispatches as
+        single-workspace chunks, isolating a poison workspace from its
+        innocent neighbours.
+    backoff_base, backoff_cap : float
+        Exponential backoff between retry rounds:
+        ``min(cap, base * 2**attempt)`` seconds, scaled by a
+        deterministic jitter factor in ``[0.5, 1.5)``.
+    """
+
+    chunk_timeout: Optional[float] = 300.0
+    quarantine_after: int = 5
+    split_after: int = 2
+    backoff_base: float = 0.05
+    backoff_cap: float = 1.0
+
+    def __post_init__(self):
+        """Validate the retry shape."""
+        if self.chunk_timeout is not None and self.chunk_timeout <= 0:
+            raise ValueError("chunk_timeout must be positive (or None)")
+        if self.quarantine_after < 1:
+            raise ValueError("quarantine_after must be >= 1")
+        if self.split_after < 1:
+            raise ValueError("split_after must be >= 1")
+        if self.backoff_base < 0 or self.backoff_cap < 0:
+            raise ValueError("backoff must be non-negative")
+
+
+def _backoff_delay(policy: RetryPolicy, round_no: int, attempt: int) -> float:
+    """Seconds to sleep before retry round ``round_no``.
+
+    Exponential in the highest failed ``attempt``, capped, and spread
+    by a jitter factor in ``[0.5, 1.5)`` derived from the round number
+    — deterministic for a given schedule (reproducible runs) while
+    still decorrelating concurrent runners.
+    """
+    base = min(policy.backoff_cap, policy.backoff_base * (2.0 ** min(attempt, 6)))
+    digest = hashlib.sha256(f"backoff:{round_no}".encode()).digest()
+    jitter = 0.5 + int.from_bytes(digest[:4], "big") / 2.0**32
+    return base * jitter
 
 
 @dataclass(frozen=True)
@@ -164,6 +238,16 @@ class RegistryReport:
         that workspace was re-evaluated — numbers still byte-identical
         to a full recompute (0 when no index was passed or the
         configuration rules delta out).
+    n_retried : int
+        Chunk dispatches that failed (dead pool, hung worker) and were
+        re-dispatched to a fresh pool.  Purely informational: the
+        merged ``results`` are byte-identical however many retries it
+        took.
+    n_quarantined : int
+        Registry entries excluded from evaluation by the quarantine:
+        entries that exhausted :attr:`RetryPolicy.quarantine_after`
+        dispatch failures this run, plus entries already held in the
+        attached index's quarantine.  They also appear in ``skipped``.
     """
 
     results: Tuple[WorkspaceResult, ...]
@@ -174,6 +258,8 @@ class RegistryReport:
     workers: int
     n_cached: int = 0
     n_delta: int = 0
+    n_retried: int = 0
+    n_quarantined: int = 0
 
     @property
     def n_evaluated(self) -> int:
@@ -359,8 +445,18 @@ def _stacked_mc_summary(ranks) -> Tuple["object", "object"]:
     return ever_best, top5
 
 
+def _chunk_key(chunk: Sequence[Tuple[int, str]]) -> str:
+    """A stable fault-decision key for one chunk dispatch."""
+    if not chunk:
+        return "chunk:empty"
+    return f"chunk:{chunk[0][0]}:{chunk[-1][0]}"
+
+
 def evaluate_registry_chunk(
-    chunk: Sequence[Tuple[int, str]], options: BatchOptions
+    chunk: Sequence[Tuple[int, str]],
+    options: BatchOptions,
+    attempt: int = 0,
+    in_worker: bool = False,
 ) -> Tuple[List[WorkspaceResult], List[SkippedWorkspace], int]:
     """Evaluate one chunk of ``(registry_index, path)`` pairs.
 
@@ -369,12 +465,28 @@ def evaluate_registry_chunk(
     evaluates each stack in one array program.  Returns
     ``(results, skipped, n_stacks)``; results carry registry indices so
     the caller can merge shards deterministically.
+
+    ``attempt`` and ``in_worker`` only matter under a fault plan
+    (``options.faults``): retries draw fresh, independent fault
+    decisions, and process-killing faults fire only inside pool
+    workers — never in the orchestrating process.
     """
-    loaded, skipped = _load_chunk_problems(chunk, options)
-    if not loaded:
-        return [], skipped, 0
-    results, n_stacks = _evaluate_loaded(loaded, options)
-    return results, skipped, n_stacks
+    plan = options.faults
+    if plan is not None:
+        key = _chunk_key(chunk)
+        if in_worker:
+            plan.maybe_kill(key, attempt)
+        plan.maybe_sleep(key, attempt)
+        _faults.install(plan)
+    try:
+        loaded, skipped = _load_chunk_problems(chunk, options)
+        if not loaded:
+            return [], skipped, 0
+        results, n_stacks = _evaluate_loaded(loaded, options)
+        return results, skipped, n_stacks
+    finally:
+        if plan is not None:
+            _faults.uninstall()
 
 
 def _evaluate_loaded(
@@ -465,8 +577,9 @@ class ShardedRunner:
         workers: Optional[int] = None,
         chunk_size: Optional[int] = None,
         options: Optional[BatchOptions] = None,
+        retry: Optional[RetryPolicy] = None,
     ) -> None:
-        """Configure the pool shape and per-workspace evaluation options."""
+        """Configure the pool shape, evaluation options and retry policy."""
         if workers is None:
             workers = min(os.cpu_count() or 1, 8)
         if workers < 1:
@@ -474,6 +587,7 @@ class ShardedRunner:
         self.workers = workers
         self.chunk_size = chunk_size
         self.options = options or BatchOptions()
+        self.retry = retry or RetryPolicy()
 
     # ------------------------------------------------------------------
     def run(
@@ -516,6 +630,8 @@ class ShardedRunner:
             )
         indexed = [(i, str(p)) for i, p in enumerate(paths)]
         cached_results: List[WorkspaceResult] = []
+        quarantine_skipped: List[SkippedWorkspace] = []
+        active = indexed
         pending = indexed
         to_evaluate = indexed
         delta_loaded: List[tuple] = []
@@ -527,6 +643,9 @@ class ShardedRunner:
             from .index import eval_config_hash
 
             config_hash = eval_config_hash(self.options)
+            active, quarantine_skipped = self._apply_quarantine(
+                index, indexed, _workspace
+            )
             # Delta compilation patches the previous compiled artifact,
             # so it needs the artifact machinery and a configuration the
             # fast path can serve: no object-graph expansions
@@ -539,7 +658,7 @@ class ShardedRunner:
             )
             pending = []
             to_evaluate = []
-            for i, path in indexed:
+            for i, path in active:
                 record, status = index.probe_with_status(path)
                 if record is not None:
                     records[path] = record
@@ -620,6 +739,8 @@ class ShardedRunner:
             )
             results.extend(delta_results)
             n_stacks += delta_stacks
+        n_retried = 0
+        newly_quarantined: List[SkippedWorkspace] = []
         if self.workers == 1 or len(chunks) <= 1:
             for chunk in chunks:
                 r, s, k = evaluate_registry_chunk(chunk, self.options)
@@ -627,20 +748,21 @@ class ShardedRunner:
                 skipped.extend(s)
                 n_stacks += k
         else:
-            with ProcessPoolExecutor(max_workers=self.workers) as pool:
-                futures = [
-                    pool.submit(evaluate_registry_chunk, chunk, self.options)
-                    for chunk in chunks
-                ]
-                for future in as_completed(futures):
-                    r, s, k = future.result()
-                    results.extend(r)
-                    skipped.extend(s)
-                    n_stacks += k
+            r, s, k, n_retried, newly_quarantined = self._fan_out(chunks)
+            results.extend(r)
+            skipped.extend(s)
+            n_stacks += k
 
         if index is not None:
+            if newly_quarantined:
+                index.record_quarantine(
+                    (q.path, self.retry.quarantine_after, q.error)
+                    for q in newly_quarantined
+                )
             self._persist_run(index, config_hash, records, pending, results)
 
+        skipped.extend(newly_quarantined)
+        skipped.extend(quarantine_skipped)
         results.extend(cached_results)
         results.sort(key=lambda r: r.order_key)
         skipped.sort(key=lambda s: s.index)
@@ -653,7 +775,195 @@ class ShardedRunner:
             workers=self.workers,
             n_cached=n_cached,
             n_delta=len(delta_loaded),
+            n_retried=n_retried,
+            n_quarantined=len(newly_quarantined) + len(quarantine_skipped),
         )
+
+    @staticmethod
+    def _apply_quarantine(
+        index, indexed: List[Tuple[int, str]], _workspace
+    ) -> Tuple[List[Tuple[int, str]], List[SkippedWorkspace]]:
+        """Split the registry into active entries and quarantined skips.
+
+        An entry held in the index's quarantine is excluded from
+        evaluation — unless its file content changed since it was
+        quarantined (the operator presumably fixed it), in which case
+        it is released and evaluated normally.  The common case —
+        empty quarantine — is one index read.
+        """
+        held = index.quarantine_map()
+        if not held:
+            return indexed, []
+        active: List[Tuple[int, str]] = []
+        quarantine_skipped: List[SkippedWorkspace] = []
+        released: List[str] = []
+        for i, path in indexed:
+            row = held.get(os.path.abspath(path))
+            if row is None:
+                active.append((i, path))
+                continue
+            try:
+                sha = _workspace._file_sha256(Path(path))
+            except OSError:
+                sha = None
+            if sha is not None and sha != row.source_sha:
+                released.append(path)
+                active.append((i, path))
+                continue
+            quarantine_skipped.append(
+                SkippedWorkspace(
+                    index=i,
+                    path=path,
+                    error=(
+                        f"quarantined after {row.failures} failed "
+                        f"dispatch(es) ({row.last_error}); release with "
+                        f"`repro index doctor` or by editing the file"
+                    ),
+                )
+            )
+        if released:
+            index.release_quarantine(released)
+        return active, quarantine_skipped
+
+    def _fan_out(
+        self, chunks: List[List[Tuple[int, str]]]
+    ) -> Tuple[
+        List[WorkspaceResult],
+        List[SkippedWorkspace],
+        int,
+        int,
+        List[SkippedWorkspace],
+    ]:
+        """The crash-tolerant pool fan-out.
+
+        Dispatches every chunk to a ``ProcessPoolExecutor`` and merges
+        whatever completes — a dead worker (``BrokenProcessPool``) or a
+        hung one (no completion inside
+        :attr:`RetryPolicy.chunk_timeout`) never discards results that
+        already arrived.  Failed chunks re-dispatch to a *fresh* pool
+        with exponential backoff, splitting into single-workspace
+        chunks after :attr:`RetryPolicy.split_after` charged failures;
+        workspaces that keep failing are quarantined after
+        :attr:`RetryPolicy.quarantine_after` strikes.
+
+        Failure attribution: one dead worker breaks the *whole* pool,
+        failing every in-flight future — charging all of them would
+        quarantine innocent workspaces after a handful of crashes.  A
+        ``BrokenExecutor`` failure is therefore collateral (re-dispatch
+        without penalty) as long as the round completed *something*;
+        only a round with zero progress charges the pool break to its
+        chunks, which still corners a chunk that deterministically
+        kills its worker — once it is all that remains, every round is
+        progress-free and it accumulates strikes until quarantine.
+        Returns ``(results, skipped, n_stacks, n_retried, quarantined)``.
+        """
+        from concurrent.futures.process import BrokenProcessPool
+
+        policy = self.retry
+        results: List[WorkspaceResult] = []
+        skipped: List[SkippedWorkspace] = []
+        n_stacks = 0
+        n_retried = 0
+        quarantined: List[SkippedWorkspace] = []
+        failures: Dict[int, int] = {}
+        work: List[Tuple[List[Tuple[int, str]], int]] = [
+            (list(chunk), 0) for chunk in chunks
+        ]
+        round_no = 0
+        while work:
+            batch, work = work, []
+            failed: List[
+                Tuple[Tuple[List[Tuple[int, str]], int], str, bool]
+            ] = []
+            pool = ProcessPoolExecutor(max_workers=self.workers)
+            futures = {
+                pool.submit(
+                    evaluate_registry_chunk, chunk, self.options, attempt, True
+                ): (chunk, attempt)
+                for chunk, attempt in batch
+            }
+            hung = False
+            progressed = False
+            pending = set(futures)
+            while pending:
+                done, pending = wait(pending, timeout=policy.chunk_timeout)
+                if not done:
+                    # Nothing at all completed inside the window: the
+                    # in-flight workers are hung.  Chunks still queued
+                    # (cancellable) re-dispatch without penalty; the
+                    # hung ones count as failures.  The pool is
+                    # abandoned without waiting.
+                    for future in pending:
+                        item = futures[future]
+                        if future.cancel():
+                            work.append(item)
+                        else:
+                            failed.append(
+                                (
+                                    item,
+                                    "no progress within "
+                                    f"{policy.chunk_timeout:g}s",
+                                    False,
+                                )
+                            )
+                    hung = True
+                    break
+                for future in done:
+                    try:
+                        r, s, k = future.result()
+                    except Exception as exc:
+                        failed.append(
+                            (
+                                futures[future],
+                                f"{type(exc).__name__}: {exc}",
+                                isinstance(exc, BrokenProcessPool),
+                            )
+                        )
+                        continue
+                    results.extend(r)
+                    skipped.extend(s)
+                    n_stacks += k
+                    progressed = True
+            pool.shutdown(wait=not hung, cancel_futures=True)
+
+            max_attempt = 0
+            any_charged = False
+            for (chunk, attempt), error, collateral in failed:
+                charge = not (collateral and progressed)
+                any_charged = any_charged or charge
+                max_attempt = max(max_attempt, attempt)
+                survivors: List[Tuple[int, str]] = []
+                for entry in chunk:
+                    i, path = entry
+                    if charge:
+                        failures[i] = failures.get(i, 0) + 1
+                    if failures.get(i, 0) >= policy.quarantine_after:
+                        quarantined.append(
+                            SkippedWorkspace(
+                                index=i,
+                                path=path,
+                                error=(
+                                    f"quarantined after {failures[i]} "
+                                    f"failed dispatch(es) (last: {error})"
+                                ),
+                            )
+                        )
+                    else:
+                        survivors.append(entry)
+                if not survivors:
+                    continue
+                n_retried += 1
+                worst = max(failures.get(i, 0) for i, _ in survivors)
+                if len(survivors) > 1 and worst >= policy.split_after:
+                    work.extend(
+                        ([entry], attempt + 1) for entry in survivors
+                    )
+                else:
+                    work.append((survivors, attempt + 1))
+            if any_charged and work:
+                time.sleep(_backoff_delay(policy, round_no, max_attempt))
+            round_no += 1
+        return results, skipped, n_stacks, n_retried, quarantined
 
     @staticmethod
     def _persist_run(
@@ -742,6 +1052,7 @@ class ShardedRunner:
         interval: float = 1.0,
         max_cycles: Optional[int] = None,
         on_cycle=None,
+        max_poll_failures: int = 8,
     ) -> List[WatchCycle]:
         """Follow a registry: poll, ingest deltas, repeat.
 
@@ -772,20 +1083,46 @@ class ShardedRunner:
             Called with each :class:`WatchCycle` as it completes (e.g.
             to print a delta report); returning ``False`` — exactly —
             stops the watch after that cycle.
+        max_poll_failures : int, optional
+            A transient ``OSError`` while expanding or running the
+            registry (an NFS blip, a directory mid-rename) is logged to
+            stderr and retried with exponential backoff instead of
+            killing the follow loop; after this many *consecutive*
+            failures the error propagates.
 
         Returns
         -------
         list of WatchCycle
             Every completed cycle, in order.
         """
-        import time as _time
-
         cycles: List[WatchCycle] = []
+        poll_failures = 0
         while max_cycles is None or len(cycles) < max_cycles:
-            if cycles:
-                _time.sleep(interval)
-            paths = expand_registry_source(source)
-            report = self.run(paths, index=index)
+            if cycles or poll_failures:
+                backoff = min(2.0**poll_failures, 8.0) if poll_failures else 1.0
+                time.sleep(interval * backoff)
+            try:
+                plan = self.options.faults
+                if plan is not None:
+                    plan.strike(
+                        "registry_poll",
+                        f"cycle:{len(cycles) + 1}",
+                        attempt=poll_failures,
+                    )
+                paths = expand_registry_source(source)
+                report = self.run(paths, index=index)
+            except OSError as exc:
+                poll_failures += 1
+                print(
+                    f"watch: transient {type(exc).__name__} during "
+                    f"registry poll ({exc}); "
+                    f"retry {poll_failures}/{max_poll_failures}",
+                    file=sys.stderr,
+                )
+                if poll_failures >= max_poll_failures:
+                    raise
+                continue
+            poll_failures = 0
             cycle = WatchCycle(
                 cycle=len(cycles) + 1,
                 n_paths=len(paths),

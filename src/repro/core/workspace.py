@@ -36,6 +36,7 @@ from typing import Any, Dict, List, Mapping, Optional, Tuple, Union
 
 import numpy as np
 
+from . import faults
 from .engine import CompiledProblem, compile_problem, delta_compile
 from .hierarchy import Hierarchy, ObjectiveNode
 from .interval import Interval
@@ -59,6 +60,7 @@ __all__ = [
     "compile_cache_info",
     "clear_compile_cache",
     "compiled_array_path",
+    "payload_checksum",
     "save_compiled_arrays",
     "load_compiled_arrays",
     "load_compiled_fast",
@@ -71,7 +73,7 @@ __all__ = [
 ]
 
 FORMAT = "repro-workspace/1"
-COMPILED_FORMAT = "repro-compiled/1"
+COMPILED_FORMAT = "repro-compiled/2"
 
 
 # ----------------------------------------------------------------------
@@ -488,6 +490,37 @@ def _file_sha256(path: Path) -> str:
     return digest.hexdigest()
 
 
+#: Metadata members folded into the artifact payload checksum (the
+#: dense arrays in :data:`_ARRAY_FIELDS` are always included).
+_CHECKSUM_METADATA = (
+    "problem_name",
+    "attribute_names",
+    "alternative_names",
+    "source_sha",
+    "content_hash",
+)
+
+
+def payload_checksum(arrays: Mapping[str, np.ndarray]) -> str:
+    """SHA-256 over an artifact's array bytes and identity metadata.
+
+    Stored in the artifact as ``payload_sha`` and re-derived on every
+    load, so corruption *inside* a member's data region — which the
+    zero-copy mmap path's skipped zip CRC would otherwise let through —
+    turns the load into an ordinary cache miss.  Compiled arrays are
+    small (a shortlist times a criteria tree), so this costs microseconds
+    against the artifact's I/O.
+    """
+    digest = hashlib.sha256()
+    for field in (*_ARRAY_FIELDS, *_CHECKSUM_METADATA):
+        arr = np.ascontiguousarray(arrays[field])
+        digest.update(field.encode())
+        digest.update(str(arr.dtype).encode())
+        digest.update(str(arr.shape).encode())
+        digest.update(arr.tobytes())
+    return digest.hexdigest()
+
+
 def save_compiled_arrays(
     compiled: CompiledProblem,
     npz_path: Union[str, Path],
@@ -524,6 +557,7 @@ def save_compiled_arrays(
     payload["content_hash"] = np.array(semantic_hash)
     if component_json is not None:
         payload["component_json"] = np.array(component_json)
+    payload["payload_sha"] = np.array(payload_checksum(payload))
 
     buffer = BytesIO()
     np.savez(buffer, **payload)
@@ -664,18 +698,30 @@ def load_compiled_arrays(
 ) -> Optional[Dict[str, np.ndarray]]:
     """Read a compiled artifact; arrays are mmap-backed views by default.
 
-    Returns ``None`` for a missing, unreadable or wrong-format file —
-    the caller treats that exactly like a cache miss.
+    Returns ``None`` for a missing, unreadable, wrong-format or
+    corrupt file — the caller treats that exactly like a cache miss
+    and recompiles from the workspace JSON.  Every member named by the
+    format must be present and the recorded ``payload_sha`` must match
+    the re-derived :func:`payload_checksum`, so a truncated, torn or
+    bit-rotted artifact can never reach evaluation.
     """
     npz_path = Path(npz_path)
     if not npz_path.is_file():
         return None
     try:
+        plan = faults.active()
+        if plan is not None:
+            plan.strike("artifact_read", str(npz_path))
         arrays = _read_npz_mmapped(npz_path) if mmap_arrays else None
         if arrays is None:
             with np.load(npz_path, allow_pickle=False) as npz:
                 arrays = {key: npz[key] for key in npz.files}
         if str(arrays.get("format")) != COMPILED_FORMAT:
+            return None
+        for field in (*_ARRAY_FIELDS, *_CHECKSUM_METADATA, "payload_sha"):
+            if field not in arrays:
+                return None
+        if str(arrays["payload_sha"]) != payload_checksum(arrays):
             return None
         return arrays
     except (

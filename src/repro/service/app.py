@@ -52,6 +52,8 @@ file that exists but cannot be parsed or evaluated.
 from __future__ import annotations
 
 import json
+import math
+import sqlite3
 import threading
 import time
 from collections import deque
@@ -94,11 +96,17 @@ _LOAD_ERRORS = (OSError, ValueError, KeyError, TypeError)
 class ServiceError(Exception):
     """An error response: HTTP ``status`` plus a client-facing message."""
 
-    def __init__(self, status: int, message: str) -> None:
-        """Record the status code and message for the JSON error body."""
+    def __init__(
+        self,
+        status: int,
+        message: str,
+        headers: Optional[Mapping[str, str]] = None,
+    ) -> None:
+        """Record the status, message and extra headers (``Retry-After``)."""
         super().__init__(message)
         self.status = status
         self.message = message
+        self.headers = dict(headers or {})
 
 
 @dataclass(frozen=True)
@@ -187,6 +195,91 @@ class _Metrics:
         return {"requests": payload, "latency": latency}
 
 
+class _CircuitBreaker:
+    """Evaluation circuit breaker: ``closed`` → ``open`` → ``half-open``.
+
+    Protects the evaluation machinery from failure storms.  While
+    closed every evaluation proceeds; after ``threshold`` *consecutive*
+    failures the circuit opens and evaluations are refused outright
+    (503 + ``Retry-After``) for ``cooldown`` seconds.  The first
+    request after the cooldown transitions to half-open and is let
+    through as a single probe — success closes the circuit, failure
+    re-opens it for another full cooldown.  The clock is injectable so
+    tests drive the state machine without sleeping.
+    """
+
+    def __init__(
+        self,
+        threshold: int = 5,
+        cooldown: float = 30.0,
+        clock=time.monotonic,
+    ) -> None:
+        """A closed breaker tripping after ``threshold`` straight failures."""
+        self._lock = threading.Lock()
+        self._threshold = threshold
+        self._cooldown = cooldown
+        self._clock = clock
+        self._failures = 0
+        self._state = "closed"
+        self._opened_at = 0.0
+        self._probing = False
+
+    @property
+    def state(self) -> str:
+        """The current state: ``closed``, ``open`` or ``half-open``."""
+        with self._lock:
+            return self._state
+
+    def acquire(self) -> Optional[int]:
+        """Ask to run one evaluation.
+
+        Returns ``None`` when the call may proceed (closed, or the
+        single half-open probe).  Otherwise returns the whole number of
+        seconds the caller should advertise as ``Retry-After``.
+        """
+        with self._lock:
+            if self._state == "closed":
+                return None
+            elapsed = self._clock() - self._opened_at
+            if self._state == "open" and elapsed >= self._cooldown:
+                self._state = "half-open"
+            if self._state == "half-open" and not self._probing:
+                self._probing = True
+                return None
+            return max(1, math.ceil(self._cooldown - elapsed))
+
+    def record_success(self) -> None:
+        """An evaluation completed: reset the count, close the circuit."""
+        with self._lock:
+            self._failures = 0
+            self._state = "closed"
+            self._probing = False
+
+    def record_failure(self) -> None:
+        """An evaluation failed: count it, opening at the threshold."""
+        with self._lock:
+            self._failures += 1
+            if self._state == "half-open" or self._failures >= self._threshold:
+                self._state = "open"
+                self._opened_at = self._clock()
+            self._probing = False
+
+    def abort_probe(self) -> None:
+        """A probe ended without a verdict (index outage mid-flight)."""
+        with self._lock:
+            self._probing = False
+
+    def snapshot(self) -> Dict[str, object]:
+        """The ``/healthz`` view of the breaker's state."""
+        with self._lock:
+            return {
+                "state": self._state,
+                "consecutive_failures": self._failures,
+                "threshold": self._threshold,
+                "cooldown_seconds": self._cooldown,
+            }
+
+
 class ServiceApp:
     """The registry query service's request handler (no socket).
 
@@ -244,6 +337,11 @@ class ServiceApp:
         self.index = RegistryIndex(self.index_path)
         self.cache = ResponseCache(cache_size)
         self.metrics = _Metrics()
+        self.breaker = _CircuitBreaker()
+        # Last known-good response per (verb, workspace id) — never
+        # invalidated, only overwritten, so index-unavailable reads can
+        # degrade to a stale answer with a ``Warning: 110`` header.
+        self._stale = ResponseCache(cache_size)
         self._write_lock = threading.Lock()
 
     def close(self) -> None:
@@ -279,7 +377,9 @@ class ServiceApp:
             endpoint, response = self._route(method, path, query, headers, body)
         except ServiceError as exc:
             response = Response(
-                exc.status, _dumps({"error": exc.message, "status": exc.status})
+                exc.status,
+                _dumps({"error": exc.message, "status": exc.status}),
+                headers=exc.headers,
             )
         except Exception as exc:  # pragma: no cover - defensive backstop
             response = Response(
@@ -335,13 +435,31 @@ class ServiceApp:
     # ------------------------------------------------------------------
 
     def _healthz(self) -> Response:
+        """Liveness plus degradation report — always HTTP 200.
+
+        ``status`` is ``"ok"`` when the index answers a ping and the
+        evaluation circuit breaker is closed, ``"degraded"`` otherwise.
+        Monitors read the payload, not the status code: a degraded
+        service is still *serving* (stale reads keep working), so
+        load balancers must not eject it.
+        """
+        index_error: Optional[str] = None
+        try:
+            self.index.ping()
+        except sqlite3.Error as exc:
+            index_error = f"{type(exc).__name__}: {exc}"
+        breaker = self.breaker.snapshot()
+        degraded = index_error is not None or breaker["state"] != "closed"
         return Response(
             200,
             _dumps(
                 {
-                    "status": "ok",
+                    "status": "degraded" if degraded else "ok",
                     "registry": str(self.registry_dir),
                     "index_db": str(self.index_path),
+                    "index_available": index_error is None,
+                    "index_error": index_error,
+                    "circuit_breaker": breaker,
                     "members": (
                         str(self.members_path)
                         if self.members_path is not None
@@ -493,18 +611,52 @@ class ServiceApp:
         headers: Mapping[str, str],
     ) -> Response:
         path = self._resolve(ws_id)
-        if verb == "ranking":
+        try:
+            if verb == "ranking":
+                self._reject_unknown_params(query, ())
+                return self._serve_results(ws_id, path, BatchOptions(), headers)
+            if verb == "montecarlo":
+                return self._serve_results(
+                    ws_id, path, self._mc_options(query), headers
+                )
+            if verb == "group":
+                self._reject_unknown_params(query, ())
+                return self._serve_group(ws_id, path, headers)
             self._reject_unknown_params(query, ())
-            return self._serve_results(ws_id, path, BatchOptions(), headers)
-        if verb == "montecarlo":
-            return self._serve_results(
-                ws_id, path, self._mc_options(query), headers
-            )
-        if verb == "group":
-            self._reject_unknown_params(query, ())
-            return self._serve_group(ws_id, path, headers)
-        self._reject_unknown_params(query, ())
-        return self._serve_screening(verb, ws_id, path, headers)
+            return self._serve_screening(verb, ws_id, path, headers)
+        except sqlite3.Error as exc:
+            self.breaker.abort_probe()
+            return self._serve_stale(verb, ws_id, exc)
+
+    def _serve_stale(
+        self, verb: str, ws_id: str, exc: sqlite3.Error
+    ) -> Response:
+        """Degraded read: the last known-good body for this endpoint.
+
+        Reached when the registry index raises ``sqlite3.Error`` while
+        serving a workspace GET.  If this endpoint answered before, the
+        stored body is replayed with ``X-Cache: stale`` and the RFC
+        7234 ``Warning: 110`` header so clients know it may be out of
+        date; otherwise the outage surfaces as 503 + ``Retry-After``.
+        """
+        stale = self._stale.get((verb, ws_id))
+        if stale is None:
+            raise ServiceError(
+                503,
+                f"registry index unavailable "
+                f"({type(exc).__name__}: {exc}) and no cached response "
+                f"for {ws_id!r}",
+                headers={"Retry-After": "5"},
+            ) from exc
+        return Response(
+            200,
+            stale.body,
+            headers={
+                "ETag": stale.etag,
+                "X-Cache": "stale",
+                "Warning": '110 - "Response is Stale"',
+            },
+        )
 
     def _finish(
         self,
@@ -512,25 +664,31 @@ class ServiceApp:
         etag: str,
         headers: Mapping[str, str],
         build,
+        stale_key: Optional[Tuple[str, str]] = None,
     ) -> Response:
         """The shared validator → LRU → build tail of every GET.
 
         ``build()`` runs only when both the client validator and the
         response LRU miss; its body is cached under ``key`` for the
-        next request with the same semantic identity.
+        next request with the same semantic identity.  Every 200 body
+        is also stored under ``stale_key`` — the per-endpoint last
+        known-good answer replayed by :meth:`_serve_stale` when the
+        index goes down.
         """
         if if_none_match_matches(headers.get("if-none-match"), etag):
             return Response(304, b"", headers={"ETag": etag})
         cached = self.cache.get(key)
-        if cached is not None:
-            return Response(
-                200,
-                cached.body,
-                headers={"ETag": etag, "X-Cache": "hit"},
-            )
-        body = build()
-        self.cache.put(key, CachedResponse(body=body, etag=etag))
-        return Response(200, body, headers={"ETag": etag, "X-Cache": "miss"})
+        if cached is None:
+            cached = CachedResponse(body=build(), etag=etag)
+            self.cache.put(key, cached)
+            x_cache = "miss"
+        else:
+            x_cache = "hit"
+        if stale_key is not None:
+            self._stale.put(stale_key, cached)
+        return Response(
+            200, cached.body, headers={"ETag": etag, "X-Cache": x_cache}
+        )
 
     # -- ranking / montecarlo: the index read-through -------------------
 
@@ -555,7 +713,7 @@ class ServiceApp:
                 self._results_payload(ws_id, record.content_hash, options, rows)
             )
 
-        return self._finish(key, etag, headers, build)
+        return self._finish(key, etag, headers, build, stale_key=(verb, ws_id))
 
     def _evaluate_through(
         self,
@@ -572,24 +730,54 @@ class ServiceApp:
         through :meth:`RegistryIndex.record_run` — the same single
         -writer path ``repro batch`` uses — so the committed rows are
         the ones a batch run would cache.
+
+        Guarded by the app's :class:`_CircuitBreaker`: while the
+        circuit is open this raises 503 + ``Retry-After`` immediately,
+        and any unexpected evaluation failure counts toward opening it.
+        ``sqlite3.Error`` passes through untouched (the index outage
+        path serves stale instead); a 409 for unevaluable *content* is
+        a machinery success — it must not trip the breaker.
         """
-        with self._write_lock:
-            probed = self.index.probe(path)
-            if probed is not None:
-                rows = self.index.lookup_results(
-                    probed.content_hash, config_hash
-                )
-                if rows is not None:
-                    return rows
-            report = ShardedRunner(workers=1, options=options).run(
-                [str(path)], index=self.index
+        retry_after = self.breaker.acquire()
+        if retry_after is not None:
+            raise ServiceError(
+                503,
+                "evaluation circuit open after repeated failures; "
+                f"retry in {retry_after}s",
+                headers={"Retry-After": str(retry_after)},
             )
-            if report.skipped or not report.results:
-                detail = report.skipped[0].error if report.skipped else "empty"
-                raise ServiceError(
-                    409, f"workspace {ws_id!r} cannot be evaluated: {detail}"
+        try:
+            with self._write_lock:
+                probed = self.index.probe(path)
+                if probed is not None:
+                    rows = self.index.lookup_results(
+                        probed.content_hash, config_hash
+                    )
+                    if rows is not None:
+                        self.breaker.record_success()
+                        return rows
+                report = ShardedRunner(workers=1, options=options).run(
+                    [str(path)], index=self.index
                 )
-            return report.results
+        except sqlite3.Error:
+            self.breaker.abort_probe()
+            raise
+        except ServiceError:
+            raise
+        except Exception as exc:
+            self.breaker.record_failure()
+            raise ServiceError(
+                503,
+                f"evaluation failed: {type(exc).__name__}: {exc}",
+                headers={"Retry-After": "1"},
+            ) from exc
+        self.breaker.record_success()
+        if report.skipped or not report.results:
+            detail = report.skipped[0].error if report.skipped else "empty"
+            raise ServiceError(
+                409, f"workspace {ws_id!r} cannot be evaluated: {detail}"
+            )
+        return report.results
 
     @staticmethod
     def _results_payload(
@@ -683,7 +871,9 @@ class ServiceApp:
                 }
             )
 
-        return self._finish(key, etag, headers, build)
+        return self._finish(
+            key, etag, headers, build, stale_key=("group", ws_id)
+        )
 
     # -- dominance / rank intervals: engine-backed, LRU-cached ----------
 
@@ -739,7 +929,7 @@ class ServiceApp:
                 }
             return _dumps(payload)
 
-        return self._finish(key, etag, headers, build)
+        return self._finish(key, etag, headers, build, stale_key=(verb, ws_id))
 
     # ------------------------------------------------------------------
     # POST /v1/evaluate

@@ -1,0 +1,314 @@
+"""Tests for seeded fault injection and the crash-tolerant runtime.
+
+Every scenario here drives a *real* failure — worker processes
+hard-killed mid-chunk, hung workers, artifact reads raising
+``OSError``, the follow loop's poll racing an outage — and asserts the
+recovery contract: the final merged results are identical to a clean
+run's, byte for byte.
+"""
+
+import pytest
+
+from repro.core import faults, workspace
+from repro.core.faults import (
+    DEFAULT_SEED,
+    KILL_EXIT_CODE,
+    PLAN_NAMES,
+    FaultPlan,
+    FaultRule,
+    InjectedFault,
+    named_plan,
+)
+from repro.core.index import RegistryIndex
+from repro.core.runtime import (
+    BatchOptions,
+    RetryPolicy,
+    ShardedRunner,
+    shard_registry,
+)
+
+from ..conftest import make_small_problem
+
+
+def write_registry(tmp_path, n=6):
+    tmp_path.mkdir(parents=True, exist_ok=True)
+    paths = []
+    for i in range(n):
+        problem = make_small_problem(
+            missing_cell=(i % 2 == 0), name=f"ws-{i:02d}"
+        )
+        path = tmp_path / f"ws-{i:02d}.json"
+        workspace.save(problem, path)
+        paths.append(path)
+    return paths
+
+
+def chunk_keys(n, workers):
+    """The fault-decision keys the runner derives for this fan-out."""
+    return [
+        f"chunk:{chunk[0]}:{chunk[-1]}"
+        for chunk in shard_registry(n, workers)
+    ]
+
+
+def find_seed(predicate, limit=10_000):
+    """The first seed whose plan satisfies ``predicate`` (deterministic)."""
+    for seed in range(limit):
+        if predicate(seed):
+            return seed
+    raise AssertionError("no satisfying fault seed found")
+
+
+class TestFaultPlan:
+    def test_decisions_are_deterministic(self):
+        plan = named_plan("worker-kill", seed=7)
+        twin = named_plan("worker-kill", seed=7)
+        decisions = [plan.decide("worker_kill", f"k{i}") for i in range(64)]
+        assert decisions == [
+            twin.decide("worker_kill", f"k{i}") for i in range(64)
+        ]
+        assert any(decisions) and not all(decisions)
+
+    def test_attempts_draw_independently(self):
+        plan = FaultPlan("p", 3, (FaultRule("artifact_read", 0.5),))
+        draws = {plan.decide("artifact_read", "k", a) for a in range(32)}
+        assert draws == {True, False}
+
+    def test_rate_and_unruled_sites_never_strike(self):
+        plan = named_plan("worker-kill")
+        assert plan.rate("worker_kill") == pytest.approx(0.10)
+        assert plan.rate("artifact_read") == 0.0
+        assert not any(
+            plan.decide("artifact_read", f"k{i}") for i in range(256)
+        )
+
+    def test_strike_raises_injected_oserror(self):
+        plan = FaultPlan("p", 0, (FaultRule("registry_poll", 1.0),))
+        with pytest.raises(InjectedFault) as excinfo:
+            plan.strike("registry_poll", "cycle:1")
+        assert isinstance(excinfo.value, OSError)
+
+    def test_rule_validation(self):
+        with pytest.raises(ValueError):
+            FaultRule("not-a-site", 0.5)
+        with pytest.raises(ValueError):
+            FaultRule("worker_kill", 1.5)
+        with pytest.raises(ValueError):
+            FaultRule("chunk_delay", 0.5, delay=-1.0)
+
+    def test_named_plans(self):
+        for name in PLAN_NAMES:
+            plan = named_plan(name)
+            assert plan.name == name and plan.seed == DEFAULT_SEED
+        assert named_plan("none").rules == ()
+        assert named_plan("mixed").rate("index_corrupt") == 1.0
+        with pytest.raises(ValueError):
+            named_plan("nonexistent-plan")
+        assert "p=0.10" in named_plan("worker-kill").describe()
+        assert named_plan("none").describe() == "no fault rules (clean)"
+
+    def test_install_uninstall_and_context(self):
+        plan = named_plan("flaky-artifacts")
+        assert faults.active() is None
+        with faults.injected(plan) as installed:
+            assert installed is plan and faults.active() is plan
+        assert faults.active() is None
+
+    def test_kill_exit_code_is_distinctive(self):
+        assert KILL_EXIT_CODE == 86
+
+
+class TestWorkerKillRecovery:
+    def test_killed_workers_retry_to_identical_results(self, tmp_path):
+        paths = write_registry(tmp_path, n=6)
+        keys = chunk_keys(len(paths), workers=2)
+        seed = find_seed(
+            lambda s: any(
+                named_plan("worker-kill", seed=s).decide("worker_kill", k)
+                for k in keys
+            )
+        )
+        plan = named_plan("worker-kill", seed=seed)
+        clean = ShardedRunner(workers=2, options=BatchOptions()).run(paths)
+        faulty = ShardedRunner(
+            workers=2,
+            options=BatchOptions(faults=plan),
+            retry=RetryPolicy(backoff_base=0.001),
+        ).run(paths)
+        assert faulty.results == clean.results
+        assert not faulty.skipped and faulty.n_quarantined == 0
+        assert faulty.n_retried >= 1
+
+    def test_completed_chunks_survive_a_pool_break(self, tmp_path):
+        # One chunk kills its worker; the chunks that already finished
+        # are merged, not re-evaluated — the report stays complete and
+        # identical without restarting the whole registry.
+        paths = write_registry(tmp_path, n=8)
+        keys = chunk_keys(len(paths), workers=2)
+        seed = find_seed(
+            lambda s: sum(
+                named_plan("worker-kill", seed=s).decide("worker_kill", k)
+                for k in keys
+            )
+            == 1
+        )
+        plan = named_plan("worker-kill", seed=seed)
+        clean = ShardedRunner(workers=2, options=BatchOptions()).run(paths)
+        faulty = ShardedRunner(
+            workers=2,
+            options=BatchOptions(faults=plan),
+            retry=RetryPolicy(backoff_base=0.001),
+        ).run(paths)
+        assert faulty.results == clean.results
+        assert [r.index for r in faulty.results] == [
+            r.index for r in clean.results
+        ]
+
+
+class TestHungWorkerRecovery:
+    def test_hung_chunk_times_out_and_retries(self, tmp_path):
+        # Two chunks so the pool fan-out (with its timeout loop) runs:
+        # a single chunk takes the inline path, which cannot time out.
+        paths = write_registry(tmp_path, n=2)
+        hung_key, clean_key = chunk_keys(len(paths), workers=2)
+
+        def hangs_once(s):
+            plan = FaultPlan(
+                "hang", s, (FaultRule("chunk_delay", 0.5, delay=2.0),)
+            )
+            return (
+                plan.decide("chunk_delay", hung_key, 0)
+                and not plan.decide("chunk_delay", hung_key, 1)
+                and not plan.decide("chunk_delay", clean_key, 0)
+            )
+
+        seed = find_seed(hangs_once)
+        plan = FaultPlan(
+            "hang", seed, (FaultRule("chunk_delay", 0.5, delay=2.0),)
+        )
+        clean = ShardedRunner(workers=2, options=BatchOptions()).run(paths)
+        faulty = ShardedRunner(
+            workers=2,
+            options=BatchOptions(faults=plan),
+            retry=RetryPolicy(chunk_timeout=0.5, backoff_base=0.001),
+        ).run(paths)
+        assert faulty.results == clean.results
+        assert faulty.n_retried >= 1 and faulty.n_quarantined == 0
+
+
+class TestQuarantine:
+    def kill_all_plan(self):
+        return FaultPlan("always-kill", 0, (FaultRule("worker_kill", 1.0),))
+
+    def test_persistent_killer_is_quarantined(self, tmp_path):
+        paths = write_registry(tmp_path, n=2)
+        report = ShardedRunner(
+            workers=2,
+            options=BatchOptions(faults=self.kill_all_plan()),
+            retry=RetryPolicy(quarantine_after=2, backoff_base=0.001),
+        ).run(paths)
+        assert report.results == ()
+        assert report.n_quarantined == 2
+        assert all("quarantined after" in s.error for s in report.skipped)
+
+    def test_quarantine_persists_and_releases_on_edit(self, tmp_path):
+        paths = write_registry(tmp_path, n=2)
+        db_path = tmp_path / "idx.sqlite"
+        with RegistryIndex(db_path) as index:
+            broken = ShardedRunner(
+                workers=2,
+                options=BatchOptions(faults=self.kill_all_plan()),
+                retry=RetryPolicy(quarantine_after=2, backoff_base=0.001),
+            ).run(paths, index=index)
+            assert broken.n_quarantined == 2
+            assert len(index.quarantine_map()) == 2
+
+            # a later clean run skips the held workspaces outright
+            held = ShardedRunner(workers=1, options=BatchOptions()).run(
+                paths, index=index
+            )
+            assert held.results == () and held.n_quarantined == 2
+            assert all("quarantined" in s.error for s in held.skipped)
+
+            # editing a held file changes its sha: auto-release + evaluate
+            edited = workspace.load(paths[0])
+            paths[0].write_text(
+                paths[0].read_text().replace("ws-00", "ws-00-edited")
+            )
+            assert edited is not None
+            released = ShardedRunner(workers=1, options=BatchOptions()).run(
+                paths, index=index
+            )
+            assert [r.name for r in released.results] == ["ws-00-edited"]
+            assert released.n_quarantined == 1
+            assert len(index.quarantine_map()) == 1
+
+    def test_release_quarantine_api(self, tmp_path):
+        paths = write_registry(tmp_path, n=2)
+        with RegistryIndex(tmp_path / "idx.sqlite") as index:
+            index.record_quarantine(
+                (str(p), 5, "poison") for p in paths
+            )
+            assert len(index.quarantine_map()) == 2
+            assert index.release_quarantine([str(paths[0])]) == 1
+            assert set(index.quarantine_map()) == {str(paths[1])}
+            assert index.release_quarantine() == 1
+            assert index.quarantine_map() == {}
+
+
+class TestWatchPollResilience:
+    def make_index(self, tmp_path):
+        return RegistryIndex(tmp_path / "watch.sqlite")
+
+    def test_transient_poll_oserror_is_absorbed(self, tmp_path, capsys):
+        paths = write_registry(tmp_path / "reg", n=2)
+
+        def strikes_second_cycle(s):
+            plan = FaultPlan(
+                "poll", s, (FaultRule("registry_poll", 0.5),)
+            )
+            return (
+                not plan.decide("registry_poll", "cycle:1", 0)
+                and plan.decide("registry_poll", "cycle:2", 0)
+                and not plan.decide("registry_poll", "cycle:2", 1)
+            )
+
+        seed = find_seed(strikes_second_cycle)
+        plan = FaultPlan("poll", seed, (FaultRule("registry_poll", 0.5),))
+        runner = ShardedRunner(workers=1, options=BatchOptions(faults=plan))
+        with self.make_index(tmp_path) as index:
+            cycles = runner.watch(
+                tmp_path / "reg", index, interval=0.01, max_cycles=2
+            )
+        assert len(cycles) == 2
+        assert [len(c.report.results) for c in cycles] == [2, 2]
+        err = capsys.readouterr().err
+        assert "transient" in err and "retry 1/" in err
+
+    def test_persistent_poll_failure_propagates(self, tmp_path):
+        write_registry(tmp_path / "reg", n=1)
+        plan = FaultPlan("poll", 0, (FaultRule("registry_poll", 1.0),))
+        runner = ShardedRunner(workers=1, options=BatchOptions(faults=plan))
+        with self.make_index(tmp_path) as index:
+            with pytest.raises(InjectedFault):
+                runner.watch(
+                    tmp_path / "reg",
+                    index,
+                    interval=0.001,
+                    max_cycles=3,
+                    max_poll_failures=2,
+                )
+
+
+class TestArtifactFaults:
+    def test_failing_artifact_reads_recompile_identically(self, tmp_path):
+        paths = write_registry(tmp_path, n=4)
+        clean = ShardedRunner(workers=2, options=BatchOptions()).run(paths)
+        plan = FaultPlan(
+            "all-artifacts", 0, (FaultRule("artifact_read", 1.0),)
+        )
+        faulty = ShardedRunner(
+            workers=2, options=BatchOptions(faults=plan)
+        ).run(paths)
+        assert faulty.results == clean.results
+        assert not faulty.skipped

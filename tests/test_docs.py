@@ -21,6 +21,7 @@ DOC_PAGES = (
     "caching.md",
     "group.md",
     "paper-map.md",
+    "robustness.md",
     "service.md",
     "streaming.md",
 )
@@ -35,6 +36,9 @@ class TestDocsTree:
 
     def test_intra_repo_links_resolve(self):
         assert check_docs.check_links() == []
+
+    def test_no_orphan_docs_pages(self):
+        assert check_docs.check_orphans() == []
 
     def test_every_documented_subcommand_exists(self):
         """Every `repro` line in docs/cli.md names a real subcommand."""
@@ -79,6 +83,7 @@ class TestDocsTree:
 
 DOCSTRING_MODULES = (
     "core/engine",
+    "core/faults",
     "core/group",
     "core/runtime",
     "core/workspace",

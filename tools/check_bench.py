@@ -119,6 +119,22 @@ SCHEMAS: Dict[str, Dict[str, object]] = {
             "delta_slice_only",
         ),
     },
+    "BENCH_faults.json": {
+        "required": {
+            "n_workspaces": _INT,
+            "speedup_no_fault": _NUMBER,
+            "n_retried_under_kill": _INT,
+            "completed_under_worker_kill": _BOOL,
+            "byte_identical_under_faults": _BOOL,
+            "min_no_fault_floor": _NUMBER,
+        },
+        "metric": "speedup_no_fault",
+        "floor": "min_no_fault_floor",
+        "must_be_true": (
+            "completed_under_worker_kill",
+            "byte_identical_under_faults",
+        ),
+    },
 }
 
 

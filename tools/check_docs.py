@@ -11,6 +11,10 @@ Two gates:
    documented subcommand is invoked with ``--help`` in a subprocess
    and must exit 0.  A documented verb that argparse no longer knows
    fails the build.
+3. **No orphan pages** — every page under ``docs/`` must be linked
+   from at least one *other* markdown file (``README.md`` or a
+   sibling page), so new documentation is always reachable from the
+   docs graph instead of silently unindexed.
 
 Run::
 
@@ -45,6 +49,24 @@ def check_links() -> List[str]:
                     f"{doc.relative_to(ROOT)}: broken link -> {target}"
                 )
     return errors
+
+
+def check_orphans() -> List[str]:
+    """Docs pages no other markdown file links to, one per offence."""
+    linked = set()
+    for doc in DOC_FILES:
+        for match in _LINK.finditer(doc.read_text()):
+            target = match.group(1).split("#", 1)[0]
+            if not target or _EXTERNAL.match(match.group(1)):
+                continue
+            resolved = (doc.parent / target).resolve()
+            if resolved != doc.resolve():
+                linked.add(resolved)
+    return [
+        f"docs/{page.name}: orphan page (no other markdown links to it)"
+        for page in sorted((ROOT / "docs").glob("*.md"))
+        if page.resolve() not in linked
+    ]
 
 
 def documented_cli_lines() -> List[str]:
@@ -112,15 +134,18 @@ def check_cli_lines(lines: List[str]) -> List[str]:
 
 def main() -> int:
     link_errors = check_links()
+    orphan_errors = check_orphans()
     lines = documented_cli_lines()
     cli_errors = check_cli_lines(lines)
-    for error in link_errors + cli_errors:
+    for error in link_errors + orphan_errors + cli_errors:
         print(f"FAIL {error}")
     if not link_errors:
         print(f"OK   {len(DOC_FILES)} markdown file(s), links resolve")
+    if not orphan_errors:
+        print("OK   every docs page is linked from another page")
     if not cli_errors:
         print(f"OK   {len(lines)} documented command line(s) run --help")
-    return 1 if (link_errors or cli_errors) else 0
+    return 1 if (link_errors or orphan_errors or cli_errors) else 0
 
 
 if __name__ == "__main__":
