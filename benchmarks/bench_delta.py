@@ -46,7 +46,7 @@ except ImportError:  # pragma: no cover - path bootstrap
     sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
 from bench_registry_index import cli_batch
-from bench_sharded_batch import build_registry
+from repro.core.genreg import neon_shortlist_registry as build_registry
 
 from repro.core.index import (
     RECORDING_WINDOW_NS,

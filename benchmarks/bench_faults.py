@@ -47,10 +47,11 @@ except ImportError:  # pragma: no cover - path bootstrap
 
 from bench_sharded_batch import (
     _best_sharded_time,
-    build_registry,
     report_fingerprints,
     sequential_reference,
 )
+
+from repro.core.genreg import neon_shortlist_registry as build_registry
 
 from repro.core.faults import named_plan
 from repro.core.runtime import BatchOptions, RetryPolicy, ShardedRunner

@@ -1,0 +1,116 @@
+"""Registry generator throughput and determinism — the 10k sweep.
+
+The registry generator (:mod:`repro.core.genreg`) is the standard
+fixture for every stress test and the substrate of the differential
+fuzz harness, so it must stay fast enough to build registry-scale
+fixtures inline (10k+ workspaces per bench run) and byte-deterministic
+(the fuzzer's repro files and the committed floors both depend on
+regenerating exact content).  This benchmark
+
+* writes the full ``stress-10k`` preset (10,000 workspaces) to disk
+  and gates a generation-throughput floor (workspaces/second),
+* asserts byte-determinism: the on-disk files match an independent
+  in-memory regeneration, and the registry digest is identical across
+  two passes, and
+* asserts seed sensitivity: distinct seeds give distinct digests.
+
+It emits a ``BENCH_generator.json`` trajectory artifact (uploaded by
+CI).  Runs standalone (CI smoke)::
+
+    PYTHONPATH=src python benchmarks/bench_generator.py
+
+or under pytest (``pytest benchmarks/bench_generator.py -s``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+try:  # allow standalone execution without a PYTHONPATH export
+    import repro  # noqa: F401
+except ImportError:  # pragma: no cover - path bootstrap
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.core import genreg
+
+N_WORKSPACES = 10_000
+MIN_THROUGHPUT_WPS = 300.0
+ARTIFACT = "BENCH_generator.json"
+DIGEST_SAMPLE = 300
+
+
+def run(n_workspaces: int = N_WORKSPACES, verbose: bool = True) -> dict:
+    spec = genreg.preset("stress-10k").replace(n_workspaces=n_workspaces)
+
+    with tempfile.TemporaryDirectory(prefix="genreg-stress-") as tmp:
+        t0 = time.perf_counter()
+        paths = genreg.write_registry(spec, Path(tmp))
+        t_generate = time.perf_counter() - t0
+
+        # Byte-determinism: the written files must equal an independent
+        # in-memory regeneration of the same cases.
+        sample = range(0, n_workspaces, max(1, n_workspaces // 25))
+        files_match = all(
+            paths[i].read_text()
+            == json.dumps(
+                genreg.generate_document(spec, i), indent=2, sort_keys=True
+            )
+            for i in sample
+        )
+
+    limit = min(DIGEST_SAMPLE, n_workspaces)
+    digest = genreg.registry_digest(spec, limit=limit)
+    deterministic = (
+        files_match and digest == genreg.registry_digest(spec, limit=limit)
+    )
+    seeds_distinct = len(
+        {
+            genreg.registry_digest(spec.replace(seed=spec.seed + k), limit=25)
+            for k in range(4)
+        }
+    ) == 4
+
+    throughput = n_workspaces / t_generate
+    result = {
+        "n_workspaces": n_workspaces,
+        "t_generate": t_generate,
+        "throughput_wps": throughput,
+        "registry_digest_sample": digest,
+        "deterministic": bool(deterministic),
+        "distinct_seeds_distinct": bool(seeds_distinct),
+        "min_throughput_floor_wps": MIN_THROUGHPUT_WPS,
+    }
+    if verbose:
+        print(f"workspaces               : {n_workspaces}")
+        print(f"generation (write-through): {t_generate:8.2f} s")
+        print(f"throughput               : {throughput:8.0f} workspaces/s")
+        print(f"byte-deterministic       : {deterministic}")
+        print(f"distinct seeds distinct  : {seeds_distinct}")
+
+    assert deterministic, "generator output is not byte-deterministic"
+    assert seeds_distinct, "distinct seeds did not change the registry digest"
+    assert throughput >= MIN_THROUGHPUT_WPS, (
+        f"expected >= {MIN_THROUGHPUT_WPS:.0f} workspaces/s, measured "
+        f"{throughput:.0f}"
+    )
+    return result
+
+
+def test_generator_throughput_and_determinism():
+    result = run(N_WORKSPACES, verbose=True)
+    Path(ARTIFACT).write_text(json.dumps(result, indent=2))
+
+
+if __name__ == "__main__":
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--workspaces", type=int, default=N_WORKSPACES)
+    parser.add_argument("--artifact", default=ARTIFACT)
+    args = parser.parse_args()
+    outcome = run(args.workspaces)
+    Path(args.artifact).write_text(json.dumps(outcome, indent=2))
+    print(f"wrote {args.artifact}")

@@ -40,7 +40,7 @@ try:  # allow standalone execution without a PYTHONPATH export
 except ImportError:  # pragma: no cover - path bootstrap
     sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
-from bench_sharded_batch import build_registry
+from repro.core.genreg import neon_shortlist_registry as build_registry
 
 from repro.cli import main as repro_main
 from repro.core.index import RegistryIndex, default_index_path

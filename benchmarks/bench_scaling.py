@@ -6,57 +6,13 @@ exercising the three computational kernels: the additive evaluation
 vectorised Monte Carlo.
 """
 
-import numpy as np
 import pytest
 from conftest import report
 
 from repro.core.dominance import screen
-from repro.core.hierarchy import Hierarchy, ObjectiveNode
-from repro.core.interval import Interval
+from repro.core.genreg import scaling_problem as synthetic_problem
 from repro.core.model import AdditiveModel
 from repro.core.montecarlo import simulate
-from repro.core.performance import Alternative, PerformanceTable
-from repro.core.problem import DecisionProblem
-from repro.core.scales import linguistic_0_3
-from repro.core.utility import banded_discrete_utility
-from repro.core.weights import WeightSystem
-
-
-def synthetic_problem(n_alternatives: int, n_attributes: int) -> DecisionProblem:
-    rng = np.random.default_rng(n_alternatives * 100 + n_attributes)
-    scales = {f"a{j}": linguistic_0_3(f"a{j}") for j in range(n_attributes)}
-    table = PerformanceTable(
-        scales,
-        [
-            Alternative(
-                f"alt{i:03d}",
-                {f"a{j}": int(rng.integers(0, 4)) for j in range(n_attributes)},
-            )
-            for i in range(n_alternatives)
-        ],
-    )
-    hierarchy = Hierarchy(
-        ObjectiveNode(
-            "root",
-            children=[
-                ObjectiveNode(f"c{j}", attribute=f"a{j}")
-                for j in range(n_attributes)
-            ],
-        )
-    )
-    share = 1.0 / n_attributes
-    weights = WeightSystem(
-        hierarchy,
-        {
-            f"c{j}": Interval(share * 0.7, min(1.0, share * 1.3))
-            for j in range(n_attributes)
-        },
-    )
-    utilities = {
-        f"a{j}": banded_discrete_utility(scales[f"a{j}"], best_is_precise=False)
-        for j in range(n_attributes)
-    }
-    return DecisionProblem(hierarchy, table, utilities, weights)
 
 
 @pytest.mark.parametrize("n_alternatives", [10, 40, 160])

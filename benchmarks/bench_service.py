@@ -38,7 +38,7 @@ try:  # allow standalone execution without a PYTHONPATH export
 except ImportError:  # pragma: no cover - path bootstrap
     sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
-from bench_sharded_batch import build_registry
+from repro.core.genreg import neon_shortlist_registry as build_registry
 
 from repro.service.server import ServiceServer
 

@@ -32,7 +32,6 @@ from __future__ import annotations
 import argparse
 import json
 import os
-import random
 import sys
 import tempfile
 import time
@@ -44,95 +43,25 @@ except ImportError:  # pragma: no cover - path bootstrap
     sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
 from repro.core.engine import BatchEvaluator
-from repro.core.performance import Alternative, PerformanceTable
-from repro.core.problem import DecisionProblem
+from repro.core.genreg import neon_shortlist_registry
 from repro.core.runtime import BatchOptions, ShardedRunner
-from repro.core.weights import WeightSystem
 from repro.core import workspace
-from repro.neon.assessment import assess_batch
-from repro.neon.criteria import build_hierarchy, default_scales, default_utilities
-from repro.ontology.corpus import ReuseMetadata
-from repro.ontology.cq import CompetencyQuestion
-from repro.ontology.generator import OntologySpec, generate
 
 SEED = 2012
 N_WORKSPACES = 200
-POOL_SIZE = 12
-SHORTLIST = 8
 MIN_SPEEDUP = 4.0
 ARTIFACT = "BENCH_sharded_batch.json"
 
-_CQS = tuple(
-    CompetencyQuestion(f"cq{i}", f"q{i}", key_terms=(term,))
-    for i, term in enumerate(
-        ("codec", "playlist", "subtitle", "waveform", "storyboard", "tempo")
-    )
-)
-
 
 def build_registry(directory: Path, n_workspaces: int = N_WORKSPACES):
-    """Write a synthetic multi-problem registry of workspace JSONs.
+    """The shared seed-2012 NeOn shortlist registry fixture.
 
-    A pool of generated candidate ontologies is scored once through the
-    (vectorised) NeOn assess activity; every workspace is then a
-    shortlist problem over a seeded subset of the pool — the shape a
-    repository-scale reuse sweep produces, one decision problem per
-    shortlist, all sharing the 14-criteria shape.
+    Delegates to :func:`repro.core.genreg.neon_shortlist_registry` —
+    the single home of the fixture builder every runtime bench (and the
+    CI service/chaos smokes) uses; contents are byte-identical to the
+    historical per-bench copies, so committed floors stay valid.
     """
-    rng = random.Random(SEED)
-    pool = []
-    for i in range(POOL_SIZE):
-        spec = OntologySpec(
-            name=f"Candidate {i:02d}",
-            seed=1000 + i,
-            n_classes=24 + (i % 5) * 4,
-            doc_quality=i % 4,
-            ext_knowledge=(i + 1) % 4,
-            code_clarity=max(2, 3 - i % 2),
-            naming=1 + i % 3,
-            knowledge_extraction=i % 4,
-            language_adequacy=1 + i % 3,
-            covered_cqs=_CQS[: 1 + i % len(_CQS)],
-            metadata=ReuseMetadata(
-                financial_cost=None if i % 5 == 0 else float(50 * (i % 4)),
-                access_time_days=float(1 + i % 9),
-                n_test_suites=i % 4,
-                evaluation_level=None if i % 3 == 0 else i % 4,
-                team_publications=i % 7,
-                purpose=(None, "academic", "standard-transform", "project")[
-                    i % 4
-                ],
-                reused_by=tuple(f"adopter-{k}" for k in range(i % 3)),
-                uses_design_patterns=i % 2 == 0,
-            ),
-        )
-        pool.append(generate(spec))
-
-    assessments = assess_batch(pool, _CQS)
-    hierarchy = build_hierarchy()
-    scales = default_scales()
-    utilities = default_utilities()
-    weights = WeightSystem.uniform(hierarchy)
-
-    paths = []
-    for w in range(n_workspaces):
-        chosen = rng.sample(range(POOL_SIZE), SHORTLIST)
-        table = PerformanceTable(
-            dict(scales),
-            [
-                Alternative(
-                    assessments[c].name, dict(assessments[c].performances)
-                )
-                for c in chosen
-            ],
-        )
-        problem = DecisionProblem(
-            hierarchy, table, utilities, weights, name=f"shortlist-{w:04d}"
-        )
-        path = directory / f"shortlist-{w:04d}.json"
-        workspace.save(problem, path)
-        paths.append(path)
-    return paths
+    return neon_shortlist_registry(directory, n_workspaces, seed=SEED)
 
 
 def sequential_reference(paths, simulations: int = 0):

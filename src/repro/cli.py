@@ -33,6 +33,13 @@ Subcommands map onto the paper's workflow:
 * ``repro serve --registry DIR [--members FILE]`` — serve cached
   registry rankings (and group results) over HTTP (the registry query
   service; see ``docs/service.md``).
+* ``repro generate DIR [--preset NAME] [--seed S]`` — write a seeded,
+  deterministic synthetic registry from a generator spec (see
+  ``docs/generator.md``).
+* ``repro fuzz --cases N --seed S`` — differentially fuzz the
+  stacked/delta/group/Monte-Carlo tensor paths against the scalar
+  reference; failing specs are shrunk and re-emitted as replayable
+  JSON repro files.
 
 All subcommands operate on the built-in multimedia case study unless
 ``--workspace FILE`` points at a saved problem.
@@ -394,6 +401,88 @@ def build_parser() -> argparse.ArgumentParser:
         choices=(".ttl", ".nt", ".rdf", ".owl"),
         default=".ttl",
         dest="fmt",
+    )
+
+    from .core.genreg import PRESETS as _GEN_PRESETS
+
+    p_gen = sub.add_parser(
+        "generate",
+        help="generate a synthetic workspace registry (seeded, deterministic)",
+    )
+    p_gen.add_argument("directory", help="target registry directory")
+    p_gen.add_argument(
+        "--preset",
+        default="default",
+        choices=sorted(_GEN_PRESETS),
+        help="named generator preset (default: default)",
+    )
+    p_gen.add_argument(
+        "--spec",
+        metavar="FILE",
+        default=None,
+        dest="spec_path",
+        help="repro-genspec/1 spec file (overrides --preset)",
+    )
+    p_gen.add_argument(
+        "--seed", type=int, default=None, help="override the spec's seed"
+    )
+    p_gen.add_argument(
+        "--cases",
+        type=int,
+        default=None,
+        help="override the spec's workspace count",
+    )
+
+    p_fuzz = sub.add_parser(
+        "fuzz",
+        help="differentially fuzz the tensor paths against the scalar "
+        "reference",
+    )
+    p_fuzz.add_argument(
+        "--cases", type=int, default=300, help="generated problems to check"
+    )
+    p_fuzz.add_argument("--seed", type=int, default=0)
+    p_fuzz.add_argument(
+        "--out",
+        metavar="DIR",
+        default="fuzz-repros",
+        help="directory for repro files (default: fuzz-repros)",
+    )
+    p_fuzz.add_argument(
+        "--preset",
+        default="fuzz",
+        choices=sorted(_GEN_PRESETS),
+        help="generator preset to draw cases from (default: fuzz)",
+    )
+    p_fuzz.add_argument(
+        "--simulations",
+        type=int,
+        default=24,
+        help="Monte Carlo simulations per case (default: 24)",
+    )
+    p_fuzz.add_argument(
+        "--members",
+        type=int,
+        default=3,
+        help="group-roster members per case (default: 3)",
+    )
+    p_fuzz.add_argument(
+        "--chunk",
+        type=int,
+        default=8,
+        help="cases stacked together per chunk (default: 8)",
+    )
+    p_fuzz.add_argument(
+        "--no-shrink",
+        action="store_true",
+        help="emit failing specs without greedy reduction",
+    )
+    p_fuzz.add_argument(
+        "--replay",
+        metavar="FILE",
+        default=None,
+        dest="replay_path",
+        help="re-run one repro-fuzz/1 file instead of fuzzing",
     )
 
     return parser
@@ -1179,9 +1268,97 @@ def _cmd_pipeline(
     return report.summary()
 
 
+def _cmd_generate(
+    directory: str,
+    preset_name: str,
+    spec_path: Optional[str],
+    seed: Optional[int],
+    cases: Optional[int],
+) -> str:
+    from .core import genreg
+
+    if spec_path is not None:
+        spec = genreg.load_spec(spec_path)
+    else:
+        spec = genreg.preset(preset_name)
+    overrides = {}
+    if seed is not None:
+        overrides["seed"] = seed
+    if cases is not None:
+        overrides["n_workspaces"] = cases
+    if overrides:
+        spec = spec.replace(**overrides)
+    paths = genreg.write_registry(spec, directory)
+    digest = genreg.registry_digest(spec)
+    return (
+        f"generated {len(paths)} workspaces in {directory} "
+        f"(spec {spec.name!r}, seed {spec.seed})\n"
+        f"registry digest: {digest}"
+    )
+
+
+def _cmd_fuzz(args: argparse.Namespace) -> int:
+    from . import fuzz as fuzz_mod
+
+    if args.replay_path:
+        found = fuzz_mod.replay(Path(args.replay_path))
+        for divergence in found:
+            print(
+                f"DIVERGE [{divergence.oracle}] case {divergence.case}: "
+                f"{divergence.detail}"
+            )
+        if found:
+            print(f"replay: {len(found)} divergence(s) still present")
+            return 1
+        print("replay: clean (no divergence)")
+        return 0
+
+    from .core import genreg
+
+    report = fuzz_mod.run_fuzz(
+        cases=args.cases,
+        seed=args.seed,
+        spec=genreg.preset(args.preset),
+        out_dir=Path(args.out),
+        simulations=args.simulations,
+        members=args.members,
+        chunk=args.chunk,
+        shrink=not args.no_shrink,
+        log=print,
+    )
+    for divergence in report.divergences:
+        print(
+            f"DIVERGE [{divergence.oracle}] case {divergence.case}: "
+            f"{divergence.detail}"
+        )
+    for path in report.repro_files:
+        print(f"repro file: {path}")
+    status = (
+        "clean" if report.ok else f"{len(report.divergences)} divergence(s)"
+    )
+    print(
+        f"fuzz: {report.cases} cases, {report.n_checks} checks, {status} "
+        f"(seed {args.seed})"
+    )
+    return 0 if report.ok else 1
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     try:
+        if args.command == "generate":
+            print(
+                _cmd_generate(
+                    args.directory,
+                    args.preset,
+                    args.spec_path,
+                    args.seed,
+                    args.cases,
+                )
+            )
+            return 0
+        if args.command == "fuzz":
+            return _cmd_fuzz(args)
         if args.command == "index":
             print(_cmd_index(args.action, args.registry, args.index_path))
             return 0

@@ -17,6 +17,7 @@ from .dominance import (
     potentially_optimal,
     screen,
 )
+from .genreg import RegistrySpec, generate_problem, preset, write_registry
 from .engine import (
     BatchEvaluator,
     CompiledProblem,
@@ -150,4 +151,9 @@ __all__ = [
     # persistence
     "save",
     "load",
+    # registry generation
+    "RegistrySpec",
+    "preset",
+    "generate_problem",
+    "write_registry",
 ]

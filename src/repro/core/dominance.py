@@ -37,7 +37,12 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from .engine import batch_dominance, weight_polytope
+from .engine import (
+    batch_dominance,
+    box_simplex_argmin,
+    box_simplex_minimum,
+    weight_polytope,
+)
 from .model import AdditiveModel
 from .simplex import linprog_simplex
 
@@ -117,20 +122,25 @@ def dominates(
     diff = model.u_low[ia] - model.u_up[ib]
     a_eq, b_eq, bounds = _weight_polytope(model)
     worst = _solve_lp(diff, None, None, a_eq, b_eq, bounds, solver)
-    if not worst.success:
-        raise RuntimeError(
-            f"dominance LP failed for ({a!r}, {b!r}): {worst.message}"
-        )
-    if worst.fun < -_FEAS_TOL:
+    # A near-degenerate polytope (interval widths ~1e-9) can be thinner
+    # than the solver's feasibility tolerance; the box-simplex greedy is
+    # exact for this LP structure, so fall back instead of raising.
+    worst_value = (
+        float(worst.fun)
+        if worst.success
+        else box_simplex_minimum(diff, bounds)
+    )
+    if worst_value < -_FEAS_TOL:
         return False
     # Strictness check: u(a) must be able to exceed u(b) somewhere.
     best_diff = model.u_up[ia] - model.u_low[ib]
     best = _solve_lp(-best_diff, None, None, a_eq, b_eq, bounds, solver)
-    if not best.success:
-        raise RuntimeError(
-            f"dominance LP failed for ({a!r}, {b!r}): {best.message}"
-        )
-    return -best.fun > _FEAS_TOL
+    best_value = (
+        -float(best.fun)
+        if best.success
+        else -box_simplex_minimum(-best_diff, bounds)
+    )
+    return best_value > _FEAS_TOL
 
 
 def dominance_matrix(model: AdditiveModel, solver: str = "scipy") -> np.ndarray:
@@ -190,9 +200,18 @@ def potentially_optimal(
         eq[0, :n] = 1.0
         lp_bounds = list(bounds) + [(-10.0, 10.0)]
         res = _solve_lp(c, a_ub, b_ub, eq, b_eq, lp_bounds, solver)
-        if not res.success:
-            raise RuntimeError(f"potential-optimality LP failed for {a!r}")
-        t_star = -res.fun
+        if res.success:
+            t_star = -res.fun
+        else:
+            # Near-degenerate polytope rejected by the solver: the
+            # feasible weights collapse to (essentially) one point, so
+            # evaluating any feasible vertex is exact — take the
+            # box-simplex greedy point and the worst rival margin there.
+            w0 = box_simplex_argmin(np.zeros(n), bounds)
+            t_star = min(
+                float((model.u_up[ia] - model.u_low[ib]) @ w0)
+                for ib in rivals
+            )
         if t_star >= -_FEAS_TOL:
             winners.append(a)
     return tuple(winners)

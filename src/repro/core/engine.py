@@ -1097,6 +1097,52 @@ def weight_polytope(
     return a_eq, b_eq, bounds
 
 
+def box_simplex_argmin(
+    c: np.ndarray, bounds: Sequence[Tuple[float, float]]
+) -> np.ndarray:
+    """The exact minimiser of ``c . w`` over ``{low <= w <= up, sum w = 1}``.
+
+    The dominance polytope is always a coordinate box intersected with
+    the weight simplex, so its linear programs have a closed-form
+    greedy solution (fractional knapsack): start every weight at its
+    lower bound and spend the residual ``1 - sum(low)`` on the
+    cheapest coordinates first.  Used as the exact fallback when the
+    external LP solver rejects a near-degenerate polytope — elicited
+    intervals of width ~1e-9 leave a feasible set thinner than HiGHS's
+    feasibility tolerance, which reports *infeasible* for a set that is
+    mathematically non-empty.  Out-of-tolerance inputs (the box missing
+    the simplex by more than :func:`weight_polytope` permits) degrade
+    gracefully to the nearest box vertex instead of raising.
+    """
+    c = np.asarray(c, dtype=float)
+    low = np.array([b[0] for b in bounds], dtype=float)
+    up = np.array([b[1] for b in bounds], dtype=float)
+    w = low.copy()
+    residual = 1.0 - float(low.sum())
+    if residual > 0.0:
+        room = up - low
+        for j in np.argsort(c, kind="stable"):
+            take = min(float(room[j]), residual)
+            if take > 0.0:
+                w[j] += take
+                residual -= take
+            if residual <= 0.0:
+                break
+    return w
+
+
+def box_simplex_minimum(
+    c: np.ndarray, bounds: Sequence[Tuple[float, float]]
+) -> float:
+    """Exact minimum of ``c . w`` over the box-intersect-simplex polytope.
+
+    See :func:`box_simplex_argmin` for the construction and when the
+    engine reaches for it.
+    """
+    c = np.asarray(c, dtype=float)
+    return float(c @ box_simplex_argmin(c, bounds))
+
+
 def batch_dominance(
     source: Union[DecisionProblem, CompiledProblem, object],
     solve_lp: Callable,
@@ -1134,13 +1180,12 @@ def batch_dominance(
     worst_ok = candidate & (diff_low.min(axis=2) >= -_FEAS_TOL)
     for i, j in np.argwhere(candidate & ~worst_ok):
         res = solve_lp(diff_low[i, j], None, None, a_eq, b_eq, bounds)
-        if not res.success:
-            raise RuntimeError(
-                "dominance LP failed for "
-                f"({compiled.alternative_names[i]!r}, "
-                f"{compiled.alternative_names[j]!r}): {res.message}"
-            )
-        if res.fun >= -_FEAS_TOL:
+        value = (
+            float(res.fun)
+            if res.success
+            else box_simplex_minimum(diff_low[i, j], bounds)
+        )
+        if value >= -_FEAS_TOL:
             worst_ok[i, j] = True
 
     # Strictness screen: u(a) must be able to exceed u(b) somewhere.
@@ -1150,7 +1195,12 @@ def batch_dominance(
     undecided = worst_ok & ~strict & (du_max > -_FEAS_TOL)
     for i, j in np.argwhere(undecided):
         res = solve_lp(-diff_up[i, j], None, None, a_eq, b_eq, bounds)
-        if res.success and -res.fun > _FEAS_TOL:
+        value = (
+            -float(res.fun)
+            if res.success
+            else -box_simplex_minimum(-diff_up[i, j], bounds)
+        )
+        if value > _FEAS_TOL:
             strict[i, j] = True
     return strict
 
@@ -1183,13 +1233,12 @@ def stacked_dominance(
     for k, i, j in np.argwhere(candidate & ~worst_ok):
         a_eq, b_eq, bounds = polytope(k)
         res = solve_lp(diff_low[k, i, j], None, None, a_eq, b_eq, bounds)
-        if not res.success:
-            raise RuntimeError(
-                f"dominance LP failed for problem {stacked.names[k]!r} "
-                f"({stacked.members[k].alternative_names[i]!r}, "
-                f"{stacked.members[k].alternative_names[j]!r}): {res.message}"
-            )
-        if res.fun >= -_FEAS_TOL:
+        value = (
+            float(res.fun)
+            if res.success
+            else box_simplex_minimum(diff_low[k, i, j], bounds)
+        )
+        if value >= -_FEAS_TOL:
             worst_ok[k, i, j] = True
 
     du_min = diff_up.min(axis=3)
@@ -1199,7 +1248,12 @@ def stacked_dominance(
     for k, i, j in np.argwhere(undecided):
         a_eq, b_eq, bounds = polytope(k)
         res = solve_lp(-diff_up[k, i, j], None, None, a_eq, b_eq, bounds)
-        if res.success and -res.fun > _FEAS_TOL:
+        value = (
+            -float(res.fun)
+            if res.success
+            else -box_simplex_minimum(-diff_up[k, i, j], bounds)
+        )
+        if value > _FEAS_TOL:
             strict[k, i, j] = True
     return strict
 

@@ -1,0 +1,751 @@
+"""Seeded, deterministic registry generation — the scenario diversity engine.
+
+The paper's case study is one fixed decision problem, so every registry
+the runtime stack evaluates is a near-clone of a single shape.  This
+module generates *families* of decision problems from a declarative
+:class:`RegistrySpec`: hierarchy depth and width, discrete/continuous
+scale mixes, missing-data regimes, degenerate and near-degenerate
+weight systems, alternative counts and registry sizes up to 10k+
+workspaces are all swept from one seeded specification.
+
+Three contracts make the generator usable as a fixture *and* a fuzzing
+substrate:
+
+* **Determinism** — the same spec and seed produce byte-identical
+  workspace JSON (the documents go through
+  :func:`repro.core.workspace.save`'s sorted-key serialisation, all
+  randomness flows from ``numpy``'s stable PCG64 streams keyed on
+  ``(seed, case index)``, and every drawn float is rounded to a fixed
+  number of decimals whose ``repr`` is identical across Python
+  3.10–3.12).
+* **Validity** — every generated problem satisfies the core model's
+  validation rules (monotone utility envelopes, simplex-straddling
+  weight boxes, knots spanning continuous scales), so downstream code
+  exercises real behaviour instead of constructor errors.
+* **Replayability** — specs round-trip through JSON
+  (``repro-genspec/1``), so a failing fuzz case can be re-emitted as a
+  small repro file and regenerated exactly (see :mod:`repro.fuzz`).
+
+The module also hosts the two *compat* fixture builders the benchmark
+suite historically copy-pasted: :func:`neon_shortlist_registry` (the
+seed-2012 NeOn shortlist registry every runtime bench measures — byte
+-identical to the old per-bench copies, so committed floors stay
+valid) and :func:`scaling_problem` (the flat synthetic problem of the
+scaling bench).
+
+Example::
+
+    spec = preset("fuzz", seed=7, n_workspaces=100)
+    paths = write_registry(spec, Path("registry/"))
+    problem = generate_problem(spec, index=42)   # same content as paths[42]
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterator, List, Mapping, Optional, Tuple
+
+import numpy as np
+
+from .hierarchy import Hierarchy, ObjectiveNode
+from .interval import Interval
+from .performance import Alternative, PerformanceTable, UncertainValue
+from .problem import DecisionProblem
+from .scales import MISSING, ContinuousScale, DiscreteScale, linguistic_0_3
+from .utility import (
+    DiscreteUtility,
+    PiecewiseLinearUtility,
+    banded_discrete_utility,
+)
+from .weights import WeightSystem
+from . import workspace
+
+__all__ = [
+    "SPEC_FORMAT",
+    "RegistrySpec",
+    "PRESETS",
+    "preset",
+    "load_spec",
+    "save_spec",
+    "generate_problem",
+    "generate_document",
+    "iter_problems",
+    "write_registry",
+    "registry_digest",
+    "neon_shortlist_registry",
+    "scaling_problem",
+]
+
+#: Format tag of a serialised spec (the replayable repro-file payload).
+SPEC_FORMAT = "repro-genspec/1"
+
+_WEIGHT_STYLES = ("interval", "precise", "near-degenerate", "mixed")
+_UTILITY_STYLES = ("interval", "precise", "mixed")
+_SCALE_KINDS = ("discrete", "continuous")
+
+#: Decimal places kept on drawn floats — short, and ``repr``-stable.
+_DECIMALS = 6
+
+
+def _r(x: float) -> float:
+    """Round a drawn float to the generator's fixed precision."""
+    return round(float(x), _DECIMALS)
+
+
+def _range(value: object, field: str) -> Tuple[int, int]:
+    """Coerce an ``(lo, hi)`` pair (or single int) to a validated range."""
+    if isinstance(value, int):
+        value = (value, value)
+    try:
+        lo, hi = int(value[0]), int(value[1])
+    except (TypeError, ValueError, IndexError):
+        raise ValueError(f"{field} must be an int or an (lo, hi) pair")
+    if lo < 1 or lo > hi:
+        raise ValueError(f"{field} range must satisfy 1 <= lo <= hi, got {value!r}")
+    return (lo, hi)
+
+
+@dataclass(frozen=True)
+class RegistrySpec:
+    """Declarative description of one generated registry family.
+
+    Every field is plain data, so a spec serialises losslessly to JSON
+    (:meth:`to_dict` / :meth:`from_dict`) and any single case of the
+    sweep regenerates from ``(spec, index)`` alone.
+
+    Attributes
+    ----------
+    name : str
+        Workspace name prefix (``{name}-{index:05d}``).
+    seed : int
+        Root seed; with the case index it keys the PCG64 stream.
+    n_workspaces : int
+        Registry size (10k+ is routine; generation is O(problem size)).
+    alternatives : (int, int)
+        Inclusive range of alternatives per problem (1 is allowed —
+        the degenerate single-candidate shortlist).
+    depth, branching : (int, int)
+        Hierarchy shape ranges: levels of objectives below the root,
+        and children per internal node.
+    max_attributes : int
+        Leaf budget capping runaway deep*wide trees.
+    scale_kinds : tuple of str
+        Admissible scale kinds (``"discrete"``, ``"continuous"``).
+    levels : (int, int)
+        Level-count range for discrete scales (>= 2).
+    missing_rate : float
+        Per-cell probability of a MISSING performance.
+    all_missing_row_rate : float
+        Per-problem probability that one alternative's whole row is
+        wiped to MISSING (the degenerate all-unknown candidate).
+    uncertain_rate : float
+        Per-cell probability (continuous attributes) of an
+        (min, avg, max) :class:`~repro.core.performance.UncertainValue`.
+    weight_style : str
+        ``"interval"`` (boxes of relative width ``weight_spread``),
+        ``"precise"`` (zero-width, degenerate intervals),
+        ``"near-degenerate"`` (widths ~1e-9 with one dominant sibling)
+        or ``"mixed"`` (chosen per sibling group).
+    weight_spread : float
+        Relative half-width scale of interval weights.
+    utility_style : str
+        ``"interval"``, ``"precise"`` or ``"mixed"`` component utility
+        envelopes.
+    """
+
+    name: str = "gen"
+    seed: int = 0
+    n_workspaces: int = 1
+    alternatives: Tuple[int, int] = (2, 8)
+    depth: Tuple[int, int] = (1, 3)
+    branching: Tuple[int, int] = (2, 4)
+    max_attributes: int = 24
+    scale_kinds: Tuple[str, ...] = ("discrete", "continuous")
+    levels: Tuple[int, int] = (2, 6)
+    missing_rate: float = 0.0
+    all_missing_row_rate: float = 0.0
+    uncertain_rate: float = 0.0
+    weight_style: str = "interval"
+    weight_spread: float = 0.5
+    utility_style: str = "interval"
+
+    def __post_init__(self) -> None:
+        """Validate and normalise every field (ranges become tuples)."""
+        object.__setattr__(self, "alternatives", _range(self.alternatives, "alternatives"))
+        object.__setattr__(self, "depth", _range(self.depth, "depth"))
+        object.__setattr__(self, "branching", _range(self.branching, "branching"))
+        object.__setattr__(self, "levels", _range(self.levels, "levels"))
+        if self.levels[0] < 2:
+            raise ValueError("levels range must start at >= 2")
+        if not self.name:
+            raise ValueError("spec needs a non-empty name")
+        if self.n_workspaces < 1:
+            raise ValueError("n_workspaces must be >= 1")
+        if self.max_attributes < 1:
+            raise ValueError("max_attributes must be >= 1")
+        kinds = tuple(self.scale_kinds)
+        if not kinds or any(k not in _SCALE_KINDS for k in kinds):
+            raise ValueError(
+                f"scale_kinds must be a non-empty subset of {_SCALE_KINDS}, "
+                f"got {self.scale_kinds!r}"
+            )
+        object.__setattr__(self, "scale_kinds", kinds)
+        for field in ("missing_rate", "all_missing_row_rate", "uncertain_rate"):
+            rate = getattr(self, field)
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"{field} must be in [0, 1], got {rate!r}")
+        if self.weight_style not in _WEIGHT_STYLES:
+            raise ValueError(
+                f"weight_style must be one of {_WEIGHT_STYLES}, "
+                f"got {self.weight_style!r}"
+            )
+        if not 0.0 < self.weight_spread <= 2.0:
+            raise ValueError("weight_spread must be in (0, 2]")
+        if self.utility_style not in _UTILITY_STYLES:
+            raise ValueError(
+                f"utility_style must be one of {_UTILITY_STYLES}, "
+                f"got {self.utility_style!r}"
+            )
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, object]:
+        """A JSON-ready dict (``repro-genspec/1``) round-tripping exactly."""
+        payload: Dict[str, object] = {"format": SPEC_FORMAT}
+        for field in dataclasses.fields(self):
+            value = getattr(self, field.name)
+            payload[field.name] = list(value) if isinstance(value, tuple) else value
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, object]) -> "RegistrySpec":
+        """Rebuild a spec from :meth:`to_dict` output (``ValueError`` on junk)."""
+        if not isinstance(payload, Mapping):
+            raise ValueError("spec payload must be a JSON object")
+        fmt = payload.get("format", SPEC_FORMAT)
+        if fmt != SPEC_FORMAT:
+            raise ValueError(f"unsupported spec format {fmt!r} (want {SPEC_FORMAT!r})")
+        known = {f.name for f in dataclasses.fields(cls)}
+        unknown = set(payload) - known - {"format"}
+        if unknown:
+            raise ValueError(f"unknown spec fields: {sorted(unknown)}")
+        kwargs = {}
+        for field in dataclasses.fields(cls):
+            if field.name in payload:
+                value = payload[field.name]
+                if isinstance(value, list):
+                    value = tuple(value)
+                kwargs[field.name] = value
+        return cls(**kwargs)
+
+    def replace(self, **overrides: object) -> "RegistrySpec":
+        """A copy of this spec with ``overrides`` applied (re-validated)."""
+        return dataclasses.replace(self, **overrides)
+
+
+def save_spec(spec: RegistrySpec, path: Path) -> Path:
+    """Write ``spec`` as sorted-key JSON; returns ``path``."""
+    path = Path(path)
+    path.write_text(json.dumps(spec.to_dict(), indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def load_spec(path: Path) -> RegistrySpec:
+    """Read a spec written by :func:`save_spec` (or a preset name file)."""
+    return RegistrySpec.from_dict(json.loads(Path(path).read_text()))
+
+
+# ----------------------------------------------------------------------
+# Generation
+# ----------------------------------------------------------------------
+
+def _case_rng(spec: RegistrySpec, index: int) -> np.random.Generator:
+    """The case's deterministic PCG64 stream, keyed on (seed, index)."""
+    return np.random.default_rng([0x9E3779B9, int(spec.seed), int(index)])
+
+
+def _int_in(rng: np.random.Generator, lo_hi: Tuple[int, int]) -> int:
+    """One inclusive-range integer draw."""
+    lo, hi = lo_hi
+    return int(rng.integers(lo, hi + 1))
+
+
+def _build_hierarchy(rng: np.random.Generator, spec: RegistrySpec) -> Hierarchy:
+    """Grow a random objective tree within the spec's shape envelope.
+
+    Depth-first growth with a global leaf budget: every internal node
+    draws its child count from ``spec.branching``; a child becomes a
+    leaf (and is assigned the next attribute) once the target depth or
+    the ``max_attributes`` budget is reached.  At least one leaf always
+    exists.
+    """
+    target_depth = _int_in(rng, spec.depth)
+    state = {"node": 0, "attr": 0}
+
+    def leaf() -> ObjectiveNode:
+        k = state["attr"]
+        state["attr"] += 1
+        return ObjectiveNode(f"obj-{k:03d}-leaf", attribute=f"attr-{k:03d}")
+
+    def grow(level: int) -> ObjectiveNode:
+        if level >= target_depth or state["attr"] >= spec.max_attributes:
+            return leaf()
+        n_children = _int_in(rng, spec.branching)
+        children = []
+        for _ in range(n_children):
+            if state["attr"] >= spec.max_attributes and children:
+                break
+            children.append(grow(level + 1))
+        name = f"obj-{state['node']:03d}"
+        state["node"] += 1
+        return ObjectiveNode(name, children=children)
+
+    root = grow(0)
+    if root.is_leaf:  # depth drew 0 leaves? never (target_depth >= 1)
+        root = ObjectiveNode("overall", children=[root])
+    else:
+        root = ObjectiveNode("overall", children=list(root.children))
+    return Hierarchy(root)
+
+
+def _interval_pair(
+    rng: np.random.Generator, n: int, precise: bool
+) -> Tuple[np.ndarray, np.ndarray]:
+    """``n`` monotone (lower, upper) utility envelopes in [0, 1].
+
+    Two independently sorted uniform draws; their elementwise min/max
+    are each sorted and ordered, which is exactly the
+    :class:`~repro.core.utility.DiscreteUtility` monotonicity contract.
+    """
+    a = np.sort(rng.uniform(0.0, 1.0, n))
+    if precise:
+        a = np.array([_r(x) for x in a])
+        return a, a.copy()
+    b = np.sort(rng.uniform(0.0, 1.0, n))
+    lower = np.array([_r(x) for x in np.minimum(a, b)])
+    upper = np.array([_r(x) for x in np.maximum(a, b)])
+    return lower, upper
+
+
+def _precise_style(rng: np.random.Generator, style: str) -> bool:
+    """Resolve a (possibly ``"mixed"``) utility style to one draw."""
+    if style == "mixed":
+        return bool(rng.integers(0, 2))
+    return style == "precise"
+
+
+def _make_attribute(
+    rng: np.random.Generator, spec: RegistrySpec, attr: str
+) -> Tuple[object, object]:
+    """One attribute's (scale, utility function), drawn from the spec."""
+    kind = spec.scale_kinds[int(rng.integers(0, len(spec.scale_kinds)))]
+    precise = _precise_style(rng, spec.utility_style)
+    if kind == "discrete":
+        n_levels = _int_in(rng, spec.levels)
+        scale = DiscreteScale(attr, tuple(f"lv{i}" for i in range(n_levels)))
+        lower, upper = _interval_pair(rng, n_levels, precise)
+        fn = DiscreteUtility(
+            scale,
+            tuple(Interval(float(lo), float(up)) for lo, up in zip(lower, upper)),
+        )
+        return scale, fn
+    minimum = _r(rng.uniform(0.0, 50.0))
+    maximum = _r(minimum + rng.uniform(1.0, 100.0))
+    ascending = bool(rng.integers(0, 2))
+    scale = ContinuousScale(attr, minimum, maximum, ascending=ascending)
+    n_interior = int(rng.integers(0, 4))
+    interior = sorted(
+        {
+            x
+            for x in (_r(v) for v in rng.uniform(minimum, maximum, n_interior))
+            if minimum < x < maximum
+        }
+    )
+    xs = [minimum, *interior, maximum]
+    lower, upper = _interval_pair(rng, len(xs), precise)
+    fn = PiecewiseLinearUtility(
+        scale,
+        tuple(
+            (x, Interval(float(lo), float(up)))
+            for x, lo, up in zip(xs, lower, upper)
+        ),
+    )
+    return scale, fn
+
+
+def _draw_cell(
+    rng: np.random.Generator, spec: RegistrySpec, scale: object
+) -> object:
+    """One performance cell: MISSING, a level code, a float or uncertain."""
+    if rng.random() < spec.missing_rate:
+        return MISSING
+    if isinstance(scale, DiscreteScale):
+        return int(rng.integers(0, len(scale)))
+    lo, hi = scale.minimum, scale.maximum
+    if rng.random() < spec.uncertain_rate:
+        draws = sorted(
+            min(max(_r(lo + rng.random() * (hi - lo)), lo), hi) for _ in range(3)
+        )
+        return UncertainValue(*draws)
+    return min(max(_r(lo + rng.random() * (hi - lo)), lo), hi)
+
+
+def _draw_weights(
+    rng: np.random.Generator, spec: RegistrySpec, hierarchy: Hierarchy
+) -> WeightSystem:
+    """A valid weight system in the spec's style.
+
+    Raw per-sibling intervals go through
+    :meth:`~repro.core.weights.WeightSystem.from_raw_intervals`, whose
+    midpoint normalisation guarantees every sibling box straddles the
+    simplex — so degenerate (zero-width) and near-degenerate
+    (~1e-9-width, one dominant sibling) styles are valid by
+    construction.
+    """
+    raw: Dict[str, Interval] = {}
+    for parent in hierarchy.nodes():
+        if parent.is_leaf:
+            continue
+        style = spec.weight_style
+        if style == "mixed":
+            style = ("interval", "precise", "near-degenerate")[
+                int(rng.integers(0, 3))
+            ]
+        n = len(parent.children)
+        if style == "near-degenerate":
+            dominant = int(rng.integers(0, n))
+            mids = np.full(n, 1e-6)
+            mids[dominant] = 1.0
+            widths = mids * 1e-9 * rng.random(n)
+        else:
+            mids = np.array([_r(x) for x in rng.uniform(0.1, 1.0, n)])
+            if style == "precise":
+                widths = np.zeros(n)
+            else:
+                widths = mids * spec.weight_spread * rng.random(n)
+        for child, mid, width in zip(parent.children, mids, widths):
+            raw[child.name] = Interval(
+                max(0.0, float(mid) - float(width) / 2.0),
+                float(mid) + float(width) / 2.0,
+            )
+    return WeightSystem.from_raw_intervals(hierarchy, raw)
+
+
+def generate_problem(spec: RegistrySpec, index: int = 0) -> DecisionProblem:
+    """Case ``index`` of the spec's sweep as a validated problem.
+
+    Deterministic in ``(spec, index)``: the same inputs always return a
+    problem whose workspace JSON is byte-identical.  Cases are
+    independent — generating case 7 alone matches case 7 of a full
+    :func:`write_registry` run.
+    """
+    if not 0 <= index:
+        raise ValueError("index must be >= 0")
+    rng = _case_rng(spec, index)
+    n_alt = _int_in(rng, spec.alternatives)
+    hierarchy = _build_hierarchy(rng, spec)
+    scales: Dict[str, object] = {}
+    utilities: Dict[str, object] = {}
+    for attr in hierarchy.attribute_names:
+        scale, fn = _make_attribute(rng, spec, attr)
+        scales[attr] = scale
+        utilities[attr] = fn
+    alternatives = [
+        Alternative(
+            f"alt-{i:03d}",
+            {attr: _draw_cell(rng, spec, scales[attr]) for attr in scales},
+        )
+        for i in range(n_alt)
+    ]
+    if rng.random() < spec.all_missing_row_rate:
+        wiped = int(rng.integers(0, n_alt))
+        alternatives[wiped] = Alternative(
+            alternatives[wiped].name, {attr: MISSING for attr in scales}
+        )
+    table = PerformanceTable(scales, alternatives)
+    weights = _draw_weights(rng, spec, hierarchy)
+    return DecisionProblem(
+        hierarchy, table, utilities, weights, name=f"{spec.name}-{index:05d}"
+    )
+
+
+def generate_document(spec: RegistrySpec, index: int = 0) -> Dict[str, object]:
+    """Case ``index`` as a ``repro-workspace/1`` document dict."""
+    return workspace.to_dict(generate_problem(spec, index))
+
+
+def iter_problems(
+    spec: RegistrySpec, limit: Optional[int] = None
+) -> Iterator[DecisionProblem]:
+    """Lazily yield the spec's cases (all ``n_workspaces`` by default)."""
+    n = spec.n_workspaces if limit is None else min(limit, spec.n_workspaces)
+    for index in range(n):
+        yield generate_problem(spec, index)
+
+
+def write_registry(
+    spec: RegistrySpec, directory: Path, limit: Optional[int] = None
+) -> List[Path]:
+    """Write the spec's registry of workspace JSONs into ``directory``.
+
+    One ``{name}-{index:05d}.json`` per case through
+    :func:`repro.core.workspace.save` (sorted keys, fixed indentation),
+    so the bytes on disk are the determinism contract's unit of
+    comparison.  Returns the paths in case order.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    paths = []
+    for index, problem in enumerate(iter_problems(spec, limit)):
+        path = directory / f"{spec.name}-{index:05d}.json"
+        workspace.save(problem, path)
+        paths.append(path)
+    return paths
+
+
+def registry_digest(spec: RegistrySpec, limit: Optional[int] = None) -> str:
+    """sha256 over every case's canonical workspace JSON, in case order.
+
+    The in-memory equivalent of hashing the files
+    :func:`write_registry` produces — the determinism fingerprint the
+    generator bench asserts on without touching the filesystem.
+    """
+    digest = hashlib.sha256()
+    for problem in iter_problems(spec, limit):
+        payload = json.dumps(
+            workspace.to_dict(problem), indent=2, sort_keys=True
+        )
+        digest.update(payload.encode("utf-8"))
+        digest.update(b"\n")
+    return digest.hexdigest()
+
+
+# ----------------------------------------------------------------------
+# Presets
+# ----------------------------------------------------------------------
+
+#: Named starting points for common sweeps; refine with :func:`preset`.
+PRESETS: Dict[str, RegistrySpec] = {
+    "default": RegistrySpec(name="default", n_workspaces=50),
+    "small": RegistrySpec(
+        name="small",
+        n_workspaces=50,
+        alternatives=(2, 4),
+        depth=(1, 1),
+        branching=(2, 4),
+        levels=(2, 4),
+    ),
+    "deep": RegistrySpec(
+        name="deep",
+        n_workspaces=50,
+        depth=(3, 5),
+        branching=(2, 3),
+        max_attributes=32,
+    ),
+    "wide": RegistrySpec(
+        name="wide", n_workspaces=50, depth=(1, 2), branching=(6, 10)
+    ),
+    "continuous": RegistrySpec(
+        name="continuous",
+        n_workspaces=50,
+        scale_kinds=("continuous",),
+        uncertain_rate=0.3,
+    ),
+    "missing": RegistrySpec(
+        name="missing",
+        n_workspaces=50,
+        missing_rate=0.3,
+        all_missing_row_rate=0.15,
+    ),
+    "degenerate": RegistrySpec(
+        name="degenerate",
+        n_workspaces=50,
+        alternatives=(1, 3),
+        depth=(1, 2),
+        weight_style="precise",
+        missing_rate=0.25,
+        all_missing_row_rate=0.3,
+    ),
+    "near-degenerate": RegistrySpec(
+        name="near-degenerate",
+        n_workspaces=50,
+        weight_style="near-degenerate",
+    ),
+    "fuzz": RegistrySpec(
+        name="fuzz",
+        n_workspaces=300,
+        alternatives=(1, 9),
+        depth=(1, 4),
+        branching=(1, 4),
+        max_attributes=16,
+        levels=(2, 5),
+        missing_rate=0.15,
+        all_missing_row_rate=0.05,
+        uncertain_rate=0.15,
+        weight_style="mixed",
+        utility_style="mixed",
+    ),
+    "stress-10k": RegistrySpec(
+        name="stress",
+        n_workspaces=10_000,
+        alternatives=(2, 6),
+        depth=(1, 2),
+        branching=(2, 4),
+        max_attributes=12,
+        missing_rate=0.1,
+    ),
+}
+
+
+def preset(name: str, **overrides: object) -> RegistrySpec:
+    """A named preset with ``overrides`` applied (``ValueError`` if unknown)."""
+    try:
+        base = PRESETS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown preset {name!r}; available: {sorted(PRESETS)}"
+        ) from None
+    return base.replace(**overrides) if overrides else base
+
+
+# ----------------------------------------------------------------------
+# Compat fixture builders (moved here from the benchmark suite)
+# ----------------------------------------------------------------------
+
+def neon_shortlist_registry(
+    directory: Path,
+    n_workspaces: int = 200,
+    seed: int = 2012,
+    pool_size: int = 12,
+    shortlist: int = 8,
+) -> List[Path]:
+    """The benchmark suite's standard NeOn shortlist registry.
+
+    A pool of generated candidate ontologies is scored once through the
+    vectorised NeOn assess activity; every workspace is a shortlist
+    problem over a seeded subset of the pool — all sharing the
+    14-criteria shape.  With the default arguments the output is
+    byte-identical to the registry the runtime benchmarks historically
+    built inline (compat seed 2012), so their committed floors remain
+    comparable.
+    """
+    # Lazy imports: the NeOn/ontology layers build on repro.core, so a
+    # module-level import here would invert the layering.
+    from repro.neon.assessment import assess_batch
+    from repro.neon.criteria import (
+        build_hierarchy,
+        default_scales,
+        default_utilities,
+    )
+    from repro.ontology.corpus import ReuseMetadata
+    from repro.ontology.cq import CompetencyQuestion
+    from repro.ontology.generator import OntologySpec, generate
+    import random
+
+    cqs = tuple(
+        CompetencyQuestion(f"cq{i}", f"q{i}", key_terms=(term,))
+        for i, term in enumerate(
+            ("codec", "playlist", "subtitle", "waveform", "storyboard", "tempo")
+        )
+    )
+    rng = random.Random(seed)
+    pool = []
+    for i in range(pool_size):
+        spec = OntologySpec(
+            name=f"Candidate {i:02d}",
+            seed=1000 + i,
+            n_classes=24 + (i % 5) * 4,
+            doc_quality=i % 4,
+            ext_knowledge=(i + 1) % 4,
+            code_clarity=max(2, 3 - i % 2),
+            naming=1 + i % 3,
+            knowledge_extraction=i % 4,
+            language_adequacy=1 + i % 3,
+            covered_cqs=cqs[: 1 + i % len(cqs)],
+            metadata=ReuseMetadata(
+                financial_cost=None if i % 5 == 0 else float(50 * (i % 4)),
+                access_time_days=float(1 + i % 9),
+                n_test_suites=i % 4,
+                evaluation_level=None if i % 3 == 0 else i % 4,
+                team_publications=i % 7,
+                purpose=(None, "academic", "standard-transform", "project")[
+                    i % 4
+                ],
+                reused_by=tuple(f"adopter-{k}" for k in range(i % 3)),
+                uses_design_patterns=i % 2 == 0,
+            ),
+        )
+        pool.append(generate(spec))
+
+    assessments = assess_batch(pool, cqs)
+    hierarchy = build_hierarchy()
+    scales = default_scales()
+    utilities = default_utilities()
+    weights = WeightSystem.uniform(hierarchy)
+
+    directory = Path(directory)
+    paths = []
+    for w in range(n_workspaces):
+        chosen = rng.sample(range(pool_size), shortlist)
+        table = PerformanceTable(
+            dict(scales),
+            [
+                Alternative(
+                    assessments[c].name, dict(assessments[c].performances)
+                )
+                for c in chosen
+            ],
+        )
+        problem = DecisionProblem(
+            hierarchy, table, utilities, weights, name=f"shortlist-{w:04d}"
+        )
+        path = directory / f"shortlist-{w:04d}.json"
+        workspace.save(problem, path)
+        paths.append(path)
+    return paths
+
+
+def scaling_problem(n_alternatives: int, n_attributes: int) -> DecisionProblem:
+    """The scaling bench's flat synthetic problem (compat construction).
+
+    Seeded as ``n_alternatives * 100 + n_attributes`` with linguistic
+    0-3 scales, banded utilities and ±30 % weight boxes — exactly the
+    fixture ``benchmarks/bench_scaling.py`` historically built inline.
+    """
+    rng = np.random.default_rng(n_alternatives * 100 + n_attributes)
+    scales = {f"a{j}": linguistic_0_3(f"a{j}") for j in range(n_attributes)}
+    table = PerformanceTable(
+        scales,
+        [
+            Alternative(
+                f"alt{i:03d}",
+                {f"a{j}": int(rng.integers(0, 4)) for j in range(n_attributes)},
+            )
+            for i in range(n_alternatives)
+        ],
+    )
+    hierarchy = Hierarchy(
+        ObjectiveNode(
+            "root",
+            children=[
+                ObjectiveNode(f"c{j}", attribute=f"a{j}")
+                for j in range(n_attributes)
+            ],
+        )
+    )
+    share = 1.0 / n_attributes
+    weights = WeightSystem(
+        hierarchy,
+        {
+            f"c{j}": Interval(share * 0.7, min(1.0, share * 1.3))
+            for j in range(n_attributes)
+        },
+    )
+    utilities = {
+        f"a{j}": banded_discrete_utility(scales[f"a{j}"], best_is_precise=False)
+        for j in range(n_attributes)
+    }
+    return DecisionProblem(hierarchy, table, utilities, weights)

@@ -1,0 +1,166 @@
+"""Tests for the registry generator: determinism, validity, round-trips."""
+
+import json
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.core import genreg, workspace
+from repro.core.engine import BatchEvaluator, compile_problem
+from repro.core.genreg import RegistrySpec, preset
+from repro.core.model import evaluate
+from repro.core.scales import MISSING
+
+from tests.strategies import registry_specs, spec_cases
+
+
+def canonical_json(problem):
+    return json.dumps(workspace.to_dict(problem), indent=2, sort_keys=True)
+
+
+class TestDeterminism:
+    def test_same_spec_and_seed_give_byte_identical_json(self):
+        spec = preset("default", seed=123, n_workspaces=20)
+        first = [canonical_json(p) for p in genreg.iter_problems(spec)]
+        second = [canonical_json(p) for p in genreg.iter_problems(spec)]
+        assert first == second
+
+    def test_registry_digest_is_stable_across_runs(self):
+        spec = preset("small", seed=9)
+        assert genreg.registry_digest(spec) == genreg.registry_digest(spec)
+
+    def test_distinct_seeds_give_distinct_content_hashes(self):
+        digests = {
+            genreg.registry_digest(preset("small", seed=s, n_workspaces=5))
+            for s in range(8)
+        }
+        assert len(digests) == 8
+
+    def test_case_hashes_differ_within_one_registry(self):
+        spec = preset("default", seed=4, n_workspaces=10)
+        hashes = {
+            workspace.content_hash(p) for p in genreg.iter_problems(spec)
+        }
+        assert len(hashes) == 10
+
+    def test_written_files_match_in_memory_documents(self, tmp_path):
+        spec = preset("small", seed=11, n_workspaces=6)
+        paths = genreg.write_registry(spec, tmp_path)
+        assert [p.name for p in paths] == [
+            f"small-{i:05d}.json" for i in range(6)
+        ]
+        for i, path in enumerate(paths):
+            on_disk = workspace.load(path)
+            assert workspace.content_hash(on_disk) == workspace.content_hash(
+                genreg.generate_problem(spec, i)
+            )
+
+    def test_pinned_digest_guards_cross_version_stability(self):
+        # Byte-stability anchor: any change to the drawing order, float
+        # rounding or serialisation shows up here first.  Regenerate
+        # with `registry_digest(preset("small", seed=2012))` only for a
+        # deliberate, documented format change.
+        digest = genreg.registry_digest(preset("small", seed=2012))
+        assert digest == (
+            "0ef60f758d7d66ea4eb58cbf2e2cac9724200d5230d640ed85f1013fe9f7ea2d"
+        )
+
+
+class TestSpecRoundTrip:
+    def test_to_dict_from_dict_identity(self):
+        spec = preset("fuzz", seed=3)
+        assert RegistrySpec.from_dict(spec.to_dict()) == spec
+
+    def test_save_load_round_trip(self, tmp_path):
+        spec = preset("degenerate", seed=99)
+        path = genreg.save_spec(spec, tmp_path / "spec.json")
+        assert genreg.load_spec(path) == spec
+
+    def test_unknown_fields_rejected(self):
+        payload = preset("small").to_dict()
+        payload["bogus"] = 1
+        with pytest.raises(ValueError, match="unknown spec fields"):
+            RegistrySpec.from_dict(payload)
+
+    def test_wrong_format_rejected(self):
+        payload = preset("small").to_dict()
+        payload["format"] = "repro-genspec/999"
+        with pytest.raises(ValueError, match="unsupported spec format"):
+            RegistrySpec.from_dict(payload)
+
+    def test_invalid_ranges_rejected(self):
+        with pytest.raises(ValueError, match="alternatives"):
+            RegistrySpec(alternatives=(3, 2))
+        with pytest.raises(ValueError, match="levels"):
+            RegistrySpec(levels=(1, 4))
+        with pytest.raises(ValueError, match="weight_style"):
+            RegistrySpec(weight_style="nope")
+
+    def test_every_preset_is_valid_and_generates(self):
+        for name in genreg.PRESETS:
+            problem = genreg.generate_problem(preset(name), 0)
+            assert problem.name.startswith(genreg.PRESETS[name].name)
+
+
+@settings(max_examples=30, deadline=None)
+@given(spec_cases(max_workspaces=4))
+def test_generated_problems_are_valid_and_deterministic(case):
+    """Any spec in the sweep space yields a valid, replayable problem."""
+    spec, index = case
+    problem = genreg.generate_problem(spec, index)
+    again = genreg.generate_problem(spec, index)
+    assert canonical_json(problem) == canonical_json(again)
+    # Compiles and evaluates through both scalar and tensor paths.
+    evaluation = evaluate(problem)
+    rows = list(evaluation)
+    assert len(rows) == len(problem.table.alternatives)
+    for row in rows:
+        assert row.minimum <= row.average + 1e-9
+        assert row.average <= row.maximum + 1e-9
+    ev = BatchEvaluator(compile_problem(problem))
+    assert np.all(ev.minimum_utilities() <= ev.maximum_utilities() + 1e-12)
+
+
+@settings(max_examples=20, deadline=None)
+@given(registry_specs(max_workspaces=3))
+def test_workspace_json_round_trip_is_exact(spec):
+    problem = genreg.generate_problem(spec, 0)
+    restored = workspace.from_dict(
+        json.loads(canonical_json(problem))
+    )
+    assert workspace.content_hash(restored) == workspace.content_hash(problem)
+
+
+def test_degenerate_preset_reaches_degenerate_shapes():
+    spec = preset("degenerate", seed=0, n_workspaces=40)
+    problems = list(genreg.iter_problems(spec))
+    assert any(len(p.table.alternatives) == 1 for p in problems)
+    assert any(
+        all(
+            alt.performance(a) is MISSING
+            for a in p.table.attribute_names
+        )
+        for p in problems
+        for alt in p.table.alternatives
+    )
+
+
+def test_missing_rate_regime_produces_missing_cells():
+    spec = preset("missing", seed=1, n_workspaces=10)
+    cells = missing = 0
+    for p in genreg.iter_problems(spec):
+        for alt in p.table.alternatives:
+            for a in p.table.attribute_names:
+                cells += 1
+                missing += alt.performance(a) is MISSING
+    assert 0 < missing < cells
+
+
+def test_stress_preset_scales_to_10k_workspaces():
+    spec = preset("stress-10k")
+    assert spec.n_workspaces >= 10_000
+    # Sampling the far end of the sweep must stay deterministic.
+    a = canonical_json(genreg.generate_problem(spec, 9_999))
+    b = canonical_json(genreg.generate_problem(spec, 9_999))
+    assert a == b

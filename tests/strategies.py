@@ -1,0 +1,98 @@
+"""Hypothesis strategies built on the registry generator.
+
+The strategies sample :class:`repro.core.genreg.RegistrySpec` values
+(the *spec* space), then let :func:`repro.core.genreg.generate_problem`
+turn a spec + case index into a concrete
+:class:`~repro.core.problem.DecisionProblem` — so Hypothesis explores
+the declarative sweep space while all concrete randomness stays inside
+the generator's deterministic PCG64 streams.  Shrinking therefore
+shrinks *specs* (fewer alternatives, flatter trees, precise weights),
+mirroring the fuzz harness's own reducer.
+
+A fixed ``ci`` profile (derandomised, bounded example count) is
+registered at import; set ``HYPOTHESIS_PROFILE=ci`` to load it — the
+CI fuzz job does.
+"""
+
+from __future__ import annotations
+
+import os
+
+from hypothesis import settings
+from hypothesis import strategies as st
+
+from repro.core import genreg
+from repro.core.genreg import RegistrySpec
+
+settings.register_profile(
+    "ci",
+    derandomize=True,
+    max_examples=25,
+    deadline=None,
+    print_blob=True,
+)
+if os.environ.get("HYPOTHESIS_PROFILE") == "ci":
+    settings.load_profile("ci")
+
+
+def _ranges(lo_min: int, lo_max: int, hi_max: int):
+    """An ``(lo, hi)`` inclusive-range strategy with ``lo <= hi``."""
+    return st.integers(lo_min, lo_max).flatmap(
+        lambda lo: st.tuples(st.just(lo), st.integers(lo, hi_max))
+    )
+
+
+@st.composite
+def registry_specs(
+    draw,
+    max_workspaces: int = 6,
+    max_alternatives: int = 8,
+    max_attributes: int = 12,
+):
+    """A valid :class:`RegistrySpec` spanning the generator's sweep space.
+
+    Degenerate regions (single alternative, all-missing rows,
+    zero-width and near-degenerate weights) are reachable but not
+    forced, so property tests see both healthy and edge-case problems.
+    """
+    return RegistrySpec(
+        name="hyp",
+        seed=draw(st.integers(0, 2**31 - 1)),
+        n_workspaces=draw(st.integers(1, max_workspaces)),
+        alternatives=draw(_ranges(1, max_alternatives, max_alternatives)),
+        depth=draw(_ranges(1, 3, 4)),
+        branching=draw(_ranges(1, 3, 4)),
+        max_attributes=draw(st.integers(1, max_attributes)),
+        scale_kinds=draw(
+            st.sampled_from(
+                [
+                    ("discrete",),
+                    ("continuous",),
+                    ("discrete", "continuous"),
+                ]
+            )
+        ),
+        levels=draw(_ranges(2, 4, 6)),
+        missing_rate=draw(st.sampled_from([0.0, 0.1, 0.3])),
+        all_missing_row_rate=draw(st.sampled_from([0.0, 0.1])),
+        uncertain_rate=draw(st.sampled_from([0.0, 0.2])),
+        weight_style=draw(st.sampled_from(genreg._WEIGHT_STYLES)),
+        weight_spread=draw(st.sampled_from([0.1, 0.5, 1.0])),
+        utility_style=draw(st.sampled_from(genreg._UTILITY_STYLES)),
+    )
+
+
+@st.composite
+def generated_problems(draw, **spec_kwargs):
+    """A concrete generated :class:`DecisionProblem` (spec + case draw)."""
+    spec = draw(registry_specs(**spec_kwargs))
+    index = draw(st.integers(0, spec.n_workspaces - 1))
+    return genreg.generate_problem(spec, index)
+
+
+@st.composite
+def spec_cases(draw, **spec_kwargs):
+    """A ``(spec, index)`` pair — for tests that must regenerate a case."""
+    spec = draw(registry_specs(**spec_kwargs))
+    index = draw(st.integers(0, spec.n_workspaces - 1))
+    return spec, index

@@ -18,6 +18,7 @@ _spec.loader.exec_module(check_docs)
 DOC_PAGES = (
     "architecture.md",
     "cli.md",
+    "generator.md",
     "caching.md",
     "group.md",
     "paper-map.md",
@@ -83,6 +84,8 @@ class TestDocsTree:
 
 DOCSTRING_MODULES = (
     "core/engine",
+    "core/genreg",
+    "fuzz",
     "core/faults",
     "core/group",
     "core/runtime",

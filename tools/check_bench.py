@@ -119,6 +119,21 @@ SCHEMAS: Dict[str, Dict[str, object]] = {
             "delta_slice_only",
         ),
     },
+    "BENCH_generator.json": {
+        "required": {
+            "n_workspaces": _INT,
+            "throughput_wps": _NUMBER,
+            "deterministic": _BOOL,
+            "distinct_seeds_distinct": _BOOL,
+            "min_throughput_floor_wps": _NUMBER,
+        },
+        "metric": "throughput_wps",
+        "floor": "min_throughput_floor_wps",
+        "must_be_true": (
+            "deterministic",
+            "distinct_seeds_distinct",
+        ),
+    },
     "BENCH_faults.json": {
         "required": {
             "n_workspaces": _INT,

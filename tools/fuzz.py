@@ -1,0 +1,23 @@
+#!/usr/bin/env python3
+"""Standalone launcher for the differential fuzz harness.
+
+Equivalent to ``repro fuzz``; exists so CI and developers can run the
+fuzzer without installing the package::
+
+    PYTHONPATH=src python tools/fuzz.py --cases 300 --seed 0
+
+Exit status is 0 iff every oracle agreed on every case; any divergence
+exits 1 after writing replayable repro files (see ``docs/generator.md``).
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.fuzz import main  # noqa: E402
+
+if __name__ == "__main__":
+    raise SystemExit(main())
