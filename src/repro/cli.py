@@ -40,6 +40,10 @@ Subcommands map onto the paper's workflow:
   stacked/delta/group/Monte-Carlo tensor paths against the scalar
   reference; failing specs are shrunk and re-emitted as replayable
   JSON repro files.
+* ``repro trace summarize FILE`` — per-stage wall-time totals of a
+  Chrome trace-event file recorded with ``repro batch --trace FILE``
+  (see ``docs/observability.md``); ``repro batch --stats`` prints the
+  same breakdown inline without writing a file.
 
 All subcommands operate on the built-in multimedia case study unless
 ``--workspace FILE`` points at a saved problem.
@@ -237,6 +241,33 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="with --follow: stop after N cycles (default: until Ctrl-C)",
     )
+    p_batch.add_argument(
+        "--trace",
+        metavar="FILE",
+        default=None,
+        dest="trace_path",
+        help=(
+            "record a span trace of the run (workspace load/compile, "
+            "eval stages, index probe/commit, worker chunks) and write "
+            "it as a Chrome trace-event JSON file viewable in Perfetto "
+            "or chrome://tracing; implies the sharded runtime"
+        ),
+    )
+    p_batch.add_argument(
+        "--stats",
+        action="store_true",
+        help=(
+            "print a per-stage wall-time breakdown after the table; "
+            "implies the sharded runtime"
+        ),
+    )
+
+    p_trace = sub.add_parser(
+        "trace",
+        help="inspect Chrome trace files written by batch --trace",
+    )
+    p_trace.add_argument("action", choices=("summarize",))
+    p_trace.add_argument("file", help="Chrome trace-event JSON file")
 
     p_group = sub.add_parser(
         "group",
@@ -750,6 +781,8 @@ def _cmd_batch_sharded(
     use_index: bool = True,
     refresh: bool = False,
     group_spec=None,
+    trace_path: Optional[str] = None,
+    stats: bool = False,
 ) -> "tuple[str, int]":
     """``repro batch --workers N``: the sharded multi-problem runtime.
 
@@ -762,7 +795,11 @@ def _cmd_batch_sharded(
     configuration skip evaluation entirely.  The merged output is
     byte-identical for any worker count and any cache state.  With
     ``--group`` every row additionally reports the roster's group best
-    and Borda best, evaluated over the members tensor axis.
+    and Borda best, evaluated over the members tensor axis.  With
+    ``--trace``/``--stats`` the run is recorded through
+    :mod:`repro.obs.trace` — worker-side spans included — and exported
+    as a Chrome trace file / per-stage breakdown; tracing never
+    changes the table.
     """
     import json as _json
 
@@ -781,7 +818,28 @@ def _cmd_batch_sharded(
         ),
     )
     index = _open_registry_index(workspaces, index_path) if use_index else None
-    report = _run_sharded(runner, workspaces, index, refresh)
+    tracer = None
+    if trace_path or stats:
+        from .obs import trace as obs_trace
+
+        tracer = obs_trace.Tracer()
+        obs_trace.install(tracer)
+    try:
+        report = _run_sharded(runner, workspaces, index, refresh)
+    finally:
+        if tracer is not None:
+            from .obs import trace as obs_trace
+
+            obs_trace.uninstall()
+    if tracer is not None and trace_path:
+        from .obs.trace import write_chrome_trace
+
+        write_chrome_trace(tracer.spans(), trace_path)
+        print(
+            f"wrote {len(tracer)} span(s) to {trace_path} "
+            f"(open in Perfetto or chrome://tracing)",
+            file=sys.stderr,
+        )
 
     group = group_spec is not None
     headers, align = _batch_table_spec(simulations, group)
@@ -809,9 +867,51 @@ def _cmd_batch_sharded(
         method,
         [(s.path, s.error) for s in report.skipped],
     )
+    if stats:
+        footer += _stats_footer(report.stage_seconds)
     return (
         render_table(headers, rows, align_left=align) + footer,
         _batch_exit_code(report.n_evaluated, report.skipped),
+    )
+
+
+def _stats_footer(stage_seconds) -> str:
+    """The ``--stats`` per-stage wall-time block under the batch table."""
+    if not stage_seconds:
+        return "\n\nno stage timings recorded"
+    rows = [
+        [name, f"{seconds:.3f}"]
+        for name, seconds in sorted(stage_seconds, key=lambda kv: -kv[1])
+    ]
+    return "\n\nstage breakdown (wall seconds, workers included):\n" + render_table(
+        ["stage", "seconds"], rows, align_left=[True, False]
+    )
+
+
+def _cmd_trace_summarize(path: str) -> str:
+    """``repro trace summarize``: per-stage totals of a trace file."""
+    from .obs.trace import summarize
+
+    try:
+        summary = summarize(path)
+    except (OSError, ValueError) as exc:
+        raise SystemExit(f"cannot summarize {path}: {exc}") from exc
+    if not summary:
+        return f"{path}: no trace events"
+    rows = [
+        [
+            row["name"],
+            row["count"],
+            f"{row['total_ms']:.3f}",
+            f"{row['mean_ms']:.3f}",
+            f"{row['max_ms']:.3f}",
+        ]
+        for row in summary
+    ]
+    return render_table(
+        ["span", "count", "total ms", "mean ms", "max ms"],
+        rows,
+        align_left=[True, False, False, False, False],
     )
 
 
@@ -1398,6 +1498,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             )
             print(output)
             return exit_code
+        if args.command == "trace":
+            print(_cmd_trace_summarize(args.file))
+            return 0
         if args.command == "batch":
             if args.no_cache and (args.refresh or args.index_path):
                 raise SystemExit(
@@ -1424,6 +1527,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                     raise SystemExit(
                         "batch --follow conflicts with --no-cache: follow "
                         "mode needs the registry index to detect changes"
+                    )
+                if args.trace_path or args.stats:
+                    raise SystemExit(
+                        "batch --follow conflicts with --trace/--stats: "
+                        "trace a single run instead"
                     )
                 if args.refresh:
                     raise SystemExit(
@@ -1453,12 +1561,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 or args.index_path is not None
                 or args.refresh
                 or group_spec is not None
+                or args.trace_path is not None
+                or args.stats
             )
             if registry_mode:
                 if not args.workspaces:
                     raise SystemExit(
-                        "batch --workers/--index/--refresh/--group needs "
-                        "explicit workspace files"
+                        "batch --workers/--index/--refresh/--group/"
+                        "--trace/--stats needs explicit workspace files"
                     )
                 output, exit_code = _cmd_batch_sharded(
                     args.workspaces,
@@ -1472,6 +1582,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                     use_index=not args.no_cache,
                     refresh=args.refresh,
                     group_spec=group_spec,
+                    trace_path=args.trace_path,
+                    stats=args.stats,
                 )
             else:
                 output, exit_code = _cmd_batch(

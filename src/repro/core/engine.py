@@ -43,6 +43,7 @@ from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple, Uni
 
 import numpy as np
 
+from ..obs import stage as _stage
 from .interval import Interval
 from .performance import UncertainValue
 from .problem import DecisionProblem
@@ -1486,13 +1487,21 @@ class BatchEvaluator:
         """(n_alt, n_alt) boolean strict-dominance matrix (§V LPs)."""
         from .dominance import dominance_matrix as _dominance_matrix
 
-        return _dominance_matrix(self.compiled, solver=solver)
+        with _stage(
+            "eval.dominance", n_alternatives=self.compiled.n_alternatives
+        ):
+            return _dominance_matrix(self.compiled, solver=solver)
 
     def rank_intervals(self, solver: str = "scipy"):
         """Best/worst attainable rank per alternative, from dominance."""
         from .rankintervals import rank_intervals as _rank_intervals
 
-        return _rank_intervals(self, matrix=self.dominance_matrix(solver))
+        matrix = self.dominance_matrix(solver)
+        with _stage(
+            "eval.rankintervals",
+            n_alternatives=self.compiled.n_alternatives,
+        ):
+            return _rank_intervals(self, matrix=matrix)
 
     # -- group decision support (the members axis) ----------------------
     def _check_roster(self, roster: CompiledRoster) -> None:

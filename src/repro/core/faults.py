@@ -47,6 +47,8 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Iterator, Optional, Tuple
 
+from ..obs import metrics as _metrics
+
 #: Every fault site a :class:`FaultRule` may target.
 SITES = (
     "worker_kill",
@@ -103,6 +105,15 @@ def _unit(seed: int, site: str, key: str, attempt: int) -> float:
     return int.from_bytes(digest[:8], "big") / 2.0**64
 
 
+def _count_strike(site: str) -> None:
+    """Record one fired fault in the process-wide metrics registry."""
+    _metrics.registry().counter(
+        "repro_faults_injected_total",
+        "Injected faults that actually fired, by site.",
+        labelnames=("site",),
+    ).inc(site=site)
+
+
 @dataclass(frozen=True)
 class FaultPlan:
     """A named, seeded set of fault rules; frozen and picklable.
@@ -140,6 +151,7 @@ class FaultPlan:
     def strike(self, site: str, key: str, attempt: int = 0) -> None:
         """Raise :class:`InjectedFault` when the plan strikes here."""
         if self.decide(site, key, attempt):
+            _count_strike(site)
             raise InjectedFault(
                 f"injected {site} fault (plan {self.name!r}, key {key!r}, "
                 f"attempt {attempt})"
@@ -154,12 +166,14 @@ class FaultPlan:
         this from a *worker* process.
         """
         if self.decide("worker_kill", key, attempt):
+            _count_strike("worker_kill")
             os._exit(KILL_EXIT_CODE)
 
     def maybe_sleep(self, key: str, attempt: int = 0) -> None:
         """Sleep for the rule's ``delay`` when ``chunk_delay`` strikes."""
         rule = self.rule("chunk_delay")
         if rule is not None and self.decide("chunk_delay", key, attempt):
+            _count_strike("chunk_delay")
             time.sleep(rule.delay)
 
     def describe(self) -> str:

@@ -79,6 +79,8 @@ from typing import (
     Union,
 )
 
+from ..obs import metrics as _metrics
+from ..obs import span as _span
 from . import workspace as _workspace
 from .engine import compile_problem
 
@@ -459,6 +461,10 @@ class RegistryIndex:
             self._set_meta("last_rebuild_ns", str(time.time_ns()))
             self._set_meta("rebuild_reason", reason)
             self._set_meta("corrupt_copy", str(target))
+        _metrics.registry().counter(
+            "repro_index_rebuilds_total",
+            "Corrupt-index move-aside-and-rebuild recoveries.",
+        ).inc()
         return target
 
     def _connect(self) -> sqlite3.Connection:
@@ -970,7 +976,7 @@ class RegistryIndex:
         config_hash : str
             :func:`eval_config_hash` of the run's options.
         """
-        with self._conn:
+        with _span("index.record_run", entries=len(results)), self._conn:
             self._conn.execute("BEGIN IMMEDIATE")
             for record in records:
                 self._upsert_workspace(record)

@@ -44,11 +44,16 @@ import sys
 import time
 from concurrent.futures import ProcessPoolExecutor, wait
 from dataclasses import dataclass, replace
+from datetime import datetime, timezone
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from ..obs import metrics as _metrics
+from ..obs import span as _span
+from ..obs import stage as _stage
+from ..obs import trace as _trace
 from . import faults as _faults
 from .engine import (
     StackedEvaluator,
@@ -111,6 +116,12 @@ class BatchOptions:
     #: faults never change what the numbers *are*, only which recovery
     #: path computes them — and costs nothing when ``None``.
     faults: Optional[FaultPlan] = None
+    #: Collect spans inside chunk evaluation even when no tracer is
+    #: installed in the evaluating process — how ``ShardedRunner``
+    #: ships worker-side spans home.  Like ``faults``, excluded from
+    #: the evaluation-configuration hash: tracing observes the run, it
+    #: never changes the numbers.
+    trace: bool = False
 
 
 @dataclass(frozen=True)
@@ -159,6 +170,13 @@ class RetryPolicy:
             raise ValueError("split_after must be >= 1")
         if self.backoff_base < 0 or self.backoff_cap < 0:
             raise ValueError("backoff must be non-negative")
+
+
+def _iso_now() -> str:
+    """The current local time as an ISO-8601 string with UTC offset."""
+    return datetime.now(timezone.utc).astimezone().isoformat(
+        timespec="seconds"
+    )
 
 
 def _backoff_delay(policy: RetryPolicy, round_no: int, attempt: int) -> float:
@@ -248,6 +266,13 @@ class RegistryReport:
         entries that exhausted :attr:`RetryPolicy.quarantine_after`
         dispatch failures this run, plus entries already held in the
         attached index's quarantine.  They also appear in ``skipped``.
+    stage_seconds : tuple of (str, float)
+        Per-stage wall-time breakdown — total seconds per span name,
+        worker-side spans included, sorted by name.  Populated only
+        when a tracer was installed for the run
+        (:func:`repro.obs.trace.tracing`); empty otherwise.  Surfaced
+        by ``repro batch --stats``.  Execution-shape metadata like
+        ``n_chunks``: never affects ``results``.
     """
 
     results: Tuple[WorkspaceResult, ...]
@@ -260,6 +285,7 @@ class RegistryReport:
     n_delta: int = 0
     n_retried: int = 0
     n_quarantined: int = 0
+    stage_seconds: Tuple[Tuple[str, float], ...] = ()
 
     @property
     def n_evaluated(self) -> int:
@@ -457,14 +483,28 @@ def evaluate_registry_chunk(
     options: BatchOptions,
     attempt: int = 0,
     in_worker: bool = False,
-) -> Tuple[List[WorkspaceResult], List[SkippedWorkspace], int]:
+) -> Tuple[
+    List[WorkspaceResult],
+    List[SkippedWorkspace],
+    int,
+    List[Dict[str, object]],
+]:
     """Evaluate one chunk of ``(registry_index, path)`` pairs.
 
     Loads every workspace (``.npz`` fast path unless the options need
     the object graph), stacks same-shape compiled problems and
     evaluates each stack in one array program.  Returns
-    ``(results, skipped, n_stacks)``; results carry registry indices so
-    the caller can merge shards deterministically.
+    ``(results, skipped, n_stacks, spans)``; results carry registry
+    indices so the caller can merge shards deterministically.
+
+    ``spans`` ships worker-side telemetry home: with ``options.trace``
+    set and no tracer installed in this process (the worker case), a
+    chunk-local tracer records the evaluation and its finished spans
+    return as picklable payloads for the parent to stitch
+    (:meth:`repro.obs.trace.Tracer.adopt`).  When a tracer *is*
+    installed (the in-process serial path), spans record straight into
+    it and ``spans`` is empty.  Either way the numeric results are
+    untouched.
 
     ``attempt`` and ``in_worker`` only matter under a fault plan
     (``options.faults``): retries draw fresh, independent fault
@@ -478,15 +518,38 @@ def evaluate_registry_chunk(
             plan.maybe_kill(key, attempt)
         plan.maybe_sleep(key, attempt)
         _faults.install(plan)
+    # A forked pool worker inherits the parent's installed tracer as a
+    # dead copy (same memory image, no channel back), so inside a
+    # worker a fresh chunk-local tracer always takes over — its spans
+    # travel home in the return value instead.
+    tracer = None
+    if options.trace and (in_worker or _trace.active() is None):
+        tracer = _trace.Tracer()
+        _trace.install(tracer)
     try:
-        loaded, skipped = _load_chunk_problems(chunk, options)
-        if not loaded:
-            return [], skipped, 0
-        results, n_stacks = _evaluate_loaded(loaded, options)
-        return results, skipped, n_stacks
+        with _span(
+            "chunk.evaluate",
+            n=len(chunk),
+            attempt=attempt,
+            worker=in_worker,
+        ):
+            with _stage("workspace.load", n=len(chunk)):
+                loaded, skipped = _load_chunk_problems(chunk, options)
+            if loaded:
+                results, n_stacks = _evaluate_loaded(loaded, options)
+            else:
+                results, n_stacks = [], 0
     finally:
+        if tracer is not None:
+            _trace.uninstall()
         if plan is not None:
             _faults.uninstall()
+    payloads = (
+        [record.to_payload() for record in tracer.spans()]
+        if tracer is not None
+        else []
+    )
+    return results, skipped, n_stacks, payloads
 
 
 def _evaluate_loaded(
@@ -505,29 +568,36 @@ def _evaluate_loaded(
     results: List[WorkspaceResult] = []
     for stack in stacks:
         evaluator = StackedEvaluator(stack)
-        evaluations = evaluator.evaluate_all()
+        with _stage("eval.stacked", problems=stack.n_problems):
+            evaluations = evaluator.evaluate_all()
         mc_stats = None
         if options.simulations:
-            ranks, _ = evaluator.monte_carlo_ranks(
-                method=options.method,
-                n_simulations=options.simulations,
-                seed=options.seed,
-                sample_utilities="missing",
-            )
-            mc_stats = _stacked_mc_summary(ranks)
+            with _stage(
+                "eval.montecarlo",
+                problems=stack.n_problems,
+                simulations=options.simulations,
+            ):
+                ranks, _ = evaluator.monte_carlo_ranks(
+                    method=options.method,
+                    n_simulations=options.simulations,
+                    seed=options.seed,
+                    sample_utilities="missing",
+                )
+                mc_stats = _stacked_mc_summary(ranks)
         group_payloads = None
         if options.group is not None:
             roster_stack = StackedRoster(
                 [loaded[pos][4] for pos in stack.source_indices]
             )
-            group_payloads = [
-                json.dumps(
-                    result.to_payload(),
-                    sort_keys=True,
-                    separators=(",", ":"),
-                )
-                for result in evaluator.group_results(roster_stack)
-            ]
+            with _stage("eval.group", problems=stack.n_problems):
+                group_payloads = [
+                    json.dumps(
+                        result.to_payload(),
+                        sort_keys=True,
+                        separators=(",", ":"),
+                    )
+                    for result in evaluator.group_results(roster_stack)
+                ]
         for p, member_pos in enumerate(stack.source_indices):
             index, sub_index, path, compiled, _roster = loaded[member_pos]
             best = evaluations[p].best
@@ -620,8 +690,33 @@ class ShardedRunner:
         RegistryReport
             Byte-identical for any worker count, chunk size, cache
             state or ``refresh`` value — caching only changes *when*
-            numbers are computed, never what they are.
+            numbers are computed, never what they are.  With a tracer
+            installed (:func:`repro.obs.trace.tracing`) the run also
+            records a span tree — worker spans stitched in — and the
+            report's ``stage_seconds`` carries the per-stage totals.
         """
+        tracer = _trace.active()
+        mark = tracer.mark() if tracer is not None else 0
+        with _span(
+            "registry.run", n=len(paths), workers=self.workers
+        ):
+            report = self._run(paths, index, refresh)
+        if tracer is None:
+            return report
+        totals: Dict[str, float] = {}
+        for record in tracer.spans_since(mark):
+            totals[record.name] = (
+                totals.get(record.name, 0.0) + record.duration_us / 1e6
+            )
+        return replace(report, stage_seconds=tuple(sorted(totals.items())))
+
+    def _run(
+        self,
+        paths: Sequence[Union[str, Path]],
+        index=None,
+        refresh: bool = False,
+    ) -> RegistryReport:
+        """The :meth:`run` body (wrapped in the ``registry.run`` span)."""
         if self.options.group is not None and self.options.objectives:
             raise ValueError(
                 "group and objectives runs are mutually exclusive: a "
@@ -658,63 +753,68 @@ class ShardedRunner:
             )
             pending = []
             to_evaluate = []
-            for i, path in active:
-                record, status = index.probe_with_status(path)
-                if record is not None:
-                    records[path] = record
-                rows = None
-                if record is not None and not refresh:
-                    rows = index.lookup_results(
-                        record.content_hash, config_hash
-                    )
-                if rows is None:
-                    pending.append((i, path))
-                    if delta_ok and status == "changed":
-                        old = index.lookup_workspace(path)
-                        delta = (
-                            _workspace.load_compiled_delta(
-                                path,
-                                old.content_hash,
-                                old.component_json,
-                                mmap_arrays=self.options.mmap,
-                            )
-                            if old is not None and old.component_json
-                            else None
+            with _stage("index.probe", entries=len(active)):
+                for i, path in active:
+                    record, status = index.probe_with_status(path)
+                    if record is not None:
+                        records[path] = record
+                    rows = None
+                    if record is not None and not refresh:
+                        rows = index.lookup_results(
+                            record.content_hash, config_hash
                         )
-                        if (
-                            delta is not None
-                            and delta.content_hash == record.content_hash
-                        ):
-                            delta_loaded.append(
-                                (i, 0, path, delta.compiled, None)
+                    if rows is None:
+                        pending.append((i, path))
+                        if delta_ok and status == "changed":
+                            old = index.lookup_workspace(path)
+                            delta = (
+                                _workspace.load_compiled_delta(
+                                    path,
+                                    old.content_hash,
+                                    old.component_json,
+                                    mmap_arrays=self.options.mmap,
+                                )
+                                if old is not None and old.component_json
+                                else None
                             )
-                            continue
-                    to_evaluate.append((i, path))
-                    continue
-                n_cached += 1
-                if status == "fresh" and not index.needs_restamp(record):
-                    # Out-of-window fresh hit: fingerprint and results
-                    # are both already persisted — writing the row
-                    # again would only force a WAL checkpoint.
-                    del records[path]
-                cached_results.extend(
-                    WorkspaceResult(
-                        index=i,
-                        sub_index=row.sub_index,
-                        path=path,
-                        name=row.name,
-                        n_alternatives=row.n_alternatives,
-                        n_attributes=row.n_attributes,
-                        best_name=row.best_name,
-                        best_minimum=row.best_minimum,
-                        best_average=row.best_average,
-                        best_maximum=row.best_maximum,
-                        ever_best=row.ever_best,
-                        top5_fluctuation=row.top5_fluctuation,
-                        group_json=row.group_json,
+                            if (
+                                delta is not None
+                                and delta.content_hash
+                                == record.content_hash
+                            ):
+                                delta_loaded.append(
+                                    (i, 0, path, delta.compiled, None)
+                                )
+                                continue
+                        to_evaluate.append((i, path))
+                        continue
+                    n_cached += 1
+                    if status == "fresh" and not index.needs_restamp(
+                        record
+                    ):
+                        # Out-of-window fresh hit: fingerprint and
+                        # results are both already persisted — writing
+                        # the row again would only force a WAL
+                        # checkpoint.
+                        del records[path]
+                    cached_results.extend(
+                        WorkspaceResult(
+                            index=i,
+                            sub_index=row.sub_index,
+                            path=path,
+                            name=row.name,
+                            n_alternatives=row.n_alternatives,
+                            n_attributes=row.n_attributes,
+                            best_name=row.best_name,
+                            best_minimum=row.best_minimum,
+                            best_average=row.best_average,
+                            best_maximum=row.best_maximum,
+                            ever_best=row.ever_best,
+                            top5_fluctuation=row.top5_fluctuation,
+                            group_json=row.group_json,
+                        )
+                        for row in rows
                     )
-                    for row in rows
-                )
 
         chunk_ranges = shard_registry(
             len(to_evaluate), self.workers, self.chunk_size
@@ -742,8 +842,10 @@ class ShardedRunner:
         n_retried = 0
         newly_quarantined: List[SkippedWorkspace] = []
         if self.workers == 1 or len(chunks) <= 1:
+            # In-process: spans record straight into any installed
+            # tracer, so the shipped-payload slot is always empty here.
             for chunk in chunks:
-                r, s, k = evaluate_registry_chunk(chunk, self.options)
+                r, s, k, _ = evaluate_registry_chunk(chunk, self.options)
                 results.extend(r)
                 skipped.extend(s)
                 n_stacks += k
@@ -759,8 +861,14 @@ class ShardedRunner:
                     (q.path, self.retry.quarantine_after, q.error)
                     for q in newly_quarantined
                 )
-            self._persist_run(index, config_hash, records, pending, results)
+            with _stage("index.commit", entries=len(records)):
+                self._persist_run(
+                    index, config_hash, records, pending, results
+                )
 
+        self._count_run(
+            n_cached, len(delta_loaded), n_retried, len(newly_quarantined)
+        )
         skipped.extend(newly_quarantined)
         skipped.extend(quarantine_skipped)
         results.extend(cached_results)
@@ -778,6 +886,29 @@ class ShardedRunner:
             n_retried=n_retried,
             n_quarantined=len(newly_quarantined) + len(quarantine_skipped),
         )
+
+    @staticmethod
+    def _count_run(
+        n_cached: int, n_delta: int, n_retried: int, n_quarantined: int
+    ) -> None:
+        """Fold one run's outcome into the process-wide metrics."""
+        reg = _metrics.registry()
+        reg.counter(
+            "repro_index_cache_hits_total",
+            "Registry entries served from the persistent index.",
+        ).inc(n_cached)
+        reg.counter(
+            "repro_delta_hits_total",
+            "Registry entries absorbed by delta compilation.",
+        ).inc(n_delta)
+        reg.counter(
+            "repro_chunk_retries_total",
+            "Chunk dispatches re-dispatched after a failure.",
+        ).inc(n_retried)
+        reg.counter(
+            "repro_quarantined_total",
+            "Workspaces newly quarantined after repeated failures.",
+        ).inc(n_quarantined)
 
     @staticmethod
     def _apply_quarantine(
@@ -856,10 +987,28 @@ class ShardedRunner:
         kills its worker — once it is all that remains, every round is
         progress-free and it accumulates strikes until quarantine.
         Returns ``(results, skipped, n_stacks, n_retried, quarantined)``.
+
+        Tracing: when a tracer is installed in this (parent) process,
+        chunks dispatch with ``options.trace`` forced on, workers ship
+        their spans back inside the chunk results, and after the last
+        round the shipped spans stitch into the parent trace under the
+        ``registry.fan_out`` span — sorted by (first registry index,
+        attempt) so the merged trace is deterministic however the
+        completion order fell out.
         """
         from concurrent.futures.process import BrokenProcessPool
 
         policy = self.retry
+        tracer = _trace.active()
+        options = (
+            replace(self.options, trace=True)
+            if tracer is not None
+            else self.options
+        )
+        payload_batches: List[
+            Tuple[int, int, List[Dict[str, object]]]
+        ] = []
+        fan_span_id: Optional[str] = None
         results: List[WorkspaceResult] = []
         skipped: List[SkippedWorkspace] = []
         n_stacks = 0
@@ -870,99 +1019,133 @@ class ShardedRunner:
             (list(chunk), 0) for chunk in chunks
         ]
         round_no = 0
-        while work:
-            batch, work = work, []
-            failed: List[
-                Tuple[Tuple[List[Tuple[int, str]], int], str, bool]
-            ] = []
-            pool = ProcessPoolExecutor(max_workers=self.workers)
-            futures = {
-                pool.submit(
-                    evaluate_registry_chunk, chunk, self.options, attempt, True
-                ): (chunk, attempt)
-                for chunk, attempt in batch
-            }
-            hung = False
-            progressed = False
-            pending = set(futures)
-            while pending:
-                done, pending = wait(pending, timeout=policy.chunk_timeout)
-                if not done:
-                    # Nothing at all completed inside the window: the
-                    # in-flight workers are hung.  Chunks still queued
-                    # (cancellable) re-dispatch without penalty; the
-                    # hung ones count as failures.  The pool is
-                    # abandoned without waiting.
-                    for future in pending:
-                        item = futures[future]
-                        if future.cancel():
-                            work.append(item)
-                        else:
-                            failed.append(
-                                (
-                                    item,
-                                    "no progress within "
-                                    f"{policy.chunk_timeout:g}s",
-                                    False,
+        with _span("registry.fan_out", chunks=len(chunks)) as fan_span:
+            if fan_span is not None:
+                fan_span_id = fan_span.span_id
+            while work:
+                batch, work = work, []
+                failed: List[
+                    Tuple[Tuple[List[Tuple[int, str]], int], str, bool]
+                ] = []
+                with _span(
+                    "registry.round", round=round_no, chunks=len(batch)
+                ):
+                    pool = ProcessPoolExecutor(max_workers=self.workers)
+                    futures = {
+                        pool.submit(
+                            evaluate_registry_chunk,
+                            chunk,
+                            options,
+                            attempt,
+                            True,
+                        ): (chunk, attempt)
+                        for chunk, attempt in batch
+                    }
+                    hung = False
+                    progressed = False
+                    pending = set(futures)
+                    while pending:
+                        done, pending = wait(
+                            pending, timeout=policy.chunk_timeout
+                        )
+                        if not done:
+                            # Nothing at all completed inside the
+                            # window: the in-flight workers are hung.
+                            # Chunks still queued (cancellable)
+                            # re-dispatch without penalty; the hung
+                            # ones count as failures.  The pool is
+                            # abandoned without waiting.
+                            for future in pending:
+                                item = futures[future]
+                                if future.cancel():
+                                    work.append(item)
+                                else:
+                                    failed.append(
+                                        (
+                                            item,
+                                            "no progress within "
+                                            f"{policy.chunk_timeout:g}s",
+                                            False,
+                                        )
+                                    )
+                            hung = True
+                            break
+                        for future in done:
+                            chunk, attempt = futures[future]
+                            try:
+                                r, s, k, spans = future.result()
+                            except Exception as exc:
+                                failed.append(
+                                    (
+                                        futures[future],
+                                        f"{type(exc).__name__}: {exc}",
+                                        isinstance(exc, BrokenProcessPool),
+                                    )
+                                )
+                                continue
+                            results.extend(r)
+                            skipped.extend(s)
+                            n_stacks += k
+                            if spans:
+                                payload_batches.append(
+                                    (
+                                        chunk[0][0] if chunk else -1,
+                                        attempt,
+                                        spans,
+                                    )
+                                )
+                            progressed = True
+                    pool.shutdown(wait=not hung, cancel_futures=True)
+
+                max_attempt = 0
+                any_charged = False
+                for (chunk, attempt), error, collateral in failed:
+                    charge = not (collateral and progressed)
+                    any_charged = any_charged or charge
+                    max_attempt = max(max_attempt, attempt)
+                    survivors: List[Tuple[int, str]] = []
+                    for entry in chunk:
+                        i, path = entry
+                        if charge:
+                            failures[i] = failures.get(i, 0) + 1
+                        if failures.get(i, 0) >= policy.quarantine_after:
+                            quarantined.append(
+                                SkippedWorkspace(
+                                    index=i,
+                                    path=path,
+                                    error=(
+                                        f"quarantined after {failures[i]} "
+                                        "failed dispatch(es) "
+                                        f"(last: {error})"
+                                    ),
                                 )
                             )
-                    hung = True
-                    break
-                for future in done:
-                    try:
-                        r, s, k = future.result()
-                    except Exception as exc:
-                        failed.append(
-                            (
-                                futures[future],
-                                f"{type(exc).__name__}: {exc}",
-                                isinstance(exc, BrokenProcessPool),
-                            )
-                        )
+                        else:
+                            survivors.append(entry)
+                    if not survivors:
                         continue
-                    results.extend(r)
-                    skipped.extend(s)
-                    n_stacks += k
-                    progressed = True
-            pool.shutdown(wait=not hung, cancel_futures=True)
-
-            max_attempt = 0
-            any_charged = False
-            for (chunk, attempt), error, collateral in failed:
-                charge = not (collateral and progressed)
-                any_charged = any_charged or charge
-                max_attempt = max(max_attempt, attempt)
-                survivors: List[Tuple[int, str]] = []
-                for entry in chunk:
-                    i, path = entry
-                    if charge:
-                        failures[i] = failures.get(i, 0) + 1
-                    if failures.get(i, 0) >= policy.quarantine_after:
-                        quarantined.append(
-                            SkippedWorkspace(
-                                index=i,
-                                path=path,
-                                error=(
-                                    f"quarantined after {failures[i]} "
-                                    f"failed dispatch(es) (last: {error})"
-                                ),
-                            )
+                    n_retried += 1
+                    worst = max(failures.get(i, 0) for i, _ in survivors)
+                    if len(survivors) > 1 and worst >= policy.split_after:
+                        work.extend(
+                            ([entry], attempt + 1) for entry in survivors
                         )
                     else:
-                        survivors.append(entry)
-                if not survivors:
-                    continue
-                n_retried += 1
-                worst = max(failures.get(i, 0) for i, _ in survivors)
-                if len(survivors) > 1 and worst >= policy.split_after:
-                    work.extend(
-                        ([entry], attempt + 1) for entry in survivors
+                        work.append((survivors, attempt + 1))
+                if any_charged and work:
+                    time.sleep(
+                        _backoff_delay(policy, round_no, max_attempt)
                     )
-                else:
-                    work.append((survivors, attempt + 1))
-            if any_charged and work:
-                time.sleep(_backoff_delay(policy, round_no, max_attempt))
-            round_no += 1
+                round_no += 1
+        if tracer is not None and payload_batches:
+            # Deterministic stitch: shipped batches sort by the
+            # chunk's first registry index (then attempt), not by
+            # completion order, so identical runs produce identical
+            # merged traces.
+            for _, _, batch in sorted(
+                payload_batches, key=lambda item: (item[0], item[1])
+            ):
+                tracer.adopt(batch, parent_id=fan_span_id)
         return results, skipped, n_stacks, n_retried, quarantined
 
     @staticmethod
@@ -1113,8 +1296,11 @@ class ShardedRunner:
                 report = self.run(paths, index=index)
             except OSError as exc:
                 poll_failures += 1
+                # The ISO-8601 stamp lets a watch-mode incident line up
+                # against trace files and the service's JSON access log.
                 print(
-                    f"watch: transient {type(exc).__name__} during "
+                    f"{_iso_now()} watch: transient "
+                    f"{type(exc).__name__} during "
                     f"registry poll ({exc}); "
                     f"retry {poll_failures}/{max_poll_failures}",
                     file=sys.stderr,

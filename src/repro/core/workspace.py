@@ -36,6 +36,7 @@ from typing import Any, Dict, List, Mapping, Optional, Tuple, Union
 
 import numpy as np
 
+from ..obs import stage as _stage
 from . import faults
 from .engine import CompiledProblem, compile_problem, delta_compile
 from .hierarchy import Hierarchy, ObjectiveNode
@@ -775,16 +776,17 @@ def _compile_and_persist(
     path: Path, npz_path: Path, source_sha: str
 ) -> CompiledProblem:
     """Compile a workspace from JSON and atomically (re)write its artifact."""
-    problem = load(path)
-    compiled = compile_problem(problem)
-    save_compiled_arrays(
-        compiled,
-        npz_path,
-        source_sha,
-        content_hash(problem),
-        component_json=component_json(problem),
-    )
-    return compiled
+    with _stage("workspace.compile", path=str(path)):
+        problem = load(path)
+        compiled = compile_problem(problem)
+        save_compiled_arrays(
+            compiled,
+            npz_path,
+            source_sha,
+            content_hash(problem),
+            component_json=component_json(problem),
+        )
+        return compiled
 
 
 def load_compiled_fast(
@@ -891,9 +893,12 @@ def load_compiled_delta(
         if key.startswith("row:")
     )
     try:
-        compiled = delta_compile(
-            _compiled_from_arrays(arrays), problem, changed_rows
-        )
+        with _stage(
+            "delta.patch", path=str(path), rows=len(changed_rows)
+        ):
+            compiled = delta_compile(
+                _compiled_from_arrays(arrays), problem, changed_rows
+            )
     except (ValueError, KeyError):  # pragma: no cover - structure gate
         return None
     new_hash = content_hash(problem)

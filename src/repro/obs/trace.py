@@ -1,0 +1,383 @@
+"""Lightweight span tracing for the registry pipeline.
+
+The runtime, index and service are instrumented with *spans* — named,
+timed intervals with attributes — so a single batch run can answer
+"where did this 200-workspace registry spend its time" without a
+profiler attached.  The design follows :mod:`repro.core.faults`: a
+module-global no-op default (``active()`` is ``None``) keeps every
+hook site a single attribute check, and installing a
+:class:`Tracer` (usually via the :func:`tracing` context manager)
+turns the same sites into real span recording.
+
+Spans form a tree: each carries a ``trace_id`` shared by the whole
+trace, its own random ``span_id``, and the ``span_id`` of the span
+that was open on the same thread when it started (``parent_id``).
+Clocks are monotonic (``time.perf_counter_ns``), so span durations
+never jump with wall-clock adjustments.
+
+Cross-process stitching: spans recorded inside
+:class:`~concurrent.futures.ProcessPoolExecutor` workers cannot reach
+the parent's tracer directly, so the worker collects them into a local
+:class:`Tracer`, ships them back as payload dicts inside the chunk
+result (:func:`Span.to_payload`), and the parent re-parents them under
+its own trace with :meth:`Tracer.adopt` — worker-side spans appear in
+the merged trace under the dispatching span, in deterministic registry
+order.
+
+Export is Chrome trace-event JSON (:func:`chrome_trace` /
+:func:`write_chrome_trace`): load the file in Perfetto or
+``chrome://tracing`` to see the per-process, per-thread timeline.
+:func:`summarize` aggregates a trace (or a trace file) into per-stage
+totals for the ``repro trace summarize`` report.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "span",
+    "tracing",
+    "install",
+    "uninstall",
+    "active",
+    "chrome_trace",
+    "write_chrome_trace",
+    "read_chrome_trace",
+    "summarize",
+]
+
+
+def _new_id() -> str:
+    """A fresh 64-bit hex identifier (span and trace ids)."""
+    return os.urandom(8).hex()
+
+
+def _coerce(value: object) -> object:
+    """An attribute value as a JSON-safe scalar (str fallback)."""
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return str(value)
+
+
+@dataclass
+class Span:
+    """One named, timed interval in a trace.
+
+    ``start_us`` and ``duration_us`` are microseconds on the recording
+    process's monotonic clock; ``pid``/``tid`` identify the recording
+    process and thread (the Chrome trace rows).  ``seq`` is the
+    tracer-local record order — the deterministic sort key the
+    stitched trace preserves.
+    """
+
+    name: str
+    trace_id: str
+    span_id: str
+    parent_id: Optional[str]
+    start_us: float
+    duration_us: float
+    pid: int
+    tid: int
+    attributes: Dict[str, object] = field(default_factory=dict)
+    seq: int = 0
+
+    def to_payload(self) -> Dict[str, object]:
+        """A picklable/JSON-safe dict for shipping across processes."""
+        return {
+            "name": self.name,
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "start_us": self.start_us,
+            "duration_us": self.duration_us,
+            "pid": self.pid,
+            "tid": self.tid,
+            "attributes": dict(self.attributes),
+            "seq": self.seq,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Dict[str, object]) -> "Span":
+        """Rebuild a span from :meth:`to_payload` output."""
+        return cls(
+            name=str(payload["name"]),
+            trace_id=str(payload["trace_id"]),
+            span_id=str(payload["span_id"]),
+            parent_id=payload.get("parent_id"),
+            start_us=float(payload["start_us"]),
+            duration_us=float(payload["duration_us"]),
+            pid=int(payload["pid"]),
+            tid=int(payload["tid"]),
+            attributes=dict(payload.get("attributes") or {}),
+            seq=int(payload.get("seq", 0)),
+        )
+
+
+class Tracer:
+    """A thread-safe collector of finished :class:`Span` records.
+
+    One tracer is one trace: every span it opens (and every shipped
+    span it adopts) carries its ``trace_id``.  Parenting is per
+    thread — the innermost open span on the current thread becomes the
+    parent of the next one — so concurrent request threads build
+    independent subtrees under one trace.
+    """
+
+    def __init__(self, trace_id: Optional[str] = None) -> None:
+        """An empty trace with a fresh (or supplied) ``trace_id``."""
+        self.trace_id = trace_id or _new_id()
+        self._lock = threading.Lock()
+        self._spans: List[Span] = []
+        self._local = threading.local()
+        self._seq = 0
+
+    def _stack(self) -> List[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def current(self) -> Optional[Span]:
+        """The innermost span open on the calling thread, if any."""
+        stack = self._stack()
+        return stack[-1] if stack else None
+
+    @contextmanager
+    def span(self, name: str, **attributes: object) -> Iterator[Span]:
+        """Open a child span for the duration of the ``with`` block."""
+        parent = self.current()
+        record = Span(
+            name=name,
+            trace_id=self.trace_id,
+            span_id=_new_id(),
+            parent_id=parent.span_id if parent is not None else None,
+            start_us=time.perf_counter_ns() / 1000.0,
+            duration_us=0.0,
+            pid=os.getpid(),
+            tid=threading.get_ident(),
+            attributes={k: _coerce(v) for k, v in attributes.items()},
+        )
+        stack = self._stack()
+        stack.append(record)
+        try:
+            yield record
+        finally:
+            stack.pop()
+            record.duration_us = (
+                time.perf_counter_ns() / 1000.0 - record.start_us
+            )
+            self.record(record)
+
+    def record(self, record: Span) -> None:
+        """Append one finished span (stamping its record order)."""
+        with self._lock:
+            record.seq = self._seq
+            self._seq += 1
+            self._spans.append(record)
+
+    def adopt(
+        self,
+        payloads: Sequence[Dict[str, object]],
+        parent_id: Optional[str] = None,
+    ) -> List[Span]:
+        """Stitch shipped worker spans into this trace.
+
+        Every payload (from :meth:`Span.to_payload` in the worker) is
+        rebuilt, rebranded with this tracer's ``trace_id``, and
+        recorded in payload order.  Spans that were roots in the worker
+        (no parent there) re-parent under ``parent_id`` — typically the
+        span that dispatched the chunk — while worker-internal
+        parent/child links survive untouched.
+        """
+        adopted = []
+        for payload in payloads:
+            record = Span.from_payload(payload)
+            record.trace_id = self.trace_id
+            if record.parent_id is None:
+                record.parent_id = parent_id
+            self.record(record)
+            adopted.append(record)
+        return adopted
+
+    def mark(self) -> int:
+        """A position marker; pass to :meth:`spans_since` later."""
+        with self._lock:
+            return len(self._spans)
+
+    def spans_since(self, mark: int) -> List[Span]:
+        """Spans recorded after :meth:`mark` (record order)."""
+        with self._lock:
+            return list(self._spans[mark:])
+
+    def spans(self) -> List[Span]:
+        """Every recorded span, in deterministic record order."""
+        with self._lock:
+            return list(self._spans)
+
+    def __len__(self) -> int:
+        """The number of recorded spans."""
+        with self._lock:
+            return len(self._spans)
+
+
+#: The tracer visible to in-process hook sites; ``None`` (the default)
+#: keeps every :func:`span` call a single attribute check.
+_ACTIVE: Optional[Tracer] = None
+
+
+def install(tracer: Tracer) -> None:
+    """Make ``tracer`` the process's active span collector."""
+    global _ACTIVE
+    _ACTIVE = tracer
+
+
+def uninstall() -> None:
+    """Restore the zero-overhead no-tracing default."""
+    global _ACTIVE
+    _ACTIVE = None
+
+
+def active() -> Optional[Tracer]:
+    """The currently installed tracer, if any."""
+    return _ACTIVE
+
+
+@contextmanager
+def tracing(tracer: Optional[Tracer] = None) -> Iterator[Tracer]:
+    """Install a tracer (a fresh one by default) for a ``with`` block.
+
+    Restores whatever was installed before on exit, so nested scopes
+    compose instead of clobbering each other.
+    """
+    previous = _ACTIVE
+    current = tracer if tracer is not None else Tracer()
+    install(current)
+    try:
+        yield current
+    finally:
+        install(previous) if previous is not None else uninstall()
+
+
+@contextmanager
+def span(name: str, **attributes: object) -> Iterator[Optional[Span]]:
+    """Record a span under the active tracer (no-op when none).
+
+    The module-level hook every instrumented site uses::
+
+        with span("eval.stacked", problems=12):
+            ...
+
+    Without an installed tracer the block body runs with nothing
+    recorded and near-zero overhead.
+    """
+    tracer = _ACTIVE
+    if tracer is None:
+        yield None
+        return
+    with tracer.span(name, **attributes) as record:
+        yield record
+
+
+# ----------------------------------------------------------------------
+# Chrome trace-event export and summaries
+# ----------------------------------------------------------------------
+
+def chrome_trace(spans: Sequence[Span]) -> Dict[str, object]:
+    """Spans as a Chrome trace-event JSON document.
+
+    Every span becomes one complete (``"ph": "X"``) event; Perfetto and
+    ``chrome://tracing`` lay them out per process and thread with
+    nesting derived from the timestamps.  Span identity and attributes
+    travel in ``args`` so nothing recorded is lost in export.
+    """
+    events = []
+    for record in spans:
+        events.append(
+            {
+                "name": record.name,
+                "cat": "repro",
+                "ph": "X",
+                "ts": record.start_us,
+                "dur": record.duration_us,
+                "pid": record.pid,
+                "tid": record.tid,
+                "args": {
+                    "trace_id": record.trace_id,
+                    "span_id": record.span_id,
+                    "parent_id": record.parent_id,
+                    **record.attributes,
+                },
+            }
+        )
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(
+    spans: Sequence[Span], path: Union[str, Path]
+) -> Path:
+    """Write spans as a Chrome trace-event file; returns the path."""
+    path = Path(path)
+    path.write_text(json.dumps(chrome_trace(spans), indent=1) + "\n")
+    return path
+
+
+def read_chrome_trace(path: Union[str, Path]) -> List[Dict[str, object]]:
+    """The ``traceEvents`` list of a Chrome trace-event file.
+
+    Accepts both the object form this module writes and the bare
+    JSON-array form other tools emit.
+    """
+    payload = json.loads(Path(path).read_text())
+    events = (
+        payload.get("traceEvents") if isinstance(payload, dict) else payload
+    )
+    if not isinstance(events, list):
+        raise ValueError(f"{path}: not a Chrome trace-event document")
+    return events
+
+
+def summarize(
+    source: Union[str, Path, Sequence[Span]],
+) -> List[Dict[str, object]]:
+    """Per-stage totals of a trace (file path or span sequence).
+
+    Returns one row per span name — ``{"name", "count", "total_ms",
+    "mean_ms", "max_ms"}`` — sorted by total time descending (name
+    ascending on ties), the table ``repro trace summarize`` renders.
+    """
+    if isinstance(source, (str, Path)):
+        rows: List[Tuple[str, float]] = [
+            (str(event.get("name", "?")), float(event.get("dur", 0.0)))
+            for event in read_chrome_trace(source)
+            if event.get("ph") in (None, "X")
+        ]
+    else:
+        rows = [(record.name, record.duration_us) for record in source]
+    totals: Dict[str, List[float]] = {}
+    for name, duration_us in rows:
+        entry = totals.setdefault(name, [0, 0.0, 0.0])
+        entry[0] += 1
+        entry[1] += duration_us
+        entry[2] = max(entry[2], duration_us)
+    return [
+        {
+            "name": name,
+            "count": int(count),
+            "total_ms": total_us / 1000.0,
+            "mean_ms": total_us / 1000.0 / count if count else 0.0,
+            "max_ms": max_us / 1000.0,
+        }
+        for name, (count, total_us, max_us) in sorted(
+            totals.items(), key=lambda item: (-item[1][1], item[0])
+        )
+    ]

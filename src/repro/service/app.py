@@ -53,11 +53,12 @@ from __future__ import annotations
 
 import json
 import math
+import os
 import sqlite3
 import threading
 import time
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 from urllib.parse import parse_qs, unquote, urlsplit
@@ -71,6 +72,9 @@ from ..core.index import (
     eval_config_hash,
 )
 from ..core.runtime import BatchOptions, ShardedRunner
+from ..obs import metrics as _obs_metrics
+from ..obs import span as _span
+from ..obs.metrics import PROMETHEUS_CONTENT_TYPE, render_prometheus
 from ..reporting.figures import MC_SEED
 from .cache import (
     CachedResponse,
@@ -157,6 +161,12 @@ class _Metrics:
         self._max_endpoints = max_endpoints
         self._total = 0
         self._not_modified = 0
+        # Scrape-time percentiles need the reservoir sorted, but a
+        # monitoring stack polling an idle server must not pay an
+        # O(window log window) sort per scrape: the sorted copy is
+        # cached and reused until the next sample invalidates it.
+        self._sorted: Optional[List[float]] = None
+        self._n_sorts = 0
 
     def record(self, endpoint: str, status: int, seconds: float) -> None:
         """Count one served request and append its latency sample."""
@@ -173,11 +183,15 @@ class _Metrics:
             if status == 304:
                 self._not_modified += 1
             self._latencies.append(seconds)
+            self._sorted = None
 
     def snapshot(self) -> Dict[str, object]:
         """The ``/metrics`` payload: counters + latency percentiles."""
         with self._lock:
-            latencies = sorted(self._latencies)
+            if self._sorted is None:
+                self._sorted = sorted(self._latencies)
+                self._n_sorts += 1
+            latencies = self._sorted
             payload = {
                 "total": self._total,
                 "by_endpoint": dict(sorted(self._by_endpoint.items())),
@@ -367,31 +381,65 @@ class ServiceApp:
         headers: Optional[Mapping[str, str]] = None,
         body: bytes = b"",
     ) -> Response:
-        """Route one request; never raises (errors become JSON bodies)."""
+        """Route one request; never raises (errors become JSON bodies).
+
+        Request correlation: an incoming ``X-Request-Id`` header is
+        propagated into the request's span and echoed on the response;
+        absent one, a fresh id is generated so every response (and its
+        access-log line) is correlatable anyway.
+        """
         headers = {k.lower(): v for k, v in (headers or {}).items()}
+        request_id = headers.get("x-request-id") or os.urandom(8).hex()
         split = urlsplit(target)
         path = unquote(split.path)
         query = parse_qs(split.query, keep_blank_values=True)
         endpoint, started = path, time.perf_counter()
-        try:
-            endpoint, response = self._route(method, path, query, headers, body)
-        except ServiceError as exc:
-            response = Response(
-                exc.status,
-                _dumps({"error": exc.message, "status": exc.status}),
-                headers=exc.headers,
-            )
-        except Exception as exc:  # pragma: no cover - defensive backstop
-            response = Response(
-                500,
-                _dumps(
-                    {"error": f"{type(exc).__name__}: {exc}", "status": 500}
-                ),
-            )
-        self.metrics.record(
-            endpoint, response.status, time.perf_counter() - started
-        )
-        return response
+        with _span(
+            "http.request",
+            method=method,
+            path=path,
+            request_id=request_id,
+        ):
+            try:
+                endpoint, response = self._route(
+                    method, path, query, headers, body
+                )
+            except ServiceError as exc:
+                response = Response(
+                    exc.status,
+                    _dumps({"error": exc.message, "status": exc.status}),
+                    headers=exc.headers,
+                )
+            except Exception as exc:  # pragma: no cover - defensive backstop
+                response = Response(
+                    500,
+                    _dumps(
+                        {
+                            "error": f"{type(exc).__name__}: {exc}",
+                            "status": 500,
+                        }
+                    ),
+                )
+        elapsed = time.perf_counter() - started
+        self.metrics.record(endpoint, response.status, elapsed)
+        self._record_obs(endpoint, response.status, elapsed)
+        merged = dict(response.headers)
+        merged.setdefault("X-Request-Id", request_id)
+        return replace(response, headers=merged)
+
+    @staticmethod
+    def _record_obs(endpoint: str, status: int, seconds: float) -> None:
+        """Mirror one served request into the process-wide obs metrics."""
+        reg = _obs_metrics.registry()
+        reg.counter(
+            "repro_http_requests_total",
+            "HTTP requests served, by endpoint label and status.",
+            labelnames=("endpoint", "status"),
+        ).inc(endpoint=endpoint, status=str(status))
+        reg.histogram(
+            "repro_http_request_seconds",
+            "End-to-end request handling latency in seconds.",
+        ).observe(seconds)
 
     def _route(
         self,
@@ -406,7 +454,9 @@ class ServiceApp:
         if parts == ["healthz"]:
             return path, self._require_get(method, path, self._healthz)
         if parts == ["metrics"]:
-            return path, self._require_get(method, path, self._metrics)
+            return path, self._require_get(
+                method, path, lambda: self._metrics(query)
+            )
         if parts == ["v1", "registry"]:
             return path, self._require_get(method, path, self._registry)
         if parts[:2] == ["v1", "workspaces"] and len(parts) >= 4:
@@ -469,10 +519,45 @@ class ServiceApp:
             ),
         )
 
-    def _metrics(self) -> Response:
+    def _metrics(
+        self, query: Optional[Mapping[str, List[str]]] = None
+    ) -> Response:
+        """The metrics scrape: JSON by default, ``?format=prometheus``.
+
+        The JSON snapshot is unchanged (existing dashboards keep
+        working); the Prometheus branch renders the process-wide
+        :mod:`repro.obs.metrics` registry — request counts, response
+        cache hits/misses, per-stage eval seconds — plus the breaker
+        state gauge, in text exposition format 0.0.4.
+        """
+        fmt = (query or {}).get("format", ["json"])[-1]
+        if fmt == "prometheus":
+            return Response(
+                200,
+                self._prometheus_text().encode("utf-8"),
+                content_type=PROMETHEUS_CONTENT_TYPE,
+            )
+        if fmt != "json":
+            raise ServiceError(
+                400,
+                f"unknown metrics format {fmt!r} "
+                "(expected 'json' or 'prometheus')",
+            )
         payload = self.metrics.snapshot()
         payload["cache"] = self.cache.stats()
         return Response(200, _dumps(payload))
+
+    #: Breaker states as gauge values (closed is healthy).
+    _BREAKER_STATES = {"closed": 0, "half-open": 1, "open": 2}
+
+    def _prometheus_text(self) -> str:
+        """The exposition body: obs registry + scrape-time gauges."""
+        reg = _obs_metrics.registry()
+        reg.gauge(
+            "repro_breaker_state",
+            "Evaluation circuit breaker: 0 closed, 1 half-open, 2 open.",
+        ).set(self._BREAKER_STATES.get(self.breaker.state, -1))
+        return render_prometheus(reg)
 
     def _registry_paths(self) -> List[Path]:
         return sorted(
@@ -684,6 +769,16 @@ class ServiceApp:
             x_cache = "miss"
         else:
             x_cache = "hit"
+        name = (
+            "repro_response_cache_hits_total"
+            if x_cache == "hit"
+            else "repro_response_cache_misses_total"
+        )
+        _obs_metrics.registry().counter(
+            name,
+            "Response LRU lookups, split by outcome "
+            "(hits serve the stored body; misses rebuild it).",
+        ).inc()
         if stale_key is not None:
             self._stale.put(stale_key, cached)
         return Response(

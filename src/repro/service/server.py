@@ -3,9 +3,10 @@
 Adapts a :class:`~repro.service.app.ServiceApp` onto
 ``http.server.ThreadingHTTPServer``: HTTP/1.1 keep-alive (one client
 connection can pipeline thousands of warm cache hits), a bounded
-worker-thread budget, a common-log-format access log, and graceful
-shutdown that drains in-flight requests before the index's sqlite
-connections close.
+worker-thread budget, a structured JSON-lines access log (ISO-8601
+timestamp, method, path, status, duration, request id — one object
+per line, machine-parseable), and graceful shutdown that drains
+in-flight requests before the index's sqlite connections close.
 
 :class:`ServiceServer` is the lifecycle wrapper shared by the
 ``repro serve`` CLI command, the service tests and
@@ -16,8 +17,11 @@ serves on a background thread; ``port=0`` picks an ephemeral port),
 
 from __future__ import annotations
 
+import json
 import sys
 import threading
+import time
+from datetime import datetime, timezone
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from pathlib import Path
 from typing import IO, Optional, Union
@@ -41,6 +45,7 @@ class _Handler(BaseHTTPRequestHandler):
     timeout = 30
 
     def _dispatch(self, method: str) -> None:
+        started = time.perf_counter()
         length = int(self.headers.get("Content-Length") or 0)
         body = self.rfile.read(length) if length else b""
         # the worker budget bounds concurrent *request processing*,
@@ -58,6 +63,7 @@ class _Handler(BaseHTTPRequestHandler):
         self.end_headers()
         if response.body:
             self.wfile.write(response.body)
+        self._log_access(method, response, started)
 
     def do_GET(self) -> None:
         """Serve one GET request through the app."""
@@ -67,15 +73,40 @@ class _Handler(BaseHTTPRequestHandler):
         """Serve one POST request through the app."""
         self._dispatch("POST")
 
-    def log_message(self, format: str, *args) -> None:
-        """Common-log-format access line, or nothing when quiet."""
+    def _log_access(
+        self, method: str, response: Response, started: float
+    ) -> None:
+        """One JSON object per request, or nothing when quiet."""
         stream = self.server.access_log
         if stream is None:
             return
-        stream.write(
-            f"{self.address_string()} - [{self.log_date_time_string()}] "
-            f"{format % args}\n"
-        )
+        line = {
+            "ts": datetime.now(timezone.utc)
+            .astimezone()
+            .isoformat(timespec="milliseconds"),
+            "method": method,
+            "path": self.path,
+            "status": response.status,
+            "duration_ms": round((time.perf_counter() - started) * 1000.0, 3),
+            "request_id": response.headers.get("X-Request-Id", ""),
+        }
+        stream.write(json.dumps(line, separators=(",", ":")) + "\n")
+
+    def log_request(self, code="-", size="-") -> None:
+        """Suppressed: :meth:`_log_access` is the access log."""
+
+    def log_message(self, format: str, *args) -> None:
+        """Non-access diagnostics (parse errors etc.), JSON-framed."""
+        stream = self.server.access_log
+        if stream is None:
+            return
+        line = {
+            "ts": datetime.now(timezone.utc)
+            .astimezone()
+            .isoformat(timespec="milliseconds"),
+            "message": format % args,
+        }
+        stream.write(json.dumps(line, separators=(",", ":")) + "\n")
 
 
 class RegistryHTTPServer(ThreadingHTTPServer):

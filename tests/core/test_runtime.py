@@ -60,7 +60,7 @@ class TestChunkEvaluation:
     def test_results_match_per_problem_evaluation(self, tmp_path):
         paths = write_registry(tmp_path, n=4)
         chunk = [(i, str(p)) for i, p in enumerate(paths)]
-        results, skipped, n_stacks = evaluate_registry_chunk(
+        results, skipped, n_stacks, _ = evaluate_registry_chunk(
             chunk, BatchOptions()
         )
         assert skipped == [] and n_stacks == 1
@@ -78,7 +78,7 @@ class TestChunkEvaluation:
         paths = write_registry(tmp_path, n=3)
         chunk = [(i, str(p)) for i, p in enumerate(paths)]
         options = BatchOptions(simulations=200, seed=11)
-        results, _, _ = evaluate_registry_chunk(chunk, options)
+        results, _, _, _ = evaluate_registry_chunk(chunk, options)
         for result, path in zip(results, paths):
             evaluator = BatchEvaluator(compile_problem(workspace.load(path)))
             mc = evaluator.simulate(
@@ -95,7 +95,7 @@ class TestChunkEvaluation:
     def test_objectives_expand_after_each_workspace(self, tmp_path):
         paths = write_registry(tmp_path, n=2)
         chunk = [(i, str(p)) for i, p in enumerate(paths)]
-        results, _, _ = evaluate_registry_chunk(
+        results, _, _, _ = evaluate_registry_chunk(
             chunk, BatchOptions(objectives=True)
         )
         # workspace + its two top-level objectives, per workspace (the

@@ -1,0 +1,201 @@
+"""Tests for the span tracing layer (repro.obs.trace)."""
+
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.obs import trace
+
+
+class TestTracer:
+    def test_span_records_on_exit(self):
+        tracer = trace.Tracer()
+        with tracer.span("work", n=3):
+            assert len(tracer) == 0
+        assert len(tracer) == 1
+        record = tracer.spans()[0]
+        assert record.name == "work"
+        assert record.attributes == {"n": 3}
+        assert record.trace_id == tracer.trace_id
+        assert record.parent_id is None
+        assert record.duration_us >= 0.0
+        assert record.pid == os.getpid()
+
+    def test_nesting_sets_parent_ids(self):
+        tracer = trace.Tracer()
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                assert inner.parent_id == outer.span_id
+            with tracer.span("sibling") as sibling:
+                assert sibling.parent_id == outer.span_id
+        # children record before the parent (exit order)
+        assert [s.name for s in tracer.spans()] == [
+            "inner",
+            "sibling",
+            "outer",
+        ]
+        assert [s.seq for s in tracer.spans()] == [0, 1, 2]
+
+    def test_attributes_coerced_to_scalars(self):
+        tracer = trace.Tracer()
+        with tracer.span("work", path=Path("x.json"), flag=True):
+            pass
+        attrs = tracer.spans()[0].attributes
+        assert attrs == {"path": "x.json", "flag": True}
+
+    def test_current_tracks_innermost(self):
+        tracer = trace.Tracer()
+        assert tracer.current() is None
+        with tracer.span("outer"):
+            with tracer.span("inner") as inner:
+                assert tracer.current() is inner
+        assert tracer.current() is None
+
+
+class TestModuleHooks:
+    def test_span_is_noop_without_tracer(self):
+        assert trace.active() is None
+        with trace.span("anything", n=1) as record:
+            assert record is None
+
+    def test_tracing_installs_and_restores(self):
+        with trace.tracing() as tracer:
+            assert trace.active() is tracer
+            with trace.span("work") as record:
+                assert record is not None
+        assert trace.active() is None
+        assert [s.name for s in tracer.spans()] == ["work"]
+
+    def test_tracing_nests_without_clobbering(self):
+        with trace.tracing() as outer:
+            with trace.tracing() as inner:
+                assert trace.active() is inner
+            assert trace.active() is outer
+        assert trace.active() is None
+
+    def test_install_uninstall(self):
+        tracer = trace.Tracer()
+        trace.install(tracer)
+        try:
+            assert trace.active() is tracer
+        finally:
+            trace.uninstall()
+        assert trace.active() is None
+
+
+class TestPayloadRoundTrip:
+    def test_to_from_payload(self):
+        tracer = trace.Tracer()
+        with tracer.span("work", n=2):
+            pass
+        original = tracer.spans()[0]
+        rebuilt = trace.Span.from_payload(original.to_payload())
+        assert rebuilt == original
+
+    def test_payload_is_json_safe(self):
+        tracer = trace.Tracer()
+        with tracer.span("work", path=Path("w.json")):
+            pass
+        payload = tracer.spans()[0].to_payload()
+        assert json.loads(json.dumps(payload)) == payload
+
+
+class TestAdopt:
+    def _worker_spans(self):
+        worker = trace.Tracer()
+        with worker.span("chunk.evaluate"):
+            with worker.span("eval.stacked"):
+                pass
+        return [s.to_payload() for s in worker.spans()]
+
+    def test_adopt_rebrands_and_reparents_roots(self):
+        payloads = self._worker_spans()
+        parent = trace.Tracer()
+        with parent.span("registry.fan_out") as fan:
+            fan_id = fan.span_id
+        adopted = parent.adopt(payloads, parent_id=fan_id)
+        assert all(s.trace_id == parent.trace_id for s in adopted)
+        by_name = {s.name: s for s in adopted}
+        # the worker root re-parents under the dispatching span ...
+        assert by_name["chunk.evaluate"].parent_id == fan_id
+        # ... while worker-internal links survive
+        assert (
+            by_name["eval.stacked"].parent_id
+            == by_name["chunk.evaluate"].span_id
+        )
+
+    def test_adopt_preserves_payload_order_deterministically(self):
+        payloads = self._worker_spans()
+        a, b = trace.Tracer(), trace.Tracer()
+        a.adopt(payloads)
+        b.adopt(payloads)
+        assert [s.name for s in a.spans()] == [s.name for s in b.spans()]
+        assert [s.seq for s in a.spans()] == [s.seq for s in b.spans()]
+
+
+class TestChromeExport:
+    def _tracer(self):
+        tracer = trace.Tracer()
+        with tracer.span("registry.run", n=4):
+            with tracer.span("eval.stacked"):
+                pass
+        return tracer
+
+    def test_chrome_trace_structure(self):
+        document = trace.chrome_trace(self._tracer().spans())
+        assert set(document) == {"traceEvents", "displayTimeUnit"}
+        for event in document["traceEvents"]:
+            assert event["ph"] == "X"
+            assert event["cat"] == "repro"
+            assert isinstance(event["ts"], float)
+            assert isinstance(event["dur"], float)
+            assert "trace_id" in event["args"]
+            assert "span_id" in event["args"]
+
+    def test_write_read_round_trip(self, tmp_path):
+        tracer = self._tracer()
+        path = trace.write_chrome_trace(tracer.spans(), tmp_path / "t.json")
+        events = trace.read_chrome_trace(path)
+        assert [e["name"] for e in events] == [
+            s.name for s in tracer.spans()
+        ]
+
+    def test_read_accepts_bare_array_form(self, tmp_path):
+        path = tmp_path / "bare.json"
+        path.write_text(json.dumps([{"name": "x", "ph": "X", "dur": 5.0}]))
+        assert trace.read_chrome_trace(path) == [
+            {"name": "x", "ph": "X", "dur": 5.0}
+        ]
+
+    def test_read_rejects_non_trace_documents(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"not": "a trace"}))
+        with pytest.raises(ValueError):
+            trace.read_chrome_trace(path)
+
+
+class TestSummarize:
+    def test_totals_sorted_by_total_time(self):
+        tracer = trace.Tracer()
+        slow = trace.Span("slow", "t", "a", None, 0.0, 9000.0, 1, 1)
+        fast1 = trace.Span("fast", "t", "b", None, 0.0, 1000.0, 1, 1)
+        fast2 = trace.Span("fast", "t", "c", None, 0.0, 3000.0, 1, 1)
+        for record in (fast1, slow, fast2):
+            tracer.record(record)
+        rows = trace.summarize(tracer.spans())
+        assert [row["name"] for row in rows] == ["slow", "fast"]
+        assert rows[0]["total_ms"] == pytest.approx(9.0)
+        assert rows[1]["count"] == 2
+        assert rows[1]["mean_ms"] == pytest.approx(2.0)
+        assert rows[1]["max_ms"] == pytest.approx(3.0)
+
+    def test_summarize_from_file(self, tmp_path):
+        tracer = trace.Tracer()
+        with tracer.span("work"):
+            pass
+        path = trace.write_chrome_trace(tracer.spans(), tmp_path / "t.json")
+        rows = trace.summarize(path)
+        assert rows[0]["name"] == "work"
+        assert rows[0]["count"] == 1

@@ -440,6 +440,122 @@ class TestMetrics:
         assert payload["requests"]["by_endpoint"]["(other)"] > 0
         assert payload["latency"]["window"] <= 4096
 
+    def test_snapshot_sorts_the_window_once_not_per_scrape(self, app):
+        """Scrapes reuse one sorted copy of the latency window; only a
+        new recording pays another O(window log window) sort."""
+        metrics = app.metrics
+        for i in range(100):
+            get(app, f"/nope-{i}")
+        sorts_before = metrics._n_sorts
+        for _ in range(50):
+            metrics.snapshot()
+        assert metrics._n_sorts == sorts_before + 1
+        get(app, "/nope-again")  # dirties the window
+        metrics.snapshot()
+        metrics.snapshot()
+        assert metrics._n_sorts == sorts_before + 2
+
+    def test_snapshot_unchanged_by_sort_caching(self, app):
+        get(app, "/v1/workspaces/ws-00/ranking")
+        first = app.metrics.snapshot()
+        second = app.metrics.snapshot()
+        assert first == second
+        assert first["latency"]["p50_ms"] >= 0.0
+
+
+class TestPrometheusEndpoint:
+    @pytest.fixture(autouse=True)
+    def fresh_registry(self):
+        from repro.obs import metrics as obs_metrics
+
+        previous = obs_metrics.registry()
+        obs_metrics.reset_registry()
+        yield
+        obs_metrics.set_registry(previous)
+
+    def test_json_stays_the_default(self, app):
+        response = get(app, "/metrics")
+        assert response.content_type == "application/json"
+        assert "requests" in body(response)
+        assert "requests" in body(get(app, "/metrics?format=json"))
+
+    def test_prometheus_format_and_content_type(self, app):
+        from repro.obs.metrics import PROMETHEUS_CONTENT_TYPE
+
+        get(app, "/v1/workspaces/ws-00/ranking")
+        get(app, "/v1/workspaces/ws-00/ranking")
+        response = get(app, "/metrics?format=prometheus")
+        assert response.status == 200
+        assert response.content_type == PROMETHEUS_CONTENT_TYPE
+        text = response.body.decode("utf-8")
+        assert (
+            'repro_http_requests_total{endpoint="/v1/workspaces/{id}/'
+            'ranking",status="200"} 2' in text
+        )
+        assert "repro_response_cache_hits_total 1" in text
+        assert "repro_response_cache_misses_total 1" in text
+        # the in-process evaluation fed the eval-latency histogram
+        assert 'repro_eval_stage_seconds_bucket{stage="eval.stacked"' in text
+        assert "repro_breaker_state 0" in text
+
+    def test_prometheus_exposition_parses(self, app):
+        """Every non-comment line is `name[{labels}] value`."""
+        get(app, "/v1/workspaces/ws-00/ranking")
+        text = get(app, "/metrics?format=prometheus").body.decode("utf-8")
+        assert text.endswith("\n")
+        for line in text.splitlines():
+            if not line or line.startswith("#"):
+                continue
+            series, value = line.rsplit(" ", 1)
+            float(value)  # must parse
+            name = series.split("{", 1)[0]
+            assert name.replace("_", "").isalnum(), line
+
+    def test_histogram_buckets_monotonic_over_http(self, app):
+        get(app, "/v1/workspaces/ws-00/ranking")
+        text = get(app, "/metrics?format=prometheus").body.decode("utf-8")
+        counts = [
+            float(line.rsplit(" ", 1)[1])
+            for line in text.splitlines()
+            if line.startswith("repro_http_request_seconds_bucket")
+        ]
+        assert counts, "expected request latency buckets"
+        assert counts == sorted(counts)
+        assert counts[-1] >= 1.0
+
+    def test_unknown_format_is_400(self, app):
+        response = get(app, "/metrics?format=xml")
+        assert response.status == 400
+        assert "unknown metrics format" in body(response)["error"]
+
+
+class TestRequestId:
+    def test_client_request_id_echoes_back(self, app):
+        response = app.handle(
+            "GET", "/healthz", {"X-Request-Id": "req-42"}
+        )
+        assert response.headers["X-Request-Id"] == "req-42"
+
+    def test_request_id_generated_when_absent(self, app):
+        first = get(app, "/healthz").headers["X-Request-Id"]
+        second = get(app, "/healthz").headers["X-Request-Id"]
+        assert first and second and first != second
+
+    def test_error_responses_carry_request_id(self, app):
+        response = app.handle("GET", "/nope", {"X-Request-Id": "req-err"})
+        assert response.status == 404
+        assert response.headers["X-Request-Id"] == "req-err"
+
+    def test_request_id_lands_on_the_http_span(self, app):
+        from repro.obs import trace
+
+        with trace.tracing() as tracer:
+            app.handle("GET", "/healthz", {"X-Request-Id": "req-span"})
+        roots = [s for s in tracer.spans() if s.name == "http.request"]
+        assert len(roots) == 1
+        assert roots[0].attributes["request_id"] == "req-span"
+        assert roots[0].attributes["path"] == "/healthz"
+
 
 class TestCacheInvalidation:
     def test_edit_invalidates_only_that_workspace(self, app, registry):

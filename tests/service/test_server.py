@@ -184,12 +184,24 @@ class TestLifecycle:
 
     def test_access_log_lines(self, tmp_path):
         import io
+        import json
 
         write_registry(tmp_path, n=1)
         log = io.StringIO()
         with ServiceServer(tmp_path, port=0, access_log=log) as srv:
             fetch(srv, "/healthz")
-        assert "GET /healthz" in log.getvalue()
+        lines = [ln for ln in log.getvalue().splitlines() if ln]
+        assert lines, "expected at least one access-log line"
+        entry = json.loads(lines[0])
+        assert entry["method"] == "GET"
+        assert entry["path"] == "/healthz"
+        assert entry["status"] == 200
+        assert entry["duration_ms"] >= 0
+        assert entry["request_id"]
+        # ISO-8601 timestamp parses back
+        from datetime import datetime
+
+        datetime.fromisoformat(entry["ts"])
 
     def test_rejects_non_positive_workers(self, tmp_path):
         write_registry(tmp_path, n=1)

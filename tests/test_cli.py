@@ -330,3 +330,75 @@ class TestServeMembersValidation:
                 "serve", "--registry", str(registry),
                 "--members", str(bad), "--port", "0",
             ])
+
+
+class TestTraceAndStats:
+    def _registry(self, capsys, tmp_path, n=4):
+        target = tmp_path / "ws.json"
+        code, _ = run_cli(capsys, "workspace", "save", str(target))
+        assert code == 0
+        return [str(target)] * n
+
+    def test_batch_trace_writes_chrome_trace(self, capsys, tmp_path):
+        import json
+
+        registry = self._registry(capsys, tmp_path)
+        trace_file = tmp_path / "trace.json"
+        code, out = run_cli(
+            capsys, "batch", "--trace", str(trace_file), *registry
+        )
+        assert code == 0
+        assert "evaluated 4 problem(s)" in out
+        document = json.loads(trace_file.read_text())
+        events = document["traceEvents"]
+        assert events
+        names = {event["name"] for event in events}
+        assert "registry.run" in names
+        assert "eval.stacked" in names
+        assert all(event["ph"] == "X" for event in events)
+
+    def test_batch_stats_prints_stage_breakdown(self, capsys, tmp_path):
+        registry = self._registry(capsys, tmp_path)
+        code, out = run_cli(capsys, "batch", "--stats", *registry)
+        assert code == 0
+        assert "stage breakdown" in out
+        assert "registry.run" in out
+        assert "eval.stacked" in out
+
+    def test_batch_trace_output_table_unchanged(self, capsys, tmp_path):
+        registry = self._registry(capsys, tmp_path)
+        code, plain = run_cli(capsys, "batch", "--workers", "1", *registry)
+        assert code == 0
+        trace_file = tmp_path / "trace.json"
+        code, traced = run_cli(
+            capsys, "batch", "--workers", "1",
+            "--trace", str(trace_file), *registry,
+        )
+        assert code == 0
+        assert plain == traced
+
+    def test_trace_summarize(self, capsys, tmp_path):
+        registry = self._registry(capsys, tmp_path)
+        trace_file = tmp_path / "trace.json"
+        code, _ = run_cli(
+            capsys, "batch", "--trace", str(trace_file), *registry
+        )
+        assert code == 0
+        code, out = run_cli(capsys, "trace", "summarize", str(trace_file))
+        assert code == 0
+        assert "span" in out and "total ms" in out
+        assert "registry.run" in out
+
+    def test_trace_summarize_missing_file_errors(self, capsys, tmp_path):
+        with pytest.raises(SystemExit, match="cannot summarize"):
+            run_cli(
+                capsys, "trace", "summarize", str(tmp_path / "absent.json")
+            )
+
+    def test_follow_conflicts_with_trace(self, capsys, tmp_path):
+        registry = self._registry(capsys, tmp_path, n=1)
+        with pytest.raises(SystemExit, match="--follow conflicts"):
+            run_cli(
+                capsys, "batch", "--follow",
+                "--trace", str(tmp_path / "t.json"), *registry,
+            )

@@ -22,6 +22,7 @@ DOC_PAGES = (
     "caching.md",
     "group.md",
     "paper-map.md",
+    "observability.md",
     "robustness.md",
     "service.md",
     "streaming.md",
@@ -94,6 +95,9 @@ DOCSTRING_MODULES = (
     "service/app",
     "service/cache",
     "service/server",
+    "obs/__init__",
+    "obs/trace",
+    "obs/metrics",
 )
 
 

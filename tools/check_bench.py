@@ -150,6 +150,28 @@ SCHEMAS: Dict[str, Dict[str, object]] = {
             "byte_identical_under_faults",
         ),
     },
+    "BENCH_obs.json": {
+        "required": {
+            "n_workspaces": _INT,
+            "n_spans": _INT,
+            "n_stage_names": _INT,
+            "overhead_pct": _NUMBER,
+            "speedup_traced": _NUMBER,
+            "trace_valid_chrome_json": _BOOL,
+            "has_worker_spans": _BOOL,
+            "stage_names_cover_pipeline": _BOOL,
+            "byte_identical_under_tracing": _BOOL,
+            "min_traced_speedup_floor": _NUMBER,
+        },
+        "metric": "speedup_traced",
+        "floor": "min_traced_speedup_floor",
+        "must_be_true": (
+            "trace_valid_chrome_json",
+            "has_worker_spans",
+            "stage_names_cover_pipeline",
+            "byte_identical_under_tracing",
+        ),
+    },
 }
 
 
