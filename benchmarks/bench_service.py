@@ -14,8 +14,19 @@ multi-threaded keep-alive client, and asserts
 * every warm response is byte-identical to the cold response that
   first produced it.
 
+A second, *federated* scenario mounts a ``beta`` registry next to the
+default one and repeats the warm read storm against the default
+registry while a writer thread concurrently edits ``beta`` workspaces
+and re-reads them (invalidation + read-through evaluation on the
+other registry).  It asserts the per-registry isolation contract:
+
+* reader throughput stays >= 500 req/s despite the concurrent writer,
+* reader p99 latency stays under a declared ceiling, and
+* every reader response stays byte-identical to the warm reference —
+  writes to one registry never disturb another registry's hot path.
+
 It emits a ``BENCH_service.json`` trajectory artifact (uploaded by
-CI).  Runs standalone (CI smoke)::
+CI) combining both scenarios.  Runs standalone (CI smoke)::
 
     PYTHONPATH=src python benchmarks/bench_service.py
 
@@ -47,6 +58,10 @@ THREADS = 6
 REQUESTS_PER_THREAD = 200
 MIN_THROUGHPUT_RPS = 500.0
 MIN_WARM_OVER_COLD = 20.0
+FEDERATED_THREADS = 4
+FEDERATED_REQUESTS_PER_THREAD = 150
+MIN_FEDERATED_THROUGHPUT_RPS = 500.0
+MAX_FEDERATED_P99_MS = 150.0
 ARTIFACT = "BENCH_service.json"
 
 
@@ -204,8 +219,183 @@ def run(
     return result
 
 
+def run_federated(
+    n_workspaces: int = N_WORKSPACES,
+    threads: int = FEDERATED_THREADS,
+    requests_per_thread: int = FEDERATED_REQUESTS_PER_THREAD,
+    verbose: bool = True,
+) -> dict:
+    """Warm reads on one registry while a writer churns another.
+
+    Boots the server with a second ``beta`` registry mounted next to
+    the default one, warms the default registry's rankings, then
+    hammers them from ``threads`` keep-alive readers while a writer
+    thread concurrently rewrites ``beta`` workspaces on disk and
+    re-reads them — each edit forces invalidation plus a read-through
+    on ``beta``'s own index.  Per-registry caches and locks mean none
+    of that churn may slow or perturb the default registry's hot path.
+    """
+    with tempfile.TemporaryDirectory(prefix="registry-federated-") as tmp:
+        tmp = Path(tmp)
+        alpha, beta = tmp / "alpha", tmp / "beta"
+        alpha.mkdir()
+        beta.mkdir()
+        ids = [p.stem for p in build_registry(alpha, n_workspaces)]
+        beta_paths = build_registry(beta, max(4, n_workspaces // 4))
+        # the writer alternates every beta workspace between its own
+        # original bytes and a partner's — a real semantic change each
+        # round, so the probe sees a new content hash every time.
+        originals = {p: p.read_bytes() for p in beta_paths}
+        partners = {
+            p: originals[beta_paths[(i + 1) % len(beta_paths)]]
+            for i, p in enumerate(beta_paths)
+        }
+        with ServiceServer(
+            alpha, port=0, workers=8, access_log=None,
+            mounts={"beta": beta},
+        ) as server:
+            host, port = server.address
+
+            # --- warm the default registry, capture reference bytes --
+            reference = {}
+            connection = http.client.HTTPConnection(host, port, timeout=30)
+            for ws_id in ids:
+                status, body = _get(
+                    connection,
+                    f"/v1/registries/default/workspaces/{ws_id}/ranking",
+                )
+                assert status == 200, f"warmup {ws_id}: HTTP {status}"
+                reference[ws_id] = body
+            # prime beta once so the writer loop measures churn, not
+            # first-touch compilation
+            for path in beta_paths:
+                status, _ = _get(
+                    connection,
+                    "/v1/registries/beta/workspaces/"
+                    f"{path.stem}/ranking",
+                )
+                assert status == 200, f"beta prime {path.stem}: {status}"
+            connection.close()
+
+            stop = threading.Event()
+            writer_edits = [0]
+            writer_errors = []
+
+            def churn_writer() -> None:
+                conn = http.client.HTTPConnection(host, port, timeout=30)
+                try:
+                    round_no = 0
+                    while not stop.is_set():
+                        for path in beta_paths:
+                            fresh = (
+                                partners[path]
+                                if round_no % 2 == 0
+                                else originals[path]
+                            )
+                            path.write_bytes(fresh)
+                            status, _ = _get(
+                                conn,
+                                "/v1/registries/beta/workspaces/"
+                                f"{path.stem}/ranking",
+                            )
+                            if status != 200:
+                                writer_errors.append((path.stem, status))
+                            writer_edits[0] += 1
+                            if stop.is_set():
+                                break
+                        round_no += 1
+                finally:
+                    conn.close()
+
+            reader_latencies = [[] for _ in range(threads)]
+            mismatches = []
+            barrier = threading.Barrier(threads + 1)
+
+            def reader(worker: int) -> None:
+                conn = http.client.HTTPConnection(host, port, timeout=30)
+                try:
+                    _get(conn, "/healthz")  # connect before the clock
+                    barrier.wait()
+                    for i in range(requests_per_thread):
+                        ws_id = ids[(worker + i) % len(ids)]
+                        t0 = time.perf_counter()
+                        status, body = _get(
+                            conn,
+                            "/v1/registries/default/workspaces/"
+                            f"{ws_id}/ranking",
+                        )
+                        reader_latencies[worker].append(
+                            time.perf_counter() - t0
+                        )
+                        if status != 200 or body != reference[ws_id]:
+                            mismatches.append((worker, i, ws_id, status))
+                finally:
+                    conn.close()
+
+            writer_thread = threading.Thread(target=churn_writer)
+            readers = [
+                threading.Thread(target=reader, args=(w,))
+                for w in range(threads)
+            ]
+            writer_thread.start()
+            for thread in readers:
+                thread.start()
+            barrier.wait()
+            t0 = time.perf_counter()
+            for thread in readers:
+                thread.join()
+            t_wall = time.perf_counter() - t0
+            stop.set()
+            writer_thread.join()
+
+    n_requests = threads * requests_per_thread
+    throughput = n_requests / t_wall
+    flat = [s for series in reader_latencies for s in series]
+    p50, p99 = _percentile(flat, 0.50), _percentile(flat, 0.99)
+    stable = not mismatches
+
+    result = {
+        "federated_threads": threads,
+        "federated_requests_per_thread": requests_per_thread,
+        "federated_writer_edits": writer_edits[0],
+        "federated_throughput_rps": throughput,
+        "federated_p50_ms": p50 * 1e3,
+        "federated_p99_ms": p99 * 1e3,
+        "federated_reader_bytes_stable": stable,
+        "min_federated_throughput_floor_rps": MIN_FEDERATED_THROUGHPUT_RPS,
+        "max_federated_p99_floor_ms": MAX_FEDERATED_P99_MS,
+    }
+    if verbose:
+        print(f"federated reader requests  : {n_requests} "
+              f"({threads} threads)")
+        print(f"federated writer edits     : {writer_edits[0]}")
+        print(f"federated throughput       : {throughput:10.0f} req/s")
+        print(f"federated p50 / p99        : {p50 * 1e3:10.2f} / "
+              f"{p99 * 1e3:.2f} ms")
+        print(f"federated bytes stable     : {stable}")
+
+    assert not writer_errors, (
+        f"{len(writer_errors)} writer re-read(s) failed on the beta "
+        f"registry, first: {writer_errors[0]}"
+    )
+    assert stable, (
+        f"{len(mismatches)} reader response(s) changed while the other "
+        f"registry was being written, first: {mismatches[0]}"
+    )
+    assert throughput >= MIN_FEDERATED_THROUGHPUT_RPS, (
+        f"expected >= {MIN_FEDERATED_THROUGHPUT_RPS:.0f} req/s from warm "
+        f"readers under a concurrent writer, measured {throughput:.0f}"
+    )
+    assert p99 * 1e3 <= MAX_FEDERATED_P99_MS, (
+        f"expected reader p99 <= {MAX_FEDERATED_P99_MS:.0f} ms under a "
+        f"concurrent writer, measured {p99 * 1e3:.2f} ms"
+    )
+    return result
+
+
 def test_service_throughput_and_cache_floor():
     result = run(verbose=True)
+    result.update(run_federated(verbose=True))
     Path(ARTIFACT).write_text(json.dumps(result, indent=2))
 
 
@@ -220,5 +410,6 @@ if __name__ == "__main__":
     parser.add_argument("--artifact", default=ARTIFACT)
     args = parser.parse_args()
     outcome = run(args.workspaces, args.threads, args.requests)
+    outcome.update(run_federated(args.workspaces))
     Path(args.artifact).write_text(json.dumps(outcome, indent=2))
     print(f"wrote {args.artifact}")

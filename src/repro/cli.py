@@ -30,9 +30,13 @@ Subcommands map onto the paper's workflow:
   aggregations, Borda counts and disagreement, evaluated through the
   engine's members tensor axis (see ``docs/group.md``).  ``repro batch
   --group FILE`` rides the same axis inside a batch run.
-* ``repro serve --registry DIR [--members FILE]`` — serve cached
-  registry rankings (and group results) over HTTP (the registry query
-  service; see ``docs/service.md``).
+* ``repro serve --registry DIR [--members FILE] [--mount NAME=DIR]
+  [--auth-token TOKEN] [--warm-writes]`` — serve cached registry
+  rankings (and group results) over the federated, versioned v1 HTTP
+  API (the registry query service; see ``docs/service.md``).
+* ``repro registry pull SRC DST`` — registry-to-registry sync:
+  workspaces copy skip-if-present by content hash and their cached
+  result sets travel through the index (idempotent).
 * ``repro generate DIR [--preset NAME] [--seed S]`` — write a seeded,
   deterministic synthetic registry from a generator spec (see
   ``docs/generator.md``).
@@ -54,7 +58,7 @@ from __future__ import annotations
 import argparse
 import sys
 from pathlib import Path
-from typing import Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from .casestudy.cqs import m3_competency_questions
 from .casestudy.problem import multimedia_problem
@@ -380,7 +384,68 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     p_serve.add_argument(
+        "--mount",
+        action="append",
+        default=None,
+        metavar="NAME=DIR",
+        dest="mounts",
+        help=(
+            "mount an additional named registry (repeatable); the "
+            "--registry directory mounts as 'default'"
+        ),
+    )
+    p_serve.add_argument(
+        "--auth-token",
+        default=None,
+        metavar="TOKEN",
+        dest="auth_token",
+        help=(
+            "require 'Authorization: Bearer TOKEN' on every non-public "
+            "route (default: no auth)"
+        ),
+    )
+    p_serve.add_argument(
+        "--warm-writes",
+        action="store_true",
+        dest="warm_writes",
+        help=(
+            "pre-evaluate edited workspaces in the background so the "
+            "next read is already warm"
+        ),
+    )
+    p_serve.add_argument(
         "--quiet", action="store_true", help="suppress the access log"
+    )
+
+    p_registry = sub.add_parser(
+        "registry",
+        help="federated registry operations (registry-to-registry sync)",
+    )
+    registry_sub = p_registry.add_subparsers(
+        dest="registry_command", required=True
+    )
+    p_pull = registry_sub.add_parser(
+        "pull",
+        help=(
+            "sync workspaces + cached results from one registry into "
+            "another (skip-if-present by content hash; idempotent)"
+        ),
+    )
+    p_pull.add_argument("src", help="source registry directory")
+    p_pull.add_argument("dst", help="destination registry directory")
+    p_pull.add_argument(
+        "--src-index",
+        metavar="FILE",
+        default=None,
+        dest="src_index",
+        help="source index database (default: <src>/.repro-index.sqlite)",
+    )
+    p_pull.add_argument(
+        "--dst-index",
+        metavar="FILE",
+        default=None,
+        dest="dst_index",
+        help="destination index database (default: <dst>/.repro-index.sqlite)",
     )
 
     from .core.faults import DEFAULT_SEED as _FAULT_SEED
@@ -1275,6 +1340,19 @@ def _cmd_chaos(
     return "\n".join(lines), 0 if identical else 1
 
 
+def _parse_mounts(specs: Optional[List[str]]) -> Dict[str, str]:
+    """``--mount NAME=DIR`` arguments as a name → directory mapping."""
+    mounts: Dict[str, str] = {}
+    for spec in specs or []:
+        name, sep, directory = spec.partition("=")
+        if not sep or not name or not directory:
+            raise SystemExit(f"invalid --mount {spec!r} (want NAME=DIR)")
+        if name in mounts:
+            raise SystemExit(f"duplicate --mount name {name!r}")
+        mounts[name] = directory
+    return mounts
+
+
 def _cmd_serve(
     registry: str,
     host: str,
@@ -1283,14 +1361,18 @@ def _cmd_serve(
     index_path: Optional[str],
     quiet: bool,
     members_path: Optional[str] = None,
+    mounts: Optional[List[str]] = None,
+    auth_token: Optional[str] = None,
+    warm_writes: bool = False,
 ) -> int:
     """``repro serve``: run the registry query service until interrupted.
 
-    Boots the threaded HTTP server over the registry directory and its
-    persistent index, announces the bound address on stdout (so
-    ``--port 0`` callers learn the ephemeral port), and serves until
-    SIGINT, then shuts down gracefully — in-flight requests drain
-    before the index closes.
+    Boots the threaded HTTP server over the registry directory (the
+    ``default`` registry) plus any ``--mount NAME=DIR`` extras, with
+    their persistent indexes, announces the bound address on stdout
+    (so ``--port 0`` callers learn the ephemeral port), and serves
+    until SIGINT, then shuts down gracefully — in-flight requests
+    drain before the indexes close.
     """
     import signal
 
@@ -1298,6 +1380,12 @@ def _cmd_serve(
 
     if not Path(registry).is_dir():
         raise SystemExit(f"not a registry directory: {registry}")
+    mount_map = _parse_mounts(mounts)
+    for name, directory in mount_map.items():
+        if not Path(directory).is_dir():
+            raise SystemExit(
+                f"not a registry directory for mount {name!r}: {directory}"
+            )
     if members_path is not None:
         # Validate the roster up front: a missing or malformed members
         # file must not masquerade as a port-binding failure below.
@@ -1324,6 +1412,9 @@ def _cmd_serve(
             index_path=index_path,
             access_log=None if quiet else sys.stderr,
             members_path=members_path,
+            mounts=mount_map,
+            auth_token=auth_token,
+            warm_writes=warm_writes,
         )
     except ValueError as exc:
         raise SystemExit(f"cannot start service: {exc}") from exc
@@ -1343,6 +1434,31 @@ def _cmd_serve(
         # (e.g. SIGTERM during the banner) still shuts down cleanly
         server.stop()
     print("shut down", flush=True)
+    return 0
+
+
+def _cmd_registry_pull(
+    src: str,
+    dst: str,
+    src_index: Optional[str] = None,
+    dst_index: Optional[str] = None,
+) -> int:
+    """``repro registry pull``: sync one registry into another.
+
+    Copies workspaces skip-if-present by content hash and moves their
+    cached result sets and version lineage *through the index*, so the
+    destination serves the exact floats the source cached.  Running
+    the same pull twice is a no-op.
+    """
+    from .service.federation import pull_registry
+
+    try:
+        report = pull_registry(
+            src, dst, src_index_path=src_index, dst_index_path=dst_index
+        )
+    except ValueError as exc:
+        raise SystemExit(str(exc)) from exc
+    print(report.summary())
     return 0
 
 
@@ -1481,6 +1597,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 args.index_path,
                 args.quiet,
                 args.members_path,
+                mounts=args.mounts,
+                auth_token=args.auth_token,
+                warm_writes=args.warm_writes,
+            )
+        if args.command == "registry":
+            return _cmd_registry_pull(
+                args.src, args.dst, args.src_index, args.dst_index
             )
         if args.command == "group":
             if args.no_cache and (args.refresh or args.index_path):

@@ -97,7 +97,7 @@ __all__ = [
 ]
 
 DEFAULT_INDEX_FILENAME = ".repro-index.sqlite"
-SCHEMA_VERSION = 4
+SCHEMA_VERSION = 5
 
 #: How close (in nanoseconds) a file's ``mtime`` may sit to the moment
 #: its row was recorded before the stat fast path stops being trusted
@@ -149,6 +149,15 @@ CREATE TABLE IF NOT EXISTS quarantine (
     source_sha     TEXT NOT NULL,
     quarantined_ns INTEGER NOT NULL
 );
+CREATE TABLE IF NOT EXISTS workspace_versions (
+    path          TEXT NOT NULL,
+    content_hash  TEXT NOT NULL,
+    first_seen_ns INTEGER NOT NULL,
+    tag           TEXT,
+    PRIMARY KEY (path, content_hash)
+);
+CREATE INDEX IF NOT EXISTS workspace_versions_by_path
+    ON workspace_versions (path, first_seen_ns);
 """
 
 #: Nullable tail columns a legacy ``results`` table may predate; the
@@ -555,6 +564,16 @@ class RegistryIndex:
                     self._conn.execute(
                         f"ALTER TABLE {table} ADD COLUMN {column} {sql_type}"
                     )
+        if stored is not None and stored < 5:
+            # v5 adds the version-lineage table (created by the schema
+            # script above); seed it with each workspace's current
+            # content hash so histories start at the migration point.
+            self._conn.execute(
+                "INSERT OR IGNORE INTO workspace_versions"
+                " (path, content_hash, first_seen_ns)"
+                " SELECT path, content_hash, COALESCE(recorded_ns, 0)"
+                " FROM workspaces"
+            )
         if row is None:
             self._conn.execute(
                 "INSERT INTO index_meta (key, value) VALUES (?, ?)",
@@ -950,6 +969,14 @@ class RegistryIndex:
                 record.component_json,
             ),
         )
+        # Version lineage: the first sighting of each (path, content)
+        # pair is appended once and never rewritten, so the history
+        # records every distinct content this path has carried.
+        self._conn.execute(
+            "INSERT OR IGNORE INTO workspace_versions"
+            " (path, content_hash, first_seen_ns) VALUES (?, ?, ?)",
+            (record.path, record.content_hash, time.time_ns()),
+        )
 
     def record_run(
         self,
@@ -1012,6 +1039,183 @@ class RegistryIndex:
                         for row in rows
                     ],
                 )
+
+    # ------------------------------------------------------------------
+    # Version lineage (schema v5)
+    # ------------------------------------------------------------------
+
+    def version_history(self, path: Union[str, Path]) -> List[Dict[str, object]]:
+        """The content-hash lineage of one workspace path, oldest first.
+
+        Each entry is ``{"content_hash", "first_seen_ns", "tag",
+        "current", "n_result_sets"}`` — ``current`` marks the hash the
+        ``workspaces`` row carries now, and ``n_result_sets`` counts
+        the distinct evaluation configurations with cached rows for
+        that content (the versions a ``?at=`` pinned read can serve).
+        """
+        key = self._key(path)
+        current_row = self._conn.execute(
+            "SELECT content_hash FROM workspaces WHERE path = ?", (key,)
+        ).fetchone()
+        current = None if current_row is None else current_row["content_hash"]
+        return [
+            {
+                "content_hash": row["content_hash"],
+                "first_seen_ns": row["first_seen_ns"],
+                "tag": row["tag"],
+                "current": row["content_hash"] == current,
+                "n_result_sets": row["n_result_sets"],
+            }
+            for row in self._conn.execute(
+                "SELECT v.content_hash, v.first_seen_ns, v.tag,"
+                " (SELECT COUNT(DISTINCT config_hash) FROM results r"
+                "   WHERE r.content_hash = v.content_hash) AS n_result_sets"
+                " FROM workspace_versions v WHERE v.path = ?"
+                " ORDER BY v.first_seen_ns, v.content_hash",
+                (key,),
+            )
+        ]
+
+    def tag_version(
+        self, path: Union[str, Path], content_hash: str, tag: Optional[str]
+    ) -> bool:
+        """Attach (or clear, with ``None``) a tag on one lineage entry.
+
+        Returns ``False`` when the ``(path, content_hash)`` pair has
+        never been seen — the caller maps that to a 404.
+        """
+        with self._conn:
+            self._conn.execute("BEGIN IMMEDIATE")
+            updated = self._conn.execute(
+                "UPDATE workspace_versions SET tag = ?"
+                " WHERE path = ? AND content_hash = ?",
+                (tag, self._key(path), content_hash),
+            ).rowcount
+        return updated > 0
+
+    def version_rows(
+        self, path: Union[str, Path]
+    ) -> List[Tuple[str, int, Optional[str]]]:
+        """Raw ``(content_hash, first_seen_ns, tag)`` lineage rows.
+
+        The export half of registry-to-registry sync; import them into
+        another index with :meth:`import_versions`.
+        """
+        return [
+            (row["content_hash"], row["first_seen_ns"], row["tag"])
+            for row in self._conn.execute(
+                "SELECT content_hash, first_seen_ns, tag"
+                " FROM workspace_versions WHERE path = ?"
+                " ORDER BY first_seen_ns, content_hash",
+                (self._key(path),),
+            )
+        ]
+
+    def import_versions(
+        self,
+        path: Union[str, Path],
+        rows: Iterable[Tuple[str, int, Optional[str]]],
+    ) -> int:
+        """Merge exported lineage rows under ``path`` (skip existing).
+
+        Existing ``(path, content_hash)`` entries keep their recorded
+        first-seen time and tag.  Returns the number of rows added.
+        """
+        key = self._key(path)
+        rows = list(rows)
+        if not rows:
+            return 0
+        with self._conn:
+            self._conn.execute("BEGIN IMMEDIATE")
+            added = 0
+            for content_hash, first_seen_ns, tag in rows:
+                added += self._conn.execute(
+                    "INSERT OR IGNORE INTO workspace_versions"
+                    " (path, content_hash, first_seen_ns, tag)"
+                    " VALUES (?, ?, ?, ?)",
+                    (key, content_hash, first_seen_ns, tag),
+                ).rowcount
+        return added
+
+    # ------------------------------------------------------------------
+    # Result-set export/import (registry-to-registry sync)
+    # ------------------------------------------------------------------
+
+    def result_sets(
+        self, content_hash: str
+    ) -> Dict[str, Tuple[CachedResult, ...]]:
+        """Every cached row set for one content hash, by config hash.
+
+        The export half of ``repro registry pull``: the returned
+        mapping feeds :meth:`import_result_sets` on the destination
+        index unchanged (floats round-trip exactly through sqlite
+        ``REAL``, so the copy serves byte-identical bodies).
+        """
+        config_hashes = [
+            row["config_hash"]
+            for row in self._conn.execute(
+                "SELECT DISTINCT config_hash FROM results"
+                " WHERE content_hash = ? ORDER BY config_hash",
+                (content_hash,),
+            )
+        ]
+        return {
+            config_hash: self.lookup_results(content_hash, config_hash)
+            for config_hash in config_hashes
+        }
+
+    def import_result_sets(
+        self,
+        content_hash: str,
+        sets: Mapping[str, Sequence[CachedResult]],
+    ) -> Dict[str, int]:
+        """Copy exported row sets in, skipping configs already cached.
+
+        Skip-if-present by ``(content_hash, config_hash)``: an existing
+        row set is never overwritten (both sides evaluated the same
+        content deterministically, so the rows are interchangeable).
+        One transaction; returns ``{"copied": ..., "skipped": ...}``.
+        """
+        copied = skipped = 0
+        with self._conn:
+            self._conn.execute("BEGIN IMMEDIATE")
+            for config_hash, rows in sorted(sets.items()):
+                existing = self._conn.execute(
+                    "SELECT 1 FROM results"
+                    " WHERE content_hash = ? AND config_hash = ? LIMIT 1",
+                    (content_hash, config_hash),
+                ).fetchone()
+                if existing is not None:
+                    skipped += 1
+                    continue
+                self._conn.executemany(
+                    "INSERT INTO results"
+                    " (content_hash, config_hash, sub_index, name,"
+                    "  n_alternatives, n_attributes, best_name,"
+                    "  best_minimum, best_average, best_maximum,"
+                    "  ever_best, top5_fluctuation, group_json)"
+                    " VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+                    [
+                        (
+                            content_hash,
+                            config_hash,
+                            row.sub_index,
+                            row.name,
+                            row.n_alternatives,
+                            row.n_attributes,
+                            row.best_name,
+                            row.best_minimum,
+                            row.best_average,
+                            row.best_maximum,
+                            row.ever_best,
+                            row.top5_fluctuation,
+                            row.group_json,
+                        )
+                        for row in rows
+                    ],
+                )
+                copied += 1
+        return {"copied": copied, "skipped": skipped}
 
     # ------------------------------------------------------------------
     # Quarantine (crash-looping workspaces held out of evaluation)
@@ -1235,6 +1439,10 @@ class RegistryIndex:
             self._conn.execute("BEGIN IMMEDIATE")
             self._conn.executemany(
                 "DELETE FROM workspaces WHERE path = ?",
+                [(path,) for path in gone],
+            )
+            self._conn.executemany(
+                "DELETE FROM workspace_versions WHERE path = ?",
                 [(path,) for path in gone],
             )
             removed = self._conn.execute(

@@ -1,16 +1,27 @@
-"""The registry query service: HTTP serving over the registry index.
+"""The federated registry query service: HTTP over registry indexes.
 
 The reuse workflow the paper targets is repository-centric — many
-analysts querying one shared registry of candidate shortlists, not each
-recomputing MAUT rankings locally.  This package serves the persistent
-registry index (:mod:`repro.core.index`) over HTTP:
+analysts querying shared registries of candidate shortlists, not each
+recomputing MAUT rankings locally.  This package serves one *or many*
+persistent registry indexes (:mod:`repro.core.index`) over a
+versioned, spec-first HTTP API:
 
-* :mod:`repro.service.app` — the route table and JSON
-  request/response handling (:class:`~repro.service.app.ServiceApp`),
-  independent of any socket so tests drive it directly;
+* :mod:`repro.service.routes` — the declarative route table
+  (:class:`~repro.service.routes.Route` /
+  :class:`~repro.service.routes.Router`), the uniform JSON error
+  envelope (:class:`~repro.service.routes.ServiceError`) and the
+  OpenAPI 3.1 generator (:func:`~repro.service.routes.build_openapi`);
+* :mod:`repro.service.federation` — the mount table of named
+  registries (:class:`~repro.service.federation.Federation`), each
+  with its own index, caches and circuit breaker, plus
+  registry-to-registry sync
+  (:func:`~repro.service.federation.pull_registry`);
+* :mod:`repro.service.app` — the request handling
+  (:class:`~repro.service.app.ServiceApp`), independent of any socket
+  so tests drive it directly;
 * :mod:`repro.service.cache` — the in-process content-hash-keyed LRU
-  of hot responses sitting above the sqlite index, including the ETag
-  machinery (``If-None-Match`` → 304);
+  of hot responses sitting above the sqlite index, the ETag machinery
+  (``If-None-Match`` → 304) and the deterministic gzip helpers;
 * :mod:`repro.service.server` — a threaded stdlib HTTP server with
   graceful shutdown and an access log, plus the
   :func:`~repro.service.server.ServiceServer` lifecycle wrapper the
@@ -24,8 +35,10 @@ the server and ``repro batch`` share one cache and stay byte-identical.
 See ``docs/service.md``.
 """
 
-from .app import ServiceApp, ServiceError
+from .app import ROUTES, ServiceApp, ServiceError
 from .cache import ResponseCache, make_etag
+from .federation import Federation, PullReport, pull_registry
+from .routes import Route, Router, build_openapi
 from .server import RegistryHTTPServer, ServiceServer
 
 __all__ = [
@@ -35,4 +48,11 @@ __all__ = [
     "make_etag",
     "RegistryHTTPServer",
     "ServiceServer",
+    "ROUTES",
+    "Route",
+    "Router",
+    "build_openapi",
+    "Federation",
+    "PullReport",
+    "pull_registry",
 ]

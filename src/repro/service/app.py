@@ -1,4 +1,4 @@
-"""Route table and JSON request/response handling for the query service.
+"""Request handling for the federated registry query service.
 
 A :class:`ServiceApp` is the whole HTTP surface minus the socket: it
 maps ``(method, path, query, headers, body)`` to a :class:`Response`,
@@ -6,71 +6,105 @@ so unit tests exercise every endpoint, error path and cache state
 without binding a port.  :mod:`repro.service.server` adapts it onto a
 threaded stdlib HTTP server.
 
-Endpoints
----------
-``GET /healthz``
-    Liveness: the registry and index the server is bound to.
-``GET /metrics``
-    Request counts, response-cache hit ratio, p50/p99 latency.
-``GET /v1/registry``
-    Index status plus the workspace listing with identity fingerprints.
-``GET /v1/workspaces/{id}/ranking``
-    The cached batch ranking row set for one workspace (read-through).
-``GET /v1/workspaces/{id}/montecarlo``
+Dispatch is declarative: :data:`ROUTES` is the route table
+(:class:`~repro.service.routes.Route` entries — method, path
+template, handler, query-parameter specs, auth class) compiled by a
+:class:`~repro.service.routes.Router`; the same table generates the
+OpenAPI 3.1 document served at ``GET /v1/openapi.json``.
+
+Resource model (v1)
+-------------------
+``registries → workspaces → versions → results``.  A
+:class:`~repro.service.federation.Federation` mounts many named
+registries, each with its own index, response LRU, stale cache and
+circuit breaker, so one registry's edit bursts or failure storms
+never degrade another:
+
+``GET /healthz`` / ``GET /metrics`` / ``GET /v1/openapi.json``
+    Service-scoped: liveness (per-registry blocks), counters/latency
+    (``?format=prometheus`` for exposition text) and the generated
+    API description.
+``GET /v1/registries`` · ``POST /v1/registries``
+    The mount table: list mounted registries; mount another at
+    runtime (``{"name": ..., "root": ..., "index": ...}``).
+``GET /v1/registries/{registry}`` · ``DELETE /v1/registries/{registry}``
+    One registry's descriptor + index status; unmount it (the
+    default registry refuses with 409).
+``GET /v1/registries/{registry}/registry``
+    The workspace listing with identity fingerprints.
+``GET /v1/registries/{registry}/workspaces/{id}/ranking``
+    The cached batch ranking row set (read-through; ``?at=<hash>``
+    pins the read to a recorded content-hash version).
+``GET /v1/registries/{registry}/workspaces/{id}/montecarlo``
     Ranking plus §V Monte Carlo stats (``simulations``/``method``/
-    ``seed`` query parameters select the configuration; read-through).
-``GET /v1/workspaces/{id}/dominance``
+    ``seed`` select the configuration; ``at`` pins the version).
+``GET /v1/registries/{registry}/workspaces/{id}/dominance``
     The §V strict-dominance matrix (LRU-cached by content hash).
-``GET /v1/workspaces/{id}/rankintervals``
+``GET /v1/registries/{registry}/workspaces/{id}/rankintervals``
     Attainable-rank intervals (LRU-cached by content hash).
-``GET /v1/workspaces/{id}/group``
-    The group-decision result under the server's member roster
-    (``repro serve --members FILE``): per-member rankings, consensus /
-    tolerant / Borda aggregations, disagreement profile.  Read-through
-    like ranking, keyed by content hash × roster digest.
-``POST /v1/evaluate``
-    Evaluate an ad-hoc workspace JSON document through
-    :class:`~repro.core.engine.BatchEvaluator`; nothing is persisted.
+``GET /v1/registries/{registry}/workspaces/{id}/group``
+    The group-decision result under the server's member roster.
+``GET /v1/registries/{registry}/workspaces/{id}/versions``
+    Content-hash lineage: every version the index has seen, its tag,
+    and how many result sets are recorded for it.
+``POST /v1/registries/{registry}/workspaces/{id}/versions``
+    Tag one recorded version (``{"content_hash": ..., "tag": ...}``).
+``POST /v1/registries/{registry}/evaluate``
+    Ad-hoc evaluation of a posted workspace document; nothing is
+    persisted.
+
+Legacy aliases (deprecated)
+---------------------------
+The PR-4-era single-registry routes — ``/v1/registry``,
+``/v1/workspaces/{id}/<verb>`` and ``POST /v1/evaluate`` — keep
+working as aliases of the *default* registry and answer
+byte-identically to their ``/v1/registries/{default}/...``
+equivalents, plus ``Deprecation``/``Sunset`` headers.
 
 Read-through contract: ranking/montecarlo answers come from the
 registry index when the workspace's content hash has cached rows for
 the requested configuration — the *exact* floats ``repro batch``
 stored.  On a miss the workspace is compiled and evaluated via
-:class:`~repro.core.runtime.ShardedRunner` (under the app's single
-writer lock) and the fresh rows are committed back through
+:class:`~repro.core.runtime.ShardedRunner` (under the registry's
+single writer lock) and the fresh rows are committed back through
 :meth:`~repro.core.index.RegistryIndex.record_run`, so the server and
 the batch CLI share one cache and serve byte-identical numbers in
 either direction.
 
-Workspace ids are registry-relative paths without the ``.json``
-suffix (``shortlists/2024/q1`` → ``<registry>/shortlists/2024/q1.json``).
-Status codes: 400 malformed ids/parameters/bodies, 404 unknown routes
-and workspaces, 405 wrong method on a known route, 409 a workspace
-file that exists but cannot be parsed or evaluated.
+Hardening: a static bearer token (``repro serve --auth-token``) gates
+every non-public route; bodies ≥ :data:`_GZIP_MIN_BYTES` gzip when
+the client sends ``Accept-Encoding: gzip`` (ETag-safe — the validator
+names content identity and ``If-None-Match`` is checked before any
+body is built); ``--warm-writes`` starts a :class:`_CacheWarmer` that
+pre-evaluates edited workspaces in the background.
+
+Errors are uniform: every 4xx/5xx body is the JSON envelope
+``{"error": {"code", "message", "detail"}}``
+(:class:`~repro.service.routes.ServiceError`).  Workspace ids are
+registry-relative paths without the ``.json`` suffix.
 """
 
 from __future__ import annotations
 
+import hmac
 import json
 import math
 import os
+import re
 import sqlite3
 import threading
 import time
 from collections import deque
 from dataclasses import dataclass, field, replace
 from pathlib import Path
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+from queue import Queue
+from typing import Dict, List, Mapping, Optional, Tuple, Union
 from urllib.parse import parse_qs, unquote, urlsplit
 
 from ..core import workspace as _workspace
 from ..core.engine import BatchEvaluator, compile_problem
 from ..core.group import load_members, members_digest
-from ..core.index import (
-    DEFAULT_INDEX_FILENAME,
-    RegistryIndex,
-    eval_config_hash,
-)
+from ..core.index import RegistryIndex, eval_config_hash
 from ..core.runtime import BatchOptions, ShardedRunner
 from ..obs import metrics as _obs_metrics
 from ..obs import span as _span
@@ -78,12 +112,22 @@ from ..obs.metrics import PROMETHEUS_CONTENT_TYPE, render_prometheus
 from ..reporting.figures import MC_SEED
 from .cache import (
     CachedResponse,
-    ResponseCache,
+    accepts_gzip,
+    gzip_bytes,
     if_none_match_matches,
     make_etag,
 )
+from .federation import DEFAULT_REGISTRY_NAME, Federation, RegistryState
+from .routes import (
+    QueryParam,
+    Route,
+    Router,
+    ServiceError,
+    build_openapi,
+    coerce_query,
+)
 
-__all__ = ["Response", "ServiceError", "ServiceApp"]
+__all__ = ["Response", "ServiceError", "ServiceApp", "Request", "ROUTES"]
 
 _JSON = "application/json"
 _MC_METHODS = ("random", "rank_order", "intervals")
@@ -96,21 +140,19 @@ _WORKSPACE_VERBS = (
 )
 _LOAD_ERRORS = (OSError, ValueError, KeyError, TypeError)
 
+#: Response bodies below this size are never gzipped (the header
+#: overhead would not pay for itself).
+_GZIP_MIN_BYTES = 512
 
-class ServiceError(Exception):
-    """An error response: HTTP ``status`` plus a client-facing message."""
+#: Content hashes accepted by ``?at=`` / version tagging.
+_HEX_HASH = re.compile(r"^[0-9a-f]{8,64}$")
 
-    def __init__(
-        self,
-        status: int,
-        message: str,
-        headers: Optional[Mapping[str, str]] = None,
-    ) -> None:
-        """Record the status, message and extra headers (``Retry-After``)."""
-        super().__init__(message)
-        self.status = status
-        self.message = message
-        self.headers = dict(headers or {})
+#: Headers every deprecated legacy alias answers with.
+_DEPRECATION_HEADERS = {
+    "Deprecation": "true",
+    "Sunset": "Wed, 01 Jul 2027 00:00:00 GMT",
+    "Link": '</v1/openapi.json>; rel="successor-version"',
+}
 
 
 @dataclass(frozen=True)
@@ -121,6 +163,26 @@ class Response:
     body: bytes = b""
     content_type: str = _JSON
     headers: Mapping[str, str] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class Request:
+    """One parsed, authorized request as handlers receive it.
+
+    ``path_params`` are the template captures (``registry``, ``id``),
+    ``params`` the coerced query values per the route's
+    :class:`~repro.service.routes.QueryParam` specs, ``query`` the raw
+    ``parse_qs`` mapping, ``headers`` lower-cased.
+    """
+
+    method: str
+    path: str
+    route: Route
+    path_params: Mapping[str, str]
+    params: Mapping[str, object]
+    query: Mapping[str, List[str]]
+    headers: Mapping[str, str]
+    body: bytes = b""
 
 
 def _dumps(payload: object) -> bytes:
@@ -219,7 +281,9 @@ class _CircuitBreaker:
     request after the cooldown transitions to half-open and is let
     through as a single probe — success closes the circuit, failure
     re-opens it for another full cooldown.  The clock is injectable so
-    tests drive the state machine without sleeping.
+    tests drive the state machine without sleeping.  Each mounted
+    registry owns its own breaker, so one registry's failure storm
+    never refuses another registry's evaluations.
     """
 
     def __init__(
@@ -294,30 +358,288 @@ class _CircuitBreaker:
             }
 
 
-class ServiceApp:
-    """The registry query service's request handler (no socket).
+class _CacheWarmer:
+    """Post-write cache warming: pre-evaluate edited workspaces.
 
-    Binds a registry directory to its
+    When a probe detects a workspace edit, the app notifies this
+    warmer (``repro serve --warm-writes``); a single daemon thread
+    replays the default ranking read for the edited workspace so the
+    read-through miss — compile, evaluate, ``record_run`` — is paid
+    *before* the next client request instead of by it.  Failures are
+    swallowed (the foreground path re-raises them properly) and
+    counted under ``repro_cache_warm_total{outcome}``.
+    """
+
+    def __init__(self, app: "ServiceApp") -> None:
+        """Start the warming thread against ``app``."""
+        self._app = app
+        self._queue: "Queue" = Queue()
+        self._cond = threading.Condition()
+        self._pending = 0
+        self._thread = threading.Thread(
+            target=self._run, name="repro-cache-warmer", daemon=True
+        )
+        self._thread.start()
+
+    def notify(self, registry_name: str, ws_id: str) -> None:
+        """Enqueue one edited workspace for background evaluation."""
+        with self._cond:
+            self._pending += 1
+        self._queue.put((registry_name, ws_id))
+
+    def drain(self, timeout: float = 10.0) -> bool:
+        """Block until every queued warm finished; False on timeout."""
+        deadline = time.monotonic() + timeout
+        with self._cond:
+            while self._pending:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    return False
+                self._cond.wait(min(remaining, 0.05))
+            return True
+
+    def close(self) -> None:
+        """Stop the warming thread (waits for in-flight work)."""
+        self._queue.put(None)
+        self._thread.join(timeout=5.0)
+
+    def _run(self) -> None:
+        while True:
+            item = self._queue.get()
+            if item is None:
+                return
+            name, ws_id = item
+            outcome = "ok"
+            try:
+                self._app._warm(name, ws_id)
+            except Exception:
+                outcome = "error"
+            finally:
+                _obs_metrics.registry().counter(
+                    "repro_cache_warm_total",
+                    "Background cache-warming runs, by outcome.",
+                    labelnames=("outcome",),
+                ).inc(outcome=outcome)
+                with self._cond:
+                    self._pending -= 1
+                    self._cond.notify_all()
+
+
+def _build_routes() -> List[Route]:
+    """The service's route table (new v1 surface + legacy aliases)."""
+    at_param = QueryParam(
+        "at",
+        description=(
+            "Pin the read to a recorded content hash; answers 404 "
+            "version_not_found when the index has no rows for it."
+        ),
+    )
+    mc_params = (
+        QueryParam(
+            "simulations",
+            kind="int",
+            default=10_000,
+            minimum=1,
+            description="Monte Carlo sample count.",
+        ),
+        QueryParam(
+            "method",
+            choices=_MC_METHODS,
+            default="intervals",
+            description="Weight sampling scheme.",
+        ),
+        QueryParam(
+            "seed",
+            kind="int",
+            default=MC_SEED,
+            description="Deterministic sampling seed.",
+        ),
+        at_param,
+    )
+    verb_specs = [
+        (
+            "ranking",
+            "_h_ranking",
+            "Cached batch ranking row set (read-through).",
+            (at_param,),
+        ),
+        (
+            "montecarlo",
+            "_h_montecarlo",
+            "Ranking plus Monte Carlo stability statistics.",
+            mc_params,
+        ),
+        (
+            "dominance",
+            "_h_dominance",
+            "Strict-dominance screening matrix.",
+            (),
+        ),
+        (
+            "rankintervals",
+            "_h_rankintervals",
+            "Attainable-rank intervals.",
+            (),
+        ),
+        (
+            "group",
+            "_h_group",
+            "Group-decision result under the configured roster.",
+            (),
+        ),
+    ]
+    routes = [
+        Route(
+            "GET", "/healthz", "_h_healthz", "healthz",
+            "Liveness and degradation report (always 200).",
+            auth="public",
+        ),
+        Route(
+            "GET", "/metrics", "_h_metrics", "metrics",
+            "Request counters, cache stats and latency percentiles.",
+            auth="public",
+            params=(
+                QueryParam(
+                    "format",
+                    default="json",
+                    description="'json' (default) or 'prometheus'.",
+                ),
+            ),
+        ),
+        Route(
+            "GET", "/v1/openapi.json", "_h_openapi", "openapi",
+            "The OpenAPI 3.1 description generated from the route table.",
+            auth="public",
+        ),
+        Route(
+            "GET", "/v1/registries", "_h_registries", "list_registries",
+            "List every mounted registry.",
+        ),
+        Route(
+            "POST", "/v1/registries", "_h_mount", "mount_registry",
+            "Mount another registry directory at runtime.",
+            auth="admin",
+        ),
+        Route(
+            "GET", "/v1/registries/{registry}", "_h_registry_info",
+            "get_registry",
+            "One registry's descriptor, index status and cache stats.",
+            scope="registry",
+        ),
+        Route(
+            "DELETE", "/v1/registries/{registry}", "_h_unmount",
+            "unmount_registry",
+            "Unmount one registry (the default registry refuses).",
+            auth="admin", scope="registry",
+        ),
+        Route(
+            "GET", "/v1/registries/{registry}/registry", "_h_registry",
+            "registry",
+            "Workspace listing with identity fingerprints.",
+            scope="registry",
+        ),
+        Route(
+            "GET",
+            "/v1/registries/{registry}/workspaces/{id...}/versions",
+            "_h_versions", "versions",
+            "Content-hash lineage of one workspace, with tags.",
+            scope="registry",
+        ),
+        Route(
+            "POST",
+            "/v1/registries/{registry}/workspaces/{id...}/versions",
+            "_h_tag_version", "tag_version",
+            "Tag one recorded content-hash version.",
+            auth="admin", scope="registry",
+        ),
+        Route(
+            "POST", "/v1/registries/{registry}/evaluate", "_h_evaluate",
+            "evaluate",
+            "Evaluate an ad-hoc workspace document (nothing persists).",
+            scope="registry",
+        ),
+    ]
+    for verb, handler, summary, params in verb_specs:
+        routes.append(
+            Route(
+                "GET",
+                f"/v1/registries/{{registry}}/workspaces/{{id...}}/{verb}",
+                handler, f"get_{verb}", summary,
+                scope="registry", params=params,
+            )
+        )
+    # Legacy single-registry aliases: same handlers, default registry,
+    # Deprecation/Sunset headers — bodies stay byte-identical.
+    routes.append(
+        Route(
+            "GET", "/v1/registry", "_h_registry", "registry_legacy",
+            "Deprecated alias of /v1/registries/{default}/registry.",
+            scope="default", deprecated=True,
+        )
+    )
+    for verb, handler, summary, params in verb_specs:
+        routes.append(
+            Route(
+                "GET", f"/v1/workspaces/{{id...}}/{verb}",
+                handler, f"get_{verb}_legacy",
+                f"Deprecated alias: {summary}",
+                scope="default", deprecated=True, params=params,
+            )
+        )
+    routes.append(
+        Route(
+            "POST", "/v1/evaluate", "_h_evaluate", "evaluate_legacy",
+            "Deprecated alias of /v1/registries/{default}/evaluate.",
+            scope="default", deprecated=True,
+        )
+    )
+    return routes
+
+
+#: The declarative route table — dispatch, coercion, metrics labels
+#: and the OpenAPI document are all generated from this one list.
+ROUTES: Tuple[Route, ...] = tuple(_build_routes())
+
+
+class ServiceApp:
+    """The federated registry query service's request handler (no socket).
+
+    Mounts one or more registry directories into a
+    :class:`~repro.service.federation.Federation` — each with its own
     :class:`~repro.core.index.RegistryIndex` (shared across request
-    threads; per-thread sqlite connections) and an in-process
-    :class:`~repro.service.cache.ResponseCache` of hot rendered
-    responses keyed by content hash.  All evaluation writes funnel
-    through one lock so the index keeps its single-writer discipline.
+    threads; per-thread sqlite connections), response LRU, stale cache
+    and circuit breaker.  All evaluation writes for one registry
+    funnel through its write lock so each index keeps its
+    single-writer discipline.
 
     Parameters
     ----------
     registry_dir : str or Path
-        Directory of workspace ``*.json`` files to serve.
+        Directory of workspace ``*.json`` files to serve as the
+        *default* registry (the one legacy routes alias).
     index_path : str or Path, optional
-        Index database (default ``<registry>/.repro-index.sqlite``).
+        Default registry's index database
+        (default ``<registry>/.repro-index.sqlite``).
     cache_size : int, optional
-        Response-LRU capacity (entries, not bytes).
+        Per-registry response-LRU capacity (entries, not bytes).
     members_path : str or Path, optional
         A ``repro-members/1`` roster document; configures the
-        ``/v1/workspaces/{id}/group`` endpoint (404 without it).
+        ``.../workspaces/{id}/group`` endpoint (404 without it).
         Validated at boot, so a malformed roster fails startup, not a
         request.
+    mounts : mapping, optional
+        Extra registries to mount at boot: name → directory.
+    auth_token : str, optional
+        Static bearer token; when set, every non-public route
+        requires ``Authorization: Bearer <token>``.
+    warm_writes : bool, optional
+        Start the post-write cache warmer (background pre-evaluation
+        of edited workspaces).
+    default_name : str, optional
+        The default registry's mount name.
     """
+
+    _router = Router(ROUTES)
 
     def __init__(
         self,
@@ -325,16 +647,12 @@ class ServiceApp:
         index_path: Optional[Union[str, Path]] = None,
         cache_size: int = 1024,
         members_path: Optional[Union[str, Path]] = None,
+        mounts: Optional[Mapping[str, Union[str, Path]]] = None,
+        auth_token: Optional[str] = None,
+        warm_writes: bool = False,
+        default_name: str = DEFAULT_REGISTRY_NAME,
     ) -> None:
-        """Open the registry index and build an empty response cache."""
-        self.registry_dir = Path(registry_dir).resolve()
-        if not self.registry_dir.is_dir():
-            raise ValueError(f"not a registry directory: {registry_dir}")
-        self.index_path = (
-            Path(index_path)
-            if index_path is not None
-            else self.registry_dir / DEFAULT_INDEX_FILENAME
-        )
+        """Mount the registries and build empty per-registry caches."""
         self.members_path = (
             Path(members_path) if members_path is not None else None
         )
@@ -348,19 +666,68 @@ class ServiceApp:
             if self.members_spec is not None
             else None
         )
-        self.index = RegistryIndex(self.index_path)
-        self.cache = ResponseCache(cache_size)
+        self.auth_token = auth_token
+        self.federation = Federation(_CircuitBreaker, cache_size)
+        default_state = self.federation.mount(
+            default_name, registry_dir, index_path=index_path, default=True
+        )
+        for name in sorted(mounts or {}):
+            self.federation.mount(name, (mounts or {})[name])
+        # Single-registry compatibility surface (tests, server banner).
+        self.registry_dir = default_state.root
+        self.index_path = default_state.index_path
         self.metrics = _Metrics()
-        self.breaker = _CircuitBreaker()
-        # Last known-good response per (verb, workspace id) — never
-        # invalidated, only overwritten, so index-unavailable reads can
-        # degrade to a stale answer with a ``Warning: 110`` header.
-        self._stale = ResponseCache(cache_size)
-        self._write_lock = threading.Lock()
+        self._warmer: Optional[_CacheWarmer] = (
+            _CacheWarmer(self) if warm_writes else None
+        )
+
+    # -- single-registry compatibility properties -----------------------
+
+    @property
+    def index(self) -> RegistryIndex:
+        """The default registry's index (legacy single-registry view)."""
+        return self.federation.default.index
+
+    @index.setter
+    def index(self, value: RegistryIndex) -> None:
+        """Swap the default registry's index (tests inject failures)."""
+        self.federation.default.index = value
+
+    @property
+    def cache(self):
+        """The default registry's response LRU."""
+        return self.federation.default.cache
+
+    @cache.setter
+    def cache(self, value) -> None:
+        """Swap the default registry's response LRU."""
+        self.federation.default.cache = value
+
+    @property
+    def breaker(self) -> _CircuitBreaker:
+        """The default registry's evaluation circuit breaker."""
+        return self.federation.default.breaker
+
+    @breaker.setter
+    def breaker(self, value: _CircuitBreaker) -> None:
+        """Swap the default registry's breaker (tests inject clocks)."""
+        self.federation.default.breaker = value
+
+    @property
+    def _stale(self):
+        """The default registry's stale (last known-good) cache."""
+        return self.federation.default.stale
+
+    @property
+    def _write_lock(self) -> threading.Lock:
+        """The default registry's single-writer lock."""
+        return self.federation.default.write_lock
 
     def close(self) -> None:
-        """Release the index's sqlite connections."""
-        self.index.close()
+        """Stop the warmer and release every index's connections."""
+        if self._warmer is not None:
+            self._warmer.close()
+        self.federation.close()
 
     def __enter__(self) -> "ServiceApp":
         """Enter a ``with`` block; returns the app."""
@@ -381,11 +748,14 @@ class ServiceApp:
         headers: Optional[Mapping[str, str]] = None,
         body: bytes = b"",
     ) -> Response:
-        """Route one request; never raises (errors become JSON bodies).
+        """Route one request; never raises (errors become JSON envelopes).
 
-        Request correlation: an incoming ``X-Request-Id`` header is
-        propagated into the request's span and echoed on the response;
-        absent one, a fresh id is generated so every response (and its
+        The pipeline: route-table match (404/405) → bearer auth
+        (401/403) → query coercion (400) → handler → deprecation
+        headers for legacy aliases → gzip negotiation.  Request
+        correlation: an incoming ``X-Request-Id`` header is propagated
+        into the request's span and echoed on the response; absent
+        one, a fresh id is generated so every response (and its
         access-log line) is correlatable anyway.
         """
         headers = {k.lower(): v for k, v in (headers or {}).items()}
@@ -393,7 +763,8 @@ class ServiceApp:
         split = urlsplit(target)
         path = unquote(split.path)
         query = parse_qs(split.query, keep_blank_values=True)
-        endpoint, started = path, time.perf_counter()
+        endpoint, registry_label = path, ""
+        started = time.perf_counter()
         with _span(
             "http.request",
             method=method,
@@ -401,136 +772,184 @@ class ServiceApp:
             request_id=request_id,
         ):
             try:
-                endpoint, response = self._route(
-                    method, path, query, headers, body
+                route, path_params = self._router.match(method, path)
+                endpoint = route.label
+                if route.scope == "registry":
+                    registry_label = path_params.get("registry", "")
+                elif route.scope == "default":
+                    registry_label = self.federation.default_name or ""
+                self._authorize(route, headers)
+                params = coerce_query(route, query)
+                request = Request(
+                    method=method,
+                    path=path,
+                    route=route,
+                    path_params=path_params,
+                    params=params,
+                    query=query,
+                    headers=headers,
+                    body=body,
                 )
+                response = getattr(self, route.handler)(request)
+                if route.deprecated:
+                    merged = dict(_DEPRECATION_HEADERS)
+                    merged.update(response.headers)
+                    response = replace(response, headers=merged)
             except ServiceError as exc:
                 response = Response(
-                    exc.status,
-                    _dumps({"error": exc.message, "status": exc.status}),
-                    headers=exc.headers,
+                    exc.status, _dumps(exc.envelope()), headers=exc.headers
                 )
             except Exception as exc:  # pragma: no cover - defensive backstop
                 response = Response(
                     500,
                     _dumps(
-                        {
-                            "error": f"{type(exc).__name__}: {exc}",
-                            "status": 500,
-                        }
+                        ServiceError(
+                            500, f"{type(exc).__name__}: {exc}"
+                        ).envelope()
                     ),
                 )
+            response = self._negotiate_encoding(response, headers)
         elapsed = time.perf_counter() - started
         self.metrics.record(endpoint, response.status, elapsed)
-        self._record_obs(endpoint, response.status, elapsed)
+        self._record_obs(endpoint, registry_label, response.status, elapsed)
         merged = dict(response.headers)
         merged.setdefault("X-Request-Id", request_id)
         return replace(response, headers=merged)
 
+    def _authorize(self, route: Route, headers: Mapping[str, str]) -> None:
+        """Bearer-token gate: 401 without credentials, 403 on mismatch.
+
+        A no-op when the service runs without ``--auth-token`` or the
+        route is public (``/healthz``, ``/metrics``, the spec).
+        """
+        if self.auth_token is None or route.auth == "public":
+            return
+        value = headers.get("authorization", "")
+        if not value.startswith("Bearer "):
+            raise ServiceError(
+                401,
+                "missing bearer token",
+                headers={"WWW-Authenticate": "Bearer"},
+                code="unauthorized",
+            )
+        token = value[len("Bearer "):].strip()
+        if not hmac.compare_digest(token, self.auth_token):
+            raise ServiceError(403, "invalid bearer token", code="forbidden")
+
     @staticmethod
-    def _record_obs(endpoint: str, status: int, seconds: float) -> None:
+    def _negotiate_encoding(
+        response: Response, headers: Mapping[str, str]
+    ) -> Response:
+        """Gzip the body when the client accepts it and it pays off.
+
+        ETag-safe: the validator names the response's *content*
+        identity and the ``If-None-Match`` check runs before any body
+        is built, so 304 revalidation is identical for gzip and
+        identity clients.  Compression is deterministic
+        (:func:`~repro.service.cache.gzip_bytes` pins ``mtime=0``).
+        """
+        if response.status == 304 or not response.body:
+            return response
+        if len(response.body) < _GZIP_MIN_BYTES:
+            return response
+        if "Content-Encoding" in response.headers:
+            return response
+        if not accepts_gzip(headers.get("accept-encoding")):
+            return response
+        compressed = gzip_bytes(response.body)
+        if len(compressed) >= len(response.body):
+            return response
+        merged = dict(response.headers)
+        merged["Content-Encoding"] = "gzip"
+        merged["Vary"] = "Accept-Encoding"
+        return replace(response, body=compressed, headers=merged)
+
+    @staticmethod
+    def _record_obs(
+        endpoint: str, registry: str, status: int, seconds: float
+    ) -> None:
         """Mirror one served request into the process-wide obs metrics."""
         reg = _obs_metrics.registry()
         reg.counter(
             "repro_http_requests_total",
-            "HTTP requests served, by endpoint label and status.",
-            labelnames=("endpoint", "status"),
-        ).inc(endpoint=endpoint, status=str(status))
+            "HTTP requests served, by endpoint label, registry and status.",
+            labelnames=("endpoint", "registry", "status"),
+        ).inc(endpoint=endpoint, registry=registry, status=str(status))
         reg.histogram(
             "repro_http_request_seconds",
             "End-to-end request handling latency in seconds.",
         ).observe(seconds)
 
-    def _route(
-        self,
-        method: str,
-        path: str,
-        query: Mapping[str, List[str]],
-        headers: Mapping[str, str],
-        body: bytes,
-    ) -> Tuple[str, Response]:
-        """(metrics endpoint label, response) for one parsed request."""
-        parts = [p for p in path.split("/") if p]
-        if parts == ["healthz"]:
-            return path, self._require_get(method, path, self._healthz)
-        if parts == ["metrics"]:
-            return path, self._require_get(
-                method, path, lambda: self._metrics(query)
-            )
-        if parts == ["v1", "registry"]:
-            return path, self._require_get(method, path, self._registry)
-        if parts[:2] == ["v1", "workspaces"] and len(parts) >= 4:
-            verb = parts[-1]
-            ws_id = "/".join(parts[2:-1])
-            if verb not in _WORKSPACE_VERBS:
-                raise ServiceError(404, f"unknown endpoint {path!r}")
-            label = f"/v1/workspaces/{{id}}/{verb}"
-            if method != "GET":
-                raise ServiceError(405, f"{method} not allowed on {path!r}")
-            return label, self._workspace_endpoint(verb, ws_id, query, headers)
-        if parts == ["v1", "evaluate"]:
-            if method != "POST":
-                raise ServiceError(405, f"{method} not allowed on {path!r}")
-            return path, self._evaluate(body)
-        raise ServiceError(404, f"unknown endpoint {path!r}")
-
-    @staticmethod
-    def _require_get(method: str, path: str, handler) -> Response:
-        if method != "GET":
-            raise ServiceError(405, f"{method} not allowed on {path!r}")
-        return handler()
+    def _state_for(self, request: Request) -> RegistryState:
+        """The registry state a request addresses (404 when unmounted)."""
+        if request.route.scope == "registry":
+            name = request.path_params["registry"]
+            state = self.federation.get(name)
+            if state is None:
+                raise ServiceError(
+                    404,
+                    f"unknown registry {name!r}",
+                    code="registry_not_found",
+                )
+            return state
+        return self.federation.default
 
     # ------------------------------------------------------------------
-    # Plain endpoints
+    # Service-scoped endpoints
     # ------------------------------------------------------------------
 
-    def _healthz(self) -> Response:
+    def _h_healthz(self, request: Request) -> Response:
         """Liveness plus degradation report — always HTTP 200.
 
-        ``status`` is ``"ok"`` when the index answers a ping and the
-        evaluation circuit breaker is closed, ``"degraded"`` otherwise.
+        ``status`` is ``"ok"`` when every registry's index answers a
+        ping and every circuit breaker is closed, ``"degraded"``
+        otherwise; ``registries`` carries the per-registry blocks.
         Monitors read the payload, not the status code: a degraded
         service is still *serving* (stale reads keep working), so
         load balancers must not eject it.
         """
-        index_error: Optional[str] = None
-        try:
-            self.index.ping()
-        except sqlite3.Error as exc:
-            index_error = f"{type(exc).__name__}: {exc}"
-        breaker = self.breaker.snapshot()
-        degraded = index_error is not None or breaker["state"] != "closed"
-        return Response(
-            200,
-            _dumps(
-                {
-                    "status": "degraded" if degraded else "ok",
-                    "registry": str(self.registry_dir),
-                    "index_db": str(self.index_path),
-                    "index_available": index_error is None,
-                    "index_error": index_error,
-                    "circuit_breaker": breaker,
-                    "members": (
-                        str(self.members_path)
-                        if self.members_path is not None
-                        else None
-                    ),
-                }
-            ),
+        registries: Dict[str, Dict[str, object]] = {}
+        for state in self.federation.states():
+            index_error: Optional[str] = None
+            try:
+                state.index.ping()
+            except sqlite3.Error as exc:
+                index_error = f"{type(exc).__name__}: {exc}"
+            breaker = state.breaker.snapshot()
+            degraded = index_error is not None or breaker["state"] != "closed"
+            registries[state.name] = {
+                "status": "degraded" if degraded else "ok",
+                "registry": str(state.root),
+                "index_db": str(state.index_path),
+                "index_available": index_error is None,
+                "index_error": index_error,
+                "circuit_breaker": breaker,
+            }
+        default_name = self.federation.default.name
+        payload = dict(registries[default_name])
+        payload["status"] = (
+            "degraded"
+            if any(r["status"] == "degraded" for r in registries.values())
+            else "ok"
         )
+        payload["members"] = (
+            str(self.members_path) if self.members_path is not None else None
+        )
+        payload["default_registry"] = default_name
+        payload["registries"] = registries
+        return Response(200, _dumps(payload))
 
-    def _metrics(
-        self, query: Optional[Mapping[str, List[str]]] = None
-    ) -> Response:
+    def _h_metrics(self, request: Request) -> Response:
         """The metrics scrape: JSON by default, ``?format=prometheus``.
 
-        The JSON snapshot is unchanged (existing dashboards keep
-        working); the Prometheus branch renders the process-wide
-        :mod:`repro.obs.metrics` registry — request counts, response
-        cache hits/misses, per-stage eval seconds — plus the breaker
-        state gauge, in text exposition format 0.0.4.
+        The JSON snapshot keeps its PR-4 shape (existing dashboards
+        keep working) plus per-registry cache stats; the Prometheus
+        branch renders the process-wide :mod:`repro.obs.metrics`
+        registry — request counts, response cache hits/misses,
+        per-stage eval seconds — plus one breaker state gauge per
+        registry, in text exposition format 0.0.4.
         """
-        fmt = (query or {}).get("format", ["json"])[-1]
+        fmt = request.params["format"]
         if fmt == "prometheus":
             return Response(
                 200,
@@ -545,6 +964,10 @@ class ServiceApp:
             )
         payload = self.metrics.snapshot()
         payload["cache"] = self.cache.stats()
+        payload["registries"] = {
+            state.name: {"cache": state.cache.stats()}
+            for state in self.federation.states()
+        }
         return Response(200, _dumps(payload))
 
     #: Breaker states as gauge values (closed is healthy).
@@ -553,38 +976,149 @@ class ServiceApp:
     def _prometheus_text(self) -> str:
         """The exposition body: obs registry + scrape-time gauges."""
         reg = _obs_metrics.registry()
-        reg.gauge(
+        gauge = reg.gauge(
             "repro_breaker_state",
-            "Evaluation circuit breaker: 0 closed, 1 half-open, 2 open.",
-        ).set(self._BREAKER_STATES.get(self.breaker.state, -1))
+            "Per-registry evaluation circuit breaker: "
+            "0 closed, 1 half-open, 2 open.",
+            labelnames=("registry",),
+        )
+        for state in self.federation.states():
+            gauge.set(
+                self._BREAKER_STATES.get(state.breaker.state, -1),
+                registry=state.name,
+            )
         return render_prometheus(reg)
 
-    def _registry_paths(self) -> List[Path]:
-        return sorted(
-            p
-            for p in self.registry_dir.rglob("*.json")
-            if p.resolve() != self.index_path.resolve()
+    def _h_openapi(self, request: Request) -> Response:
+        """The generated OpenAPI 3.1 document for the route table."""
+        return Response(200, _dumps(build_openapi(self._router.routes)))
+
+    # ------------------------------------------------------------------
+    # Registry CRUD
+    # ------------------------------------------------------------------
+
+    def _h_registries(self, request: Request) -> Response:
+        """List every mounted registry (name, root, index, default)."""
+        default_name = self.federation.default_name
+        entries = [
+            {
+                "name": state.name,
+                "root": str(state.root),
+                "index_db": str(state.index_path),
+                "default": state.name == default_name,
+            }
+            for state in self.federation.states()
+        ]
+        return Response(
+            200,
+            _dumps(
+                {
+                    "default": default_name,
+                    "n_registries": len(entries),
+                    "registries": entries,
+                }
+            ),
         )
 
-    def _registry(self) -> Response:
+    def _h_mount(self, request: Request) -> Response:
+        """Mount another registry at runtime (POST /v1/registries)."""
+        doc = self._json_body(request.body)
+        unknown = sorted(set(doc) - {"name", "root", "index"})
+        if unknown:
+            raise ServiceError(400, f"unknown field(s): {', '.join(unknown)}")
+        name, root = doc.get("name"), doc.get("root")
+        if not isinstance(name, str) or not isinstance(root, str):
+            raise ServiceError(400, "'name' and 'root' must be strings")
+        index = doc.get("index")
+        if index is not None and not isinstance(index, str):
+            raise ServiceError(400, "'index' must be a string path")
+        try:
+            state = self.federation.mount(name, root, index_path=index)
+        except ValueError as exc:
+            if "already mounted" in str(exc):
+                raise ServiceError(409, str(exc), code="conflict") from exc
+            raise ServiceError(400, str(exc)) from exc
+        return Response(
+            201,
+            _dumps(
+                {
+                    "name": state.name,
+                    "root": str(state.root),
+                    "index_db": str(state.index_path),
+                    "default": state.name == self.federation.default_name,
+                }
+            ),
+        )
+
+    def _h_registry_info(self, request: Request) -> Response:
+        """One registry's descriptor, index status and cache stats."""
+        state = self._state_for(request)
+        index_status: Optional[Dict[str, object]] = None
+        index_error: Optional[str] = None
+        try:
+            index_status = state.index.status()
+        except sqlite3.Error as exc:
+            index_error = f"{type(exc).__name__}: {exc}"
+        return Response(
+            200,
+            _dumps(
+                {
+                    "name": state.name,
+                    "root": str(state.root),
+                    "index_db": str(state.index_path),
+                    "default": state.name == self.federation.default_name,
+                    "index": index_status,
+                    "index_error": index_error,
+                    "cache": state.cache.stats(),
+                }
+            ),
+        )
+
+    def _h_unmount(self, request: Request) -> Response:
+        """Unmount one registry (DELETE; the default refuses with 409)."""
+        name = request.path_params["registry"]
+        try:
+            self.federation.unmount(name)
+        except KeyError:
+            raise ServiceError(
+                404, f"unknown registry {name!r}", code="registry_not_found"
+            ) from None
+        except ValueError as exc:
+            raise ServiceError(409, str(exc), code="conflict") from exc
+        return Response(200, _dumps({"unmounted": name}))
+
+    # ------------------------------------------------------------------
+    # Registry listing
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _registry_paths(state: RegistryState) -> List[Path]:
+        return sorted(
+            p
+            for p in state.root.rglob("*.json")
+            if p.resolve() != state.index_path.resolve()
+        )
+
+    def _h_registry(self, request: Request) -> Response:
+        """The workspace listing with identity fingerprints."""
+        state = self._state_for(request)
         workspaces = []
         fresh_records = []
-        for path in self._registry_paths():
-            ws_id = path.relative_to(self.registry_dir).with_suffix(
-                ""
-            ).as_posix()
-            record, status = self.index.probe_with_status(path)
+        for path in self._registry_paths(state):
+            ws_id = path.relative_to(state.root).with_suffix("").as_posix()
+            record, status = state.index.probe_with_status(path)
             if record is None:
                 workspaces.append({"id": ws_id, "error": "unreadable"})
                 continue
             if status != "fresh":
                 if status == "changed":
-                    old = self.index.lookup_workspace(path)
+                    old = state.index.lookup_workspace(path)
                     if (
                         old is not None
                         and old.content_hash != record.content_hash
                     ):
-                        self.cache.invalidate(old.content_hash)
+                        state.cache.invalidate(old.content_hash)
+                        self._notify_warm(state.name, ws_id)
                 fresh_records.append(record)
             workspaces.append(
                 {
@@ -601,11 +1135,12 @@ class ServiceApp:
             # persist the fingerprints so the next listing (and every
             # ranking probe) takes the stat fast path instead of
             # re-hashing unchanged files
-            with self._write_lock:
-                self.index.record_probes(fresh_records)
+            with state.write_lock:
+                state.index.record_probes(fresh_records)
         payload = {
-            "registry": str(self.registry_dir),
-            "index": self.index.status(),
+            "name": state.name,
+            "registry": str(state.root),
+            "index": state.index.status(),
             "n_workspaces": len(workspaces),
             "workspaces": workspaces,
         }
@@ -615,106 +1150,133 @@ class ServiceApp:
     # Workspace endpoints
     # ------------------------------------------------------------------
 
-    def _resolve(self, ws_id: str) -> Path:
+    def _h_ranking(self, request: Request) -> Response:
+        """GET .../workspaces/{id}/ranking."""
+        return self._workspace_get(request, "ranking")
+
+    def _h_montecarlo(self, request: Request) -> Response:
+        """GET .../workspaces/{id}/montecarlo."""
+        return self._workspace_get(request, "montecarlo")
+
+    def _h_dominance(self, request: Request) -> Response:
+        """GET .../workspaces/{id}/dominance."""
+        return self._workspace_get(request, "dominance")
+
+    def _h_rankintervals(self, request: Request) -> Response:
+        """GET .../workspaces/{id}/rankintervals."""
+        return self._workspace_get(request, "rankintervals")
+
+    def _h_group(self, request: Request) -> Response:
+        """GET .../workspaces/{id}/group."""
+        return self._workspace_get(request, "group")
+
+    def _workspace_get(self, request: Request, verb: str) -> Response:
+        """The shared workspace GET: resolve, serve, degrade on outage."""
+        state = self._state_for(request)
+        ws_id = request.path_params["id"]
+        path = self._resolve(state, ws_id)
+        try:
+            at = request.params.get("at")
+            if at is not None and verb in ("ranking", "montecarlo"):
+                options = (
+                    BatchOptions()
+                    if verb == "ranking"
+                    else self._mc_options(request.params)
+                )
+                return self._serve_pinned(
+                    state, ws_id, verb, str(at), options, request.headers
+                )
+            if verb == "ranking":
+                return self._serve_results(
+                    state, ws_id, path, BatchOptions(), request.headers
+                )
+            if verb == "montecarlo":
+                return self._serve_results(
+                    state,
+                    ws_id,
+                    path,
+                    self._mc_options(request.params),
+                    request.headers,
+                )
+            if verb == "group":
+                return self._serve_group(state, ws_id, path, request.headers)
+            return self._serve_screening(
+                state, verb, ws_id, path, request.headers
+            )
+        except sqlite3.Error as exc:
+            state.breaker.abort_probe()
+            return self._serve_stale(state, verb, ws_id, exc)
+
+    @staticmethod
+    def _resolve(state: RegistryState, ws_id: str) -> Path:
         """The registry file behind a workspace id (404 when absent)."""
         segments = ws_id.split("/")
         if not ws_id or any(s in ("", ".", "..") for s in segments):
             raise ServiceError(400, f"invalid workspace id {ws_id!r}")
-        path = self.registry_dir / (ws_id + ".json")
+        path = state.root / (ws_id + ".json")
         if not path.is_file():
             raise ServiceError(404, f"unknown workspace {ws_id!r}")
         return path
 
-    def _probe(self, ws_id: str, path: Path):
+    def _probe(self, state: RegistryState, ws_id: str, path: Path):
         """Probe one workspace, absorbing any edit incrementally.
 
         When the probe reports the file changed, the responses rendered
-        from its *previous* content hash are evicted from the LRU
+        from its *previous* content hash are evicted from the
+        registry's LRU
         (:meth:`~repro.service.cache.ResponseCache.invalidate`) —
         targeted invalidation instead of waiting for cold misses to age
-        them out — and the fresh fingerprint is persisted so every
-        later probe takes the stat fast path.
+        them out — the cache warmer (when enabled) is notified, and the
+        fresh fingerprint is persisted so every later probe takes the
+        stat fast path.
         """
-        record, status = self.index.probe_with_status(path)
+        record, status = state.index.probe_with_status(path)
         if record is None:
             raise ServiceError(
-                409, f"workspace {ws_id!r} exists but cannot be parsed"
+                409,
+                f"workspace {ws_id!r} exists but cannot be parsed",
+                code="workspace_invalid",
             )
         if status != "fresh":
             if status == "changed":
-                old = self.index.lookup_workspace(path)
+                old = state.index.lookup_workspace(path)
                 if old is not None and old.content_hash != record.content_hash:
-                    self.cache.invalidate(old.content_hash)
-            with self._write_lock:
-                self.index.record_probes([record])
+                    state.cache.invalidate(old.content_hash)
+                    self._notify_warm(state.name, ws_id)
+            with state.write_lock:
+                state.index.record_probes([record])
         return record
 
-    @staticmethod
-    def _reject_unknown_params(
-        query: Mapping[str, List[str]], allowed: Sequence[str]
-    ) -> None:
-        unknown = sorted(set(query) - set(allowed))
-        if unknown:
-            raise ServiceError(
-                400, f"unknown query parameter(s): {', '.join(unknown)}"
-            )
+    def _notify_warm(self, registry_name: str, ws_id: str) -> None:
+        """Queue a background pre-evaluation when warming is enabled."""
+        if self._warmer is not None:
+            self._warmer.notify(registry_name, ws_id)
+
+    def _warm(self, registry_name: str, ws_id: str) -> None:
+        """One background warm: replay the default ranking read."""
+        state = self.federation.get(registry_name)
+        if state is None:
+            return
+        path = state.root / (ws_id + ".json")
+        if not path.is_file():
+            return
+        self._serve_results(state, ws_id, path, BatchOptions(), {})
 
     @staticmethod
-    def _int_param(
-        query: Mapping[str, List[str]], name: str, default: int
-    ) -> int:
-        values = query.get(name)
-        if not values:
-            return default
-        try:
-            return int(values[-1])
-        except ValueError:
-            raise ServiceError(
-                400, f"query parameter {name!r} must be an integer"
-            ) from None
-
-    def _mc_options(self, query: Mapping[str, List[str]]) -> BatchOptions:
-        self._reject_unknown_params(query, ("simulations", "method", "seed"))
-        simulations = self._int_param(query, "simulations", 10_000)
-        if simulations < 1:
-            raise ServiceError(400, "simulations must be positive")
-        method = query.get("method", ["intervals"])[-1]
-        if method not in _MC_METHODS:
-            raise ServiceError(
-                400,
-                f"method must be one of {', '.join(_MC_METHODS)}; "
-                f"got {method!r}",
-            )
-        seed = self._int_param(query, "seed", MC_SEED)
-        return BatchOptions(simulations=simulations, method=method, seed=seed)
-
-    def _workspace_endpoint(
-        self,
-        verb: str,
-        ws_id: str,
-        query: Mapping[str, List[str]],
-        headers: Mapping[str, str],
-    ) -> Response:
-        path = self._resolve(ws_id)
-        try:
-            if verb == "ranking":
-                self._reject_unknown_params(query, ())
-                return self._serve_results(ws_id, path, BatchOptions(), headers)
-            if verb == "montecarlo":
-                return self._serve_results(
-                    ws_id, path, self._mc_options(query), headers
-                )
-            if verb == "group":
-                self._reject_unknown_params(query, ())
-                return self._serve_group(ws_id, path, headers)
-            self._reject_unknown_params(query, ())
-            return self._serve_screening(verb, ws_id, path, headers)
-        except sqlite3.Error as exc:
-            self.breaker.abort_probe()
-            return self._serve_stale(verb, ws_id, exc)
+    def _mc_options(params: Mapping[str, object]) -> BatchOptions:
+        """Monte Carlo options from the route's coerced parameters."""
+        return BatchOptions(
+            simulations=int(params["simulations"]),  # type: ignore[arg-type]
+            method=str(params["method"]),
+            seed=int(params["seed"]),  # type: ignore[arg-type]
+        )
 
     def _serve_stale(
-        self, verb: str, ws_id: str, exc: sqlite3.Error
+        self,
+        state: RegistryState,
+        verb: str,
+        ws_id: str,
+        exc: sqlite3.Error,
     ) -> Response:
         """Degraded read: the last known-good body for this endpoint.
 
@@ -724,7 +1286,7 @@ class ServiceApp:
         7234 ``Warning: 110`` header so clients know it may be out of
         date; otherwise the outage surfaces as 503 + ``Retry-After``.
         """
-        stale = self._stale.get((verb, ws_id))
+        stale = state.stale.get((verb, ws_id))
         if stale is None:
             raise ServiceError(
                 503,
@@ -732,6 +1294,7 @@ class ServiceApp:
                 f"({type(exc).__name__}: {exc}) and no cached response "
                 f"for {ws_id!r}",
                 headers={"Retry-After": "5"},
+                code="index_unavailable",
             ) from exc
         return Response(
             200,
@@ -745,6 +1308,7 @@ class ServiceApp:
 
     def _finish(
         self,
+        state: RegistryState,
         key: Tuple,
         etag: str,
         headers: Mapping[str, str],
@@ -754,18 +1318,18 @@ class ServiceApp:
         """The shared validator → LRU → build tail of every GET.
 
         ``build()`` runs only when both the client validator and the
-        response LRU miss; its body is cached under ``key`` for the
-        next request with the same semantic identity.  Every 200 body
-        is also stored under ``stale_key`` — the per-endpoint last
-        known-good answer replayed by :meth:`_serve_stale` when the
-        index goes down.
+        registry's response LRU miss; its body is cached under ``key``
+        for the next request with the same semantic identity.  Every
+        200 body is also stored under ``stale_key`` — the per-endpoint
+        last known-good answer replayed by :meth:`_serve_stale` when
+        the index goes down.
         """
         if if_none_match_matches(headers.get("if-none-match"), etag):
             return Response(304, b"", headers={"ETag": etag})
-        cached = self.cache.get(key)
+        cached = state.cache.get(key)
         if cached is None:
             cached = CachedResponse(body=build(), etag=etag)
-            self.cache.put(key, cached)
+            state.cache.put(key, cached)
             x_cache = "miss"
         else:
             x_cache = "hit"
@@ -780,7 +1344,7 @@ class ServiceApp:
             "(hits serve the stored body; misses rebuild it).",
         ).inc()
         if stale_key is not None:
-            self._stale.put(stale_key, cached)
+            state.stale.put(stale_key, cached)
         return Response(
             200, cached.body, headers={"ETag": etag, "X-Cache": x_cache}
         )
@@ -789,29 +1353,73 @@ class ServiceApp:
 
     def _serve_results(
         self,
+        state: RegistryState,
         ws_id: str,
         path: Path,
         options: BatchOptions,
         headers: Mapping[str, str],
     ) -> Response:
-        record = self._probe(ws_id, path)
+        record = self._probe(state, ws_id, path)
         config_hash = eval_config_hash(options)
         verb = "montecarlo" if options.simulations else "ranking"
         etag = make_etag(verb, record.content_hash, config_hash)
         key = (verb, record.content_hash, config_hash)
 
         def build() -> bytes:
-            rows = self.index.lookup_results(record.content_hash, config_hash)
+            rows = state.index.lookup_results(record.content_hash, config_hash)
             if rows is None:
-                rows = self._evaluate_through(ws_id, path, options, config_hash)
+                rows = self._evaluate_through(
+                    state, ws_id, path, options, config_hash
+                )
             return _dumps(
                 self._results_payload(ws_id, record.content_hash, options, rows)
             )
 
-        return self._finish(key, etag, headers, build, stale_key=(verb, ws_id))
+        return self._finish(
+            state, key, etag, headers, build, stale_key=(verb, ws_id)
+        )
+
+    def _serve_pinned(
+        self,
+        state: RegistryState,
+        ws_id: str,
+        verb: str,
+        at: str,
+        options: BatchOptions,
+        headers: Mapping[str, str],
+    ) -> Response:
+        """A version-pinned read: recorded results for ``?at=<hash>``.
+
+        Pinned reads never evaluate — the index either has rows for
+        ``(at, config_hash)`` (because a batch run or a live read
+        recorded them before the workspace moved on) or the request is
+        a 404 ``version_not_found``.  The live current-content read
+        and the pinned read of the same hash share one cache entry.
+        """
+        if not _HEX_HASH.match(at):
+            raise ServiceError(
+                400, f"invalid content hash {at!r} for 'at'"
+            )
+        config_hash = eval_config_hash(options)
+        etag = make_etag(verb, at, config_hash)
+        key = (verb, at, config_hash)
+
+        def build() -> bytes:
+            rows = state.index.lookup_results(at, config_hash)
+            if rows is None:
+                raise ServiceError(
+                    404,
+                    f"no recorded results for content hash {at!r}",
+                    code="version_not_found",
+                    detail={"content_hash": at},
+                )
+            return _dumps(self._results_payload(ws_id, at, options, rows))
+
+        return self._finish(state, key, etag, headers, build)
 
     def _evaluate_through(
         self,
+        state: RegistryState,
         ws_id: str,
         path: Path,
         options: BatchOptions,
@@ -819,58 +1427,62 @@ class ServiceApp:
     ):
         """The read-through miss: evaluate and commit via the index.
 
-        Serialised on the app's write lock so concurrent misses for the
-        same workspace evaluate once and the index keeps exactly one
-        writer at a time.  The runner probes, evaluates, and persists
-        through :meth:`RegistryIndex.record_run` — the same single
-        -writer path ``repro batch`` uses — so the committed rows are
-        the ones a batch run would cache.
+        Serialised on the registry's write lock so concurrent misses
+        for the same workspace evaluate once and the index keeps
+        exactly one writer at a time.  The runner probes, evaluates,
+        and persists through :meth:`RegistryIndex.record_run` — the
+        same single-writer path ``repro batch`` uses — so the
+        committed rows are the ones a batch run would cache.
 
-        Guarded by the app's :class:`_CircuitBreaker`: while the
+        Guarded by the registry's :class:`_CircuitBreaker`: while the
         circuit is open this raises 503 + ``Retry-After`` immediately,
         and any unexpected evaluation failure counts toward opening it.
         ``sqlite3.Error`` passes through untouched (the index outage
         path serves stale instead); a 409 for unevaluable *content* is
         a machinery success — it must not trip the breaker.
         """
-        retry_after = self.breaker.acquire()
+        retry_after = state.breaker.acquire()
         if retry_after is not None:
             raise ServiceError(
                 503,
                 "evaluation circuit open after repeated failures; "
                 f"retry in {retry_after}s",
                 headers={"Retry-After": str(retry_after)},
+                code="circuit_open",
             )
         try:
-            with self._write_lock:
-                probed = self.index.probe(path)
+            with state.write_lock:
+                probed = state.index.probe(path)
                 if probed is not None:
-                    rows = self.index.lookup_results(
+                    rows = state.index.lookup_results(
                         probed.content_hash, config_hash
                     )
                     if rows is not None:
-                        self.breaker.record_success()
+                        state.breaker.record_success()
                         return rows
                 report = ShardedRunner(workers=1, options=options).run(
-                    [str(path)], index=self.index
+                    [str(path)], index=state.index
                 )
         except sqlite3.Error:
-            self.breaker.abort_probe()
+            state.breaker.abort_probe()
             raise
         except ServiceError:
             raise
         except Exception as exc:
-            self.breaker.record_failure()
+            state.breaker.record_failure()
             raise ServiceError(
                 503,
                 f"evaluation failed: {type(exc).__name__}: {exc}",
                 headers={"Retry-After": "1"},
+                code="evaluation_failed",
             ) from exc
-        self.breaker.record_success()
+        state.breaker.record_success()
         if report.skipped or not report.results:
             detail = report.skipped[0].error if report.skipped else "empty"
             raise ServiceError(
-                409, f"workspace {ws_id!r} cannot be evaluated: {detail}"
+                409,
+                f"workspace {ws_id!r} cannot be evaluated: {detail}",
+                code="workspace_invalid",
             )
         return report.results
 
@@ -920,6 +1532,7 @@ class ServiceApp:
 
     def _serve_group(
         self,
+        state: RegistryState,
         ws_id: str,
         path: Path,
         headers: Mapping[str, str],
@@ -942,20 +1555,24 @@ class ServiceApp:
                 "no member roster configured; start the service with "
                 "a members file (repro serve --members FILE)",
             )
-        record = self._probe(ws_id, path)
+        record = self._probe(state, ws_id, path)
         options = BatchOptions(group=self.members_spec)
         config_hash = eval_config_hash(options)
         etag = make_etag("group", record.content_hash, config_hash)
         key = ("group", record.content_hash, config_hash)
 
         def build() -> bytes:
-            rows = self.index.lookup_results(record.content_hash, config_hash)
+            rows = state.index.lookup_results(record.content_hash, config_hash)
             if rows is None:
-                rows = self._evaluate_through(ws_id, path, options, config_hash)
+                rows = self._evaluate_through(
+                    state, ws_id, path, options, config_hash
+                )
             group_json = rows[0].group_json
             if group_json is None:  # pragma: no cover - defensive
                 raise ServiceError(
-                    409, f"workspace {ws_id!r} has no group result"
+                    409,
+                    f"workspace {ws_id!r} has no group result",
+                    code="workspace_invalid",
                 )
             return _dumps(
                 {
@@ -967,19 +1584,20 @@ class ServiceApp:
             )
 
         return self._finish(
-            key, etag, headers, build, stale_key=("group", ws_id)
+            state, key, etag, headers, build, stale_key=("group", ws_id)
         )
 
     # -- dominance / rank intervals: engine-backed, LRU-cached ----------
 
     def _serve_screening(
         self,
+        state: RegistryState,
         verb: str,
         ws_id: str,
         path: Path,
         headers: Mapping[str, str],
     ) -> Response:
-        record = self._probe(ws_id, path)
+        record = self._probe(state, ws_id, path)
         etag = make_etag(verb, record.content_hash)
         key = (verb, record.content_hash)
 
@@ -991,6 +1609,7 @@ class ServiceApp:
                     409,
                     f"workspace {ws_id!r} cannot be compiled: "
                     f"{type(exc).__name__}: {exc}",
+                    code="workspace_invalid",
                 ) from exc
             evaluator = BatchEvaluator(compiled)
             names = list(evaluator.alternative_names)
@@ -1024,27 +1643,118 @@ class ServiceApp:
                 }
             return _dumps(payload)
 
-        return self._finish(key, etag, headers, build, stale_key=(verb, ws_id))
+        return self._finish(
+            state, key, etag, headers, build, stale_key=(verb, ws_id)
+        )
 
     # ------------------------------------------------------------------
-    # POST /v1/evaluate
+    # Versions
     # ------------------------------------------------------------------
 
-    def _evaluate(self, body: bytes) -> Response:
+    def _h_versions(self, request: Request) -> Response:
+        """Content-hash lineage: every recorded version of a workspace."""
+        state = self._state_for(request)
+        ws_id = request.path_params["id"]
+        path = self._resolve(state, ws_id)
+        try:
+            record = self._probe(state, ws_id, path)
+            history = state.index.version_history(path)
+        except sqlite3.Error as exc:
+            raise ServiceError(
+                503,
+                f"registry index unavailable "
+                f"({type(exc).__name__}: {exc})",
+                headers={"Retry-After": "5"},
+                code="index_unavailable",
+            ) from exc
+        return Response(
+            200,
+            _dumps(
+                {
+                    "workspace": ws_id,
+                    "registry": state.name,
+                    "content_hash": record.content_hash,
+                    "versions": history,
+                }
+            ),
+        )
+
+    def _h_tag_version(self, request: Request) -> Response:
+        """Tag one recorded version (``{"content_hash", "tag"}``)."""
+        state = self._state_for(request)
+        ws_id = request.path_params["id"]
+        doc = self._json_body(request.body)
+        unknown = sorted(set(doc) - {"content_hash", "tag"})
+        if unknown:
+            raise ServiceError(400, f"unknown field(s): {', '.join(unknown)}")
+        content_hash, tag = doc.get("content_hash"), doc.get("tag")
+        if not isinstance(content_hash, str) or not _HEX_HASH.match(
+            content_hash
+        ):
+            raise ServiceError(400, "'content_hash' must be a hex digest")
+        if not isinstance(tag, str) or not tag:
+            raise ServiceError(400, "'tag' must be a non-empty string")
+        path = self._resolve(state, ws_id)
+        try:
+            self._probe(state, ws_id, path)
+            tagged = state.index.tag_version(path, content_hash, tag)
+        except sqlite3.Error as exc:
+            raise ServiceError(
+                503,
+                f"registry index unavailable "
+                f"({type(exc).__name__}: {exc})",
+                headers={"Retry-After": "5"},
+                code="index_unavailable",
+            ) from exc
+        if not tagged:
+            raise ServiceError(
+                404,
+                f"no recorded version {content_hash!r} for "
+                f"workspace {ws_id!r}",
+                code="version_not_found",
+                detail={"content_hash": content_hash},
+            )
+        return Response(
+            200,
+            _dumps(
+                {
+                    "workspace": ws_id,
+                    "registry": state.name,
+                    "content_hash": content_hash,
+                    "tag": tag,
+                }
+            ),
+        )
+
+    # ------------------------------------------------------------------
+    # POST .../evaluate
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _json_body(body: bytes) -> Dict[str, object]:
+        """Parse a request body as a JSON object (400 otherwise)."""
+        try:
+            doc = json.loads(body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise ServiceError(
+                400, f"request body is not JSON: {exc}"
+            ) from exc
+        if not isinstance(doc, dict):
+            raise ServiceError(400, "request body must be a JSON object")
+        return doc
+
+    def _h_evaluate(self, request: Request) -> Response:
         """Ad-hoc evaluation of a posted workspace document.
 
         Accepts either the raw ``repro-workspace/1`` document or an
         envelope ``{"workspace": <document>, "simulations": N,
         "method": ..., "seed": ...}``.  Nothing touches the registry or
         the index — the problem never has a path, so there is nothing
-        to fingerprint.
+        to fingerprint (the ``{registry}`` path segment only has to
+        name a mounted registry).
         """
-        try:
-            doc = json.loads(body.decode("utf-8"))
-        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
-            raise ServiceError(400, f"request body is not JSON: {exc}") from exc
-        if not isinstance(doc, dict):
-            raise ServiceError(400, "request body must be a JSON object")
+        self._state_for(request)  # 404 for unknown registries
+        doc = self._json_body(request.body)
         simulations, method, seed = 0, "intervals", MC_SEED
         if "format" not in doc and "workspace" in doc:
             envelope, doc = doc, doc["workspace"]

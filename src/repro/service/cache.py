@@ -17,6 +17,7 @@ revalidates with one stat + one sqlite point read and no body bytes.
 
 from __future__ import annotations
 
+import gzip as _gzip
 import hashlib
 import threading
 from collections import OrderedDict
@@ -28,6 +29,8 @@ __all__ = [
     "ResponseCache",
     "make_etag",
     "if_none_match_matches",
+    "accepts_gzip",
+    "gzip_bytes",
 ]
 
 
@@ -71,6 +74,49 @@ def if_none_match_matches(header: Optional[str], etag: str) -> bool:
         if candidate == etag:
             return True
     return False
+
+
+def accepts_gzip(accept_encoding: Optional[str]) -> bool:
+    """Whether an ``Accept-Encoding`` header opts into gzip.
+
+    Parses the comma-separated coding list: ``gzip`` (any positive
+    ``q``) accepts; ``gzip;q=0`` refuses; ``*`` as a wildcard accepts
+    unless gzip is explicitly zeroed.  Absent header means identity
+    only — compression is strictly opt-in.
+    """
+    if not accept_encoding:
+        return False
+    wildcard = False
+    for part in accept_encoding.split(","):
+        tokens = part.strip().split(";")
+        coding = tokens[0].strip().lower()
+        q = 1.0
+        for token in tokens[1:]:
+            token = token.strip()
+            if token.startswith("q="):
+                try:
+                    q = float(token[2:])
+                except ValueError:
+                    q = 0.0
+        if coding == "gzip":
+            return q > 0.0
+        if coding == "*":
+            wildcard = q > 0.0
+    return wildcard
+
+
+def gzip_bytes(body: bytes, level: int = 5) -> bytes:
+    """Deterministically gzip one response body.
+
+    ``mtime=0`` pins the gzip header so equal bodies always compress
+    to equal bytes — compressed responses stay byte-reproducible, the
+    same property the uncompressed read-through contract pins.  The
+    (strong, semantic) ETag is *unchanged* by compression: the
+    validator names the representation's content identity, and the
+    ``If-None-Match`` check happens before any body is built, so 304
+    revalidation works identically for gzip and identity clients.
+    """
+    return _gzip.compress(body, compresslevel=level, mtime=0)
 
 
 class ResponseCache:

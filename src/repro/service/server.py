@@ -24,7 +24,7 @@ import time
 from datetime import datetime, timezone
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from pathlib import Path
-from typing import IO, Optional, Union
+from typing import IO, Mapping, Optional, Union
 
 from .app import Response, ServiceApp
 
@@ -72,6 +72,10 @@ class _Handler(BaseHTTPRequestHandler):
     def do_POST(self) -> None:
         """Serve one POST request through the app."""
         self._dispatch("POST")
+
+    def do_DELETE(self) -> None:
+        """Serve one DELETE request through the app (unmounts)."""
+        self._dispatch("DELETE")
 
     def _log_access(
         self, method: str, response: Response, started: float
@@ -160,6 +164,9 @@ class ServiceServer:
         cache_size: int = 1024,
         access_log: Optional[IO[str]] = sys.stderr,
         members_path: Optional[Union[str, Path]] = None,
+        mounts: Optional[Mapping[str, Union[str, Path]]] = None,
+        auth_token: Optional[str] = None,
+        warm_writes: bool = False,
     ) -> None:
         """Build the app and bind the server (not yet serving)."""
         self.app = ServiceApp(
@@ -167,6 +174,9 @@ class ServiceServer:
             index_path=index_path,
             cache_size=cache_size,
             members_path=members_path,
+            mounts=mounts,
+            auth_token=auth_token,
+            warm_writes=warm_writes,
         )
         try:
             self.httpd = RegistryHTTPServer(

@@ -63,10 +63,11 @@ class TestRouting:
         assert payload["status"] == "ok"
         assert payload["registry"] == str(tmp_path.resolve())
 
-    def test_error_bodies_are_json(self, app):
+    def test_error_bodies_are_json_envelopes(self, app):
         payload = body(get(app, "/nope"))
-        assert payload["status"] == 404
-        assert "unknown endpoint" in payload["error"]
+        assert payload["error"]["code"] == "not_found"
+        assert "unknown endpoint" in payload["error"]["message"]
+        assert payload["error"]["detail"] is None
 
 
 class TestRanking:
@@ -490,13 +491,13 @@ class TestPrometheusEndpoint:
         text = response.body.decode("utf-8")
         assert (
             'repro_http_requests_total{endpoint="/v1/workspaces/{id}/'
-            'ranking",status="200"} 2' in text
+            'ranking",registry="default",status="200"} 2' in text
         )
         assert "repro_response_cache_hits_total 1" in text
         assert "repro_response_cache_misses_total 1" in text
         # the in-process evaluation fed the eval-latency histogram
         assert 'repro_eval_stage_seconds_bucket{stage="eval.stacked"' in text
-        assert "repro_breaker_state 0" in text
+        assert 'repro_breaker_state{registry="default"} 0' in text
 
     def test_prometheus_exposition_parses(self, app):
         """Every non-comment line is `name[{labels}] value`."""
@@ -526,7 +527,7 @@ class TestPrometheusEndpoint:
     def test_unknown_format_is_400(self, app):
         response = get(app, "/metrics?format=xml")
         assert response.status == 400
-        assert "unknown metrics format" in body(response)["error"]
+        assert "unknown metrics format" in body(response)["error"]["message"]
 
 
 class TestRequestId:
@@ -652,7 +653,7 @@ class TestGroupEndpoint:
     def test_without_roster_404(self, app):
         response = get(app, "/v1/workspaces/ws-00/group")
         assert response.status == 404
-        assert "no member roster" in body(response)["error"]
+        assert "no member roster" in body(response)["error"]["message"]
 
     def test_etag_304_and_cache_hit(self, group_app):
         first = get(group_app, "/v1/workspaces/ws-00/group")

@@ -151,7 +151,7 @@ class TestEvaluationFailures:
         response = get(app, "/v1/workspaces/ws-00/ranking")
         assert response.status == 503
         assert response.headers["Retry-After"] == "1"
-        assert "evaluation failed" in body(response)["error"]
+        assert "evaluation failed" in body(response)["error"]["message"]
         assert app.breaker.snapshot()["consecutive_failures"] == 1
 
     def test_breaker_opens_then_cools_down_and_recovers(
@@ -171,7 +171,7 @@ class TestEvaluationFailures:
         # open circuit: refused fast, no evaluation attempted
         refused = get(app, "/v1/workspaces/ws-00/ranking")
         assert refused.status == 503
-        assert "circuit open" in body(refused)["error"]
+        assert "circuit open" in body(refused)["error"]["message"]
         assert int(refused.headers["Retry-After"]) >= 1
 
         # cooldown over + machinery repaired: the probe closes it
@@ -221,7 +221,7 @@ class TestStaleServing:
         response = get(app, "/v1/workspaces/ws-02/ranking")
         assert response.status == 503
         assert response.headers["Retry-After"] == "5"
-        assert "index unavailable" in body(response)["error"]
+        assert "index unavailable" in body(response)["error"]["message"]
 
     def test_stale_body_tracks_the_latest_good_answer(
         self, app, registry, monkeypatch

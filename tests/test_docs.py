@@ -95,6 +95,8 @@ DOCSTRING_MODULES = (
     "service/app",
     "service/cache",
     "service/server",
+    "service/routes",
+    "service/federation",
     "obs/__init__",
     "obs/trace",
     "obs/metrics",

@@ -47,7 +47,12 @@ _BOOL = "bool"
 _INT = "int"
 
 #: Per-artifact schema: required keys with types, the primary metric,
-#: the floor key it must clear, and flags that must be true.
+#: the floor key it must clear, and flags that must be true.  Optional
+#: entries: ``extra_floors`` — further ``(metric, floor_key)`` pairs
+#: gated as ``metric >= floor``; ``ceilings`` — ``(metric,
+#: ceiling_key)`` pairs gated as ``metric <= ceiling`` (latency-style
+#: bounds).  Only the primary metric participates in the trajectory
+#: comparison against ``floors.json``.
 SCHEMAS: Dict[str, Dict[str, object]] = {
     "BENCH_sharded_batch.json": {
         "required": {
@@ -87,10 +92,24 @@ SCHEMAS: Dict[str, Dict[str, object]] = {
             "byte_identical_warm_responses": _BOOL,
             "min_throughput_floor_rps": _NUMBER,
             "min_warm_over_cold_floor": _NUMBER,
+            "federated_threads": _INT,
+            "federated_writer_edits": _INT,
+            "federated_throughput_rps": _NUMBER,
+            "federated_p99_ms": _NUMBER,
+            "federated_reader_bytes_stable": _BOOL,
+            "min_federated_throughput_floor_rps": _NUMBER,
+            "max_federated_p99_floor_ms": _NUMBER,
         },
         "metric": "throughput_rps",
         "floor": "min_throughput_floor_rps",
-        "must_be_true": ("byte_identical_warm_responses",),
+        "must_be_true": (
+            "byte_identical_warm_responses",
+            "federated_reader_bytes_stable",
+        ),
+        "extra_floors": (
+            ("federated_throughput_rps", "min_federated_throughput_floor_rps"),
+        ),
+        "ceilings": (("federated_p99_ms", "max_federated_p99_floor_ms"),),
     },
     "BENCH_group.json": {
         "required": {
@@ -251,6 +270,18 @@ def check_artifact(
             f"{name}: {schema['metric']} {metric:.2f} is below the "
             f"declared floor {floor:.2f}"
         )
+    for extra_metric, extra_floor in schema.get("extra_floors", ()):
+        if payload[extra_metric] < payload[extra_floor]:
+            errors.append(
+                f"{name}: {extra_metric} {payload[extra_metric]:.2f} is "
+                f"below the declared floor {payload[extra_floor]:.2f}"
+            )
+    for bounded, ceiling in schema.get("ceilings", ()):
+        if payload[bounded] > payload[ceiling]:
+            errors.append(
+                f"{name}: {bounded} {payload[bounded]:.2f} exceeds the "
+                f"declared ceiling {payload[ceiling]:.2f}"
+            )
     if floors is not None:
         baseline = floors.get(name, {}).get(schema["metric"])
         if _type_ok(baseline, _NUMBER):

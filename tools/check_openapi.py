@@ -1,0 +1,155 @@
+#!/usr/bin/env python
+"""OpenAPI / documentation drift gate, runnable locally and in CI.
+
+The service's route table (``repro.service.app.ROUTES``) is the single
+source of truth for the HTTP surface: the running server dispatches
+from it and ``GET /v1/openapi.json`` renders it.  This tool keeps the
+other two representations honest:
+
+1. **Route table ↔ spec** — the generated OpenAPI 3.1 document must
+   contain exactly one operation per route (same path templates, same
+   methods, unique ``operationId`` per route name), declare bearer
+   security on every non-public route, and mark exactly the legacy
+   routes deprecated.
+2. **Spec ↔ docs** — every *current* (non-deprecated) route must be
+   documented in ``docs/service.md`` as a backtick-quoted
+   ``METHOD /path`` entry, and every such documented entry must name a
+   route that actually exists (deprecated aliases included) — stale
+   docs fail the build in both directions.
+3. **Error codes** — every code in the service's error vocabulary
+   (``repro.service.routes.ERROR_CODES``) must be documented in
+   ``docs/service.md``, and the spec's ``ErrorEnvelope`` schema must
+   enumerate exactly that vocabulary.
+
+Run::
+
+    python tools/check_openapi.py
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+from typing import List
+
+ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "src"))
+
+from repro.service.app import ROUTES  # noqa: E402
+from repro.service.routes import ERROR_CODES, build_openapi  # noqa: E402
+
+SERVICE_DOC = ROOT / "docs" / "service.md"
+
+#: A documented endpoint: `` `GET /v1/registries/{registry}` `` etc.
+_DOC_ENDPOINT = re.compile(r"`(GET|POST|PUT|DELETE|PATCH) (/[^`\s]*)`")
+
+
+def check_spec_against_routes() -> List[str]:
+    """Drift between the route table and the generated OpenAPI spec."""
+    errors = []
+    spec = build_openapi(ROUTES)
+    spec_ops = {
+        (method.upper(), path)
+        for path, methods in spec["paths"].items()
+        for method in methods
+    }
+    route_ops = {(route.method, route.label) for route in ROUTES}
+    for method, path in sorted(route_ops - spec_ops):
+        errors.append(f"spec: route {method} {path} has no operation")
+    for method, path in sorted(spec_ops - route_ops):
+        errors.append(f"spec: operation {method} {path} has no route")
+
+    operation_ids = [
+        operation["operationId"]
+        for methods in spec["paths"].values()
+        for operation in methods.values()
+    ]
+    if sorted(operation_ids) != sorted(route.name for route in ROUTES):
+        errors.append(
+            "spec: operationIds do not match route names one-to-one"
+        )
+    for path, methods in spec["paths"].items():
+        for method, operation in methods.items():
+            route = next(
+                r
+                for r in ROUTES
+                if r.method == method.upper() and r.label == path
+            )
+            if bool(operation.get("deprecated")) != route.deprecated:
+                errors.append(
+                    f"spec: {method.upper()} {path} deprecation flag "
+                    f"disagrees with the route table"
+                )
+            has_security = "security" in operation
+            if has_security != (route.auth != "public"):
+                errors.append(
+                    f"spec: {method.upper()} {path} security declaration "
+                    f"disagrees with auth class {route.auth!r}"
+                )
+
+    enum = spec["components"]["schemas"]["ErrorEnvelope"]["properties"][
+        "error"
+    ]["properties"]["code"]["enum"]
+    if enum != sorted(ERROR_CODES):
+        errors.append(
+            "spec: ErrorEnvelope code enum does not match ERROR_CODES"
+        )
+    return errors
+
+
+def check_docs_against_routes() -> List[str]:
+    """Drift between docs/service.md and the route table."""
+    errors = []
+    text = SERVICE_DOC.read_text()
+    documented = {
+        (method, path) for method, path in _DOC_ENDPOINT.findall(text)
+    }
+    current = {
+        (route.method, route.label)
+        for route in ROUTES
+        if not route.deprecated
+    }
+    known = {(route.method, route.label) for route in ROUTES}
+    for method, path in sorted(current - documented):
+        errors.append(
+            f"docs/service.md: current endpoint {method} {path} "
+            "is undocumented"
+        )
+    for method, path in sorted(documented - known):
+        errors.append(
+            f"docs/service.md: documents {method} {path}, which no "
+            "route serves"
+        )
+    return errors
+
+
+def check_error_codes_documented() -> List[str]:
+    """Every error code the service can emit appears in the docs."""
+    text = SERVICE_DOC.read_text()
+    return [
+        f"docs/service.md: error code `{code}` is undocumented"
+        for code in sorted(ERROR_CODES)
+        if f"`{code}`" not in text
+    ]
+
+
+def main() -> int:
+    spec_errors = check_spec_against_routes()
+    doc_errors = check_docs_against_routes()
+    code_errors = check_error_codes_documented()
+    for error in spec_errors + doc_errors + code_errors:
+        print(f"FAIL {error}")
+    if not spec_errors:
+        print(f"OK   spec covers the route table ({len(ROUTES)} routes)")
+    if not doc_errors:
+        print("OK   docs/service.md matches the served endpoints")
+    if not code_errors:
+        print(
+            f"OK   all {len(ERROR_CODES)} error codes are documented"
+        )
+    return 1 if (spec_errors or doc_errors or code_errors) else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
